@@ -1,0 +1,59 @@
+// Shared setup for the figure benches: suite subsets, surface parameters
+// tuned for benchmarking (coarser quadrature than the tests — the paper's
+// large molecules run at a few q-points per atom), and env knobs.
+//
+// Env knobs (all benches):
+//   GBPOL_BENCH_SCALE  multiplies virus-shell sizes        (default 1.0)
+//   GBPOL_REPS         repetition count                    (bench-specific)
+//   GBPOL_FULL=1       run the full 84-molecule suite      (default subset)
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "core/naive.hpp"
+#include "core/prepared.hpp"
+#include "harness/experiment.hpp"
+#include "harness/packages.hpp"
+#include "harness/report.hpp"
+#include "molecule/generate.hpp"
+#include "molecule/suite.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "surface/quadrature.hpp"
+
+namespace gbpol::bench {
+
+inline surface::QuadratureParams bench_quadrature_params() {
+  // Coarser than the test default: ~2-8 q-points per atom, the paper's
+  // operating regime for large molecules.
+  return {.grid_spacing = 2.0, .dunavant_degree = 1, .kappa = 2.3};
+}
+
+struct PreparedMolecule {
+  Molecule mol;
+  surface::SurfaceQuadrature quad;
+  Prepared prep;
+};
+
+inline PreparedMolecule prepare(Molecule mol, std::uint32_t leaf_capacity = 32) {
+  PreparedMolecule pm{std::move(mol), {}, {}};
+  pm.quad = surface::molecular_surface_quadrature(pm.mol, bench_quadrature_params());
+  pm.prep = Prepared::build(pm.mol, pm.quad, leaf_capacity);
+  return pm;
+}
+
+// ZDock-like suite subset: every `stride`-th molecule unless GBPOL_FULL=1.
+inline std::vector<Molecule> suite_subset(int stride, std::size_t max_atoms = 16000) {
+  molgen::SuiteSpec spec;
+  spec.max_atoms = max_atoms;
+  const bool full = harness::env_int("GBPOL_FULL", 0) != 0;
+  std::vector<Molecule> all = molgen::zdock_like_suite(spec);
+  if (full) return all;
+  std::vector<Molecule> subset;
+  for (std::size_t i = 0; i < all.size(); i += static_cast<std::size_t>(stride))
+    subset.push_back(std::move(all[i]));
+  return subset;
+}
+
+}  // namespace gbpol::bench

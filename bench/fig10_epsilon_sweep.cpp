@@ -1,0 +1,56 @@
+// Fig. 10: error and running time vs the E_pol approximation parameter —
+// Born-radius eps fixed at 0.9, E_pol eps swept 0.1..0.9, approximate math
+// OFF, OCT_MPI+CILK across the suite; reports avg +/- std of the percent
+// error (vs naive) and the average modeled time, as in the paper.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/drivers.hpp"
+#include "core/naive.hpp"
+#include "support/stats.hpp"
+
+int main() {
+  using namespace gbpol;
+  using namespace gbpol::bench;
+
+  harness::print_figure_header("Fig. 10", "Error & time vs E_pol epsilon (Born eps = 0.9)");
+  const auto suite = suite_subset(/*stride=*/10, /*max_atoms=*/6000);
+  std::printf("%zu molecules (GBPOL_FULL=1 for all; capped at 6k atoms by default)\n",
+              suite.size());
+
+  const GBConstants constants;
+  const mpisim::ClusterModel cluster = mpisim::ClusterModel::lonestar4();
+
+  // Naive references and Prepared structures once per molecule.
+  struct Entry {
+    PreparedMolecule pm;
+    double naive_energy;
+  };
+  std::vector<Entry> entries;
+  for (const Molecule& mol : suite) {
+    Entry e{prepare(mol), 0.0};
+    e.naive_energy = run_naive(e.pm.mol, e.pm.quad, constants).energy;
+    entries.push_back(std::move(e));
+  }
+
+  Table table({"eps_epol", "avg err(%)", "std err(%)", "max err(%)", "avg time(s)"});
+  for (const double eps : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    ApproxParams params;
+    params.eps_born = 0.9;
+    params.eps_epol = eps;
+    params.approx_math = false;
+    RunningStats err_stats;
+    RunningStats time_stats;
+    for (const Entry& e : entries) {
+      RunConfig hybrid{.ranks = 2, .threads_per_rank = 6, .cluster = cluster};
+      const DriverResult r = run_oct_distributed(e.pm.prep, params, constants, hybrid);
+      err_stats.add(percent_error(r.energy, e.naive_energy));
+      time_stats.add(r.modeled_seconds());
+    }
+    table.add_row({Table::num(eps, 2), Table::num(err_stats.mean(), 4),
+                   Table::num(err_stats.stddev(), 4), Table::num(err_stats.max(), 4),
+                   Table::num(time_stats.mean(), 4)});
+  }
+  harness::emit_table(table, "fig10_epsilon_sweep");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig. 11 (table): scalability on a large molecule — the CMV-shell
+// substitute. Rows mirror the paper: OCT_CILK, the Amber-like baseline,
+// OCT_MPI+CILK and OCT_MPI at 12 and 144 cores, with speedup w.r.t. Amber,
+// the energy, and the percent difference vs naive.
+//
+// Default size is a single-core-budget substitute (paper CMV: 509,640
+// atoms); GBPOL_CMV_ATOMS or GBPOL_BENCH_SCALE raise it.
+#include <iostream>
+
+#include "baselines/hct.hpp"
+#include "bench_common.hpp"
+#include "core/drivers.hpp"
+#include "core/naive.hpp"
+#include "support/stats.hpp"
+
+int main() {
+  using namespace gbpol;
+  using namespace gbpol::bench;
+
+  harness::print_figure_header("Fig. 11", "Large-molecule table (CMV-shell substitute)");
+  const std::size_t n_atoms = static_cast<std::size_t>(
+      harness::env_int("GBPOL_CMV_ATOMS",
+                       static_cast<int>(30000 * harness::env_scale())));
+  const Molecule cmv = molgen::virus_shell(n_atoms, 509640, 0.2, "cmv-shell");
+  std::printf("molecule: %zu atoms (paper: 509,640)\n", cmv.size());
+  const PreparedMolecule pm = prepare(cmv, 48);
+  std::printf("quadrature points: %zu (paper: 1,929,128)\n", pm.quad.size());
+
+  const GBConstants constants;
+  ApproxParams params;  // 0.9/0.9
+  const mpisim::ClusterModel cluster = mpisim::ClusterModel::lonestar4();
+
+  std::printf("computing naive reference (O(M^2))...\n");
+  const NaiveResult naive = run_naive(pm.mol, pm.quad, constants);
+
+  // Amber-like baseline at 12 and 144 ranks; all pairs, as Amber GB's
+  // effectively unbounded default cutoff (this quadratic cost is what the
+  // paper's ~400x speedups are measured against).
+  baselines::BaselineOptions amber_options;
+  amber_options.cutoff = 0.0;
+  amber_options.cluster = cluster;
+  amber_options.ranks = 12;
+  const auto amber12 = baselines::run_hct(pm.mol.atoms(), amber_options);
+  amber_options.ranks = 144;
+  const auto amber144 = baselines::run_hct(pm.mol.atoms(), amber_options);
+
+  const DriverResult cilk = run_oct_cilk(pm.prep, params, constants, 12);
+  RunConfig mpi12{.ranks = 12, .threads_per_rank = 1, .cluster = cluster};
+  RunConfig mpi144{.ranks = 144, .threads_per_rank = 1, .cluster = cluster};
+  RunConfig hyb12{.ranks = 2, .threads_per_rank = 6, .cluster = cluster};
+  RunConfig hyb144{.ranks = 24, .threads_per_rank = 6, .cluster = cluster};
+  const DriverResult oct_mpi12 = run_oct_distributed(pm.prep, params, constants, mpi12);
+  const DriverResult oct_mpi144 = run_oct_distributed(pm.prep, params, constants, mpi144);
+  const DriverResult oct_hyb12 = run_oct_distributed(pm.prep, params, constants, hyb12);
+  const DriverResult oct_hyb144 = run_oct_distributed(pm.prep, params, constants, hyb144);
+
+  auto diff = [&](double e) {
+    return (e - naive.energy) / std::abs(naive.energy) * 100.0;
+  };
+  Table table({"program", "12 cores(s)", "144 cores(s)", "speedup vs Amber (12)",
+               "speedup vs Amber (144)", "E_pol (kcal/mol)", "% diff w/ naive"});
+  table.add_row({"OCT_CILK", Table::num(cilk.compute_seconds, 4), "X",
+                 Table::num(amber12.modeled_seconds() / cilk.compute_seconds, 4), "X",
+                 Table::num(cilk.energy, 6), Table::num(diff(cilk.energy), 3)});
+  table.add_row({"Amber-like (HCT)", Table::num(amber12.modeled_seconds(), 4),
+                 Table::num(amber144.modeled_seconds(), 4), "1", "1",
+                 Table::num(amber12.energy, 6), Table::num(diff(amber12.energy), 3)});
+  table.add_row(
+      {"OCT_MPI+CILK", Table::num(oct_hyb12.modeled_seconds(), 4),
+       Table::num(oct_hyb144.modeled_seconds(), 4),
+       Table::num(amber12.modeled_seconds() / oct_hyb12.modeled_seconds(), 4),
+       Table::num(amber144.modeled_seconds() / oct_hyb144.modeled_seconds(), 4),
+       Table::num(oct_hyb12.energy, 6), Table::num(diff(oct_hyb12.energy), 3)});
+  table.add_row(
+      {"OCT_MPI", Table::num(oct_mpi12.modeled_seconds(), 4),
+       Table::num(oct_mpi144.modeled_seconds(), 4),
+       Table::num(amber12.modeled_seconds() / oct_mpi12.modeled_seconds(), 4),
+       Table::num(amber144.modeled_seconds() / oct_mpi144.modeled_seconds(), 4),
+       Table::num(oct_mpi12.energy, 6), Table::num(diff(oct_mpi12.energy), 3)});
+  table.add_row({"Naive (exact)", Table::num(naive.born_seconds + naive.energy_seconds, 4),
+                 "X", "-", "-", Table::num(naive.energy, 6), "0"});
+  harness::emit_table(table, "fig11_cmv_table");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 6: scalability with increasing cores — min and max modeled running
+// times over repeated runs (paper: 20 repetitions) for OCT_MPI vs
+// OCT_MPI+CILK on the BTV substitute. The paper's observation: past ~180
+// cores the hybrid's MIN time beats pure MPI's (lower comm/memory overhead),
+// while its MAX time stays above (scheduler noise).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/drivers.hpp"
+
+int main() {
+  using namespace gbpol;
+  using namespace gbpol::bench;
+
+  harness::print_figure_header("Fig. 6", "Min/max running time vs cores (BTV substitute)");
+  const double scale = harness::env_scale();
+  const int reps = harness::env_reps(3);  // paper: 20
+  const Molecule btv = molgen::btv_like(0.125 * scale);
+  std::printf("molecule: %zu atoms; %d repetitions per configuration\n", btv.size(), reps);
+  const PreparedMolecule pm = prepare(btv, 48);
+
+  ApproxParams params;
+  const GBConstants constants;
+  const mpisim::ClusterModel cluster = mpisim::ClusterModel::lonestar4();
+
+  Table table({"cores", "variant", "min(s)", "max(s)", "mean(s)", "std(s)"});
+  for (const int cores : {12, 24, 48, 96, 144, 192}) {
+    // 192 cores exceeds the 12-node model; extend nodes proportionally.
+    mpisim::ClusterModel c = cluster;
+    c.nodes = std::max(c.nodes, cores / c.cores_per_node() + 1);
+    for (const bool hybrid : {false, true}) {
+      RunConfig config;
+      config.threads_per_rank = hybrid ? 6 : 1;
+      config.ranks = cores / config.threads_per_rank;
+      config.cluster = c;
+      const auto timing = harness::repeat_timed(reps, [&] {
+        const DriverResult r = run_oct_distributed(pm.prep, params, constants, config);
+        return std::make_pair(r.modeled_seconds(), r.wall_seconds);
+      });
+      table.add_row({Table::integer(cores), hybrid ? "OCT_MPI+CILK" : "OCT_MPI",
+                     Table::num(timing.modeled.min, 4), Table::num(timing.modeled.max, 4),
+                     Table::num(timing.modeled.mean, 4),
+                     Table::num(timing.modeled.stddev, 3)});
+    }
+  }
+  harness::emit_table(table, "fig6_scalability");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 8(a): running time of every package across the suite on one modeled
+// 12-core node; Fig. 8(b): speedup of each package w.r.t. the Amber-like
+// HCT baseline (paper: OCT_MPI ~11x at 16k atoms, Gromacs ~2.7x,
+// NAMD/Tinker/GBr6 near 1x).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gbpol;
+  using namespace gbpol::bench;
+
+  harness::print_figure_header("Fig. 8", "Package comparison on one 12-core node");
+  const auto suite = suite_subset(/*stride=*/12);
+  std::printf("%zu molecules (GBPOL_FULL=1 for all 84)\n", suite.size());
+
+  harness::PackageEnv env;  // 12 cores, hybrid 2x6, eps 0.9/0.9
+  const char* packages[] = {"naive",       "hct_amber", "hct_gromacs", "obc_namd",
+                            "still_tinker", "gbr6",      "oct_mpi",     "oct_hybrid"};
+
+  Table times({"atoms", "naive", "amber", "gromacs", "namd", "tinker", "gbr6",
+               "oct_mpi", "oct_hybrid"});
+  Table speedups({"atoms", "gromacs", "namd", "tinker", "gbr6", "oct_mpi",
+                  "oct_hybrid"});  // relative to amber
+  for (const Molecule& mol : suite) {
+    const PreparedMolecule pm = prepare(mol);
+    std::vector<double> seconds;
+    for (const char* name : packages) {
+      const auto run = harness::run_package(name, pm.mol, pm.quad, pm.prep, env);
+      seconds.push_back(run.modeled_seconds);
+    }
+    const double amber = seconds[1];
+    std::vector<std::string> time_row{Table::integer(static_cast<long long>(mol.size()))};
+    for (const double s : seconds) time_row.push_back(Table::num(s, 4));
+    times.add_row(std::move(time_row));
+    speedups.add_row({Table::integer(static_cast<long long>(mol.size())),
+                      Table::num(amber / seconds[2], 3), Table::num(amber / seconds[3], 3),
+                      Table::num(amber / seconds[4], 3), Table::num(amber / seconds[5], 3),
+                      Table::num(amber / seconds[6], 3), Table::num(amber / seconds[7], 3)});
+  }
+  std::printf("\nFig. 8(a) — modeled running time (s):\n");
+  harness::emit_table(times, "fig8a_times");
+  std::printf("\nFig. 8(b) — speedup w.r.t. the Amber-like baseline:\n");
+  harness::emit_table(speedups, "fig8b_speedups");
+  return 0;
+}

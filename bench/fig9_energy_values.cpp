@@ -1,0 +1,37 @@
+// Fig. 9: energy values computed by the different packages across the
+// suite. Paper: Amber / GBr6 / Gromacs / NAMD / OCT_* all close to naive;
+// Tinker ~70% of naive; all octree variants agree with one another.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/stats.hpp"
+
+int main() {
+  using namespace gbpol;
+  using namespace gbpol::bench;
+
+  harness::print_figure_header("Fig. 9", "Energy values per package");
+  const auto suite = suite_subset(/*stride=*/14, /*max_atoms=*/12000);
+  std::printf("%zu molecules (GBPOL_FULL=1 for all 84)\n", suite.size());
+
+  harness::PackageEnv env;
+  const char* packages[] = {"naive",  "hct_amber", "hct_gromacs", "obc_namd",
+                            "still_tinker", "gbr6", "oct_cilk",  "oct_mpi",
+                            "oct_hybrid"};
+
+  Table table({"atoms", "naive", "amber", "gromacs", "namd", "tinker", "gbr6",
+               "oct_cilk", "oct_mpi", "oct_hybrid", "tinker/naive"});
+  for (const Molecule& mol : suite) {
+    const PreparedMolecule pm = prepare(mol);
+    std::vector<double> energies;
+    for (const char* name : packages)
+      energies.push_back(harness::run_package(name, pm.mol, pm.quad, pm.prep, env).energy);
+    std::vector<std::string> row{Table::integer(static_cast<long long>(mol.size()))};
+    for (const double e : energies) row.push_back(Table::num(e, 6));
+    row.push_back(Table::num(energies[4] / energies[0], 3));
+    table.add_row(std::move(row));
+  }
+  harness::emit_table(table, "fig9_energy_values");
+  std::printf("\n(kcal/mol; 'tinker/naive' is the paper's ~0.7 ratio)\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Tables I & II: the modeled simulation environment and the package /
+// GB-model / parallelism matrix, as implemented in this repository.
+#include <iostream>
+
+#include "baselines/registry.hpp"
+#include "bench_common.hpp"
+#include "mpisim/cluster.hpp"
+
+int main() {
+  using namespace gbpol;
+  harness::print_figure_header("Table I", "Simulation environment (modeled)");
+  harness::print_cluster_model(mpisim::ClusterModel::lonestar4());
+
+  harness::print_figure_header("Table II", "Packages, GB models, parallelism");
+  Table table({"id", "stands in for", "GB model", "parallelism"});
+  for (const auto& info : baselines::package_table())
+    table.add_row({std::string(info.name), std::string(info.paper_name),
+                   std::string(info.gb_model), std::string(info.parallelism)});
+  harness::emit_table(table, "table2_packages");
+  return 0;
+}

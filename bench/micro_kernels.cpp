@@ -1,0 +1,164 @@
+// Micro-benchmarks (google-benchmark): the building-block costs underneath
+// the figure benches — octree construction/traversal, scheduler overhead,
+// collectives, math kernels, surface density evaluation.
+#include <benchmark/benchmark.h>
+
+#include "core/approx_math.hpp"
+#include "core/born_octree.hpp"
+#include "core/drivers.hpp"
+#include "molecule/generate.hpp"
+#include "mpisim/runtime.hpp"
+#include "support/morton.hpp"
+#include "support/rng.hpp"
+#include "surface/density.hpp"
+#include "surface/quadrature.hpp"
+#include "ws/parallel_for.hpp"
+
+namespace {
+
+using namespace gbpol;
+
+std::vector<Vec3> random_points(std::size_t n) {
+  Rng rng(123);
+  std::vector<Vec3> pts(n);
+  for (Vec3& p : pts)
+    p = Vec3{rng.uniform(0, 100), rng.uniform(0, 100), rng.uniform(0, 100)};
+  return pts;
+}
+
+void BM_MortonEncode(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)));
+  const Aabb box = bounding_box(pts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(morton::encode_points(pts, box));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MortonEncode)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_OctreeBuild(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Octree::build(pts, {.leaf_capacity = 32, .max_depth = 20}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OctreeBuild)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17);
+
+void BM_FastRsqrt(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> xs(4096);
+  for (double& x : xs) x = rng.uniform(1.0, 1e6);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const double x : xs) sum += fast_rsqrt(x);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_FastRsqrt);
+
+void BM_ExactRsqrt(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> xs(4096);
+  for (double& x : xs) x = rng.uniform(1.0, 1e6);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const double x : xs) sum += 1.0 / std::sqrt(x);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ExactRsqrt);
+
+void BM_FastExp(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<double> xs(4096);
+  for (double& x : xs) x = rng.uniform(-40.0, 0.0);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const double x : xs) sum += fast_exp(x);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_FastExp);
+
+void BM_ExactExp(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<double> xs(4096);
+  for (double& x : xs) x = rng.uniform(-40.0, 0.0);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const double x : xs) sum += std::exp(x);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ExactExp);
+
+void BM_SchedulerSpawnSync(benchmark::State& state) {
+  ws::Scheduler sched(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<long> sum{0};
+    ws::parallel_for(sched, 0, 10000, 16, [&](std::size_t lo, std::size_t hi) {
+      sum.fetch_add(static_cast<long>(hi - lo), std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sum.load());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerSpawnSync)->Arg(2)->Arg(6);
+
+void BM_MpisimAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpisim::Runtime::Config config;
+    config.ranks = ranks;
+    mpisim::Runtime::run(config, [&](mpisim::Comm& comm) {
+      std::vector<double> data(1 << 12, 1.0);
+      comm.allreduce_sum(data);
+      benchmark::DoNotOptimize(data[0]);
+    });
+  }
+}
+BENCHMARK(BM_MpisimAllreduce)->Arg(2)->Arg(8);
+
+void BM_DensityEval(benchmark::State& state) {
+  const Molecule mol = molgen::synthetic_protein(5000, 9);
+  const surface::DensityField field(mol);
+  Rng rng(7);
+  const Aabb dom = field.domain();
+  std::vector<Vec3> queries(1024);
+  for (Vec3& q : queries)
+    q = Vec3{rng.uniform(dom.lo.x, dom.hi.x), rng.uniform(dom.lo.y, dom.hi.y),
+             rng.uniform(dom.lo.z, dom.hi.z)};
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const Vec3& q : queries) sum += field.value(q);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_DensityEval);
+
+void BM_BornTraversal(benchmark::State& state) {
+  const Molecule mol = molgen::synthetic_protein(static_cast<std::size_t>(state.range(0)), 3);
+  const auto quad = surface::molecular_surface_quadrature(
+      mol, {.grid_spacing = 2.0, .dunavant_degree = 1, .kappa = 2.3});
+  const Prepared prep = Prepared::build(mol, quad, 32);
+  ApproxParams params;
+  const BornSolver solver(prep, params);
+  const auto n_leaves = static_cast<std::uint32_t>(prep.q_tree.leaves().size());
+  for (auto _ : state) {
+    BornAccumulator acc = solver.make_accumulator();
+    solver.accumulate_qleaf_range(0, n_leaves, acc);
+    benchmark::DoNotOptimize(acc.flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BornTraversal)->Arg(2000)->Arg(8000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

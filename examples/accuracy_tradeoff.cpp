@@ -1,0 +1,49 @@
+// Speed-accuracy trade-off — the library's "space-independent tunability"
+// property: sweep the approximation parameter eps and report error vs the
+// exact energy and time, reusing ONE Prepared (octrees are parameter-
+// independent, §IV-C step 1).
+//
+// Usage: accuracy_tradeoff [n_atoms]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/drivers.hpp"
+#include "core/naive.hpp"
+#include "molecule/generate.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "surface/quadrature.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gbpol;
+  const std::size_t n_atoms = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3000;
+
+  const Molecule mol = molgen::synthetic_protein(n_atoms, 7777);
+  const auto quad = surface::molecular_surface_quadrature(mol);
+  const Prepared prep = Prepared::build(mol, quad, 32);
+  const NaiveResult naive = run_naive(mol, quad, GBConstants{});
+  std::printf("molecule: %zu atoms, naive E_pol = %.4f kcal/mol (%.2f s)\n\n",
+              mol.size(), naive.energy, naive.born_seconds + naive.energy_seconds);
+
+  Table table({"eps", "E_pol", "error(%)", "time(s)", "speedup vs naive",
+               "approx math"});
+  const double naive_seconds = naive.born_seconds + naive.energy_seconds;
+  for (const bool approx_math : {false, true}) {
+    for (const double eps : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      ApproxParams params;
+      params.eps_born = eps;
+      params.eps_epol = eps;
+      params.approx_math = approx_math;
+      const DriverResult r = run_oct_serial(prep, params, GBConstants{});
+      table.add_row({Table::num(eps, 2), Table::num(r.energy, 6),
+                     Table::num(percent_error(r.energy, naive.energy), 3),
+                     Table::num(r.compute_seconds, 3),
+                     Table::num(naive_seconds / r.compute_seconds, 3),
+                     approx_math ? "on" : "off"});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nNote: one octree build served all %d configurations.\n", 10);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Gradient-descent energy relaxation — a miniature of the MD use case the
+// paper's introduction motivates ("molecular dynamics simulations for
+// determining the molecular conformation with minimal total free energy").
+//
+// Each step: frozen-radii GB gradient from the octree solver, a damped
+// descent step, then Octree::refit (topology kept, geometry updated) — the
+// octree update path the paper contrasts with nblist rebuilds. The Born
+// radii and surface are refreshed every `resample` steps.
+//
+// Usage: minimize [n_atoms] [steps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/drivers.hpp"
+#include "core/forces.hpp"
+#include "molecule/generate.hpp"
+#include "surface/quadrature.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gbpol;
+  const std::size_t n_atoms = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 800;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 12;
+  const int resample = 4;  // surface + Born refresh cadence
+
+  Molecule mol = molgen::synthetic_protein(n_atoms, 2026);
+  ApproxParams params;
+  const GBConstants constants;
+
+  std::printf("minimizing E_pol of %zu atoms, %d steps (frozen-radii gradient)\n\n",
+              mol.size(), steps);
+  std::printf("%-6s %-16s %-12s %s\n", "step", "E_pol(kcal/mol)", "max|g|", "note");
+
+  surface::SurfaceQuadrature quad;
+  Prepared prep;
+  std::vector<double> born_sorted;
+  for (int step = 0; step < steps; ++step) {
+    const bool refresh = step % resample == 0;
+    if (refresh) {
+      // Full re-preparation: new surface, new octrees, new Born radii.
+      quad = surface::molecular_surface_quadrature(mol);
+      prep = Prepared::build(mol, quad, 32);
+      const DriverResult r = run_oct_serial(prep, params, constants);
+      born_sorted = r.born_sorted;
+    } else {
+      // Cheap path: refit the atoms octree to the moved coordinates and
+      // keep the previous Born radii (frozen-radii approximation).
+      std::vector<Vec3> pos(mol.size());
+      for (std::size_t i = 0; i < mol.size(); ++i) pos[i] = mol.atom(i).pos;
+      prep.atoms_tree.refit(pos);
+    }
+
+    const EpolSolver epol(prep, born_sorted, params, constants);
+    const double energy = epol.energy_for_leaf_range(
+        0, static_cast<std::uint32_t>(prep.atoms_tree.leaves().size()));
+    const EpolGradientSolver grad_solver(prep, born_sorted, epol, constants);
+    const auto grad = grad_solver.gradient_all();
+
+    double max_g = 0.0;
+    for (const Vec3& g : grad) max_g = std::max(max_g, norm(g));
+    std::printf("%-6d %-16.4f %-12.4f %s\n", step, energy, max_g,
+                refresh ? "(resampled surface)" : "(octree refit)");
+
+    // Damped steepest descent; step length capped at 0.05 A per atom so the
+    // frozen radii stay a fair approximation between refreshes.
+    const double rate = std::min(0.05 / std::max(max_g, 1e-12), 1e-3);
+    for (std::size_t i = 0; i < mol.size(); ++i)
+      mol.atoms()[i].pos -= grad[i] * rate;
+  }
+  std::printf("\ndone; descending along dE_pol/dx only (no bonded terms — this\n"
+              "demonstrates the gradient/refit machinery, not a force field).\n");
+  return 0;
+}

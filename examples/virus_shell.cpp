@@ -1,0 +1,69 @@
+// Virus-capsid scale run — the paper's §V-F scenario: a large hollow-shell
+// molecule (CMV-like), solved with the pure-MPI and hybrid drivers across
+// increasing core counts on the modeled cluster, reporting modeled times and
+// the replicated-memory gap between the two (§V-B).
+//
+// Usage: virus_shell [n_atoms] (default 30000; paper's CMV is 509,640)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/drivers.hpp"
+#include "molecule/generate.hpp"
+#include "molecule/suite.hpp"
+#include "support/table.hpp"
+#include "surface/quadrature.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gbpol;
+  const std::size_t n_atoms = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30000;
+
+  const Molecule shell = molgen::virus_shell(n_atoms, 509640, 0.2, "cmv-like-shell");
+  std::printf("molecule: %s (%zu atoms)\n", shell.name().c_str(), shell.size());
+
+  const auto quad = surface::molecular_surface_quadrature(
+      shell, {.grid_spacing = 2.0, .dunavant_degree = 1, .kappa = 2.3});
+  std::printf("surface:  %zu quadrature points\n", quad.size());
+
+  const Prepared prep = Prepared::build(shell, quad, 48);
+  std::printf("octrees built in %.2f s (%.1f MiB replicated per rank)\n\n",
+              prep.build_seconds, prep.replicated_footprint().mib());
+
+  ApproxParams params;  // paper settings: eps 0.9 / 0.9
+  const GBConstants constants;
+  const mpisim::ClusterModel cluster = mpisim::ClusterModel::lonestar4();
+
+  Table table({"cores", "variant", "ranks x threads", "modeled(s)", "compute(s)",
+               "comm(s)", "memory(MiB)", "E_pol"});
+  for (const int cores : {12, 48, 144}) {
+    // Pure MPI: one rank per core. Hybrid: one rank per socket, 6 threads.
+    RunConfig mpi;
+    mpi.ranks = cores;
+    mpi.threads_per_rank = 1;
+    mpi.cluster = cluster;
+    const DriverResult a = run_oct_distributed(prep, params, constants, mpi);
+    table.add_row({Table::integer(cores), "OCT_MPI",
+                   std::to_string(cores) + " x 1", Table::num(a.modeled_seconds(), 4),
+                   Table::num(a.compute_seconds, 4), Table::num(a.comm_seconds, 4),
+                   Table::num(static_cast<double>(a.replicated_bytes) / (1 << 20), 4),
+                   Table::num(a.energy, 6)});
+
+    RunConfig hybrid;
+    hybrid.ranks = cores / 6;
+    hybrid.threads_per_rank = 6;
+    hybrid.cluster = cluster;
+    const DriverResult b = run_oct_distributed(prep, params, constants, hybrid);
+    table.add_row({Table::integer(cores), "OCT_MPI+CILK",
+                   std::to_string(cores / 6) + " x 6", Table::num(b.modeled_seconds(), 4),
+                   Table::num(b.compute_seconds, 4), Table::num(b.comm_seconds, 4),
+                   Table::num(static_cast<double>(b.replicated_bytes) / (1 << 20), 4),
+                   Table::num(b.energy, 6)});
+
+    std::printf("cores=%3d: memory ratio MPI/hybrid = %.2fx\n", cores,
+                static_cast<double>(a.replicated_bytes) /
+                    static_cast<double>(b.replicated_bytes));
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  return 0;
+}

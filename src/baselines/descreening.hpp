@@ -1,0 +1,46 @@
+// Pairwise-descreening machinery shared by the HCT / OBC / Still-empirical
+// baselines: for every atom i, the sum over neighbours j of the analytic
+// integral of 1/|r - x_i|^4 over atom j's (scaled, offset) ball clipped to
+// the outside of atom i's own ball — the Coulomb-field counterpart of the
+// surface integrals the octree algorithms compute.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "baselines/gb_common.hpp"
+#include "core/gb_params.hpp"
+#include "molecule/molecule.hpp"
+
+namespace gbpol::baselines {
+
+// I4 descreening sums (one per atom). cutoff <= 0 disables truncation.
+std::vector<double> descreening_i4_sums(std::span<const Atom> atoms,
+                                        double cutoff, double dielectric_offset,
+                                        double descreen_scale);
+// Same, restricted to atoms [lo, hi) (for distributed atom division).
+std::vector<double> descreening_i4_sums_range(std::span<const Atom> atoms,
+                                              std::size_t lo, std::size_t hi,
+                                              double cutoff, double dielectric_offset,
+                                              double descreen_scale);
+
+// Still-model pair energy with cutoff truncation (the traditional packages'
+// scheme; cutoff <= 0 gives the exact Eq. 2 sum). Ordered pairs + self terms.
+double cutoff_epol(std::span<const Atom> atoms, std::span<const double> born,
+                   const GBConstants& constants, double cutoff);
+// Pair terms where the FIRST index lies in [lo, hi) — partitions the total
+// ordered-pair sum across ranks.
+double cutoff_epol_range(std::span<const Atom> atoms, std::span<const double> born,
+                         const GBConstants& constants, double cutoff,
+                         std::size_t lo, std::size_t hi);
+
+// Distributed driver shared by the descreening-based packages: atom-based
+// work division over mpisim ranks (the division Amber/Gromacs use), with
+// radii produced from the per-atom I4 sums by `radius_from_sum(sum, rho_i)`.
+using RadiusFromSum = std::function<double(double i4_sum, double intrinsic_radius)>;
+BaselineResult run_descreening_distributed(std::span<const Atom> atoms,
+                                           const BaselineOptions& options,
+                                           const RadiusFromSum& radius_from_sum);
+
+}  // namespace gbpol::baselines

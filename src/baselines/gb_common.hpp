@@ -1,0 +1,43 @@
+// Shared types for the baseline GB packages (the paper's comparators:
+// Amber 12, Gromacs 4.5.3, NAMD 2.9, Tinker 6.0, GBr6 — see DESIGN.md for
+// what each maps to in this repository).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/gb_params.hpp"
+#include "molecule/molecule.hpp"
+#include "mpisim/cluster.hpp"
+
+namespace gbpol::baselines {
+
+struct BaselineOptions {
+  // Pair cutoff (Angstrom) for both descreening and energy sums; <= 0 means
+  // all pairs (no truncation).
+  double cutoff = 16.0;
+  // Dielectric offset subtracted from intrinsic radii (Amber's 0.09 A).
+  double dielectric_offset = 0.09;
+  // HCT-style overlap scale factor applied to descreener radii. Real HCT
+  // fits these per element against PB references; 0.84 is the flat value
+  // that centers the r^4 pairwise models on the exact energies for the
+  // synthetic suite (see bench/fig9_energy_values).
+  double descreen_scale = 0.84;
+  // Ranks for the distributed baselines (1 = serial).
+  int ranks = 1;
+  mpisim::ClusterModel cluster = mpisim::ClusterModel::lonestar4();
+  GBConstants constants;
+};
+
+struct BaselineResult {
+  std::vector<double> born_radii;  // atom order
+  double energy = 0.0;             // kcal/mol
+  double compute_seconds = 0.0;    // modeled makespan, compute part
+  double comm_seconds = 0.0;       // modeled communication
+  double wall_seconds = 0.0;
+  std::size_t memory_bytes = 0;    // modeled, replicated across ranks
+
+  double modeled_seconds() const { return compute_seconds + comm_seconds; }
+};
+
+}  // namespace gbpol::baselines

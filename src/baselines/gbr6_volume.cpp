@@ -1,0 +1,79 @@
+#include "baselines/gbr6_volume.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "baselines/descreening.hpp"
+#include "core/analytic.hpp"
+#include "core/naive.hpp"
+#include "nblist/cell_list.hpp"
+#include "support/timer.hpp"
+
+namespace gbpol::baselines {
+
+BaselineResult run_gbr6_volume(std::span<const Atom> atoms,
+                               const BaselineOptions& options) {
+  BaselineResult result;
+  WallTimer wall;
+  ThreadCpuTimer cpu;
+  const std::size_t n = atoms.size();
+  result.born_radii.assign(n, 0.0);
+
+  std::vector<Vec3> pos(n);
+  for (std::size_t i = 0; i < n; ++i) pos[i] = atoms[i].pos;
+
+  const double offset = options.dielectric_offset;
+  const double scale = options.descreen_scale;
+  const double cut2 = options.cutoff > 0.0 ? options.cutoff * options.cutoff : 0.0;
+
+  auto descreen = [&](std::size_t i, std::size_t j, double& sum) {
+    const double rho_i = std::max(atoms[i].radius - offset, 0.1);
+    const double rho_j = std::max(atoms[j].radius - offset, 0.1);
+    const double d = distance(atoms[i].pos, atoms[j].pos);
+    sum += analytic::clipped_ball_r6_integral(d, scale * rho_j, rho_i);
+  };
+
+  std::vector<double> sums(n, 0.0);
+  if (options.cutoff > 0.0) {
+    const nblist::CellList cells(pos, options.cutoff);
+    for (std::size_t i = 0; i < n; ++i) {
+      cells.for_candidates(pos[i], [&](std::uint32_t j) {
+        if (j == i) return;
+        if (distance2(pos[i], pos[j]) <= cut2) descreen(i, j, sums[i]);
+      });
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != i) descreen(i, j, sums[i]);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rho_t = std::max(atoms[i].radius - offset, 0.1);
+    const double inv_r3 =
+        1.0 / (rho_t * rho_t * rho_t) - 3.0 * sums[i] / (4.0 * std::numbers::pi);
+    constexpr double kMinInv3 =
+        1.0 / (kBornRadiusMax * kBornRadiusMax * kBornRadiusMax);
+    const double r = std::pow(std::max(inv_r3, kMinInv3), -1.0 / 3.0);
+    result.born_radii[i] = std::clamp(r, rho_t, kBornRadiusMax);
+  }
+
+  result.energy =
+      cutoff_epol(atoms, result.born_radii, options.constants, options.cutoff);
+
+  result.compute_seconds = cpu.seconds();
+  result.wall_seconds = wall.seconds();
+  result.memory_bytes = n * (sizeof(Atom) + 2 * sizeof(double));
+  if (options.cutoff > 0.0) {
+    constexpr double kDensity = 0.11;
+    const double pairs_per_atom = 0.5 * 4.0 / 3.0 * std::numbers::pi *
+                                  options.cutoff * options.cutoff * options.cutoff *
+                                  kDensity;
+    result.memory_bytes +=
+        static_cast<std::size_t>(static_cast<double>(n) * pairs_per_atom) * 4;
+  }
+  return result;
+}
+
+}  // namespace gbpol::baselines

@@ -1,0 +1,17 @@
+// Volume-based r^6 GB — the GBr6 stand-in (Tjong & Zhou 2007; paper Table
+// II: serial, STILL energy model). Where the octree algorithms integrate
+// 1/|r-x|^6 over the molecular SURFACE (Eq. 4), GBr6 integrates over the
+// solvent VOLUME, approximated here by exact pairwise ball descreening:
+//   1/R_i^3 = 1/rho~_i^3 - (3/4pi) sum_j S * I6(d_ij, S*rho~_j, clip rho~_i)
+// with the closed-form clipped-ball integral of core/analytic.hpp. Serial,
+// as in the paper.
+#pragma once
+
+#include "baselines/gb_common.hpp"
+
+namespace gbpol::baselines {
+
+BaselineResult run_gbr6_volume(std::span<const Atom> atoms,
+                               const BaselineOptions& options);
+
+}  // namespace gbpol::baselines

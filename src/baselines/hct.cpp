@@ -1,0 +1,23 @@
+#include "baselines/hct.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "baselines/descreening.hpp"
+#include "core/naive.hpp"
+
+namespace gbpol::baselines {
+
+BaselineResult run_hct(std::span<const Atom> atoms, const BaselineOptions& options) {
+  const double offset = options.dielectric_offset;
+  return run_descreening_distributed(
+      atoms, options, [offset](double i4_sum, double rho) {
+        const double rho_t = std::max(rho - offset, 0.1);
+        const double inv_r = 1.0 / rho_t - i4_sum / (4.0 * std::numbers::pi);
+        const double r = inv_r > 1.0 / kBornRadiusMax ? 1.0 / inv_r : kBornRadiusMax;
+        return std::clamp(r, rho_t, kBornRadiusMax);
+      });
+}
+
+}  // namespace gbpol::baselines

@@ -1,0 +1,17 @@
+// HCT (Hawkins-Cramer-Truhlar) pairwise-descreening GB — the model behind
+// Amber 12's and Gromacs 4.5.3's GB implementations (paper Table II). Born
+// radii come from the Coulomb-field r^4 volume integral approximated by
+// overlap-scaled pairwise descreening:
+//   1/R_i = 1/rho~_i - (1/4pi) * sum_j I4(d_ij, S*rho~_j, clipped at rho~_i)
+// with rho~ = rho - dielectric_offset. Energy is the Still pair sum with a
+// cutoff, distributed over mpisim ranks with atom-based division — the
+// traditional packages' parallel scheme.
+#pragma once
+
+#include "baselines/gb_common.hpp"
+
+namespace gbpol::baselines {
+
+BaselineResult run_hct(std::span<const Atom> atoms, const BaselineOptions& options);
+
+}  // namespace gbpol::baselines

@@ -1,0 +1,16 @@
+// OBC (Onufriev-Bashford-Case) GB — the model behind NAMD 2.9's GB
+// implementation (paper Table II). Same pairwise descreening sums as HCT,
+// fed through the OBC-II tanh rescaling:
+//   Psi   = rho~_i * I4_sum / (4 pi)
+//   1/R_i = 1/rho~_i - tanh(a*Psi - b*Psi^2 + g*Psi^3) / rho_i,
+//   (a, b, g) = (1.0, 0.8, 4.85)
+// which keeps deeply buried atoms' radii from overshooting.
+#pragma once
+
+#include "baselines/gb_common.hpp"
+
+namespace gbpol::baselines {
+
+BaselineResult run_obc(std::span<const Atom> atoms, const BaselineOptions& options);
+
+}  // namespace gbpol::baselines

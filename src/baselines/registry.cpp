@@ -1,0 +1,28 @@
+#include "baselines/registry.hpp"
+
+namespace gbpol::baselines {
+namespace {
+
+constexpr PackageInfo kPackages[] = {
+    {"oct_cilk", "OCT_CILK", "STILL", "Shared (work stealing)"},
+    {"oct_mpi", "OCT_MPI", "STILL", "Distributed (mpisim)"},
+    {"oct_hybrid", "OCT_MPI+CILK", "STILL", "Distributed+Shared (hybrid)"},
+    {"naive", "Naive", "STILL", "Serial"},
+    {"hct_amber", "Amber 12", "HCT", "Distributed (mpisim)"},
+    {"hct_gromacs", "Gromacs 4.5.3", "HCT", "Distributed (mpisim)"},
+    {"obc_namd", "NAMD 2.9", "OBC", "Distributed (mpisim)"},
+    {"still_tinker", "Tinker 6.0", "STILL", "Shared (work stealing)"},
+    {"gbr6", "GBr6", "STILL", "Serial"},
+};
+
+}  // namespace
+
+std::span<const PackageInfo> package_table() { return kPackages; }
+
+const PackageInfo* find_package(std::string_view name) {
+  for (const PackageInfo& info : kPackages)
+    if (info.name == name) return &info;
+  return nullptr;
+}
+
+}  // namespace gbpol::baselines

@@ -1,0 +1,24 @@
+// Package registry — the contents of the paper's Table II: every compared
+// implementation with its GB model and parallelism class, mapped to the
+// module in this repository that stands in for it.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace gbpol::baselines {
+
+struct PackageInfo {
+  std::string_view name;         // harness identifier
+  std::string_view paper_name;   // package in the paper's Table II
+  std::string_view gb_model;     // HCT / OBC / STILL
+  std::string_view parallelism;  // Serial / Shared / Distributed / Hybrid
+};
+
+// All packages, octree drivers first (same order as Table II's two blocks).
+std::span<const PackageInfo> package_table();
+
+// Lookup by harness identifier; nullptr if unknown.
+const PackageInfo* find_package(std::string_view name);
+
+}  // namespace gbpol::baselines

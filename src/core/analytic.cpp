@@ -1,0 +1,81 @@
+#include "core/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace gbpol::analytic {
+namespace {
+
+// Antiderivative of the partial-shell integrand:
+//   d/ds F(s) = s^-5 * (b^2 - (d-s)^2)
+//             = s^-5 * (-(d^2-b^2) + 2 d s - s^2)
+//   F(s) = (d^2-b^2)/(4 s^4) - 2 d/(3 s^3) + 1/(2 s^2).
+double partial_shell_antiderivative(double s, double d, double b) {
+  const double k = d * d - b * b;
+  const double s2 = s * s;
+  return k / (4.0 * s2 * s2) - 2.0 * d / (3.0 * s2 * s) + 1.0 / (2.0 * s2);
+}
+
+}  // namespace
+
+double exterior_r6_integral(double d, double b) {
+  const double diff = b * b - d * d;  // > 0 for an interior point
+  const double term1 = 1.0 / (diff * diff);
+  const double term2 = (b * b + 3.0 * d * d) / (3.0 * diff * diff * diff);
+  return std::numbers::pi * b * (term1 + term2);
+}
+
+double born_radius_in_sphere(double d, double b) {
+  const double a = exterior_r6_integral(d, b);
+  return std::pow(3.0 * a / (4.0 * std::numbers::pi), -1.0 / 3.0);
+}
+
+double clipped_ball_r6_integral(double d, double b, double s_lo) {
+  if (b <= 0.0) return 0.0;
+  const double s_hi = d + b;
+  if (s_lo >= s_hi) return 0.0;
+
+  double result = 0.0;
+  // Full shells: spheres around p lying entirely inside the ball exist for
+  // s < b - d (only when p is inside the ball).
+  const double full_end = b - d;
+  if (s_lo < full_end) {
+    // integral of 4*pi*s^2 * s^-6 ds = 4*pi * [-1/(3 s^3)]
+    const double lo = std::max(s_lo, 1e-12);  // p on a ball point: integrable? no — diverges; callers clip with s_lo > 0
+    result += 4.0 * std::numbers::pi / 3.0 * (1.0 / (lo * lo * lo) - 1.0 / (full_end * full_end * full_end));
+  }
+  // Partial shells for s in [max(s_lo, |d-b|), d+b].
+  const double part_lo = std::max(s_lo, std::abs(d - b));
+  if (part_lo < s_hi && d > 0.0) {
+    const double integral = partial_shell_antiderivative(s_hi, d, b) -
+                            partial_shell_antiderivative(part_lo, d, b);
+    result += std::numbers::pi / d * integral;
+  }
+  return result;
+}
+
+double clipped_ball_r4_integral(double d, double b, double s_lo) {
+  if (b <= 0.0) return 0.0;
+  const double s_hi = d + b;
+  if (s_lo >= s_hi) return 0.0;
+
+  double result = 0.0;
+  const double full_end = b - d;
+  if (s_lo < full_end) {
+    // integral of 4*pi*s^2 * s^-4 ds = 4*pi * [-1/s]' -> 4*pi*(1/lo - 1/hi).
+    const double lo = std::max(s_lo, 1e-12);
+    result += 4.0 * std::numbers::pi * (1.0 / lo - 1.0 / full_end);
+  }
+  const double part_lo = std::max(s_lo, std::abs(d - b));
+  if (part_lo < s_hi && d > 0.0) {
+    // Antiderivative of s^-3 * (b^2 - (d-s)^2) = -(d^2-b^2) s^-3 + 2d s^-2 - s^-1:
+    //   G(s) = (d^2-b^2)/(2 s^2) - 2 d / s - ln(s).
+    const double k = d * d - b * b;
+    auto g = [&](double s) { return k / (2.0 * s * s) - 2.0 * d / s - std::log(s); };
+    result += std::numbers::pi / d * (g(s_hi) - g(part_lo));
+  }
+  return result;
+}
+
+}  // namespace gbpol::analytic

@@ -1,0 +1,40 @@
+// Closed-form r^6 integrals.
+//
+// These serve two purposes:
+//  * ground truth for the library's property tests (a sphere is the one
+//    geometry where Eq. (4) has an exact answer), and
+//  * the analytic pairwise descreening kernel of the GBr6-style volume-based
+//    baseline (baselines/gbr6_volume.*).
+//
+// All derivations use the radial shell decomposition: for a field point p at
+// distance d from the center of a ball of radius b, the sphere of radius s
+// around p intersects the ball in a cap of area (pi*s/d)*(b^2 - (d-s)^2) for
+// |d-b| <= s <= d+b (full shell 4*pi*s^2 when s < b-d), which reduces every
+// integral of f(|r-p|) over ball/exterior regions to 1D integrals with
+// elementary antiderivatives.
+#pragma once
+
+namespace gbpol::analytic {
+
+// Integral of 1/|r-p|^6 over the EXTERIOR of a ball of radius b, for a field
+// point p at distance d < b from the center:
+//   A(d,b) = pi*b * [ 1/(b^2-d^2)^2 + (b^2+3d^2) / (3*(b^2-d^2)^3) ].
+// A(0,b) = 4*pi/(3 b^3).
+double exterior_r6_integral(double d, double b);
+
+// Exact r^6 Born radius of a point charge at distance d from the center of
+// a spherical solute of radius b (d < b):  R = (3*A/(4*pi))^(-1/3).
+double born_radius_in_sphere(double d, double b);
+
+// Integral of 1/|r-p|^6 over the part of a ball (center distance d, radius
+// b) that lies FARTHER than s_lo from the field point p. Handles every
+// configuration: p outside (d > b), overlapping (|d-b| < s_lo), and p inside
+// the ball (d < b). This is the descreening kernel: atom j's ball, clipped
+// to the region outside atom i's own radius s_lo.
+double clipped_ball_r6_integral(double d, double b, double s_lo);
+
+// Same region, 1/|r-p|^4 integrand — the Coulomb-field (HCT/OBC) pairwise
+// descreening kernel of Eq. (3)'s volume form.
+double clipped_ball_r4_integral(double d, double b, double s_lo);
+
+}  // namespace gbpol::analytic

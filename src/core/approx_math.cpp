@@ -1,0 +1,32 @@
+#include "core/approx_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbpol {
+
+double fast_rsqrt_max_rel_error(double lo, double hi, int samples) {
+  double worst = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) / std::max(1, samples - 1);
+    const double x = lo + (hi - lo) * t;
+    if (x <= 0.0) continue;
+    const double exact = 1.0 / std::sqrt(x);
+    worst = std::max(worst, std::abs(fast_rsqrt(x) - exact) / exact);
+  }
+  return worst;
+}
+
+double fast_exp_max_rel_error(double lo, double hi, int samples) {
+  double worst = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) / std::max(1, samples - 1);
+    const double x = lo + (hi - lo) * t;
+    const double exact = std::exp(x);
+    if (exact == 0.0) continue;
+    worst = std::max(worst, std::abs(fast_exp(x) - exact) / exact);
+  }
+  return worst;
+}
+
+}  // namespace gbpol

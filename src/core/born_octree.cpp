@@ -1,0 +1,237 @@
+#include "core/born_octree.hpp"
+
+#include <cassert>
+
+#include "core/naive.hpp"
+
+namespace gbpol {
+namespace {
+
+// Surface-integral kernel (p - x).n / |p - x|^Power with the distance-square
+// already computed; Power is 6 (Eq. 4) or 4 (Eq. 3).
+template <int Power>
+double kernel_term(const Vec3& wn, const Vec3& diff, double d2) {
+  static_assert(Power == 4 || Power == 6);
+  const double inv2 = 1.0 / d2;
+  if constexpr (Power == 6) {
+    return dot(wn, diff) * inv2 * inv2 * inv2;
+  } else {
+    return dot(wn, diff) * inv2 * inv2;
+  }
+}
+
+// First-order (dipole) correction: contraction of the node moment tensor
+// M = sum w n (x) (p - c) with the kernel Jacobian at the centroid,
+//   J_ab = d_ab / d^P - P diff_a diff_b / d^(P+2),
+// giving tr(M)/d^P - P (diff^T M diff)/d^(P+2).
+template <int Power>
+double dipole_term(const Mat3& moment, const Vec3& diff, double d2) {
+  const double inv2 = 1.0 / d2;
+  double inv_p;  // 1/d^Power
+  if constexpr (Power == 6) {
+    inv_p = inv2 * inv2 * inv2;
+  } else {
+    inv_p = inv2 * inv2;
+  }
+  return moment.trace() * inv_p -
+         static_cast<double>(Power) * quadratic_form(moment, diff) * inv_p * inv2;
+}
+
+}  // namespace
+
+void BornAccumulator::add(const BornAccumulator& other) {
+  assert(data_.size() == other.data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+bool BornSolver::is_far(const OctreeNode& a, const OctreeNode& q) const {
+  const double d2 = distance2(a.centroid, q.centroid);
+  const double reach = (a.radius + q.radius) * far_multiplier_;
+  return d2 > reach * reach;
+}
+
+template <int Power, bool Dipole>
+void BornSolver::approx_integrals(std::uint32_t atom_node_id, std::uint32_t q_leaf_id,
+                                  BornAccumulator& acc) const {
+  const Octree& atoms = prep_->atoms_tree;
+  const OctreeNode& a = atoms.node(atom_node_id);
+  const OctreeNode& q = prep_->q_tree.node(q_leaf_id);
+
+  if (is_far(a, q)) {
+    // Far enough: one aggregated term for ALL atoms under A (Fig. 2 line 1).
+    const Vec3 diff = q.centroid - a.centroid;
+    const double d2 = norm2(diff);
+    double term = kernel_term<Power>(prep_->node_weighted_normal[q_leaf_id], diff, d2);
+    if constexpr (Dipole) {
+      term += dipole_term<Power>(prep_->node_moment[q_leaf_id], diff, d2);
+    }
+    acc.node_s(atom_node_id) += term;
+    return;
+  }
+  if (a.is_leaf()) {
+    // Too close to approximate: exact per-atom terms (Fig. 2 line 2).
+    for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
+      const Vec3 x = atoms.point(ai);
+      double s = 0.0;
+      for (std::uint32_t qi = q.begin; qi < q.end; ++qi) {
+        const Vec3 diff = prep_->q_tree.point(qi) - x;
+        const double d2 = norm2(diff);
+        if (d2 <= 0.0) continue;
+        s += kernel_term<Power>(prep_->weighted_normal[qi], diff, d2);
+      }
+      acc.atom_s(ai) += s;
+    }
+    return;
+  }
+  for (std::uint8_t c = 0; c < a.child_count; ++c)
+    approx_integrals<Power, Dipole>(static_cast<std::uint32_t>(a.first_child) + c,
+                                    q_leaf_id, acc);
+}
+
+void BornSolver::accumulate_qleaf_range(std::uint32_t leaf_lo, std::uint32_t leaf_hi,
+                                        BornAccumulator& acc) const {
+  const auto leaves = prep_->q_tree.leaves();
+  auto sweep = [&](auto run_leaf) {
+    for (std::uint32_t i = leaf_lo; i < leaf_hi; ++i) run_leaf(leaves[i]);
+  };
+  if (kernel_ == RadiusKernel::kR6) {
+    if (dipole_)
+      sweep([&](std::uint32_t leaf) { approx_integrals<6, true>(0, leaf, acc); });
+    else
+      sweep([&](std::uint32_t leaf) { approx_integrals<6, false>(0, leaf, acc); });
+  } else {
+    if (dipole_)
+      sweep([&](std::uint32_t leaf) { approx_integrals<4, true>(0, leaf, acc); });
+    else
+      sweep([&](std::uint32_t leaf) { approx_integrals<4, false>(0, leaf, acc); });
+  }
+}
+
+template <int Power, bool Dipole>
+void BornSolver::dual_subtree(std::uint32_t atom_node_id, std::uint32_t q_node_id,
+                              BornAccumulator& acc) const {
+  const OctreeNode& a = prep_->atoms_tree.node(atom_node_id);
+  const OctreeNode& q = prep_->q_tree.node(q_node_id);
+
+  if (is_far(a, q)) {
+    const Vec3 diff = q.centroid - a.centroid;
+    const double d2 = norm2(diff);
+    double term = kernel_term<Power>(prep_->node_weighted_normal[q_node_id], diff, d2);
+    if constexpr (Dipole) {
+      term += dipole_term<Power>(prep_->node_moment[q_node_id], diff, d2);
+    }
+    acc.node_s(atom_node_id) += term;
+    return;
+  }
+  if (a.is_leaf() && q.is_leaf()) {
+    for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
+      const Vec3 x = prep_->atoms_tree.point(ai);
+      double s = 0.0;
+      for (std::uint32_t qi = q.begin; qi < q.end; ++qi) {
+        const Vec3 diff = prep_->q_tree.point(qi) - x;
+        const double d2 = norm2(diff);
+        if (d2 <= 0.0) continue;
+        s += kernel_term<Power>(prep_->weighted_normal[qi], diff, d2);
+      }
+      acc.atom_s(ai) += s;
+    }
+    return;
+  }
+  // Recurse into the side with the larger extent (splitting the bigger node
+  // first shrinks the pair bound fastest); a leaf side cannot split.
+  const bool split_a = !a.is_leaf() && (q.is_leaf() || a.radius >= q.radius);
+  if (split_a) {
+    for (std::uint8_t c = 0; c < a.child_count; ++c)
+      dual_subtree<Power, Dipole>(static_cast<std::uint32_t>(a.first_child) + c,
+                                  q_node_id, acc);
+  } else {
+    for (std::uint8_t c = 0; c < q.child_count; ++c)
+      dual_subtree<Power, Dipole>(atom_node_id,
+                                  static_cast<std::uint32_t>(q.first_child) + c, acc);
+  }
+}
+
+void BornSolver::accumulate_dual_subtree(std::uint32_t atom_node_id,
+                                         std::uint32_t q_node_id,
+                                         BornAccumulator& acc) const {
+  if (kernel_ == RadiusKernel::kR6) {
+    if (dipole_)
+      dual_subtree<6, true>(atom_node_id, q_node_id, acc);
+    else
+      dual_subtree<6, false>(atom_node_id, q_node_id, acc);
+  } else {
+    if (dipole_)
+      dual_subtree<4, true>(atom_node_id, q_node_id, acc);
+    else
+      dual_subtree<4, false>(atom_node_id, q_node_id, acc);
+  }
+}
+
+void BornSolver::accumulate_dual_tree(BornAccumulator& acc) const {
+  if (prep_->atoms_tree.empty() || prep_->q_tree.empty()) return;
+  accumulate_dual_subtree(0, 0, acc);
+}
+
+void BornSolver::push_recursive(const BornAccumulator& acc, std::uint32_t atom_node_id,
+                                double inherited, std::uint32_t atom_lo,
+                                std::uint32_t atom_hi,
+                                std::span<double> born_sorted) const {
+  const OctreeNode& node = prep_->atoms_tree.node(atom_node_id);
+  // Prune subtrees outside the assigned atom segment.
+  if (node.end <= atom_lo || node.begin >= atom_hi) return;
+  const double carried = inherited + acc.node_s(atom_node_id);
+  if (node.is_leaf()) {
+    const std::uint32_t lo = std::max(node.begin, atom_lo);
+    const std::uint32_t hi = std::min(node.end, atom_hi);
+    for (std::uint32_t ai = lo; ai < hi; ++ai) {
+      const double s = acc.atom_s(ai) + carried;
+      born_sorted[ai] =
+          kernel_ == RadiusKernel::kR6
+              ? born_radius_from_integral(s, prep_->intrinsic_radius[ai])
+              : born_radius_from_integral_r4(s, prep_->intrinsic_radius[ai]);
+    }
+    return;
+  }
+  for (std::uint8_t c = 0; c < node.child_count; ++c)
+    push_recursive(acc, static_cast<std::uint32_t>(node.first_child) + c, carried,
+                   atom_lo, atom_hi, born_sorted);
+}
+
+void BornSolver::push_to_atoms(const BornAccumulator& acc, std::uint32_t atom_lo,
+                               std::uint32_t atom_hi,
+                               std::span<double> born_sorted) const {
+  if (prep_->atoms_tree.empty()) return;
+  push_recursive(acc, 0, 0.0, atom_lo, atom_hi, born_sorted);
+}
+
+namespace {
+void count_recursive(const Prepared& prep, double far_mult, std::uint32_t atom_node_id,
+                     std::uint32_t q_leaf_id, BornSolver::TraversalStats& stats) {
+  const OctreeNode& a = prep.atoms_tree.node(atom_node_id);
+  const OctreeNode& q = prep.q_tree.node(q_leaf_id);
+  const double d2 = distance2(a.centroid, q.centroid);
+  const double reach = (a.radius + q.radius) * far_mult;
+  if (d2 > reach * reach) {
+    ++stats.far_terms;
+    return;
+  }
+  if (a.is_leaf()) {
+    stats.exact_pairs += static_cast<std::uint64_t>(a.count()) * q.count();
+    return;
+  }
+  for (std::uint8_t c = 0; c < a.child_count; ++c)
+    count_recursive(prep, far_mult, static_cast<std::uint32_t>(a.first_child) + c,
+                    q_leaf_id, stats);
+}
+}  // namespace
+
+BornSolver::TraversalStats BornSolver::count_qleaf_range(std::uint32_t leaf_lo,
+                                                         std::uint32_t leaf_hi) const {
+  TraversalStats stats;
+  const auto leaves = prep_->q_tree.leaves();
+  for (std::uint32_t i = leaf_lo; i < leaf_hi; ++i)
+    count_recursive(*prep_, far_multiplier_, 0, leaves[i], stats);
+  return stats;
+}
+
+}  // namespace gbpol

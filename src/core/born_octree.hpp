@@ -1,0 +1,112 @@
+// Octree-based r^6 Born-radius approximation (Fig. 2 of the paper).
+//
+// Two traversal strategies are provided:
+//
+//  * Single-tree (APPROX-INTEGRALS): the modified algorithm of the paper —
+//    for each LEAF Q of the quadrature-point octree, traverse the atoms
+//    octree; far (A, Q) pairs deposit one aggregated term into s_A, near
+//    leaf pairs compute exact per-atom terms. This is the algorithm the
+//    distributed drivers divide by Q-leaf segments (node-based division).
+//
+//  * Dual-tree (the prior shared-memory algorithm of [6]/[7], used by
+//    OCT_CILK): both octrees are traversed simultaneously from their roots,
+//    so far-field aggregation also happens at INTERNAL quadrature nodes.
+//
+// Both deposit into a BornAccumulator (per-node s_A + per-atom s_a), which
+// PUSH-INTEGRALS-TO-ATOMS then resolves top-down into Born radii:
+//   R_a = clamp( ((s_a + sum of ancestor s_A) / 4pi)^(-1/3), r_a, R_max ).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/prepared.hpp"
+
+namespace gbpol {
+
+// Partial-integral accumulator. Stored as ONE flat buffer (nodes first, then
+// atoms) so the distributed drivers can allreduce it in a single collective
+// (Fig. 4 step 3).
+class BornAccumulator {
+ public:
+  BornAccumulator() = default;
+  BornAccumulator(std::size_t num_nodes, std::size_t num_atoms)
+      : num_nodes_(num_nodes), data_(num_nodes + num_atoms, 0.0) {}
+
+  double& node_s(std::uint32_t node_id) { return data_[node_id]; }
+  double node_s(std::uint32_t node_id) const { return data_[node_id]; }
+  double& atom_s(std::uint32_t sorted_slot) { return data_[num_nodes_ + sorted_slot]; }
+  double atom_s(std::uint32_t sorted_slot) const { return data_[num_nodes_ + sorted_slot]; }
+
+  std::span<double> flat() { return data_; }
+  std::span<const double> flat() const { return data_; }
+
+  void clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+  // Element-wise merge (used to fold per-worker accumulators, in worker
+  // order, before the cross-rank allreduce).
+  void add(const BornAccumulator& other);
+
+ private:
+  std::size_t num_nodes_ = 0;
+  std::vector<double> data_;
+};
+
+class BornSolver {
+ public:
+  BornSolver(const Prepared& prep, const ApproxParams& params)
+      : prep_(&prep),
+        far_multiplier_(params.born_far_multiplier()),
+        kernel_(params.radius_kernel),
+        dipole_(params.born_dipole_correction) {}
+
+  BornAccumulator make_accumulator() const {
+    return BornAccumulator(prep_->atoms_tree.nodes().size(), prep_->num_atoms());
+  }
+
+  // Single-tree pass: APPROX-INTEGRALS for every quadrature-tree leaf with
+  // index in [leaf_lo, leaf_hi) (indices into q_tree.leaves()).
+  void accumulate_qleaf_range(std::uint32_t leaf_lo, std::uint32_t leaf_hi,
+                              BornAccumulator& acc) const;
+
+  // Dual-tree pass over the full trees (OCT_CILK algorithm), serial.
+  void accumulate_dual_tree(BornAccumulator& acc) const;
+  // Dual-tree restricted to one atoms-subtree (used for parallel spawns:
+  // distinct atom subtrees write disjoint accumulator entries).
+  void accumulate_dual_subtree(std::uint32_t atom_node, std::uint32_t q_node,
+                               BornAccumulator& acc) const;
+
+  // PUSH-INTEGRALS-TO-ATOMS for sorted atom slots in [atom_lo, atom_hi);
+  // writes R into born_sorted (atoms_tree order, full-size span).
+  void push_to_atoms(const BornAccumulator& acc, std::uint32_t atom_lo,
+                     std::uint32_t atom_hi, std::span<double> born_sorted) const;
+
+  // Number of (node|leaf)-level interactions the last-configured criterion
+  // would make far vs exact — exposed for tests/ablation via traversal
+  // statistics.
+  struct TraversalStats {
+    std::uint64_t far_terms = 0;
+    std::uint64_t exact_pairs = 0;
+  };
+  TraversalStats count_qleaf_range(std::uint32_t leaf_lo, std::uint32_t leaf_hi) const;
+
+ private:
+  template <int Power, bool Dipole>
+  void approx_integrals(std::uint32_t atom_node, std::uint32_t q_leaf,
+                        BornAccumulator& acc) const;
+  template <int Power, bool Dipole>
+  void dual_subtree(std::uint32_t atom_node, std::uint32_t q_node,
+                    BornAccumulator& acc) const;
+  void push_recursive(const BornAccumulator& acc, std::uint32_t atom_node,
+                      double inherited, std::uint32_t atom_lo, std::uint32_t atom_hi,
+                      std::span<double> born_sorted) const;
+  bool is_far(const OctreeNode& a, const OctreeNode& q) const;
+
+  const Prepared* prep_;
+  double far_multiplier_;
+  RadiusKernel kernel_;
+  bool dipole_;
+};
+
+}  // namespace gbpol

@@ -1,0 +1,317 @@
+#include "core/distributed_data.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/born_octree.hpp"
+#include "core/naive.hpp"
+#include "mpisim/runtime.hpp"
+#include "support/timer.hpp"
+
+namespace gbpol {
+namespace {
+
+// Binning identical to EpolSolver's (verified by the cross-driver energy
+// equality test): geometric bins of width (1+eps) starting at r_min.
+struct BinModel {
+  double r_min = 1.0;
+  double log1p_eps = 1.0;
+  int m_bins = 1;
+  std::vector<double> rr_table;  // r_min^2 (1+eps)^(i+j)
+
+  BinModel(double rmin, double rmax, double eps) {
+    r_min = rmin;
+    log1p_eps = std::log1p(eps);
+    m_bins = std::max(1, 1 + static_cast<int>(std::floor(std::log(rmax / rmin) /
+                                                         log1p_eps)));
+    rr_table.resize(static_cast<std::size_t>(2 * m_bins - 1));
+    for (std::size_t k = 0; k < rr_table.size(); ++k)
+      rr_table[k] = rmin * rmin * std::exp(static_cast<double>(k) * log1p_eps);
+  }
+
+  int bin_of(double r) const {
+    const int k = static_cast<int>(std::floor(std::log(r / r_min) / log1p_eps));
+    return std::clamp(k, 0, m_bins - 1);
+  }
+};
+
+struct LeafOwnership {
+  Segment leaf_seg;                 // owned leaf ordinals
+  std::uint32_t atom_lo = 0;        // owned sorted-atom range
+  std::uint32_t atom_hi = 0;
+};
+
+LeafOwnership ownership(const Octree& tree, int ranks, int rank) {
+  LeafOwnership own;
+  own.leaf_seg = even_segment(tree.leaves().size(), ranks, rank);
+  if (own.leaf_seg.count() > 0) {
+    own.atom_lo = tree.node(tree.leaves()[own.leaf_seg.lo]).begin;
+    own.atom_hi = tree.node(tree.leaves()[own.leaf_seg.hi - 1]).end;
+  }
+  return own;
+}
+
+// Collects the NEAR leaves a traversal for leaf V will read exactly.
+void collect_near_leaves(const Octree& tree, double far_mult, std::uint32_t u_node,
+                         const OctreeNode& v, std::unordered_set<std::uint32_t>& out) {
+  const OctreeNode& u = tree.node(u_node);
+  if (u.is_leaf()) {
+    out.insert(u_node);
+    return;
+  }
+  const double d2 = distance2(u.centroid, v.centroid);
+  const double reach = (u.radius + v.radius) * far_mult;
+  if (d2 > reach * reach) return;  // served by the allreduced bins
+  for (std::uint8_t c = 0; c < u.child_count; ++c)
+    collect_near_leaves(tree, far_mult, static_cast<std::uint32_t>(u.first_child) + c,
+                        v, out);
+}
+
+double epol_recurse(const Octree& tree, const BinModel& bins,
+                    std::span<const double> node_bins, std::span<const double> charge,
+                    std::span<const double> born, double far_mult,
+                    std::uint32_t u_node, std::uint32_t v_leaf) {
+  const OctreeNode& u = tree.node(u_node);
+  const OctreeNode& v = tree.node(v_leaf);
+  if (u.is_leaf()) {
+    double sum = 0.0;
+    for (std::uint32_t ui = u.begin; ui < u.end; ++ui) {
+      const Vec3 pu = tree.point(ui);
+      const double ru = born[ui];
+      double inner = 0.0;
+      for (std::uint32_t vi = v.begin; vi < v.end; ++vi) {
+        const double r2 = distance2(pu, tree.point(vi));
+        const double rr = ru * born[vi];
+        inner += charge[vi] / std::sqrt(r2 + rr * std::exp(-r2 / (4.0 * rr)));
+      }
+      sum += charge[ui] * inner;
+    }
+    return sum;
+  }
+  const double d2 = distance2(u.centroid, v.centroid);
+  const double reach = (u.radius + v.radius) * far_mult;
+  if (d2 > reach * reach) {
+    const double* ub = node_bins.data() + static_cast<std::size_t>(u_node) * bins.m_bins;
+    const double* vb = node_bins.data() + static_cast<std::size_t>(v_leaf) * bins.m_bins;
+    double sum = 0.0;
+    for (int i = 0; i < bins.m_bins; ++i) {
+      if (ub[i] == 0.0) continue;
+      double inner = 0.0;
+      for (int j = 0; j < bins.m_bins; ++j) {
+        if (vb[j] == 0.0) continue;
+        const double rr = bins.rr_table[static_cast<std::size_t>(i + j)];
+        inner += vb[j] / std::sqrt(d2 + rr * std::exp(-d2 / (4.0 * rr)));
+      }
+      sum += ub[i] * inner;
+    }
+    return sum;
+  }
+  double sum = 0.0;
+  for (std::uint8_t c = 0; c < u.child_count; ++c)
+    sum += epol_recurse(tree, bins, node_bins, charge, born, far_mult,
+                        static_cast<std::uint32_t>(u.first_child) + c, v_leaf);
+  return sum;
+}
+
+}  // namespace
+
+DataDistResult run_oct_data_distributed(const Prepared& prep, const ApproxParams& params,
+                                        const GBConstants& constants,
+                                        const RunConfig& config) {
+  DataDistResult result;
+  const int P = std::max(1, config.ranks);
+  const Octree& tree = prep.atoms_tree;
+  const auto leaves = tree.leaves();
+  const std::size_t n_atoms = prep.num_atoms();
+  const std::size_t n_nodes = tree.nodes().size();
+
+  const BornSolver born_solver(prep, params);
+  const double epol_far_mult = params.epol_far_multiplier();
+
+  double energy_shared = 0.0;
+  std::vector<std::size_t> payload_bytes(static_cast<std::size_t>(P), 0);
+  std::vector<std::uint64_t> ghost_counts(static_cast<std::size_t>(P), 0);
+
+  mpisim::Runtime::Config rt;
+  rt.ranks = P;
+  rt.threads_per_rank = 1;
+  rt.cluster = config.cluster;
+
+  const auto report = mpisim::Runtime::run(rt, [&](mpisim::Comm& comm) {
+    const int r = comm.rank();
+    const LeafOwnership own = ownership(tree, P, r);
+
+    // ---- 1. Born radii for OWNED atoms only (leaf-local accumulation).
+    std::vector<double> born(n_atoms, 0.0);  // only [atom_lo, atom_hi) valid
+    {
+      mpisim::Comm::ComputeRegion region(comm);
+      BornAccumulator acc = born_solver.make_accumulator();
+      for (std::uint32_t l = own.leaf_seg.lo; l < own.leaf_seg.hi; ++l)
+        born_solver.accumulate_dual_subtree(leaves[l], 0, acc);
+      born_solver.push_to_atoms(acc, own.atom_lo, own.atom_hi, born);
+    }
+
+    // ---- 2. Global Born-radius extremes (2 doubles instead of M).
+    double rmin[1] = {kBornRadiusMax}, rmax[1] = {0.0};
+    for (std::uint32_t i = own.atom_lo; i < own.atom_hi; ++i) {
+      rmin[0] = std::min(rmin[0], born[i]);
+      rmax[0] = std::max(rmax[0], born[i]);
+    }
+    comm.allreduce_min(rmin);
+    comm.allreduce_max(rmax);
+    const BinModel bins(rmin[0], std::max(rmax[0], rmin[0]), params.eps_epol);
+
+    // ---- 3. Node bins: own contributions, then one small allreduce.
+    std::vector<double> node_bins(n_nodes * static_cast<std::size_t>(bins.m_bins), 0.0);
+    {
+      mpisim::Comm::ComputeRegion region(comm);
+      for (std::size_t id = 0; id < n_nodes; ++id) {
+        const OctreeNode& node = tree.node(static_cast<std::uint32_t>(id));
+        const std::uint32_t lo = std::max(node.begin, own.atom_lo);
+        const std::uint32_t hi = std::min(node.end, own.atom_hi);
+        double* b = node_bins.data() + id * static_cast<std::size_t>(bins.m_bins);
+        for (std::uint32_t ai = lo; ai < hi; ++ai)
+          b[static_cast<std::size_t>(bins.bin_of(born[ai]))] += prep.charge[ai];
+      }
+    }
+    comm.allreduce_sum(node_bins);
+
+    // ---- 4a. Determine ghost leaves (near leaves not owned by this rank).
+    std::unordered_set<std::uint32_t> near;
+    {
+      mpisim::Comm::ComputeRegion region(comm);
+      for (std::uint32_t l = own.leaf_seg.lo; l < own.leaf_seg.hi; ++l)
+        collect_near_leaves(tree, epol_far_mult, 0, tree.node(leaves[l]), near);
+    }
+    // Leaf ordinal lookup (node id -> position in leaves[]).
+    std::vector<std::uint32_t> requests_for_rank_flat;
+    std::vector<std::uint64_t> request_counts(static_cast<std::size_t>(P), 0);
+    {
+      // leaves[] is sorted by node begin; find each near leaf's ordinal by
+      // binary search on its begin offset.
+      auto ordinal_of = [&](std::uint32_t node_id) {
+        const std::uint32_t begin = tree.node(node_id).begin;
+        const auto it = std::lower_bound(
+            leaves.begin(), leaves.end(), begin,
+            [&](std::uint32_t id, std::uint32_t b) { return tree.node(id).begin < b; });
+        return static_cast<std::uint32_t>(it - leaves.begin());
+      };
+      std::vector<std::vector<std::uint32_t>> per_rank(static_cast<std::size_t>(P));
+      for (const std::uint32_t node_id : near) {
+        const std::uint32_t ord = ordinal_of(node_id);
+        if (ord >= own.leaf_seg.lo && ord < own.leaf_seg.hi) continue;  // own
+        // Owner: the rank whose leaf segment contains `ord`.
+        for (int s = 0; s < P; ++s) {
+          const Segment seg = even_segment(leaves.size(), P, s);
+          if (ord >= seg.lo && ord < seg.hi) {
+            per_rank[static_cast<std::size_t>(s)].push_back(node_id);
+            break;
+          }
+        }
+      }
+      for (int s = 0; s < P; ++s) {
+        request_counts[static_cast<std::size_t>(s)] =
+            per_rank[static_cast<std::size_t>(s)].size();
+        requests_for_rank_flat.insert(requests_for_rank_flat.end(),
+                                      per_rank[static_cast<std::size_t>(s)].begin(),
+                                      per_rank[static_cast<std::size_t>(s)].end());
+      }
+      // Send requests: count first, then ids (buffered sends cannot deadlock).
+      std::size_t offset = 0;
+      for (int s = 0; s < P; ++s) {
+        if (s == r) continue;
+        const std::uint64_t count = request_counts[static_cast<std::size_t>(s)];
+        comm.send<std::uint64_t>({&count, 1}, s, /*tag=*/100);
+        if (count > 0)
+          comm.send<std::uint32_t>({requests_for_rank_flat.data() + offset,
+                                    static_cast<std::size_t>(count)},
+                                   s, /*tag=*/101);
+        offset += count;
+      }
+    }
+
+    // ---- 4b. Serve peers' requests with packed (charge, R) payloads.
+    std::uint64_t my_ghosts = 0;
+    for (int s = 0; s < P; ++s) {
+      if (s == r) continue;
+      std::uint64_t count = 0;
+      comm.recv<std::uint64_t>({&count, 1}, s, 100);
+      std::vector<std::uint32_t> wanted(count);
+      if (count > 0) comm.recv<std::uint32_t>(wanted, s, 101);
+      std::vector<double> packed;
+      for (const std::uint32_t node_id : wanted) {
+        const OctreeNode& leaf = tree.node(node_id);
+        for (std::uint32_t ai = leaf.begin; ai < leaf.end; ++ai) {
+          packed.push_back(prep.charge[ai]);
+          packed.push_back(born[ai]);
+        }
+      }
+      const std::uint64_t doubles = packed.size();
+      comm.send<std::uint64_t>({&doubles, 1}, s, 102);
+      if (doubles > 0) comm.send<double>(packed, s, 103);
+    }
+
+    // ---- 4c. Receive ghost payloads and scatter into the local arrays.
+    std::vector<double> charge(n_atoms, 0.0);
+    for (std::uint32_t i = own.atom_lo; i < own.atom_hi; ++i) charge[i] = prep.charge[i];
+    {
+      for (int s = 0; s < P; ++s) {
+        if (s == r) continue;
+        std::uint64_t doubles = 0;
+        comm.recv<std::uint64_t>({&doubles, 1}, s, 102);
+        std::vector<double> packed(doubles);
+        if (doubles > 0) comm.recv<double>(packed, s, 103);
+        // Scatter in the same leaf order we requested from rank s.
+        std::size_t cursor = 0;
+        const std::uint64_t count = request_counts[static_cast<std::size_t>(s)];
+        std::size_t flat_base = 0;
+        for (int t = 0; t < s; ++t) flat_base += request_counts[static_cast<std::size_t>(t)];
+        for (std::uint64_t k = 0; k < count; ++k) {
+          const OctreeNode& leaf = tree.node(requests_for_rank_flat[flat_base + k]);
+          for (std::uint32_t ai = leaf.begin; ai < leaf.end; ++ai) {
+            charge[ai] = packed[cursor++];
+            born[ai] = packed[cursor++];
+            ++my_ghosts;
+          }
+        }
+      }
+    }
+
+    // ---- 5. Energy of owned leaves against the tree; reduce to rank 0.
+    double partial[1] = {0.0};
+    {
+      mpisim::Comm::ComputeRegion region(comm);
+      double sum = 0.0;
+      for (std::uint32_t l = own.leaf_seg.lo; l < own.leaf_seg.hi; ++l)
+        sum += epol_recurse(tree, bins, node_bins, charge, born, epol_far_mult, 0,
+                            leaves[l]);
+      partial[0] = -0.5 * constants.tau() * constants.coulomb_kcal * sum;
+    }
+    comm.reduce_sum(partial, 0);
+
+    ghost_counts[static_cast<std::size_t>(r)] = my_ghosts;
+    payload_bytes[static_cast<std::size_t>(r)] =
+        (static_cast<std::size_t>(own.atom_hi - own.atom_lo) + my_ghosts) * 2 *
+        sizeof(double);
+    if (r == 0) {
+      energy_shared = partial[0];
+      result.bins_bytes_per_rank = node_bins.size() * sizeof(double);
+    }
+  });
+
+  result.energy = energy_shared;
+  result.compute_seconds = report.max_compute_seconds();
+  result.comm_seconds = report.max_comm_seconds();
+  result.wall_seconds = report.wall_seconds;
+  result.bytes_sent = report.total_bytes_sent();
+  for (int s = 0; s < P; ++s) {
+    result.payload_bytes_per_rank_max =
+        std::max(result.payload_bytes_per_rank_max, payload_bytes[static_cast<std::size_t>(s)]);
+    result.ghost_atoms_total += ghost_counts[static_cast<std::size_t>(s)];
+  }
+  result.replicated_payload_bytes = n_atoms * 2 * sizeof(double);
+  return result;
+}
+
+}  // namespace gbpol

@@ -1,0 +1,56 @@
+// Data-distributed GB pipeline — the paper's stated future work
+// ("Distributing data as well as computation is also an interesting
+// approach to explore", §VI).
+//
+// Distribution model (per-rank state, vs the replicate-everything scheme of
+// Fig. 4):
+//  * The octree GEOMETRY (node array, point coordinates) and the quadrature
+//    tree are replicated — together they are a few percent of the payload
+//    and every rank needs them to navigate.
+//  * Atom PAYLOADS (charges, Born radii) are distributed: a rank owns the
+//    payloads of the atoms under its leaf segment, nothing else.
+//
+// Pipeline:
+//  1. Born radii: each rank runs the dual-tree accumulation per OWNED leaf
+//     (leaf vs quadrature tree), which deposits only into that leaf's node
+//     slot and its atoms — entirely rank-local; no allreduce of the global
+//     integral array is needed (contrast Fig. 4 step 3).
+//  2. Global R_min/R_max by a 2-double allreduce.
+//  3. Born-binned node charges: each rank bins its own atoms into ALL
+//     ancestors of its leaves, then one allreduce-sum of the (small)
+//     node-bins matrix replaces the allgatherv of all radii (Fig. 4 step 5).
+//  4. Energy: far nodes use the shared bins; near leaf pairs need the
+//     owner's (charge, R) payloads, fetched once per rank pair through a
+//     request/response GHOST EXCHANGE over point-to-point messages.
+//
+// The result: per-rank payload memory is own-segment + ghosts instead of a
+// full copy, and the big collective is gone — at the price of the p2p
+// protocol. bench/ablation_data_distribution quantifies both sides.
+#pragma once
+
+#include "core/drivers.hpp"
+
+namespace gbpol {
+
+struct DataDistResult {
+  double energy = 0.0;
+  double compute_seconds = 0.0;   // modeled makespan, compute part
+  double comm_seconds = 0.0;      // modeled communication
+  double wall_seconds = 0.0;
+  std::size_t payload_bytes_per_rank_max = 0;  // own + ghost payloads (worst rank)
+  std::size_t bins_bytes_per_rank = 0;         // allreduced node-bins matrix
+  std::size_t replicated_payload_bytes = 0;    // what Fig. 4's scheme would hold
+  std::uint64_t ghost_atoms_total = 0;         // sum over ranks
+  std::uint64_t bytes_sent = 0;                // total p2p + collective traffic
+
+  double modeled_seconds() const { return compute_seconds + comm_seconds; }
+};
+
+// Runs the data-distributed pipeline with `config.ranks` ranks (threads per
+// rank must be 1; the scheme composes with rank-local pools but this
+// implementation keeps ranks single-threaded for clarity).
+DataDistResult run_oct_data_distributed(const Prepared& prep, const ApproxParams& params,
+                                        const GBConstants& constants,
+                                        const RunConfig& config);
+
+}  // namespace gbpol

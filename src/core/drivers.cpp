@@ -1,0 +1,344 @@
+#include "core/drivers.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <memory>
+
+#include "mpisim/runtime.hpp"
+#include "support/timer.hpp"
+#include "ws/parallel_for.hpp"
+#include "ws/scheduler.hpp"
+
+namespace gbpol {
+namespace {
+
+// A dual-tree task: all interactions between subtree `a` of one octree and
+// subtree `b` of another. expand_pair_frontier splits the recursion
+// breadth-first until at least `min_tasks` independent tasks exist, so the
+// work-stealing pool has parallel slack; each task is then evaluated by the
+// solvers' *_dual_subtree entry points.
+struct PairTask {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+std::vector<PairTask> expand_pair_frontier(const Octree& tree_a, const Octree& tree_b,
+                                           double far_multiplier,
+                                           std::size_t min_tasks) {
+  std::vector<PairTask> terminal;
+  std::deque<PairTask> frontier;
+  if (tree_a.empty() || tree_b.empty()) return terminal;
+  frontier.push_back({0, 0});
+  while (!frontier.empty() && terminal.size() + frontier.size() < min_tasks) {
+    const PairTask pair = frontier.front();
+    frontier.pop_front();
+    const OctreeNode& a = tree_a.node(pair.a);
+    const OctreeNode& b = tree_b.node(pair.b);
+    const double reach = (a.radius + b.radius) * far_multiplier;
+    const bool far = distance2(a.centroid, b.centroid) > reach * reach;
+    if (far || (a.is_leaf() && b.is_leaf())) {
+      terminal.push_back(pair);
+      continue;
+    }
+    const bool split_a = !a.is_leaf() && (b.is_leaf() || a.radius >= b.radius);
+    if (split_a) {
+      for (std::uint8_t c = 0; c < a.child_count; ++c)
+        frontier.push_back({static_cast<std::uint32_t>(a.first_child) + c, pair.b});
+    } else {
+      for (std::uint8_t c = 0; c < b.child_count; ++c)
+        frontier.push_back({pair.a, static_cast<std::uint32_t>(b.first_child) + c});
+    }
+  }
+  terminal.insert(terminal.end(), frontier.begin(), frontier.end());
+  return terminal;
+}
+
+// Phase bracket for pool phases: returns max-over-workers busy seconds.
+class PoolPhase {
+ public:
+  explicit PoolPhase(ws::Scheduler& sched) : sched_(sched) { sched_.reset_stats(); }
+  double finish() {
+    const auto st = sched_.stats();
+    steals = st.steals;
+    tasks = st.tasks_executed;
+    return st.max_busy();
+  }
+  std::uint64_t steals = 0;
+  std::uint64_t tasks = 0;
+
+ private:
+  ws::Scheduler& sched_;
+};
+
+}  // namespace
+
+DriverResult run_oct_serial(const Prepared& prep, const ApproxParams& params,
+                            const GBConstants& constants) {
+  DriverResult result;
+  WallTimer wall;
+  ThreadCpuTimer cpu;
+
+  const BornSolver born_solver(prep, params);
+  BornAccumulator acc = born_solver.make_accumulator();
+  const auto q_leaves = prep.q_tree.leaves();
+  born_solver.accumulate_qleaf_range(0, static_cast<std::uint32_t>(q_leaves.size()), acc);
+
+  result.born_sorted.assign(prep.num_atoms(), 0.0);
+  born_solver.push_to_atoms(acc, 0, static_cast<std::uint32_t>(prep.num_atoms()),
+                            result.born_sorted);
+
+  const EpolSolver epol_solver(prep, result.born_sorted, params, constants);
+  const auto atom_leaves = prep.atoms_tree.leaves();
+  result.energy =
+      epol_solver.energy_for_leaf_range(0, static_cast<std::uint32_t>(atom_leaves.size()));
+
+  result.compute_seconds = cpu.seconds();
+  result.wall_seconds = wall.seconds();
+  result.replicated_bytes = prep.replicated_footprint().bytes;
+  return result;
+}
+
+DriverResult run_oct_cilk(const Prepared& prep, const ApproxParams& params,
+                          const GBConstants& constants, int threads) {
+  DriverResult result;
+  result.threads_per_rank = std::max(1, threads);
+  WallTimer wall;
+
+  ws::Scheduler sched(result.threads_per_rank);
+  const BornSolver born_solver(prep, params);
+  const std::size_t min_tasks = static_cast<std::size_t>(16 * result.threads_per_rank);
+
+  // Born phase: dual-tree tasks into per-worker accumulators (two tasks may
+  // share an atoms subtree, so a shared accumulator would race).
+  const auto born_tasks = expand_pair_frontier(prep.atoms_tree, prep.q_tree,
+                                               params.born_far_multiplier(), min_tasks);
+  std::vector<BornAccumulator> worker_acc(
+      static_cast<std::size_t>(result.threads_per_rank));
+  for (auto& acc : worker_acc) acc = born_solver.make_accumulator();
+
+  PoolPhase born_phase(sched);
+  ws::parallel_for(sched, 0, born_tasks.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    auto& acc = worker_acc[static_cast<std::size_t>(ws::Scheduler::worker_id())];
+    for (std::size_t i = lo; i < hi; ++i)
+      born_solver.accumulate_dual_subtree(born_tasks[i].a, born_tasks[i].b, acc);
+  });
+  result.compute_seconds += born_phase.finish();
+  result.steals += born_phase.steals;
+  result.tasks += born_phase.tasks;
+
+  // Merge per-worker accumulators in worker order (deterministic), then push.
+  ThreadCpuTimer merge_cpu;
+  BornAccumulator& acc = worker_acc.front();
+  for (std::size_t w = 1; w < worker_acc.size(); ++w) acc.add(worker_acc[w]);
+  result.compute_seconds += merge_cpu.seconds();
+
+  result.born_sorted.assign(prep.num_atoms(), 0.0);
+  const std::uint32_t n_atoms = static_cast<std::uint32_t>(prep.num_atoms());
+  PoolPhase push_phase(sched);
+  ws::parallel_for(sched, 0, n_atoms,
+                   std::max<std::size_t>(1, n_atoms / min_tasks),
+                   [&](std::size_t lo, std::size_t hi) {
+                     born_solver.push_to_atoms(acc, static_cast<std::uint32_t>(lo),
+                                               static_cast<std::uint32_t>(hi),
+                                               result.born_sorted);
+                   });
+  result.compute_seconds += push_phase.finish();
+
+  // Energy phase: deterministic parallel reduction over dual-tree tasks.
+  ThreadCpuTimer bins_cpu;
+  const EpolSolver epol_solver(prep, result.born_sorted, params, constants);
+  const auto epol_tasks = expand_pair_frontier(prep.atoms_tree, prep.atoms_tree,
+                                               params.epol_far_multiplier(), min_tasks);
+  result.compute_seconds += bins_cpu.seconds();
+
+  PoolPhase epol_phase(sched);
+  result.energy = ws::parallel_reduce<double>(
+      sched, 0, epol_tasks.size(), 1,
+      [&](std::size_t lo, std::size_t hi) {
+        double sum = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+          sum += epol_solver.energy_dual_subtree(epol_tasks[i].a, epol_tasks[i].b);
+        return sum;
+      },
+      [](double l, double r) { return l + r; });
+  result.compute_seconds += epol_phase.finish();
+  result.steals += epol_phase.steals;
+  result.tasks += epol_phase.tasks;
+
+  result.wall_seconds = wall.seconds();
+  // One address space: data is shared, accumulators are per worker.
+  result.replicated_bytes = prep.replicated_footprint().bytes +
+                            worker_acc.size() * acc.flat().size_bytes();
+  return result;
+}
+
+DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& params,
+                                 const GBConstants& constants, const RunConfig& config) {
+  DriverResult result;
+  result.ranks = std::max(1, config.ranks);
+  result.threads_per_rank = std::max(1, config.threads_per_rank);
+  const int P = result.ranks;
+  const int p = result.threads_per_rank;
+
+  const BornSolver born_solver(prep, params);
+  const std::uint32_t n_atoms = static_cast<std::uint32_t>(prep.num_atoms());
+  const std::uint32_t n_qleaves = static_cast<std::uint32_t>(prep.q_tree.leaves().size());
+  const std::uint32_t n_aleaves = static_cast<std::uint32_t>(prep.atoms_tree.leaves().size());
+
+  // Precomputed point-balanced segments for the kNodeBalanced extension.
+  std::vector<Segment> balanced_q, balanced_a;
+  if (config.division == WorkDivision::kNodeBalanced) {
+    balanced_q = leaf_segments_by_points(prep.q_tree, P);
+    balanced_a = leaf_segments_by_points(prep.atoms_tree, P);
+  }
+
+  std::vector<double> born_shared(prep.num_atoms(), 0.0);  // filled by rank 0
+  double energy_shared = 0.0;
+  std::size_t per_rank_extra_bytes = 0;
+
+  // Shared chunk counters for the kDynamic division: they model a work
+  // server on rank 0 — every fetch is charged as an RPC round trip.
+  std::atomic<std::uint32_t> born_cursor{0};
+  std::atomic<std::uint32_t> epol_cursor{0};
+  const std::uint32_t born_chunk =
+      std::max<std::uint32_t>(1, n_qleaves / static_cast<std::uint32_t>(8 * P));
+  const std::uint32_t epol_chunk =
+      std::max<std::uint32_t>(1, n_aleaves / static_cast<std::uint32_t>(8 * P));
+
+  mpisim::Runtime::Config rt;
+  rt.ranks = P;
+  rt.threads_per_rank = p;
+  rt.cluster = config.cluster;
+
+  const auto report = mpisim::Runtime::run(rt, [&](mpisim::Comm& comm) {
+    const int r = comm.rank();
+    // Hybrid ranks own a worker pool; pure-MPI ranks compute inline.
+    std::unique_ptr<ws::Scheduler> sched;
+    if (p > 1) sched = std::make_unique<ws::Scheduler>(p);
+
+    // ---- Step 2: approximated integrals for this rank's Q-leaf segment.
+    const Segment q_seg = config.division == WorkDivision::kNodeBalanced
+                              ? balanced_q[static_cast<std::size_t>(r)]
+                              : even_segment(n_qleaves, P, r);
+    BornAccumulator acc = born_solver.make_accumulator();
+    if (config.division == WorkDivision::kDynamic) {
+      // Self-scheduled chunks from the shared counter (rank-serial).
+      mpisim::Comm::ComputeRegion region(comm);
+      for (;;) {
+        const std::uint32_t lo = born_cursor.fetch_add(born_chunk);
+        comm.charge_rpc(0, 2 * sizeof(std::uint32_t));
+        if (lo >= n_qleaves) break;
+        born_solver.accumulate_qleaf_range(lo, std::min(lo + born_chunk, n_qleaves), acc);
+      }
+    } else if (p == 1) {
+      mpisim::Comm::ComputeRegion region(comm);
+      born_solver.accumulate_qleaf_range(q_seg.lo, q_seg.hi, acc);
+    } else {
+      std::vector<BornAccumulator> worker_acc(static_cast<std::size_t>(p));
+      for (auto& wa : worker_acc) wa = born_solver.make_accumulator();
+      sched->reset_stats();
+      ws::parallel_for(*sched, q_seg.lo, q_seg.hi, 1, [&](std::size_t lo, std::size_t hi) {
+        auto& wa = worker_acc[static_cast<std::size_t>(ws::Scheduler::worker_id())];
+        born_solver.accumulate_qleaf_range(static_cast<std::uint32_t>(lo),
+                                           static_cast<std::uint32_t>(hi), wa);
+      });
+      comm.add_compute_seconds(sched->stats().max_busy());
+      mpisim::Comm::ComputeRegion region(comm);  // merge on the rank thread
+      for (int w = 0; w < p; ++w) acc.add(worker_acc[static_cast<std::size_t>(w)]);
+    }
+
+    // ---- Step 3: gather partial integrals from every rank.
+    comm.allreduce_sum(acc.flat());
+
+    // ---- Step 4: Born radii for this rank's atom segment.
+    const Segment a_seg = even_segment(n_atoms, P, r);
+    std::vector<double> born(prep.num_atoms(), 0.0);
+    if (p == 1) {
+      mpisim::Comm::ComputeRegion region(comm);
+      born_solver.push_to_atoms(acc, a_seg.lo, a_seg.hi, born);
+    } else {
+      sched->reset_stats();
+      ws::parallel_for(*sched, a_seg.lo, a_seg.hi,
+                       std::max<std::size_t>(1, a_seg.count() / (16u * static_cast<unsigned>(p))),
+                       [&](std::size_t lo, std::size_t hi) {
+                         born_solver.push_to_atoms(acc, static_cast<std::uint32_t>(lo),
+                                                   static_cast<std::uint32_t>(hi), born);
+                       });
+      comm.add_compute_seconds(sched->stats().max_busy());
+    }
+
+    // ---- Step 5: gather all Born-radius segments.
+    std::vector<int> counts(static_cast<std::size_t>(P)), displs(static_cast<std::size_t>(P));
+    for (int i = 0; i < P; ++i) {
+      const Segment s = even_segment(n_atoms, P, i);
+      counts[static_cast<std::size_t>(i)] = static_cast<int>(s.count());
+      displs[static_cast<std::size_t>(i)] = static_cast<int>(s.lo);
+    }
+    comm.allgatherv<double>({born.data() + a_seg.lo, a_seg.count()}, born, counts, displs);
+
+    // ---- Step 6: partial energy for this rank's leaf (or atom) segment.
+    double partial[1] = {0.0};
+    {
+      // Bin construction is replicated per rank; count it as compute.
+      std::unique_ptr<EpolSolver> epol_solver;
+      {
+        mpisim::Comm::ComputeRegion region(comm);
+        epol_solver = std::make_unique<EpolSolver>(prep, born, params, constants);
+      }
+      if (config.division == WorkDivision::kDynamic) {
+        mpisim::Comm::ComputeRegion region(comm);
+        for (;;) {
+          const std::uint32_t lo = epol_cursor.fetch_add(epol_chunk);
+          comm.charge_rpc(0, 2 * sizeof(std::uint32_t));
+          if (lo >= n_aleaves) break;
+          partial[0] +=
+              epol_solver->energy_for_leaf_range(lo, std::min(lo + epol_chunk, n_aleaves));
+        }
+      } else if (config.division == WorkDivision::kAtomBased) {
+        mpisim::Comm::ComputeRegion region(comm);
+        partial[0] = epol_solver->energy_for_atom_range(a_seg.lo, a_seg.hi);
+      } else {
+        const Segment l_seg = config.division == WorkDivision::kNodeBalanced
+                                  ? balanced_a[static_cast<std::size_t>(r)]
+                                  : even_segment(n_aleaves, P, r);
+        if (p == 1) {
+          mpisim::Comm::ComputeRegion region(comm);
+          partial[0] = epol_solver->energy_for_leaf_range(l_seg.lo, l_seg.hi);
+        } else {
+          sched->reset_stats();
+          partial[0] = ws::parallel_reduce<double>(
+              *sched, l_seg.lo, l_seg.hi, 1,
+              [&](std::size_t lo, std::size_t hi) {
+                return epol_solver->energy_for_leaf_range(
+                    static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi));
+              },
+              [](double l, double rgt) { return l + rgt; });
+          comm.add_compute_seconds(sched->stats().max_busy());
+        }
+      }
+      if (r == 0)
+        per_rank_extra_bytes = acc.flat().size_bytes() + born.size() * sizeof(double);
+    }
+
+    // ---- Step 7: master accumulates the final energy.
+    comm.reduce_sum(partial, 0);
+    if (r == 0) {
+      energy_shared = partial[0];
+      std::copy(born.begin(), born.end(), born_shared.begin());
+    }
+  });
+
+  result.energy = energy_shared;
+  result.born_sorted = std::move(born_shared);
+  result.compute_seconds = report.max_compute_seconds();
+  result.comm_seconds = report.max_comm_seconds();
+  result.wall_seconds = report.wall_seconds;
+  // Replicated-data accounting: every rank holds a full copy of the trees,
+  // payloads, accumulator and Born array (paper §V-B memory comparison).
+  result.replicated_bytes = static_cast<std::size_t>(P) *
+                            (prep.replicated_footprint().bytes + per_rank_extra_bytes);
+  return result;
+}
+
+}  // namespace gbpol

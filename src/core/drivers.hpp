@@ -1,0 +1,67 @@
+// End-to-end GB polarization-energy drivers — the implementations compared
+// throughout the paper's evaluation:
+//
+//   OCT_SERIAL    — single-threaded reference of the octree approximation
+//   OCT_CILK      — shared-memory dual-tree algorithm of [6]/[7] over the
+//                   work-stealing scheduler (paper's cilk++ implementation)
+//   OCT_MPI       — Fig. 4 with P ranks, 1 thread each (pure distributed)
+//   OCT_MPI+CILK  — Fig. 4 with P ranks x p worker threads (hybrid)
+//
+// Every driver returns the energy, the Born radii, and a timing breakdown:
+// measured CPU seconds for compute, modeled seconds for communication, and
+// the modeled cluster makespan (see mpisim/runtime.hpp for the model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/born_octree.hpp"
+#include "core/epol_octree.hpp"
+#include "core/prepared.hpp"
+#include "core/workdiv.hpp"
+#include "mpisim/cluster.hpp"
+
+namespace gbpol {
+
+struct DriverResult {
+  double energy = 0.0;                // kcal/mol
+  std::vector<double> born_sorted;    // atoms_tree order
+
+  double compute_seconds = 0.0;       // modeled makespan, compute part
+  double comm_seconds = 0.0;          // modeled makespan, communication part
+  double wall_seconds = 0.0;          // actual wall clock of the run
+
+  std::uint64_t steals = 0;           // work-stealing events (shared-memory part)
+  std::uint64_t tasks = 0;
+  std::size_t replicated_bytes = 0;   // modeled memory across all ranks
+
+  int ranks = 1;
+  int threads_per_rank = 1;
+
+  // Modeled time on the configured cluster: max over ranks of
+  // (compute + comm). For serial runs this equals compute_seconds.
+  double modeled_seconds() const { return compute_seconds + comm_seconds; }
+};
+
+struct RunConfig {
+  int ranks = 1;
+  int threads_per_rank = 1;
+  mpisim::ClusterModel cluster = mpisim::ClusterModel::lonestar4();
+  WorkDivision division = WorkDivision::kNodeNode;
+};
+
+// Single-threaded single-tree pipeline (APPROX-INTEGRALS over every Q leaf,
+// push, APPROX-EPOL over every atom leaf).
+DriverResult run_oct_serial(const Prepared& prep, const ApproxParams& params,
+                            const GBConstants& constants);
+
+// Shared-memory dual-tree pipeline on `threads` workers (OCT_CILK).
+DriverResult run_oct_cilk(const Prepared& prep, const ApproxParams& params,
+                          const GBConstants& constants, int threads);
+
+// Distributed / hybrid pipeline per Fig. 4. threads_per_rank == 1 gives
+// OCT_MPI; > 1 gives OCT_MPI+CILK.
+DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& params,
+                                 const GBConstants& constants, const RunConfig& config);
+
+}  // namespace gbpol

@@ -1,0 +1,222 @@
+#include "core/epol_octree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/approx_math.hpp"
+
+namespace gbpol {
+
+EpolSolver::EpolSolver(const Prepared& prep, std::span<const double> born_sorted,
+                       const ApproxParams& params, const GBConstants& constants)
+    : prep_(&prep),
+      born_(born_sorted),
+      far_multiplier_(params.epol_far_multiplier()),
+      scale_(-0.5 * constants.tau() * constants.coulomb_kcal),
+      approx_math_(params.approx_math) {
+  const auto [min_it, max_it] = std::minmax_element(born_.begin(), born_.end());
+  r_min_ = born_.empty() ? 1.0 : *min_it;
+  r_max_ = born_.empty() ? 1.0 : *max_it;
+  log_one_plus_eps_ = std::log1p(params.eps_epol);
+
+  // M_eps = floor(log_{1+eps}(R_max/R_min)) + 1 geometric bins cover
+  // [R_min, R_max] with R_max landing in the last bin.
+  m_bins_ = 1 + static_cast<int>(std::floor(std::log(r_max_ / r_min_) /
+                                            log_one_plus_eps_));
+  m_bins_ = std::max(1, m_bins_);
+
+  // Bin-floor Born-radius products for every bin-index sum.
+  rr_table_.resize(static_cast<std::size_t>(2 * m_bins_ - 1));
+  for (std::size_t k = 0; k < rr_table_.size(); ++k)
+    rr_table_[k] = r_min_ * r_min_ *
+                   std::exp(static_cast<double>(k) * log_one_plus_eps_);
+
+  // Per-node binned charges, bottom-up (children follow parents in the BFS
+  // layout, so a reverse sweep folds children before parents read them).
+  const auto nodes = prep_->atoms_tree.nodes();
+  node_bins_.assign(nodes.size() * static_cast<std::size_t>(m_bins_), 0.0);
+  for (std::size_t id = nodes.size(); id-- > 0;) {
+    double* bins = node_bins_.data() + id * static_cast<std::size_t>(m_bins_);
+    const OctreeNode& node = nodes[id];
+    if (node.is_leaf()) {
+      for (std::uint32_t ai = node.begin; ai < node.end; ++ai)
+        bins[bin_of(born_[ai])] += prep_->charge[ai];
+    } else {
+      for (std::uint8_t c = 0; c < node.child_count; ++c) {
+        const double* child =
+            node_bins(static_cast<std::uint32_t>(node.first_child) + c);
+        for (int k = 0; k < m_bins_; ++k) bins[k] += child[k];
+      }
+    }
+  }
+}
+
+int EpolSolver::bin_of(double born_radius) const {
+  const int k = static_cast<int>(std::floor(std::log(born_radius / r_min_) /
+                                            log_one_plus_eps_));
+  return std::clamp(k, 0, m_bins_ - 1);
+}
+
+EpolSolver::LeafView EpolSolver::make_leaf_view(std::uint32_t node_id) const {
+  const OctreeNode& node = prep_->atoms_tree.node(node_id);
+  return LeafView{node.centroid, node.radius, node.begin, node.end,
+                  node_bins(node_id)};
+}
+
+EpolSolver::LeafView EpolSolver::make_truncated_view(
+    std::uint32_t node_id, std::uint32_t atom_lo, std::uint32_t atom_hi,
+    std::vector<double>& bin_storage) const {
+  const OctreeNode& node = prep_->atoms_tree.node(node_id);
+  LeafView view;
+  view.begin = std::max(node.begin, atom_lo);
+  view.end = std::min(node.end, atom_hi);
+  // Re-aggregate the truncated atom set: centroid, enclosing radius, bins.
+  // THIS is what makes atom-based division's error depend on the boundaries.
+  Vec3 c;
+  for (std::uint32_t ai = view.begin; ai < view.end; ++ai)
+    c += prep_->atoms_tree.point(ai);
+  view.centroid = c / static_cast<double>(view.end - view.begin);
+  double r2 = 0.0;
+  for (std::uint32_t ai = view.begin; ai < view.end; ++ai)
+    r2 = std::max(r2, distance2(prep_->atoms_tree.point(ai), view.centroid));
+  view.radius = std::sqrt(r2);
+  bin_storage.assign(static_cast<std::size_t>(m_bins_), 0.0);
+  for (std::uint32_t ai = view.begin; ai < view.end; ++ai)
+    bin_storage[static_cast<std::size_t>(bin_of(born_[ai]))] += prep_->charge[ai];
+  view.bins = bin_storage.data();
+  return view;
+}
+
+template <bool kApproxMath>
+double EpolSolver::pair_sum_exact(std::uint32_t u_begin, std::uint32_t u_end,
+                                  const LeafView& v) const {
+  const Octree& tree = prep_->atoms_tree;
+  double sum = 0.0;
+  for (std::uint32_t ui = u_begin; ui < u_end; ++ui) {
+    const Vec3 pu = tree.point(ui);
+    const double qu = prep_->charge[ui];
+    const double ru = born_[ui];
+    double inner = 0.0;
+    for (std::uint32_t vi = v.begin; vi < v.end; ++vi) {
+      const double r2 = distance2(pu, tree.point(vi));
+      const double rr = ru * born_[vi];
+      double inv_f;
+      if constexpr (kApproxMath) {
+        inv_f = fast_rsqrt(r2 + rr * fast_exp(-r2 / (4.0 * rr)));
+      } else {
+        inv_f = 1.0 / std::sqrt(r2 + rr * std::exp(-r2 / (4.0 * rr)));
+      }
+      inner += prep_->charge[vi] * inv_f;
+    }
+    sum += qu * inner;
+  }
+  return sum;
+}
+
+template <bool kApproxMath>
+double EpolSolver::binned_far_term(const double* u_bins, const double* v_bins,
+                                   double d2) const {
+  double sum = 0.0;
+  for (int i = 0; i < m_bins_; ++i) {
+    const double qu = u_bins[i];
+    if (qu == 0.0) continue;
+    double inner = 0.0;
+    for (int j = 0; j < m_bins_; ++j) {
+      const double qv = v_bins[j];
+      if (qv == 0.0) continue;
+      const double rr = rr_table_[static_cast<std::size_t>(i + j)];
+      double inv_f;
+      if constexpr (kApproxMath) {
+        inv_f = fast_rsqrt(d2 + rr * fast_exp(-d2 / (4.0 * rr)));
+      } else {
+        inv_f = 1.0 / std::sqrt(d2 + rr * std::exp(-d2 / (4.0 * rr)));
+      }
+      inner += qv * inv_f;
+    }
+    sum += qu * inner;
+  }
+  return sum;
+}
+
+template <bool kApproxMath>
+double EpolSolver::recurse_single(std::uint32_t u_node, const LeafView& v) const {
+  const OctreeNode& u = prep_->atoms_tree.node(u_node);
+  if (u.is_leaf()) {
+    return pair_sum_exact<kApproxMath>(u.begin, u.end, v);  // Fig. 3 line 1
+  }
+  const double d2 = distance2(u.centroid, v.centroid);
+  const double reach = (u.radius + v.radius) * far_multiplier_;
+  if (d2 > reach * reach) {  // Fig. 3 line 2
+    return binned_far_term<kApproxMath>(node_bins(u_node), v.bins, d2);
+  }
+  double sum = 0.0;  // Fig. 3 line 3
+  for (std::uint8_t c = 0; c < u.child_count; ++c)
+    sum += recurse_single<kApproxMath>(static_cast<std::uint32_t>(u.first_child) + c, v);
+  return sum;
+}
+
+double EpolSolver::energy_for_leaf_range(std::uint32_t leaf_lo,
+                                         std::uint32_t leaf_hi) const {
+  if (prep_->atoms_tree.empty()) return 0.0;
+  const auto leaves = prep_->atoms_tree.leaves();
+  double sum = 0.0;
+  for (std::uint32_t i = leaf_lo; i < leaf_hi; ++i) {
+    const LeafView v = make_leaf_view(leaves[i]);
+    sum += approx_math_ ? recurse_single<true>(0, v) : recurse_single<false>(0, v);
+  }
+  return scale_ * sum;
+}
+
+double EpolSolver::energy_for_atom_range(std::uint32_t atom_lo,
+                                         std::uint32_t atom_hi) const {
+  if (prep_->atoms_tree.empty() || atom_lo >= atom_hi) return 0.0;
+  const auto leaves = prep_->atoms_tree.leaves();
+  double sum = 0.0;
+  std::vector<double> bin_storage;
+  for (const std::uint32_t leaf_id : leaves) {
+    const OctreeNode& node = prep_->atoms_tree.node(leaf_id);
+    if (node.end <= atom_lo || node.begin >= atom_hi) continue;
+    const LeafView v = (node.begin >= atom_lo && node.end <= atom_hi)
+                           ? make_leaf_view(leaf_id)
+                           : make_truncated_view(leaf_id, atom_lo, atom_hi, bin_storage);
+    sum += approx_math_ ? recurse_single<true>(0, v) : recurse_single<false>(0, v);
+  }
+  return scale_ * sum;
+}
+
+template <bool kApproxMath>
+double EpolSolver::recurse_dual(std::uint32_t u_node, std::uint32_t v_node) const {
+  const OctreeNode& u = prep_->atoms_tree.node(u_node);
+  const OctreeNode& v = prep_->atoms_tree.node(v_node);
+  const double d2 = distance2(u.centroid, v.centroid);
+  const double reach = (u.radius + v.radius) * far_multiplier_;
+  if (d2 > reach * reach) {
+    return binned_far_term<kApproxMath>(node_bins(u_node), node_bins(v_node), d2);
+  }
+  if (u.is_leaf() && v.is_leaf()) {
+    const LeafView view = make_leaf_view(v_node);
+    return pair_sum_exact<kApproxMath>(u.begin, u.end, view);
+  }
+  // Split the larger non-leaf side.
+  const bool split_u = !u.is_leaf() && (v.is_leaf() || u.radius >= v.radius);
+  double sum = 0.0;
+  if (split_u) {
+    for (std::uint8_t c = 0; c < u.child_count; ++c)
+      sum += recurse_dual<kApproxMath>(static_cast<std::uint32_t>(u.first_child) + c, v_node);
+  } else {
+    for (std::uint8_t c = 0; c < v.child_count; ++c)
+      sum += recurse_dual<kApproxMath>(u_node, static_cast<std::uint32_t>(v.first_child) + c);
+  }
+  return sum;
+}
+
+double EpolSolver::energy_dual_subtree(std::uint32_t u_node, std::uint32_t v_node) const {
+  if (prep_->atoms_tree.empty()) return 0.0;
+  const double sum = approx_math_ ? recurse_dual<true>(u_node, v_node)
+                                  : recurse_dual<false>(u_node, v_node);
+  return scale_ * sum;
+}
+
+double EpolSolver::energy_dual_tree() const { return energy_dual_subtree(0, 0); }
+
+}  // namespace gbpol

@@ -1,0 +1,103 @@
+// Octree-based polarization-energy approximation (Fig. 3 of the paper,
+// APPROX-EPOL).
+//
+// Far-field scheme: atoms cannot be collapsed to a single pseudo-atom for
+// E_pol because f_GB depends nonlinearly on both Born radii, so the paper
+// bins each node's charge by Born radius in geometric bins
+//   bin k: R in [R_min (1+eps)^k, R_min (1+eps)^(k+1)),
+// and a far (U, V) pair contributes
+//   sum_{i,j} q_U[i] q_V[j] / f_GB(r_UV^2, R_min^2 (1+eps)^(i+j))
+// — every pair's R_u R_v product is approximated by its bin-floor product,
+// and every pair's distance by the centroid distance r_UV.
+//
+// Three division strategies (paper §IV-A):
+//  * energy_for_leaf_range: the node-based (node-node) division of Fig. 4
+//    step 6 — rank i interacts its i-th segment of atom-tree LEAVES with the
+//    whole tree. Error is independent of the segmentation.
+//  * energy_for_atom_range: atom-based division — a rank owns an atom index
+//    range, truncating boundary leaves; truncated leaves get re-aggregated
+//    pseudo-particles, which is why the paper observes the error CHANGING
+//    with the process count for this scheme.
+//  * energy_dual_tree: the prior-work dual-tree recursion (OCT_CILK).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/prepared.hpp"
+
+namespace gbpol {
+
+class EpolSolver {
+ public:
+  // `born_sorted` is in atoms_tree order and must outlive the solver.
+  EpolSolver(const Prepared& prep, std::span<const double> born_sorted,
+             const ApproxParams& params, const GBConstants& constants);
+
+  // Energy contribution of atom-tree leaves [leaf_lo, leaf_hi) (indices into
+  // atoms_tree.leaves()) interacting with the ENTIRE tree. Summing over all
+  // leaves yields the full E_pol (every ordered pair counted once).
+  double energy_for_leaf_range(std::uint32_t leaf_lo, std::uint32_t leaf_hi) const;
+
+  // Atom-based division: contribution of sorted atom slots [atom_lo, atom_hi).
+  double energy_for_atom_range(std::uint32_t atom_lo, std::uint32_t atom_hi) const;
+
+  // Dual-tree recursion over ordered pairs (u in subtree U, v in subtree V).
+  // energy_dual_tree() == energy_dual_subtree(root, root) == full E_pol.
+  double energy_dual_tree() const;
+  double energy_dual_subtree(std::uint32_t u_node, std::uint32_t v_node) const;
+
+  int num_bins() const { return m_bins_; }
+  double r_min() const { return r_min_; }
+  double r_max() const { return r_max_; }
+
+  // Internals shared with the gradient solver (core/forces.hpp): per-node
+  // binned charges and bin-floor radius representatives.
+  const double* node_bins_ptr(std::uint32_t node_id) const { return node_bins(node_id); }
+  double bin_radius_floor(int k) const {
+    return r_min_ * std::exp(static_cast<double>(k) * log_one_plus_eps_);
+  }
+  double far_multiplier() const { return far_multiplier_; }
+
+ private:
+  struct LeafView {
+    Vec3 centroid;
+    double radius = 0.0;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    const double* bins = nullptr;  // m_bins_ charges binned by Born radius
+  };
+
+  int bin_of(double born_radius) const;
+  const double* node_bins(std::uint32_t node_id) const {
+    return node_bins_.data() + static_cast<std::size_t>(node_id) * m_bins_;
+  }
+
+  template <bool kApproxMath>
+  double pair_sum_exact(std::uint32_t u_begin, std::uint32_t u_end,
+                        const LeafView& v) const;
+  template <bool kApproxMath>
+  double binned_far_term(const double* u_bins, const double* v_bins, double d2) const;
+  template <bool kApproxMath>
+  double recurse_single(std::uint32_t u_node, const LeafView& v) const;
+  template <bool kApproxMath>
+  double recurse_dual(std::uint32_t u_node, std::uint32_t v_node) const;
+
+  LeafView make_leaf_view(std::uint32_t node_id) const;
+  LeafView make_truncated_view(std::uint32_t node_id, std::uint32_t atom_lo,
+                               std::uint32_t atom_hi, std::vector<double>& bin_storage) const;
+
+  const Prepared* prep_;
+  std::span<const double> born_;
+  double far_multiplier_;
+  double scale_;  // -tau/2 * ke
+  bool approx_math_;
+  double r_min_ = 1.0, r_max_ = 1.0;
+  double log_one_plus_eps_ = 1.0;
+  int m_bins_ = 1;
+  std::vector<double> rr_table_;   // R_min^2 (1+eps)^(i+j), indexed i+j
+  std::vector<double> node_bins_;  // nodes x m_bins_, flattened
+};
+
+}  // namespace gbpol

@@ -1,0 +1,118 @@
+#include "core/forces.hpp"
+
+#include <cmath>
+
+namespace gbpol {
+namespace {
+
+// Pair gradient prefactor: (1 - e^{-u}/4) / f^3 with u = r2/(4 R R') and
+// f^2 = r2 + RR' e^{-u}. Multiplied by q q' (x - x') it gives dE-pair/dx.
+double pair_prefactor(double r2, double rr) {
+  const double eu = std::exp(-r2 / (4.0 * rr));
+  const double f2 = r2 + rr * eu;
+  const double f = std::sqrt(f2);
+  return (1.0 - 0.25 * eu) / (f2 * f);
+}
+
+}  // namespace
+
+std::vector<Vec3> naive_epol_gradient(std::span<const Atom> atoms,
+                                      std::span<const double> born_radii,
+                                      const GBConstants& constants) {
+  const double scale = constants.tau() * constants.coulomb_kcal;
+  std::vector<Vec3> grad(atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const Vec3 xi = atoms[i].pos;
+    Vec3 g;
+    for (std::size_t j = 0; j < atoms.size(); ++j) {
+      if (j == i) continue;
+      const Vec3 diff = xi - atoms[j].pos;
+      const double r2 = norm2(diff);
+      if (r2 <= 0.0) continue;  // coincident centers: no defined direction
+      const double rr = born_radii[i] * born_radii[j];
+      g += diff * (atoms[j].charge * pair_prefactor(r2, rr));
+    }
+    grad[i] = g * (scale * atoms[i].charge);
+  }
+  return grad;
+}
+
+EpolGradientSolver::EpolGradientSolver(const Prepared& prep,
+                                       std::span<const double> born_sorted,
+                                       const EpolSolver& epol,
+                                       const GBConstants& constants)
+    : prep_(&prep),
+      born_(born_sorted),
+      epol_(&epol),
+      scale_(constants.tau() * constants.coulomb_kcal) {}
+
+void EpolGradientSolver::recurse(std::uint32_t u_node, std::uint32_t leaf_id,
+                                 std::span<Vec3> grad_sorted) const {
+  const Octree& tree = prep_->atoms_tree;
+  const OctreeNode& u = tree.node(u_node);
+  const OctreeNode& v = tree.node(leaf_id);
+
+  if (u.is_leaf()) {
+    // Exact pair terms for every v-atom against every u-atom.
+    for (std::uint32_t vi = v.begin; vi < v.end; ++vi) {
+      const Vec3 xv = tree.point(vi);
+      const double rv = born_[vi];
+      Vec3 g;
+      for (std::uint32_t ui = u.begin; ui < u.end; ++ui) {
+        if (ui == vi) continue;
+        const Vec3 diff = xv - tree.point(ui);
+        const double r2 = norm2(diff);
+        if (r2 <= 0.0) continue;
+        g += diff * (prep_->charge[ui] * pair_prefactor(r2, rv * born_[ui]));
+      }
+      grad_sorted[vi] += g * (scale_ * prep_->charge[vi]);
+    }
+    return;
+  }
+
+  const double d2 = distance2(u.centroid, v.centroid);
+  const double reach = (u.radius + v.radius) * epol_->far_multiplier();
+  if (d2 > reach * reach) {
+    // Far: U collapses to a Born-binned pseudo-atom at its centroid; each
+    // v-atom keeps its exact position and radius.
+    const double* u_bins = epol_->node_bins_ptr(u_node);
+    const int m = epol_->num_bins();
+    for (std::uint32_t vi = v.begin; vi < v.end; ++vi) {
+      const Vec3 diff = tree.point(vi) - u.centroid;
+      const double r2 = norm2(diff);
+      if (r2 <= 0.0) continue;
+      const double rv = born_[vi];
+      double coeff = 0.0;
+      for (int k = 0; k < m; ++k) {
+        const double qk = u_bins[k];
+        if (qk == 0.0) continue;
+        coeff += qk * pair_prefactor(r2, rv * epol_->bin_radius_floor(k));
+      }
+      grad_sorted[vi] += diff * (scale_ * prep_->charge[vi] * coeff);
+    }
+    return;
+  }
+  for (std::uint8_t c = 0; c < u.child_count; ++c)
+    recurse(static_cast<std::uint32_t>(u.first_child) + c, leaf_id, grad_sorted);
+}
+
+void EpolGradientSolver::gradient_for_leaf_range(std::uint32_t leaf_lo,
+                                                 std::uint32_t leaf_hi,
+                                                 std::span<Vec3> grad_sorted) const {
+  if (prep_->atoms_tree.empty()) return;
+  const auto leaves = prep_->atoms_tree.leaves();
+  for (std::uint32_t i = leaf_lo; i < leaf_hi; ++i) recurse(0, leaves[i], grad_sorted);
+}
+
+std::vector<Vec3> EpolGradientSolver::gradient_all() const {
+  std::vector<Vec3> grad_sorted(prep_->num_atoms());
+  gradient_for_leaf_range(0, static_cast<std::uint32_t>(prep_->atoms_tree.leaves().size()),
+                          grad_sorted);
+  std::vector<Vec3> original(grad_sorted.size());
+  const auto perm = prep_->atoms_tree.permutation();
+  for (std::size_t slot = 0; slot < grad_sorted.size(); ++slot)
+    original[perm[slot]] = grad_sorted[slot];
+  return original;
+}
+
+}  // namespace gbpol

@@ -1,0 +1,59 @@
+// Gradients of the GB polarization energy — the quantity an MD integrator
+// needs (the paper's introduction motivates E_pol for molecular dynamics;
+// computing forces is the natural extension of the energy pipeline).
+//
+// Both solvers differentiate Eq. (2) at FIXED Born radii (the "frozen
+// radii" gradient used when radii are recomputed per step):
+//
+//   dE/dx_i = tau*ke * sum_{j != i} q_i q_j (1 - e^{-u}/4) / f^3 * (x_i - x_j),
+//   u = r^2 / (4 R_i R_j),  f = f_GB(r^2, R_i, R_j).
+//
+// The chain-rule term through dR/dx is omitted (documented limitation; the
+// surface quadrature would also move). Accuracy is verified against central
+// finite differences of the energy in tests/forces_test.cpp.
+//
+// The octree solver mirrors APPROX-EPOL: for each atoms-tree leaf V it
+// accumulates the gradient of V's atoms against the whole tree — exact pair
+// terms for near leaves, Born-binned pseudo-atom terms for far nodes (the
+// far side U is binned; the local atom's own R stays exact). Writes for
+// different leaves touch disjoint atoms, so leaf ranges parallelise freely.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/epol_octree.hpp"
+#include "core/prepared.hpp"
+
+namespace gbpol {
+
+// Exact O(M^2) gradient, atom order (ground truth for tests/benches).
+std::vector<Vec3> naive_epol_gradient(std::span<const Atom> atoms,
+                                      std::span<const double> born_radii,
+                                      const GBConstants& constants);
+
+class EpolGradientSolver {
+ public:
+  // `epol` must outlive the gradient solver (its bins are shared).
+  EpolGradientSolver(const Prepared& prep, std::span<const double> born_sorted,
+                     const EpolSolver& epol, const GBConstants& constants);
+
+  // Gradient of atoms under atom-tree leaves [leaf_lo, leaf_hi) into
+  // grad_sorted (full-size span, atoms_tree order). Other entries untouched.
+  void gradient_for_leaf_range(std::uint32_t leaf_lo, std::uint32_t leaf_hi,
+                               std::span<Vec3> grad_sorted) const;
+
+  // Whole-molecule gradient in ORIGINAL atom order.
+  std::vector<Vec3> gradient_all() const;
+
+ private:
+  void recurse(std::uint32_t u_node, std::uint32_t leaf_id,
+               std::span<Vec3> grad_sorted) const;
+
+  const Prepared* prep_;
+  std::span<const double> born_;
+  const EpolSolver* epol_;
+  double scale_;  // tau * ke
+};
+
+}  // namespace gbpol

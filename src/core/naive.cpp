@@ -1,0 +1,101 @@
+#include "core/naive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "support/timer.hpp"
+
+namespace gbpol {
+
+double born_radius_from_integral(double integral, double intrinsic_radius) {
+  // Guard: a non-positive integral (atom effectively outside the surface)
+  // corresponds to an unbounded Born radius; clamp to kBornRadiusMax.
+  constexpr double kMinIntegral =
+      4.0 * std::numbers::pi / (kBornRadiusMax * kBornRadiusMax * kBornRadiusMax);
+  const double s = std::max(integral, kMinIntegral);
+  const double r = std::pow(s / (4.0 * std::numbers::pi), -1.0 / 3.0);
+  return std::clamp(r, intrinsic_radius, kBornRadiusMax);
+}
+
+double born_radius_from_integral_r4(double integral, double intrinsic_radius) {
+  const double denom = std::max(integral, 4.0 * std::numbers::pi / kBornRadiusMax);
+  return std::clamp(4.0 * std::numbers::pi / denom, intrinsic_radius, kBornRadiusMax);
+}
+
+namespace {
+
+template <int Power>  // 6 for Eq. 4, 4 for Eq. 3
+std::vector<double> naive_born_radii(std::span<const Atom> atoms,
+                                     const surface::SurfaceQuadrature& quad) {
+  static_assert(Power == 4 || Power == 6);
+  std::vector<double> born(atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const Vec3 x = atoms[i].pos;
+    double s = 0.0;
+    for (std::size_t k = 0; k < quad.size(); ++k) {
+      const Vec3 diff = quad.points[k] - x;
+      const double d2 = norm2(diff);
+      if (d2 <= 0.0) continue;  // quadrature point exactly on the center
+      const double inv = 1.0 / d2;
+      double kernel;
+      if constexpr (Power == 6) {
+        kernel = inv * inv * inv;  // 1/d^6
+      } else {
+        kernel = inv * inv;  // 1/d^4
+      }
+      s += quad.weights[k] * dot(diff, quad.normals[k]) * kernel;
+    }
+    if constexpr (Power == 6) {
+      born[i] = born_radius_from_integral(s, atoms[i].radius);
+    } else {
+      born[i] = born_radius_from_integral_r4(s, atoms[i].radius);
+    }
+  }
+  return born;
+}
+
+}  // namespace
+
+std::vector<double> naive_born_radii_r6(std::span<const Atom> atoms,
+                                        const surface::SurfaceQuadrature& quad) {
+  return naive_born_radii<6>(atoms, quad);
+}
+
+std::vector<double> naive_born_radii_r4(std::span<const Atom> atoms,
+                                        const surface::SurfaceQuadrature& quad) {
+  return naive_born_radii<4>(atoms, quad);
+}
+
+double naive_epol(std::span<const Atom> atoms, std::span<const double> born_radii,
+                  const GBConstants& constants) {
+  // Sum over unordered pairs (doubled) plus self terms = ordered-pair sum.
+  double pair_sum = 0.0;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const Vec3 xi = atoms[i].pos;
+    const double qi = atoms[i].charge;
+    const double ri = born_radii[i];
+    for (std::size_t j = i + 1; j < atoms.size(); ++j) {
+      const double r2 = distance2(xi, atoms[j].pos);
+      pair_sum += qi * atoms[j].charge / f_gb(r2, ri, born_radii[j]);
+    }
+  }
+  double self_sum = 0.0;
+  for (std::size_t i = 0; i < atoms.size(); ++i)
+    self_sum += atoms[i].charge * atoms[i].charge / born_radii[i];
+  return -0.5 * constants.tau() * constants.coulomb_kcal * (2.0 * pair_sum + self_sum);
+}
+
+NaiveResult run_naive(const Molecule& mol, const surface::SurfaceQuadrature& quad,
+                      const GBConstants& constants) {
+  NaiveResult result;
+  ThreadCpuTimer timer;
+  result.born_radii = naive_born_radii_r6(mol.atoms(), quad);
+  result.born_seconds = timer.seconds();
+  timer.reset();
+  result.energy = naive_epol(mol.atoms(), result.born_radii, constants);
+  result.energy_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace gbpol

@@ -1,0 +1,54 @@
+// Naive exact reference implementations of Eq. (2) and Eq. (4) — the
+// "Naive" row of the paper's Table II and the accuracy reference for every
+// "% error w.r.t. naive" number in the evaluation.
+//
+// Complexity is O(M*N) for Born radii (M atoms x N quadrature points) and
+// O(M^2) for the energy; no cutoffs, no hierarchy, no approximation beyond
+// the surface quadrature itself.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/gb_params.hpp"
+#include "molecule/molecule.hpp"
+#include "surface/quadrature.hpp"
+
+namespace gbpol {
+
+// Born-radius clamps shared by every solver in the library: R is clamped
+// below by the atom's intrinsic radius (as in Fig. 2's max{r_a, ...}) and
+// above by kBornRadiusMax to keep near-zero integrals finite.
+inline constexpr double kBornRadiusMax = 1000.0;
+
+// R from an accumulated surface integral s ~ sum w (r-x).n / |r-x|^6.
+double born_radius_from_integral(double integral, double intrinsic_radius);
+// R from the r^4 (Coulomb-field) integral: 1/R = s / (4 pi).
+double born_radius_from_integral_r4(double integral, double intrinsic_radius);
+
+// Surface-based r^6 Born radii (Eq. 4). Output is in atom order.
+std::vector<double> naive_born_radii_r6(std::span<const Atom> atoms,
+                                        const surface::SurfaceQuadrature& quad);
+
+// Surface-based r^4 Born radii (Eq. 3, the Coulomb-field approximation the
+// paper contrasts with r^6).
+std::vector<double> naive_born_radii_r4(std::span<const Atom> atoms,
+                                        const surface::SurfaceQuadrature& quad);
+
+// Exact Still-model polarization energy (Eq. 2) over all ordered pairs,
+// including i == j self terms (f_GB(i,i) = R_i). kcal/mol.
+double naive_epol(std::span<const Atom> atoms, std::span<const double> born_radii,
+                  const GBConstants& constants);
+
+struct NaiveResult {
+  std::vector<double> born_radii;
+  double energy = 0.0;          // kcal/mol
+  double born_seconds = 0.0;    // thread CPU time, Born phase
+  double energy_seconds = 0.0;  // thread CPU time, energy phase
+};
+
+// Full naive pipeline (Born radii + energy) with phase timings.
+NaiveResult run_naive(const Molecule& mol, const surface::SurfaceQuadrature& quad,
+                      const GBConstants& constants);
+
+}  // namespace gbpol

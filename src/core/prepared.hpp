@@ -1,0 +1,61 @@
+// Prepared input: the two octrees of Fig. 1 plus the per-tree payload arrays
+// permuted into Morton order so every solver streams contiguous memory.
+//
+// Octree construction is the paper's "pre-processing" phase (§IV-C step 1):
+// it is independent of the approximation parameters, so one Prepared can be
+// reused across any number of eps sweeps or ligand poses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/gb_params.hpp"
+#include "molecule/molecule.hpp"
+#include "octree/octree.hpp"
+#include "support/mat3.hpp"
+#include "support/memtrack.hpp"
+#include "surface/quadrature.hpp"
+
+namespace gbpol {
+
+struct Prepared {
+  Octree atoms_tree;  // over atom centers
+  Octree q_tree;      // over surface quadrature points
+
+  // Atom payload in atoms_tree (Morton) order.
+  std::vector<double> charge;            // q_a
+  std::vector<double> intrinsic_radius;  // r_a (vdW)
+
+  // Quadrature payload in q_tree order: weight-scaled normals w_q * n_q
+  // (every use of the quadrature multiplies these together).
+  std::vector<Vec3> weighted_normal;
+
+  // Per-q_tree-NODE aggregate sum of w*n — the tilde-n of Fig. 2, available
+  // at every node so both the single-tree (leaf Q) and dual-tree (any Q)
+  // algorithms can use it.
+  std::vector<Vec3> node_weighted_normal;
+
+  // Per-q_tree-NODE first-moment tensor sum of w * n (x) (p - centroid):
+  // feeds the optional dipole far-field correction (extension; see
+  // ApproxParams::born_dipole_correction), which Taylor-expands the kernel
+  // around the node centroid instead of collapsing the node to a point.
+  std::vector<Mat3> node_moment;
+
+  double build_seconds = 0.0;  // octree + aggregate construction CPU time
+
+  std::size_t num_atoms() const { return atoms_tree.num_points(); }
+  std::size_t num_qpoints() const { return q_tree.num_points(); }
+
+  // Maps a Born-radius array in atoms_tree order back to input atom order.
+  std::vector<double> to_original_order(std::span<const double> sorted) const;
+
+  // Logical bytes one rank replicates in the paper's "distribute work, not
+  // data" scheme (§IV-A): both trees plus all payload arrays.
+  MemoryFootprint replicated_footprint() const;
+
+  static Prepared build(const Molecule& mol, const surface::SurfaceQuadrature& quad,
+                        std::uint32_t leaf_capacity);
+};
+
+}  // namespace gbpol

@@ -1,0 +1,45 @@
+#include "core/workdiv.hpp"
+
+#include <algorithm>
+
+namespace gbpol {
+
+Segment even_segment(std::size_t n, int parts, int index) {
+  const std::size_t p = static_cast<std::size_t>(std::max(1, parts));
+  const std::size_t i = static_cast<std::size_t>(std::clamp(index, 0, parts - 1));
+  const std::size_t base = n / p;
+  const std::size_t extra = n % p;
+  // First `extra` segments get base+1 items.
+  const std::size_t lo = i * base + std::min(i, extra);
+  const std::size_t hi = lo + base + (i < extra ? 1 : 0);
+  return Segment{static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi)};
+}
+
+std::vector<Segment> leaf_segments_by_points(const Octree& tree, int parts) {
+  const auto leaves = tree.leaves();
+  const int p = std::max(1, parts);
+  std::vector<Segment> segments(static_cast<std::size_t>(p));
+
+  const std::size_t total_points = tree.num_points();
+  std::uint32_t cursor = 0;
+  std::size_t points_taken = 0;
+  for (int i = 0; i < p; ++i) {
+    const std::uint32_t lo = cursor;
+    if (i == p - 1) {
+      cursor = static_cast<std::uint32_t>(leaves.size());
+    } else {
+      // Greedy: extend this segment until the cumulative point count reaches
+      // its proportional share of the total.
+      const std::size_t target =
+          total_points * static_cast<std::size_t>(i + 1) / static_cast<std::size_t>(p);
+      while (cursor < leaves.size() && points_taken < target) {
+        points_taken += tree.node(leaves[cursor]).count();
+        ++cursor;
+      }
+    }
+    segments[static_cast<std::size_t>(i)] = Segment{lo, cursor};
+  }
+  return segments;
+}
+
+}  // namespace gbpol

@@ -1,0 +1,40 @@
+// Static work-division helpers (paper §IV-A, "explicit static load
+// balancing"): rank i gets the i-th segment of leaves / atoms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "octree/octree.hpp"
+
+namespace gbpol {
+
+struct Segment {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  std::uint32_t count() const { return hi - lo; }
+};
+
+// Paper's scheme: even split of n items into `parts` segments (sizes differ
+// by at most one). Returns segment `index`.
+Segment even_segment(std::size_t n, int parts, int index);
+
+// Extension (DESIGN.md ablation): leaf segments balanced by the number of
+// POINTS under the leaves rather than the number of leaves, which evens the
+// exact-interaction work when leaf occupancy is skewed. Returns `parts`
+// segments of leaf indices.
+std::vector<Segment> leaf_segments_by_points(const Octree& tree, int parts);
+
+// Work-division strategies for the distributed drivers (paper §IV-A, plus
+// the explicit cross-rank dynamic balancing of §VI's future work).
+enum class WorkDivision {
+  kNodeNode,     // default: leaf-node segments for both phases (error is
+                 // independent of the number of processes)
+  kAtomBased,    // atom-index segments (Gromacs-style; error drifts with P)
+  kNodeBalanced, // node-node with point-balanced leaf segments (extension)
+  kDynamic       // ranks fetch leaf chunks from a shared work counter,
+                 // each fetch charged as an RPC to rank 0 (extension: the
+                 // paper's "explicit dynamic load balancing" future work)
+};
+
+}  // namespace gbpol

@@ -1,0 +1,37 @@
+#include "harness/experiment.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+namespace gbpol::harness {
+
+int env_int(const char* name, int default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  return std::atoi(value);
+}
+
+double env_double(const char* name, double default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  return std::atof(value);
+}
+
+double env_scale() { return env_double("GBPOL_BENCH_SCALE", 1.0); }
+
+int env_reps(int default_reps) { return env_int("GBPOL_REPS", default_reps); }
+
+RepeatedTiming repeat_timed(int reps,
+                            const std::function<std::pair<double, double>()>& run) {
+  std::vector<double> modeled, wall;
+  modeled.reserve(static_cast<std::size_t>(reps));
+  wall.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto [m, w] = run();
+    modeled.push_back(m);
+    wall.push_back(w);
+  }
+  return {summarize(modeled), summarize(wall)};
+}
+
+}  // namespace gbpol::harness

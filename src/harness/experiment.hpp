@@ -1,0 +1,30 @@
+// Benchmark-harness utilities: environment knobs and the repetition protocol
+// (the paper runs each configuration 20 times and plots min/max — Fig. 6).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "support/stats.hpp"
+
+namespace gbpol::harness {
+
+// GBPOL_BENCH_SCALE: multiplies the default virus-shell sizes (1.0 = the
+// single-core-budget defaults documented in DESIGN.md).
+double env_scale();
+// GBPOL_REPS: repetition count override.
+int env_reps(int default_reps);
+// Generic env readers with defaults.
+int env_int(const char* name, int default_value);
+double env_double(const char* name, double default_value);
+
+struct RepeatedTiming {
+  Summary modeled;  // modeled cluster seconds across repetitions
+  Summary wall;     // wall seconds across repetitions
+};
+
+// Runs `run` `reps` times; `run` returns (modeled_seconds, wall_seconds).
+RepeatedTiming repeat_timed(int reps,
+                            const std::function<std::pair<double, double>()>& run);
+
+}  // namespace gbpol::harness

@@ -1,0 +1,43 @@
+#include "harness/report.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+namespace gbpol::harness {
+
+void print_figure_header(std::string_view figure_id, std::string_view title) {
+  std::cout << "\n=== " << figure_id << ": " << title << " ===\n"
+            << "(substituted environment: in-process cluster simulation; see DESIGN.md)\n";
+}
+
+void print_cluster_model(const mpisim::ClusterModel& cluster) {
+  std::cout << "modeled cluster: " << cluster.nodes << " nodes x "
+            << cluster.sockets_per_node << " sockets x " << cluster.cores_per_socket
+            << " cores; t_s(intra/socket/node) = " << cluster.latency_s[0] << "/"
+            << cluster.latency_s[1] << "/" << cluster.latency_s[2]
+            << " s; bw = " << 1.0 / cluster.per_byte_s[0] / 1e9 << "/"
+            << 1.0 / cluster.per_byte_s[1] / 1e9 << "/"
+            << 1.0 / cluster.per_byte_s[2] / 1e9 << " GB/s\n";
+}
+
+void emit_table(const Table& table, std::string_view name) {
+  table.print(std::cout);
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  if (ec) {
+    std::cerr << "note: could not create bench_out/: " << ec.message() << '\n';
+    return;
+  }
+  const std::string path = "bench_out/" + std::string(name) + ".csv";
+  std::ofstream csv(path);
+  if (!csv) {
+    std::cerr << "note: could not write " << path << '\n';
+    return;
+  }
+  table.print_csv(csv);
+  std::cout << "[csv] " << path << "\n";
+}
+
+}  // namespace gbpol::harness

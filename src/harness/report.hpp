@@ -1,0 +1,23 @@
+// Uniform reporting for the figure benches: a header naming the reproduced
+// figure/table, the modeled cluster (the paper's Table I analogue), and
+// aligned result tables (optionally mirrored to CSV under bench_out/).
+#pragma once
+
+#include <string_view>
+
+#include "mpisim/cluster.hpp"
+#include "support/table.hpp"
+
+namespace gbpol::harness {
+
+// Prints "=== <figure id>: <title> ===" plus the substitution reminder.
+void print_figure_header(std::string_view figure_id, std::string_view title);
+
+// Table I analogue: the modeled cluster's parameters.
+void print_cluster_model(const mpisim::ClusterModel& cluster);
+
+// Prints the table to stdout and mirrors it to bench_out/<name>.csv
+// (directory created on demand; CSV failures are reported, not fatal).
+void emit_table(const Table& table, std::string_view name);
+
+}  // namespace gbpol::harness

@@ -1,0 +1,199 @@
+#include "molecule/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace gbpol::molgen {
+namespace {
+
+// Element palette with protein-like frequencies (H,C,N,O,S) and Bondi vdW
+// radii. Cumulative frequencies are used for sampling.
+struct Element {
+  double cum_freq;
+  double radius;
+};
+constexpr Element kElements[] = {
+    {0.50, 1.20},  // H  ~50% of protein atoms
+    {0.82, 1.70},  // C
+    {0.90, 1.55},  // N
+    {0.99, 1.52},  // O
+    {1.00, 1.80},  // S
+};
+
+double sample_radius(Rng& rng) {
+  const double u = rng.next_double();
+  for (const Element& e : kElements)
+    if (u <= e.cum_freq) return e.radius;
+  return kElements[4].radius;
+}
+
+// Spatial hash over residue centers for the self-avoidance test.
+struct CellHash {
+  double cell;
+  std::unordered_set<std::uint64_t> occupied;
+
+  std::uint64_t key(const Vec3& p) const {
+    auto q = [&](double v) {
+      return static_cast<std::uint64_t>(
+                 static_cast<std::int64_t>(std::floor(v / cell)) & 0x1fffff);
+    };
+    return (q(p.x) << 42) | (q(p.y) << 21) | q(p.z);
+  }
+  bool try_insert(const Vec3& p) { return occupied.insert(key(p)).second; }
+};
+
+constexpr std::size_t kAtomsPerResidue = 8;
+constexpr double kCaStep = 3.8;  // Calpha-Calpha distance, Angstrom
+
+// Places residue atoms around a backbone site and appends them. Charges are
+// drawn as protein-like partial charges; the residue is then neutralized
+// unless `residue_charge` is nonzero, in which case the net is shifted to it.
+void emit_residue(Molecule& mol, const Vec3& center, double residue_charge,
+                  std::size_t count, Rng& rng) {
+  if (count == 0) return;
+  std::vector<Atom> local(count);
+  double net = 0.0;
+  for (Atom& a : local) {
+    // Atoms scatter within ~2.5 A of the backbone site.
+    const Vec3 offset{rng.normal() * 1.4, rng.normal() * 1.4, rng.normal() * 1.4};
+    a.pos = center + offset;
+    a.radius = sample_radius(rng);
+    a.charge = rng.normal() * 0.35;  // typical partial-charge spread
+    net += a.charge;
+  }
+  const double shift = (residue_charge - net) / static_cast<double>(count);
+  for (Atom& a : local) {
+    a.charge += shift;
+    mol.add_atom(a);
+  }
+}
+
+}  // namespace
+
+Molecule synthetic_protein(std::size_t n_atoms, std::uint64_t seed, const char* name) {
+  Rng rng(seed);
+  const std::size_t n_residues =
+      std::max<std::size_t>(1, (n_atoms + kAtomsPerResidue - 1) / kAtomsPerResidue);
+
+  // Confinement ball radius giving protein packing density; floor keeps tiny
+  // molecules from degenerating to a point.
+  const double volume = static_cast<double>(n_atoms) / kProteinAtomDensity;
+  const double ball_r =
+      std::max(6.0, std::cbrt(volume * 3.0 / (4.0 * std::numbers::pi)));
+
+  Molecule mol(name != nullptr
+                   ? std::string(name)
+                   : "synthetic-protein-" + std::to_string(n_atoms),
+               {});
+
+  CellHash hash{kCaStep * 0.75, {}};
+  Vec3 site{0, 0, 0};
+  hash.try_insert(site);
+
+  std::size_t emitted = 0;
+  for (std::size_t res = 0; res < n_residues; ++res) {
+    const std::size_t remaining = n_atoms - emitted;
+    const std::size_t count = std::min(kAtomsPerResidue, remaining);
+    // ~20% of residues carry a +/-1 formal charge (Asp/Glu/Lys/Arg-like).
+    double formal = 0.0;
+    const double u = rng.next_double();
+    if (u < 0.10) formal = -1.0;
+    else if (u < 0.20) formal = 1.0;
+    emit_residue(mol, site, formal, count, rng);
+    emitted += count;
+    if (emitted >= n_atoms) break;
+
+    // Self-avoiding confined step: retry random directions; fall back to a
+    // fresh interior point if the walk gets stuck (keeps generation O(n)).
+    bool placed = false;
+    for (int attempt = 0; attempt < 32 && !placed; ++attempt) {
+      Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+      dir = normalized(dir);
+      Vec3 next = site + dir * kCaStep;
+      if (norm(next) > ball_r) next = next * (ball_r / norm(next)) - dir * kCaStep;
+      if (hash.try_insert(next)) {
+        site = next;
+        placed = true;
+      }
+    }
+    if (!placed) {
+      for (int attempt = 0; attempt < 1024 && !placed; ++attempt) {
+        Vec3 cand{rng.uniform(-ball_r, ball_r), rng.uniform(-ball_r, ball_r),
+                  rng.uniform(-ball_r, ball_r)};
+        if (norm(cand) <= ball_r && hash.try_insert(cand)) {
+          site = cand;
+          placed = true;
+        }
+      }
+      // If even random placement failed the ball is saturated; reuse the
+      // current site (slight local crowding is acceptable).
+    }
+  }
+  return mol;
+}
+
+Molecule bound_complex(std::size_t n_atoms, std::uint64_t seed, const char* name) {
+  const std::size_t ligand_atoms = std::max<std::size_t>(kAtomsPerResidue, n_atoms / 4);
+  const std::size_t receptor_atoms = n_atoms - ligand_atoms;
+
+  Molecule receptor = synthetic_protein(receptor_atoms, seed * 2 + 1);
+  Molecule ligand = synthetic_protein(ligand_atoms, seed * 2 + 2);
+
+  // Dock the ligand flush against the receptor surface along +x, with a
+  // small (1.5 A) interfacial gap typical of bound complexes.
+  const Aabb rb = receptor.bounding_box();
+  const Aabb lb = ligand.bounding_box();
+  const double dx = rb.hi.x - lb.lo.x + 1.5;
+  ligand.translate(Vec3{dx, rb.center().y - lb.center().y, rb.center().z - lb.center().z});
+
+  Molecule complex(name != nullptr ? std::string(name)
+                                   : "bound-complex-" + std::to_string(n_atoms),
+                   {});
+  complex.append(receptor);
+  complex.append(ligand);
+  return complex;
+}
+
+Molecule virus_shell(std::size_t n_atoms, std::uint64_t seed, double thickness_frac,
+                     const char* name) {
+  Rng rng(seed);
+  // Outer radius from shell volume at protein density:
+  //   V = (4pi/3) (R^3 - r^3), r = (1 - t) R.
+  const double volume = static_cast<double>(n_atoms) / kProteinAtomDensity;
+  const double shape = 1.0 - std::pow(1.0 - thickness_frac, 3.0);
+  const double outer_r =
+      std::cbrt(volume * 3.0 / (4.0 * std::numbers::pi * shape));
+  const double inner_r = (1.0 - thickness_frac) * outer_r;
+
+  Molecule mol(name != nullptr ? std::string(name)
+                               : "virus-shell-" + std::to_string(n_atoms),
+               {});
+  for (std::size_t i = 0; i < n_atoms; ++i) {
+    // Uniform direction, radius sampled so density is uniform in the shell
+    // (inverse-CDF of r^2 between inner_r and outer_r).
+    Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+    dir = normalized(dir);
+    if (dir == Vec3{}) dir = {1, 0, 0};
+    const double u = rng.next_double();
+    const double r3 =
+        inner_r * inner_r * inner_r +
+        u * (outer_r * outer_r * outer_r - inner_r * inner_r * inner_r);
+    Atom a;
+    a.pos = dir * std::cbrt(r3);
+    a.radius = sample_radius(rng);
+    a.charge = rng.normal() * 0.3;
+    mol.add_atom(a);
+  }
+  // Capsids are near-neutral overall: remove the mean charge.
+  const double mean_q = mol.net_charge() / static_cast<double>(mol.size());
+  for (Atom& a : mol.atoms()) a.charge -= mean_q;
+  return mol;
+}
+
+}  // namespace gbpol::molgen

@@ -1,0 +1,42 @@
+// Deterministic synthetic molecule generators.
+//
+// The paper evaluates on the ZDock Benchmark 2.0 protein set plus two virus
+// capsids (BTV, CMV shell); none of those structure files ship with this
+// repository, so these generators produce structures with the properties the
+// algorithms actually depend on: protein-like atom packing density, realistic
+// vdW radius and partial-charge distributions, globular (protein) or hollow
+// shell (capsid) geometry. See DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+
+#include "molecule/molecule.hpp"
+
+namespace gbpol::molgen {
+
+// Mean atom number density of folded proteins, atoms per cubic Angstrom
+// (protein mass density ~1.35 g/cm^3 at ~7.3 Da per atom).
+inline constexpr double kProteinAtomDensity = 0.11;
+
+// Globular synthetic protein of approximately `n_atoms` atoms built as a
+// confined self-avoiding residue walk (Calpha step 3.8 A) with ~8 atoms per
+// residue placed around each backbone site. Radii are drawn from the
+// {H,C,N,O,S} vdW set with protein-like element frequencies; charges are
+// protein-like partial charges, neutralized per residue except for a
+// realistic fraction of +/-1 charged residues.
+Molecule synthetic_protein(std::size_t n_atoms, std::uint64_t seed,
+                           const char* name = nullptr);
+
+// Bound two-chain complex (receptor + smaller ligand chain docked against
+// it), mimicking the ZDock "bound" structures. The ligand holds roughly a
+// quarter of the atoms.
+Molecule bound_complex(std::size_t n_atoms, std::uint64_t seed,
+                       const char* name = nullptr);
+
+// Hollow spherical shell of atoms at protein density, mimicking a virus
+// capsid (CMV shell / BTV substitutes). `thickness_frac` is the shell
+// thickness as a fraction of the outer radius.
+Molecule virus_shell(std::size_t n_atoms, std::uint64_t seed,
+                     double thickness_frac = 0.25, const char* name = nullptr);
+
+}  // namespace gbpol::molgen

@@ -1,0 +1,52 @@
+#include "molecule/molecule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbpol {
+
+Aabb Molecule::bounding_box() const {
+  Aabb box;
+  for (const Atom& a : atoms_) box.expand(a.pos);
+  return box;
+}
+
+Vec3 Molecule::centroid() const {
+  Vec3 c;
+  if (atoms_.empty()) return c;
+  for (const Atom& a : atoms_) c += a.pos;
+  return c / static_cast<double>(atoms_.size());
+}
+
+double Molecule::net_charge() const {
+  double q = 0.0;
+  for (const Atom& a : atoms_) q += a.charge;
+  return q;
+}
+
+double Molecule::max_radius() const {
+  double r = 0.0;
+  for (const Atom& a : atoms_) r = std::max(r, a.radius);
+  return r;
+}
+
+void Molecule::translate(const Vec3& delta) {
+  for (Atom& a : atoms_) a.pos += delta;
+}
+
+void Molecule::rotate(const Vec3& axis, double angle) {
+  const Vec3 c = centroid();
+  const Vec3 u = normalized(axis);
+  const double cs = std::cos(angle), sn = std::sin(angle);
+  for (Atom& a : atoms_) {
+    const Vec3 p = a.pos - c;
+    // Rodrigues rotation formula.
+    a.pos = c + p * cs + cross(u, p) * sn + u * (dot(u, p) * (1.0 - cs));
+  }
+}
+
+void Molecule::append(const Molecule& other) {
+  atoms_.insert(atoms_.end(), other.atoms_.begin(), other.atoms_.end());
+}
+
+}  // namespace gbpol

@@ -1,0 +1,56 @@
+// Molecule representation: the GB algorithms only need atom centers, van der
+// Waals radii and partial charges (an "xyzqr" view of a molecule), so that is
+// all we store. Biochemical identity (element, residue, chain) matters only
+// to the synthetic generator.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/aabb.hpp"
+#include "support/vec3.hpp"
+
+namespace gbpol {
+
+struct Atom {
+  Vec3 pos;            // center, Angstrom
+  double radius = 0;   // intrinsic (van der Waals) radius, Angstrom
+  double charge = 0;   // partial charge, elementary charges
+};
+
+class Molecule {
+ public:
+  Molecule() = default;
+  Molecule(std::string name, std::vector<Atom> atoms)
+      : name_(std::move(name)), atoms_(std::move(atoms)) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return atoms_.size(); }
+  std::span<const Atom> atoms() const { return atoms_; }
+  std::span<Atom> atoms() { return atoms_; }
+  const Atom& atom(std::size_t i) const { return atoms_[i]; }
+
+  void add_atom(const Atom& a) { atoms_.push_back(a); }
+
+  Aabb bounding_box() const;
+  Vec3 centroid() const;
+  double net_charge() const;
+  // Largest intrinsic radius; useful as an octree leaf-size heuristic.
+  double max_radius() const;
+
+  // Rigid-body transforms, used by the docking example: the paper notes the
+  // octree can be reused across ligand poses by transforming coordinates.
+  void translate(const Vec3& delta);
+  // Rotation about the molecule centroid by `angle` radians around `axis`.
+  void rotate(const Vec3& axis, double angle);
+
+  // Concatenates another molecule's atoms (receptor + ligand -> complex).
+  void append(const Molecule& other);
+
+ private:
+  std::string name_;
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace gbpol

@@ -1,0 +1,55 @@
+#include "molecule/suite.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "molecule/generate.hpp"
+
+namespace gbpol::molgen {
+
+std::vector<std::size_t> zdock_like_sizes(const SuiteSpec& spec) {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(spec.count);
+  if (spec.count == 1) {
+    sizes.push_back(spec.min_atoms);
+    return sizes;
+  }
+  const double ratio = static_cast<double>(spec.max_atoms) /
+                       static_cast<double>(spec.min_atoms);
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(spec.count - 1);
+    sizes.push_back(static_cast<std::size_t>(
+        std::llround(static_cast<double>(spec.min_atoms) * std::pow(ratio, t))));
+  }
+  return sizes;
+}
+
+std::vector<Molecule> zdock_like_suite(const SuiteSpec& spec) {
+  std::vector<Molecule> suite;
+  suite.reserve(spec.count);
+  const auto sizes = zdock_like_sizes(spec);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::string name = "zdock-" + std::to_string(i) + "-" + std::to_string(sizes[i]);
+    suite.push_back(bound_complex(sizes[i], spec.seed + i, name.c_str()));
+  }
+  return suite;
+}
+
+// Default substitute sizes: large enough to show the asymptotic separation
+// between octree and pairwise algorithms, small enough for single-core runs.
+namespace {
+constexpr std::size_t kCmvDefaultAtoms = 120000;
+constexpr std::size_t kBtvDefaultAtoms = 240000;
+}  // namespace
+
+Molecule cmv_like(double scale, std::uint64_t seed) {
+  const auto n = static_cast<std::size_t>(kCmvDefaultAtoms * scale);
+  return virus_shell(n, seed, 0.2, ("cmv-shell-" + std::to_string(n)).c_str());
+}
+
+Molecule btv_like(double scale, std::uint64_t seed) {
+  const auto n = static_cast<std::size_t>(kBtvDefaultAtoms * scale);
+  return virus_shell(n, seed, 0.3, ("btv-shell-" + std::to_string(n)).c_str());
+}
+
+}  // namespace gbpol::molgen

@@ -1,0 +1,35 @@
+// Benchmark suites mirroring the paper's evaluation inputs.
+//
+// * zdock_like_suite: 84 bound complexes spanning 400-16,000 atoms, the size
+//   range the paper quotes for ZDock Benchmark 2.0 (bound set).
+// * cmv_like / btv_like: virus-capsid shells standing in for the Cucumber
+//   Mosaic Virus shell (509,640 atoms) and Blue Tongue Virus (6M atoms).
+//   Default sizes are scaled down for a single-core time budget; `scale`
+//   multiplies them back up (GBPOL_BENCH_SCALE in the bench harness).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "molecule/molecule.hpp"
+
+namespace gbpol::molgen {
+
+struct SuiteSpec {
+  std::size_t count = 84;
+  std::size_t min_atoms = 400;
+  std::size_t max_atoms = 16000;
+  std::uint64_t seed = 20120101;  // SC'12
+};
+
+// Geometrically spaced sizes between min_atoms and max_atoms, one bound
+// complex per size, deterministic in `spec.seed`.
+std::vector<Molecule> zdock_like_suite(const SuiteSpec& spec = {});
+
+// Just the sizes (cheap, for planning sweeps without generating atoms).
+std::vector<std::size_t> zdock_like_sizes(const SuiteSpec& spec = {});
+
+Molecule cmv_like(double scale = 1.0, std::uint64_t seed = 509640);
+Molecule btv_like(double scale = 1.0, std::uint64_t seed = 6000000);
+
+}  // namespace gbpol::molgen

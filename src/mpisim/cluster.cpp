@@ -1,0 +1,34 @@
+#include "mpisim/cluster.hpp"
+
+#include <algorithm>
+
+namespace gbpol::mpisim {
+
+RankMap::RankMap(const ClusterModel& cluster, int ranks, int threads_per_rank)
+    : cluster_(cluster),
+      ranks_(std::max(1, ranks)),
+      threads_per_rank_(std::max(1, threads_per_rank)) {}
+
+Placement RankMap::placement(int rank) const {
+  const int first_core = rank * threads_per_rank_;
+  Placement p;
+  p.first_core = first_core;
+  p.node = first_core / cluster_.cores_per_node();
+  p.socket = first_core / cluster_.cores_per_socket;
+  return p;
+}
+
+LinkClass RankMap::link(int rank_a, int rank_b) const {
+  const Placement a = placement(rank_a);
+  const Placement b = placement(rank_b);
+  if (a.node != b.node) return LinkClass::kInterNode;
+  if (a.socket != b.socket) return LinkClass::kInterSocket;
+  return LinkClass::kIntraSocket;
+}
+
+LinkClass RankMap::worst_link() const {
+  // Block placement: the extreme ranks bound the spread.
+  return ranks_ > 1 ? link(0, ranks_ - 1) : LinkClass::kIntraSocket;
+}
+
+}  // namespace gbpol::mpisim

@@ -1,0 +1,73 @@
+// Cluster topology description and rank placement.
+//
+// The paper runs on TACC Lonestar4: 12-core dual-socket Westmere nodes on an
+// InfiniBand fat tree, with `ibrun tacc_affinity` pinning consecutive ranks
+// to consecutive cores/sockets/nodes. ClusterModel captures exactly the
+// knobs the paper's communication analysis (§IV-C) and NUMA discussion (§V-A)
+// use: how many cores share a socket / node, and how expensive a message is
+// at each level of the hierarchy (the paper: "cost of communication among k
+// threads in shared-memory < among k processes on one socket < across
+// sockets or nodes").
+#pragma once
+
+#include <cstddef>
+
+namespace gbpol::mpisim {
+
+// Message-link classes, cheapest to most expensive.
+enum class LinkClass : int {
+  kIntraSocket = 0,
+  kInterSocket = 1,
+  kInterNode = 2,
+};
+
+struct ClusterModel {
+  int nodes = 12;
+  int sockets_per_node = 2;
+  int cores_per_socket = 6;
+
+  // Startup latency t_s (seconds) and per-byte time t_w (seconds/byte) for
+  // each LinkClass, indexed by static_cast<int>(LinkClass).
+  double latency_s[3] = {3e-7, 8e-7, 2e-6};
+  double per_byte_s[3] = {1.0 / 24e9, 1.0 / 12e9, 1.0 / 5e9};
+
+  int cores_per_node() const { return sockets_per_node * cores_per_socket; }
+  int total_cores() const { return nodes * cores_per_node(); }
+
+  double latency(LinkClass c) const { return latency_s[static_cast<int>(c)]; }
+  double per_byte(LinkClass c) const { return per_byte_s[static_cast<int>(c)]; }
+
+  // The paper's testbed: 12 nodes x 2 sockets x 6 Westmere cores, 40 Gb/s
+  // InfiniBand fat tree (Table I).
+  static ClusterModel lonestar4() { return ClusterModel{}; }
+};
+
+struct Placement {
+  int node = 0;
+  int socket = 0;          // global socket id
+  int first_core = 0;      // global core id of the rank's first thread
+};
+
+// Block placement of P ranks, each owning `threads_per_rank` consecutive
+// cores — the tacc_affinity layout: rank i's threads fill cores
+// [i*p, (i+1)*p), sockets and nodes in order.
+class RankMap {
+ public:
+  RankMap(const ClusterModel& cluster, int ranks, int threads_per_rank);
+
+  int ranks() const { return ranks_; }
+  int threads_per_rank() const { return threads_per_rank_; }
+  Placement placement(int rank) const;
+
+  // Link class between two ranks' home cores.
+  LinkClass link(int rank_a, int rank_b) const;
+  // Worst link class over all rank pairs (what a collective traverses).
+  LinkClass worst_link() const;
+
+ private:
+  ClusterModel cluster_;
+  int ranks_;
+  int threads_per_rank_;
+};
+
+}  // namespace gbpol::mpisim

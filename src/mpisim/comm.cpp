@@ -1,0 +1,153 @@
+#include "mpisim/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "mpisim/shared_state.hpp"
+
+namespace gbpol::mpisim {
+
+int Comm::size() const { return shared_->ranks; }
+
+void Comm::barrier() {
+  shared_->sync.arrive_and_wait();
+  charge(shared_->cost.barrier());
+}
+
+namespace {
+enum class FoldOp { kSum, kMin, kMax };
+}
+
+void Comm::allreduce_sum(std::span<double> data) {
+  allreduce_fold(data, static_cast<int>(FoldOp::kSum));
+}
+void Comm::allreduce_min(std::span<double> data) {
+  allreduce_fold(data, static_cast<int>(FoldOp::kMin));
+}
+void Comm::allreduce_max(std::span<double> data) {
+  allreduce_fold(data, static_cast<int>(FoldOp::kMax));
+}
+
+void Comm::allreduce_fold(std::span<double> data, int op) {
+  SharedState& s = *shared_;
+  s.publish[rank_] = data.data();
+  s.sync.arrive_and_wait();
+  // Every rank folds contributions in strict rank order (including its own
+  // slot), so FP sums are deterministic AND identical on all ranks; min/max
+  // are order-independent anyway.
+  std::vector<double> total(data.size(),
+                            static_cast<FoldOp>(op) == FoldOp::kSum ? 0.0
+                            : static_cast<FoldOp>(op) == FoldOp::kMin
+                                ? std::numeric_limits<double>::infinity()
+                                : -std::numeric_limits<double>::infinity());
+  for (int r = 0; r < s.ranks; ++r) {
+    const auto* src = static_cast<const double*>(s.publish[r]);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      switch (static_cast<FoldOp>(op)) {
+        case FoldOp::kSum: total[i] += src[i]; break;
+        case FoldOp::kMin: total[i] = std::min(total[i], src[i]); break;
+        case FoldOp::kMax: total[i] = std::max(total[i], src[i]); break;
+      }
+    }
+  }
+  s.sync.arrive_and_wait();  // everyone done reading
+  std::memcpy(data.data(), total.data(), data.size_bytes());
+  s.sync.arrive_and_wait();  // publish slots free for reuse
+  charge(s.cost.allreduce(data.size_bytes()));
+  bytes_sent_ += data.size_bytes();
+}
+
+void Comm::reduce_sum(std::span<double> data, int root) {
+  SharedState& s = *shared_;
+  s.publish[rank_] = data.data();
+  s.sync.arrive_and_wait();
+  std::vector<double> total;
+  if (rank_ == root) {
+    total.assign(data.size(), 0.0);
+    for (int r = 0; r < s.ranks; ++r) {
+      const auto* src = static_cast<const double*>(s.publish[r]);
+      for (std::size_t i = 0; i < data.size(); ++i) total[i] += src[i];
+    }
+  }
+  s.sync.arrive_and_wait();
+  if (rank_ == root) std::memcpy(data.data(), total.data(), data.size_bytes());
+  s.sync.arrive_and_wait();
+  charge(s.cost.reduce(data.size_bytes()));
+  if (rank_ != root) bytes_sent_ += data.size_bytes();
+}
+
+void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
+  SharedState& s = *shared_;
+  if (rank_ == root) s.publish[root] = data;
+  s.sync.arrive_and_wait();
+  if (rank_ != root) std::memcpy(data, s.publish[root], bytes);
+  s.sync.arrive_and_wait();
+  charge(s.cost.bcast(bytes));
+  if (rank_ == root) bytes_sent_ += bytes;
+}
+
+void Comm::allgatherv_bytes(const void* send, void* recv, std::size_t elem_size,
+                            std::span<const int> counts, std::span<const int> displs) {
+  SharedState& s = *shared_;
+  s.publish[rank_] = send;
+  s.sync.arrive_and_wait();
+  std::size_t total_bytes = 0;
+  for (int r = 0; r < s.ranks; ++r) {
+    const std::size_t bytes = static_cast<std::size_t>(counts[r]) * elem_size;
+    auto* dst = static_cast<std::byte*>(recv) +
+                static_cast<std::size_t>(displs[r]) * elem_size;
+    // Each rank's own slice may alias recv; memmove tolerates overlap.
+    std::memmove(dst, s.publish[r], bytes);
+    total_bytes += bytes;
+  }
+  s.sync.arrive_and_wait();
+  charge(s.cost.allgatherv(total_bytes));
+  bytes_sent_ += static_cast<std::size_t>(counts[rank_]) * elem_size;
+}
+
+void Comm::charge_rpc(int peer, std::size_t bytes) {
+  SharedState& s = *shared_;
+  charge(2.0 * s.cost.p2p(rank_, peer, bytes));  // request + response
+  bytes_sent_ += bytes;
+}
+
+void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) {
+  SharedState& s = *shared_;
+  Mailbox& mb = *s.mailboxes[static_cast<std::size_t>(dst)];
+  Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  std::memcpy(msg.payload.data(), data, bytes);
+  {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    mb.queue.push_back(std::move(msg));
+  }
+  mb.cv.notify_all();
+  charge(s.cost.p2p(rank_, dst, bytes));
+  bytes_sent_ += bytes;
+}
+
+void Comm::recv_bytes(void* data, std::size_t bytes, int src, int tag) {
+  SharedState& s = *shared_;
+  Mailbox& mb = *s.mailboxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(mb.mutex);
+  for (;;) {
+    for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        if (it->payload.size() != bytes) {
+          // Size mismatch is a programming error in the caller.
+          std::terminate();
+        }
+        std::memcpy(data, it->payload.data(), bytes);
+        mb.queue.erase(it);
+        charge(s.cost.p2p(src, rank_, bytes));
+        return;
+      }
+    }
+    mb.cv.wait(lock);
+  }
+}
+
+}  // namespace gbpol::mpisim

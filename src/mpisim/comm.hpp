@@ -1,0 +1,117 @@
+// Per-rank communicator handle for the in-process message-passing runtime.
+//
+// Semantics mirror the MPI subset the paper's algorithm (Fig. 4) needs:
+// barrier, broadcast, sum-reduce / allreduce, allgatherv and point-to-point
+// send/recv. Collectives must be entered by every rank in the same order
+// (standard MPI requirement); data moves through shared memory, while TIME
+// is charged by the CostModel as if the ranks sat where RankMap places them
+// on the modeled cluster.
+//
+// Determinism: reductions are evaluated in rank order by every rank, so
+// results are bit-identical across runs and across ranks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+#include "support/timer.hpp"
+
+namespace gbpol::mpisim {
+
+struct SharedState;
+
+class Comm {
+ public:
+  Comm(SharedState& shared, int rank) : shared_(&shared), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  void barrier();
+
+  template <typename T>
+  void bcast(std::span<T> data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bcast_bytes(data.data(), data.size_bytes(), root);
+  }
+
+  // In-place sum over all ranks; every rank ends with the total.
+  void allreduce_sum(std::span<double> data);
+  // Element-wise min / max over all ranks.
+  void allreduce_min(std::span<double> data);
+  void allreduce_max(std::span<double> data);
+  // In-place sum; only `root`'s buffer holds the total afterwards.
+  void reduce_sum(std::span<double> data, int root);
+
+  // Gathers variable-size contributions from all ranks into `recv` laid out
+  // as rank r's `counts[r]` elements at offset `displs[r]`. `send` must
+  // equal the rank's own slice.
+  template <typename T>
+  void allgatherv(std::span<const T> send, std::span<T> recv,
+                  std::span<const int> counts, std::span<const int> displs) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    allgatherv_bytes(send.data(), recv.data(), sizeof(T), counts, displs);
+  }
+
+  template <typename T>
+  void send(std::span<const T> data, int dst, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(data.data(), data.size_bytes(), dst, tag);
+  }
+
+  template <typename T>
+  void recv(std::span<T> data, int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    recv_bytes(data.data(), data.size_bytes(), src, tag);
+  }
+
+  // Charges the modeled cost of a request/response round trip to `peer`
+  // without moving data — used by the dynamic work-distribution scheme,
+  // whose shared chunk counter models a work server hosted on `peer`.
+  void charge_rpc(int peer, std::size_t bytes);
+
+  // --- accounting -------------------------------------------------------
+  // Compute time is measured (thread CPU time), communication time is
+  // modeled; the runtime report combines them into a cluster makespan.
+
+  // Adds externally measured compute seconds (e.g. max-over-workers busy
+  // time of a rank-local work-stealing pool).
+  void add_compute_seconds(double s) { compute_seconds_ += s; }
+
+  // RAII region measuring the rank thread's own CPU time as compute.
+  class ComputeRegion {
+   public:
+    explicit ComputeRegion(Comm& comm) : comm_(comm) {}
+    ~ComputeRegion() { comm_.add_compute_seconds(timer_.seconds()); }
+    ComputeRegion(const ComputeRegion&) = delete;
+    ComputeRegion& operator=(const ComputeRegion&) = delete;
+
+   private:
+    Comm& comm_;
+    ThreadCpuTimer timer_;
+  };
+
+  double compute_seconds() const { return compute_seconds_; }
+  double comm_seconds() const { return comm_seconds_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void allreduce_fold(std::span<double> data, int op);
+  void bcast_bytes(void* data, std::size_t bytes, int root);
+  void allgatherv_bytes(const void* send, void* recv, std::size_t elem_size,
+                        std::span<const int> counts, std::span<const int> displs);
+  void send_bytes(const void* data, std::size_t bytes, int dst, int tag);
+  void recv_bytes(void* data, std::size_t bytes, int src, int tag);
+
+  void charge(double seconds) { comm_seconds_ += seconds; }
+
+  SharedState* shared_;
+  int rank_;
+  double compute_seconds_ = 0.0;
+  double comm_seconds_ = 0.0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace gbpol::mpisim

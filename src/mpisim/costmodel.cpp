@@ -1,0 +1,42 @@
+#include "mpisim/costmodel.hpp"
+
+#include <cmath>
+
+namespace gbpol::mpisim {
+
+double CostModel::log2_ceil(int p) {
+  if (p <= 1) return 0.0;
+  return std::ceil(std::log2(static_cast<double>(p)));
+}
+
+double CostModel::p2p(int src, int dst, std::size_t bytes) const {
+  const LinkClass c = map_.link(src, dst);
+  return cluster_.latency(c) +
+         cluster_.per_byte(c) * static_cast<double>(bytes);
+}
+
+double CostModel::barrier() const { return ts() * log2_ceil(map_.ranks()); }
+
+double CostModel::bcast(std::size_t bytes) const {
+  return (ts() + tw() * static_cast<double>(bytes)) * log2_ceil(map_.ranks());
+}
+
+double CostModel::reduce(std::size_t bytes) const {
+  return (ts() + tw() * static_cast<double>(bytes)) * log2_ceil(map_.ranks());
+}
+
+double CostModel::allreduce(std::size_t bytes) const {
+  const int p = map_.ranks();
+  if (p <= 1) return 0.0;
+  const double frac = static_cast<double>(p - 1) / static_cast<double>(p);
+  return ts() * log2_ceil(p) + 2.0 * tw() * static_cast<double>(bytes) * frac;
+}
+
+double CostModel::allgatherv(std::size_t total_bytes) const {
+  const int p = map_.ranks();
+  if (p <= 1) return 0.0;
+  const double frac = static_cast<double>(p - 1) / static_cast<double>(p);
+  return ts() * log2_ceil(p) + tw() * static_cast<double>(total_bytes) * frac;
+}
+
+}  // namespace gbpol::mpisim

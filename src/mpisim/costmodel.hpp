@@ -1,0 +1,47 @@
+// Analytic communication-cost model.
+//
+// Charges each operation the time a real MPI implementation on the modeled
+// cluster would take, using the same t_s / t_w formulation the paper's own
+// complexity analysis uses (§IV-C, citing Grama et al. Table 4.1):
+//
+//   p2p(m)        = t_s + t_w * m
+//   barrier       = t_s * ceil(log2 P)
+//   bcast(m)      = (t_s + t_w * m) * ceil(log2 P)
+//   reduce(m)     = (t_s + t_w * m) * ceil(log2 P)
+//   allreduce(m)  = t_s * ceil(log2 P) + 2 * t_w * m * (P-1)/P   (Rabenseifner)
+//   allgatherv(M) = t_s * ceil(log2 P) + t_w * M * (P-1)/P       (ring; M = total bytes)
+//
+// t_s / t_w are taken from the worst link class the participating ranks
+// span, which is what makes 12 single-thread ranks per node cost more than
+// 2 ranks x 6 threads (the paper's hybrid-vs-pure-MPI argument).
+#pragma once
+
+#include <cstddef>
+
+#include "mpisim/cluster.hpp"
+
+namespace gbpol::mpisim {
+
+class CostModel {
+ public:
+  CostModel(const ClusterModel& cluster, const RankMap& map)
+      : cluster_(cluster), map_(map) {}
+
+  double p2p(int src, int dst, std::size_t bytes) const;
+  double barrier() const;
+  double bcast(std::size_t bytes) const;
+  double reduce(std::size_t bytes) const;
+  double allreduce(std::size_t bytes) const;
+  // total_bytes = sum of all ranks' contributions.
+  double allgatherv(std::size_t total_bytes) const;
+
+ private:
+  double ts() const { return cluster_.latency(map_.worst_link()); }
+  double tw() const { return cluster_.per_byte(map_.worst_link()); }
+  static double log2_ceil(int p);
+
+  ClusterModel cluster_;
+  RankMap map_;
+};
+
+}  // namespace gbpol::mpisim

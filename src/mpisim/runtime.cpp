@@ -1,0 +1,69 @@
+#include "mpisim/runtime.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+#include "mpisim/shared_state.hpp"
+#include "support/timer.hpp"
+
+namespace gbpol::mpisim {
+
+double RunReport::modeled_seconds() const {
+  double m = 0.0;
+  for (const RankResult& r : ranks) m = std::max(m, r.compute_seconds + r.comm_seconds);
+  return m;
+}
+
+double RunReport::max_compute_seconds() const {
+  double m = 0.0;
+  for (const RankResult& r : ranks) m = std::max(m, r.compute_seconds);
+  return m;
+}
+
+double RunReport::max_comm_seconds() const {
+  double m = 0.0;
+  for (const RankResult& r : ranks) m = std::max(m, r.comm_seconds);
+  return m;
+}
+
+std::uint64_t RunReport::total_bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const RankResult& r : ranks) total += r.bytes_sent;
+  return total;
+}
+
+RunReport Runtime::run(const Config& config, const std::function<void(Comm&)>& rank_fn) {
+  const int ranks = std::max(1, config.ranks);
+  SharedState shared(config.cluster, ranks, std::max(1, config.threads_per_rank));
+
+  RunReport report;
+  report.ranks.resize(static_cast<std::size_t>(ranks));
+
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(shared, r);
+      // A throwing rank would leave peers blocked at a barrier with no safe
+      // recovery, exactly like a crashed MPI process: fail fast instead.
+      try {
+        rank_fn(comm);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "mpisim: rank %d terminated with exception: %s\n", r, e.what());
+        std::terminate();
+      }
+      RankResult& res = report.ranks[static_cast<std::size_t>(r)];
+      res.compute_seconds = comm.compute_seconds();
+      res.comm_seconds = comm.comm_seconds();
+      res.bytes_sent = comm.bytes_sent();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  report.wall_seconds = wall.seconds();
+  return report;
+}
+
+}  // namespace gbpol::mpisim

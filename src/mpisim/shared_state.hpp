@@ -1,0 +1,51 @@
+// Internal shared state of one Runtime launch. Not part of the public API.
+#pragma once
+
+#include <barrier>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpisim/cluster.hpp"
+#include "mpisim/costmodel.hpp"
+
+namespace gbpol::mpisim {
+
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+};
+
+struct SharedState {
+  SharedState(const ClusterModel& cluster_model, int ranks, int threads_per_rank)
+      : ranks(ranks),
+        map(cluster_model, ranks, threads_per_rank),
+        cost(cluster_model, map),
+        sync(ranks),
+        publish(static_cast<std::size_t>(ranks), nullptr),
+        mailboxes(static_cast<std::size_t>(ranks)) {
+    for (auto& mb : mailboxes) mb = std::make_unique<Mailbox>();
+  }
+
+  int ranks;
+  RankMap map;
+  CostModel cost;
+  std::barrier<> sync;
+  // One pointer slot per rank; valid between the two barriers bracketing a
+  // collective. Collectives are globally ordered, so one slot array suffices.
+  std::vector<const void*> publish;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+};
+
+}  // namespace gbpol::mpisim

@@ -1,0 +1,47 @@
+#include "nblist/cell_list.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbpol::nblist {
+
+CellList::CellList(std::span<const Vec3> points, double cell_size)
+    : cell_size_(std::max(cell_size, 1e-6)) {
+  Aabb box = bounding_box(points);
+  if (box.empty()) box.expand(Vec3{});
+  origin_ = box.lo;
+  const Vec3 ext = box.extent();
+  nx_ = std::max(1, static_cast<int>(std::floor(ext.x / cell_size_)) + 1);
+  ny_ = std::max(1, static_cast<int>(std::floor(ext.y / cell_size_)) + 1);
+  nz_ = std::max(1, static_cast<int>(std::floor(ext.z / cell_size_)) + 1);
+
+  const std::size_t cells = static_cast<std::size_t>(nx_) * ny_ * nz_;
+  cell_start_.assign(cells + 1, 0);
+  std::vector<std::uint32_t> cell_of(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    int cx, cy, cz;
+    locate(points[i], cx, cy, cz);
+    cell_of[i] = static_cast<std::uint32_t>(cell_index(cx, cy, cz));
+    ++cell_start_[cell_of[i] + 1];
+  }
+  for (std::size_t c = 1; c < cell_start_.size(); ++c) cell_start_[c] += cell_start_[c - 1];
+  point_of_slot_.resize(points.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    point_of_slot_[cursor[cell_of[i]]++] = static_cast<std::uint32_t>(i);
+}
+
+void CellList::locate(const Vec3& p, int& cx, int& cy, int& cz) const {
+  cx = std::clamp(static_cast<int>(std::floor((p.x - origin_.x) / cell_size_)), 0, nx_ - 1);
+  cy = std::clamp(static_cast<int>(std::floor((p.y - origin_.y) / cell_size_)), 0, ny_ - 1);
+  cz = std::clamp(static_cast<int>(std::floor((p.z - origin_.z) / cell_size_)), 0, nz_ - 1);
+}
+
+MemoryFootprint CellList::footprint() const {
+  MemoryFootprint fp;
+  fp.add_array<std::uint32_t>(cell_start_.size());
+  fp.add_array<std::uint32_t>(point_of_slot_.size());
+  return fp;
+}
+
+}  // namespace gbpol::nblist

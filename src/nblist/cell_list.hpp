@@ -1,0 +1,62 @@
+// Uniform cell list over a point set — the spatial index underneath the
+// nonbonded-list substrate (and the classical alternative to the octree the
+// paper argues against in §II).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/aabb.hpp"
+#include "support/memtrack.hpp"
+#include "support/vec3.hpp"
+
+namespace gbpol::nblist {
+
+class CellList {
+ public:
+  // cell_size should be >= the query cutoff so a 27-cell stencil suffices.
+  CellList(std::span<const Vec3> points, double cell_size);
+
+  std::size_t num_points() const { return point_of_slot_.size(); }
+  double cell_size() const { return cell_size_; }
+
+  // Calls fn(point_index) for every point within the 27-cell neighbourhood
+  // of p (a superset of the points within cell_size of p).
+  template <typename Fn>
+  void for_candidates(const Vec3& p, Fn&& fn) const {
+    int cx, cy, cz;
+    locate(p, cx, cy, cz);
+    for (int dz = -1; dz <= 1; ++dz) {
+      const int z = cz + dz;
+      if (z < 0 || z >= nz_) continue;
+      for (int dy = -1; dy <= 1; ++dy) {
+        const int y = cy + dy;
+        if (y < 0 || y >= ny_) continue;
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int x = cx + dx;
+          if (x < 0 || x >= nx_) continue;
+          const std::size_t c = cell_index(x, y, z);
+          for (std::uint32_t s = cell_start_[c]; s < cell_start_[c + 1]; ++s)
+            fn(point_of_slot_[s]);
+        }
+      }
+    }
+  }
+
+  MemoryFootprint footprint() const;
+
+ private:
+  void locate(const Vec3& p, int& cx, int& cy, int& cz) const;
+  std::size_t cell_index(int cx, int cy, int cz) const {
+    return (static_cast<std::size_t>(cz) * ny_ + cy) * nx_ + cx;
+  }
+
+  double cell_size_;
+  Vec3 origin_;
+  int nx_ = 1, ny_ = 1, nz_ = 1;
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> point_of_slot_;
+};
+
+}  // namespace gbpol::nblist

@@ -1,0 +1,39 @@
+#include "nblist/nblist.hpp"
+
+#include <algorithm>
+
+namespace gbpol::nblist {
+
+NonbondedList::NonbondedList(std::span<const Vec3> positions, double cutoff)
+    : cutoff_(cutoff) {
+  rebuild(positions);
+}
+
+void NonbondedList::rebuild(std::span<const Vec3> positions) {
+  const std::size_t n = positions.size();
+  start_.assign(n + 1, 0);
+  neighbor_.clear();
+
+  const CellList cells(positions, cutoff_);
+  const double cut2 = cutoff_ * cutoff_;
+  std::vector<std::uint32_t> scratch;
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.clear();
+    cells.for_candidates(positions[i], [&](std::uint32_t j) {
+      if (j <= i) return;
+      if (distance2(positions[i], positions[j]) <= cut2) scratch.push_back(j);
+    });
+    std::sort(scratch.begin(), scratch.end());
+    start_[i + 1] = start_[i] + static_cast<std::uint32_t>(scratch.size());
+    neighbor_.insert(neighbor_.end(), scratch.begin(), scratch.end());
+  }
+}
+
+MemoryFootprint NonbondedList::footprint() const {
+  MemoryFootprint fp;
+  fp.add_array<std::uint32_t>(start_.size());
+  fp.add_array<std::uint32_t>(neighbor_.size());
+  return fp;
+}
+
+}  // namespace gbpol::nblist

@@ -1,0 +1,43 @@
+// Nonbonded (neighbour) lists — the data structure traditional MD packages
+// (Amber, NAMD, Gromacs) use for pair interactions, built here so the paper's
+// octree-vs-nblist space/update comparison (§II) can be regenerated:
+// an nblist's size grows ~cubically with the cutoff and it must be rebuilt
+// as atoms move, whereas the octree stays linear in the atom count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "molecule/molecule.hpp"
+#include "nblist/cell_list.hpp"
+#include "support/memtrack.hpp"
+
+namespace gbpol::nblist {
+
+class NonbondedList {
+ public:
+  // Half list: neighbours[i] holds only j > i within `cutoff`.
+  NonbondedList(std::span<const Vec3> positions, double cutoff);
+
+  double cutoff() const { return cutoff_; }
+  std::size_t num_atoms() const { return start_.size() - 1; }
+  std::size_t num_pairs() const { return neighbor_.size(); }
+
+  std::span<const std::uint32_t> neighbors(std::uint32_t i) const {
+    return {neighbor_.data() + start_[i], start_[i + 1] - start_[i]};
+  }
+
+  // Rebuild after coordinates change (the costly maintenance step the paper
+  // contrasts with octrees; benches time this).
+  void rebuild(std::span<const Vec3> positions);
+
+  MemoryFootprint footprint() const;
+
+ private:
+  double cutoff_;
+  std::vector<std::uint32_t> start_;     // size n+1
+  std::vector<std::uint32_t> neighbor_;  // concatenated half lists
+};
+
+}  // namespace gbpol::nblist

@@ -1,0 +1,123 @@
+#include "octree/octree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "support/morton.hpp"
+
+namespace gbpol {
+
+Octree Octree::build(std::span<const Vec3> points, const BuildParams& params) {
+  Octree tree;
+  if (points.empty()) return tree;
+
+  // Morton-sort the points once; everything else works on contiguous ranges.
+  const Aabb box = bounding_box(points);
+  const std::vector<std::uint64_t> raw_codes = morton::encode_points(points, box);
+  tree.perm_ = morton::sort_permutation(raw_codes);
+
+  const std::size_t n = points.size();
+  tree.points_.resize(n);
+  std::vector<std::uint64_t> codes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tree.points_[i] = points[tree.perm_[i]];
+    codes[i] = raw_codes[tree.perm_[i]];
+  }
+
+  const std::uint32_t leaf_cap = std::max<std::uint32_t>(1, params.leaf_capacity);
+  const int max_depth = std::clamp(params.max_depth, 0, 20);
+
+  // Breadth-first construction: children of each split node are appended as
+  // one contiguous block, giving the cache-friendly linear layout.
+  OctreeNode root;
+  root.begin = 0;
+  root.end = static_cast<std::uint32_t>(n);
+  root.depth = 0;
+  tree.nodes_.push_back(root);
+
+  for (std::uint32_t id = 0; id < tree.nodes_.size(); ++id) {
+    // Take copies of the fields we need: push_back below may reallocate.
+    const std::uint32_t begin = tree.nodes_[id].begin;
+    const std::uint32_t end = tree.nodes_[id].end;
+    const int depth = tree.nodes_[id].depth;
+    if (end - begin <= leaf_cap || depth >= max_depth) continue;
+
+    const int shift = 3 * (20 - depth);
+    // Partition the range by the 3-bit Morton digit of this level. The range
+    // is sorted, so each octant is a contiguous sub-range found by scanning.
+    std::uint32_t child_begin = begin;
+    std::int32_t first_child = -1;
+    std::uint8_t child_count = 0;
+    while (child_begin < end) {
+      const std::uint64_t digit = (codes[child_begin] >> shift) & 7u;
+      std::uint32_t child_end = child_begin + 1;
+      while (child_end < end && ((codes[child_end] >> shift) & 7u) == digit) ++child_end;
+      OctreeNode child;
+      child.begin = child_begin;
+      child.end = child_end;
+      child.depth = static_cast<std::uint8_t>(depth + 1);
+      if (first_child < 0) first_child = static_cast<std::int32_t>(tree.nodes_.size());
+      tree.nodes_.push_back(child);
+      ++child_count;
+      child_begin = child_end;
+    }
+    // A single child octant means all codes share this digit; splitting
+    // further would recurse without progress only if ALL remaining bits are
+    // equal — the depth bound still terminates that case, so keep the child.
+    tree.nodes_[id].first_child = first_child;
+    tree.nodes_[id].child_count = child_count;
+  }
+
+  // Geometry aggregates: centroid, then enclosing radius about the centroid.
+  for (OctreeNode& node : tree.nodes_) {
+    Vec3 c;
+    for (std::uint32_t i = node.begin; i < node.end; ++i) c += tree.points_[i];
+    node.centroid = c / static_cast<double>(node.count());
+    double r2 = 0.0;
+    for (std::uint32_t i = node.begin; i < node.end; ++i)
+      r2 = std::max(r2, distance2(tree.points_[i], node.centroid));
+    node.radius = std::sqrt(r2);
+  }
+
+  // Leaves in Morton order (sorted by range start).
+  for (std::uint32_t id = 0; id < tree.nodes_.size(); ++id)
+    if (tree.nodes_[id].is_leaf()) tree.leaves_.push_back(id);
+  std::sort(tree.leaves_.begin(), tree.leaves_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return tree.nodes_[a].begin < tree.nodes_[b].begin;
+            });
+  return tree;
+}
+
+void Octree::refit(std::span<const Vec3> new_points) {
+  assert(new_points.size() == points_.size());
+  for (std::size_t slot = 0; slot < points_.size(); ++slot)
+    points_[slot] = new_points[perm_[slot]];
+  for (OctreeNode& node : nodes_) {
+    Vec3 c;
+    for (std::uint32_t i = node.begin; i < node.end; ++i) c += points_[i];
+    node.centroid = c / static_cast<double>(node.count());
+    double r2 = 0.0;
+    for (std::uint32_t i = node.begin; i < node.end; ++i)
+      r2 = std::max(r2, distance2(points_[i], node.centroid));
+    node.radius = std::sqrt(r2);
+  }
+}
+
+int Octree::height() const {
+  int h = 0;
+  for (const OctreeNode& n : nodes_) h = std::max(h, static_cast<int>(n.depth));
+  return h;
+}
+
+MemoryFootprint Octree::footprint() const {
+  MemoryFootprint fp;
+  fp.add_array<Vec3>(points_.size());
+  fp.add_array<std::uint32_t>(perm_.size());
+  fp.add_array<OctreeNode>(nodes_.size());
+  fp.add_array<std::uint32_t>(leaves_.size());
+  return fp;
+}
+
+}  // namespace gbpol

@@ -1,0 +1,54 @@
+// Axis-aligned bounding box helpers for octree construction.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "support/vec3.hpp"
+
+namespace gbpol {
+
+struct Aabb {
+  Vec3 lo{std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+  Vec3 hi{-std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+
+  bool empty() const { return lo.x > hi.x; }
+
+  void expand(const Vec3& p) {
+    lo.x = std::min(lo.x, p.x); lo.y = std::min(lo.y, p.y); lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x); hi.y = std::max(hi.y, p.y); hi.z = std::max(hi.z, p.z);
+  }
+
+  void expand(const Aabb& b) {
+    if (b.empty()) return;
+    expand(b.lo);
+    expand(b.hi);
+  }
+
+  Vec3 center() const { return 0.5 * (lo + hi); }
+  Vec3 extent() const { return hi - lo; }
+
+  // Side of the smallest cube that contains the box (octrees subdivide cubes).
+  double cube_side() const {
+    const Vec3 e = extent();
+    return std::max({e.x, e.y, e.z});
+  }
+
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+};
+
+inline Aabb bounding_box(std::span<const Vec3> points) {
+  Aabb box;
+  for (const Vec3& p : points) box.expand(p);
+  return box;
+}
+
+}  // namespace gbpol

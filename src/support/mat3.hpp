@@ -1,0 +1,41 @@
+// Minimal 3x3 matrix — just enough for the far-field dipole-moment tensors
+// (sum of outer products w * n (x) (p - c)) the octree aggregates carry.
+#pragma once
+
+#include "support/vec3.hpp"
+
+namespace gbpol {
+
+struct Mat3 {
+  // Row-major: m[r][c].
+  double m[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+
+  Mat3& operator+=(const Mat3& o) {
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) m[r][c] += o.m[r][c];
+    return *this;
+  }
+
+  double trace() const { return m[0][0] + m[1][1] + m[2][2]; }
+};
+
+// a (x) b : rank-one outer product.
+inline Mat3 outer(const Vec3& a, const Vec3& b) {
+  Mat3 out;
+  const double av[3] = {a.x, a.y, a.z};
+  const double bv[3] = {b.x, b.y, b.z};
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) out.m[r][c] = av[r] * bv[c];
+  return out;
+}
+
+// v^T M v.
+inline double quadratic_form(const Mat3& mat, const Vec3& v) {
+  const double vv[3] = {v.x, v.y, v.z};
+  double sum = 0.0;
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) sum += vv[r] * mat.m[r][c] * vv[c];
+  return sum;
+}
+
+}  // namespace gbpol

@@ -1,0 +1,20 @@
+#include "support/memtrack.hpp"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace gbpol {
+
+std::size_t process_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long pages_total = 0, pages_resident = 0;
+  const int got = std::fscanf(f, "%ld %ld", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<std::size_t>(pages_resident) * static_cast<std::size_t>(page);
+}
+
+}  // namespace gbpol

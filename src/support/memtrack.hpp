@@ -1,0 +1,30 @@
+// Byte accounting for the octree-vs-nblist space comparison (paper §II) and
+// the hybrid-vs-pure-MPI replication ratio (paper §V-B).
+//
+// We deliberately account *logical* bytes (what each data structure would
+// have to allocate) rather than sampling RSS: RSS on a shared machine is
+// noisy and includes the allocator, while the paper's argument is about the
+// asymptotic footprint of the structures themselves.
+#pragma once
+
+#include <cstddef>
+
+namespace gbpol {
+
+struct MemoryFootprint {
+  std::size_t bytes = 0;
+
+  void add(std::size_t b) { bytes += b; }
+  template <typename T>
+  void add_array(std::size_t count) {
+    bytes += sizeof(T) * count;
+  }
+
+  double mib() const { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+};
+
+// Current resident set size of the whole process, in bytes (0 on failure).
+// Only used as a sanity cross-check next to logical footprints.
+std::size_t process_rss_bytes();
+
+}  // namespace gbpol

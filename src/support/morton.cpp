@@ -1,0 +1,35 @@
+#include "support/morton.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gbpol::morton {
+
+std::uint64_t encode_point(const Vec3& p, const Aabb& box) {
+  constexpr double kLattice = 1 << 21;
+  const Vec3 ext = box.extent();
+  auto quantize = [](double v, double lo, double e) -> std::uint32_t {
+    const double t = e > 0.0 ? (v - lo) / e : 0.0;
+    const double scaled = std::clamp(t, 0.0, 1.0) * (kLattice - 1.0);
+    return static_cast<std::uint32_t>(scaled);
+  };
+  return encode(quantize(p.x, box.lo.x, ext.x), quantize(p.y, box.lo.y, ext.y),
+                quantize(p.z, box.lo.z, ext.z));
+}
+
+std::vector<std::uint64_t> encode_points(std::span<const Vec3> points, const Aabb& box) {
+  std::vector<std::uint64_t> codes(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) codes[i] = encode_point(points[i], box);
+  return codes;
+}
+
+std::vector<std::uint32_t> sort_permutation(std::span<const std::uint64_t> codes) {
+  std::vector<std::uint32_t> perm(codes.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::uint32_t a, std::uint32_t b) { return codes[a] < codes[b]; });
+  return perm;
+}
+
+}  // namespace gbpol::morton

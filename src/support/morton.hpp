@@ -1,0 +1,65 @@
+// 3D Morton (Z-order) codes.
+//
+// The octree stores its points sorted by Morton code so that every octree
+// node owns a contiguous index range — this is what makes the tree
+// cache-friendly (the paper's central data-structure claim) and lets the
+// node-based work division hand each MPI rank a contiguous atom segment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/aabb.hpp"
+#include "support/vec3.hpp"
+
+namespace gbpol::morton {
+
+// Spreads the low 21 bits of x so there are two zero bits between each bit.
+constexpr std::uint64_t expand_bits(std::uint64_t x) {
+  x &= 0x1fffffULL;
+  x = (x | (x << 32)) & 0x1f00000000ffffULL;
+  x = (x | (x << 16)) & 0x1f0000ff0000ffULL;
+  x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
+  x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+// Inverse of expand_bits.
+constexpr std::uint64_t compact_bits(std::uint64_t x) {
+  x &= 0x1249249249249249ULL;
+  x = (x | (x >> 2)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x >> 4)) & 0x100f00f00f00f00fULL;
+  x = (x | (x >> 8)) & 0x1f0000ff0000ffULL;
+  x = (x | (x >> 16)) & 0x1f00000000ffffULL;
+  x = (x | (x >> 32)) & 0x1fffffULL;
+  return x;
+}
+
+// Interleaves three 21-bit integer coordinates into a 63-bit Morton code.
+constexpr std::uint64_t encode(std::uint32_t ix, std::uint32_t iy, std::uint32_t iz) {
+  return (expand_bits(ix) << 2) | (expand_bits(iy) << 1) | expand_bits(iz);
+}
+
+struct Decoded {
+  std::uint32_t ix, iy, iz;
+};
+
+constexpr Decoded decode(std::uint64_t code) {
+  return {static_cast<std::uint32_t>(compact_bits(code >> 2)),
+          static_cast<std::uint32_t>(compact_bits(code >> 1)),
+          static_cast<std::uint32_t>(compact_bits(code))};
+}
+
+// Quantizes p into the 21-bit lattice spanned by `box` and returns its code.
+std::uint64_t encode_point(const Vec3& p, const Aabb& box);
+
+// Morton codes for a point set, all quantized against the same box.
+std::vector<std::uint64_t> encode_points(std::span<const Vec3> points, const Aabb& box);
+
+// Permutation that sorts `codes` ascending (stable, so equal codes keep
+// input order — this keeps generators deterministic).
+std::vector<std::uint32_t> sort_permutation(std::span<const std::uint64_t> codes);
+
+}  // namespace gbpol::morton

@@ -1,0 +1,49 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbpol {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Summary summarize(std::span<const double> xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return {rs.count(), rs.mean(), rs.stddev(), rs.min(), rs.max()};
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> copy(xs.begin(), xs.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + mid, copy.end());
+  double hi = copy[mid];
+  if (copy.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(copy.begin(), copy.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double percent_error(double value, double reference) {
+  if (reference == 0.0) return std::abs(value) * 100.0;
+  return std::abs(value - reference) / std::abs(reference) * 100.0;
+}
+
+}  // namespace gbpol

@@ -1,0 +1,47 @@
+// Small statistics helpers used by the benchmark harness: the paper reports
+// min/max over 20 repetitions (Fig. 6) and avg ± std of per-molecule errors
+// (Fig. 10), so we need exactly those aggregates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gbpol {
+
+// Streaming mean/variance/min/max (Welford). Numerically stable, O(1) space.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0, stddev = 0.0, min = 0.0, max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+// Median of a copy of xs (midpoint average for even sizes).
+double median(std::span<const double> xs);
+
+// Relative error |value - reference| / |reference|, in percent. Returns the
+// absolute difference (x100) when the reference is exactly zero.
+double percent_error(double value, double reference);
+
+}  // namespace gbpol

@@ -1,0 +1,35 @@
+// Plain-text table / CSV emitters for the benchmark harness. Every figure
+// bench prints one aligned human-readable table (the "paper row" format) and
+// can mirror it as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gbpol {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; value count must match the header.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience formatting for numeric cells.
+  static std::string num(double v, int precision = 4);
+  static std::string integer(long long v);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Aligned fixed-width rendering.
+  void print(std::ostream& os) const;
+  // RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gbpol

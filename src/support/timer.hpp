@@ -1,0 +1,49 @@
+// Wall-clock and per-thread CPU timers.
+//
+// The cluster-makespan model (see DESIGN.md) charges each simulated rank the
+// CPU time its threads actually burned, so ThreadCpuTimer is the load-bearing
+// clock here: on a machine with fewer physical cores than simulated ranks,
+// wall clock measures oversubscription noise while CLOCK_THREAD_CPUTIME_ID
+// measures the work a dedicated core would have done.
+#pragma once
+
+#include <ctime>
+
+namespace gbpol {
+
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+  void reset() { clock_gettime(CLOCK_MONOTONIC, &start_); }
+  double seconds() const {
+    timespec now;
+    clock_gettime(CLOCK_MONOTONIC, &now);
+    return diff(start_, now);
+  }
+
+ private:
+  static double diff(const timespec& a, const timespec& b) {
+    return static_cast<double>(b.tv_sec - a.tv_sec) +
+           1e-9 * static_cast<double>(b.tv_nsec - a.tv_nsec);
+  }
+  timespec start_{};
+};
+
+// CPU time consumed by the *calling thread* since reset(). Must be read on
+// the same thread that called reset().
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { reset(); }
+  void reset() { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &start_); }
+  double seconds() const {
+    timespec now;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &now);
+    return static_cast<double>(now.tv_sec - start_.tv_sec) +
+           1e-9 * static_cast<double>(now.tv_nsec - start_.tv_nsec);
+  }
+
+ private:
+  timespec start_{};
+};
+
+}  // namespace gbpol

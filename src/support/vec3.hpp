@@ -1,0 +1,67 @@
+// Minimal 3-vector used throughout gbpol for atom centers, quadrature points
+// and surface normals. Double precision everywhere: GB energies are sums of
+// O(M^2) signed terms and the paper reports errors below 1%, which single
+// precision cannot guarantee for half-million-atom molecules.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace gbpol {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) { return *this *= (1.0 / s); }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+};
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+constexpr double norm2(const Vec3& a) { return dot(a, a); }
+
+inline double norm(const Vec3& a) { return std::sqrt(norm2(a)); }
+
+inline double distance(const Vec3& a, const Vec3& b) { return norm(a - b); }
+
+constexpr double distance2(const Vec3& a, const Vec3& b) { return norm2(a - b); }
+
+// Returns a/|a|; the zero vector is returned unchanged (callers that can see
+// degenerate triangles rely on this instead of a NaN normal).
+inline Vec3 normalized(const Vec3& a) {
+  const double n = norm(a);
+  return n > 0.0 ? a / n : a;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+}  // namespace gbpol

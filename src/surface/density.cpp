@@ -1,0 +1,101 @@
+#include "surface/density.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbpol::surface {
+
+DensityField::DensityField(const Molecule& mol) : DensityField(mol, Params{}) {}
+
+DensityField::DensityField(const Molecule& mol, Params params) : params_(params) {
+  // Per-atom reach: r * sqrt(1 + ln(1/tol)/kappa); use the largest radius.
+  const double max_r = std::max(mol.max_radius(), 0.5);
+  cutoff_ = max_r * std::sqrt(1.0 + std::log(1.0 / params_.tolerance) / params_.kappa);
+
+  domain_ = mol.bounding_box();
+  if (domain_.empty()) domain_.expand(Vec3{});
+  domain_.lo -= Vec3{cutoff_, cutoff_, cutoff_};
+  domain_.hi += Vec3{cutoff_, cutoff_, cutoff_};
+
+  cell_size_ = cutoff_;
+  grid_origin_ = domain_.lo;
+  const Vec3 ext = domain_.extent();
+  nx_ = std::max(1, static_cast<int>(std::ceil(ext.x / cell_size_)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(ext.y / cell_size_)));
+  nz_ = std::max(1, static_cast<int>(std::ceil(ext.z / cell_size_)));
+
+  // Counting sort of atoms into cells.
+  const auto atoms = mol.atoms();
+  std::vector<std::uint32_t> cell_of(atoms.size());
+  cell_start_.assign(static_cast<std::size_t>(nx_) * ny_ * nz_ + 1, 0);
+  auto clampi = [](int v, int n) { return std::clamp(v, 0, n - 1); };
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const Vec3 rel = atoms[i].pos - grid_origin_;
+    const int cx = clampi(static_cast<int>(rel.x / cell_size_), nx_);
+    const int cy = clampi(static_cast<int>(rel.y / cell_size_), ny_);
+    const int cz = clampi(static_cast<int>(rel.z / cell_size_), nz_);
+    cell_of[i] = static_cast<std::uint32_t>(cell_index(cx, cy, cz));
+    ++cell_start_[cell_of[i] + 1];
+  }
+  for (std::size_t c = 1; c < cell_start_.size(); ++c) cell_start_[c] += cell_start_[c - 1];
+  entries_.resize(atoms.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const double r = std::max(atoms[i].radius, 0.5);
+    entries_[cursor[cell_of[i]]++] = Entry{atoms[i].pos, 1.0 / (r * r)};
+  }
+}
+
+std::size_t DensityField::cell_index(int cx, int cy, int cz) const {
+  return (static_cast<std::size_t>(cz) * ny_ + cy) * nx_ + cx;
+}
+
+template <typename Fn>
+void DensityField::for_neighbors(const Vec3& p, Fn&& fn) const {
+  const Vec3 rel = p - grid_origin_;
+  const int cx = static_cast<int>(std::floor(rel.x / cell_size_));
+  const int cy = static_cast<int>(std::floor(rel.y / cell_size_));
+  const int cz = static_cast<int>(std::floor(rel.z / cell_size_));
+  for (int dz = -1; dz <= 1; ++dz) {
+    const int z = cz + dz;
+    if (z < 0 || z >= nz_) continue;
+    for (int dy = -1; dy <= 1; ++dy) {
+      const int y = cy + dy;
+      if (y < 0 || y >= ny_) continue;
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int x = cx + dx;
+        if (x < 0 || x >= nx_) continue;
+        const std::size_t c = cell_index(x, y, z);
+        for (std::uint32_t i = cell_start_[c]; i < cell_start_[c + 1]; ++i) fn(entries_[i]);
+      }
+    }
+  }
+}
+
+double DensityField::value(const Vec3& p) const {
+  double f = 0.0;
+  const double kappa = params_.kappa;
+  const double cut2 = cutoff_ * cutoff_;
+  for_neighbors(p, [&](const Entry& e) {
+    const double d2 = distance2(p, e.pos);
+    if (d2 > cut2) return;
+    f += std::exp(-kappa * (d2 * e.inv_r2 - 1.0));
+  });
+  return f;
+}
+
+Vec3 DensityField::gradient(const Vec3& p) const {
+  Vec3 g;
+  const double kappa = params_.kappa;
+  const double cut2 = cutoff_ * cutoff_;
+  for_neighbors(p, [&](const Entry& e) {
+    const double d2 = distance2(p, e.pos);
+    if (d2 > cut2) return;
+    const double w = std::exp(-kappa * (d2 * e.inv_r2 - 1.0));
+    // d/dp exp(-kappa(|p-c|^2/r^2 - 1)) = -2 kappa/r^2 * w * (p - c)
+    g += (p - e.pos) * (-2.0 * kappa * e.inv_r2 * w);
+  });
+  return g;
+}
+
+}  // namespace gbpol::surface

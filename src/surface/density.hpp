@@ -1,0 +1,62 @@
+// Gaussian molecular density field.
+//
+// The molecular surface is the isosurface f(x) = 1 of
+//   f(x) = sum_i exp(-kappa * (|x - c_i|^2 / r_i^2 - 1)),
+// the standard "blobby" Gaussian surface used by molecular-surface tools.
+// kappa controls how tightly the surface hugs the atoms; each atom's
+// contribution is negligible beyond a distance of
+//   r_i * sqrt(1 + ln(1/tol)/kappa),
+// which lets evaluation use a cell list and stay O(1) per query.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "molecule/molecule.hpp"
+#include "support/aabb.hpp"
+#include "support/vec3.hpp"
+
+namespace gbpol::surface {
+
+class DensityField {
+ public:
+  struct Params {
+    double kappa = 2.3;
+    double tolerance = 1e-4;  // per-atom contribution cutoff
+  };
+
+  explicit DensityField(const Molecule& mol);  // default Params
+  DensityField(const Molecule& mol, Params params);
+
+  double value(const Vec3& p) const;
+  Vec3 gradient(const Vec3& p) const;
+
+  // Largest distance at which any atom still contributes (cell-list reach).
+  double cutoff() const { return cutoff_; }
+  // Molecule bounds inflated by the cutoff: outside this box f < n*tolerance.
+  const Aabb& domain() const { return domain_; }
+
+ private:
+  struct Entry {
+    Vec3 pos;
+    double inv_r2;  // 1 / r_i^2
+  };
+
+  // Iterates atoms within the cutoff of p.
+  template <typename Fn>
+  void for_neighbors(const Vec3& p, Fn&& fn) const;
+
+  std::size_t cell_index(int cx, int cy, int cz) const;
+
+  Params params_;
+  double cutoff_ = 0.0;
+  Aabb domain_;
+  // Cell list over atoms, cell size = cutoff.
+  Vec3 grid_origin_;
+  double cell_size_ = 1.0;
+  int nx_ = 1, ny_ = 1, nz_ = 1;
+  std::vector<std::uint32_t> cell_start_;  // size nx*ny*nz + 1
+  std::vector<Entry> entries_;             // atoms bucketed by cell
+};
+
+}  // namespace gbpol::surface

@@ -1,0 +1,63 @@
+#include "surface/dunavant.hpp"
+
+#include <algorithm>
+
+namespace gbpol::surface {
+namespace {
+
+// Coefficients from Dunavant, "High degree efficient symmetrical Gaussian
+// quadrature rules for the triangle", IJNME 21 (1985). Weights sum to 1.
+
+constexpr BarycentricPoint kDegree1[] = {
+    {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0, 1.0},
+};
+
+constexpr BarycentricPoint kDegree2[] = {
+    {2.0 / 3.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 3.0},
+    {1.0 / 6.0, 2.0 / 3.0, 1.0 / 6.0, 1.0 / 3.0},
+    {1.0 / 6.0, 1.0 / 6.0, 2.0 / 3.0, 1.0 / 3.0},
+};
+
+constexpr BarycentricPoint kDegree3[] = {
+    {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0, -0.5625},
+    {0.6, 0.2, 0.2, 0.520833333333333333},
+    {0.2, 0.6, 0.2, 0.520833333333333333},
+    {0.2, 0.2, 0.6, 0.520833333333333333},
+};
+
+constexpr double kD4a = 0.816847572980459;
+constexpr double kD4b = 0.091576213509771;
+constexpr double kD4wa = 0.109951743655322;
+constexpr double kD4c = 0.108103018168070;
+constexpr double kD4d = 0.445948490915965;
+constexpr double kD4wc = 0.223381589678011;
+constexpr BarycentricPoint kDegree4[] = {
+    {kD4a, kD4b, kD4b, kD4wa}, {kD4b, kD4a, kD4b, kD4wa}, {kD4b, kD4b, kD4a, kD4wa},
+    {kD4c, kD4d, kD4d, kD4wc}, {kD4d, kD4c, kD4d, kD4wc}, {kD4d, kD4d, kD4c, kD4wc},
+};
+
+constexpr double kD5a = 0.797426985353087;
+constexpr double kD5b = 0.101286507323456;
+constexpr double kD5wa = 0.125939180544827;
+constexpr double kD5c = 0.059715871789770;
+constexpr double kD5d = 0.470142064105115;
+constexpr double kD5wc = 0.132394152788506;
+constexpr BarycentricPoint kDegree5[] = {
+    {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0, 0.225},
+    {kD5a, kD5b, kD5b, kD5wa}, {kD5b, kD5a, kD5b, kD5wa}, {kD5b, kD5b, kD5a, kD5wa},
+    {kD5c, kD5d, kD5d, kD5wc}, {kD5d, kD5c, kD5d, kD5wc}, {kD5d, kD5d, kD5c, kD5wc},
+};
+
+}  // namespace
+
+std::span<const BarycentricPoint> dunavant_rule(int degree) {
+  switch (std::clamp(degree, 1, 5)) {
+    case 1: return kDegree1;
+    case 2: return kDegree2;
+    case 3: return kDegree3;
+    case 4: return kDegree4;
+    default: return kDegree5;
+  }
+}
+
+}  // namespace gbpol::surface

@@ -1,0 +1,22 @@
+// Dunavant symmetric Gauss quadrature rules on the reference triangle.
+//
+// The paper cites Dunavant [11] for the per-triangle quadrature points used
+// in the surface integral of Eq. (3)/(4). Rules of polynomial degree 1-5
+// (1, 3, 4, 6 and 7 points) are provided; weights are normalized to sum to 1
+// so that a physical point weight is `rule_weight * triangle_area`.
+#pragma once
+
+#include <span>
+
+namespace gbpol::surface {
+
+struct BarycentricPoint {
+  double l1, l2, l3;  // barycentric coordinates, l1 + l2 + l3 = 1
+  double weight;      // fraction of the triangle area
+};
+
+// Returns the rule for the requested polynomial degree (1..5). Degrees
+// outside that range are clamped.
+std::span<const BarycentricPoint> dunavant_rule(int degree);
+
+}  // namespace gbpol::surface

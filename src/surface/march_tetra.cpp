@@ -1,0 +1,129 @@
+#include "surface/march_tetra.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace gbpol::surface {
+namespace {
+
+// Corner i of a cube sits at offset (i&1, (i>>1)&1, (i>>2)&1). The six
+// tetrahedra below share the 0-7 main diagonal; this decomposition
+// triangulates every cube face with the diagonal through the face corners
+// adjacent to 0 and 7, which is the SAME geometric diagonal its neighbour
+// picks — so the extracted surface is crack-free without parity tricks.
+constexpr int kTets[6][4] = {
+    {0, 1, 3, 7}, {0, 3, 2, 7}, {0, 2, 6, 7},
+    {0, 6, 4, 7}, {0, 4, 5, 7}, {0, 5, 1, 7},
+};
+
+Vec3 interpolate(const Vec3& p0, double f0, const Vec3& p1, double f1, double iso) {
+  const double denom = f1 - f0;
+  // Corners are classified strictly-inside vs outside, so denom != 0 for a
+  // crossed edge; the guard is defensive for near-equal values.
+  const double t = std::abs(denom) > 1e-300 ? (iso - f0) / denom : 0.5;
+  return p0 + (p1 - p0) * t;
+}
+
+// Appends `tri` oriented so its normal points away from `inside_ref` (a
+// point on the molecule side of the surface).
+void emit_oriented(TriangleMesh& mesh, Triangle tri, const Vec3& inside_ref) {
+  const Vec3 an = tri.area_normal();
+  constexpr double kMinArea2 = 1e-20;
+  if (norm2(an) < kMinArea2) return;  // degenerate sliver
+  if (dot(an, tri.centroid() - inside_ref) < 0.0) std::swap(tri.b, tri.c);
+  mesh.triangles.push_back(tri);
+}
+
+void polygonize_tet(TriangleMesh& mesh, const std::array<Vec3, 4>& p,
+                    const std::array<double, 4>& f, double iso) {
+  int inside[4], outside[4];
+  int n_in = 0, n_out = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (f[i] > iso)
+      inside[n_in++] = i;
+    else
+      outside[n_out++] = i;
+  }
+  if (n_in == 0 || n_in == 4) return;
+
+  if (n_in == 1 || n_in == 3) {
+    // One vertex separated from the other three: single triangle.
+    const int apex = n_in == 1 ? inside[0] : outside[0];
+    const int* base = n_in == 1 ? outside : inside;
+    Triangle tri{
+        interpolate(p[apex], f[apex], p[base[0]], f[base[0]], iso),
+        interpolate(p[apex], f[apex], p[base[1]], f[base[1]], iso),
+        interpolate(p[apex], f[apex], p[base[2]], f[base[2]], iso),
+    };
+    const Vec3 inside_ref = n_in == 1 ? p[apex] : (p[base[0]] + p[base[1]] + p[base[2]]) / 3.0;
+    emit_oriented(mesh, tri, inside_ref);
+    return;
+  }
+
+  // Two in, two out: the crossing points form a quad; split into two
+  // triangles sharing the q0-q2 diagonal (q indices chosen so the quad is
+  // traversed along its perimeter: (a-c, a-d, b-d, b-c)).
+  const int a = inside[0], b = inside[1], c = outside[0], d = outside[1];
+  const Vec3 q0 = interpolate(p[a], f[a], p[c], f[c], iso);
+  const Vec3 q1 = interpolate(p[a], f[a], p[d], f[d], iso);
+  const Vec3 q2 = interpolate(p[b], f[b], p[d], f[d], iso);
+  const Vec3 q3 = interpolate(p[b], f[b], p[c], f[c], iso);
+  const Vec3 inside_ref = 0.5 * (p[a] + p[b]);
+  emit_oriented(mesh, Triangle{q0, q1, q2}, inside_ref);
+  emit_oriented(mesh, Triangle{q0, q2, q3}, inside_ref);
+}
+
+}  // namespace
+
+TriangleMesh march_tetrahedra(const DensityField& field, const MarchParams& params) {
+  const Aabb& dom = field.domain();
+  const Vec3 ext = dom.extent();
+  const double h = params.grid_spacing;
+  const int nx = std::max(1, static_cast<int>(std::ceil(ext.x / h)));
+  const int ny = std::max(1, static_cast<int>(std::ceil(ext.y / h)));
+  const int nz = std::max(1, static_cast<int>(std::ceil(ext.z / h)));
+
+  // Sample the field on the (nx+1)(ny+1)(nz+1) lattice once; cells then read
+  // corners from the cache instead of re-evaluating the field 8x6 times.
+  const std::size_t sx = nx + 1, sy = ny + 1, sz = nz + 1;
+  std::vector<double> values(sx * sy * sz);
+  auto vidx = [&](int ix, int iy, int iz) {
+    return (static_cast<std::size_t>(iz) * sy + iy) * sx + ix;
+  };
+  auto point = [&](int ix, int iy, int iz) {
+    return Vec3{dom.lo.x + ix * h, dom.lo.y + iy * h, dom.lo.z + iz * h};
+  };
+  for (int iz = 0; iz < static_cast<int>(sz); ++iz)
+    for (int iy = 0; iy < static_cast<int>(sy); ++iy)
+      for (int ix = 0; ix < static_cast<int>(sx); ++ix)
+        values[vidx(ix, iy, iz)] = field.value(point(ix, iy, iz));
+
+  TriangleMesh mesh;
+  const double iso = params.iso_value;
+  for (int cz = 0; cz < nz; ++cz) {
+    for (int cy = 0; cy < ny; ++cy) {
+      for (int cx = 0; cx < nx; ++cx) {
+        std::array<Vec3, 8> corner;
+        std::array<double, 8> fval;
+        bool any_in = false, any_out = false;
+        for (int i = 0; i < 8; ++i) {
+          const int ix = cx + (i & 1), iy = cy + ((i >> 1) & 1), iz = cz + ((i >> 2) & 1);
+          corner[i] = point(ix, iy, iz);
+          fval[i] = values[vidx(ix, iy, iz)];
+          (fval[i] > iso ? any_in : any_out) = true;
+        }
+        if (!any_in || !any_out) continue;
+        for (const auto& tet : kTets) {
+          polygonize_tet(mesh,
+                         {corner[tet[0]], corner[tet[1]], corner[tet[2]], corner[tet[3]]},
+                         {fval[tet[0]], fval[tet[1]], fval[tet[2]], fval[tet[3]]}, iso);
+        }
+      }
+    }
+  }
+  return mesh;
+}
+
+}  // namespace gbpol::surface

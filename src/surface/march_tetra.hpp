@@ -1,0 +1,23 @@
+// Marching-tetrahedra isosurface extraction over a uniform grid.
+//
+// Chosen over classic marching cubes because the tetrahedral decomposition
+// needs no 256-entry case table and cannot produce ambiguous (cracked)
+// facets: every cube is split into 6 tetrahedra sharing a main diagonal, and
+// each tetrahedron contributes 0, 1 or 2 triangles. Triangles are oriented
+// so their geometric normal points OUT of the molecule (toward decreasing
+// density), which is the orientation Eq. (4)'s surface integral requires.
+#pragma once
+
+#include "surface/density.hpp"
+#include "surface/mesh.hpp"
+
+namespace gbpol::surface {
+
+struct MarchParams {
+  double grid_spacing = 1.5;  // Angstrom
+  double iso_value = 1.0;
+};
+
+TriangleMesh march_tetrahedra(const DensityField& field, const MarchParams& params = {});
+
+}  // namespace gbpol::surface

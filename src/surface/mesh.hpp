@@ -1,0 +1,39 @@
+// Triangle-soup surface mesh. The quadrature sampler only needs per-triangle
+// geometry, so no shared-vertex connectivity is maintained.
+#pragma once
+
+#include <vector>
+
+#include "support/vec3.hpp"
+
+namespace gbpol::surface {
+
+struct Triangle {
+  Vec3 a, b, c;
+
+  Vec3 centroid() const { return (a + b + c) / 3.0; }
+  // Unoriented geometric normal scaled by twice the area.
+  Vec3 area_normal() const { return cross(b - a, c - a); }
+  double area() const { return 0.5 * norm(area_normal()); }
+};
+
+struct TriangleMesh {
+  std::vector<Triangle> triangles;
+
+  double total_area() const {
+    double s = 0.0;
+    for (const Triangle& t : triangles) s += t.area();
+    return s;
+  }
+
+  // Enclosed volume by the divergence theorem (valid when triangles are
+  // consistently outward-oriented, which the marcher guarantees):
+  //   V = (1/3) * sum over triangles of centroid . area_normal / 2.
+  double enclosed_volume() const {
+    double s = 0.0;
+    for (const Triangle& t : triangles) s += dot(t.centroid(), t.area_normal());
+    return s / 6.0;
+  }
+};
+
+}  // namespace gbpol::surface

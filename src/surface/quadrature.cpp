@@ -1,0 +1,38 @@
+#include "surface/quadrature.hpp"
+
+#include "surface/density.hpp"
+#include "surface/dunavant.hpp"
+#include "surface/march_tetra.hpp"
+
+namespace gbpol::surface {
+
+SurfaceQuadrature quadrature_from_mesh(const TriangleMesh& mesh, int degree) {
+  const auto rule = dunavant_rule(degree);
+  SurfaceQuadrature quad;
+  quad.points.reserve(mesh.triangles.size() * rule.size());
+  quad.normals.reserve(mesh.triangles.size() * rule.size());
+  quad.weights.reserve(mesh.triangles.size() * rule.size());
+
+  for (const Triangle& tri : mesh.triangles) {
+    const Vec3 an = tri.area_normal();
+    const double area = 0.5 * norm(an);
+    if (area <= 0.0) continue;
+    const Vec3 n = an / (2.0 * area);
+    for (const BarycentricPoint& bp : rule) {
+      quad.points.push_back(tri.a * bp.l1 + tri.b * bp.l2 + tri.c * bp.l3);
+      quad.normals.push_back(n);
+      quad.weights.push_back(bp.weight * area);
+    }
+  }
+  return quad;
+}
+
+SurfaceQuadrature molecular_surface_quadrature(const Molecule& mol,
+                                               const QuadratureParams& params) {
+  DensityField field(mol, {.kappa = params.kappa, .tolerance = 1e-4});
+  const TriangleMesh mesh =
+      march_tetrahedra(field, {.grid_spacing = params.grid_spacing, .iso_value = 1.0});
+  return quadrature_from_mesh(mesh, params.dunavant_degree);
+}
+
+}  // namespace gbpol::surface

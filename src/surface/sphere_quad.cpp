@@ -1,0 +1,32 @@
+#include "surface/sphere_quad.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace gbpol::surface {
+
+SurfaceQuadrature fibonacci_sphere_quadrature(std::size_t n, const Vec3& center,
+                                              double radius) {
+  SurfaceQuadrature quad;
+  quad.points.reserve(n);
+  quad.normals.reserve(n);
+  quad.weights.reserve(n);
+
+  constexpr double kGoldenAngle = 2.399963229728653;  // pi * (3 - sqrt(5))
+  const double area_per_point =
+      4.0 * std::numbers::pi * radius * radius / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // z marches through (-1, 1) in equal-area bands; phi spirals by the
+    // golden angle so neighbouring bands never align.
+    const double z = 1.0 - (2.0 * static_cast<double>(i) + 1.0) / static_cast<double>(n);
+    const double rho = std::sqrt(std::max(0.0, 1.0 - z * z));
+    const double phi = kGoldenAngle * static_cast<double>(i);
+    const Vec3 dir{rho * std::cos(phi), rho * std::sin(phi), z};
+    quad.points.push_back(center + dir * radius);
+    quad.normals.push_back(dir);
+    quad.weights.push_back(area_per_point);
+  }
+  return quad;
+}
+
+}  // namespace gbpol::surface

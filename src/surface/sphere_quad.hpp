@@ -1,0 +1,21 @@
+// Analytic sphere quadrature (Fibonacci lattice).
+//
+// For a spherical "molecule" the Born-radius integrals of Eq. (4) have closed
+// forms (see core/analytic.hpp), so a sphere sampled exactly — rather than
+// through the density/marching pipeline — is the reference input for the
+// library's property tests and convergence studies.
+#pragma once
+
+#include <cstddef>
+
+#include "support/vec3.hpp"
+#include "surface/quadrature.hpp"
+
+namespace gbpol::surface {
+
+// N near-uniform points on the sphere of radius `radius` centered at
+// `center`; weights are 4*pi*r^2 / N, normals point radially outward.
+SurfaceQuadrature fibonacci_sphere_quadrature(std::size_t n, const Vec3& center,
+                                              double radius);
+
+}  // namespace gbpol::surface

@@ -1,0 +1,117 @@
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA'05; memory orderings per
+// Le, Pop, Cohen & Zappa Nardelli, PPoPP'13).
+//
+// The owner pushes and pops at the bottom (LIFO — hot data stays in cache);
+// thieves steal from the top (the oldest, coldest task), which is exactly the
+// cilk++ discipline the paper relies on for cache-friendly dynamic load
+// balancing inside a compute node.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace gbpol::ws {
+
+template <typename T>
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::int64_t initial_capacity = 64)
+      : buffer_(new Buffer(initial_capacity)) {
+    retired_.emplace_back(buffer_.load(std::memory_order_relaxed));
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  // Owner only.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= buf->capacity) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only. Returns true and fills `out` if a task was taken.
+  bool pop(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  // Any thread. Returns true and fills `out` on success.
+  bool steal(T& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    Buffer* buf = buffer_.load(std::memory_order_consume);
+    T item = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;  // lost the race
+    }
+    out = item;
+    return true;
+  }
+
+  bool empty() const {
+    return bottom_.load(std::memory_order_relaxed) <=
+           top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+    const std::int64_t capacity;
+    const std::int64_t mask;  // capacity is a power of two
+    std::unique_ptr<std::atomic<T>[]> slots;
+
+    T get(std::int64_t i) const { return slots[i & mask].load(std::memory_order_relaxed); }
+    void put(std::int64_t i, T v) { slots[i & mask].store(v, std::memory_order_relaxed); }
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto fresh = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) fresh->put(i, old->get(i));
+    Buffer* raw = fresh.get();
+    // Old buffers stay alive until destruction: a thief may still be reading
+    // one. Retiring instead of freeing makes growth safe without hazard
+    // pointers; memory is bounded by 2x the peak size.
+    retired_.push_back(std::move(fresh));
+    buffer_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+  std::vector<std::unique_ptr<Buffer>> retired_;  // owner-modified only (in grow)
+};
+
+}  // namespace gbpol::ws

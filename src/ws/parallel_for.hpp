@@ -1,0 +1,77 @@
+// Fork-join loop skeletons over the work-stealing scheduler.
+//
+// parallel_reduce performs its combines in a FIXED binary-tree order that is
+// independent of which worker executes which half, so floating-point results
+// are bit-identical run to run and equal to the serial left-to-right tree —
+// the same determinism guarantee cilk++ reducer semantics give, and the
+// reason the paper's node-based work division reports P-independent errors.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "ws/scheduler.hpp"
+
+namespace gbpol::ws {
+
+namespace detail {
+
+template <typename F>
+void pfor_impl(Scheduler& sched, std::size_t begin, std::size_t end,
+               std::size_t grain, const F& body) {
+  if (end - begin <= grain) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t mid = begin + (end - begin) / 2;
+  TaskGroup group(sched);
+  group.run([&] { pfor_impl(sched, begin, mid, grain, body); });
+  pfor_impl(sched, mid, end, grain, body);
+  group.wait();
+}
+
+template <typename T, typename Map, typename Combine>
+T preduce_impl(Scheduler& sched, std::size_t begin, std::size_t end,
+               std::size_t grain, const Map& map, const Combine& combine) {
+  if (end - begin <= grain) return map(begin, end);
+  const std::size_t mid = begin + (end - begin) / 2;
+  T left{};
+  TaskGroup group(sched);
+  group.run([&] { left = preduce_impl<T>(sched, begin, mid, grain, map, combine); });
+  T right = preduce_impl<T>(sched, mid, end, grain, map, combine);
+  group.wait();
+  return combine(std::move(left), std::move(right));
+}
+
+}  // namespace detail
+
+// Calls body(chunk_begin, chunk_end) over disjoint chunks of [begin, end),
+// each at most `grain` long. Callable from inside or outside the pool.
+template <typename F>
+void parallel_for(Scheduler& sched, std::size_t begin, std::size_t end,
+                  std::size_t grain, F&& body) {
+  if (begin >= end) return;
+  const std::size_t g = grain > 0 ? grain : 1;
+  if (Scheduler::in_pool()) {
+    detail::pfor_impl(sched, begin, end, g, body);
+  } else {
+    sched.run([&] { detail::pfor_impl(sched, begin, end, g, body); });
+  }
+}
+
+// Deterministic tree reduction: result equals the serial evaluation of the
+// same combine tree regardless of scheduling. `map(b, e)` produces a chunk
+// value; `combine(l, r)` merges adjacent chunk values left-to-right.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(Scheduler& sched, std::size_t begin, std::size_t end,
+                  std::size_t grain, Map&& map, Combine&& combine) {
+  if (begin >= end) return T{};
+  const std::size_t g = grain > 0 ? grain : 1;
+  if (Scheduler::in_pool())
+    return detail::preduce_impl<T>(sched, begin, end, g, map, combine);
+  T result{};
+  sched.run([&] { result = detail::preduce_impl<T>(sched, begin, end, g, map, combine); });
+  return result;
+}
+
+}  // namespace gbpol::ws

@@ -1,0 +1,188 @@
+#include "ws/scheduler.hpp"
+
+#include <cassert>
+#include <chrono>
+
+#include "support/timer.hpp"
+
+namespace gbpol::ws {
+namespace {
+thread_local int tls_worker_id = -1;
+thread_local Scheduler* tls_scheduler = nullptr;
+// Task nesting depth: tasks executed inside an enclosing task's wait() are
+// already inside the outer task's CPU-time window, so only depth-0
+// executions accumulate busy time (no double counting).
+thread_local int tls_task_depth = 0;
+}  // namespace
+
+TaskGroup::~TaskGroup() {
+  assert(pending_.load(std::memory_order_relaxed) == 0 &&
+         "TaskGroup destroyed with outstanding tasks");
+}
+
+void TaskGroup::wait() {
+  assert(Scheduler::in_pool() && "TaskGroup::wait must run on a pool thread");
+  auto& self = *sched_.workers_[static_cast<std::size_t>(Scheduler::worker_id())];
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (detail::Task* task = sched_.find_task(self)) {
+      sched_.execute(task, self);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+Scheduler::Scheduler(int num_workers) {
+  const int n = num_workers > 0 ? num_workers : 1;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.push_back(std::make_unique<Worker>(0xC0FFEEULL + static_cast<std::uint64_t>(i)));
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) threads_.emplace_back([this, i] { worker_main(i); });
+}
+
+Scheduler::~Scheduler() {
+  shutdown_.store(true, std::memory_order_release);
+  wake_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int Scheduler::worker_id() { return tls_worker_id; }
+
+void Scheduler::run(std::function<void()> root) {
+  assert(!in_pool() && "Scheduler::run must not be called from inside the pool");
+  root_done_.store(false, std::memory_order_relaxed);
+  std::function<void()> fn = std::move(root);
+  auto* task = new detail::Task{
+      [this, fn = std::move(fn)] {
+        fn();
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          root_done_.store(true, std::memory_order_release);
+        }
+        done_cv_.notify_all();
+      },
+      nullptr};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    injected_.push_back(task);
+  }
+  work_cv_.notify_one();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return root_done_.load(std::memory_order_acquire); });
+}
+
+void Scheduler::spawn(detail::Task* task) {
+  const int id = worker_id();
+  assert(id >= 0 && tls_scheduler == this && "spawn must come from this pool");
+  workers_[static_cast<std::size_t>(id)]->deque.push(task);
+  if (idle_.load(std::memory_order_relaxed) > 0) wake_one();
+}
+
+detail::Task* Scheduler::find_task(Worker& self) {
+  detail::Task* task = nullptr;
+  if (self.deque.pop(task)) return task;
+
+  // Random-victim stealing, one full sweep starting at a random offset.
+  const std::size_t n = workers_.size();
+  const std::size_t start = self.rng.next_below(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Worker& victim = *workers_[(start + k) % n];
+    if (&victim == &self) continue;
+    if (victim.deque.steal(task)) {
+      self.steals.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+
+  // Injection queue (root tasks).
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!injected_.empty()) {
+    task = injected_.back();
+    injected_.pop_back();
+    return task;
+  }
+  return nullptr;
+}
+
+void Scheduler::execute(detail::Task* task, Worker& self) {
+  const bool outermost = tls_task_depth == 0;
+  ++tls_task_depth;
+  ThreadCpuTimer timer;
+  task->fn();
+  if (outermost) {
+    const double secs = timer.seconds();
+    self.busy_ns.fetch_add(static_cast<std::uint64_t>(secs * 1e9),
+                           std::memory_order_relaxed);
+  }
+  --tls_task_depth;
+  self.tasks.fetch_add(1, std::memory_order_relaxed);
+  if (task->pending != nullptr)
+    task->pending->fetch_sub(1, std::memory_order_acq_rel);
+  delete task;
+}
+
+void Scheduler::worker_main(int id) {
+  tls_worker_id = id;
+  tls_scheduler = this;
+  Worker& self = *workers_[static_cast<std::size_t>(id)];
+  int spins = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (detail::Task* task = find_task(self)) {
+      execute(task, self);
+      spins = 0;
+      continue;
+    }
+    if (++spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Park until new work is injected or spawned.
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    if (!injected_.empty()) continue;  // recheck under the lock
+    idle_.fetch_add(1, std::memory_order_relaxed);
+    work_cv_.wait_for(lock, std::chrono::milliseconds(2));
+    idle_.fetch_sub(1, std::memory_order_relaxed);
+    spins = 0;
+  }
+  tls_worker_id = -1;
+  tls_scheduler = nullptr;
+}
+
+void Scheduler::wake_one() { work_cv_.notify_one(); }
+void Scheduler::wake_all() { work_cv_.notify_all(); }
+
+double Scheduler::Stats::max_busy() const {
+  double m = 0.0;
+  for (double b : busy_seconds) m = std::max(m, b);
+  return m;
+}
+
+double Scheduler::Stats::total_busy() const {
+  double s = 0.0;
+  for (double b : busy_seconds) s += b;
+  return s;
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  Stats st;
+  st.busy_seconds.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    st.tasks_executed += w->tasks.load(std::memory_order_relaxed);
+    st.steals += w->steals.load(std::memory_order_relaxed);
+    st.busy_seconds.push_back(
+        static_cast<double>(w->busy_ns.load(std::memory_order_relaxed)) * 1e-9);
+  }
+  return st;
+}
+
+void Scheduler::reset_stats() {
+  for (const auto& w : workers_) {
+    w->tasks.store(0, std::memory_order_relaxed);
+    w->steals.store(0, std::memory_order_relaxed);
+    w->busy_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace gbpol::ws

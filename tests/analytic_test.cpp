@@ -1,0 +1,154 @@
+// Closed-form r^4/r^6 integrals vs brute-force numerical quadrature.
+#include "core/analytic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "support/vec3.hpp"
+
+namespace gbpol::analytic {
+namespace {
+
+// Monte Carlo integral of |r - p|^-power over the ball (center c, radius b)
+// clipped to |r - p| >= s_lo.
+double mc_clipped_ball(double d, double b, double s_lo, int power,
+                       std::uint64_t seed, std::size_t samples) {
+  Rng rng(seed);
+  const Vec3 p{d, 0, 0};  // field point; ball centered at origin
+  double sum = 0.0;
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const Vec3 r{rng.uniform(-b, b), rng.uniform(-b, b), rng.uniform(-b, b)};
+    if (norm2(r) > b * b) continue;
+    ++accepted;
+    const double s = distance(r, p);
+    if (s < s_lo) continue;
+    sum += std::pow(s, -power);
+  }
+  const double cube_volume = 8.0 * b * b * b;
+  (void)accepted;
+  return sum / static_cast<double>(samples) * cube_volume;
+}
+
+// Radial (deterministic) quadrature of the exterior integral for an interior
+// field point: integrate over spherical shells around the BALL center.
+double radial_exterior_r6(double d, double b, int steps) {
+  // For shell radius t > b around the origin and point p at distance d,
+  // integrate 1/|r-p|^6 over the shell surface analytically in mu:
+  //   2 pi t^2 int_-1^1 (t^2 + d^2 - 2 t d mu)^-3 dmu
+  //     = (pi t / (2 d)) * [ (t-d)^-4 - (t+d)^-4 ].
+  double sum = 0.0;
+  const double t_max = b + 60.0;  // tail beyond this is ~(b/t)^4 * 1e-7
+  const double dt = (t_max - b) / steps;
+  for (int i = 0; i < steps; ++i) {
+    const double t = b + (i + 0.5) * dt;
+    const double shell = std::numbers::pi * t / (2.0 * d) *
+                         (std::pow(t - d, -4.0) - std::pow(t + d, -4.0));
+    sum += shell * dt;
+  }
+  return sum;
+}
+
+TEST(ExteriorR6, CenterPointMatchesClosedForm) {
+  const double b = 2.5;
+  EXPECT_NEAR(exterior_r6_integral(0.0, b), 4.0 * std::numbers::pi / (3.0 * b * b * b),
+              1e-12);
+}
+
+TEST(ExteriorR6, MatchesRadialQuadratureOffCenter) {
+  for (const double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double b = 3.0, d = frac * b;
+    const double exact = exterior_r6_integral(d, b);
+    const double numeric = radial_exterior_r6(d, b, 400000);
+    EXPECT_NEAR(numeric / exact, 1.0, 1e-3) << "frac=" << frac;
+  }
+}
+
+TEST(BornRadiusInSphere, CenterEqualsSphereRadius) {
+  EXPECT_NEAR(born_radius_in_sphere(0.0, 4.0), 4.0, 1e-12);
+  EXPECT_NEAR(born_radius_in_sphere(0.0, 17.5), 17.5, 1e-12);
+}
+
+TEST(BornRadiusInSphere, DecreasesTowardSurface) {
+  const double b = 5.0;
+  double prev = born_radius_in_sphere(0.0, b);
+  for (double d = 0.5; d < b; d += 0.5) {
+    const double r = born_radius_in_sphere(d, b);
+    EXPECT_LT(r, prev) << "d=" << d;
+    prev = r;
+  }
+}
+
+TEST(ClippedBallR6, FarPointMatchesPointMassLimit) {
+  const double b = 1.0, d = 60.0;
+  const double expected = 4.0 / 3.0 * std::numbers::pi * b * b * b / std::pow(d, 6.0);
+  EXPECT_NEAR(clipped_ball_r6_integral(d, b, 1.5) / expected, 1.0, 1e-2);
+}
+
+TEST(ClippedBallR6, MatchesMonteCarloOutside) {
+  const double d = 4.0, b = 1.6, s_lo = 1.2;
+  const double exact = clipped_ball_r6_integral(d, b, s_lo);
+  const double mc = mc_clipped_ball(d, b, s_lo, 6, 42, 4000000);
+  EXPECT_NEAR(mc / exact, 1.0, 2e-2);
+}
+
+TEST(ClippedBallR6, MatchesMonteCarloOverlapping) {
+  const double d = 2.0, b = 1.6, s_lo = 1.0;  // balls overlap, clip active
+  const double exact = clipped_ball_r6_integral(d, b, s_lo);
+  const double mc = mc_clipped_ball(d, b, s_lo, 6, 43, 4000000);
+  EXPECT_NEAR(mc / exact, 1.0, 2e-2);
+}
+
+TEST(ClippedBallR6, MatchesMonteCarloInside) {
+  const double d = 0.5, b = 2.0, s_lo = 0.8;  // field point inside the ball
+  const double exact = clipped_ball_r6_integral(d, b, s_lo);
+  const double mc = mc_clipped_ball(d, b, s_lo, 6, 44, 4000000);
+  EXPECT_NEAR(mc / exact, 1.0, 2e-2);
+}
+
+TEST(ClippedBallR6, ZeroWhenClipBeyondBall) {
+  EXPECT_EQ(clipped_ball_r6_integral(4.0, 1.0, 5.5), 0.0);
+  EXPECT_EQ(clipped_ball_r6_integral(4.0, 0.0, 0.5), 0.0);
+}
+
+TEST(ClippedBallR4, MatchesMonteCarloOutside) {
+  const double d = 4.0, b = 1.6, s_lo = 1.2;
+  const double exact = clipped_ball_r4_integral(d, b, s_lo);
+  const double mc = mc_clipped_ball(d, b, s_lo, 4, 45, 4000000);
+  EXPECT_NEAR(mc / exact, 1.0, 2e-2);
+}
+
+TEST(ClippedBallR4, MatchesMonteCarloOverlapping) {
+  const double d = 2.0, b = 1.6, s_lo = 1.0;
+  const double exact = clipped_ball_r4_integral(d, b, s_lo);
+  const double mc = mc_clipped_ball(d, b, s_lo, 4, 46, 4000000);
+  EXPECT_NEAR(mc / exact, 1.0, 2e-2);
+}
+
+TEST(ClippedBallR4, MatchesMonteCarloInside) {
+  const double d = 0.5, b = 2.0, s_lo = 0.8;
+  const double exact = clipped_ball_r4_integral(d, b, s_lo);
+  const double mc = mc_clipped_ball(d, b, s_lo, 4, 47, 4000000);
+  EXPECT_NEAR(mc / exact, 1.0, 2e-2);
+}
+
+TEST(ClippedBallR4, FarPointMatchesPointMassLimit) {
+  const double b = 1.0, d = 80.0;
+  const double expected = 4.0 / 3.0 * std::numbers::pi * b * b * b / std::pow(d, 4.0);
+  EXPECT_NEAR(clipped_ball_r4_integral(d, b, 1.5) / expected, 1.0, 1e-2);
+}
+
+TEST(ClippedBallIntegrals, MonotoneInClipRadius) {
+  for (double s_lo = 0.5; s_lo < 6.0; s_lo += 0.25) {
+    EXPECT_GE(clipped_ball_r6_integral(3.0, 1.5, s_lo),
+              clipped_ball_r6_integral(3.0, 1.5, s_lo + 0.25));
+    EXPECT_GE(clipped_ball_r4_integral(3.0, 1.5, s_lo),
+              clipped_ball_r4_integral(3.0, 1.5, s_lo + 0.25));
+  }
+}
+
+}  // namespace
+}  // namespace gbpol::analytic

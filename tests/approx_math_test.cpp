@@ -1,0 +1,49 @@
+// Approximate-math kernels: accuracy bounds over the operand ranges the
+// E_pol kernel actually uses.
+#include "core/approx_math.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace gbpol {
+namespace {
+
+TEST(FastRsqrt, AccurateOverKernelRange) {
+  // f_GB operands: r^2 + R R exp(...) in roughly [1, 1e6] Angstrom^2.
+  EXPECT_LT(fast_rsqrt_max_rel_error(1.0, 1e6, 200000), 1e-5);
+}
+
+TEST(FastRsqrt, SpotValues) {
+  for (const double x : {0.25, 1.0, 2.0, 100.0, 12345.6}) {
+    EXPECT_NEAR(fast_rsqrt(x) * std::sqrt(x), 1.0, 1e-5) << x;
+  }
+}
+
+TEST(FastExp, AccurateOverNegativeRange) {
+  // GB exponent: -r^2/(4 R R) in [-~50, 0].
+  EXPECT_LT(fast_exp_max_rel_error(-50.0, 0.0, 200000), 0.05);
+}
+
+TEST(FastExp, SpotValues) {
+  EXPECT_NEAR(fast_exp(0.0), 1.0, 0.05);
+  EXPECT_NEAR(fast_exp(-1.0) / std::exp(-1.0), 1.0, 0.05);
+  EXPECT_NEAR(fast_exp(-10.0) / std::exp(-10.0), 1.0, 0.05);
+}
+
+TEST(FastExp, UnderflowsToZeroNotGarbage) {
+  EXPECT_EQ(fast_exp(-1000.0), 0.0);
+  EXPECT_GE(fast_exp(-699.0), 0.0);
+}
+
+TEST(FastRsqrt, MonotoneDecreasing) {
+  double prev = fast_rsqrt(0.5);
+  for (double x = 1.0; x < 100.0; x += 0.5) {
+    const double y = fast_rsqrt(x);
+    EXPECT_LT(y, prev);
+    prev = y;
+  }
+}
+
+}  // namespace
+}  // namespace gbpol

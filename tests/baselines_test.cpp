@@ -1,0 +1,198 @@
+// Baseline packages: HCT / OBC / Still-empirical / GBr6-volume behaviour and
+// their relationships (the structure behind the paper's Figs. 8-9).
+#include "baselines/hct.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/descreening.hpp"
+#include "baselines/gbr6_volume.hpp"
+#include "baselines/obc.hpp"
+#include "baselines/registry.hpp"
+#include "baselines/still_empirical.hpp"
+#include "core/naive.hpp"
+#include "molecule/generate.hpp"
+#include "support/stats.hpp"
+
+namespace gbpol::baselines {
+namespace {
+
+std::vector<Atom> test_protein(std::size_t n, std::uint64_t seed = 77) {
+  const Molecule mol = molgen::synthetic_protein(n, seed);
+  return {mol.atoms().begin(), mol.atoms().end()};
+}
+
+TEST(DescreeningTest, IsolatedAtomHasNoDescreening) {
+  const std::vector<Atom> atoms{{Vec3{}, 1.5, 1.0}};
+  const auto sums = descreening_i4_sums(atoms, 0.0, 0.09, 0.8);
+  EXPECT_EQ(sums[0], 0.0);
+}
+
+TEST(DescreeningTest, BuriedAtomDescreenedMoreThanSurfaceAtom) {
+  // A center atom inside a tight cluster vs a distant outlier: the buried
+  // one must accumulate a much larger descreening sum.
+  std::vector<Atom> atoms{{Vec3{}, 1.5, 0.0}};
+  for (const double sign : {-1.0, 1.0}) {
+    atoms.push_back({Vec3{sign * 2.5, 0, 0}, 1.5, 0.0});
+    atoms.push_back({Vec3{0, sign * 2.5, 0}, 1.5, 0.0});
+    atoms.push_back({Vec3{0, 0, sign * 2.5}, 1.5, 0.0});
+  }
+  atoms.push_back({Vec3{30, 0, 0}, 1.5, 0.0});  // outlier
+  const auto sums = descreening_i4_sums(atoms, 0.0, 0.09, 0.8);
+  EXPECT_GT(sums[0], 5.0 * sums.back());
+}
+
+TEST(DescreeningTest, CutoffConvergesToAllPairs) {
+  const auto atoms = test_protein(300);
+  const auto all = descreening_i4_sums(atoms, 0.0, 0.09, 0.8);
+  const auto cut = descreening_i4_sums(atoms, 40.0, 0.09, 0.8);
+  for (std::size_t i = 0; i < atoms.size(); ++i)
+    EXPECT_NEAR(cut[i], all[i], std::abs(all[i]) * 0.05 + 1e-9);
+}
+
+TEST(DescreeningTest, RangeVariantPartitions) {
+  const auto atoms = test_protein(200);
+  const auto all = descreening_i4_sums(atoms, 8.0, 0.09, 0.8);
+  auto lo_half = descreening_i4_sums_range(atoms, 0, 100, 8.0, 0.09, 0.8);
+  const auto hi_half = descreening_i4_sums_range(atoms, 100, 200, 8.0, 0.09, 0.8);
+  for (std::size_t i = 0; i < atoms.size(); ++i)
+    EXPECT_NEAR(lo_half[i] + hi_half[i], all[i], 1e-12);
+}
+
+TEST(CutoffEpolTest, MatchesNaiveWithoutCutoff) {
+  const auto atoms = test_protein(150);
+  std::vector<double> born(atoms.size(), 2.0);
+  const GBConstants constants;
+  const double full = cutoff_epol(atoms, born, constants, 0.0);
+  const double naive = naive_epol(atoms, born, constants);
+  EXPECT_NEAR(full, naive, std::abs(naive) * 1e-12);
+}
+
+TEST(CutoffEpolTest, RangesPartitionTotal) {
+  const auto atoms = test_protein(150);
+  std::vector<double> born(atoms.size(), 2.0);
+  const GBConstants constants;
+  const double full = cutoff_epol(atoms, born, constants, 10.0);
+  const double a = cutoff_epol_range(atoms, born, constants, 10.0, 0, 60);
+  const double b = cutoff_epol_range(atoms, born, constants, 10.0, 60, 150);
+  EXPECT_NEAR(a + b, full, std::abs(full) * 1e-12);
+}
+
+TEST(HctTest, RadiiBoundedAndOrdered) {
+  const auto atoms = test_protein(500);
+  BaselineOptions options;
+  options.ranks = 1;
+  const BaselineResult r = run_hct(atoms, options);
+  ASSERT_EQ(r.born_radii.size(), atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    EXPECT_GE(r.born_radii[i], atoms[i].radius - options.dielectric_offset - 1e-12);
+    EXPECT_LE(r.born_radii[i], kBornRadiusMax);
+  }
+  EXPECT_LT(r.energy, 0.0);
+}
+
+TEST(HctTest, DistributedInvariantInRankCount) {
+  const auto atoms = test_protein(400);
+  BaselineOptions one;
+  one.ranks = 1;
+  BaselineOptions many;
+  many.ranks = 6;
+  const BaselineResult a = run_hct(atoms, one);
+  const BaselineResult b = run_hct(atoms, many);
+  EXPECT_NEAR(a.energy, b.energy, std::abs(a.energy) * 1e-10);
+  for (std::size_t i = 0; i < atoms.size(); ++i)
+    ASSERT_NEAR(a.born_radii[i], b.born_radii[i], 1e-10);
+  EXPECT_GT(b.comm_seconds, a.comm_seconds);
+  EXPECT_GT(b.memory_bytes, a.memory_bytes);
+}
+
+TEST(ObcTest, TanhRescalingBoundsRadii) {
+  // OBC's tanh correction caps the descreening at 1/rho~ - 1/rho, so every
+  // radius is finite and bounded by rho~*rho/(rho - rho~) — the property
+  // the rescaling exists to provide (no runaway radii for buried atoms).
+  const auto atoms = test_protein(500);
+  BaselineOptions options;
+  const BaselineResult obc = run_obc(atoms, options);
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const double rho = atoms[i].radius;
+    const double rho_t = rho - options.dielectric_offset;
+    const double cap = rho_t * rho / (rho - rho_t);  // 1/(1/rho~ - 1/rho)
+    EXPECT_GE(obc.born_radii[i], rho_t - 1e-12);
+    EXPECT_LE(obc.born_radii[i], cap + 1e-9);
+  }
+  EXPECT_LT(obc.energy, 0.0);
+  // Same model family as HCT: energies agree within a small factor.
+  const BaselineResult hct = run_hct(atoms, options);
+  EXPECT_GT(obc.energy / hct.energy, 0.3);
+  EXPECT_LT(obc.energy / hct.energy, 3.0);
+}
+
+TEST(StillEmpiricalTest, UnderestimatesEnergyMagnitude) {
+  // Fig. 9: the Tinker-like parameterization reports ~70% of the reference
+  // energy magnitude.
+  const auto atoms = test_protein(500);
+  BaselineOptions hct_options;
+  const BaselineResult hct = run_hct(atoms, hct_options);
+  StillEmpiricalOptions still_options;
+  still_options.threads = 2;
+  const BaselineResult still = run_still_empirical(atoms, still_options);
+  EXPECT_LT(still.energy, 0.0);
+  const double ratio = still.energy / hct.energy;  // both negative
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 0.95);
+}
+
+TEST(StillEmpiricalTest, ThreadCountDoesNotChangeEnergy) {
+  const auto atoms = test_protein(300);
+  StillEmpiricalOptions a;
+  a.threads = 1;
+  StillEmpiricalOptions b;
+  b.threads = 4;
+  const BaselineResult ra = run_still_empirical(atoms, a);
+  const BaselineResult rb = run_still_empirical(atoms, b);
+  EXPECT_NEAR(ra.energy, rb.energy, std::abs(ra.energy) * 1e-12);
+}
+
+TEST(GBr6Test, SingleAtomKeepsIntrinsicRadius) {
+  const std::vector<Atom> atoms{{Vec3{}, 1.5, 1.0}};
+  BaselineOptions options;
+  const BaselineResult r = run_gbr6_volume(atoms, options);
+  EXPECT_NEAR(r.born_radii[0], 1.5 - options.dielectric_offset, 1e-9);
+}
+
+TEST(GBr6Test, ProteinRadiiCorrelateWithHct) {
+  const auto atoms = test_protein(400);
+  BaselineOptions options;
+  const BaselineResult gbr6 = run_gbr6_volume(atoms, options);
+  const BaselineResult hct = run_hct(atoms, options);
+  // Same direction: buried atoms get bigger radii in both.
+  double cov = 0.0, mean_a = 0.0, mean_b = 0.0;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    mean_a += gbr6.born_radii[i];
+    mean_b += hct.born_radii[i];
+  }
+  mean_a /= static_cast<double>(atoms.size());
+  mean_b /= static_cast<double>(atoms.size());
+  double var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    cov += (gbr6.born_radii[i] - mean_a) * (hct.born_radii[i] - mean_b);
+    var_a += (gbr6.born_radii[i] - mean_a) * (gbr6.born_radii[i] - mean_a);
+    var_b += (hct.born_radii[i] - mean_b) * (hct.born_radii[i] - mean_b);
+  }
+  const double corr = cov / std::sqrt(var_a * var_b);
+  // Different kernels (r^6 volume vs r^4 volume): moderate correlation.
+  EXPECT_GT(corr, 0.35);
+  EXPECT_LT(gbr6.energy, 0.0);
+}
+
+TEST(RegistryTest, TableContainsAllPackages) {
+  const auto table = package_table();
+  EXPECT_EQ(table.size(), 9u);
+  EXPECT_NE(find_package("oct_hybrid"), nullptr);
+  EXPECT_STREQ(std::string(find_package("hct_amber")->paper_name).c_str(), "Amber 12");
+  EXPECT_EQ(find_package("no-such-package"), nullptr);
+}
+
+}  // namespace
+}  // namespace gbpol::baselines

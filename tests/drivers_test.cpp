@@ -1,0 +1,177 @@
+// End-to-end drivers: OCT_SERIAL / OCT_CILK / OCT_MPI / OCT_MPI+CILK
+// agreement, work-division behaviour, memory accounting, timing plumbing.
+#include "core/drivers.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+#include "test_helpers.hpp"
+
+namespace gbpol {
+namespace {
+
+using testing::Fixture;
+using testing::make_fixture;
+
+class DriversTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { fixture_ = new Fixture(make_fixture(900)); }
+  static void TearDownTestSuite() { delete fixture_; }
+  static const Fixture& fix() { return *fixture_; }
+  static Fixture* fixture_;
+};
+Fixture* DriversTest::fixture_ = nullptr;
+
+TEST_F(DriversTest, SerialMatchesNaiveWithinApproximation) {
+  ApproxParams params;  // paper defaults: eps 0.9 / 0.9
+  const DriverResult r = run_oct_serial(fix().prep, params, GBConstants{});
+  EXPECT_LT(percent_error(r.energy, fix().naive_energy), 5.0);
+  EXPECT_GT(r.compute_seconds, 0.0);
+  EXPECT_EQ(r.comm_seconds, 0.0);
+  EXPECT_EQ(r.born_sorted.size(), fix().prep.num_atoms());
+}
+
+TEST_F(DriversTest, DistributedEnergyIndependentOfRankCount) {
+  // Node-node division: the computed approximation is identical for every P
+  // (only FP summation order changes) — the paper's §IV-A claim.
+  ApproxParams params;
+  const DriverResult serial = run_oct_serial(fix().prep, params, GBConstants{});
+  for (const int ranks : {1, 2, 5, 12}) {
+    RunConfig config;
+    config.ranks = ranks;
+    const DriverResult r = run_oct_distributed(fix().prep, params, GBConstants{}, config);
+    EXPECT_NEAR(r.energy, serial.energy, std::abs(serial.energy) * 1e-10)
+        << "ranks=" << ranks;
+  }
+}
+
+TEST_F(DriversTest, DistributedBornRadiiMatchSerial) {
+  ApproxParams params;
+  const DriverResult serial = run_oct_serial(fix().prep, params, GBConstants{});
+  RunConfig config;
+  config.ranks = 6;
+  const DriverResult dist = run_oct_distributed(fix().prep, params, GBConstants{}, config);
+  ASSERT_EQ(dist.born_sorted.size(), serial.born_sorted.size());
+  for (std::size_t i = 0; i < serial.born_sorted.size(); ++i)
+    ASSERT_NEAR(dist.born_sorted[i], serial.born_sorted[i],
+                serial.born_sorted[i] * 1e-10);
+}
+
+TEST_F(DriversTest, HybridMatchesPureMpi) {
+  ApproxParams params;
+  RunConfig mpi;
+  mpi.ranks = 12;
+  RunConfig hybrid;
+  hybrid.ranks = 2;
+  hybrid.threads_per_rank = 6;
+  const DriverResult a = run_oct_distributed(fix().prep, params, GBConstants{}, mpi);
+  const DriverResult b = run_oct_distributed(fix().prep, params, GBConstants{}, hybrid);
+  EXPECT_NEAR(a.energy, b.energy, std::abs(a.energy) * 1e-9);
+}
+
+TEST_F(DriversTest, CilkDriverMatchesNaiveScale) {
+  ApproxParams params;
+  const DriverResult r = run_oct_cilk(fix().prep, params, GBConstants{}, 4);
+  EXPECT_LT(percent_error(r.energy, fix().naive_energy), 6.0);
+  EXPECT_GT(r.tasks, 0u);
+}
+
+TEST_F(DriversTest, CilkDriverStableAcrossRuns) {
+  // The energy reduction uses a fixed combine tree, but the Born phase's
+  // per-worker accumulators regroup FP additions depending on which worker
+  // stole which task (as in cilk++ without reducers), so runs agree to FP
+  // reassociation noise, not bit-for-bit.
+  ApproxParams params;
+  const DriverResult a = run_oct_cilk(fix().prep, params, GBConstants{}, 4);
+  const DriverResult b = run_oct_cilk(fix().prep, params, GBConstants{}, 4);
+  EXPECT_NEAR(a.energy, b.energy, std::abs(a.energy) * 1e-10);
+}
+
+TEST_F(DriversTest, MemoryAccountingScalesWithRanks) {
+  // §V-B: pure MPI with 12 ranks replicates ~6x the memory of 2x6 hybrid.
+  ApproxParams params;
+  RunConfig mpi;
+  mpi.ranks = 12;
+  RunConfig hybrid;
+  hybrid.ranks = 2;
+  hybrid.threads_per_rank = 6;
+  const DriverResult a = run_oct_distributed(fix().prep, params, GBConstants{}, mpi);
+  const DriverResult b = run_oct_distributed(fix().prep, params, GBConstants{}, hybrid);
+  const double ratio = static_cast<double>(a.replicated_bytes) /
+                       static_cast<double>(b.replicated_bytes);
+  EXPECT_NEAR(ratio, 6.0, 0.5);
+}
+
+TEST_F(DriversTest, CommTimeGrowsWithRanks) {
+  ApproxParams params;
+  RunConfig few;
+  few.ranks = 2;
+  RunConfig many;
+  many.ranks = 24;
+  const DriverResult a = run_oct_distributed(fix().prep, params, GBConstants{}, few);
+  const DriverResult b = run_oct_distributed(fix().prep, params, GBConstants{}, many);
+  EXPECT_GT(b.comm_seconds, a.comm_seconds);
+}
+
+TEST_F(DriversTest, AtomBasedDivisionEnergyVariesWithRankCount) {
+  // §IV-A: the atom-based division's approximation depends on the division
+  // boundaries, so the energy drifts as P changes.
+  ApproxParams params;
+  RunConfig base;
+  base.division = WorkDivision::kAtomBased;
+  base.ranks = 1;
+  RunConfig split = base;
+  split.ranks = 7;
+  const DriverResult a = run_oct_distributed(fix().prep, params, GBConstants{}, base);
+  const DriverResult b = run_oct_distributed(fix().prep, params, GBConstants{}, split);
+  EXPECT_GT(std::abs(a.energy - b.energy), std::abs(a.energy) * 1e-10);
+  // Both still approximate the true energy.
+  EXPECT_LT(percent_error(a.energy, fix().naive_energy), 6.0);
+  EXPECT_LT(percent_error(b.energy, fix().naive_energy), 6.0);
+}
+
+TEST_F(DriversTest, BalancedNodeDivisionMatchesDefaultEnergy) {
+  ApproxParams params;
+  RunConfig def;
+  def.ranks = 5;
+  RunConfig balanced = def;
+  balanced.division = WorkDivision::kNodeBalanced;
+  const DriverResult a = run_oct_distributed(fix().prep, params, GBConstants{}, def);
+  const DriverResult b = run_oct_distributed(fix().prep, params, GBConstants{}, balanced);
+  // Same set of leaf-vs-tree interactions, different grouping only.
+  EXPECT_NEAR(a.energy, b.energy, std::abs(a.energy) * 1e-10);
+}
+
+TEST_F(DriversTest, DynamicDivisionMatchesStaticEnergy) {
+  // kDynamic self-schedules the same leaf set, so the energy equals the
+  // static division up to the order partial sums are folded.
+  ApproxParams params;
+  RunConfig station;
+  station.ranks = 6;
+  RunConfig dynamic = station;
+  dynamic.division = WorkDivision::kDynamic;
+  const DriverResult a = run_oct_distributed(fix().prep, params, GBConstants{}, station);
+  const DriverResult b = run_oct_distributed(fix().prep, params, GBConstants{}, dynamic);
+  EXPECT_NEAR(a.energy, b.energy, std::abs(a.energy) * 1e-9);
+  // Each chunk fetch is charged as an RPC: dynamic must report more comm.
+  EXPECT_GT(b.comm_seconds, a.comm_seconds);
+}
+
+TEST_F(DriversTest, TimingFieldsPopulated) {
+  ApproxParams params;
+  RunConfig config;
+  config.ranks = 3;
+  config.threads_per_rank = 2;
+  const DriverResult r = run_oct_distributed(fix().prep, params, GBConstants{}, config);
+  EXPECT_GT(r.compute_seconds, 0.0);
+  EXPECT_GT(r.comm_seconds, 0.0);
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GT(r.modeled_seconds(), r.compute_seconds);
+  EXPECT_EQ(r.ranks, 3);
+  EXPECT_EQ(r.threads_per_rank, 2);
+}
+
+}  // namespace
+}  // namespace gbpol

@@ -1,0 +1,103 @@
+// Harness: env knobs, repetition protocol, package dispatch.
+#include "harness/packages.hpp"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "harness/experiment.hpp"
+#include "support/stats.hpp"
+#include "test_helpers.hpp"
+
+namespace gbpol::harness {
+namespace {
+
+TEST(EnvTest, DefaultsAndOverrides) {
+  unsetenv("GBPOL_TEST_KNOB");
+  EXPECT_EQ(env_int("GBPOL_TEST_KNOB", 7), 7);
+  EXPECT_DOUBLE_EQ(env_double("GBPOL_TEST_KNOB", 1.5), 1.5);
+  setenv("GBPOL_TEST_KNOB", "42", 1);
+  EXPECT_EQ(env_int("GBPOL_TEST_KNOB", 7), 42);
+  setenv("GBPOL_TEST_KNOB", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("GBPOL_TEST_KNOB", 1.5), 2.5);
+  unsetenv("GBPOL_TEST_KNOB");
+}
+
+TEST(EnvTest, ScaleAndReps) {
+  unsetenv("GBPOL_BENCH_SCALE");
+  unsetenv("GBPOL_REPS");
+  EXPECT_DOUBLE_EQ(env_scale(), 1.0);
+  EXPECT_EQ(env_reps(20), 20);
+}
+
+TEST(RepeatTimedTest, CollectsAllRepetitions) {
+  int calls = 0;
+  const RepeatedTiming t = repeat_timed(5, [&] {
+    ++calls;
+    return std::make_pair(static_cast<double>(calls), 0.5);
+  });
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(t.modeled.count, 5u);
+  EXPECT_DOUBLE_EQ(t.modeled.min, 1.0);
+  EXPECT_DOUBLE_EQ(t.modeled.max, 5.0);
+  EXPECT_DOUBLE_EQ(t.wall.mean, 0.5);
+}
+
+class PackageDispatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new gbpol::testing::Fixture(gbpol::testing::make_fixture(400));
+  }
+  static void TearDownTestSuite() { delete fixture_; }
+  static const gbpol::testing::Fixture& fix() { return *fixture_; }
+  static gbpol::testing::Fixture* fixture_;
+};
+gbpol::testing::Fixture* PackageDispatchTest::fixture_ = nullptr;
+
+TEST_F(PackageDispatchTest, EveryRegisteredPackageRuns) {
+  PackageEnv env;
+  env.cores = 4;  // keep the test fast
+  env.hybrid_threads = 2;
+  for (const auto& info : baselines::package_table()) {
+    const PackageRun run = run_package(info.name, fix().mol, fix().quad, fix().prep, env);
+    EXPECT_LT(run.energy, 0.0) << info.name;
+    EXPECT_TRUE(std::isfinite(run.energy)) << info.name;
+    EXPECT_GT(run.modeled_seconds, 0.0) << info.name;
+    EXPECT_GT(run.memory_bytes, 0u) << info.name;
+  }
+}
+
+TEST_F(PackageDispatchTest, OctreePackagesAgreeWithEachOther) {
+  PackageEnv env;
+  env.cores = 4;
+  env.hybrid_threads = 2;
+  const PackageRun mpi = run_package("oct_mpi", fix().mol, fix().quad, fix().prep, env);
+  const PackageRun hybrid = run_package("oct_hybrid", fix().mol, fix().quad, fix().prep, env);
+  EXPECT_NEAR(mpi.energy, hybrid.energy, std::abs(mpi.energy) * 1e-9);
+}
+
+TEST_F(PackageDispatchTest, NaivePackageMatchesFixtureReference) {
+  PackageEnv env;
+  const PackageRun naive = run_package("naive", fix().mol, fix().quad, fix().prep, env);
+  EXPECT_NEAR(naive.energy, fix().naive_energy, std::abs(fix().naive_energy) * 1e-12);
+}
+
+TEST_F(PackageDispatchTest, UnknownPackageThrows) {
+  PackageEnv env;
+  EXPECT_THROW(run_package("gromacs-2024", fix().mol, fix().quad, fix().prep, env),
+               std::invalid_argument);
+}
+
+TEST_F(PackageDispatchTest, OctreeBeatsNaiveOnModeledTime) {
+  // The headline claim at miniature scale: hierarchical approximation with
+  // parallelism beats the exact quadratic algorithm.
+  PackageEnv env;
+  env.cores = 4;
+  const PackageRun naive = run_package("naive", fix().mol, fix().quad, fix().prep, env);
+  const PackageRun oct = run_package("oct_mpi", fix().mol, fix().quad, fix().prep, env);
+  EXPECT_LT(oct.modeled_seconds, naive.modeled_seconds);
+}
+
+}  // namespace
+}  // namespace gbpol::harness

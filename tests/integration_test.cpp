@@ -1,0 +1,122 @@
+// Cross-module integration: full pipeline from synthetic structure through
+// surface, octrees, distributed solve, against the naive reference — plus a
+// docking-flavoured scenario exercising molecule transforms.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/drivers.hpp"
+#include "core/naive.hpp"
+#include "molecule/generate.hpp"
+#include "molecule/io.hpp"
+#include "support/stats.hpp"
+#include "surface/quadrature.hpp"
+#include "test_helpers.hpp"
+
+namespace gbpol {
+namespace {
+
+TEST(IntegrationTest, BoundComplexEndToEnd) {
+  const Molecule mol = molgen::bound_complex(1200, 123);
+  const auto quad = surface::molecular_surface_quadrature(mol);
+  const Prepared prep = Prepared::build(mol, quad, 16);
+
+  const NaiveResult naive = run_naive(mol, quad, GBConstants{});
+  ApproxParams params;  // 0.9 / 0.9 paper settings
+  RunConfig config;
+  config.ranks = 4;
+  config.threads_per_rank = 3;
+  const DriverResult r = run_oct_distributed(prep, params, GBConstants{}, config);
+
+  EXPECT_LT(percent_error(r.energy, naive.energy), 5.0);
+  const auto born = prep.to_original_order(r.born_sorted);
+  double mean_err = 0.0;
+  for (std::size_t i = 0; i < born.size(); ++i)
+    mean_err += percent_error(born[i], naive.born_radii[i]);
+  EXPECT_LT(mean_err / static_cast<double>(born.size()), 2.0);
+}
+
+TEST(IntegrationTest, EnergyScalesWithSystemSize) {
+  // |E_pol| grows with the number of charges; a basic sanity law the whole
+  // pipeline must satisfy.
+  double prev = 0.0;
+  for (const std::size_t n : {300u, 900u, 2700u}) {
+    const Molecule mol = molgen::synthetic_protein(n, 9);
+    const auto quad = surface::molecular_surface_quadrature(mol);
+    const Prepared prep = Prepared::build(mol, quad, 16);
+    const DriverResult r = run_oct_serial(prep, ApproxParams{}, GBConstants{});
+    EXPECT_LT(r.energy, prev);  // more negative each time
+    prev = r.energy;
+  }
+}
+
+TEST(IntegrationTest, RigidTransformLeavesEnergyInvariant) {
+  // E_pol is a function of internal geometry only; translating/rotating the
+  // molecule (octree rebuilt) must not change it beyond approximation noise.
+  Molecule mol = molgen::synthetic_protein(600, 17);
+  const auto quad1 = surface::molecular_surface_quadrature(mol);
+  const Prepared prep1 = Prepared::build(mol, quad1, 16);
+  const DriverResult before = run_oct_serial(prep1, ApproxParams{}, GBConstants{});
+
+  mol.translate(Vec3{25, -13, 8});
+  mol.rotate(Vec3{1, 1, 0}, 0.8);
+  const auto quad2 = surface::molecular_surface_quadrature(mol);
+  const Prepared prep2 = Prepared::build(mol, quad2, 16);
+  const DriverResult after = run_oct_serial(prep2, ApproxParams{}, GBConstants{});
+
+  // Surface re-marching on a shifted grid perturbs the quadrature slightly;
+  // tolerance covers that plus the eps=0.9 approximation.
+  EXPECT_LT(percent_error(after.energy, before.energy), 4.0);
+}
+
+TEST(IntegrationTest, DockingPoseSweepProducesDistinctEnergies) {
+  // Drug-design motivation from the paper's intro: move a ligand relative to
+  // a receptor and compare complex energies across poses.
+  const Molecule receptor = molgen::synthetic_protein(800, 31);
+  const Molecule ligand = molgen::synthetic_protein(120, 32);
+
+  std::vector<double> energies;
+  for (const double gap : {1.0, 6.0}) {
+    Molecule complex = receptor;
+    Molecule posed = ligand;
+    const Aabb rb = receptor.bounding_box();
+    const Aabb lb = posed.bounding_box();
+    posed.translate(Vec3{rb.hi.x - lb.lo.x + gap, 0, 0});
+    complex.append(posed);
+    const auto quad = surface::molecular_surface_quadrature(complex);
+    const Prepared prep = Prepared::build(complex, quad, 16);
+    energies.push_back(run_oct_serial(prep, ApproxParams{}, GBConstants{}).energy);
+  }
+  EXPECT_NE(energies[0], energies[1]);
+  for (const double e : energies) EXPECT_LT(e, 0.0);
+}
+
+TEST(IntegrationTest, XyzqrRoundTripPreservesEnergy) {
+  const Molecule mol = molgen::synthetic_protein(400, 41);
+  std::stringstream ss;
+  write_xyzqr(mol, ss);
+  const Molecule back = read_xyzqr(ss);
+
+  const auto quad = surface::molecular_surface_quadrature(mol);
+  const Prepared prep_a = Prepared::build(mol, quad, 16);
+  const Prepared prep_b = Prepared::build(back, quad, 16);
+  const DriverResult a = run_oct_serial(prep_a, ApproxParams{}, GBConstants{});
+  const DriverResult b = run_oct_serial(prep_b, ApproxParams{}, GBConstants{});
+  EXPECT_EQ(a.energy, b.energy);  // full-precision I/O
+}
+
+TEST(IntegrationTest, PreparedReusableAcrossEpsilons) {
+  // §IV-C: octrees are parameter-independent preprocessing; one Prepared
+  // serves every epsilon.
+  const gbpol::testing::Fixture fix = gbpol::testing::make_fixture(500);
+  for (const double eps : {0.1, 0.5, 0.9}) {
+    ApproxParams params;
+    params.eps_born = eps;
+    params.eps_epol = eps;
+    const DriverResult r = run_oct_serial(fix.prep, params, GBConstants{});
+    EXPECT_LT(percent_error(r.energy, fix.naive_energy), 6.0) << "eps=" << eps;
+  }
+}
+
+}  // namespace
+}  // namespace gbpol

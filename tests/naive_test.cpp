@@ -1,0 +1,126 @@
+// Naive Eq. (2)/(4) reference implementations against analytic ground truth.
+#include "core/naive.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "core/analytic.hpp"
+#include "surface/sphere_quad.hpp"
+
+namespace gbpol {
+namespace {
+
+// A "molecule" that is a single sphere of radius b with point charges
+// inside it, sampled by the exact Fibonacci sphere quadrature: Eq. (4) then
+// has the closed-form answer of core/analytic.hpp.
+TEST(NaiveBornR6, CenteredAtomRecoversSphereRadius) {
+  const double b = 4.0;
+  const auto quad = surface::fibonacci_sphere_quadrature(20000, Vec3{}, b);
+  const Atom atom{Vec3{}, 1.0, 1.0};
+  const auto born = naive_born_radii_r6({&atom, 1}, quad);
+  EXPECT_NEAR(born[0], b, 1e-3 * b);
+}
+
+TEST(NaiveBornR6, OffCenterAtomsMatchAnalyticFormula) {
+  const double b = 5.0;
+  const auto quad = surface::fibonacci_sphere_quadrature(60000, Vec3{}, b);
+  for (const double frac : {0.2, 0.4, 0.6}) {
+    const Atom atom{Vec3{frac * b, 0, 0}, 1.0, 1.0};
+    const auto born = naive_born_radii_r6({&atom, 1}, quad);
+    const double expected = analytic::born_radius_in_sphere(frac * b, b);
+    EXPECT_NEAR(born[0] / expected, 1.0, 5e-3) << "frac=" << frac;
+  }
+}
+
+TEST(NaiveBornR6, ClampsToIntrinsicRadius) {
+  const double b = 3.0;
+  const auto quad = surface::fibonacci_sphere_quadrature(20000, Vec3{}, b);
+  // Atom very near the surface: analytic R would be < its intrinsic radius.
+  const Atom atom{Vec3{0.97 * b, 0, 0}, 1.5, 1.0};
+  const auto born = naive_born_radii_r6({&atom, 1}, quad);
+  EXPECT_GE(born[0], 1.5);
+}
+
+TEST(NaiveBornR4, CenteredAtomRecoversSphereRadius) {
+  // r^4 (Coulomb field) is also exact for a centered charge in a sphere.
+  const double b = 4.0;
+  const auto quad = surface::fibonacci_sphere_quadrature(20000, Vec3{}, b);
+  const Atom atom{Vec3{}, 1.0, 1.0};
+  const auto born = naive_born_radii_r4({&atom, 1}, quad);
+  EXPECT_NEAR(born[0], b, 1e-3 * b);
+}
+
+TEST(NaiveBornR4, OverestimatesOffCenterRadiiRelativeToR6) {
+  // Grycuk 2003: the Coulomb-field approximation overestimates Born radii
+  // of off-center charges in a sphere; r^6 is exact. Verify the ordering.
+  const double b = 5.0;
+  const auto quad = surface::fibonacci_sphere_quadrature(60000, Vec3{}, b);
+  const Atom atom{Vec3{0.6 * b, 0, 0}, 0.5, 1.0};
+  const auto r6 = naive_born_radii_r6({&atom, 1}, quad);
+  const auto r4 = naive_born_radii_r4({&atom, 1}, quad);
+  EXPECT_GT(r4[0], r6[0]);
+}
+
+TEST(NaiveEpol, SingleAtomSelfEnergy) {
+  GBConstants constants;
+  const Atom atom{Vec3{}, 1.0, -0.5};
+  const double born[] = {2.0};
+  const double expected =
+      -0.5 * constants.tau() * constants.coulomb_kcal * (0.25 / 2.0);
+  EXPECT_NEAR(naive_epol({&atom, 1}, born, constants), expected, 1e-12);
+}
+
+TEST(NaiveEpol, TwoAtomsHandComputed) {
+  GBConstants constants;
+  const Atom atoms[] = {{Vec3{0, 0, 0}, 1.0, 0.4}, {Vec3{3, 0, 0}, 1.0, -0.7}};
+  const double born[] = {1.5, 2.5};
+  const double r2 = 9.0;
+  const double f01 = std::sqrt(r2 + 1.5 * 2.5 * std::exp(-r2 / (4.0 * 1.5 * 2.5)));
+  const double sum = 0.4 * 0.4 / 1.5 + (-0.7) * (-0.7) / 2.5 +
+                     2.0 * 0.4 * (-0.7) / f01;
+  const double expected = -0.5 * constants.tau() * constants.coulomb_kcal * sum;
+  EXPECT_NEAR(naive_epol(atoms, born, constants), expected, 1e-12);
+}
+
+TEST(NaiveEpol, CoincidentAtomsUseSelfLikeFGB) {
+  // r = 0 must be finite: f_GB(0) = sqrt(R_i R_j).
+  GBConstants constants;
+  const Atom atoms[] = {{Vec3{}, 1.0, 1.0}, {Vec3{}, 1.0, 1.0}};
+  const double born[] = {2.0, 2.0};
+  const double sum = 1.0 / 2.0 + 1.0 / 2.0 + 2.0 * 1.0 / 2.0;
+  EXPECT_NEAR(naive_epol(atoms, born, constants),
+              -0.5 * constants.tau() * constants.coulomb_kcal * sum, 1e-12);
+}
+
+TEST(BornRadiusFromIntegral, RoundTripsSphereValue) {
+  const double b = 3.7;
+  const double integral = 4.0 * std::numbers::pi / (b * b * b);
+  EXPECT_NEAR(born_radius_from_integral(integral, 1.0), b, 1e-12);
+}
+
+TEST(BornRadiusFromIntegral, ClampsNonPositiveIntegralToMax) {
+  EXPECT_NEAR(born_radius_from_integral(0.0, 1.0), kBornRadiusMax, 1e-6);
+  EXPECT_NEAR(born_radius_from_integral(-5.0, 1.0), kBornRadiusMax, 1e-6);
+}
+
+TEST(BornRadiusFromIntegral, ClampsToIntrinsicBelow) {
+  const double huge_integral = 1e9;
+  EXPECT_EQ(born_radius_from_integral(huge_integral, 1.7), 1.7);
+}
+
+TEST(RunNaive, ProducesNegativeEnergyAndTimings) {
+  // Charged shell: any self-energy-dominated system has E_pol < 0.
+  const double b = 4.0;
+  const auto quad = surface::fibonacci_sphere_quadrature(5000, Vec3{}, b);
+  Molecule mol("two-atoms", {{Vec3{0.5, 0, 0}, 1.0, 0.3}, {Vec3{-0.5, 0, 0}, 1.0, 0.3}});
+  const NaiveResult result = run_naive(mol, quad, GBConstants{});
+  EXPECT_LT(result.energy, 0.0);
+  EXPECT_EQ(result.born_radii.size(), 2u);
+  EXPECT_GE(result.born_seconds, 0.0);
+  EXPECT_GE(result.energy_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace gbpol

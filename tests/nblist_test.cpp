@@ -1,0 +1,86 @@
+// Cell lists and nonbonded lists, including the cubic-in-cutoff growth the
+// paper's §II space argument relies on.
+#include "nblist/nblist.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "molecule/generate.hpp"
+
+namespace gbpol::nblist {
+namespace {
+
+std::vector<Vec3> protein_positions(std::size_t n, std::uint64_t seed) {
+  const Molecule mol = molgen::synthetic_protein(n, seed);
+  std::vector<Vec3> pos(mol.size());
+  for (std::size_t i = 0; i < mol.size(); ++i) pos[i] = mol.atom(i).pos;
+  return pos;
+}
+
+TEST(CellListTest, CandidatesAreSuperset) {
+  const auto pos = protein_positions(800, 3);
+  const double cutoff = 5.0;
+  const CellList cells(pos, cutoff);
+  for (std::size_t i = 0; i < pos.size(); i += 37) {
+    std::set<std::uint32_t> candidates;
+    cells.for_candidates(pos[i], [&](std::uint32_t j) { candidates.insert(j); });
+    for (std::size_t j = 0; j < pos.size(); ++j) {
+      if (distance(pos[i], pos[j]) <= cutoff) {
+        EXPECT_TRUE(candidates.count(static_cast<std::uint32_t>(j)))
+            << "missing " << j << " near " << i;
+      }
+    }
+  }
+}
+
+TEST(NblistTest, MatchesBruteForce) {
+  const auto pos = protein_positions(500, 4);
+  const double cutoff = 6.0;
+  const NonbondedList nb(pos, cutoff);
+  std::size_t brute_pairs = 0;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    std::set<std::uint32_t> expected;
+    for (std::size_t j = i + 1; j < pos.size(); ++j)
+      if (distance(pos[i], pos[j]) <= cutoff) expected.insert(static_cast<std::uint32_t>(j));
+    brute_pairs += expected.size();
+    const auto got = nb.neighbors(static_cast<std::uint32_t>(i));
+    ASSERT_EQ(got.size(), expected.size()) << "atom " << i;
+    for (const std::uint32_t j : got) EXPECT_TRUE(expected.count(j));
+  }
+  EXPECT_EQ(nb.num_pairs(), brute_pairs);
+}
+
+TEST(NblistTest, SizeGrowsCubicallyWithCutoff) {
+  const auto pos = protein_positions(3000, 5);
+  const NonbondedList small(pos, 4.0);
+  const NonbondedList large(pos, 8.0);
+  // Doubling the cutoff should multiply pairs by ~8 (boundary effects
+  // reduce it somewhat for a finite molecule).
+  const double ratio = static_cast<double>(large.num_pairs()) /
+                       static_cast<double>(small.num_pairs());
+  EXPECT_GT(ratio, 3.5);
+  EXPECT_GT(large.footprint().bytes, small.footprint().bytes);
+}
+
+TEST(NblistTest, RebuildTracksMovement) {
+  std::vector<Vec3> pos{{0, 0, 0}, {1, 0, 0}, {10, 0, 0}};
+  NonbondedList nb(pos, 2.0);
+  EXPECT_EQ(nb.num_pairs(), 1u);  // only (0,1)
+  pos[2] = Vec3{2, 0, 0};
+  nb.rebuild(pos);
+  EXPECT_EQ(nb.num_pairs(), 3u);  // (0,1), (0,2), (1,2)
+  EXPECT_EQ(nb.cutoff(), 2.0);
+}
+
+TEST(NblistTest, EmptyAndSingle) {
+  const NonbondedList empty(std::vector<Vec3>{}, 3.0);
+  EXPECT_EQ(empty.num_pairs(), 0u);
+  const std::vector<Vec3> one{{1, 2, 3}};
+  const NonbondedList single(one, 3.0);
+  EXPECT_EQ(single.num_atoms(), 1u);
+  EXPECT_EQ(single.neighbors(0).size(), 0u);
+}
+
+}  // namespace
+}  // namespace gbpol::nblist

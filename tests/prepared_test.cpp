@@ -1,0 +1,111 @@
+// Prepared-structure invariants: payload permutation consistency, node
+// aggregates, and the closed-surface Gauss identity.
+#include "core/prepared.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace gbpol {
+namespace {
+
+class PreparedTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new gbpol::testing::Fixture(gbpol::testing::make_fixture(500));
+  }
+  static void TearDownTestSuite() { delete fixture_; }
+  static const gbpol::testing::Fixture& fix() { return *fixture_; }
+  static gbpol::testing::Fixture* fixture_;
+};
+gbpol::testing::Fixture* PreparedTest::fixture_ = nullptr;
+
+TEST_F(PreparedTest, PayloadsFollowTheAtomPermutation) {
+  const Prepared& prep = fix().prep;
+  for (std::uint32_t slot = 0; slot < prep.num_atoms(); ++slot) {
+    const Atom& original = fix().mol.atom(prep.atoms_tree.original_index(slot));
+    EXPECT_EQ(prep.charge[slot], original.charge);
+    EXPECT_EQ(prep.intrinsic_radius[slot], original.radius);
+    EXPECT_EQ(prep.atoms_tree.point(slot), original.pos);
+  }
+}
+
+TEST_F(PreparedTest, WeightedNormalsFollowTheQPermutation) {
+  const Prepared& prep = fix().prep;
+  for (std::uint32_t slot = 0; slot < prep.num_qpoints(); slot += 17) {
+    const std::uint32_t orig = prep.q_tree.original_index(slot);
+    const Vec3 expected = fix().quad.normals[orig] * fix().quad.weights[orig];
+    EXPECT_EQ(prep.weighted_normal[slot], expected);
+  }
+}
+
+TEST_F(PreparedTest, NodeAggregatesSumTheirSubtrees) {
+  const Prepared& prep = fix().prep;
+  for (std::uint32_t id = 0; id < prep.q_tree.nodes().size(); id += 5) {
+    const OctreeNode& node = prep.q_tree.node(id);
+    Vec3 direct;
+    for (std::uint32_t i = node.begin; i < node.end; ++i)
+      direct += prep.weighted_normal[i];
+    EXPECT_NEAR(norm(prep.node_weighted_normal[id] - direct), 0.0,
+                1e-9 * (1.0 + norm(direct)));
+  }
+}
+
+TEST_F(PreparedTest, ClosedSurfaceNormalsSumToNearZero) {
+  // Gauss: the integral of the outward normal over a closed surface
+  // vanishes; the root aggregate must be tiny relative to the total
+  // unsigned weight.
+  const Prepared& prep = fix().prep;
+  const double total_weight = fix().quad.total_weight();
+  EXPECT_LT(norm(prep.node_weighted_normal[0]), 0.02 * total_weight);
+}
+
+TEST_F(PreparedTest, MomentTensorsMatchDirectComputation) {
+  const Prepared& prep = fix().prep;
+  for (std::uint32_t id = 0; id < prep.q_tree.nodes().size(); id += 7) {
+    const OctreeNode& node = prep.q_tree.node(id);
+    Mat3 direct;
+    for (std::uint32_t i = node.begin; i < node.end; ++i)
+      direct += outer(prep.weighted_normal[i], prep.q_tree.point(i) - node.centroid);
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c)
+        EXPECT_NEAR(prep.node_moment[id].m[r][c], direct.m[r][c],
+                    1e-9 * (1.0 + std::abs(direct.m[r][c])))
+            << "node " << id << " [" << r << "][" << c << "]";
+  }
+}
+
+TEST_F(PreparedTest, ToOriginalOrderInvertsThePermutation) {
+  const Prepared& prep = fix().prep;
+  std::vector<double> sorted(prep.num_atoms());
+  for (std::size_t slot = 0; slot < sorted.size(); ++slot)
+    sorted[slot] = static_cast<double>(prep.atoms_tree.original_index(
+        static_cast<std::uint32_t>(slot)));
+  const auto original = prep.to_original_order(sorted);
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(original[i], static_cast<double>(i));
+}
+
+TEST_F(PreparedTest, FootprintCountsEveryArray) {
+  const Prepared& prep = fix().prep;
+  const std::size_t bytes = prep.replicated_footprint().bytes;
+  EXPECT_GT(bytes, prep.num_atoms() * (sizeof(Vec3) + 2 * sizeof(double)));
+  EXPECT_GT(bytes, prep.num_qpoints() * sizeof(Vec3));
+}
+
+TEST(Mat3Test, OuterTraceAndQuadraticForm) {
+  const Mat3 m = outer(Vec3{1, 2, 3}, Vec3{4, 5, 6});
+  EXPECT_DOUBLE_EQ(m.m[0][0], 4.0);
+  EXPECT_DOUBLE_EQ(m.m[2][1], 15.0);
+  EXPECT_DOUBLE_EQ(m.trace(), 4.0 + 10.0 + 18.0);
+  // v^T (a b^T) v = (v.a)(v.b)
+  const Vec3 v{1, -1, 2};
+  EXPECT_DOUBLE_EQ(quadratic_form(m, v),
+                   dot(v, Vec3{1, 2, 3}) * dot(v, Vec3{4, 5, 6}));
+  Mat3 sum = m;
+  sum += m;
+  EXPECT_DOUBLE_EQ(sum.m[1][2], 2.0 * m.m[1][2]);
+}
+
+}  // namespace
+}  // namespace gbpol

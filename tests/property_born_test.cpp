@@ -1,0 +1,102 @@
+// Property sweeps for the Born-radius machinery (TEST_P /
+// INSTANTIATE_TEST_SUITE_P): analytic-sphere exactness across geometries and
+// octree-vs-naive error bounds across epsilon / leaf capacity.
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/analytic.hpp"
+#include "core/born_octree.hpp"
+#include "core/naive.hpp"
+#include "support/stats.hpp"
+#include "surface/sphere_quad.hpp"
+#include "test_helpers.hpp"
+
+namespace gbpol {
+namespace {
+
+// ---------------------------------------------------------------- sphere --
+// (sphere radius, offset fraction): quadrature Eq. (4) must reproduce the
+// closed-form Born radius anywhere inside the sphere.
+class SphereBornProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SphereBornProperty, QuadratureMatchesAnalytic) {
+  const auto [sphere_radius, offset_frac] = GetParam();
+  const auto quad = surface::fibonacci_sphere_quadrature(40000, Vec3{}, sphere_radius);
+  const Atom atom{Vec3{offset_frac * sphere_radius, 0, 0}, 0.5, 1.0};
+  const auto born = naive_born_radii_r6({&atom, 1}, quad);
+  const double expected = analytic::born_radius_in_sphere(
+      offset_frac * sphere_radius, sphere_radius);
+  EXPECT_NEAR(born[0] / expected, 1.0, 8e-3)
+      << "b=" << sphere_radius << " frac=" << offset_frac;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SphereGeometries, SphereBornProperty,
+    ::testing::Combine(::testing::Values(2.0, 5.0, 12.0),
+                       ::testing::Values(0.0, 0.25, 0.5, 0.7)));
+
+// --------------------------------------------------------------- octree ---
+// (epsilon, leaf capacity): single-tree octree Born radii vs naive, mean
+// error bounded by a curve in epsilon, invariant to leaf capacity.
+class OctreeBornProperty
+    : public ::testing::TestWithParam<std::tuple<double, std::uint32_t>> {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new gbpol::testing::Fixture(gbpol::testing::make_fixture(600));
+  }
+  static void TearDownTestSuite() { delete fixture_; }
+  static gbpol::testing::Fixture* fixture_;
+};
+gbpol::testing::Fixture* OctreeBornProperty::fixture_ = nullptr;
+
+TEST_P(OctreeBornProperty, MeanErrorBounded) {
+  const auto [eps, leaf_capacity] = GetParam();
+  const Prepared prep =
+      Prepared::build(fixture_->mol, fixture_->quad, leaf_capacity);
+  ApproxParams params;
+  params.eps_born = eps;
+  const BornSolver solver(prep, params);
+  BornAccumulator acc = solver.make_accumulator();
+  solver.accumulate_qleaf_range(
+      0, static_cast<std::uint32_t>(prep.q_tree.leaves().size()), acc);
+  std::vector<double> born(prep.num_atoms(), 0.0);
+  solver.push_to_atoms(acc, 0, static_cast<std::uint32_t>(born.size()), born);
+  const auto original = prep.to_original_order(born);
+
+  double mean_err = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i)
+    mean_err += percent_error(original[i], fixture_->naive_born[i]);
+  mean_err /= static_cast<double>(original.size());
+  // Empirical envelope: error scales roughly linearly in eps at these sizes.
+  EXPECT_LT(mean_err, 0.3 + 3.0 * eps)
+      << "eps=" << eps << " leaf=" << leaf_capacity;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsLeafSweep, OctreeBornProperty,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.9),
+                       ::testing::Values(8u, 32u, 128u)));
+
+// --------------------------------------------------- analytic invariants --
+class ClipRadiusProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClipRadiusProperty, R6DominatedByR4TimesKernelBound) {
+  // For s >= s_lo, 1/s^6 <= (1/s_lo^2) * 1/s^4, so the integrals obey the
+  // same bound — a cheap consistency link between the two closed forms.
+  const double s_lo = GetParam();
+  for (const double d : {2.0, 3.5, 6.0}) {
+    const double b = 1.5;
+    const double i6 = analytic::clipped_ball_r6_integral(d, b, s_lo);
+    const double i4 = analytic::clipped_ball_r4_integral(d, b, s_lo);
+    EXPECT_LE(i6, i4 / (s_lo * s_lo) + 1e-15) << "d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClipRadii, ClipRadiusProperty,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.5));
+
+}  // namespace
+}  // namespace gbpol

@@ -1,0 +1,45 @@
+// Shared fixtures for gbpol tests: small deterministic molecules with their
+// surface quadratures and Prepared octrees.
+#pragma once
+
+#include "core/naive.hpp"
+#include "core/prepared.hpp"
+#include "molecule/generate.hpp"
+#include "surface/quadrature.hpp"
+#include "surface/sphere_quad.hpp"
+
+namespace gbpol::testing {
+
+struct Fixture {
+  Molecule mol;
+  surface::SurfaceQuadrature quad;
+  Prepared prep;
+  std::vector<double> naive_born;  // atom order
+  double naive_energy = 0.0;
+};
+
+// Synthetic protein of ~n atoms with its real (marched) surface quadrature
+// and the naive reference solution.
+inline Fixture make_fixture(std::size_t n_atoms, std::uint64_t seed = 7,
+                            std::uint32_t leaf_capacity = 16) {
+  Fixture f;
+  f.mol = molgen::synthetic_protein(n_atoms, seed);
+  f.quad = surface::molecular_surface_quadrature(f.mol, {.grid_spacing = 1.5,
+                                                         .dunavant_degree = 2,
+                                                         .kappa = 2.3});
+  f.prep = Prepared::build(f.mol, f.quad, leaf_capacity);
+  const NaiveResult naive = run_naive(f.mol, f.quad, GBConstants{});
+  f.naive_born = naive.born_radii;
+  f.naive_energy = naive.energy;
+  return f;
+}
+
+// Sorted-order naive Born radii (for feeding EpolSolver directly).
+inline std::vector<double> naive_born_sorted(const Fixture& f) {
+  std::vector<double> sorted(f.naive_born.size());
+  for (std::size_t slot = 0; slot < sorted.size(); ++slot)
+    sorted[slot] = f.naive_born[f.prep.atoms_tree.permutation()[slot]];
+  return sorted;
+}
+
+}  // namespace gbpol::testing

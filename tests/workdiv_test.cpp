@@ -1,0 +1,83 @@
+// Static work-division helpers.
+#include "core/workdiv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "molecule/generate.hpp"
+
+namespace gbpol {
+namespace {
+
+TEST(EvenSegmentTest, PartitionsExactly) {
+  for (const std::size_t n : {0u, 1u, 10u, 97u}) {
+    for (const int parts : {1, 2, 3, 7, 12}) {
+      std::size_t total = 0;
+      std::uint32_t cursor = 0;
+      for (int i = 0; i < parts; ++i) {
+        const Segment s = even_segment(n, parts, i);
+        EXPECT_EQ(s.lo, cursor);
+        cursor = s.hi;
+        total += s.count();
+      }
+      EXPECT_EQ(total, n);
+      EXPECT_EQ(cursor, n);
+    }
+  }
+}
+
+TEST(EvenSegmentTest, SizesDifferByAtMostOne) {
+  for (const int parts : {3, 5, 8}) {
+    std::uint32_t min_size = ~0u, max_size = 0;
+    for (int i = 0; i < parts; ++i) {
+      const Segment s = even_segment(100, parts, i);
+      min_size = std::min(min_size, s.count());
+      max_size = std::max(max_size, s.count());
+    }
+    EXPECT_LE(max_size - min_size, 1u);
+  }
+}
+
+TEST(LeafSegmentsByPointsTest, PartitionsLeavesAndBalancesPoints) {
+  const Molecule mol = molgen::synthetic_protein(3000, 31);
+  std::vector<Vec3> pts(mol.size());
+  for (std::size_t i = 0; i < mol.size(); ++i) pts[i] = mol.atom(i).pos;
+  const Octree tree = Octree::build(pts, {.leaf_capacity = 8, .max_depth = 20});
+
+  for (const int parts : {2, 4, 8}) {
+    const auto segments = leaf_segments_by_points(tree, parts);
+    ASSERT_EQ(segments.size(), static_cast<std::size_t>(parts));
+    std::uint32_t cursor = 0;
+    std::size_t total_points = 0;
+    std::size_t max_points = 0;
+    for (const Segment& s : segments) {
+      EXPECT_EQ(s.lo, cursor);
+      cursor = s.hi;
+      std::size_t seg_points = 0;
+      for (std::uint32_t l = s.lo; l < s.hi; ++l)
+        seg_points += tree.node(tree.leaves()[l]).count();
+      total_points += seg_points;
+      max_points = std::max(max_points, seg_points);
+    }
+    EXPECT_EQ(cursor, tree.leaves().size());
+    EXPECT_EQ(total_points, mol.size());
+    // Balanced within a couple of leaf capacities of the ideal share.
+    EXPECT_LE(max_points, mol.size() / static_cast<std::size_t>(parts) + 2 * 8 + 8);
+  }
+}
+
+TEST(LeafSegmentsByPointsTest, MorePartsThanLeavesYieldsEmptyTails) {
+  const Vec3 pts[2] = {{0, 0, 0}, {5, 5, 5}};
+  const Octree tree = Octree::build(pts, {.leaf_capacity = 1, .max_depth = 20});
+  const auto segments = leaf_segments_by_points(tree, 8);
+  std::size_t nonempty = 0;
+  std::uint32_t covered = 0;
+  for (const Segment& s : segments) {
+    nonempty += s.count() > 0;
+    covered += s.count();
+  }
+  EXPECT_EQ(covered, tree.leaves().size());
+  EXPECT_LE(nonempty, tree.leaves().size());
+}
+
+}  // namespace
+}  // namespace gbpol
