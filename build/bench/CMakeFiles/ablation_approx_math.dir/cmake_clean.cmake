@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_approx_math.dir/ablation_approx_math.cpp.o"
+  "CMakeFiles/ablation_approx_math.dir/ablation_approx_math.cpp.o.d"
+  "ablation_approx_math"
+  "ablation_approx_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_approx_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

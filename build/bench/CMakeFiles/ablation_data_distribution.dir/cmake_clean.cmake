@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_data_distribution.dir/ablation_data_distribution.cpp.o"
+  "CMakeFiles/ablation_data_distribution.dir/ablation_data_distribution.cpp.o.d"
+  "ablation_data_distribution"
+  "ablation_data_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_data_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dipole.dir/ablation_dipole.cpp.o"
+  "CMakeFiles/ablation_dipole.dir/ablation_dipole.cpp.o.d"
+  "ablation_dipole"
+  "ablation_dipole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dipole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_octree_vs_nblist.dir/ablation_octree_vs_nblist.cpp.o"
+  "CMakeFiles/ablation_octree_vs_nblist.dir/ablation_octree_vs_nblist.cpp.o.d"
+  "ablation_octree_vs_nblist"
+  "ablation_octree_vs_nblist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_octree_vs_nblist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_octree_vs_nblist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_r4_vs_r6.dir/ablation_r4_vs_r6.cpp.o"
+  "CMakeFiles/ablation_r4_vs_r6.dir/ablation_r4_vs_r6.cpp.o.d"
+  "ablation_r4_vs_r6"
+  "ablation_r4_vs_r6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_r4_vs_r6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

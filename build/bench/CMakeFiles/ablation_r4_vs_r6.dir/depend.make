@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_r4_vs_r6.
+# This may be replaced when dependencies are built.

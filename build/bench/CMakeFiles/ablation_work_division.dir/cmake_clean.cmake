@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_work_division.dir/ablation_work_division.cpp.o"
+  "CMakeFiles/ablation_work_division.dir/ablation_work_division.cpp.o.d"
+  "ablation_work_division"
+  "ablation_work_division.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_work_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_packages.dir/fig8_packages.cpp.o"
+  "CMakeFiles/fig8_packages.dir/fig8_packages.cpp.o.d"
+  "fig8_packages"
+  "fig8_packages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_packages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_energy_values.dir/fig9_energy_values.cpp.o"
+  "CMakeFiles/fig9_energy_values.dir/fig9_energy_values.cpp.o.d"
+  "fig9_energy_values"
+  "fig9_energy_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_energy_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_table2_packages.dir/fig_table2_packages.cpp.o"
+  "CMakeFiles/fig_table2_packages.dir/fig_table2_packages.cpp.o.d"
+  "fig_table2_packages"
+  "fig_table2_packages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_table2_packages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_tradeoff.dir/accuracy_tradeoff.cpp.o"
+  "CMakeFiles/accuracy_tradeoff.dir/accuracy_tradeoff.cpp.o.d"
+  "accuracy_tradeoff"
+  "accuracy_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docking_scan.dir/docking_scan.cpp.o"
+  "CMakeFiles/docking_scan.dir/docking_scan.cpp.o.d"
+  "docking_scan"
+  "docking_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docking_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

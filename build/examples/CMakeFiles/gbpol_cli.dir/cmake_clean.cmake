@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbpol_cli.dir/gbpol_cli.cpp.o"
+  "CMakeFiles/gbpol_cli.dir/gbpol_cli.cpp.o.d"
+  "gbpol_cli"
+  "gbpol_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbpol_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

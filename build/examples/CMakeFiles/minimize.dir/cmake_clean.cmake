@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimize.dir/minimize.cpp.o"
+  "CMakeFiles/minimize.dir/minimize.cpp.o.d"
+  "minimize"
+  "minimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virus_shell.dir/virus_shell.cpp.o"
+  "CMakeFiles/virus_shell.dir/virus_shell.cpp.o.d"
+  "virus_shell"
+  "virus_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virus_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/descreening.cpp" "src/CMakeFiles/gbpol_baselines.dir/baselines/descreening.cpp.o" "gcc" "src/CMakeFiles/gbpol_baselines.dir/baselines/descreening.cpp.o.d"
+  "/root/repo/src/baselines/gbr6_volume.cpp" "src/CMakeFiles/gbpol_baselines.dir/baselines/gbr6_volume.cpp.o" "gcc" "src/CMakeFiles/gbpol_baselines.dir/baselines/gbr6_volume.cpp.o.d"
+  "/root/repo/src/baselines/hct.cpp" "src/CMakeFiles/gbpol_baselines.dir/baselines/hct.cpp.o" "gcc" "src/CMakeFiles/gbpol_baselines.dir/baselines/hct.cpp.o.d"
+  "/root/repo/src/baselines/obc.cpp" "src/CMakeFiles/gbpol_baselines.dir/baselines/obc.cpp.o" "gcc" "src/CMakeFiles/gbpol_baselines.dir/baselines/obc.cpp.o.d"
+  "/root/repo/src/baselines/registry.cpp" "src/CMakeFiles/gbpol_baselines.dir/baselines/registry.cpp.o" "gcc" "src/CMakeFiles/gbpol_baselines.dir/baselines/registry.cpp.o.d"
+  "/root/repo/src/baselines/still_empirical.cpp" "src/CMakeFiles/gbpol_baselines.dir/baselines/still_empirical.cpp.o" "gcc" "src/CMakeFiles/gbpol_baselines.dir/baselines/still_empirical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gbpol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_nblist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_ws.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_molecule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbpol_baselines.dir/baselines/descreening.cpp.o"
+  "CMakeFiles/gbpol_baselines.dir/baselines/descreening.cpp.o.d"
+  "CMakeFiles/gbpol_baselines.dir/baselines/gbr6_volume.cpp.o"
+  "CMakeFiles/gbpol_baselines.dir/baselines/gbr6_volume.cpp.o.d"
+  "CMakeFiles/gbpol_baselines.dir/baselines/hct.cpp.o"
+  "CMakeFiles/gbpol_baselines.dir/baselines/hct.cpp.o.d"
+  "CMakeFiles/gbpol_baselines.dir/baselines/obc.cpp.o"
+  "CMakeFiles/gbpol_baselines.dir/baselines/obc.cpp.o.d"
+  "CMakeFiles/gbpol_baselines.dir/baselines/registry.cpp.o"
+  "CMakeFiles/gbpol_baselines.dir/baselines/registry.cpp.o.d"
+  "CMakeFiles/gbpol_baselines.dir/baselines/still_empirical.cpp.o"
+  "CMakeFiles/gbpol_baselines.dir/baselines/still_empirical.cpp.o.d"
+  "libgbpol_baselines.a"
+  "libgbpol_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbpol_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

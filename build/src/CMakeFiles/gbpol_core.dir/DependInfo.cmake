@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cpp" "src/CMakeFiles/gbpol_core.dir/core/analytic.cpp.o" "gcc" "src/CMakeFiles/gbpol_core.dir/core/analytic.cpp.o.d"
+  "/root/repo/src/core/approx_math.cpp" "src/CMakeFiles/gbpol_core.dir/core/approx_math.cpp.o" "gcc" "src/CMakeFiles/gbpol_core.dir/core/approx_math.cpp.o.d"
+  "/root/repo/src/core/born_octree.cpp" "src/CMakeFiles/gbpol_core.dir/core/born_octree.cpp.o" "gcc" "src/CMakeFiles/gbpol_core.dir/core/born_octree.cpp.o.d"
+  "/root/repo/src/core/distributed_data.cpp" "src/CMakeFiles/gbpol_core.dir/core/distributed_data.cpp.o" "gcc" "src/CMakeFiles/gbpol_core.dir/core/distributed_data.cpp.o.d"
+  "/root/repo/src/core/drivers.cpp" "src/CMakeFiles/gbpol_core.dir/core/drivers.cpp.o" "gcc" "src/CMakeFiles/gbpol_core.dir/core/drivers.cpp.o.d"
+  "/root/repo/src/core/epol_octree.cpp" "src/CMakeFiles/gbpol_core.dir/core/epol_octree.cpp.o" "gcc" "src/CMakeFiles/gbpol_core.dir/core/epol_octree.cpp.o.d"
+  "/root/repo/src/core/forces.cpp" "src/CMakeFiles/gbpol_core.dir/core/forces.cpp.o" "gcc" "src/CMakeFiles/gbpol_core.dir/core/forces.cpp.o.d"
+  "/root/repo/src/core/naive.cpp" "src/CMakeFiles/gbpol_core.dir/core/naive.cpp.o" "gcc" "src/CMakeFiles/gbpol_core.dir/core/naive.cpp.o.d"
+  "/root/repo/src/core/prepared.cpp" "src/CMakeFiles/gbpol_core.dir/core/prepared.cpp.o" "gcc" "src/CMakeFiles/gbpol_core.dir/core/prepared.cpp.o.d"
+  "/root/repo/src/core/workdiv.cpp" "src/CMakeFiles/gbpol_core.dir/core/workdiv.cpp.o" "gcc" "src/CMakeFiles/gbpol_core.dir/core/workdiv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gbpol_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_ws.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_molecule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbpol_core.dir/core/analytic.cpp.o"
+  "CMakeFiles/gbpol_core.dir/core/analytic.cpp.o.d"
+  "CMakeFiles/gbpol_core.dir/core/approx_math.cpp.o"
+  "CMakeFiles/gbpol_core.dir/core/approx_math.cpp.o.d"
+  "CMakeFiles/gbpol_core.dir/core/born_octree.cpp.o"
+  "CMakeFiles/gbpol_core.dir/core/born_octree.cpp.o.d"
+  "CMakeFiles/gbpol_core.dir/core/distributed_data.cpp.o"
+  "CMakeFiles/gbpol_core.dir/core/distributed_data.cpp.o.d"
+  "CMakeFiles/gbpol_core.dir/core/drivers.cpp.o"
+  "CMakeFiles/gbpol_core.dir/core/drivers.cpp.o.d"
+  "CMakeFiles/gbpol_core.dir/core/epol_octree.cpp.o"
+  "CMakeFiles/gbpol_core.dir/core/epol_octree.cpp.o.d"
+  "CMakeFiles/gbpol_core.dir/core/forces.cpp.o"
+  "CMakeFiles/gbpol_core.dir/core/forces.cpp.o.d"
+  "CMakeFiles/gbpol_core.dir/core/naive.cpp.o"
+  "CMakeFiles/gbpol_core.dir/core/naive.cpp.o.d"
+  "CMakeFiles/gbpol_core.dir/core/prepared.cpp.o"
+  "CMakeFiles/gbpol_core.dir/core/prepared.cpp.o.d"
+  "CMakeFiles/gbpol_core.dir/core/workdiv.cpp.o"
+  "CMakeFiles/gbpol_core.dir/core/workdiv.cpp.o.d"
+  "libgbpol_core.a"
+  "libgbpol_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbpol_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

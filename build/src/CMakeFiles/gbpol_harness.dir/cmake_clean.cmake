@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbpol_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/gbpol_harness.dir/harness/experiment.cpp.o.d"
+  "CMakeFiles/gbpol_harness.dir/harness/packages.cpp.o"
+  "CMakeFiles/gbpol_harness.dir/harness/packages.cpp.o.d"
+  "CMakeFiles/gbpol_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/gbpol_harness.dir/harness/report.cpp.o.d"
+  "libgbpol_harness.a"
+  "libgbpol_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbpol_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/molecule/generate.cpp" "src/CMakeFiles/gbpol_molecule.dir/molecule/generate.cpp.o" "gcc" "src/CMakeFiles/gbpol_molecule.dir/molecule/generate.cpp.o.d"
+  "/root/repo/src/molecule/io.cpp" "src/CMakeFiles/gbpol_molecule.dir/molecule/io.cpp.o" "gcc" "src/CMakeFiles/gbpol_molecule.dir/molecule/io.cpp.o.d"
+  "/root/repo/src/molecule/molecule.cpp" "src/CMakeFiles/gbpol_molecule.dir/molecule/molecule.cpp.o" "gcc" "src/CMakeFiles/gbpol_molecule.dir/molecule/molecule.cpp.o.d"
+  "/root/repo/src/molecule/suite.cpp" "src/CMakeFiles/gbpol_molecule.dir/molecule/suite.cpp.o" "gcc" "src/CMakeFiles/gbpol_molecule.dir/molecule/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gbpol_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

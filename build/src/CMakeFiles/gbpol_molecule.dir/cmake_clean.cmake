@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbpol_molecule.dir/molecule/generate.cpp.o"
+  "CMakeFiles/gbpol_molecule.dir/molecule/generate.cpp.o.d"
+  "CMakeFiles/gbpol_molecule.dir/molecule/io.cpp.o"
+  "CMakeFiles/gbpol_molecule.dir/molecule/io.cpp.o.d"
+  "CMakeFiles/gbpol_molecule.dir/molecule/molecule.cpp.o"
+  "CMakeFiles/gbpol_molecule.dir/molecule/molecule.cpp.o.d"
+  "CMakeFiles/gbpol_molecule.dir/molecule/suite.cpp.o"
+  "CMakeFiles/gbpol_molecule.dir/molecule/suite.cpp.o.d"
+  "libgbpol_molecule.a"
+  "libgbpol_molecule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbpol_molecule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

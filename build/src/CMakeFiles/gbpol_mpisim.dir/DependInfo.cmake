@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/cluster.cpp" "src/CMakeFiles/gbpol_mpisim.dir/mpisim/cluster.cpp.o" "gcc" "src/CMakeFiles/gbpol_mpisim.dir/mpisim/cluster.cpp.o.d"
+  "/root/repo/src/mpisim/comm.cpp" "src/CMakeFiles/gbpol_mpisim.dir/mpisim/comm.cpp.o" "gcc" "src/CMakeFiles/gbpol_mpisim.dir/mpisim/comm.cpp.o.d"
+  "/root/repo/src/mpisim/costmodel.cpp" "src/CMakeFiles/gbpol_mpisim.dir/mpisim/costmodel.cpp.o" "gcc" "src/CMakeFiles/gbpol_mpisim.dir/mpisim/costmodel.cpp.o.d"
+  "/root/repo/src/mpisim/runtime.cpp" "src/CMakeFiles/gbpol_mpisim.dir/mpisim/runtime.cpp.o" "gcc" "src/CMakeFiles/gbpol_mpisim.dir/mpisim/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gbpol_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbpol_mpisim.dir/mpisim/cluster.cpp.o"
+  "CMakeFiles/gbpol_mpisim.dir/mpisim/cluster.cpp.o.d"
+  "CMakeFiles/gbpol_mpisim.dir/mpisim/comm.cpp.o"
+  "CMakeFiles/gbpol_mpisim.dir/mpisim/comm.cpp.o.d"
+  "CMakeFiles/gbpol_mpisim.dir/mpisim/costmodel.cpp.o"
+  "CMakeFiles/gbpol_mpisim.dir/mpisim/costmodel.cpp.o.d"
+  "CMakeFiles/gbpol_mpisim.dir/mpisim/runtime.cpp.o"
+  "CMakeFiles/gbpol_mpisim.dir/mpisim/runtime.cpp.o.d"
+  "libgbpol_mpisim.a"
+  "libgbpol_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbpol_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

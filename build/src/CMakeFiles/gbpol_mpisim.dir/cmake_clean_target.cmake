@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgbpol_mpisim.a"
+)

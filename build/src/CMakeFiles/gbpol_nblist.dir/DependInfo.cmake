@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nblist/cell_list.cpp" "src/CMakeFiles/gbpol_nblist.dir/nblist/cell_list.cpp.o" "gcc" "src/CMakeFiles/gbpol_nblist.dir/nblist/cell_list.cpp.o.d"
+  "/root/repo/src/nblist/nblist.cpp" "src/CMakeFiles/gbpol_nblist.dir/nblist/nblist.cpp.o" "gcc" "src/CMakeFiles/gbpol_nblist.dir/nblist/nblist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gbpol_molecule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

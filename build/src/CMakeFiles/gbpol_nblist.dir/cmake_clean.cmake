@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbpol_nblist.dir/nblist/cell_list.cpp.o"
+  "CMakeFiles/gbpol_nblist.dir/nblist/cell_list.cpp.o.d"
+  "CMakeFiles/gbpol_nblist.dir/nblist/nblist.cpp.o"
+  "CMakeFiles/gbpol_nblist.dir/nblist/nblist.cpp.o.d"
+  "libgbpol_nblist.a"
+  "libgbpol_nblist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbpol_nblist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

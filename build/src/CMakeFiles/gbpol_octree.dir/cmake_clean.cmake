@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbpol_octree.dir/octree/octree.cpp.o"
+  "CMakeFiles/gbpol_octree.dir/octree/octree.cpp.o.d"
+  "libgbpol_octree.a"
+  "libgbpol_octree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbpol_octree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

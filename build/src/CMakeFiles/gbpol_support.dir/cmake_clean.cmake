@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbpol_support.dir/support/memtrack.cpp.o"
+  "CMakeFiles/gbpol_support.dir/support/memtrack.cpp.o.d"
+  "CMakeFiles/gbpol_support.dir/support/morton.cpp.o"
+  "CMakeFiles/gbpol_support.dir/support/morton.cpp.o.d"
+  "CMakeFiles/gbpol_support.dir/support/stats.cpp.o"
+  "CMakeFiles/gbpol_support.dir/support/stats.cpp.o.d"
+  "CMakeFiles/gbpol_support.dir/support/table.cpp.o"
+  "CMakeFiles/gbpol_support.dir/support/table.cpp.o.d"
+  "CMakeFiles/gbpol_support.dir/support/vec3.cpp.o"
+  "CMakeFiles/gbpol_support.dir/support/vec3.cpp.o.d"
+  "libgbpol_support.a"
+  "libgbpol_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbpol_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

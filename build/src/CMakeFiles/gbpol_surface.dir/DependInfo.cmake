@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/surface/density.cpp" "src/CMakeFiles/gbpol_surface.dir/surface/density.cpp.o" "gcc" "src/CMakeFiles/gbpol_surface.dir/surface/density.cpp.o.d"
+  "/root/repo/src/surface/dunavant.cpp" "src/CMakeFiles/gbpol_surface.dir/surface/dunavant.cpp.o" "gcc" "src/CMakeFiles/gbpol_surface.dir/surface/dunavant.cpp.o.d"
+  "/root/repo/src/surface/march_tetra.cpp" "src/CMakeFiles/gbpol_surface.dir/surface/march_tetra.cpp.o" "gcc" "src/CMakeFiles/gbpol_surface.dir/surface/march_tetra.cpp.o.d"
+  "/root/repo/src/surface/quadrature.cpp" "src/CMakeFiles/gbpol_surface.dir/surface/quadrature.cpp.o" "gcc" "src/CMakeFiles/gbpol_surface.dir/surface/quadrature.cpp.o.d"
+  "/root/repo/src/surface/sphere_quad.cpp" "src/CMakeFiles/gbpol_surface.dir/surface/sphere_quad.cpp.o" "gcc" "src/CMakeFiles/gbpol_surface.dir/surface/sphere_quad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gbpol_molecule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

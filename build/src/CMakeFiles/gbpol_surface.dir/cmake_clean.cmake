@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbpol_surface.dir/surface/density.cpp.o"
+  "CMakeFiles/gbpol_surface.dir/surface/density.cpp.o.d"
+  "CMakeFiles/gbpol_surface.dir/surface/dunavant.cpp.o"
+  "CMakeFiles/gbpol_surface.dir/surface/dunavant.cpp.o.d"
+  "CMakeFiles/gbpol_surface.dir/surface/march_tetra.cpp.o"
+  "CMakeFiles/gbpol_surface.dir/surface/march_tetra.cpp.o.d"
+  "CMakeFiles/gbpol_surface.dir/surface/quadrature.cpp.o"
+  "CMakeFiles/gbpol_surface.dir/surface/quadrature.cpp.o.d"
+  "CMakeFiles/gbpol_surface.dir/surface/sphere_quad.cpp.o"
+  "CMakeFiles/gbpol_surface.dir/surface/sphere_quad.cpp.o.d"
+  "libgbpol_surface.a"
+  "libgbpol_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbpol_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbpol_ws.dir/ws/scheduler.cpp.o"
+  "CMakeFiles/gbpol_ws.dir/ws/scheduler.cpp.o.d"
+  "libgbpol_ws.a"
+  "libgbpol_ws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbpol_ws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_math_test.dir/approx_math_test.cpp.o"
+  "CMakeFiles/approx_math_test.dir/approx_math_test.cpp.o.d"
+  "approx_math_test"
+  "approx_math_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/born_octree_test.dir/born_octree_test.cpp.o"
+  "CMakeFiles/born_octree_test.dir/born_octree_test.cpp.o.d"
+  "born_octree_test"
+  "born_octree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/born_octree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epol_octree_test.dir/epol_octree_test.cpp.o"
+  "CMakeFiles/epol_octree_test.dir/epol_octree_test.cpp.o.d"
+  "epol_octree_test"
+  "epol_octree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epol_octree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

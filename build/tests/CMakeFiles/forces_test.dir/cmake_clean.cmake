@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forces_test.dir/forces_test.cpp.o"
+  "CMakeFiles/forces_test.dir/forces_test.cpp.o.d"
+  "forces_test"
+  "forces_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forces_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nblist_test.dir/nblist_test.cpp.o"
+  "CMakeFiles/nblist_test.dir/nblist_test.cpp.o.d"
+  "nblist_test"
+  "nblist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nblist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

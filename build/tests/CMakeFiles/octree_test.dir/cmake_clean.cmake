@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octree_test.dir/octree_test.cpp.o"
+  "CMakeFiles/octree_test.dir/octree_test.cpp.o.d"
+  "octree_test"
+  "octree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

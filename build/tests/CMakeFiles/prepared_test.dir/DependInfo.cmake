@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/prepared_test.cpp" "tests/CMakeFiles/prepared_test.dir/prepared_test.cpp.o" "gcc" "tests/CMakeFiles/prepared_test.dir/prepared_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gbpol_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_ws.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_nblist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_molecule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbpol_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

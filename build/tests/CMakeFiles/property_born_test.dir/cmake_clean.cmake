@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_born_test.dir/property_born_test.cpp.o"
+  "CMakeFiles/property_born_test.dir/property_born_test.cpp.o.d"
+  "property_born_test"
+  "property_born_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_born_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_epol_test.dir/property_epol_test.cpp.o"
+  "CMakeFiles/property_epol_test.dir/property_epol_test.cpp.o.d"
+  "property_epol_test"
+  "property_epol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_epol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

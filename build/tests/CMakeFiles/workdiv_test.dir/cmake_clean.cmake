@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workdiv_test.dir/workdiv_test.cpp.o"
+  "CMakeFiles/workdiv_test.dir/workdiv_test.cpp.o.d"
+  "workdiv_test"
+  "workdiv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workdiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_test.dir/ws_test.cpp.o"
+  "CMakeFiles/ws_test.dir/ws_test.cpp.o.d"
+  "ws_test"
+  "ws_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
