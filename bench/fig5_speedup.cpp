@@ -3,6 +3,12 @@
 // speedup is relative to each variant's 12-core (one node) run, as in the
 // paper. Also reports the replicated-memory gap (§V-B: 8.2 GB vs 1.4 GB on
 // BTV at one node — a 5.86x ratio).
+//
+// Each variant runs under BOTH traversal engines (the `traversal` column):
+// `list` is the default flat interaction-list engine with batched SoA
+// kernels and list-chunk task granularity; `recursive` is the per-leaf
+// recursive walk kept as the A/B baseline. Speedups are computed within each
+// (variant, traversal) pair so scaling curves stay comparable.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -21,30 +27,41 @@ int main() {
   std::printf("quadrature points: %zu; octree build %.2f s\n", pm.quad.size(),
               pm.prep.build_seconds);
 
-  ApproxParams params;  // 0.9/0.9
   const GBConstants constants;
   const mpisim::ClusterModel cluster = mpisim::ClusterModel::lonestar4();
 
-  Table table({"cores", "variant", "modeled(s)", "speedup vs 12", "memory(MiB)",
-               "E_pol"});
-  double base_mpi = 0.0, base_hybrid = 0.0;
-  for (const int cores : {12, 24, 48, 96, 144}) {
-    RunConfig mpi{.ranks = cores, .threads_per_rank = 1, .cluster = cluster};
-    const DriverResult a = run_oct_distributed(pm.prep, params, constants, mpi);
-    if (cores == 12) base_mpi = a.modeled_seconds();
-    table.add_row({Table::integer(cores), "OCT_MPI", Table::num(a.modeled_seconds(), 4),
-                   Table::num(base_mpi / a.modeled_seconds(), 3),
-                   Table::num(static_cast<double>(a.replicated_bytes) / (1 << 20), 4),
-                   Table::num(a.energy, 6)});
+  struct Mode {
+    const char* name;
+    TraversalMode traversal;
+  };
+  const Mode modes[] = {{"list", TraversalMode::kList},
+                        {"recursive", TraversalMode::kRecursive}};
 
-    RunConfig hybrid{.ranks = cores / 6, .threads_per_rank = 6, .cluster = cluster};
-    const DriverResult b = run_oct_distributed(pm.prep, params, constants, hybrid);
-    if (cores == 12) base_hybrid = b.modeled_seconds();
-    table.add_row({Table::integer(cores), "OCT_MPI+CILK",
-                   Table::num(b.modeled_seconds(), 4),
-                   Table::num(base_hybrid / b.modeled_seconds(), 3),
-                   Table::num(static_cast<double>(b.replicated_bytes) / (1 << 20), 4),
-                   Table::num(b.energy, 6)});
+  Table table({"cores", "variant", "traversal", "modeled(s)", "speedup vs 12",
+               "memory(MiB)", "E_pol"});
+  for (const Mode& mode : modes) {
+    ApproxParams params;  // 0.9/0.9
+    params.traversal = mode.traversal;
+    double base_mpi = 0.0, base_hybrid = 0.0;
+    for (const int cores : {12, 24, 48, 96, 144}) {
+      RunConfig mpi{.ranks = cores, .threads_per_rank = 1, .cluster = cluster};
+      const DriverResult a = run_oct_distributed(pm.prep, params, constants, mpi);
+      if (cores == 12) base_mpi = a.modeled_seconds();
+      table.add_row({Table::integer(cores), "OCT_MPI", mode.name,
+                     Table::num(a.modeled_seconds(), 4),
+                     Table::num(base_mpi / a.modeled_seconds(), 3),
+                     Table::num(static_cast<double>(a.replicated_bytes) / (1 << 20), 4),
+                     Table::num(a.energy, 6)});
+
+      RunConfig hybrid{.ranks = cores / 6, .threads_per_rank = 6, .cluster = cluster};
+      const DriverResult b = run_oct_distributed(pm.prep, params, constants, hybrid);
+      if (cores == 12) base_hybrid = b.modeled_seconds();
+      table.add_row({Table::integer(cores), "OCT_MPI+CILK", mode.name,
+                     Table::num(b.modeled_seconds(), 4),
+                     Table::num(base_hybrid / b.modeled_seconds(), 3),
+                     Table::num(static_cast<double>(b.replicated_bytes) / (1 << 20), 4),
+                     Table::num(b.energy, 6)});
+    }
   }
   harness::emit_table(table, "fig5_speedup");
   return 0;

@@ -1,11 +1,21 @@
 // Micro-benchmarks (google-benchmark): the building-block costs underneath
 // the figure benches — octree construction/traversal, scheduler overhead,
-// collectives, math kernels, surface density evaluation.
+// collectives, math kernels, surface density evaluation, and the near-field
+// kernel A/B (scalar AoS recursion baseline vs batched SoA, the
+// TraversalMode::kList default). Besides the google-benchmark console
+// output, main() writes a machine-readable summary of the kernel A/B to
+// bench_out/micro_kernels.json.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 
 #include "core/approx_math.hpp"
 #include "core/born_octree.hpp"
 #include "core/drivers.hpp"
+#include "core/epol_octree.hpp"
+#include "core/interaction_lists.hpp"
 #include "molecule/generate.hpp"
 #include "mpisim/runtime.hpp"
 #include "support/morton.hpp"
@@ -17,6 +27,100 @@
 namespace {
 
 using namespace gbpol;
+
+// Shared molecule + prebuilt interaction lists for the near-kernel A/B
+// benches and the JSON summary (built once, on first use).
+struct ListFixture {
+  Prepared prep;
+  std::vector<double> born_sorted;
+  InteractionLists born_lists;  // (atom node x q leaf), Fig. 2 decomposition
+  InteractionLists epol_lists;  // (atom node x atom leaf), Fig. 3
+  std::uint64_t epol_near_pairs = 0;
+};
+
+const ListFixture& list_fixture() {
+  static const ListFixture* fixture = [] {
+    auto* f = new ListFixture();
+    const Molecule mol = molgen::synthetic_protein(6000, 3);
+    const auto quad = surface::molecular_surface_quadrature(
+        mol, {.grid_spacing = 2.0, .dunavant_degree = 1, .kappa = 2.3});
+    f->prep = Prepared::build(mol, quad, 32);
+    ApproxParams params;
+    const BornSolver born_solver(f->prep, params);
+    const auto n_qleaves = static_cast<std::uint32_t>(f->prep.q_tree.leaves().size());
+    f->born_lists = born_solver.build_lists(0, n_qleaves);
+    BornAccumulator acc = born_solver.make_accumulator();
+    born_solver.accumulate_lists(f->born_lists, acc);
+    f->born_sorted.resize(f->prep.num_atoms());
+    born_solver.push_to_atoms(acc, 0, static_cast<std::uint32_t>(f->prep.num_atoms()),
+                              f->born_sorted);
+    const EpolSolver epol_solver(f->prep, f->born_sorted, params, GBConstants{});
+    const auto n_aleaves =
+        static_cast<std::uint32_t>(f->prep.atoms_tree.leaves().size());
+    f->epol_lists = epol_solver.build_lists(0, n_aleaves);
+    f->epol_near_pairs = f->epol_lists.near_point_pairs;
+    return f;
+  }();
+  return *fixture;
+}
+
+// One sweep over the Born near list with the scalar AoS kernel (the seed's
+// recursive inner loop).
+double born_near_sweep_aos(const ListFixture& f, std::vector<double>& atom_s) {
+  const Prepared& prep = f.prep;
+  for (const InteractionLists::Near& e : f.born_lists.near) {
+    const OctreeNode& a = prep.atoms_tree.node(e.target_leaf);
+    const OctreeNode& q = prep.q_tree.node(e.source_leaf);
+    born_near_aos<6>(prep.atoms_tree.points().data(), a.begin, a.end,
+                     prep.q_tree.points().data(), prep.weighted_normal.data(), q.begin,
+                     q.end, atom_s.data());
+  }
+  return atom_s[0];
+}
+
+// Same sweep with the batched SoA kernel.
+double born_near_sweep_soa(const ListFixture& f, std::vector<double>& atom_s) {
+  const Prepared& prep = f.prep;
+  for (const InteractionLists::Near& e : f.born_lists.near) {
+    const OctreeNode& a = prep.atoms_tree.node(e.target_leaf);
+    const OctreeNode& q = prep.q_tree.node(e.source_leaf);
+    born_near_soa<6>(prep.q_soa.x.data(), prep.q_soa.y.data(), prep.q_soa.z.data(),
+                     prep.q_wn_soa.x.data(), prep.q_wn_soa.y.data(),
+                     prep.q_wn_soa.z.data(), q.begin, q.end, prep.atoms_soa.x.data(),
+                     prep.atoms_soa.y.data(), prep.atoms_soa.z.data(), a.begin, a.end,
+                     atom_s.data());
+  }
+  return atom_s[0];
+}
+
+template <bool kApproxMath>
+double epol_near_sweep_aos(const ListFixture& f) {
+  const Prepared& prep = f.prep;
+  double sum = 0.0;
+  for (const InteractionLists::Near& e : f.epol_lists.near) {
+    const OctreeNode& u = prep.atoms_tree.node(e.target_leaf);
+    const OctreeNode& v = prep.atoms_tree.node(e.source_leaf);
+    sum += epol_near_aos<kApproxMath>(prep.atoms_tree.points().data(),
+                                      prep.charge.data(), f.born_sorted.data(), u.begin,
+                                      u.end, v.begin, v.end);
+  }
+  return sum;
+}
+
+template <bool kApproxMath>
+double epol_near_sweep_soa(const ListFixture& f) {
+  const Prepared& prep = f.prep;
+  double sum = 0.0;
+  for (const InteractionLists::Near& e : f.epol_lists.near) {
+    const OctreeNode& u = prep.atoms_tree.node(e.target_leaf);
+    const OctreeNode& v = prep.atoms_tree.node(e.source_leaf);
+    sum += epol_near_soa<kApproxMath>(prep.atoms_soa.x.data(), prep.atoms_soa.y.data(),
+                                      prep.atoms_soa.z.data(), prep.charge.data(),
+                                      f.born_sorted.data(), u.begin, u.end, v.begin,
+                                      v.end);
+  }
+  return sum;
+}
 
 std::vector<Vec3> random_points(std::size_t n) {
   Rng rng(123);
@@ -159,6 +263,160 @@ void BM_BornTraversal(benchmark::State& state) {
 }
 BENCHMARK(BM_BornTraversal)->Arg(2000)->Arg(8000);
 
+// ---- Near-field kernel A/B: scalar AoS baseline vs batched SoA ------------
+
+void BM_BornNearAoS(benchmark::State& state) {
+  const ListFixture& f = list_fixture();
+  std::vector<double> atom_s(f.prep.num_atoms(), 0.0);
+  for (auto _ : state) benchmark::DoNotOptimize(born_near_sweep_aos(f, atom_s));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.born_lists.near_point_pairs));
+}
+BENCHMARK(BM_BornNearAoS);
+
+void BM_BornNearSoA(benchmark::State& state) {
+  const ListFixture& f = list_fixture();
+  std::vector<double> atom_s(f.prep.num_atoms(), 0.0);
+  for (auto _ : state) benchmark::DoNotOptimize(born_near_sweep_soa(f, atom_s));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.born_lists.near_point_pairs));
+}
+BENCHMARK(BM_BornNearSoA);
+
+void BM_EpolNearAoS(benchmark::State& state) {
+  const ListFixture& f = list_fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(epol_near_sweep_aos<false>(f));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.epol_near_pairs));
+}
+BENCHMARK(BM_EpolNearAoS);
+
+void BM_EpolNearSoA(benchmark::State& state) {
+  const ListFixture& f = list_fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(epol_near_sweep_soa<false>(f));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.epol_near_pairs));
+}
+BENCHMARK(BM_EpolNearSoA);
+
+// ---- Engine-level A/B: recursive walk vs prebuilt-list evaluation ---------
+
+void BM_BornListBuild(benchmark::State& state) {
+  const ListFixture& f = list_fixture();
+  ApproxParams params;
+  const BornSolver solver(f.prep, params);
+  const auto n = static_cast<std::uint32_t>(f.prep.q_tree.leaves().size());
+  for (auto _ : state) benchmark::DoNotOptimize(solver.build_lists(0, n));
+}
+BENCHMARK(BM_BornListBuild);
+
+void BM_BornListAccumulate(benchmark::State& state) {
+  const ListFixture& f = list_fixture();
+  ApproxParams params;
+  const BornSolver solver(f.prep, params);
+  for (auto _ : state) {
+    BornAccumulator acc = solver.make_accumulator();
+    solver.accumulate_lists(f.born_lists, acc);
+    benchmark::DoNotOptimize(acc.flat().data());
+  }
+}
+BENCHMARK(BM_BornListAccumulate);
+
+void BM_BornRecursiveAccumulate(benchmark::State& state) {
+  const ListFixture& f = list_fixture();
+  ApproxParams params;
+  const BornSolver solver(f.prep, params);
+  const auto n = static_cast<std::uint32_t>(f.prep.q_tree.leaves().size());
+  for (auto _ : state) {
+    BornAccumulator acc = solver.make_accumulator();
+    solver.accumulate_qleaf_range(0, n, acc);
+    benchmark::DoNotOptimize(acc.flat().data());
+  }
+}
+BENCHMARK(BM_BornRecursiveAccumulate);
+
+// ---- bench_out/micro_kernels.json -----------------------------------------
+
+// Best-of-reps wall time of fn(), seconds.
+template <typename F>
+double best_seconds(int reps, F&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(fn());
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct KernelAB {
+  const char* name;
+  std::uint64_t pairs;
+  double scalar_s;
+  double soa_s;
+};
+
+void write_json(std::ostream& os, const ListFixture& f,
+                const std::vector<KernelAB>& kernels) {
+  os << "{\n";
+  os << "  \"molecule_atoms\": " << f.prep.num_atoms() << ",\n";
+  os << "  \"quadrature_points\": " << f.prep.q_tree.num_points() << ",\n";
+  os << "  \"kernels\": [\n";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelAB& k = kernels[i];
+    const double pairs = static_cast<double>(k.pairs);
+    os << "    {\"name\": \"" << k.name << "\", \"point_pairs\": " << k.pairs
+       << ", \"scalar_aos_seconds\": " << k.scalar_s
+       << ", \"soa_seconds\": " << k.soa_s
+       << ", \"scalar_aos_pairs_per_second\": " << pairs / k.scalar_s
+       << ", \"soa_pairs_per_second\": " << pairs / k.soa_s
+       << ", \"soa_speedup\": " << k.scalar_s / k.soa_s << "}"
+       << (i + 1 < kernels.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+// Times the scalar-AoS vs batched-SoA near kernels over the molecule's real
+// near lists and writes the comparison to bench_out/micro_kernels.json.
+void emit_kernel_json() {
+  const ListFixture& f = list_fixture();
+  constexpr int kReps = 5;
+  std::vector<double> atom_s(f.prep.num_atoms(), 0.0);
+
+  std::vector<KernelAB> kernels;
+  kernels.push_back(
+      {"born_near_r6", f.born_lists.near_point_pairs,
+       best_seconds(kReps, [&] { return born_near_sweep_aos(f, atom_s); }),
+       best_seconds(kReps, [&] { return born_near_sweep_soa(f, atom_s); })});
+  kernels.push_back({"epol_near_exact", f.epol_near_pairs,
+                     best_seconds(kReps, [&] { return epol_near_sweep_aos<false>(f); }),
+                     best_seconds(kReps, [&] { return epol_near_sweep_soa<false>(f); })});
+  kernels.push_back({"epol_near_approx_math", f.epol_near_pairs,
+                     best_seconds(kReps, [&] { return epol_near_sweep_aos<true>(f); }),
+                     best_seconds(kReps, [&] { return epol_near_sweep_soa<true>(f); })});
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  std::ofstream out("bench_out/micro_kernels.json");
+  if (!out) {
+    std::fprintf(stderr, "note: could not open bench_out/micro_kernels.json\n");
+    return;
+  }
+  write_json(out, f, kernels);
+  std::printf("wrote bench_out/micro_kernels.json\n");
+  for (const KernelAB& k : kernels)
+    std::printf("  %-22s SoA speedup %.2fx\n", k.name, k.scalar_s / k.soa_s);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_kernel_json();
+  return 0;
+}

@@ -5,6 +5,17 @@
 
 namespace gbpol {
 
+void PointsSoA::assign(std::span<const Vec3> pts) {
+  x.resize(pts.size());
+  y.resize(pts.size());
+  z.resize(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    x[i] = pts[i].x;
+    y[i] = pts[i].y;
+    z[i] = pts[i].z;
+  }
+}
+
 double fast_rsqrt_max_rel_error(double lo, double hi, int samples) {
   double worst = 0.0;
   for (int i = 0; i < samples; ++i) {

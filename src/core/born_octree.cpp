@@ -2,39 +2,23 @@
 
 #include <cassert>
 
+#include "core/approx_math.hpp"
 #include "core/naive.hpp"
 
 namespace gbpol {
 namespace {
 
-// Surface-integral kernel (p - x).n / |p - x|^Power with the distance-square
-// already computed; Power is 6 (Eq. 4) or 4 (Eq. 3).
+// Scalar kernels live in core/approx_math.hpp (born_kernel_term /
+// born_dipole_term), shared between the recursive engine, the list engine's
+// far loop, and the micro benches.
 template <int Power>
 double kernel_term(const Vec3& wn, const Vec3& diff, double d2) {
-  static_assert(Power == 4 || Power == 6);
-  const double inv2 = 1.0 / d2;
-  if constexpr (Power == 6) {
-    return dot(wn, diff) * inv2 * inv2 * inv2;
-  } else {
-    return dot(wn, diff) * inv2 * inv2;
-  }
+  return born_kernel_term<Power>(wn, diff, d2);
 }
 
-// First-order (dipole) correction: contraction of the node moment tensor
-// M = sum w n (x) (p - c) with the kernel Jacobian at the centroid,
-//   J_ab = d_ab / d^P - P diff_a diff_b / d^(P+2),
-// giving tr(M)/d^P - P (diff^T M diff)/d^(P+2).
 template <int Power>
 double dipole_term(const Mat3& moment, const Vec3& diff, double d2) {
-  const double inv2 = 1.0 / d2;
-  double inv_p;  // 1/d^Power
-  if constexpr (Power == 6) {
-    inv_p = inv2 * inv2 * inv2;
-  } else {
-    inv_p = inv2 * inv2;
-  }
-  return moment.trace() * inv_p -
-         static_cast<double>(Power) * quadratic_form(moment, diff) * inv_p * inv2;
+  return born_dipole_term<Power>(moment, diff, d2);
 }
 
 }  // namespace
@@ -70,17 +54,9 @@ void BornSolver::approx_integrals(std::uint32_t atom_node_id, std::uint32_t q_le
   }
   if (a.is_leaf()) {
     // Too close to approximate: exact per-atom terms (Fig. 2 line 2).
-    for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
-      const Vec3 x = atoms.point(ai);
-      double s = 0.0;
-      for (std::uint32_t qi = q.begin; qi < q.end; ++qi) {
-        const Vec3 diff = prep_->q_tree.point(qi) - x;
-        const double d2 = norm2(diff);
-        if (d2 <= 0.0) continue;
-        s += kernel_term<Power>(prep_->weighted_normal[qi], diff, d2);
-      }
-      acc.atom_s(ai) += s;
-    }
+    born_near_aos<Power>(atoms.points().data(), a.begin, a.end,
+                         prep_->q_tree.points().data(), prep_->weighted_normal.data(),
+                         q.begin, q.end, acc.atom_s_data());
     return;
   }
   for (std::uint8_t c = 0; c < a.child_count; ++c)
@@ -124,17 +100,9 @@ void BornSolver::dual_subtree(std::uint32_t atom_node_id, std::uint32_t q_node_i
     return;
   }
   if (a.is_leaf() && q.is_leaf()) {
-    for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
-      const Vec3 x = prep_->atoms_tree.point(ai);
-      double s = 0.0;
-      for (std::uint32_t qi = q.begin; qi < q.end; ++qi) {
-        const Vec3 diff = prep_->q_tree.point(qi) - x;
-        const double d2 = norm2(diff);
-        if (d2 <= 0.0) continue;
-        s += kernel_term<Power>(prep_->weighted_normal[qi], diff, d2);
-      }
-      acc.atom_s(ai) += s;
-    }
+    born_near_aos<Power>(prep_->atoms_tree.points().data(), a.begin, a.end,
+                         prep_->q_tree.points().data(), prep_->weighted_normal.data(),
+                         q.begin, q.end, acc.atom_s_data());
     return;
   }
   // Recurse into the side with the larger extent (splitting the bigger node
@@ -170,6 +138,91 @@ void BornSolver::accumulate_dual_subtree(std::uint32_t atom_node_id,
 void BornSolver::accumulate_dual_tree(BornAccumulator& acc) const {
   if (prep_->atoms_tree.empty() || prep_->q_tree.empty()) return;
   accumulate_dual_subtree(0, 0, acc);
+}
+
+InteractionLists BornSolver::build_lists(std::uint32_t q_leaf_lo,
+                                         std::uint32_t q_leaf_hi) const {
+  return build_interaction_lists(
+      prep_->atoms_tree, prep_->q_tree,
+      {.far_multiplier = far_multiplier_,
+       .exact_at_target_leaf = false,  // Fig. 2 tests far before the leaf case
+       .source_leaf_lo = q_leaf_lo,
+       .source_leaf_hi = q_leaf_hi});
+}
+
+InteractionLists BornSolver::build_lists_parallel(ws::Scheduler& sched,
+                                                  std::uint32_t q_leaf_lo,
+                                                  std::uint32_t q_leaf_hi) const {
+  return build_interaction_lists_parallel(
+      sched, prep_->atoms_tree, prep_->q_tree,
+      {.far_multiplier = far_multiplier_,
+       .exact_at_target_leaf = false,
+       .source_leaf_lo = q_leaf_lo,
+       .source_leaf_hi = q_leaf_hi});
+}
+
+template <int Power, bool Dipole>
+void BornSolver::far_range_impl(const InteractionLists& lists, std::size_t lo,
+                                std::size_t hi, BornAccumulator& acc) const {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const InteractionLists::Far& e = lists.far[i];
+    const OctreeNode& a = prep_->atoms_tree.node(e.target_node);
+    const OctreeNode& q = prep_->q_tree.node(e.source_leaf);
+    const Vec3 diff = q.centroid - a.centroid;
+    const double d2 = norm2(diff);
+    double term = born_kernel_term<Power>(prep_->node_weighted_normal[e.source_leaf],
+                                          diff, d2);
+    if constexpr (Dipole) {
+      term += born_dipole_term<Power>(prep_->node_moment[e.source_leaf], diff, d2);
+    }
+    acc.node_s(e.target_node) += term;
+  }
+}
+
+template <int Power>
+void BornSolver::near_range_impl(const InteractionLists& lists, std::size_t lo,
+                                 std::size_t hi, BornAccumulator& acc) const {
+  const PointsSoA& q = prep_->q_soa;
+  const PointsSoA& wn = prep_->q_wn_soa;
+  const PointsSoA& a = prep_->atoms_soa;
+  double* atom_s = acc.atom_s_data();
+  for (std::size_t i = lo; i < hi; ++i) {
+    const InteractionLists::Near& e = lists.near[i];
+    const OctreeNode& an = prep_->atoms_tree.node(e.target_leaf);
+    const OctreeNode& qn = prep_->q_tree.node(e.source_leaf);
+    born_near_soa<Power>(q.x.data(), q.y.data(), q.z.data(), wn.x.data(), wn.y.data(),
+                         wn.z.data(), qn.begin, qn.end, a.x.data(), a.y.data(),
+                         a.z.data(), an.begin, an.end, atom_s);
+  }
+}
+
+void BornSolver::accumulate_far_range(const InteractionLists& lists, std::size_t lo,
+                                      std::size_t hi, BornAccumulator& acc) const {
+  if (kernel_ == RadiusKernel::kR6) {
+    if (dipole_)
+      far_range_impl<6, true>(lists, lo, hi, acc);
+    else
+      far_range_impl<6, false>(lists, lo, hi, acc);
+  } else {
+    if (dipole_)
+      far_range_impl<4, true>(lists, lo, hi, acc);
+    else
+      far_range_impl<4, false>(lists, lo, hi, acc);
+  }
+}
+
+void BornSolver::accumulate_near_range(const InteractionLists& lists, std::size_t lo,
+                                       std::size_t hi, BornAccumulator& acc) const {
+  if (kernel_ == RadiusKernel::kR6)
+    near_range_impl<6>(lists, lo, hi, acc);
+  else
+    near_range_impl<4>(lists, lo, hi, acc);
+}
+
+void BornSolver::accumulate_lists(const InteractionLists& lists,
+                                  BornAccumulator& acc) const {
+  accumulate_far_range(lists, 0, lists.far.size(), acc);
+  accumulate_near_range(lists, 0, lists.near.size(), acc);
 }
 
 void BornSolver::push_recursive(const BornAccumulator& acc, std::uint32_t atom_node_id,

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "core/interaction_lists.hpp"
 #include "core/prepared.hpp"
 
 namespace gbpol {
@@ -38,6 +39,10 @@ class BornAccumulator {
   double node_s(std::uint32_t node_id) const { return data_[node_id]; }
   double& atom_s(std::uint32_t sorted_slot) { return data_[num_nodes_ + sorted_slot]; }
   double atom_s(std::uint32_t sorted_slot) const { return data_[num_nodes_ + sorted_slot]; }
+
+  // Base of the per-atom segment (slot-indexed); the batched near-field
+  // kernels write through this pointer.
+  double* atom_s_data() { return data_.data() + num_nodes_; }
 
   std::span<double> flat() { return data_; }
   std::span<const double> flat() const { return data_; }
@@ -66,9 +71,27 @@ class BornSolver {
   }
 
   // Single-tree pass: APPROX-INTEGRALS for every quadrature-tree leaf with
-  // index in [leaf_lo, leaf_hi) (indices into q_tree.leaves()).
+  // index in [leaf_lo, leaf_hi) (indices into q_tree.leaves()). This is the
+  // TraversalMode::kRecursive engine, kept as the A/B baseline.
   void accumulate_qleaf_range(std::uint32_t leaf_lo, std::uint32_t leaf_hi,
                               BornAccumulator& acc) const;
+
+  // --- Interaction-list engine (TraversalMode::kList, the default) ---------
+  // One traversal emits the same (atom_node x q_leaf) decomposition as
+  // accumulate_qleaf_range into flat near/far lists; evaluation then runs as
+  // chunked loops over the lists with batched SoA near kernels.
+  InteractionLists build_lists(std::uint32_t q_leaf_lo, std::uint32_t q_leaf_hi) const;
+  InteractionLists build_lists_parallel(ws::Scheduler& sched, std::uint32_t q_leaf_lo,
+                                        std::uint32_t q_leaf_hi) const;
+  // Far / near list segments [lo, hi) — chunkable by any parallel_for; far
+  // entries write node_s, near entries write atom_s, so chunks of the SAME
+  // list on distinct accumulators merge without double counting.
+  void accumulate_far_range(const InteractionLists& lists, std::size_t lo,
+                            std::size_t hi, BornAccumulator& acc) const;
+  void accumulate_near_range(const InteractionLists& lists, std::size_t lo,
+                             std::size_t hi, BornAccumulator& acc) const;
+  // Whole-list convenience (far then near), serial.
+  void accumulate_lists(const InteractionLists& lists, BornAccumulator& acc) const;
 
   // Dual-tree pass over the full trees (OCT_CILK algorithm), serial.
   void accumulate_dual_tree(BornAccumulator& acc) const;
@@ -95,6 +118,12 @@ class BornSolver {
   template <int Power, bool Dipole>
   void approx_integrals(std::uint32_t atom_node, std::uint32_t q_leaf,
                         BornAccumulator& acc) const;
+  template <int Power, bool Dipole>
+  void far_range_impl(const InteractionLists& lists, std::size_t lo, std::size_t hi,
+                      BornAccumulator& acc) const;
+  template <int Power>
+  void near_range_impl(const InteractionLists& lists, std::size_t lo, std::size_t hi,
+                       BornAccumulator& acc) const;
   template <int Power, bool Dipole>
   void dual_subtree(std::uint32_t atom_node, std::uint32_t q_node,
                     BornAccumulator& acc) const;

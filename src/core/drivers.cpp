@@ -54,6 +54,14 @@ std::vector<PairTask> expand_pair_frontier(const Octree& tree_a, const Octree& t
   return terminal;
 }
 
+// Chunk grain for flat loops over interaction lists: ~64 chunks per worker
+// gives the stealing scheduler slack without per-entry task overhead. This is
+// the granularity fix the list engine buys — the recursive engine could only
+// parallelize over source leaves.
+std::size_t list_grain(std::size_t size, int workers) {
+  return std::max<std::size_t>(1, size / (64 * static_cast<std::size_t>(workers)));
+}
+
 // Phase bracket for pool phases: returns max-over-workers busy seconds.
 class PoolPhase {
  public:
@@ -81,17 +89,26 @@ DriverResult run_oct_serial(const Prepared& prep, const ApproxParams& params,
 
   const BornSolver born_solver(prep, params);
   BornAccumulator acc = born_solver.make_accumulator();
-  const auto q_leaves = prep.q_tree.leaves();
-  born_solver.accumulate_qleaf_range(0, static_cast<std::uint32_t>(q_leaves.size()), acc);
+  const auto n_qleaves = static_cast<std::uint32_t>(prep.q_tree.leaves().size());
+  if (params.traversal == TraversalMode::kList) {
+    const InteractionLists lists = born_solver.build_lists(0, n_qleaves);
+    born_solver.accumulate_lists(lists, acc);
+  } else {
+    born_solver.accumulate_qleaf_range(0, n_qleaves, acc);
+  }
 
   result.born_sorted.assign(prep.num_atoms(), 0.0);
   born_solver.push_to_atoms(acc, 0, static_cast<std::uint32_t>(prep.num_atoms()),
                             result.born_sorted);
 
   const EpolSolver epol_solver(prep, result.born_sorted, params, constants);
-  const auto atom_leaves = prep.atoms_tree.leaves();
-  result.energy =
-      epol_solver.energy_for_leaf_range(0, static_cast<std::uint32_t>(atom_leaves.size()));
+  const auto n_aleaves = static_cast<std::uint32_t>(prep.atoms_tree.leaves().size());
+  if (params.traversal == TraversalMode::kList) {
+    const InteractionLists lists = epol_solver.build_lists(0, n_aleaves);
+    result.energy = epol_solver.energy_from_lists(lists);
+  } else {
+    result.energy = epol_solver.energy_for_leaf_range(0, n_aleaves);
+  }
 
   result.compute_seconds = cpu.seconds();
   result.wall_seconds = wall.seconds();
@@ -233,16 +250,44 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
       }
     } else if (p == 1) {
       mpisim::Comm::ComputeRegion region(comm);
-      born_solver.accumulate_qleaf_range(q_seg.lo, q_seg.hi, acc);
+      if (params.traversal == TraversalMode::kList) {
+        const InteractionLists lists = born_solver.build_lists(q_seg.lo, q_seg.hi);
+        born_solver.accumulate_lists(lists, acc);
+      } else {
+        born_solver.accumulate_qleaf_range(q_seg.lo, q_seg.hi, acc);
+      }
     } else {
       std::vector<BornAccumulator> worker_acc(static_cast<std::size_t>(p));
       for (auto& wa : worker_acc) wa = born_solver.make_accumulator();
       sched->reset_stats();
-      ws::parallel_for(*sched, q_seg.lo, q_seg.hi, 1, [&](std::size_t lo, std::size_t hi) {
-        auto& wa = worker_acc[static_cast<std::size_t>(ws::Scheduler::worker_id())];
-        born_solver.accumulate_qleaf_range(static_cast<std::uint32_t>(lo),
-                                           static_cast<std::uint32_t>(hi), wa);
-      });
+      if (params.traversal == TraversalMode::kList) {
+        // Build once, then flat chunked loops over both lists: task count is
+        // list-length bound, not quadrature-leaf bound.
+        const InteractionLists lists =
+            born_solver.build_lists_parallel(*sched, q_seg.lo, q_seg.hi);
+        ws::parallel_for(*sched, 0, lists.far.size(), list_grain(lists.far.size(), p),
+                         [&](std::size_t lo, std::size_t hi) {
+                           auto& wa = worker_acc[static_cast<std::size_t>(
+                               ws::Scheduler::worker_id())];
+                           born_solver.accumulate_far_range(lists, lo, hi, wa);
+                         });
+        ws::parallel_for(*sched, 0, lists.near.size(),
+                         list_grain(lists.near.size(), p),
+                         [&](std::size_t lo, std::size_t hi) {
+                           auto& wa = worker_acc[static_cast<std::size_t>(
+                               ws::Scheduler::worker_id())];
+                           born_solver.accumulate_near_range(lists, lo, hi, wa);
+                         });
+      } else {
+        ws::parallel_for(*sched, q_seg.lo, q_seg.hi, 1,
+                         [&](std::size_t lo, std::size_t hi) {
+                           auto& wa = worker_acc[static_cast<std::size_t>(
+                               ws::Scheduler::worker_id())];
+                           born_solver.accumulate_qleaf_range(
+                               static_cast<std::uint32_t>(lo),
+                               static_cast<std::uint32_t>(hi), wa);
+                         });
+      }
       comm.add_compute_seconds(sched->stats().max_busy());
       mpisim::Comm::ComputeRegion region(comm);  // merge on the rank thread
       for (int w = 0; w < p; ++w) acc.add(worker_acc[static_cast<std::size_t>(w)]);
@@ -304,7 +349,30 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
                                   : even_segment(n_aleaves, P, r);
         if (p == 1) {
           mpisim::Comm::ComputeRegion region(comm);
-          partial[0] = epol_solver->energy_for_leaf_range(l_seg.lo, l_seg.hi);
+          if (params.traversal == TraversalMode::kList) {
+            const InteractionLists lists = epol_solver->build_lists(l_seg.lo, l_seg.hi);
+            partial[0] = epol_solver->energy_from_lists(lists);
+          } else {
+            partial[0] = epol_solver->energy_for_leaf_range(l_seg.lo, l_seg.hi);
+          }
+        } else if (params.traversal == TraversalMode::kList) {
+          sched->reset_stats();
+          const InteractionLists lists =
+              epol_solver->build_lists_parallel(*sched, l_seg.lo, l_seg.hi);
+          const double far = ws::parallel_reduce<double>(
+              *sched, 0, lists.far.size(), list_grain(lists.far.size(), p),
+              [&](std::size_t lo, std::size_t hi) {
+                return epol_solver->energy_far_range(lists, lo, hi);
+              },
+              [](double l, double rgt) { return l + rgt; });
+          const double near = ws::parallel_reduce<double>(
+              *sched, 0, lists.near.size(), list_grain(lists.near.size(), p),
+              [&](std::size_t lo, std::size_t hi) {
+                return epol_solver->energy_near_range(lists, lo, hi);
+              },
+              [](double l, double rgt) { return l + rgt; });
+          partial[0] = far + near;
+          comm.add_compute_seconds(sched->stats().max_busy());
         } else {
           sched->reset_stats();
           partial[0] = ws::parallel_reduce<double>(

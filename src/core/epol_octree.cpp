@@ -90,27 +90,9 @@ EpolSolver::LeafView EpolSolver::make_truncated_view(
 template <bool kApproxMath>
 double EpolSolver::pair_sum_exact(std::uint32_t u_begin, std::uint32_t u_end,
                                   const LeafView& v) const {
-  const Octree& tree = prep_->atoms_tree;
-  double sum = 0.0;
-  for (std::uint32_t ui = u_begin; ui < u_end; ++ui) {
-    const Vec3 pu = tree.point(ui);
-    const double qu = prep_->charge[ui];
-    const double ru = born_[ui];
-    double inner = 0.0;
-    for (std::uint32_t vi = v.begin; vi < v.end; ++vi) {
-      const double r2 = distance2(pu, tree.point(vi));
-      const double rr = ru * born_[vi];
-      double inv_f;
-      if constexpr (kApproxMath) {
-        inv_f = fast_rsqrt(r2 + rr * fast_exp(-r2 / (4.0 * rr)));
-      } else {
-        inv_f = 1.0 / std::sqrt(r2 + rr * std::exp(-r2 / (4.0 * rr)));
-      }
-      inner += prep_->charge[vi] * inv_f;
-    }
-    sum += qu * inner;
-  }
-  return sum;
+  return epol_near_aos<kApproxMath>(prep_->atoms_tree.points().data(),
+                                    prep_->charge.data(), born_.data(), u_begin,
+                                    u_end, v.begin, v.end);
 }
 
 template <bool kApproxMath>
@@ -182,6 +164,76 @@ double EpolSolver::energy_for_atom_range(std::uint32_t atom_lo,
     sum += approx_math_ ? recurse_single<true>(0, v) : recurse_single<false>(0, v);
   }
   return scale_ * sum;
+}
+
+InteractionLists EpolSolver::build_lists(std::uint32_t leaf_lo,
+                                         std::uint32_t leaf_hi) const {
+  return build_interaction_lists(
+      prep_->atoms_tree, prep_->atoms_tree,
+      {.far_multiplier = far_multiplier_,
+       .exact_at_target_leaf = true,  // Fig. 3 line 1: leaves are exact even if far
+       .source_leaf_lo = leaf_lo,
+       .source_leaf_hi = leaf_hi});
+}
+
+InteractionLists EpolSolver::build_lists_parallel(ws::Scheduler& sched,
+                                                  std::uint32_t leaf_lo,
+                                                  std::uint32_t leaf_hi) const {
+  return build_interaction_lists_parallel(
+      sched, prep_->atoms_tree, prep_->atoms_tree,
+      {.far_multiplier = far_multiplier_,
+       .exact_at_target_leaf = true,
+       .source_leaf_lo = leaf_lo,
+       .source_leaf_hi = leaf_hi});
+}
+
+template <bool kApproxMath>
+double EpolSolver::far_range_impl(const InteractionLists& lists, std::size_t lo,
+                                  std::size_t hi) const {
+  const auto nodes = prep_->atoms_tree.nodes();
+  double sum = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const InteractionLists::Far& e = lists.far[i];
+    const double d2 =
+        distance2(nodes[e.target_node].centroid, nodes[e.source_leaf].centroid);
+    sum += binned_far_term<kApproxMath>(node_bins(e.target_node),
+                                        node_bins(e.source_leaf), d2);
+  }
+  return sum;
+}
+
+template <bool kApproxMath>
+double EpolSolver::near_range_impl(const InteractionLists& lists, std::size_t lo,
+                                   std::size_t hi) const {
+  const PointsSoA& a = prep_->atoms_soa;
+  const auto nodes = prep_->atoms_tree.nodes();
+  double sum = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const InteractionLists::Near& e = lists.near[i];
+    const OctreeNode& u = nodes[e.target_leaf];
+    const OctreeNode& v = nodes[e.source_leaf];
+    sum += epol_near_soa<kApproxMath>(a.x.data(), a.y.data(), a.z.data(),
+                                      prep_->charge.data(), born_.data(), u.begin,
+                                      u.end, v.begin, v.end);
+  }
+  return sum;
+}
+
+double EpolSolver::energy_far_range(const InteractionLists& lists, std::size_t lo,
+                                    std::size_t hi) const {
+  return scale_ * (approx_math_ ? far_range_impl<true>(lists, lo, hi)
+                                : far_range_impl<false>(lists, lo, hi));
+}
+
+double EpolSolver::energy_near_range(const InteractionLists& lists, std::size_t lo,
+                                     std::size_t hi) const {
+  return scale_ * (approx_math_ ? near_range_impl<true>(lists, lo, hi)
+                                : near_range_impl<false>(lists, lo, hi));
+}
+
+double EpolSolver::energy_from_lists(const InteractionLists& lists) const {
+  return energy_far_range(lists, 0, lists.far.size()) +
+         energy_near_range(lists, 0, lists.near.size());
 }
 
 template <bool kApproxMath>

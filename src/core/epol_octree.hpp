@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "core/interaction_lists.hpp"
 #include "core/prepared.hpp"
 
 namespace gbpol {
@@ -37,8 +38,22 @@ class EpolSolver {
 
   // Energy contribution of atom-tree leaves [leaf_lo, leaf_hi) (indices into
   // atoms_tree.leaves()) interacting with the ENTIRE tree. Summing over all
-  // leaves yields the full E_pol (every ordered pair counted once).
+  // leaves yields the full E_pol (every ordered pair counted once). This is
+  // the TraversalMode::kRecursive engine, kept as the A/B baseline.
   double energy_for_leaf_range(std::uint32_t leaf_lo, std::uint32_t leaf_hi) const;
+
+  // --- Interaction-list engine (TraversalMode::kList, the default) ---------
+  // Same (u_node x v_leaf) decomposition as energy_for_leaf_range, emitted as
+  // flat near/far lists; energy_*_range evaluate chunkable list segments
+  // (already scaled by -tau/2 ke, so partial sums add up to E_pol).
+  InteractionLists build_lists(std::uint32_t leaf_lo, std::uint32_t leaf_hi) const;
+  InteractionLists build_lists_parallel(ws::Scheduler& sched, std::uint32_t leaf_lo,
+                                        std::uint32_t leaf_hi) const;
+  double energy_far_range(const InteractionLists& lists, std::size_t lo,
+                          std::size_t hi) const;
+  double energy_near_range(const InteractionLists& lists, std::size_t lo,
+                           std::size_t hi) const;
+  double energy_from_lists(const InteractionLists& lists) const;
 
   // Atom-based division: contribution of sorted atom slots [atom_lo, atom_hi).
   double energy_for_atom_range(std::uint32_t atom_lo, std::uint32_t atom_hi) const;
@@ -79,6 +94,12 @@ class EpolSolver {
                         const LeafView& v) const;
   template <bool kApproxMath>
   double binned_far_term(const double* u_bins, const double* v_bins, double d2) const;
+  template <bool kApproxMath>
+  double far_range_impl(const InteractionLists& lists, std::size_t lo,
+                        std::size_t hi) const;
+  template <bool kApproxMath>
+  double near_range_impl(const InteractionLists& lists, std::size_t lo,
+                         std::size_t hi) const;
   template <bool kApproxMath>
   double recurse_single(std::uint32_t u_node, const LeafView& v) const;
   template <bool kApproxMath>

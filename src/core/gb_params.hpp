@@ -21,6 +21,19 @@ struct GBConstants {
 // Coulomb-field form of Eq. (3), which overestimates buried radii.
 enum class RadiusKernel { kR6, kR4 };
 
+// How the solvers traverse the octrees:
+//  * kList      — one pass over (target tree x source leaves) emits flat
+//                 near/far interaction lists (core/interaction_lists.hpp),
+//                 consumed by batched SoA kernels; far entries evaluate as a
+//                 flat parallel_for, so task granularity is list-chunk sized
+//                 instead of quadrature-leaf sized.
+//  * kRecursive — the per-source-leaf recursive walk with scalar Vec3
+//                 kernels, kept for A/B benchmarking (bench/micro_kernels,
+//                 bench/fig5_speedup).
+// Both modes evaluate the SAME near/far decomposition, so they agree to FP
+// reassociation noise (tests/interaction_lists_test.cpp pins <= 1e-12).
+enum class TraversalMode { kList, kRecursive };
+
 struct ApproxParams {
   RadiusKernel radius_kernel = RadiusKernel::kR6;
   // Near/far approximation parameter for the Born-radius integrals (Fig. 2):
@@ -46,6 +59,8 @@ struct ApproxParams {
   // performance, so it is the default for BOTH traversals; the strict
   // text form is kept as an ablation knob (bench/ablation_criterion).
   bool born_strict_criterion = false;
+  // Traversal engine for BornSolver / EpolSolver (see TraversalMode above).
+  TraversalMode traversal = TraversalMode::kList;
   // Extension: add the first-order (dipole) term of the far-field kernel's
   // Taylor expansion around the quadrature-node centroid, using the
   // per-node moment tensors Prepared aggregates. Reduces the far-field

@@ -1,0 +1,80 @@
+// Interaction-list traversal engine.
+//
+// The seed re-walked the target octree recursively for EVERY source leaf
+// (BornSolver::approx_integrals over q-tree leaves, EpolSolver::recurse_single
+// over atom-tree leaves). This module separates TRAVERSAL from EVALUATION, the
+// split production FMM-family codes use (DASHMM, Tinker-HP — see PAPERS.md):
+// one pass over (target tree x source leaves) emits
+//
+//   * a flat FAR list of (target_node, source_leaf) pairs — the node pairs the
+//     opening criterion approximates with one aggregated term, and
+//   * a flat NEAR list of (target_leaf, source_leaf) pairs — the leaf pairs
+//     that need exact point-by-point kernels.
+//
+// The lists are then consumed by cache-blocked batched kernels (approx_math)
+// and chunked parallel_for loops, so intra-node task granularity is bounded by
+// list length instead of source-leaf count. Entries are emitted in exactly the
+// order the recursive engines visit them, so list evaluation reproduces the
+// recursive result up to FP reassociation (tests pin <= 1e-12 relative).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "octree/octree.hpp"
+#include "support/memtrack.hpp"
+
+namespace gbpol {
+
+namespace ws {
+class Scheduler;
+}
+
+struct InteractionLists {
+  // A far pair: the whole target subtree is far from the source leaf.
+  struct Far {
+    std::uint32_t target_node = 0;
+    std::uint32_t source_leaf = 0;  // node id of a source-tree leaf
+  };
+  // A near pair: exact kernels over (target leaf points) x (source leaf points).
+  struct Near {
+    std::uint32_t target_leaf = 0;
+    std::uint32_t source_leaf = 0;
+  };
+
+  std::vector<Far> far;
+  std::vector<Near> near;
+
+  // Exact point pairs the near list will evaluate (for stats / grain tuning).
+  std::uint64_t near_point_pairs = 0;
+
+  void append(InteractionLists&& other);
+  MemoryFootprint footprint() const;
+};
+
+struct ListBuildParams {
+  double far_multiplier = 1.0;
+  // APPROX-EPOL (Fig. 3) evaluates target LEAVES exactly before applying the
+  // far test; APPROX-INTEGRALS (Fig. 2) applies the far test first, so even a
+  // target leaf can become a far entry. true mirrors the former.
+  bool exact_at_target_leaf = false;
+  // Source leaves [lo, hi) (indices into source.leaves()) to traverse —
+  // the same segmentation the distributed work divisions use.
+  std::uint32_t source_leaf_lo = 0;
+  std::uint32_t source_leaf_hi = 0;
+};
+
+// Serial build: walks the target tree once per source leaf in index order.
+InteractionLists build_interaction_lists(const Octree& target, const Octree& source,
+                                         const ListBuildParams& params);
+
+// Parallel build over the pool: source-leaf chunks are traversed concurrently
+// into per-chunk lists (disjoint slots of a pre-sized array — lock-free) and
+// concatenated in chunk order, so the result is IDENTICAL to the serial build
+// regardless of worker count.
+InteractionLists build_interaction_lists_parallel(ws::Scheduler& sched,
+                                                  const Octree& target,
+                                                  const Octree& source,
+                                                  const ListBuildParams& params);
+
+}  // namespace gbpol

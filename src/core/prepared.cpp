@@ -21,6 +21,9 @@ MemoryFootprint Prepared::replicated_footprint() const {
   fp.add_array<Vec3>(weighted_normal.size());
   fp.add_array<Vec3>(node_weighted_normal.size());
   fp.add_array<Mat3>(node_moment.size());
+  fp.add(atoms_soa.size_bytes());
+  fp.add(q_soa.size_bytes());
+  fp.add(q_wn_soa.size_bytes());
   return fp;
 }
 
@@ -49,6 +52,10 @@ Prepared Prepared::build(const Molecule& mol, const surface::SurfaceQuadrature& 
     const std::uint32_t orig = prep.q_tree.original_index(static_cast<std::uint32_t>(slot));
     prep.weighted_normal[slot] = quad.normals[orig] * quad.weights[orig];
   }
+
+  prep.atoms_soa.assign(prep.atoms_tree.points());
+  prep.q_soa.assign(prep.q_tree.points());
+  prep.q_wn_soa.assign(prep.weighted_normal);
 
   // Node aggregates: children are stored after their parent, so a reverse
   // sweep folds children into parents in one pass. The moment tensor shifts

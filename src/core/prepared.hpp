@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "core/approx_math.hpp"
 #include "core/gb_params.hpp"
 #include "molecule/molecule.hpp"
 #include "octree/octree.hpp"
@@ -30,6 +31,14 @@ struct Prepared {
   // Quadrature payload in q_tree order: weight-scaled normals w_q * n_q
   // (every use of the quadrature multiplies these together).
   std::vector<Vec3> weighted_normal;
+
+  // SoA mirrors of the point payloads (atoms_tree / q_tree order). Morton
+  // sorting makes every octree leaf a contiguous range of these arrays, so
+  // the batched near-field kernels (approx_math) stream them without
+  // gathering through Vec3.
+  PointsSoA atoms_soa;  // atom centers
+  PointsSoA q_soa;      // quadrature points
+  PointsSoA q_wn_soa;   // weighted normals w_q * n_q
 
   // Per-q_tree-NODE aggregate sum of w*n — the tilde-n of Fig. 2, available
   // at every node so both the single-tree (leaf Q) and dual-tree (any Q)

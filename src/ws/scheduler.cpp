@@ -95,11 +95,12 @@ detail::Task* Scheduler::find_task(Worker& self) {
     }
   }
 
-  // Injection queue (root tasks).
+  // Injection queue (root tasks). Pop FIFO so roots run in submission order —
+  // LIFO here would starve early submissions whenever callers keep injecting.
   std::lock_guard<std::mutex> lock(mutex_);
   if (!injected_.empty()) {
-    task = injected_.back();
-    injected_.pop_back();
+    task = injected_.front();
+    injected_.erase(injected_.begin());
     return task;
   }
   return nullptr;

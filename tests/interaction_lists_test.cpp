@@ -1,0 +1,243 @@
+// The list engine's contract (core/interaction_lists.hpp): the flat near/far
+// lists reproduce the recursive engines' decomposition exactly, so Born radii
+// and E_pol match TraversalMode::kRecursive to <= 1e-12 relative error, the
+// parallel build equals the serial build entry-for-entry, and arbitrary list
+// segmentations sum to the whole.
+#include "core/interaction_lists.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/born_octree.hpp"
+#include "core/drivers.hpp"
+#include "core/epol_octree.hpp"
+#include "test_helpers.hpp"
+#include "ws/scheduler.hpp"
+
+namespace gbpol {
+namespace {
+
+using testing::Fixture;
+using testing::make_fixture;
+using testing::naive_born_sorted;
+
+double rel_diff(double a, double b) {
+  const double denom = std::max(std::abs(a), std::abs(b));
+  return denom == 0.0 ? 0.0 : std::abs(a - b) / denom;
+}
+
+std::vector<double> born_via_recursive(const Fixture& f, const ApproxParams& params) {
+  const BornSolver solver(f.prep, params);
+  BornAccumulator acc = solver.make_accumulator();
+  const auto n_qleaves = static_cast<std::uint32_t>(f.prep.q_tree.leaves().size());
+  solver.accumulate_qleaf_range(0, n_qleaves, acc);
+  std::vector<double> born(f.prep.num_atoms());
+  solver.push_to_atoms(acc, 0, static_cast<std::uint32_t>(born.size()), born);
+  return born;
+}
+
+std::vector<double> born_via_lists(const Fixture& f, const ApproxParams& params) {
+  const BornSolver solver(f.prep, params);
+  BornAccumulator acc = solver.make_accumulator();
+  const auto n_qleaves = static_cast<std::uint32_t>(f.prep.q_tree.leaves().size());
+  const InteractionLists lists = solver.build_lists(0, n_qleaves);
+  solver.accumulate_lists(lists, acc);
+  std::vector<double> born(f.prep.num_atoms());
+  solver.push_to_atoms(acc, 0, static_cast<std::uint32_t>(born.size()), born);
+  return born;
+}
+
+class InteractionListsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixtures_ = new std::vector<Fixture>();
+    fixtures_->push_back(make_fixture(300, 3));
+    fixtures_->push_back(make_fixture(700, 7));
+    fixtures_->push_back(make_fixture(500, 11, /*leaf_capacity=*/8));
+  }
+  static void TearDownTestSuite() { delete fixtures_; }
+  static const std::vector<Fixture>& fixtures() { return *fixtures_; }
+
+  static std::vector<Fixture>* fixtures_;
+};
+std::vector<Fixture>* InteractionListsTest::fixtures_ = nullptr;
+
+// Born radii: list engine == recursive engine across molecules x kernels x
+// dipole correction. The serial list build emits entries in recursion visit
+// order and far/near terms land in disjoint accumulator slots, so the match
+// is bit-level; 1e-12 is the contract we pin.
+TEST_F(InteractionListsTest, BornRadiiMatchRecursiveAcrossVariants) {
+  for (const Fixture& f : fixtures()) {
+    for (const RadiusKernel kernel : {RadiusKernel::kR6, RadiusKernel::kR4}) {
+      for (const bool dipole : {false, true}) {
+        ApproxParams params;
+        params.radius_kernel = kernel;
+        params.born_dipole_correction = dipole;
+        const std::vector<double> rec = born_via_recursive(f, params);
+        const std::vector<double> lst = born_via_lists(f, params);
+        ASSERT_EQ(rec.size(), lst.size());
+        for (std::size_t i = 0; i < rec.size(); ++i) {
+          EXPECT_LE(rel_diff(rec[i], lst[i]), 1e-12)
+              << "atom slot " << i << " kernel=" << (kernel == RadiusKernel::kR6 ? "r6" : "r4")
+              << " dipole=" << dipole;
+        }
+      }
+    }
+  }
+}
+
+// E_pol: list engine == recursive engine, with exact and approximate math.
+TEST_F(InteractionListsTest, EpolMatchesRecursiveAcrossVariants) {
+  for (const Fixture& f : fixtures()) {
+    const std::vector<double> born = naive_born_sorted(f);
+    for (const bool approx_math : {false, true}) {
+      for (const double eps : {0.3, 0.9}) {
+        ApproxParams params;
+        params.approx_math = approx_math;
+        params.eps_epol = eps;
+        const EpolSolver solver(f.prep, born, params, GBConstants{});
+        const auto n = static_cast<std::uint32_t>(f.prep.atoms_tree.leaves().size());
+        const double rec = solver.energy_for_leaf_range(0, n);
+        const double lst = solver.energy_from_lists(solver.build_lists(0, n));
+        EXPECT_LE(rel_diff(rec, lst), 1e-12)
+            << "approx_math=" << approx_math << " eps=" << eps;
+      }
+    }
+  }
+}
+
+// The lock-free parallel build must produce the IDENTICAL list (same entries,
+// same order) as the serial build — chunks are concatenated deterministically.
+TEST_F(InteractionListsTest, ParallelBuildEqualsSerialBuild) {
+  const Fixture& f = fixtures()[1];
+  ApproxParams params;
+  const BornSolver born_solver(f.prep, params);
+  const std::vector<double> born = naive_born_sorted(f);
+  const EpolSolver epol_solver(f.prep, born, params, GBConstants{});
+  const auto n_qleaves = static_cast<std::uint32_t>(f.prep.q_tree.leaves().size());
+  const auto n_aleaves = static_cast<std::uint32_t>(f.prep.atoms_tree.leaves().size());
+
+  for (const int workers : {2, 4}) {
+    ws::Scheduler sched(workers);
+
+    const InteractionLists serial_b = born_solver.build_lists(0, n_qleaves);
+    const InteractionLists par_b = born_solver.build_lists_parallel(sched, 0, n_qleaves);
+    ASSERT_EQ(serial_b.far.size(), par_b.far.size());
+    ASSERT_EQ(serial_b.near.size(), par_b.near.size());
+    EXPECT_EQ(serial_b.near_point_pairs, par_b.near_point_pairs);
+    for (std::size_t i = 0; i < serial_b.far.size(); ++i) {
+      ASSERT_EQ(serial_b.far[i].target_node, par_b.far[i].target_node) << i;
+      ASSERT_EQ(serial_b.far[i].source_leaf, par_b.far[i].source_leaf) << i;
+    }
+    for (std::size_t i = 0; i < serial_b.near.size(); ++i) {
+      ASSERT_EQ(serial_b.near[i].target_leaf, par_b.near[i].target_leaf) << i;
+      ASSERT_EQ(serial_b.near[i].source_leaf, par_b.near[i].source_leaf) << i;
+    }
+
+    const InteractionLists serial_e = epol_solver.build_lists(0, n_aleaves);
+    const InteractionLists par_e = epol_solver.build_lists_parallel(sched, 0, n_aleaves);
+    ASSERT_EQ(serial_e.far.size(), par_e.far.size());
+    ASSERT_EQ(serial_e.near.size(), par_e.near.size());
+    for (std::size_t i = 0; i < serial_e.far.size(); ++i) {
+      ASSERT_EQ(serial_e.far[i].target_node, par_e.far[i].target_node) << i;
+      ASSERT_EQ(serial_e.far[i].source_leaf, par_e.far[i].source_leaf) << i;
+    }
+  }
+}
+
+// Splitting either list at arbitrary points and evaluating the segments on
+// separate accumulators must merge to the whole-list result — the property
+// the chunked parallel_for in the drivers relies on.
+TEST_F(InteractionListsTest, ListSegmentsComposeExactly) {
+  const Fixture& f = fixtures()[0];
+  ApproxParams params;
+  const BornSolver solver(f.prep, params);
+  const auto n_qleaves = static_cast<std::uint32_t>(f.prep.q_tree.leaves().size());
+  const InteractionLists lists = solver.build_lists(0, n_qleaves);
+
+  BornAccumulator whole = solver.make_accumulator();
+  solver.accumulate_lists(lists, whole);
+
+  BornAccumulator merged = solver.make_accumulator();
+  {
+    BornAccumulator part = solver.make_accumulator();
+    const std::size_t fcut = lists.far.size() / 3;
+    const std::size_t ncut = 2 * lists.near.size() / 3;
+    solver.accumulate_far_range(lists, 0, fcut, merged);
+    solver.accumulate_far_range(lists, fcut, lists.far.size(), part);
+    solver.accumulate_near_range(lists, 0, ncut, part);
+    solver.accumulate_near_range(lists, ncut, lists.near.size(), merged);
+    merged.add(part);
+  }
+  const auto whole_flat = whole.flat();
+  const auto merged_flat = merged.flat();
+  ASSERT_EQ(whole_flat.size(), merged_flat.size());
+  for (std::size_t i = 0; i < whole_flat.size(); ++i)
+    EXPECT_LE(rel_diff(whole_flat[i], merged_flat[i]), 1e-12) << "slot " << i;
+
+  const std::vector<double> born = naive_born_sorted(f);
+  const EpolSolver epol(f.prep, born, params, GBConstants{});
+  const auto n_aleaves = static_cast<std::uint32_t>(f.prep.atoms_tree.leaves().size());
+  const InteractionLists elists = epol.build_lists(0, n_aleaves);
+  const double whole_e = epol.energy_from_lists(elists);
+  const std::size_t fcut = elists.far.size() / 2;
+  const std::size_t ncut = elists.near.size() / 2;
+  const double split_e = epol.energy_far_range(elists, 0, fcut) +
+                         epol.energy_far_range(elists, fcut, elists.far.size()) +
+                         epol.energy_near_range(elists, 0, ncut) +
+                         epol.energy_near_range(elists, ncut, elists.near.size());
+  EXPECT_LE(rel_diff(whole_e, split_e), 1e-12);
+}
+
+// Leaf-range restrictions must partition: lists built for [0,k) and [k,n)
+// together cover exactly the full-range list.
+TEST_F(InteractionListsTest, LeafRangePartitionCoversFullList) {
+  const Fixture& f = fixtures()[2];
+  ApproxParams params;
+  const BornSolver solver(f.prep, params);
+  const auto n = static_cast<std::uint32_t>(f.prep.q_tree.leaves().size());
+  const std::uint32_t cut = n / 2;
+  const InteractionLists full = solver.build_lists(0, n);
+  InteractionLists joined = solver.build_lists(0, cut);
+  joined.append(solver.build_lists(cut, n));
+  ASSERT_EQ(full.far.size(), joined.far.size());
+  ASSERT_EQ(full.near.size(), joined.near.size());
+  EXPECT_EQ(full.near_point_pairs, joined.near_point_pairs);
+  for (std::size_t i = 0; i < full.far.size(); ++i) {
+    ASSERT_EQ(full.far[i].target_node, joined.far[i].target_node) << i;
+    ASSERT_EQ(full.far[i].source_leaf, joined.far[i].source_leaf) << i;
+  }
+}
+
+// End-to-end: the drivers under kList vs kRecursive agree on energy and every
+// Born radius, serial and distributed.
+TEST_F(InteractionListsTest, DriversAgreeAcrossTraversalModes) {
+  const Fixture& f = fixtures()[1];
+  ApproxParams list_params, rec_params;
+  list_params.traversal = TraversalMode::kList;
+  rec_params.traversal = TraversalMode::kRecursive;
+  const GBConstants constants;
+
+  const DriverResult serial_list = run_oct_serial(f.prep, list_params, constants);
+  const DriverResult serial_rec = run_oct_serial(f.prep, rec_params, constants);
+  EXPECT_LE(rel_diff(serial_list.energy, serial_rec.energy), 1e-12);
+  ASSERT_EQ(serial_list.born_sorted.size(), serial_rec.born_sorted.size());
+  for (std::size_t i = 0; i < serial_list.born_sorted.size(); ++i)
+    EXPECT_LE(rel_diff(serial_list.born_sorted[i], serial_rec.born_sorted[i]), 1e-12);
+
+  RunConfig config;
+  config.ranks = 3;
+  config.threads_per_rank = 2;
+  const DriverResult dist_list = run_oct_distributed(f.prep, list_params, constants, config);
+  // Parallel evaluation reassociates worker-partial sums, so compare against
+  // the serial result at the drivers' established cross-mode tolerance.
+  EXPECT_LE(rel_diff(dist_list.energy, serial_list.energy), 1e-9);
+  for (std::size_t i = 0; i < dist_list.born_sorted.size(); ++i)
+    EXPECT_LE(rel_diff(dist_list.born_sorted[i], serial_list.born_sorted[i]), 1e-9);
+}
+
+}  // namespace
+}  // namespace gbpol
