@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <deque>
+#include <map>
 #include <memory>
 
 #include "mpisim/runtime.hpp"
@@ -60,6 +61,32 @@ std::vector<PairTask> expand_pair_frontier(const Octree& tree_a, const Octree& t
 // parallelize over source leaves.
 std::size_t list_grain(std::size_t size, int workers) {
   return std::max<std::size_t>(1, size / (64 * static_cast<std::size_t>(workers)));
+}
+
+// Tag bases for the degraded-mode recovery chains; + dead rank id
+// disambiguates concurrent recoveries of different ranks.
+constexpr int kTagBornChain = 9000;
+constexpr int kTagBornSlice = 10000;
+constexpr int kTagEpolChain = 11000;
+
+// Surviving ranks in ascending order (`dead` is ascending, per Comm).
+std::vector<int> live_ranks(int ranks, const std::vector<int>& dead) {
+  std::vector<int> live;
+  live.reserve(static_cast<std::size_t>(ranks) - dead.size());
+  auto it = dead.begin();
+  for (int r = 0; r < ranks; ++r) {
+    if (it != dead.end() && *it == r) {
+      ++it;
+      continue;
+    }
+    live.push_back(r);
+  }
+  return live;
+}
+
+int index_of(const std::vector<int>& live, int rank) {
+  return static_cast<int>(std::lower_bound(live.begin(), live.end(), rank) -
+                          live.begin());
 }
 
 // Phase bracket for pool phases: returns max-over-workers busy seconds.
@@ -227,6 +254,17 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
   rt.ranks = P;
   rt.threads_per_rank = p;
   rt.cluster = config.cluster;
+  rt.faults = config.faults;
+
+  // Degraded-mode recovery needs the bit-deterministic configurations: one
+  // thread per rank (no work-stealing merge order) and a node division
+  // (whole leaves, so a dead rank's range re-partitions exactly). For those,
+  // the fault-tolerant collectives + recovery loops below are used even in
+  // fault-free runs (they fold in the identical order, so results match the
+  // plain path bit-for-bit). Other configurations keep the plain
+  // collectives, which fail fast if a rank dies.
+  const bool use_ft = p == 1 && (config.division == WorkDivision::kNodeNode ||
+                                 config.division == WorkDivision::kNodeBalanced);
 
   const auto report = mpisim::Runtime::run(rt, [&](mpisim::Comm& comm) {
     const int r = comm.rank();
@@ -294,7 +332,56 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
     }
 
     // ---- Step 3: gather partial integrals from every rank.
-    comm.allreduce_sum(acc.flat());
+    //
+    // Fault-tolerant path: on kRankDied the ranks in st.missing died without
+    // contributing their Born partials. Survivors re-partition each dead
+    // rank's Q-leaf segment (workdiv::sub_segment) and recompute it as a
+    // RELAY CHAIN: survivor j receives the accumulator-in-progress from
+    // survivor j-1, extends it with its own sub-range, and passes it on.
+    // Chaining — rather than summing independent partials — reproduces the
+    // dead rank's sequential fold operation-for-operation, which is what
+    // makes the recovered energy bit-identical to the fault-free run (the
+    // far/near deposits of consecutive sub-ranges touch accumulator slots in
+    // the same per-slot order as one full-range pass). The last survivor
+    // keeps the result and publishes it as the dead rank's proxy on retry.
+    if (use_ft) {
+      std::map<int, BornAccumulator> proxy_accs;  // dead rank -> its partial
+      for (;;) {
+        std::vector<mpisim::ProxyPub> pubs;
+        pubs.reserve(proxy_accs.size());
+        for (auto& [d, pacc] : proxy_accs) pubs.push_back({d, pacc.flat().data()});
+        const mpisim::CollectiveStatus st = comm.allreduce_sum_ft(acc.flat(), pubs);
+        if (st.ok()) break;
+        const std::vector<int> live = live_ranks(P, st.dead);
+        const int parts = static_cast<int>(live.size());
+        const int my = index_of(live, r);
+        for (const int d : st.missing) {
+          const Segment d_seg = config.division == WorkDivision::kNodeBalanced
+                                    ? balanced_q[static_cast<std::size_t>(d)]
+                                    : even_segment(n_qleaves, P, d);
+          BornAccumulator chain = born_solver.make_accumulator();
+          if (my > 0) comm.recv<double>(chain.flat(), live[static_cast<std::size_t>(my - 1)], kTagBornChain + d);
+          const Segment sub = sub_segment(d_seg, parts, my);
+          if (sub.count() > 0) {
+            mpisim::Comm::ComputeRegion region(comm);
+            if (params.traversal == TraversalMode::kList) {
+              const InteractionLists lists = born_solver.build_lists(sub.lo, sub.hi);
+              born_solver.accumulate_lists(lists, chain);
+            } else {
+              born_solver.accumulate_qleaf_range(sub.lo, sub.hi, chain);
+            }
+          }
+          comm.add_redistributed_work(sub.count());
+          if (my + 1 < parts) {
+            comm.send<double>(chain.flat(), live[static_cast<std::size_t>(my + 1)], kTagBornChain + d);
+          } else {
+            proxy_accs[d] = std::move(chain);  // this rank proxies d on retry
+          }
+        }
+      }
+    } else {
+      comm.allreduce_sum(acc.flat());
+    }
 
     // ---- Step 4: Born radii for this rank's atom segment.
     const Segment a_seg = even_segment(n_atoms, P, r);
@@ -320,7 +407,53 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
       counts[static_cast<std::size_t>(i)] = static_cast<int>(s.count());
       displs[static_cast<std::size_t>(i)] = static_cast<int>(s.lo);
     }
-    comm.allgatherv<double>({born.data() + a_seg.lo, a_seg.count()}, born, counts, displs);
+    // Recovery here is simpler than step 3: push_to_atoms is independent per
+    // atom, so survivors each recompute a sub-range of the dead rank's atom
+    // segment directly (no chaining needed for bit-equality) and ship it to
+    // the proxy, which assembles the full slice and republishes it.
+    if (use_ft) {
+      std::map<int, std::vector<double>> proxy_born;  // dead rank -> slice
+      for (;;) {
+        std::vector<mpisim::ProxyPub> pubs;
+        pubs.reserve(proxy_born.size());
+        for (auto& [d, slice] : proxy_born) pubs.push_back({d, slice.data()});
+        const mpisim::CollectiveStatus st = comm.allgatherv_ft<double>(
+            {born.data() + a_seg.lo, a_seg.count()}, born, counts, displs, pubs);
+        if (st.ok()) break;
+        const std::vector<int> live = live_ranks(P, st.dead);
+        const int parts = static_cast<int>(live.size());
+        const int my = index_of(live, r);
+        for (const int d : st.missing) {
+          const Segment d_aseg = even_segment(n_atoms, P, d);
+          const Segment sub = sub_segment(d_aseg, parts, my);
+          if (sub.count() > 0) {
+            // Writes land in this rank's own `born` buffer; the successful
+            // retry overwrites them with the proxy's identical values.
+            mpisim::Comm::ComputeRegion region(comm);
+            born_solver.push_to_atoms(acc, sub.lo, sub.hi, born);
+          }
+          comm.add_redistributed_work(sub.count());
+          const int proxy = live.back();
+          if (r == proxy) {
+            std::vector<double>& slice = proxy_born[d];
+            slice.assign(d_aseg.count(), 0.0);
+            std::copy(born.begin() + sub.lo, born.begin() + sub.hi,
+                      slice.begin() + (sub.lo - d_aseg.lo));
+            for (int j = 0; j + 1 < parts; ++j) {
+              const Segment sj = sub_segment(d_aseg, parts, j);
+              if (sj.count() == 0) continue;
+              comm.recv<double>({slice.data() + (sj.lo - d_aseg.lo), sj.count()},
+                                live[static_cast<std::size_t>(j)], kTagBornSlice + d);
+            }
+          } else if (sub.count() > 0) {
+            comm.send<double>({born.data() + sub.lo, sub.count()}, proxy,
+                              kTagBornSlice + d);
+          }
+        }
+      }
+    } else {
+      comm.allgatherv<double>({born.data() + a_seg.lo, a_seg.count()}, born, counts, displs);
+    }
 
     // ---- Step 6: partial energy for this rank's leaf (or atom) segment.
     double partial[1] = {0.0};
@@ -385,8 +518,67 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
           comm.add_compute_seconds(sched->stats().max_busy());
         }
       }
-      if (r == 0)
+      if (!use_ft && r == 0)
         per_rank_extra_bytes = acc.flat().size_bytes() + born.size() * sizeof(double);
+
+      // ---- Step 7: master accumulates the final energy.
+      //
+      // Fault-tolerant path: a dead rank's partial energy is recomputed by
+      // the same relay-chain pattern as step 3, but over raw (unscaled)
+      // running sums — EpolSolver::accumulate_energy_* continue the fold
+      // across ranks and finish_energy applies the -tau/2 ke scale once at
+      // the chain's end, exactly as the dead rank would have. If the root
+      // itself died, the reduction re-targets the lowest surviving rank,
+      // which then harvests the results.
+      if (use_ft) {
+        std::map<int, double> proxy_partial;  // dead rank -> partial energy
+        int live_root = 0;
+        for (;;) {
+          std::vector<mpisim::ProxyPub> pubs;
+          pubs.reserve(proxy_partial.size());
+          for (auto& [d, val] : proxy_partial) pubs.push_back({d, &val});
+          const mpisim::CollectiveStatus st = comm.reduce_sum_ft(partial, live_root, pubs);
+          if (st.ok()) break;
+          const std::vector<int> live = live_ranks(P, st.dead);
+          live_root = live.front();
+          const int parts = static_cast<int>(live.size());
+          const int my = index_of(live, r);
+          for (const int d : st.missing) {
+            const Segment d_lseg = config.division == WorkDivision::kNodeBalanced
+                                       ? balanced_a[static_cast<std::size_t>(d)]
+                                       : even_segment(n_aleaves, P, d);
+            const Segment sub = sub_segment(d_lseg, parts, my);
+            double raws[2] = {0.0, 0.0};
+            if (my > 0)
+              comm.recv<double>({raws, 2}, live[static_cast<std::size_t>(my - 1)], kTagEpolChain + d);
+            if (sub.count() > 0) {
+              mpisim::Comm::ComputeRegion region(comm);
+              if (params.traversal == TraversalMode::kList) {
+                const InteractionLists lists = epol_solver->build_lists(sub.lo, sub.hi);
+                epol_solver->accumulate_energy_far_range(lists, 0, lists.far.size(), raws[0]);
+                epol_solver->accumulate_energy_near_range(lists, 0, lists.near.size(), raws[1]);
+              } else {
+                epol_solver->accumulate_energy_leaf_range(sub.lo, sub.hi, raws[0]);
+              }
+            }
+            comm.add_redistributed_work(sub.count());
+            if (my + 1 < parts) {
+              comm.send<double>({raws, 2}, live[static_cast<std::size_t>(my + 1)], kTagEpolChain + d);
+            } else {
+              proxy_partial[d] =
+                  params.traversal == TraversalMode::kList
+                      ? epol_solver->finish_energy(raws[0]) + epol_solver->finish_energy(raws[1])
+                      : epol_solver->finish_energy(raws[0]);
+            }
+          }
+        }
+        if (r == live_root) {
+          energy_shared = partial[0];
+          std::copy(born.begin(), born.end(), born_shared.begin());
+          per_rank_extra_bytes = acc.flat().size_bytes() + born.size() * sizeof(double);
+        }
+        return;
+      }
     }
 
     // ---- Step 7: master accumulates the final energy.
@@ -402,6 +594,9 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
   result.compute_seconds = report.max_compute_seconds();
   result.comm_seconds = report.max_comm_seconds();
   result.wall_seconds = report.wall_seconds;
+  result.retries = report.retries;
+  result.redistributed_work_items = report.redistributed_work_items;
+  result.degraded = report.degraded;
   // Replicated-data accounting: every rank holds a full copy of the trees,
   // payloads, accumulator and Born array (paper §V-B memory comparison).
   result.replicated_bytes = static_cast<std::size_t>(P) *

@@ -20,6 +20,7 @@
 #include "core/prepared.hpp"
 #include "core/workdiv.hpp"
 #include "mpisim/cluster.hpp"
+#include "mpisim/faults.hpp"
 
 namespace gbpol {
 
@@ -35,6 +36,13 @@ struct DriverResult {
   std::uint64_t tasks = 0;
   std::size_t replicated_bytes = 0;   // modeled memory across all ranks
 
+  // Fault-injection / recovery accounting (mpisim/faults.hpp): aborted
+  // collectives + p2p retransmits, work items recomputed on behalf of dead
+  // ranks, and whether any rank died during the run.
+  std::uint64_t retries = 0;
+  std::uint64_t redistributed_work_items = 0;
+  bool degraded = false;
+
   int ranks = 1;
   int threads_per_rank = 1;
 
@@ -48,6 +56,13 @@ struct RunConfig {
   int threads_per_rank = 1;
   mpisim::ClusterModel cluster = mpisim::ClusterModel::lonestar4();
   WorkDivision division = WorkDivision::kNodeNode;
+  // Deterministic fault schedule replayed by the runtime (empty = fault-free).
+  // Death recovery (degraded mode) is supported for the node divisions
+  // (kNodeNode / kNodeBalanced) with threads_per_rank == 1 — the bit-
+  // deterministic configurations, where survivors can reproduce a dead
+  // rank's partial results exactly. Other configurations fail fast on death
+  // (the runtime terminates, as a real MPI job would).
+  mpisim::FaultPlan faults;
 };
 
 // Single-threaded single-tree pipeline (APPROX-INTEGRALS over every Q leaf,

@@ -137,16 +137,22 @@ double EpolSolver::recurse_single(std::uint32_t u_node, const LeafView& v) const
   return sum;
 }
 
-double EpolSolver::energy_for_leaf_range(std::uint32_t leaf_lo,
-                                         std::uint32_t leaf_hi) const {
-  if (prep_->atoms_tree.empty()) return 0.0;
+void EpolSolver::accumulate_energy_leaf_range(std::uint32_t leaf_lo,
+                                              std::uint32_t leaf_hi,
+                                              double& raw) const {
+  if (prep_->atoms_tree.empty()) return;
   const auto leaves = prep_->atoms_tree.leaves();
-  double sum = 0.0;
   for (std::uint32_t i = leaf_lo; i < leaf_hi; ++i) {
     const LeafView v = make_leaf_view(leaves[i]);
-    sum += approx_math_ ? recurse_single<true>(0, v) : recurse_single<false>(0, v);
+    raw += approx_math_ ? recurse_single<true>(0, v) : recurse_single<false>(0, v);
   }
-  return scale_ * sum;
+}
+
+double EpolSolver::energy_for_leaf_range(std::uint32_t leaf_lo,
+                                         std::uint32_t leaf_hi) const {
+  double raw = 0.0;
+  accumulate_energy_leaf_range(leaf_lo, leaf_hi, raw);
+  return scale_ * raw;
 }
 
 double EpolSolver::energy_for_atom_range(std::uint32_t atom_lo,
@@ -188,10 +194,9 @@ InteractionLists EpolSolver::build_lists_parallel(ws::Scheduler& sched,
 }
 
 template <bool kApproxMath>
-double EpolSolver::far_range_impl(const InteractionLists& lists, std::size_t lo,
-                                  std::size_t hi) const {
+void EpolSolver::far_range_impl(const InteractionLists& lists, std::size_t lo,
+                                std::size_t hi, double& sum) const {
   const auto nodes = prep_->atoms_tree.nodes();
-  double sum = 0.0;
   for (std::size_t i = lo; i < hi; ++i) {
     const InteractionLists::Far& e = lists.far[i];
     const double d2 =
@@ -199,15 +204,13 @@ double EpolSolver::far_range_impl(const InteractionLists& lists, std::size_t lo,
     sum += binned_far_term<kApproxMath>(node_bins(e.target_node),
                                         node_bins(e.source_leaf), d2);
   }
-  return sum;
 }
 
 template <bool kApproxMath>
-double EpolSolver::near_range_impl(const InteractionLists& lists, std::size_t lo,
-                                   std::size_t hi) const {
+void EpolSolver::near_range_impl(const InteractionLists& lists, std::size_t lo,
+                                 std::size_t hi, double& sum) const {
   const PointsSoA& a = prep_->atoms_soa;
   const auto nodes = prep_->atoms_tree.nodes();
-  double sum = 0.0;
   for (std::size_t i = lo; i < hi; ++i) {
     const InteractionLists::Near& e = lists.near[i];
     const OctreeNode& u = nodes[e.target_leaf];
@@ -216,19 +219,34 @@ double EpolSolver::near_range_impl(const InteractionLists& lists, std::size_t lo
                                       prep_->charge.data(), born_.data(), u.begin,
                                       u.end, v.begin, v.end);
   }
-  return sum;
+}
+
+void EpolSolver::accumulate_energy_far_range(const InteractionLists& lists,
+                                             std::size_t lo, std::size_t hi,
+                                             double& raw) const {
+  approx_math_ ? far_range_impl<true>(lists, lo, hi, raw)
+               : far_range_impl<false>(lists, lo, hi, raw);
+}
+
+void EpolSolver::accumulate_energy_near_range(const InteractionLists& lists,
+                                              std::size_t lo, std::size_t hi,
+                                              double& raw) const {
+  approx_math_ ? near_range_impl<true>(lists, lo, hi, raw)
+               : near_range_impl<false>(lists, lo, hi, raw);
 }
 
 double EpolSolver::energy_far_range(const InteractionLists& lists, std::size_t lo,
                                     std::size_t hi) const {
-  return scale_ * (approx_math_ ? far_range_impl<true>(lists, lo, hi)
-                                : far_range_impl<false>(lists, lo, hi));
+  double raw = 0.0;
+  accumulate_energy_far_range(lists, lo, hi, raw);
+  return scale_ * raw;
 }
 
 double EpolSolver::energy_near_range(const InteractionLists& lists, std::size_t lo,
                                      std::size_t hi) const {
-  return scale_ * (approx_math_ ? near_range_impl<true>(lists, lo, hi)
-                                : near_range_impl<false>(lists, lo, hi));
+  double raw = 0.0;
+  accumulate_energy_near_range(lists, lo, hi, raw);
+  return scale_ * raw;
 }
 
 double EpolSolver::energy_from_lists(const InteractionLists& lists) const {

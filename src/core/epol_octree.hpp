@@ -55,6 +55,22 @@ class EpolSolver {
                            std::size_t hi) const;
   double energy_from_lists(const InteractionLists& lists) const;
 
+  // --- raw accumulation (degraded-mode recovery) ---------------------------
+  // The energy_* functions above fold entries sequentially into one running
+  // sum and apply the -tau/2 ke scale ONCE at the end. These entry points
+  // expose that running sum, so a chain of ranks can continue each other's
+  // fold over disjoint sub-ranges and reproduce a dead rank's partial energy
+  // operation-for-operation (bit-identically): relay `raw` along the chain,
+  // accumulate, and let the last rank call finish_energy. The public energy
+  // functions are wrappers over these, guaranteeing the sequences agree.
+  void accumulate_energy_leaf_range(std::uint32_t leaf_lo, std::uint32_t leaf_hi,
+                                    double& raw) const;
+  void accumulate_energy_far_range(const InteractionLists& lists, std::size_t lo,
+                                   std::size_t hi, double& raw) const;
+  void accumulate_energy_near_range(const InteractionLists& lists, std::size_t lo,
+                                    std::size_t hi, double& raw) const;
+  double finish_energy(double raw) const { return scale_ * raw; }
+
   // Atom-based division: contribution of sorted atom slots [atom_lo, atom_hi).
   double energy_for_atom_range(std::uint32_t atom_lo, std::uint32_t atom_hi) const;
 
@@ -94,12 +110,14 @@ class EpolSolver {
                         const LeafView& v) const;
   template <bool kApproxMath>
   double binned_far_term(const double* u_bins, const double* v_bins, double d2) const;
+  // Both fold entries one at a time into `sum` (no local partial), so the
+  // raw-accumulation entry points above can chain across call boundaries.
   template <bool kApproxMath>
-  double far_range_impl(const InteractionLists& lists, std::size_t lo,
-                        std::size_t hi) const;
+  void far_range_impl(const InteractionLists& lists, std::size_t lo,
+                      std::size_t hi, double& sum) const;
   template <bool kApproxMath>
-  double near_range_impl(const InteractionLists& lists, std::size_t lo,
-                         std::size_t hi) const;
+  void near_range_impl(const InteractionLists& lists, std::size_t lo,
+                       std::size_t hi, double& sum) const;
   template <bool kApproxMath>
   double recurse_single(std::uint32_t u_node, const LeafView& v) const;
   template <bool kApproxMath>

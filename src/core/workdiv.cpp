@@ -15,6 +15,11 @@ Segment even_segment(std::size_t n, int parts, int index) {
   return Segment{static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi)};
 }
 
+Segment sub_segment(Segment whole, int parts, int index) {
+  const Segment rel = even_segment(whole.count(), parts, index);
+  return Segment{whole.lo + rel.lo, whole.lo + rel.hi};
+}
+
 std::vector<Segment> leaf_segments_by_points(const Octree& tree, int parts) {
   const auto leaves = tree.leaves();
   const int p = std::max(1, parts);

@@ -19,6 +19,12 @@ struct Segment {
 // by at most one). Returns segment `index`.
 Segment even_segment(std::size_t n, int parts, int index);
 
+// Even split of an EXISTING segment into `parts` sub-segments — the degraded
+// -mode recovery path uses this to re-partition a dead rank's leaf range
+// across the surviving ranks (same split rule as even_segment, offset by
+// whole.lo, so replays are deterministic).
+Segment sub_segment(Segment whole, int parts, int index);
+
 // Extension (DESIGN.md ablation): leaf segments balanced by the number of
 // POINTS under the leaves rather than the number of leaves, which evens the
 // exact-interaction work when leaf occupancy is skewed. Returns `parts`

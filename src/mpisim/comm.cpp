@@ -1,109 +1,228 @@
 #include "mpisim/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <exception>
 #include <limits>
 
 #include "mpisim/shared_state.hpp"
 
 namespace gbpol::mpisim {
 
+Comm::Comm(SharedState& shared, int rank)
+    : shared_(&shared),
+      rank_(rank),
+      send_seq_(static_cast<std::size_t>(shared.ranks), 0) {}
+
 int Comm::size() const { return shared_->ranks; }
 
+std::uint64_t Comm::enter_collective(const void* own_data,
+                                     std::span<const ProxyPub> proxies) {
+  SharedState& s = *shared_;
+  const std::uint64_t seq = collective_seq_++;
+  if (s.faults.dies_at(rank_, seq)) {
+    // The rank dies ON entry: it never publishes for this collective. It
+    // still arrives once (so peers waiting on the current phase proceed) but
+    // drops out of the expected count for every later phase, then unwinds to
+    // the Runtime. Sleepers in recv are woken to re-check peer liveness.
+    s.dead[static_cast<std::size_t>(rank_)].store(true, std::memory_order_release);
+    s.sync.arrive_and_drop();
+    s.wake_all_mailboxes();
+    throw RankKilled{rank_, seq};
+  }
+  if (own_data != nullptr) s.publish[static_cast<std::size_t>(rank_)] = {own_data, seq};
+  for (const ProxyPub& p : proxies)
+    s.publish[static_cast<std::size_t>(p.rank)] = {p.data, seq};
+  return seq;
+}
+
+// Runs between the collective's first and second barriers, where the dead
+// flags and publish slots are frozen (a rank can only die at the entry of a
+// LATER collective, which it cannot reach before this one's second barrier).
+// Hence every survivor computes the same vectors.
+CollectiveStatus Comm::scan_dead(std::uint64_t seq) const {
+  const SharedState& s = *shared_;
+  CollectiveStatus st;
+  for (int r = 0; r < s.ranks; ++r) {
+    if (!s.is_dead(r)) continue;
+    st.dead.push_back(r);
+    if (s.publish[static_cast<std::size_t>(r)].seq != seq) st.missing.push_back(r);
+  }
+  return st;
+}
+
+void Comm::abort_collective(CollectiveStatus& st) {
+  st.error = CommError::kRankDied;
+  ++retries_;
+  // Modeled cost of discovering the failure and re-entering: one barrier of
+  // agreement plus an exponential backoff window.
+  charge(shared_->cost.barrier() + shared_->cost.backoff(retry_streak_++));
+}
+
+void Comm::require_ok(const CollectiveStatus& st, const char* what) const {
+  if (st.ok()) return;
+  // The legacy void collectives have no recovery channel; a dead peer here
+  // is unrecoverable, exactly like a crashed MPI process: fail fast rather
+  // than deadlock.
+  std::fprintf(stderr,
+               "mpisim: rank %d: %s observed a dead rank with no recovery "
+               "protocol attached\n",
+               rank_, what);
+  std::terminate();
+}
+
+void Comm::require_recv_ok(const RecvStatus& st, int src) const {
+  if (st.ok()) return;
+  std::fprintf(stderr, "mpisim: rank %d: recv from %d failed (%s)\n", rank_, src,
+               st.error == CommError::kPeerDead ? "peer dead" : "watchdog timeout");
+  std::terminate();
+}
+
 void Comm::barrier() {
+  enter_collective(nullptr, {});
   shared_->sync.arrive_and_wait();
   charge(shared_->cost.barrier());
 }
 
-namespace {
-enum class FoldOp { kSum, kMin, kMax };
+void Comm::add_compute_seconds(double s) {
+  compute_seconds_ += s;
+  const double factor = shared_->faults.slowdown(rank_);
+  if (factor > 1.0) straggler_seconds_ += (factor - 1.0) * s;
 }
 
 void Comm::allreduce_sum(std::span<double> data) {
-  allreduce_fold(data, static_cast<int>(FoldOp::kSum));
+  require_ok(fold_ft(data, FoldOp::kSum, -1, {}), "allreduce_sum");
 }
 void Comm::allreduce_min(std::span<double> data) {
-  allreduce_fold(data, static_cast<int>(FoldOp::kMin));
+  require_ok(fold_ft(data, FoldOp::kMin, -1, {}), "allreduce_min");
 }
 void Comm::allreduce_max(std::span<double> data) {
-  allreduce_fold(data, static_cast<int>(FoldOp::kMax));
+  require_ok(fold_ft(data, FoldOp::kMax, -1, {}), "allreduce_max");
+}
+void Comm::reduce_sum(std::span<double> data, int root) {
+  require_ok(fold_ft(data, FoldOp::kSum, root, {}), "reduce_sum");
 }
 
-void Comm::allreduce_fold(std::span<double> data, int op) {
+CollectiveStatus Comm::allreduce_sum_ft(std::span<double> data,
+                                        std::span<const ProxyPub> proxies) {
+  return fold_ft(data, FoldOp::kSum, -1, proxies);
+}
+CollectiveStatus Comm::allreduce_min_ft(std::span<double> data,
+                                        std::span<const ProxyPub> proxies) {
+  return fold_ft(data, FoldOp::kMin, -1, proxies);
+}
+CollectiveStatus Comm::allreduce_max_ft(std::span<double> data,
+                                        std::span<const ProxyPub> proxies) {
+  return fold_ft(data, FoldOp::kMax, -1, proxies);
+}
+CollectiveStatus Comm::reduce_sum_ft(std::span<double> data, int root,
+                                     std::span<const ProxyPub> proxies) {
+  return fold_ft(data, FoldOp::kSum, root, proxies);
+}
+
+// root < 0 means allreduce (every rank folds and keeps the result).
+CollectiveStatus Comm::fold_ft(std::span<double> data, FoldOp op, int root,
+                               std::span<const ProxyPub> proxies) {
   SharedState& s = *shared_;
-  s.publish[rank_] = data.data();
+  const std::uint64_t seq = enter_collective(data.data(), proxies);
   s.sync.arrive_and_wait();
-  // Every rank folds contributions in strict rank order (including its own
-  // slot), so FP sums are deterministic AND identical on all ranks; min/max
-  // are order-independent anyway.
-  std::vector<double> total(data.size(),
-                            static_cast<FoldOp>(op) == FoldOp::kSum ? 0.0
-                            : static_cast<FoldOp>(op) == FoldOp::kMin
-                                ? std::numeric_limits<double>::infinity()
-                                : -std::numeric_limits<double>::infinity());
-  for (int r = 0; r < s.ranks; ++r) {
-    const auto* src = static_cast<const double*>(s.publish[r]);
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      switch (static_cast<FoldOp>(op)) {
-        case FoldOp::kSum: total[i] += src[i]; break;
-        case FoldOp::kMin: total[i] = std::min(total[i], src[i]); break;
-        case FoldOp::kMax: total[i] = std::max(total[i], src[i]); break;
+  CollectiveStatus st = scan_dead(seq);
+  if (!st.missing.empty() || (root >= 0 && s.is_dead(root))) {
+    abort_collective(st);
+    s.sync.arrive_and_wait();  // everyone agrees on the abort before retrying
+    return st;
+  }
+  retry_streak_ = 0;
+  // Every folding rank walks the slots in strict rank order (including its
+  // own / proxied slots), so FP sums are deterministic AND identical on all
+  // ranks — and a retry with proxies folds the exact same sequence as the
+  // fault-free run. min/max are order-independent anyway.
+  const bool folds = root < 0 || rank_ == root;
+  std::vector<double> total;
+  if (folds) {
+    total.assign(data.size(), op == FoldOp::kSum ? 0.0
+                              : op == FoldOp::kMin
+                                  ? std::numeric_limits<double>::infinity()
+                                  : -std::numeric_limits<double>::infinity());
+    for (int r = 0; r < s.ranks; ++r) {
+      const auto* src =
+          static_cast<const double*>(s.publish[static_cast<std::size_t>(r)].ptr);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        switch (op) {
+          case FoldOp::kSum: total[i] += src[i]; break;
+          case FoldOp::kMin: total[i] = std::min(total[i], src[i]); break;
+          case FoldOp::kMax: total[i] = std::max(total[i], src[i]); break;
+        }
       }
     }
   }
   s.sync.arrive_and_wait();  // everyone done reading
-  std::memcpy(data.data(), total.data(), data.size_bytes());
+  if (folds) std::memcpy(data.data(), total.data(), data.size_bytes());
   s.sync.arrive_and_wait();  // publish slots free for reuse
-  charge(s.cost.allreduce(data.size_bytes()));
-  bytes_sent_ += data.size_bytes();
-}
-
-void Comm::reduce_sum(std::span<double> data, int root) {
-  SharedState& s = *shared_;
-  s.publish[rank_] = data.data();
-  s.sync.arrive_and_wait();
-  std::vector<double> total;
-  if (rank_ == root) {
-    total.assign(data.size(), 0.0);
-    for (int r = 0; r < s.ranks; ++r) {
-      const auto* src = static_cast<const double*>(s.publish[r]);
-      for (std::size_t i = 0; i < data.size(); ++i) total[i] += src[i];
-    }
+  if (root < 0) {
+    charge(s.cost.allreduce(data.size_bytes()));
+    bytes_sent_ += data.size_bytes();
+  } else {
+    charge(s.cost.reduce(data.size_bytes()));
+    if (rank_ != root) bytes_sent_ += data.size_bytes();
   }
-  s.sync.arrive_and_wait();
-  if (rank_ == root) std::memcpy(data.data(), total.data(), data.size_bytes());
-  s.sync.arrive_and_wait();
-  charge(s.cost.reduce(data.size_bytes()));
-  if (rank_ != root) bytes_sent_ += data.size_bytes();
+  return st;
 }
 
-void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
+CollectiveStatus Comm::bcast_bytes_ft(void* data, std::size_t bytes, int root,
+                                      std::span<const ProxyPub> proxies) {
   SharedState& s = *shared_;
-  if (rank_ == root) s.publish[root] = data;
+  const std::uint64_t seq = enter_collective(data, proxies);
   s.sync.arrive_and_wait();
-  if (rank_ != root) std::memcpy(data, s.publish[root], bytes);
+  CollectiveStatus st = scan_dead(seq);
+  // Only the root's slot carries payload; dead non-roots don't block a bcast.
+  if (s.publish[static_cast<std::size_t>(root)].seq != seq) {
+    abort_collective(st);
+    s.sync.arrive_and_wait();
+    return st;
+  }
+  retry_streak_ = 0;
+  if (rank_ != root)
+    std::memcpy(data, s.publish[static_cast<std::size_t>(root)].ptr, bytes);
   s.sync.arrive_and_wait();
   charge(s.cost.bcast(bytes));
   if (rank_ == root) bytes_sent_ += bytes;
+  return st;
 }
 
-void Comm::allgatherv_bytes(const void* send, void* recv, std::size_t elem_size,
-                            std::span<const int> counts, std::span<const int> displs) {
+CollectiveStatus Comm::allgatherv_bytes_ft(const void* send, void* recv,
+                                           std::size_t elem_size,
+                                           std::span<const int> counts,
+                                           std::span<const int> displs,
+                                           std::span<const ProxyPub> proxies) {
   SharedState& s = *shared_;
-  s.publish[rank_] = send;
+  const std::uint64_t seq = enter_collective(send, proxies);
   s.sync.arrive_and_wait();
+  CollectiveStatus st = scan_dead(seq);
+  if (!st.missing.empty()) {
+    abort_collective(st);
+    s.sync.arrive_and_wait();
+    return st;
+  }
+  retry_streak_ = 0;
   std::size_t total_bytes = 0;
   for (int r = 0; r < s.ranks; ++r) {
-    const std::size_t bytes = static_cast<std::size_t>(counts[r]) * elem_size;
+    const std::size_t rb = static_cast<std::size_t>(counts[r]) * elem_size;
     auto* dst = static_cast<std::byte*>(recv) +
                 static_cast<std::size_t>(displs[r]) * elem_size;
-    // Each rank's own slice may alias recv; memmove tolerates overlap.
-    std::memmove(dst, s.publish[r], bytes);
-    total_bytes += bytes;
+    // In-place gather: a rank's own slice may alias recv exactly. Skip the
+    // self-copy then — besides being a no-op, writing those bytes would race
+    // with peers concurrently reading them through the publish slot.
+    const void* src = s.publish[static_cast<std::size_t>(r)].ptr;
+    if (dst != src) std::memmove(dst, src, rb);
+    total_bytes += rb;
   }
   s.sync.arrive_and_wait();
   charge(s.cost.allgatherv(total_bytes));
   bytes_sent_ += static_cast<std::size_t>(counts[rank_]) * elem_size;
+  return st;
 }
 
 void Comm::charge_rpc(int peer, std::size_t bytes) {
@@ -114,10 +233,16 @@ void Comm::charge_rpc(int peer, std::size_t bytes) {
 
 void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) {
   SharedState& s = *shared_;
+  const std::uint64_t seq = send_seq_[static_cast<std::size_t>(dst)]++;
+  charge(s.cost.p2p(rank_, dst, bytes));
+  bytes_sent_ += bytes;
+  if (s.is_dead(dst)) return;  // wire time is spent; nobody is listening
   Mailbox& mb = *s.mailboxes[static_cast<std::size_t>(dst)];
   Message msg;
   msg.src = rank_;
   msg.tag = tag;
+  msg.suppressed = s.faults.dropped_copies(rank_, dst, seq);
+  msg.delay_seconds = s.faults.delay_seconds(rank_, dst, seq);
   msg.payload.resize(bytes);
   std::memcpy(msg.payload.data(), data, bytes);
   {
@@ -125,28 +250,45 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) {
     mb.queue.push_back(std::move(msg));
   }
   mb.cv.notify_all();
-  charge(s.cost.p2p(rank_, dst, bytes));
-  bytes_sent_ += bytes;
 }
 
-void Comm::recv_bytes(void* data, std::size_t bytes, int src, int tag) {
+RecvStatus Comm::recv_bytes_ft(void* data, std::size_t bytes, int src, int tag) {
   SharedState& s = *shared_;
   Mailbox& mb = *s.mailboxes[static_cast<std::size_t>(rank_)];
+  const double watchdog = s.recv_watchdog_seconds;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(watchdog > 0.0 ? watchdog : 0.0));
   std::unique_lock<std::mutex> lock(mb.mutex);
   for (;;) {
     for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
-      if (it->src == src && it->tag == tag) {
-        if (it->payload.size() != bytes) {
-          // Size mismatch is a programming error in the caller.
-          std::terminate();
-        }
-        std::memcpy(data, it->payload.data(), bytes);
-        mb.queue.erase(it);
-        charge(s.cost.p2p(src, rank_, bytes));
-        return;
+      if (it->src != src || it->tag != tag) continue;
+      if (it->payload.size() != bytes) {
+        // Size mismatch is a programming error in the caller.
+        std::terminate();
       }
+      // Injected drops: the first `suppressed` copies were lost on the wire.
+      // Each lost copy is a logical retransmit round — a timeout window plus
+      // a fresh transmission — charged here, where the waiting happens.
+      for (int attempt = 0; it->suppressed > 0; --it->suppressed, ++attempt) {
+        ++retries_;
+        charge(s.cost.backoff(attempt) + s.cost.p2p(src, rank_, bytes));
+      }
+      std::memcpy(data, it->payload.data(), bytes);
+      charge(s.cost.p2p(src, rank_, bytes) + it->delay_seconds);
+      mb.queue.erase(it);
+      return {};
     }
-    mb.cv.wait(lock);
+    // Messages queued before the peer died are still deliverable (checked
+    // above); an empty match from a dead peer never arrives.
+    if (s.is_dead(src)) return {CommError::kPeerDead};
+    if (watchdog > 0.0) {
+      if (mb.cv.wait_until(lock, deadline) == std::cv_status::timeout)
+        return {CommError::kTimeout};
+    } else {
+      mb.cv.wait(lock);
+    }
   }
 }
 

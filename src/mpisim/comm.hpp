@@ -9,12 +9,24 @@
 //
 // Determinism: reductions are evaluated in rank order by every rank, so
 // results are bit-identical across runs and across ranks.
+//
+// Fault tolerance (mpisim/faults.hpp): every collective entry advances a
+// logical collective sequence number and every send advances a per-link send
+// sequence number; the shared FaultSchedule is keyed on those clocks. The
+// `_ft` collective variants return a CollectiveStatus instead of deadlocking
+// when a rank dies: all survivors observe the same abort at the same logical
+// point and can retry with proxy publications standing in for dead ranks'
+// slots — the retry folds slots in the original rank order, so a recovered
+// reduction is bit-identical to the fault-free one. The legacy void APIs
+// wrap the `_ft` forms and fail fast (std::terminate with a message) on any
+// fault they cannot mask, preserving their original contract.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <type_traits>
+#include <vector>
 
 #include "support/timer.hpp"
 
@@ -22,9 +34,48 @@ namespace gbpol::mpisim {
 
 struct SharedState;
 
+enum class CommError {
+  kOk = 0,
+  kRankDied,   // a participant died; CollectiveStatus lists who
+  kPeerDead,   // recv from a rank that is dead and left nothing queued
+  kTimeout,    // recv watchdog expired (fail-fast safety net, not modeled)
+};
+
+// Outcome of a fault-tolerant collective. All survivors of the same
+// collective return *identical* status contents (the scan happens between
+// two barriers, so the dead set cannot change mid-decision).
+struct CollectiveStatus {
+  CommError error = CommError::kOk;
+  std::vector<int> dead;     // every rank dead as of this collective, ascending
+  std::vector<int> missing;  // dead ranks with no valid publication this round
+                             // (newly dead, or their proxy holder died)
+  bool ok() const { return error == CommError::kOk; }
+};
+
+struct RecvStatus {
+  CommError error = CommError::kOk;
+  bool ok() const { return error == CommError::kOk; }
+};
+
+// A stand-in publication: `data` is presented as dead rank `rank`'s
+// contribution to one collective. The caller (recovery layer) guarantees at
+// most one live rank proxies a given dead rank per collective.
+struct ProxyPub {
+  int rank = 0;
+  const void* data = nullptr;
+};
+
+// Thrown by a rank at its scheduled death point; caught by the Runtime,
+// which records the rank as dead and retires its thread. Deliberately not a
+// std::exception so user-level handlers don't swallow it.
+struct RankKilled {
+  int rank = 0;
+  std::uint64_t collective_seq = 0;
+};
+
 class Comm {
  public:
-  Comm(SharedState& shared, int rank) : shared_(&shared), rank_(rank) {}
+  Comm(SharedState& shared, int rank);
 
   int rank() const { return rank_; }
   int size() const;
@@ -34,7 +85,7 @@ class Comm {
   template <typename T>
   void bcast(std::span<T> data, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
-    bcast_bytes(data.data(), data.size_bytes(), root);
+    require_ok(bcast_bytes_ft(data.data(), data.size_bytes(), root, {}), "bcast");
   }
 
   // In-place sum over all ranks; every rank ends with the total.
@@ -52,7 +103,40 @@ class Comm {
   void allgatherv(std::span<const T> send, std::span<T> recv,
                   std::span<const int> counts, std::span<const int> displs) {
     static_assert(std::is_trivially_copyable_v<T>);
-    allgatherv_bytes(send.data(), recv.data(), sizeof(T), counts, displs);
+    require_ok(allgatherv_bytes_ft(send.data(), recv.data(), sizeof(T), counts,
+                                   displs, {}),
+               "allgatherv");
+  }
+
+  // --- fault-tolerant collective entry points ---------------------------
+  // On kRankDied every survivor has already re-synchronized (the aborted
+  // collective consumed its barriers uniformly); the caller may run a
+  // recovery protocol and re-enter the same collective with proxies. Buffers
+  // are untouched by an aborted collective.
+  CollectiveStatus allreduce_sum_ft(std::span<double> data,
+                                    std::span<const ProxyPub> proxies);
+  CollectiveStatus allreduce_min_ft(std::span<double> data,
+                                    std::span<const ProxyPub> proxies);
+  CollectiveStatus allreduce_max_ft(std::span<double> data,
+                                    std::span<const ProxyPub> proxies);
+  CollectiveStatus reduce_sum_ft(std::span<double> data, int root,
+                                 std::span<const ProxyPub> proxies);
+
+  template <typename T>
+  CollectiveStatus bcast_ft(std::span<T> data, int root,
+                            std::span<const ProxyPub> proxies) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return bcast_bytes_ft(data.data(), data.size_bytes(), root, proxies);
+  }
+
+  template <typename T>
+  CollectiveStatus allgatherv_ft(std::span<const T> send, std::span<T> recv,
+                                 std::span<const int> counts,
+                                 std::span<const int> displs,
+                                 std::span<const ProxyPub> proxies) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return allgatherv_bytes_ft(send.data(), recv.data(), sizeof(T), counts,
+                               displs, proxies);
   }
 
   template <typename T>
@@ -64,7 +148,16 @@ class Comm {
   template <typename T>
   void recv(std::span<T> data, int src, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
-    recv_bytes(data.data(), data.size_bytes(), src, tag);
+    require_recv_ok(recv_bytes_ft(data.data(), data.size_bytes(), src, tag), src);
+  }
+
+  // Timeout- and death-aware receive: returns kPeerDead if `src` is dead
+  // with nothing matching queued, kTimeout if the wall-clock watchdog fires
+  // (misprogrammed protocol — deterministic schedules never hit it).
+  template <typename T>
+  RecvStatus recv_ft(std::span<T> data, int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return recv_bytes_ft(data.data(), data.size_bytes(), src, tag);
   }
 
   // Charges the modeled cost of a request/response round trip to `peer`
@@ -77,8 +170,14 @@ class Comm {
   // modeled; the runtime report combines them into a cluster makespan.
 
   // Adds externally measured compute seconds (e.g. max-over-workers busy
-  // time of a rank-local work-stealing pool).
-  void add_compute_seconds(double s) { compute_seconds_ += s; }
+  // time of a rank-local work-stealing pool). If this rank is a scheduled
+  // straggler, the modeled surplus (factor - 1) * s lands in the separate
+  // straggler channel so RunReport makespans reflect the slowdown.
+  void add_compute_seconds(double s);
+
+  // Recovery-layer bookkeeping: number of work items (leaves / atoms) this
+  // rank recomputed on behalf of a dead rank.
+  void add_redistributed_work(std::uint64_t items) { redistributed_work_ += items; }
 
   // RAII region measuring the rank thread's own CPU time as compute.
   class ComputeRegion {
@@ -94,24 +193,51 @@ class Comm {
   };
 
   double compute_seconds() const { return compute_seconds_; }
+  double straggler_seconds() const { return straggler_seconds_; }
   double comm_seconds() const { return comm_seconds_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t redistributed_work() const { return redistributed_work_; }
 
  private:
-  void allreduce_fold(std::span<double> data, int op);
-  void bcast_bytes(void* data, std::size_t bytes, int root);
-  void allgatherv_bytes(const void* send, void* recv, std::size_t elem_size,
-                        std::span<const int> counts, std::span<const int> displs);
+  enum class FoldOp { kSum, kMin, kMax };
+
+  CollectiveStatus fold_ft(std::span<double> data, FoldOp op, int root,
+                           std::span<const ProxyPub> proxies);
+  CollectiveStatus bcast_bytes_ft(void* data, std::size_t bytes, int root,
+                                  std::span<const ProxyPub> proxies);
+  CollectiveStatus allgatherv_bytes_ft(const void* send, void* recv,
+                                       std::size_t elem_size,
+                                       std::span<const int> counts,
+                                       std::span<const int> displs,
+                                       std::span<const ProxyPub> proxies);
   void send_bytes(const void* data, std::size_t bytes, int dst, int tag);
-  void recv_bytes(void* data, std::size_t bytes, int src, int tag);
+  RecvStatus recv_bytes_ft(void* data, std::size_t bytes, int src, int tag);
+
+  // Advances the collective clock; if this is the rank's scheduled death
+  // point, marks it dead, drops out of the barrier group and throws
+  // RankKilled. Publishes this rank's slot plus any proxies it carries.
+  std::uint64_t enter_collective(const void* own_data,
+                                 std::span<const ProxyPub> proxies);
+  CollectiveStatus scan_dead(std::uint64_t seq) const;
+  void abort_collective(CollectiveStatus& st);
+
+  void require_ok(const CollectiveStatus& st, const char* what) const;
+  void require_recv_ok(const RecvStatus& st, int src) const;
 
   void charge(double seconds) { comm_seconds_ += seconds; }
 
   SharedState* shared_;
   int rank_;
   double compute_seconds_ = 0.0;
+  double straggler_seconds_ = 0.0;
   double comm_seconds_ = 0.0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t redistributed_work_ = 0;
+  std::uint64_t collective_seq_ = 0;      // logical clock: collectives entered
+  std::vector<std::uint64_t> send_seq_;   // logical clock: sends per dest rank
+  int retry_streak_ = 0;                  // consecutive aborted collectives
 };
 
 }  // namespace gbpol::mpisim

@@ -1,5 +1,6 @@
 #include "mpisim/costmodel.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace gbpol::mpisim {
@@ -30,6 +31,11 @@ double CostModel::allreduce(std::size_t bytes) const {
   if (p <= 1) return 0.0;
   const double frac = static_cast<double>(p - 1) / static_cast<double>(p);
   return ts() * log2_ceil(p) + 2.0 * tw() * static_cast<double>(bytes) * frac;
+}
+
+double CostModel::backoff(int attempt) const {
+  const double window = 64.0 * ts();  // initial timeout: well above one RTT
+  return window * std::exp2(static_cast<double>(std::clamp(attempt, 0, 10)));
 }
 
 double CostModel::allgatherv(std::size_t total_bytes) const {

@@ -34,6 +34,11 @@ class CostModel {
   double allreduce(std::size_t bytes) const;
   // total_bytes = sum of all ranks' contributions.
   double allgatherv(std::size_t total_bytes) const;
+  // Modeled retransmit-timeout window before the (attempt+1)-th retry of a
+  // failed delivery / aborted collective: exponential backoff in units of
+  // the worst-link latency, capped so injected drop storms cannot produce
+  // absurd makespans. Used by the fault-injection layer (mpisim/faults.hpp).
+  double backoff(int attempt) const;
 
  private:
   double ts() const { return cluster_.latency(map_.worst_link()); }

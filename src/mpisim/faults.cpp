@@ -1,0 +1,151 @@
+#include "mpisim/faults.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/rng.hpp"
+
+namespace gbpol::mpisim {
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t link_key(int src, int dst, int ranks) {
+  return static_cast<std::uint64_t>(src) * static_cast<std::uint64_t>(ranks) +
+         static_cast<std::uint64_t>(dst);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int ranks,
+                            const RandomProfile& profile) {
+  FaultPlan plan;
+  if (ranks <= 0) return plan;
+  Rng rng(seed ^ 0xfa017510ca5e5ULL);
+
+  const auto pick_rank = [&] { return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ranks))); };
+
+  const int n_delays = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(profile.max_delays) + 1));
+  for (int i = 0; i < n_delays; ++i) {
+    Delay d;
+    d.src = pick_rank();
+    d.dst = pick_rank();
+    if (d.src == d.dst) d.dst = (d.dst + 1) % ranks;
+    d.send_seq = rng.next_below(std::max<std::uint64_t>(1, profile.send_seq_horizon));
+    d.extra_seconds = rng.uniform(0.1, 1.0) * profile.max_delay_seconds;
+    if (d.src != d.dst) plan.delays.push_back(d);
+  }
+
+  const int n_drops = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(profile.max_drops) + 1));
+  for (int i = 0; i < n_drops; ++i) {
+    Drop d;
+    d.src = pick_rank();
+    d.dst = pick_rank();
+    if (d.src == d.dst) d.dst = (d.dst + 1) % ranks;
+    d.send_seq = rng.next_below(std::max<std::uint64_t>(1, profile.send_seq_horizon));
+    d.lost_copies = 1 + static_cast<int>(rng.next_below(
+                            static_cast<std::uint64_t>(std::max(1, profile.max_lost_copies))));
+    if (d.src != d.dst) plan.drops.push_back(d);
+  }
+
+  const int n_stragglers = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(profile.max_stragglers) + 1));
+  for (int i = 0; i < n_stragglers; ++i) {
+    Straggler s;
+    s.rank = pick_rank();
+    s.slowdown_factor = rng.uniform(1.25, std::max(1.25, profile.max_slowdown));
+    plan.stragglers.push_back(s);
+  }
+
+  // Deaths need survivors to recover onto: never kill the whole job, and a
+  // 1-rank job has nobody to take over, so it stays immortal.
+  const int death_cap = std::min(profile.max_deaths, ranks - 1);
+  if (death_cap > 0) {
+    const int n_deaths =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(death_cap) + 1));
+    std::vector<int> doomed;
+    for (int i = 0; i < n_deaths; ++i) {
+      const int victim = pick_rank();
+      if (std::find(doomed.begin(), doomed.end(), victim) != doomed.end()) continue;
+      doomed.push_back(victim);
+      Death d;
+      d.rank = victim;
+      d.collective_seq =
+          rng.next_below(std::max<std::uint64_t>(1, profile.collective_horizon));
+      plan.deaths.push_back(d);
+    }
+  }
+  return plan;
+}
+
+FaultSchedule::FaultSchedule(const FaultPlan& plan, int ranks)
+    : ranks_(std::max(1, ranks)),
+      slowdown_(static_cast<std::size_t>(ranks_), 1.0),
+      death_seq_(static_cast<std::size_t>(ranks_), kNever) {
+  const auto in_range = [&](int r) { return r >= 0 && r < ranks_; };
+
+  for (const FaultPlan::Delay& d : plan.delays) {
+    if (!in_range(d.src) || !in_range(d.dst) || d.extra_seconds <= 0.0) continue;
+    delays_.push_back({link_key(d.src, d.dst, ranks_), d.send_seq, d.extra_seconds, 0});
+  }
+  for (const FaultPlan::Drop& d : plan.drops) {
+    if (!in_range(d.src) || !in_range(d.dst) || d.lost_copies <= 0) continue;
+    drops_.push_back({link_key(d.src, d.dst, ranks_), d.send_seq, 0.0, d.lost_copies});
+  }
+  const auto by_coord = [](const LinkEvent& a, const LinkEvent& b) {
+    return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+  };
+  std::sort(delays_.begin(), delays_.end(), by_coord);
+  std::sort(drops_.begin(), drops_.end(), by_coord);
+
+  for (const FaultPlan::Straggler& s : plan.stragglers) {
+    if (!in_range(s.rank)) continue;
+    slowdown_[static_cast<std::size_t>(s.rank)] =
+        std::max(slowdown_[static_cast<std::size_t>(s.rank)],
+                 std::max(1.0, s.slowdown_factor));
+  }
+  for (const FaultPlan::Death& d : plan.deaths) {
+    if (!in_range(d.rank)) continue;
+    death_seq_[static_cast<std::size_t>(d.rank)] =
+        std::min(death_seq_[static_cast<std::size_t>(d.rank)], d.collective_seq);
+    has_deaths_ = true;
+  }
+}
+
+const FaultSchedule::LinkEvent* FaultSchedule::find(
+    const std::vector<LinkEvent>& events, int src, int dst, std::uint64_t seq) const {
+  if (events.empty() || src < 0 || src >= ranks_ || dst < 0 || dst >= ranks_)
+    return nullptr;
+  LinkEvent probe;
+  probe.key = link_key(src, dst, ranks_);
+  probe.seq = seq;
+  const auto it = std::lower_bound(
+      events.begin(), events.end(), probe, [](const LinkEvent& a, const LinkEvent& b) {
+        return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+      });
+  if (it == events.end() || it->key != probe.key || it->seq != seq) return nullptr;
+  return &*it;
+}
+
+double FaultSchedule::delay_seconds(int src, int dst, std::uint64_t send_seq) const {
+  const LinkEvent* e = find(delays_, src, dst, send_seq);
+  return e ? e->delay : 0.0;
+}
+
+int FaultSchedule::dropped_copies(int src, int dst, std::uint64_t send_seq) const {
+  const LinkEvent* e = find(drops_, src, dst, send_seq);
+  return e ? e->lost : 0;
+}
+
+double FaultSchedule::slowdown(int rank) const {
+  if (rank < 0 || rank >= ranks_) return 1.0;
+  return slowdown_[static_cast<std::size_t>(rank)];
+}
+
+bool FaultSchedule::dies_at(int rank, std::uint64_t collective_seq) const {
+  if (rank < 0 || rank >= ranks_) return false;
+  return death_seq_[static_cast<std::size_t>(rank)] == collective_seq;
+}
+
+}  // namespace gbpol::mpisim

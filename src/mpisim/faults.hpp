@@ -1,0 +1,117 @@
+// Deterministic fault injection for the in-process message-passing runtime.
+//
+// A FaultPlan is a *schedule*, not a probability: every fault fires at a
+// logical event coordinate — the n-th send over a (src, dst) link, or a
+// rank's n-th collective entry — never at a wall-clock time. Because the
+// runtime's collectives are globally ordered and each rank's sends are
+// program-ordered, the same plan replays bit-identically run after run,
+// which is what lets the companion tests assert exact-energy equality
+// between fault-free and fault-recovered executions.
+//
+// Fault classes (paper §IV-C models a fault-free Lonestar4; these model the
+// deviations a production cluster service must survive):
+//   * Delay      — the n-th message over a link arrives late by a modeled
+//                  number of seconds (charged to the receiver's comm time).
+//   * Drop       — the n-th message over a link loses its first k copies;
+//                  the receiver times out k times, charging an exponential
+//                  backoff plus a retransmit round per lost copy, then
+//                  delivers. Counted in RunReport::retries.
+//   * Straggler  — a rank's compute time is scaled by a factor >= 1; the
+//                  modeled surplus is reported in the compute channel so
+//                  makespans reflect it (RunReport accounting).
+//   * Death      — a rank dies on entering its n-th collective: it drops
+//                  out of the barrier group, never publishes again, and all
+//                  later operations observe it as dead. Surviving ranks'
+//                  collectives report the loss through a CommError status
+//                  channel instead of deadlocking (comm.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gbpol::mpisim {
+
+struct FaultPlan {
+  struct Delay {
+    int src = 0;
+    int dst = 0;
+    std::uint64_t send_seq = 0;   // n-th send from src to dst, 0-based
+    double extra_seconds = 0.0;   // modeled lateness
+  };
+  struct Drop {
+    int src = 0;
+    int dst = 0;
+    std::uint64_t send_seq = 0;
+    int lost_copies = 1;          // receiver retries this many times
+  };
+  struct Straggler {
+    int rank = 0;
+    double slowdown_factor = 1.0;  // >= 1; 2.0 doubles modeled compute time
+  };
+  struct Death {
+    int rank = 0;
+    std::uint64_t collective_seq = 0;  // dies entering this collective, 0-based
+  };
+
+  std::vector<Delay> delays;
+  std::vector<Drop> drops;
+  std::vector<Straggler> stragglers;
+  std::vector<Death> deaths;
+
+  bool empty() const {
+    return delays.empty() && drops.empty() && stragglers.empty() && deaths.empty();
+  }
+  bool has_deaths() const { return !deaths.empty(); }
+
+  // Knobs for the seeded generator below. Event counts are drawn uniformly
+  // in [0, max_*]; coordinates are drawn inside the given horizons.
+  struct RandomProfile {
+    int max_delays = 4;
+    int max_drops = 4;
+    int max_stragglers = 2;
+    int max_deaths = 1;                  // clamped to ranks - 1 (one survivor min)
+    std::uint64_t send_seq_horizon = 4;  // sends per link targeted
+    std::uint64_t collective_horizon = 4;
+    double max_delay_seconds = 1e-3;
+    int max_lost_copies = 3;
+    double max_slowdown = 4.0;
+  };
+
+  // Deterministic plan from a seed: same (seed, ranks, profile) -> same plan.
+  static FaultPlan random(std::uint64_t seed, int ranks, const RandomProfile& profile);
+};
+
+// Plan compiled into per-run lookup form. Built once at Runtime launch and
+// shared read-only by every rank, so lookups need no locking.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  FaultSchedule(const FaultPlan& plan, int ranks);
+
+  double delay_seconds(int src, int dst, std::uint64_t send_seq) const;
+  int dropped_copies(int src, int dst, std::uint64_t send_seq) const;
+  // Compute-time multiplier for `rank`, always >= 1.
+  double slowdown(int rank) const;
+  bool dies_at(int rank, std::uint64_t collective_seq) const;
+  bool has_deaths() const { return has_deaths_; }
+
+ private:
+  struct LinkEvent {
+    std::uint64_t key = 0;  // (src * ranks + dst) * horizonless packing, see cpp
+    std::uint64_t seq = 0;
+    double delay = 0.0;
+    int lost = 0;
+  };
+
+  const LinkEvent* find(const std::vector<LinkEvent>& events, int src, int dst,
+                        std::uint64_t seq) const;
+
+  int ranks_ = 0;
+  bool has_deaths_ = false;
+  std::vector<LinkEvent> delays_;          // sorted by (key, seq)
+  std::vector<LinkEvent> drops_;           // sorted by (key, seq)
+  std::vector<double> slowdown_;           // per rank, 1.0 = none
+  std::vector<std::uint64_t> death_seq_;   // per rank, ~0 = immortal
+};
+
+}  // namespace gbpol::mpisim

@@ -12,13 +12,15 @@ namespace gbpol::mpisim {
 
 double RunReport::modeled_seconds() const {
   double m = 0.0;
-  for (const RankResult& r : ranks) m = std::max(m, r.compute_seconds + r.comm_seconds);
+  for (const RankResult& r : ranks)
+    m = std::max(m, r.compute_seconds + r.straggler_seconds + r.comm_seconds);
   return m;
 }
 
 double RunReport::max_compute_seconds() const {
   double m = 0.0;
-  for (const RankResult& r : ranks) m = std::max(m, r.compute_seconds);
+  for (const RankResult& r : ranks)
+    m = std::max(m, r.compute_seconds + r.straggler_seconds);
   return m;
 }
 
@@ -36,7 +38,8 @@ std::uint64_t RunReport::total_bytes_sent() const {
 
 RunReport Runtime::run(const Config& config, const std::function<void(Comm&)>& rank_fn) {
   const int ranks = std::max(1, config.ranks);
-  SharedState shared(config.cluster, ranks, std::max(1, config.threads_per_rank));
+  SharedState shared(config.cluster, ranks, std::max(1, config.threads_per_rank),
+                     config.faults, config.recv_watchdog_seconds);
 
   RunReport report;
   report.ranks.resize(static_cast<std::size_t>(ranks));
@@ -47,22 +50,36 @@ RunReport Runtime::run(const Config& config, const std::function<void(Comm&)>& r
   for (int r = 0; r < ranks; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(shared, r);
+      RankResult& res = report.ranks[static_cast<std::size_t>(r)];
       // A throwing rank would leave peers blocked at a barrier with no safe
-      // recovery, exactly like a crashed MPI process: fail fast instead.
+      // recovery, exactly like a crashed MPI process: fail fast instead. The
+      // one exception is a scheduled death (RankKilled): the dying rank has
+      // already dropped out of the barrier group, so its thread just retires
+      // while survivors carry on (or fail fast themselves if they use the
+      // non-ft collectives).
       try {
         rank_fn(comm);
+      } catch (const RankKilled&) {
+        res.died = true;
       } catch (const std::exception& e) {
         std::fprintf(stderr, "mpisim: rank %d terminated with exception: %s\n", r, e.what());
         std::terminate();
       }
-      RankResult& res = report.ranks[static_cast<std::size_t>(r)];
       res.compute_seconds = comm.compute_seconds();
+      res.straggler_seconds = comm.straggler_seconds();
       res.comm_seconds = comm.comm_seconds();
       res.bytes_sent = comm.bytes_sent();
+      res.retries = comm.retries();
+      res.redistributed_work_items = comm.redistributed_work();
     });
   }
   for (std::thread& t : threads) t.join();
   report.wall_seconds = wall.seconds();
+  for (const RankResult& r : report.ranks) {
+    report.retries += r.retries;
+    report.redistributed_work_items += r.redistributed_work_items;
+    report.degraded = report.degraded || r.died;
+  }
   return report;
 }
 

@@ -4,12 +4,22 @@
 // same rank function on all of them (SPMD, like mpirun), joins, and returns
 // per-rank accounting plus the modeled cluster makespan:
 //
-//   modeled_seconds = max over ranks of (measured compute + modeled comm)
+//   modeled_seconds = max over ranks of (measured compute
+//                                        + modeled straggler surplus
+//                                        + modeled comm)
 //
 // Compute time is the rank's measured thread-CPU time (plus any worker-pool
 // busy time the rank registered), so load imbalance is real, not assumed;
-// only the network is analytic. This is the substitution that lets the
-// paper's 144-core experiments run on any machine (see DESIGN.md).
+// only the network — and any injected perturbation from Config::faults —
+// is analytic. This is the substitution that lets the paper's 144-core
+// experiments run on any machine (see DESIGN.md).
+//
+// Fault injection: Config::faults carries a deterministic FaultPlan
+// (mpisim/faults.hpp). A rank scheduled to die throws RankKilled from its
+// collective entry; the runtime retires that thread, keeps its accounting,
+// and marks the report degraded. Rank functions wanting to SURVIVE peer
+// death must use the `_ft` collectives (comm.hpp) and run their own
+// recovery; the plain collectives fail fast instead of deadlocking.
 #pragma once
 
 #include <cstdint>
@@ -18,18 +28,28 @@
 
 #include "mpisim/cluster.hpp"
 #include "mpisim/comm.hpp"
+#include "mpisim/faults.hpp"
 
 namespace gbpol::mpisim {
 
 struct RankResult {
   double compute_seconds = 0.0;
+  // Modeled surplus from an injected straggler slowdown; reported in the
+  // compute channel (max_compute_seconds) so makespans reflect it.
+  double straggler_seconds = 0.0;
   double comm_seconds = 0.0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t retries = 0;                   // retransmits + aborted collectives
+  std::uint64_t redistributed_work_items = 0;  // recomputed for dead peers
+  bool died = false;
 };
 
 struct RunReport {
   std::vector<RankResult> ranks;
   double wall_seconds = 0.0;
+  std::uint64_t retries = 0;                   // sum over ranks
+  std::uint64_t redistributed_work_items = 0;  // sum over ranks
+  bool degraded = false;                       // at least one rank died
 
   double modeled_seconds() const;
   double max_compute_seconds() const;
@@ -43,9 +63,15 @@ class Runtime {
     int ranks = 1;
     int threads_per_rank = 1;  // used for placement; rank fn spawns its own pool
     ClusterModel cluster = ClusterModel::lonestar4();
+    FaultPlan faults;          // empty by default: fault-free run
+    // Fail-fast safety net for recv: wall-clock bound after which a blocked
+    // receive reports CommError::kTimeout instead of hanging CI. Generous on
+    // purpose — deterministic schedules never hit it. <= 0 disables it.
+    double recv_watchdog_seconds = 120.0;
   };
 
-  // Blocks until every rank returns. The rank function must not throw.
+  // Blocks until every rank returns. The rank function must not throw
+  // (RankKilled, thrown by the fault layer, is the one handled exception).
   static RunReport run(const Config& config,
                        const std::function<void(Comm&)>& rank_fn);
 };

@@ -1,23 +1,32 @@
 // Internal shared state of one Runtime launch. Not part of the public API.
 #pragma once
 
+#include <atomic>
 #include <barrier>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "mpisim/cluster.hpp"
 #include "mpisim/costmodel.hpp"
+#include "mpisim/faults.hpp"
 
 namespace gbpol::mpisim {
 
 struct Message {
   int src = 0;
   int tag = 0;
+  // Fault injection: the receiver must observe `suppressed` retransmit
+  // rounds (charging modeled backoff) before this copy is delivered, plus
+  // `delay_seconds` of modeled lateness. Both are stamped at send time from
+  // the link's logical send sequence number, so replays are bit-identical.
+  int suppressed = 0;
+  double delay_seconds = 0.0;
   std::vector<std::byte> payload;
 };
 
@@ -27,24 +36,57 @@ struct Mailbox {
   std::deque<Message> queue;
 };
 
+// One publication slot per rank. `seq` stamps which collective the pointer
+// belongs to: a slot whose seq doesn't match the current collective sequence
+// is stale (its owner died, or its proxy died before republishing) and must
+// not be read. Slots are only written between a collective's entry and its
+// first barrier, and only read between the first and second barriers, so no
+// per-slot synchronization is needed.
+struct PublishSlot {
+  const void* ptr = nullptr;
+  std::uint64_t seq = std::numeric_limits<std::uint64_t>::max();
+};
+
 struct SharedState {
-  SharedState(const ClusterModel& cluster_model, int ranks, int threads_per_rank)
+  SharedState(const ClusterModel& cluster_model, int ranks, int threads_per_rank,
+              const FaultPlan& plan, double recv_watchdog_seconds)
       : ranks(ranks),
         map(cluster_model, ranks, threads_per_rank),
         cost(cluster_model, map),
+        faults(plan, ranks),
+        recv_watchdog_seconds(recv_watchdog_seconds),
         sync(ranks),
-        publish(static_cast<std::size_t>(ranks), nullptr),
+        publish(static_cast<std::size_t>(ranks)),
+        dead(static_cast<std::size_t>(ranks)),
         mailboxes(static_cast<std::size_t>(ranks)) {
     for (auto& mb : mailboxes) mb = std::make_unique<Mailbox>();
+  }
+
+  // Wakes every rank blocked in recv so it can re-check peer liveness.
+  void wake_all_mailboxes() {
+    for (auto& mb : mailboxes) {
+      // Pairing the notify with the lock keeps the wake ordered after the
+      // dead-flag store for sleepers between their liveness check and wait.
+      std::lock_guard<std::mutex> lock(mb->mutex);
+      mb->cv.notify_all();
+    }
+  }
+
+  bool is_dead(int r) const {
+    return dead[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
   }
 
   int ranks;
   RankMap map;
   CostModel cost;
+  FaultSchedule faults;
+  double recv_watchdog_seconds;
   std::barrier<> sync;
-  // One pointer slot per rank; valid between the two barriers bracketing a
-  // collective. Collectives are globally ordered, so one slot array suffices.
-  std::vector<const void*> publish;
+  // Collectives are globally ordered, so one slot array suffices.
+  std::vector<PublishSlot> publish;
+  // Set (once, never cleared) by a rank dying at a collective entry; read by
+  // survivors after the next barrier, which orders the store before the scan.
+  std::vector<std::atomic<bool>> dead;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
 };
 

@@ -1,0 +1,157 @@
+// Randomized property tests for the mpisim collectives: for every rank count
+// in 1..16 and a spread of payload sizes, seeded random payloads must come
+// back (a) BIT-identical on every rank and (b) BIT-identical to a serial
+// oracle that folds contributions in rank order — the determinism contract
+// the drivers' exact-recovery guarantee is built on (DESIGN.md).
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mpisim/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace gbpol::mpisim {
+namespace {
+
+std::vector<double> rank_payload(std::uint64_t seed, int rank, std::size_t n) {
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rank + 1)));
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.uniform(-1e3, 1e3);
+  return out;
+}
+
+struct CollectiveResults {
+  std::vector<std::vector<double>> bcast, sum, min, max, reduce, gathered;
+  explicit CollectiveResults(int ranks)
+      : bcast(ranks), sum(ranks), min(ranks), max(ranks), reduce(ranks), gathered(ranks) {}
+};
+
+// One runtime launch exercises every collective once; results land per rank.
+CollectiveResults run_all_collectives(std::uint64_t seed, int ranks, std::size_t n) {
+  CollectiveResults res(ranks);
+  const int root = static_cast<int>(seed % static_cast<std::uint64_t>(ranks));
+  // allgatherv: uneven slice sizes summing to a total that exercises
+  // non-divisible splits (rank r contributes r+1 + (n % (r+2)) elements).
+  std::vector<int> counts(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r)
+    counts[static_cast<std::size_t>(r)] =
+        r + 1 + static_cast<int>(n % static_cast<std::size_t>(r + 2));
+  std::vector<int> displs(static_cast<std::size_t>(ranks), 0);
+  for (int r = 1; r < ranks; ++r)
+    displs[static_cast<std::size_t>(r)] =
+        displs[static_cast<std::size_t>(r - 1)] + counts[static_cast<std::size_t>(r - 1)];
+  const int total = displs.back() + counts.back();
+
+  Runtime::Config cfg;
+  cfg.ranks = ranks;
+  Runtime::run(cfg, [&](Comm& comm) {
+    const std::size_t me = static_cast<std::size_t>(comm.rank());
+    const std::vector<double> mine = rank_payload(seed, comm.rank(), n);
+
+    std::vector<double> buf = mine;
+    comm.bcast(std::span<double>(buf), root);
+    res.bcast[me] = buf;
+
+    buf = mine;
+    comm.allreduce_sum(buf);
+    res.sum[me] = buf;
+
+    buf = mine;
+    comm.allreduce_min(buf);
+    res.min[me] = buf;
+
+    buf = mine;
+    comm.allreduce_max(buf);
+    res.max[me] = buf;
+
+    buf = mine;
+    comm.reduce_sum(buf, root);
+    res.reduce[me] = buf;
+
+    const std::vector<double> slice =
+        rank_payload(seed + 1, comm.rank(), static_cast<std::size_t>(counts[me]));
+    std::vector<double> gathered(static_cast<std::size_t>(total), 0.0);
+    comm.allgatherv<double>(slice, gathered, counts, displs);
+    res.gathered[me] = gathered;
+  });
+
+  // --- serial oracles, folding in rank order exactly like the runtime ------
+  CollectiveResults expect(ranks);
+  const std::vector<double> root_data = rank_payload(seed, root, n);
+  std::vector<double> osum(n, 0.0);
+  std::vector<double> omin(n, std::numeric_limits<double>::infinity());
+  std::vector<double> omax(n, -std::numeric_limits<double>::infinity());
+  for (int r = 0; r < ranks; ++r) {
+    const std::vector<double> data = rank_payload(seed, r, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      osum[i] += data[i];
+      omin[i] = std::min(omin[i], data[i]);
+      omax[i] = std::max(omax[i], data[i]);
+    }
+  }
+  std::vector<double> ogather(static_cast<std::size_t>(total), 0.0);
+  for (int r = 0; r < ranks; ++r) {
+    const std::vector<double> slice =
+        rank_payload(seed + 1, r, static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]));
+    std::copy(slice.begin(), slice.end(),
+              ogather.begin() + displs[static_cast<std::size_t>(r)]);
+  }
+
+  for (int r = 0; r < ranks; ++r) {
+    const std::size_t ur = static_cast<std::size_t>(r);
+    expect.bcast[ur] = root_data;
+    expect.sum[ur] = osum;
+    expect.min[ur] = omin;
+    expect.max[ur] = omax;
+    // reduce_sum leaves non-root buffers untouched.
+    expect.reduce[ur] = (r == root) ? osum : rank_payload(seed, r, n);
+    expect.gathered[ur] = ogather;
+  }
+  // Exact (bitwise) comparison on every rank, every element.
+  const auto check = [&](const char* what, const auto& got, const auto& want) {
+    for (int r = 0; r < ranks; ++r) {
+      const std::size_t ur = static_cast<std::size_t>(r);
+      ASSERT_EQ(got[ur].size(), want[ur].size()) << what << " rank " << r;
+      for (std::size_t i = 0; i < want[ur].size(); ++i)
+        ASSERT_EQ(got[ur][i], want[ur][i])
+            << what << " rank " << r << " slot " << i << " (seed " << seed
+            << ", ranks " << ranks << ", n " << n << ")";
+    }
+  };
+  check("bcast", res.bcast, expect.bcast);
+  check("allreduce_sum", res.sum, expect.sum);
+  check("allreduce_min", res.min, expect.min);
+  check("allreduce_max", res.max, expect.max);
+  check("reduce_sum", res.reduce, expect.reduce);
+  check("allgatherv", res.gathered, expect.gathered);
+  return res;
+}
+
+TEST(PropertyCommTest, AllCollectivesMatchSerialOracleForAllRankCounts) {
+  for (int ranks = 1; ranks <= 16; ++ranks)
+    for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{64}})
+      run_all_collectives(1000 + static_cast<std::uint64_t>(ranks), ranks, n);
+}
+
+TEST(PropertyCommTest, LargePayloadsAndManySeeds) {
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    const int ranks = 2 + static_cast<int>(seed % 15);  // 2..16
+    const std::size_t n = (seed % 3 == 0) ? 1025 : 64;
+    run_all_collectives(seed * 77 + 5, ranks, n);
+  }
+}
+
+TEST(PropertyCommTest, ResultsAreReproducibleAcrossRuns) {
+  const CollectiveResults a = run_all_collectives(424242, 7, 129);
+  const CollectiveResults b = run_all_collectives(424242, 7, 129);
+  for (std::size_t r = 0; r < 7; ++r) {
+    ASSERT_EQ(a.sum[r], b.sum[r]);
+    ASSERT_EQ(a.gathered[r], b.gathered[r]);
+  }
+}
+
+}  // namespace
+}  // namespace gbpol::mpisim

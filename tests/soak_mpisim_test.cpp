@@ -1,0 +1,166 @@
+// Randomized soak harness for the fault-injection layer (ISSUE 2 acceptance
+// matrix): >= 100 seeded random fault schedules across >= 3 rank counts, and
+// for EVERY schedule the fault-recovered run must reproduce the fault-free
+// E_pol and Born radii exactly (0 ulp), with deterministic replay.
+//
+// Registered under the `soak` CTest label and excluded from the default
+// tier-1 run (enable with -DGBPOL_SOAK_TESTS=ON or `ctest -L soak`).
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/drivers.hpp"
+#include "molecule/generate.hpp"
+#include "mpisim/faults.hpp"
+#include "mpisim/runtime.hpp"
+#include "surface/quadrature.hpp"
+
+namespace gbpol {
+namespace {
+
+using mpisim::FaultPlan;
+
+class SoakMpisimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mol_ = new Molecule(molgen::synthetic_protein(260, 19));
+    quad_ = new surface::SurfaceQuadrature(surface::molecular_surface_quadrature(
+        *mol_, {.grid_spacing = 1.5, .dunavant_degree = 2, .kappa = 2.3}));
+    prep_ = new Prepared(Prepared::build(*mol_, *quad_, 16));
+  }
+  static void TearDownTestSuite() {
+    delete prep_;
+    delete quad_;
+    delete mol_;
+  }
+
+  static DriverResult run(int ranks, const FaultPlan& plan) {
+    ApproxParams params;  // default: TraversalMode::kList
+    RunConfig config;
+    config.ranks = ranks;
+    config.faults = plan;
+    return run_oct_distributed(*prep_, params, GBConstants{}, config);
+  }
+
+  static Molecule* mol_;
+  static surface::SurfaceQuadrature* quad_;
+  static Prepared* prep_;
+};
+Molecule* SoakMpisimTest::mol_ = nullptr;
+surface::SurfaceQuadrature* SoakMpisimTest::quad_ = nullptr;
+Prepared* SoakMpisimTest::prep_ = nullptr;
+
+// The acceptance matrix: 3 rank counts x 35 seeds = 105 random schedules.
+TEST_F(SoakMpisimTest, RandomSchedulesRecoverBitExactly) {
+  FaultPlan::RandomProfile profile;
+  profile.max_deaths = 2;
+  profile.collective_horizon = 5;  // covers all 3 driver collectives + retries
+  constexpr int kSeedsPerRankCount = 35;
+
+  for (const int ranks : {3, 5, 8}) {
+    const DriverResult clean = run(ranks, {});
+    ASSERT_NE(clean.energy, 0.0);
+    for (int s = 0; s < kSeedsPerRankCount; ++s) {
+      const std::uint64_t seed =
+          static_cast<std::uint64_t>(ranks) * 1000 + static_cast<std::uint64_t>(s);
+      const FaultPlan plan = FaultPlan::random(seed, ranks, profile);
+      const DriverResult faulty = run(ranks, plan);
+      SCOPED_TRACE("ranks=" + std::to_string(ranks) + " seed=" + std::to_string(seed) +
+                   " deaths=" + std::to_string(plan.deaths.size()));
+      // Exact equality — no tolerance. Recovery must reproduce the
+      // fault-free floating-point operation sequence, not approximate it.
+      ASSERT_EQ(faulty.energy, clean.energy);
+      ASSERT_EQ(faulty.born_sorted.size(), clean.born_sorted.size());
+      for (std::size_t i = 0; i < clean.born_sorted.size(); ++i)
+        ASSERT_EQ(faulty.born_sorted[i], clean.born_sorted[i]) << "born slot " << i;
+      // A scheduled death only fires if its collective_seq is actually
+      // reached (the driver runs 3 collectives plus any retries), so
+      // degraded implies a death was scheduled — not the converse.
+      EXPECT_TRUE(!faulty.degraded || plan.has_deaths());
+      // Every 10th schedule: replay and require identical fault accounting.
+      if (s % 10 == 0) {
+        const DriverResult replay = run(ranks, plan);
+        ASSERT_EQ(replay.energy, faulty.energy);
+        ASSERT_EQ(replay.retries, faulty.retries);
+        ASSERT_EQ(replay.redistributed_work_items, faulty.redistributed_work_items);
+        ASSERT_EQ(replay.degraded, faulty.degraded);
+      }
+    }
+  }
+}
+
+// Death-heavy soak: every schedule kills at least one rank, drawn across the
+// whole collective horizon, so the recovery paths (not just the delay/drop
+// bookkeeping) get the bulk of the coverage.
+TEST_F(SoakMpisimTest, DeathHeavySchedulesRecoverBitExactly) {
+  const int ranks = 4;
+  const DriverResult clean = run(ranks, {});
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    FaultPlan plan;
+    // collective_seq in {0, 1, 2}: the driver's three collectives, so every
+    // scheduled death actually fires.
+    plan.deaths.push_back(
+        {.rank = static_cast<int>(seed % ranks), .collective_seq = seed % 3});
+    if (seed % 3 == 0 && (seed % ranks) != 2)
+      plan.deaths.push_back({.rank = 2, .collective_seq = (seed + 1) % 3});
+    const DriverResult faulty = run(ranks, plan);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ASSERT_EQ(faulty.energy, clean.energy);
+    for (std::size_t i = 0; i < clean.born_sorted.size(); ++i)
+      ASSERT_EQ(faulty.born_sorted[i], clean.born_sorted[i]) << "born slot " << i;
+    EXPECT_TRUE(faulty.degraded);
+  }
+}
+
+// P2p soak at the Comm layer: random drop/delay schedules over a ring
+// exchange must never corrupt or lose a payload, and replay must reproduce
+// the retry count exactly.
+TEST(SoakCommTest, RingExchangeSurvivesRandomDropAndDelaySchedules) {
+  constexpr int kRanks = 4;
+  constexpr int kMessages = 6;
+  FaultPlan::RandomProfile profile;
+  profile.max_deaths = 0;  // ring has no recovery protocol; p2p faults only
+  profile.max_delays = 8;
+  profile.max_drops = 8;
+  profile.send_seq_horizon = kMessages;
+
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, kRanks, profile);
+    const auto run_ring = [&]() {
+      std::vector<int> bad(kRanks, 0);
+      mpisim::Runtime::Config cfg;
+      cfg.ranks = kRanks;
+      cfg.faults = plan;
+      const mpisim::RunReport report = mpisim::Runtime::run(cfg, [&](mpisim::Comm& comm) {
+        const int me = comm.rank();
+        const int next = (me + 1) % kRanks;
+        const int prev = (me + kRanks - 1) % kRanks;
+        for (int m = 0; m < kMessages; ++m) {
+          std::vector<double> out(16);
+          for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = me * 1000.0 + m * 16.0 + static_cast<double>(i);
+          comm.send<double>(out, next, m);
+          std::vector<double> in(16, -1.0);
+          comm.recv<double>(in, prev, m);
+          for (std::size_t i = 0; i < in.size(); ++i)
+            if (in[i] != prev * 1000.0 + m * 16.0 + static_cast<double>(i)) ++bad[me];
+        }
+      });
+      int total_bad = 0;
+      for (const int b : bad) total_bad += b;
+      return std::pair<int, std::uint64_t>(total_bad, report.retries);
+    };
+    const auto [bad_a, retries_a] = run_ring();
+    const auto [bad_b, retries_b] = run_ring();
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    EXPECT_EQ(bad_a, 0);
+    EXPECT_EQ(bad_b, 0);
+    EXPECT_EQ(retries_a, retries_b);  // deterministic replay
+  }
+}
+
+}  // namespace
+}  // namespace gbpol
