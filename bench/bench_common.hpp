@@ -6,13 +6,20 @@
 //   GBPOL_BENCH_SCALE  multiplies virus-shell sizes        (default 1.0)
 //   GBPOL_REPS         repetition count                    (bench-specific)
 //   GBPOL_FULL=1       run the full 84-molecule suite      (default subset)
+//   GBPOL_CAMPAIGN_DIR directory for per-bench campaign journals; set it to
+//                      make a killed sweep resumable (completed sweep points
+//                      are skipped and rebuilt from their stored payloads)
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "core/naive.hpp"
 #include "core/prepared.hpp"
+#include "harness/campaign.hpp"
 #include "harness/experiment.hpp"
 #include "harness/packages.hpp"
 #include "harness/report.hpp"
@@ -41,6 +48,20 @@ inline PreparedMolecule prepare(Molecule mol, std::uint32_t leaf_capacity = 32) 
   pm.quad = surface::molecular_surface_quadrature(pm.mol, bench_quadrature_params());
   pm.prep = Prepared::build(pm.mol, pm.quad, leaf_capacity);
   return pm;
+}
+
+// Campaign config for a bench: journaled (resumable) iff GBPOL_CAMPAIGN_DIR
+// is set, in-memory otherwise. The journal lives at
+// $GBPOL_CAMPAIGN_DIR/<bench_name>.journal (directory created on demand).
+inline harness::CampaignConfig campaign_config(const std::string& bench_name) {
+  harness::CampaignConfig cfg;
+  const char* dir = std::getenv("GBPOL_CAMPAIGN_DIR");
+  if (dir != nullptr && *dir != '\0') {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best effort
+    cfg.journal_path = std::string(dir) + "/" + bench_name + ".journal";
+  }
+  return cfg;
 }
 
 // ZDock-like suite subset: every `stride`-th molecule unless GBPOL_FULL=1.

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Local CI gate: build every sanitizer preset and run the fast test labels
+# (unit, property, checkpoint) under each. The long randomized soak
+# campaigns are opt-in.
+#
+#   scripts/check.sh            release + asan + tsan presets
+#   scripts/check.sh --fast     release preset only
+#   scripts/check.sh --soak     also build the soak preset and run `-L soak`
+#
+# Presets come from CMakePresets.json; each uses its own binary dir
+# (build, build-asan, build-tsan, build-soak), so the gate never perturbs an
+# existing working tree build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESETS=(release asan tsan)
+RUN_SOAK=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) PRESETS=(release) ;;
+    --soak) RUN_SOAK=1 ;;
+    *)
+      echo "usage: scripts/check.sh [--fast] [--soak]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+for preset in "${PRESETS[@]}"; do
+  echo "=== ${preset}: configure + build ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  echo "=== ${preset}: ctest (unit|property|checkpoint) ==="
+  ctest --preset "${preset}" -L 'unit|property|checkpoint' -j "${JOBS}"
+done
+
+if [[ ${RUN_SOAK} -eq 1 ]]; then
+  echo "=== soak: configure + build ==="
+  cmake --preset soak
+  cmake --build --preset soak -j "${JOBS}"
+  echo "=== soak: ctest (-L soak) ==="
+  ctest --preset soak
+fi
+
+echo "check.sh: all requested presets passed"

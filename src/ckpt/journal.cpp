@@ -1,0 +1,133 @@
+#include "ckpt/journal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "ckpt/snapshot.hpp"  // crc32
+
+namespace gbpol::ckpt {
+namespace {
+
+// Percent-encode so ids/details with spaces, newlines or '%' survive the
+// space-separated line format. Printable ASCII minus ' ' and '%' passes
+// through untouched, keeping journals human-readable.
+std::string encode_field(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const unsigned char c : s) {
+    if (c > 0x20 && c < 0x7F && c != '%') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out.append(buf);
+    }
+  }
+  if (out.empty()) out = "%00";  // empty fields would break tokenization
+  return out;
+}
+
+std::string decode_field(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        const char c = static_cast<char>(hi * 16 + lo);
+        if (c != '\0') out.push_back(c);
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+JobState parse_state(const std::string& s, bool& ok) {
+  ok = true;
+  if (s == "queued") return JobState::kQueued;
+  if (s == "running") return JobState::kRunning;
+  if (s == "done") return JobState::kDone;
+  if (s == "failed") return JobState::kFailed;
+  if (s == "quarantined") return JobState::kQuarantined;
+  ok = false;
+  return JobState::kQueued;
+}
+
+}  // namespace
+
+std::string Journal::encode(const JournalRecord& record) {
+  std::ostringstream body;
+  body << "GBJ1 " << record.seq << ' ' << to_string(record.state) << ' '
+       << record.attempt << ' ' << gbpol::to_string(record.error) << ' '
+       << encode_field(record.job) << ' ' << encode_field(record.detail);
+  const std::string s = body.str();
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), " crc=%08x", crc32(s.data(), s.size()));
+  return s + crc;
+}
+
+bool Journal::decode(const std::string& line, JournalRecord& record) {
+  const std::size_t crc_at = line.rfind(" crc=");
+  if (crc_at == std::string::npos || line.size() != crc_at + 13) return false;
+  unsigned stored = 0;
+  if (std::sscanf(line.c_str() + crc_at, " crc=%08x", &stored) != 1) return false;
+  if (crc32(line.data(), crc_at) != stored) return false;
+
+  std::istringstream tokens(line.substr(0, crc_at));
+  std::string magic, state, error, job, detail;
+  if (!(tokens >> magic >> record.seq >> state >> record.attempt >> error >> job >>
+        detail))
+    return false;
+  if (magic != "GBJ1") return false;
+  bool ok = false;
+  record.state = parse_state(state, ok);
+  if (!ok) return false;
+  record.error = parse_error_class(error);
+  record.job = decode_field(job);
+  record.detail = decode_field(detail);
+  return true;
+}
+
+std::vector<JournalRecord> Journal::replay_file(const std::string& path) {
+  std::vector<JournalRecord> records;
+  std::ifstream is(path);
+  if (!is) return records;
+  std::string line;
+  while (std::getline(is, line)) {
+    // A torn tail shows up as a final line without the trailing newline;
+    // getline still returns it, but its CRC (or format) check fails below.
+    JournalRecord record;
+    if (decode(line, record)) records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Journal::Journal(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  records_ = replay_file(path_);
+  for (const JournalRecord& r : records_) next_seq_ = std::max(next_seq_, r.seq + 1);
+  out_.open(path_, std::ios::app);
+  healthy_ = static_cast<bool>(out_);
+}
+
+void Journal::append(JournalRecord record) {
+  record.seq = next_seq_++;
+  if (out_.is_open()) {
+    out_ << encode(record) << '\n';
+    out_.flush();
+    if (!out_) healthy_ = false;
+  }
+  records_.push_back(std::move(record));
+}
+
+}  // namespace gbpol::ckpt

@@ -1,0 +1,78 @@
+// Append-only campaign journal: one CRC-guarded text line per job state
+// transition (queued -> running -> done / failed(reason) / quarantined).
+//
+// The journal is the durable half of the resumable campaign layer
+// (harness/campaign.hpp): a killed sweep replays the journal on restart,
+// folds the records into per-job state, and re-runs only jobs that never
+// reached `done`. Replay is idempotent — folding the same records twice
+// yields the same state — and torn tails are harmless: a record is only
+// honoured if its line is complete (newline-terminated) and its CRC32
+// matches, so a crash mid-append loses at most the record being written.
+//
+// Line format (space-separated, detail percent-encoded):
+//   GBJ1 <seq> <state> <attempt> <error_class> <job_id> <detail> crc=<hex8>
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/error_class.hpp"
+
+namespace gbpol::ckpt {
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kQuarantined };
+
+constexpr std::string_view to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kQuarantined: return "quarantined";
+  }
+  return "queued";
+}
+
+struct JournalRecord {
+  std::uint64_t seq = 0;  // assigned by append(); replay order tiebreaker
+  JobState state = JobState::kQueued;
+  int attempt = 0;        // 1-based attempt number for running/failed records
+  ErrorClass error = ErrorClass::kNone;
+  std::string job;        // job id (percent-encoded on disk)
+  std::string detail;     // done: result payload; failed: reason message
+};
+
+class Journal {
+ public:
+  // Opens (creating if absent) and replays `path`. An empty path keeps the
+  // journal purely in memory — useful for one-shot campaigns and tests.
+  explicit Journal(std::string path = {});
+
+  // Appends, assigns the record's seq, and flushes so a subsequent kill
+  // cannot lose it. Append failures are remembered (`healthy()` turns
+  // false) but never throw: journaling must not take the campaign down.
+  void append(JournalRecord record);
+
+  const std::vector<JournalRecord>& records() const { return records_; }
+  const std::string& path() const { return path_; }
+  bool healthy() const { return healthy_; }
+
+  // Parses a journal file, silently skipping corrupt or truncated lines.
+  static std::vector<JournalRecord> replay_file(const std::string& path);
+
+  // One-line encode/decode (exposed for tests). decode returns false on a
+  // malformed or CRC-failing line.
+  static std::string encode(const JournalRecord& record);
+  static bool decode(const std::string& line, JournalRecord& record);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::vector<JournalRecord> records_;
+  std::uint64_t next_seq_ = 0;
+  bool healthy_ = true;
+};
+
+}  // namespace gbpol::ckpt

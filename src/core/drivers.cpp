@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <deque>
+#include <exception>
 #include <map>
 #include <memory>
+#include <span>
 
 #include "mpisim/runtime.hpp"
 #include "support/timer.hpp"
@@ -250,12 +253,6 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
   const std::uint32_t epol_chunk =
       std::max<std::uint32_t>(1, n_aleaves / static_cast<std::uint32_t>(8 * P));
 
-  mpisim::Runtime::Config rt;
-  rt.ranks = P;
-  rt.threads_per_rank = p;
-  rt.cluster = config.cluster;
-  rt.faults = config.faults;
-
   // Degraded-mode recovery needs the bit-deterministic configurations: one
   // thread per rank (no work-stealing merge order) and a node division
   // (whole leaves, so a dead rank's range re-partitions exactly). For those,
@@ -266,16 +263,120 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
   const bool use_ft = p == 1 && (config.division == WorkDivision::kNodeNode ||
                                  config.division == WorkDivision::kNodeBalanced);
 
+  const auto q_segment = [&](int rr) {
+    return config.division == WorkDivision::kNodeBalanced
+               ? balanced_q[static_cast<std::size_t>(rr)]
+               : even_segment(n_qleaves, P, rr);
+  };
+  const auto l_segment = [&](int rr) {
+    return config.division == WorkDivision::kNodeBalanced
+               ? balanced_a[static_cast<std::size_t>(rr)]
+               : even_segment(n_aleaves, P, rr);
+  };
+
+  // ---- Checkpoint/restart (ckpt/snapshot.hpp). Only the bit-deterministic
+  // configurations checkpoint: their chunked re-execution is bit-identical
+  // to the uninterrupted run, so a resumed job lands on the same answer to
+  // the last ulp. The kill plan rides the same chunk loops (its polls are
+  // the chunk boundaries), so it is honoured under the same conditions.
+  const ckpt::CheckpointPolicy& policy = config.checkpoint;
+  const bool use_ckpt = use_ft && (policy.enabled() || config.kill.armed);
+  const std::uint32_t chunk = std::max<std::uint32_t>(1, policy.chunk_leaves);
+  const std::uint64_t job_key = ckpt::fnv1a64(
+      {n_atoms, n_qleaves, n_aleaves, static_cast<std::uint64_t>(P),
+       static_cast<std::uint64_t>(config.division),
+       static_cast<std::uint64_t>(params.traversal)});
+  const ckpt::SnapshotStore store(policy.enabled() ? policy.dir : std::string("."),
+                                  P, job_key);
+
+  // Restore decision, made once up front so every rank agrees on the cut.
+  // The set must pass shape validation in full — section lengths and cursors
+  // consistent with THIS job — or it is ignored wholesale: a corrupt or
+  // mismatched store can cost a cold start, never a wrong answer.
+  std::vector<ckpt::Snapshot> restored;
+  bool resume = false;
+  if (use_ft && policy.enabled() && policy.resume) {
+    if (auto set = store.load_latest()) {
+      const std::size_t acc_len = born_solver.make_accumulator().flat().size();
+      bool valid = true;
+      for (int rr = 0; rr < P && valid; ++rr) {
+        const ckpt::Snapshot& s = (*set)[static_cast<std::size_t>(rr)];
+        switch (s.phase) {
+          case ckpt::Phase::kBornAccum:
+            valid = s.sections.size() == 1 && s.sections[0].size() == acc_len &&
+                    s.cursor <= static_cast<std::uint64_t>(q_segment(rr).count());
+            break;
+          case ckpt::Phase::kPush:
+            valid = s.sections.size() == 1 && s.sections[0].size() == acc_len &&
+                    s.cursor == 0;
+            break;
+          case ckpt::Phase::kEpol:
+            valid = s.sections.size() == 2 && s.sections[0].size() == n_atoms &&
+                    s.sections[1].size() == 2 &&
+                    s.cursor <= static_cast<std::uint64_t>(l_segment(rr).count());
+            break;
+        }
+      }
+      if (valid) {
+        restored = std::move(*set);
+        resume = true;
+      }
+    }
+  }
+  const ckpt::Phase resume_phase = resume ? restored[0].phase : ckpt::Phase::kBornAccum;
+
+  mpisim::Runtime::Config rt;
+  rt.ranks = P;
+  rt.threads_per_rank = p;
+  rt.cluster = config.cluster;
+  rt.faults = config.faults;
+  if (use_ckpt) rt.kill = config.kill;
+  rt.stall_timeout_seconds = config.stall_timeout_seconds;
+
   const auto report = mpisim::Runtime::run(rt, [&](mpisim::Comm& comm) {
     const int r = comm.rank();
     // Hybrid ranks own a worker pool; pure-MPI ranks compute inline.
     std::unique_ptr<ws::Scheduler> sched;
     if (p > 1) sched = std::make_unique<ws::Scheduler>(p);
 
+    // Resume bookkeeping: phases before resume_phase are skipped — their
+    // results (including the separating collectives') are in the snapshot.
+    const bool skip_to_push = resume && resume_phase >= ckpt::Phase::kPush;
+    const bool skip_to_epol = resume && resume_phase == ckpt::Phase::kEpol;
+    std::uint32_t phase_boundaries = 0;
+    const auto save_snapshot = [&](ckpt::Phase phase, std::uint64_t cursor,
+                                   std::vector<std::vector<double>> sections) {
+      ckpt::Snapshot snap;
+      snap.rank = static_cast<std::uint32_t>(r);
+      snap.ranks = static_cast<std::uint32_t>(P);
+      snap.phase = phase;
+      snap.cursor = cursor;
+      snap.job_key = job_key;
+      snap.sections = std::move(sections);
+      store.save(snap);
+    };
+    // Collective-boundary snapshot cadence (policy.every_n_collectives).
+    const auto boundary_due = [&] {
+      const bool due = policy.every_n_collectives > 0 &&
+                       phase_boundaries % policy.every_n_collectives == 0;
+      ++phase_boundaries;
+      return due;
+    };
+    // Chain receive for the recovery relays: a predecessor can only vanish
+    // mid-chain when a process kill made it abandon — then this rank
+    // abandons too. Any other mid-chain loss is a protocol breach (scheduled
+    // deaths happen at collective entries, never inside a chain).
+    const auto chain_recv = [&](std::span<double> buf, int src, int tag) {
+      const mpisim::RecvStatus rs = comm.recv_ft(buf, src, tag);
+      if (rs.ok()) return;
+      if (comm.kill_requested()) comm.abandon();
+      std::fprintf(stderr, "driver: rank %d: lost chain peer %d (tag %d)\n", r,
+                   src, tag);
+      std::terminate();
+    };
+
     // ---- Step 2: approximated integrals for this rank's Q-leaf segment.
-    const Segment q_seg = config.division == WorkDivision::kNodeBalanced
-                              ? balanced_q[static_cast<std::size_t>(r)]
-                              : even_segment(n_qleaves, P, r);
+    const Segment q_seg = q_segment(r);
     BornAccumulator acc = born_solver.make_accumulator();
     if (config.division == WorkDivision::kDynamic) {
       // Self-scheduled chunks from the shared counter (rank-serial).
@@ -285,6 +386,50 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
         comm.charge_rpc(0, 2 * sizeof(std::uint32_t));
         if (lo >= n_qleaves) break;
         born_solver.accumulate_qleaf_range(lo, std::min(lo + born_chunk, n_qleaves), acc);
+      }
+    } else if (p == 1 && use_ckpt) {
+      // Chunked evaluation with kill polls and periodic snapshots. Chunk
+      // concatenation is bit-identical to the one-shot full-range pass:
+      // build_lists emits entries per source leaf in ascending order, so the
+      // per-slot deposit order is unchanged (same argument as the recovery
+      // relay chains below).
+      std::uint32_t done = 0;  // leaves completed within this rank's segment
+      if (resume && !skip_to_push) {
+        const ckpt::Snapshot& snap = restored[static_cast<std::size_t>(r)];
+        std::copy(snap.sections[0].begin(), snap.sections[0].end(),
+                  acc.flat().begin());
+        done = static_cast<std::uint32_t>(snap.cursor);
+      }
+      // Phase-entry snapshot: keeps the kBornAccum restore set complete for
+      // every rank from the first poll on, whatever the kill timing.
+      if (!skip_to_push && policy.enabled())
+        save_snapshot(ckpt::Phase::kBornAccum, done,
+                      {std::vector<double>(acc.flat().begin(), acc.flat().end())});
+      std::uint32_t since_save = 0;
+      while (!skip_to_push && done < q_seg.count()) {
+        const std::uint32_t lo = q_seg.lo + done;
+        const std::uint32_t hi = std::min(lo + chunk, q_seg.hi);
+        {
+          mpisim::Comm::ComputeRegion region(comm);
+          if (params.traversal == TraversalMode::kList) {
+            const InteractionLists lists = born_solver.build_lists(lo, hi);
+            born_solver.accumulate_lists(lists, acc);
+          } else {
+            born_solver.accumulate_qleaf_range(lo, hi, acc);
+          }
+        }
+        done = hi - q_seg.lo;
+        // Commit the due snapshot BEFORE the kill poll: progress is durable
+        // at every poll point, and a kill only ever loses work since the
+        // last commit — the SIGKILL model never snapshots at the kill point
+        // itself.
+        if (policy.enabled() && policy.every_k_chunks > 0 &&
+            ++since_save >= policy.every_k_chunks) {
+          since_save = 0;
+          save_snapshot(ckpt::Phase::kBornAccum, done,
+                        {std::vector<double>(acc.flat().begin(), acc.flat().end())});
+        }
+        if (comm.poll_kill()) comm.abandon();
       }
     } else if (p == 1) {
       mpisim::Comm::ComputeRegion region(comm);
@@ -344,7 +489,15 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
     // far/near deposits of consecutive sub-ranges touch accumulator slots in
     // the same per-slot order as one full-range pass). The last survivor
     // keeps the result and publishes it as the dead rank's proxy on retry.
-    if (use_ft) {
+    if (use_ft && skip_to_push) {
+      // The allreduce's result is part of the snapshot: kPush captured the
+      // post-collective accumulator; kEpol no longer needs it at all.
+      if (!skip_to_epol) {
+        const ckpt::Snapshot& snap = restored[static_cast<std::size_t>(r)];
+        std::copy(snap.sections[0].begin(), snap.sections[0].end(),
+                  acc.flat().begin());
+      }
+    } else if (use_ft) {
       std::map<int, BornAccumulator> proxy_accs;  // dead rank -> its partial
       for (;;) {
         std::vector<mpisim::ProxyPub> pubs;
@@ -352,15 +505,14 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
         for (auto& [d, pacc] : proxy_accs) pubs.push_back({d, pacc.flat().data()});
         const mpisim::CollectiveStatus st = comm.allreduce_sum_ft(acc.flat(), pubs);
         if (st.ok()) break;
+        if (comm.kill_requested()) comm.abandon();
         const std::vector<int> live = live_ranks(P, st.dead);
         const int parts = static_cast<int>(live.size());
         const int my = index_of(live, r);
         for (const int d : st.missing) {
-          const Segment d_seg = config.division == WorkDivision::kNodeBalanced
-                                    ? balanced_q[static_cast<std::size_t>(d)]
-                                    : even_segment(n_qleaves, P, d);
+          const Segment d_seg = q_segment(d);
           BornAccumulator chain = born_solver.make_accumulator();
-          if (my > 0) comm.recv<double>(chain.flat(), live[static_cast<std::size_t>(my - 1)], kTagBornChain + d);
+          if (my > 0) chain_recv(chain.flat(), live[static_cast<std::size_t>(my - 1)], kTagBornChain + d);
           const Segment sub = sub_segment(d_seg, parts, my);
           if (sub.count() > 0) {
             mpisim::Comm::ComputeRegion region(comm);
@@ -383,10 +535,18 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
       comm.allreduce_sum(acc.flat());
     }
 
+    // Phase boundary: entering kPush with the post-allreduce accumulator.
+    if (use_ckpt && !skip_to_epol && policy.enabled() && boundary_due())
+      save_snapshot(ckpt::Phase::kPush, 0,
+                    {std::vector<double>(acc.flat().begin(), acc.flat().end())});
+
     // ---- Step 4: Born radii for this rank's atom segment.
     const Segment a_seg = even_segment(n_atoms, P, r);
     std::vector<double> born(prep.num_atoms(), 0.0);
-    if (p == 1) {
+    if (skip_to_epol) {
+      // Born radii come out of the kEpol snapshot below; the push and the
+      // gather both happened before the cut.
+    } else if (p == 1) {
       mpisim::Comm::ComputeRegion region(comm);
       born_solver.push_to_atoms(acc, a_seg.lo, a_seg.hi, born);
     } else {
@@ -411,7 +571,10 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
     // atom, so survivors each recompute a sub-range of the dead rank's atom
     // segment directly (no chaining needed for bit-equality) and ship it to
     // the proxy, which assembles the full slice and republishes it.
-    if (use_ft) {
+    if (skip_to_epol) {
+      const ckpt::Snapshot& snap = restored[static_cast<std::size_t>(r)];
+      std::copy(snap.sections[0].begin(), snap.sections[0].end(), born.begin());
+    } else if (use_ft) {
       std::map<int, std::vector<double>> proxy_born;  // dead rank -> slice
       for (;;) {
         std::vector<mpisim::ProxyPub> pubs;
@@ -420,6 +583,7 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
         const mpisim::CollectiveStatus st = comm.allgatherv_ft<double>(
             {born.data() + a_seg.lo, a_seg.count()}, born, counts, displs, pubs);
         if (st.ok()) break;
+        if (comm.kill_requested()) comm.abandon();
         const std::vector<int> live = live_ranks(P, st.dead);
         const int parts = static_cast<int>(live.size());
         const int my = index_of(live, r);
@@ -442,8 +606,8 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
             for (int j = 0; j + 1 < parts; ++j) {
               const Segment sj = sub_segment(d_aseg, parts, j);
               if (sj.count() == 0) continue;
-              comm.recv<double>({slice.data() + (sj.lo - d_aseg.lo), sj.count()},
-                                live[static_cast<std::size_t>(j)], kTagBornSlice + d);
+              chain_recv({slice.data() + (sj.lo - d_aseg.lo), sj.count()},
+                         live[static_cast<std::size_t>(j)], kTagBornSlice + d);
             }
           } else if (sub.count() > 0) {
             comm.send<double>({born.data() + sub.lo, sub.count()}, proxy,
@@ -464,7 +628,55 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
         mpisim::Comm::ComputeRegion region(comm);
         epol_solver = std::make_unique<EpolSolver>(prep, born, params, constants);
       }
-      if (config.division == WorkDivision::kDynamic) {
+      if (use_ckpt) {
+        // Chunked energy with kill polls and periodic snapshots, mirroring
+        // the Born loop. Raw far/near sums continue across chunks and are
+        // scaled ONCE at the end — the same one-finish convention as the
+        // fault-free single pass and the recovery relays, keeping the
+        // chunked fold bit-identical.
+        const Segment l_seg = l_segment(r);
+        double raws[2] = {0.0, 0.0};
+        std::uint32_t done = 0;
+        if (skip_to_epol) {
+          const ckpt::Snapshot& snap = restored[static_cast<std::size_t>(r)];
+          raws[0] = snap.sections[1][0];
+          raws[1] = snap.sections[1][1];
+          done = static_cast<std::uint32_t>(snap.cursor);
+        }
+        // Phase boundary: entering kEpol with the gathered Born radii.
+        if (policy.enabled() && boundary_due())
+          save_snapshot(ckpt::Phase::kEpol, done,
+                        {born, std::vector<double>{raws[0], raws[1]}});
+        std::uint32_t since_save = 0;
+        while (done < l_seg.count()) {
+          const std::uint32_t lo = l_seg.lo + done;
+          const std::uint32_t hi = std::min(lo + chunk, l_seg.hi);
+          {
+            mpisim::Comm::ComputeRegion region(comm);
+            if (params.traversal == TraversalMode::kList) {
+              const InteractionLists lists = epol_solver->build_lists(lo, hi);
+              epol_solver->accumulate_energy_far_range(lists, 0, lists.far.size(),
+                                                       raws[0]);
+              epol_solver->accumulate_energy_near_range(lists, 0, lists.near.size(),
+                                                        raws[1]);
+            } else {
+              epol_solver->accumulate_energy_leaf_range(lo, hi, raws[0]);
+            }
+          }
+          done = hi - l_seg.lo;
+          if (policy.enabled() && policy.every_k_chunks > 0 &&
+              ++since_save >= policy.every_k_chunks) {
+            since_save = 0;
+            save_snapshot(ckpt::Phase::kEpol, done,
+                          {born, std::vector<double>{raws[0], raws[1]}});
+          }
+          if (comm.poll_kill()) comm.abandon();
+        }
+        partial[0] = params.traversal == TraversalMode::kList
+                         ? epol_solver->finish_energy(raws[0]) +
+                               epol_solver->finish_energy(raws[1])
+                         : epol_solver->finish_energy(raws[0]);
+      } else if (config.division == WorkDivision::kDynamic) {
         mpisim::Comm::ComputeRegion region(comm);
         for (;;) {
           const std::uint32_t lo = epol_cursor.fetch_add(epol_chunk);
@@ -539,18 +751,17 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
           for (auto& [d, val] : proxy_partial) pubs.push_back({d, &val});
           const mpisim::CollectiveStatus st = comm.reduce_sum_ft(partial, live_root, pubs);
           if (st.ok()) break;
+          if (comm.kill_requested()) comm.abandon();
           const std::vector<int> live = live_ranks(P, st.dead);
           live_root = live.front();
           const int parts = static_cast<int>(live.size());
           const int my = index_of(live, r);
           for (const int d : st.missing) {
-            const Segment d_lseg = config.division == WorkDivision::kNodeBalanced
-                                       ? balanced_a[static_cast<std::size_t>(d)]
-                                       : even_segment(n_aleaves, P, d);
+            const Segment d_lseg = l_segment(d);
             const Segment sub = sub_segment(d_lseg, parts, my);
             double raws[2] = {0.0, 0.0};
             if (my > 0)
-              comm.recv<double>({raws, 2}, live[static_cast<std::size_t>(my - 1)], kTagEpolChain + d);
+              chain_recv({raws, 2}, live[static_cast<std::size_t>(my - 1)], kTagEpolChain + d);
             if (sub.count() > 0) {
               mpisim::Comm::ComputeRegion region(comm);
               if (params.traversal == TraversalMode::kList) {
@@ -597,6 +808,10 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
   result.retries = report.retries;
   result.redistributed_work_items = report.redistributed_work_items;
   result.degraded = report.degraded;
+  result.killed = report.killed;
+  result.resumed = resume;
+  result.stalls_converted = report.stalls_converted;
+  result.error_class = report.error_class;
   // Replicated-data accounting: every rank holds a full copy of the trees,
   // payloads, accumulator and Born array (paper §V-B memory comparison).
   result.replicated_bytes = static_cast<std::size_t>(P) *

@@ -15,12 +15,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "core/born_octree.hpp"
 #include "core/epol_octree.hpp"
 #include "core/prepared.hpp"
 #include "core/workdiv.hpp"
 #include "mpisim/cluster.hpp"
 #include "mpisim/faults.hpp"
+#include "support/error_class.hpp"
 
 namespace gbpol {
 
@@ -43,6 +45,15 @@ struct DriverResult {
   std::uint64_t redistributed_work_items = 0;
   bool degraded = false;
 
+  // Checkpoint/restart + supervision accounting. A killed run carries no
+  // answer: energy/born are meaningless and the caller should restart with
+  // checkpoint.resume = true. `resumed` reports that this run started from
+  // a valid snapshot set rather than cold.
+  bool killed = false;
+  bool resumed = false;
+  int stalls_converted = 0;
+  ErrorClass error_class = ErrorClass::kNone;
+
   int ranks = 1;
   int threads_per_rank = 1;
 
@@ -63,6 +74,19 @@ struct RunConfig {
   // rank's partial results exactly. Other configurations fail fast on death
   // (the runtime terminates, as a real MPI job would).
   mpisim::FaultPlan faults;
+  // Deterministic whole-process kill for checkpoint/restart testing
+  // (mpisim/faults.hpp). Only honoured by the bit-deterministic
+  // configurations above — the same ones that can checkpoint.
+  mpisim::KillPlan kill;
+  // Supervisor watchdog: heartbeat-stagnation bound after which a stalled
+  // rank is converted into a death (mpisim/runtime.hpp). <= 0 disables.
+  double stall_timeout_seconds = 0.0;
+  // Checkpoint policy (ckpt/snapshot.hpp): enabled when checkpoint.dir is
+  // non-empty. Snapshots are keyed to logical schedule points (phase +
+  // leaf-range cursor), so a resumed run reproduces the uninterrupted
+  // answer to the last bit. Ignored outside the bit-deterministic
+  // configurations.
+  ckpt::CheckpointPolicy checkpoint;
 };
 
 // Single-threaded single-tree pipeline (APPROX-INTEGRALS over every Q leaf,

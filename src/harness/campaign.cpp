@@ -1,0 +1,157 @@
+#include "harness/campaign.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <ios>
+#include <new>
+#include <stdexcept>
+#include <thread>
+
+#include "molecule/io.hpp"
+
+namespace gbpol::harness {
+
+namespace {
+
+bool contains_ci(const std::string& haystack, std::string_view needle) {
+  const auto it = std::search(
+      haystack.begin(), haystack.end(), needle.begin(), needle.end(),
+      [](char a, char b) {
+        return std::tolower(static_cast<unsigned char>(a)) ==
+               std::tolower(static_cast<unsigned char>(b));
+      });
+  return it != haystack.end();
+}
+
+}  // namespace
+
+Campaign::Campaign(CampaignConfig config)
+    : config_(std::move(config)), journal_(config_.journal_path) {
+  config_.max_attempts = std::max(1, config_.max_attempts);
+  // Fold the replayed journal into per-job state. Records are already in
+  // seq order; the last record per job wins, and the attempt counter keeps
+  // counting across restarts so a job cannot dodge quarantine by crashing
+  // the campaign between its retries.
+  for (const ckpt::JournalRecord& rec : journal_.records()) {
+    JobStatus& st = jobs_[rec.job];
+    st.state = rec.state;
+    st.attempts = std::max(st.attempts, rec.attempt);
+    st.error = rec.error;
+    st.payload = rec.detail;
+    st.from_journal = true;
+  }
+}
+
+const JobStatus* Campaign::find(const std::string& job) const {
+  const auto it = jobs_.find(job);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+int Campaign::completed() const {
+  int n = 0;
+  for (const auto& [job, st] : jobs_)
+    if (st.state == ckpt::JobState::kDone) ++n;
+  return n;
+}
+
+int Campaign::skipped() const {
+  int n = 0;
+  for (const auto& [job, st] : jobs_)
+    if (st.from_journal && (st.state == ckpt::JobState::kDone ||
+                            st.state == ckpt::JobState::kQuarantined))
+      ++n;
+  return n;
+}
+
+int Campaign::quarantined() const {
+  int n = 0;
+  for (const auto& [job, st] : jobs_)
+    if (st.state == ckpt::JobState::kQuarantined) ++n;
+  return n;
+}
+
+ErrorClass Campaign::classify(const std::exception& e) {
+  if (dynamic_cast<const IoError*>(&e) != nullptr) return ErrorClass::kIo;
+  if (dynamic_cast<const std::ios_base::failure*>(&e) != nullptr)
+    return ErrorClass::kIo;
+  if (dynamic_cast<const std::filesystem::filesystem_error*>(&e) != nullptr)
+    return ErrorClass::kIo;
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr)
+    return ErrorClass::kOom;
+  if (dynamic_cast<const std::length_error*>(&e) != nullptr)
+    return ErrorClass::kOom;
+  const std::string msg = e.what();
+  if (contains_ci(msg, "timeout") || contains_ci(msg, "timed out") ||
+      contains_ci(msg, "stall"))
+    return ErrorClass::kTimeout;
+  if (contains_ci(msg, "nan") || contains_ci(msg, "inf") ||
+      contains_ci(msg, "finite") || contains_ci(msg, "numerical"))
+    return ErrorClass::kNumerical;
+  return ErrorClass::kFault;
+}
+
+const JobStatus& Campaign::run(const std::string& job,
+                               const std::function<std::string()>& fn) {
+  const auto [it, inserted] = jobs_.try_emplace(job);
+  JobStatus& st = it->second;
+  if (st.state == ckpt::JobState::kDone ||
+      st.state == ckpt::JobState::kQuarantined)
+    return st;  // settled — skip
+
+  if (inserted) {
+    ckpt::JournalRecord queued;
+    queued.state = ckpt::JobState::kQueued;
+    queued.job = job;
+    journal_.append(queued);
+  }
+  st.from_journal = false;
+
+  while (true) {
+    ++st.attempts;
+    if (st.attempts > 1 && config_.backoff_base_seconds > 0.0) {
+      const double backoff = std::min(
+          config_.backoff_cap_seconds,
+          config_.backoff_base_seconds *
+              static_cast<double>(1u << std::min(st.attempts - 2, 20)));
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+    ckpt::JournalRecord running;
+    running.state = ckpt::JobState::kRunning;
+    running.attempt = st.attempts;
+    running.job = job;
+    journal_.append(running);
+    try {
+      st.payload = fn();
+      st.state = ckpt::JobState::kDone;
+      st.error = ErrorClass::kNone;
+      ckpt::JournalRecord done;
+      done.state = ckpt::JobState::kDone;
+      done.attempt = st.attempts;
+      done.job = job;
+      done.detail = st.payload;
+      journal_.append(done);
+      return st;
+    } catch (const std::exception& e) {
+      st.error = classify(e);
+      st.payload = e.what();
+    } catch (...) {
+      st.error = ErrorClass::kFault;
+      st.payload = "unknown exception";
+    }
+    const bool quarantine = st.attempts >= config_.max_attempts;
+    st.state = quarantine ? ckpt::JobState::kQuarantined
+                          : ckpt::JobState::kFailed;
+    ckpt::JournalRecord failed;
+    failed.state = st.state;
+    failed.attempt = st.attempts;
+    failed.error = st.error;
+    failed.job = job;
+    failed.detail = st.payload;
+    journal_.append(failed);
+    if (quarantine) return st;
+  }
+}
+
+}  // namespace gbpol::harness

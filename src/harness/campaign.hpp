@@ -1,0 +1,77 @@
+// Supervised, resumable experiment campaigns for the fig*/ablation_ sweeps.
+//
+// A Campaign wraps a sequence of named jobs (one per sweep point). Each job
+// transition is recorded in an append-only ckpt::Journal, so a campaign that
+// is killed mid-sweep resumes on restart: jobs whose journal says `done` are
+// skipped and their stored payload is returned without recomputation; jobs
+// that were `running` or `failed` when the process died are re-run. Failures
+// are retried with capped exponential backoff; a job that fails
+// `max_attempts` times is quarantined (deterministic failure — retrying will
+// not help) and never blocks the rest of the sweep. Every failure is folded
+// into the shared ErrorClass taxonomy (support/error_class.hpp) so policy
+// and reporting dispatch on a closed set.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "ckpt/journal.hpp"
+#include "support/error_class.hpp"
+
+namespace gbpol::harness {
+
+struct CampaignConfig {
+  // Journal file path; empty keeps the campaign in memory (no resume).
+  std::string journal_path;
+  // Attempts per job before it is quarantined (>= 1).
+  int max_attempts = 3;
+  // Backoff before retry k (k >= 2): min(cap, base * 2^(k-2)) seconds.
+  // base <= 0 disables sleeping (tests).
+  double backoff_base_seconds = 0.0;
+  double backoff_cap_seconds = 1.0;
+};
+
+struct JobStatus {
+  ckpt::JobState state = ckpt::JobState::kQueued;
+  int attempts = 0;             // attempts so far (across restarts)
+  ErrorClass error = ErrorClass::kNone;
+  std::string payload;          // done: job result; else: last failure reason
+  bool from_journal = false;    // state came from replay, not from this run
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config = {});
+
+  // Runs `fn` for `job` unless the journal already settled it:
+  //   done        -> skipped; the stored payload is returned as-is
+  //   quarantined -> skipped; re-running a deterministic failure is pointless
+  // Otherwise runs (and retries) `fn`, journaling every transition. `fn`
+  // returns the job's payload string and reports failure by throwing.
+  const JobStatus& run(const std::string& job,
+                       const std::function<std::string()>& fn);
+
+  // nullptr if the job was never seen (neither journal nor this run).
+  const JobStatus* find(const std::string& job) const;
+
+  int completed() const;    // jobs in state done (run or replayed)
+  int skipped() const;      // done/quarantined jobs settled purely by replay
+  int quarantined() const;
+  bool journal_healthy() const { return journal_.healthy(); }
+  const ckpt::Journal& journal() const { return journal_; }
+
+  // Folds an exception into the ErrorClass taxonomy: IoError and stream /
+  // filesystem errors -> kIo; bad_alloc/length_error -> kOom; messages
+  // naming a stall or timeout -> kTimeout; messages naming NaN/Inf or
+  // non-finite values -> kNumerical; anything else -> kFault.
+  static ErrorClass classify(const std::exception& e);
+
+ private:
+  CampaignConfig config_;
+  ckpt::Journal journal_;
+  std::map<std::string, JobStatus> jobs_;
+};
+
+}  // namespace gbpol::harness

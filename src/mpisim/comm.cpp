@@ -18,25 +18,74 @@ Comm::Comm(SharedState& shared, int rank)
 
 int Comm::size() const { return shared_->ranks; }
 
+void Comm::die_now(std::uint64_t seq) {
+  // The rank dies without publishing. It still arrives once (so peers
+  // waiting on the current phase proceed) but drops out of the expected
+  // count for every later phase, then unwinds to the Runtime. Sleepers in
+  // recv are woken to re-check peer liveness.
+  SharedState& s = *shared_;
+  s.dead[static_cast<std::size_t>(rank_)].store(true, std::memory_order_release);
+  s.sync.arrive_and_drop();
+  s.wake_all_mailboxes();
+  throw RankKilled{rank_, seq};
+}
+
 std::uint64_t Comm::enter_collective(const void* own_data,
                                      std::span<const ProxyPub> proxies) {
   SharedState& s = *shared_;
   const std::uint64_t seq = collective_seq_++;
-  if (s.faults.dies_at(rank_, seq)) {
-    // The rank dies ON entry: it never publishes for this collective. It
-    // still arrives once (so peers waiting on the current phase proceed) but
-    // drops out of the expected count for every later phase, then unwinds to
-    // the Runtime. Sleepers in recv are woken to re-check peer liveness.
-    s.dead[static_cast<std::size_t>(rank_)].store(true, std::memory_order_release);
-    s.sync.arrive_and_drop();
-    s.wake_all_mailboxes();
-    throw RankKilled{rank_, seq};
+  tick_ = 0;
+  s.heartbeat[static_cast<std::size_t>(rank_)].fetch_add(1, std::memory_order_relaxed);
+  if (s.kill_all.load(std::memory_order_acquire)) die_now(seq);
+  if (s.faults.dies_at(rank_, seq)) die_now(seq);
+  if (s.faults.stalls_at(rank_, seq)) {
+    // Injected stall: freeze here — holding the barrier slot, heartbeat
+    // stagnant — until the supervisor watchdog (or a process kill) breaks
+    // the stall. Conversion reuses the ordinary death path, so survivors
+    // recover exactly as they would from a crash.
+    {
+      std::unique_lock<std::mutex> lock(s.stall_mutex);
+      s.in_stall[static_cast<std::size_t>(rank_)].store(true,
+                                                        std::memory_order_release);
+      s.stall_cv.notify_all();  // let a waiting supervisor see the entry
+      s.stall_cv.wait(lock, [&] {
+        return s.stall_break[static_cast<std::size_t>(rank_)].load(
+                   std::memory_order_acquire) ||
+               s.kill_all.load(std::memory_order_acquire);
+      });
+      s.in_stall[static_cast<std::size_t>(rank_)].store(false,
+                                                        std::memory_order_release);
+    }
+    if (s.stall_break[static_cast<std::size_t>(rank_)].load(std::memory_order_acquire))
+      s.stalls_converted.fetch_add(1, std::memory_order_relaxed);
+    die_now(seq);
   }
   if (own_data != nullptr) s.publish[static_cast<std::size_t>(rank_)] = {own_data, seq};
   for (const ProxyPub& p : proxies)
     s.publish[static_cast<std::size_t>(p.rank)] = {p.data, seq};
   return seq;
 }
+
+bool Comm::poll_kill() {
+  SharedState& s = *shared_;
+  s.heartbeat[static_cast<std::size_t>(rank_)].fetch_add(1, std::memory_order_relaxed);
+  ++tick_;
+  const KillPlan& plan = s.kill;
+  if (plan.armed && plan.rank == rank_ && plan.collective_seq == collective_seq_ &&
+      plan.tick == tick_ && !s.kill_all.load(std::memory_order_acquire)) {
+    s.kill_all.store(true, std::memory_order_release);
+    // Stalled ranks wait on kill_all too; wake them so they exit promptly.
+    std::lock_guard<std::mutex> lock(s.stall_mutex);
+    s.stall_cv.notify_all();
+  }
+  return s.kill_all.load(std::memory_order_acquire);
+}
+
+bool Comm::kill_requested() const {
+  return shared_->kill_all.load(std::memory_order_acquire);
+}
+
+void Comm::abandon() { die_now(collective_seq_); }
 
 // Runs between the collective's first and second barriers, where the dead
 // flags and publish slots are frozen (a rank can only die at the entry of a

@@ -165,6 +165,21 @@ class Comm {
   // whose shared chunk counter models a work server hosted on `peer`.
   void charge_rpc(int peer, std::size_t bytes);
 
+  // --- process kill & progress (checkpoint/restart support) -------------
+  // Called by drivers at checkpoint-chunk boundaries. Bumps this rank's
+  // heartbeat, advances the intra-epoch poll tick, arms the shared kill
+  // flag when the KillPlan's logical coordinate (collectives entered,
+  // tick-th poll) is reached, and returns true once the process kill is in
+  // effect — the caller should stop working and abandon().
+  bool poll_kill();
+  // True once any rank armed the shared kill flag. Recovery loops check
+  // this so a kill during recovery abandons instead of recursing.
+  bool kill_requested() const;
+  // Leaves the run through the death machinery (dead flag, barrier drop,
+  // mailbox wake — so blocked peers get unstuck) and unwinds to the
+  // Runtime. Used when poll_kill()/kill_requested() reports a kill.
+  [[noreturn]] void abandon();
+
   // --- accounting -------------------------------------------------------
   // Compute time is measured (thread CPU time), communication time is
   // modeled; the runtime report combines them into a cluster makespan.
@@ -216,9 +231,12 @@ class Comm {
 
   // Advances the collective clock; if this is the rank's scheduled death
   // point, marks it dead, drops out of the barrier group and throws
-  // RankKilled. Publishes this rank's slot plus any proxies it carries.
+  // RankKilled. A scheduled stall parks here until the supervisor converts
+  // it. Publishes this rank's slot plus any proxies it carries.
   std::uint64_t enter_collective(const void* own_data,
                                  std::span<const ProxyPub> proxies);
+  // Common death path: dead flag, arrive_and_drop, wake sleepers, throw.
+  [[noreturn]] void die_now(std::uint64_t seq);
   CollectiveStatus scan_dead(std::uint64_t seq) const;
   void abort_collective(CollectiveStatus& st);
 
@@ -237,6 +255,7 @@ class Comm {
   std::uint64_t redistributed_work_ = 0;
   std::uint64_t collective_seq_ = 0;      // logical clock: collectives entered
   std::vector<std::uint64_t> send_seq_;   // logical clock: sends per dest rank
+  std::uint64_t tick_ = 0;                // polls since last collective entry
   int retry_streak_ = 0;                  // consecutive aborted collectives
 };
 

@@ -82,7 +82,8 @@ FaultPlan FaultPlan::random(std::uint64_t seed, int ranks,
 FaultSchedule::FaultSchedule(const FaultPlan& plan, int ranks)
     : ranks_(std::max(1, ranks)),
       slowdown_(static_cast<std::size_t>(ranks_), 1.0),
-      death_seq_(static_cast<std::size_t>(ranks_), kNever) {
+      death_seq_(static_cast<std::size_t>(ranks_), kNever),
+      stall_seq_(static_cast<std::size_t>(ranks_), kNever) {
   const auto in_range = [&](int r) { return r >= 0 && r < ranks_; };
 
   for (const FaultPlan::Delay& d : plan.delays) {
@@ -110,6 +111,11 @@ FaultSchedule::FaultSchedule(const FaultPlan& plan, int ranks)
     death_seq_[static_cast<std::size_t>(d.rank)] =
         std::min(death_seq_[static_cast<std::size_t>(d.rank)], d.collective_seq);
     has_deaths_ = true;
+  }
+  for (const FaultPlan::Stall& s : plan.stalls) {
+    if (!in_range(s.rank)) continue;
+    stall_seq_[static_cast<std::size_t>(s.rank)] =
+        std::min(stall_seq_[static_cast<std::size_t>(s.rank)], s.collective_seq);
   }
 }
 
@@ -146,6 +152,11 @@ double FaultSchedule::slowdown(int rank) const {
 bool FaultSchedule::dies_at(int rank, std::uint64_t collective_seq) const {
   if (rank < 0 || rank >= ranks_) return false;
   return death_seq_[static_cast<std::size_t>(rank)] == collective_seq;
+}
+
+bool FaultSchedule::stalls_at(int rank, std::uint64_t collective_seq) const {
+  if (rank < 0 || rank >= ranks_) return false;
+  return stall_seq_[static_cast<std::size_t>(rank)] == collective_seq;
 }
 
 }  // namespace gbpol::mpisim

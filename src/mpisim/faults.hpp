@@ -24,6 +24,18 @@
 //                  later operations observe it as dead. Surviving ranks'
 //                  collectives report the loss through a CommError status
 //                  channel instead of deadlocking (comm.hpp).
+//   * Stall      — a rank freezes (hung NIC, livelocked thread) on entering
+//                  its n-th collective WITHOUT dying: it stops advancing its
+//                  logical clocks but holds its barrier slot. Unsupervised,
+//                  this hangs the job; the supervisor watchdog
+//                  (runtime.hpp) detects the stagnant heartbeat and converts
+//                  the stall into a death so the ordinary recovery path runs.
+//
+// Separately, KillPlan models a whole-PROCESS SIGKILL (driver killed,
+// preemption) at a logical point, for checkpoint/restart testing: once the
+// trigger rank reaches the scheduled (collective epoch, progress tick),
+// every rank abandons at its next poll or collective entry and the run
+// reports killed=true. Restart then resumes from the snapshot store.
 #pragma once
 
 #include <cstdint>
@@ -52,16 +64,23 @@ struct FaultPlan {
     int rank = 0;
     std::uint64_t collective_seq = 0;  // dies entering this collective, 0-based
   };
+  struct Stall {
+    int rank = 0;
+    std::uint64_t collective_seq = 0;  // freezes entering this collective
+  };
 
   std::vector<Delay> delays;
   std::vector<Drop> drops;
   std::vector<Straggler> stragglers;
   std::vector<Death> deaths;
+  std::vector<Stall> stalls;
 
   bool empty() const {
-    return delays.empty() && drops.empty() && stragglers.empty() && deaths.empty();
+    return delays.empty() && drops.empty() && stragglers.empty() &&
+           deaths.empty() && stalls.empty();
   }
   bool has_deaths() const { return !deaths.empty(); }
+  bool has_stalls() const { return !stalls.empty(); }
 
   // Knobs for the seeded generator below. Event counts are drawn uniformly
   // in [0, max_*]; coordinates are drawn inside the given horizons.
@@ -81,6 +100,20 @@ struct FaultPlan {
   static FaultPlan random(std::uint64_t seed, int ranks, const RandomProfile& profile);
 };
 
+// Deterministic whole-process kill (SIGKILL model) at a logical coordinate:
+// fires when `rank` has completed `collective_seq` collectives and then
+// reaches its `tick`-th progress poll (Comm::poll_kill, called by the
+// drivers at checkpoint-chunk boundaries) within that epoch. The trigger
+// rank raises a shared flag and abandons; every other rank abandons at its
+// own next poll or collective entry. Like the fault plan, the coordinate is
+// logical, so a kill schedule replays deterministically.
+struct KillPlan {
+  bool armed = false;
+  int rank = 0;
+  std::uint64_t collective_seq = 0;
+  std::uint64_t tick = 1;  // 1-based poll count within the epoch
+};
+
 // Plan compiled into per-run lookup form. Built once at Runtime launch and
 // shared read-only by every rank, so lookups need no locking.
 class FaultSchedule {
@@ -93,6 +126,7 @@ class FaultSchedule {
   // Compute-time multiplier for `rank`, always >= 1.
   double slowdown(int rank) const;
   bool dies_at(int rank, std::uint64_t collective_seq) const;
+  bool stalls_at(int rank, std::uint64_t collective_seq) const;
   bool has_deaths() const { return has_deaths_; }
 
  private:
@@ -112,6 +146,7 @@ class FaultSchedule {
   std::vector<LinkEvent> drops_;           // sorted by (key, seq)
   std::vector<double> slowdown_;           // per rank, 1.0 = none
   std::vector<std::uint64_t> death_seq_;   // per rank, ~0 = immortal
+  std::vector<std::uint64_t> stall_seq_;   // per rank, ~0 = never stalls
 };
 
 }  // namespace gbpol::mpisim

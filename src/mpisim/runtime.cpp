@@ -1,6 +1,8 @@
 #include "mpisim/runtime.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <thread>
@@ -39,10 +41,52 @@ std::uint64_t RunReport::total_bytes_sent() const {
 RunReport Runtime::run(const Config& config, const std::function<void(Comm&)>& rank_fn) {
   const int ranks = std::max(1, config.ranks);
   SharedState shared(config.cluster, ranks, std::max(1, config.threads_per_rank),
-                     config.faults, config.recv_watchdog_seconds);
+                     config.faults, config.recv_watchdog_seconds, config.kill);
 
   RunReport report;
   report.ranks.resize(static_cast<std::size_t>(ranks));
+
+  // Supervisor watchdog: samples the per-rank heartbeats and converts any
+  // live rank whose logical clock stagnates past the timeout. Actuation is
+  // via the stall_break flag, which only a rank parked in the stall state
+  // reacts to, so a rank legitimately blocked at a barrier (also stagnant)
+  // is never harmed by the conversion attempt.
+  std::atomic<bool> supervisor_done{false};
+  std::thread supervisor;
+  if (config.stall_timeout_seconds > 0.0) {
+    supervisor = std::thread([&shared, &supervisor_done, ranks,
+                              timeout = config.stall_timeout_seconds] {
+      using clock = std::chrono::steady_clock;
+      const auto period =
+          std::chrono::duration<double>(std::min(timeout / 4.0, 0.05));
+      std::vector<std::uint64_t> last(static_cast<std::size_t>(ranks), 0);
+      std::vector<clock::time_point> since(static_cast<std::size_t>(ranks),
+                                           clock::now());
+      while (!supervisor_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(period);
+        const auto now = clock::now();
+        for (int r = 0; r < ranks; ++r) {
+          const auto i = static_cast<std::size_t>(r);
+          if (shared.is_dead(r)) {
+            since[i] = now;
+            continue;
+          }
+          const std::uint64_t hb =
+              shared.heartbeat[i].load(std::memory_order_relaxed);
+          if (hb != last[i]) {
+            last[i] = hb;
+            since[i] = now;
+            continue;
+          }
+          if (std::chrono::duration<double>(now - since[i]).count() < timeout)
+            continue;
+          std::lock_guard<std::mutex> lock(shared.stall_mutex);
+          shared.stall_break[i].store(true, std::memory_order_release);
+          shared.stall_cv.notify_all();
+        }
+      }
+    });
+  }
 
   WallTimer wall;
   std::vector<std::thread> threads;
@@ -74,11 +118,19 @@ RunReport Runtime::run(const Config& config, const std::function<void(Comm&)>& r
     });
   }
   for (std::thread& t : threads) t.join();
+  supervisor_done.store(true, std::memory_order_release);
+  if (supervisor.joinable()) supervisor.join();
   report.wall_seconds = wall.seconds();
   for (const RankResult& r : report.ranks) {
     report.retries += r.retries;
     report.redistributed_work_items += r.redistributed_work_items;
     report.degraded = report.degraded || r.died;
+  }
+  report.killed = shared.kill_all.load(std::memory_order_acquire);
+  report.stalls_converted = shared.stalls_converted.load(std::memory_order_relaxed);
+  if (report.killed || report.degraded) {
+    report.error_class = report.stalls_converted > 0 ? ErrorClass::kTimeout
+                                                     : ErrorClass::kFault;
   }
   return report;
 }

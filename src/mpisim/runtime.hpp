@@ -20,6 +20,19 @@
 // and marks the report degraded. Rank functions wanting to SURVIVE peer
 // death must use the `_ft` collectives (comm.hpp) and run their own
 // recovery; the plain collectives fail fast instead of deadlocking.
+//
+// Supervisor watchdog: with Config::stall_timeout_seconds > 0 the runtime
+// runs a monitor thread sampling each rank's logical-progress heartbeat
+// (bumped at collective entries and checkpoint polls). A live rank whose
+// heartbeat stagnates past the timeout is presumed stalled and converted
+// into a death — the rank leaves through the ordinary death path and the
+// existing recovery protocol takes over. Ranks merely blocked at barriers
+// also look stagnant, but conversion only actuates ranks parked in the
+// stall state, so the false positives are harmless.
+//
+// Process kill: Config::kill arms a deterministic whole-process SIGKILL
+// model (KillPlan, faults.hpp). The report's `killed` flag tells the driver
+// the run ended by kill, not by answer.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +42,7 @@
 #include "mpisim/cluster.hpp"
 #include "mpisim/comm.hpp"
 #include "mpisim/faults.hpp"
+#include "support/error_class.hpp"
 
 namespace gbpol::mpisim {
 
@@ -50,6 +64,9 @@ struct RunReport {
   std::uint64_t retries = 0;                   // sum over ranks
   std::uint64_t redistributed_work_items = 0;  // sum over ranks
   bool degraded = false;                       // at least one rank died
+  bool killed = false;                         // KillPlan fired; no answer
+  int stalls_converted = 0;                    // stalls turned into deaths
+  ErrorClass error_class = ErrorClass::kNone;  // campaign-level triage
 
   double modeled_seconds() const;
   double max_compute_seconds() const;
@@ -64,10 +81,16 @@ class Runtime {
     int threads_per_rank = 1;  // used for placement; rank fn spawns its own pool
     ClusterModel cluster = ClusterModel::lonestar4();
     FaultPlan faults;          // empty by default: fault-free run
+    KillPlan kill;             // disarmed by default
     // Fail-fast safety net for recv: wall-clock bound after which a blocked
     // receive reports CommError::kTimeout instead of hanging CI. Generous on
     // purpose — deterministic schedules never hit it. <= 0 disables it.
     double recv_watchdog_seconds = 120.0;
+    // Supervisor watchdog: heartbeat stagnation bound after which a live
+    // rank is presumed stalled and converted to a death. <= 0 disables the
+    // supervisor (an injected stall then hangs until the recv watchdog or
+    // CI timeout fires — the unsupervised baseline).
+    double stall_timeout_seconds = 0.0;
   };
 
   // Blocks until every rank returns. The rank function must not throw

@@ -49,15 +49,20 @@ struct PublishSlot {
 
 struct SharedState {
   SharedState(const ClusterModel& cluster_model, int ranks, int threads_per_rank,
-              const FaultPlan& plan, double recv_watchdog_seconds)
+              const FaultPlan& plan, double recv_watchdog_seconds,
+              const KillPlan& kill_plan = {})
       : ranks(ranks),
         map(cluster_model, ranks, threads_per_rank),
         cost(cluster_model, map),
         faults(plan, ranks),
+        kill(kill_plan),
         recv_watchdog_seconds(recv_watchdog_seconds),
         sync(ranks),
         publish(static_cast<std::size_t>(ranks)),
         dead(static_cast<std::size_t>(ranks)),
+        heartbeat(static_cast<std::size_t>(ranks)),
+        stall_break(static_cast<std::size_t>(ranks)),
+        in_stall(static_cast<std::size_t>(ranks)),
         mailboxes(static_cast<std::size_t>(ranks)) {
     for (auto& mb : mailboxes) mb = std::make_unique<Mailbox>();
   }
@@ -80,6 +85,7 @@ struct SharedState {
   RankMap map;
   CostModel cost;
   FaultSchedule faults;
+  KillPlan kill;
   double recv_watchdog_seconds;
   std::barrier<> sync;
   // Collectives are globally ordered, so one slot array suffices.
@@ -87,6 +93,22 @@ struct SharedState {
   // Set (once, never cleared) by a rank dying at a collective entry; read by
   // survivors after the next barrier, which orders the store before the scan.
   std::vector<std::atomic<bool>> dead;
+  // Raised by the KillPlan trigger rank (or an external supervisor); every
+  // rank observing it abandons via the death path at its next poll or
+  // collective entry. Once set, it is never cleared.
+  std::atomic<bool> kill_all{false};
+  // Per-rank logical progress clocks, bumped at every collective entry and
+  // every poll point. The supervisor watchdog samples these; a rank whose
+  // clock stops advancing while peers move on is presumed stalled.
+  std::vector<std::atomic<std::uint64_t>> heartbeat;
+  // Stall actuation: an injected-stall rank parks on stall_cv holding its
+  // in_stall flag; the supervisor converts it by setting its stall_break
+  // flag and notifying. Ranks that merely wait at barriers ignore both.
+  std::mutex stall_mutex;
+  std::condition_variable stall_cv;
+  std::vector<std::atomic<bool>> stall_break;
+  std::vector<std::atomic<bool>> in_stall;
+  std::atomic<int> stalls_converted{0};
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
 };
 

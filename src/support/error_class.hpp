@@ -1,0 +1,41 @@
+// Structured error taxonomy shared by the runtime report, the checkpoint
+// journal and the campaign runner: every failure a run or a campaign job can
+// hit is folded into one of these classes so retry/quarantine policy and
+// reporting can dispatch on a closed set instead of parsing message strings.
+#pragma once
+
+#include <string_view>
+
+namespace gbpol {
+
+enum class ErrorClass {
+  kNone = 0,   // no failure
+  kIo,         // file/parse errors (IoError, snapshot/journal corruption)
+  kOom,        // allocation failure (std::bad_alloc, length_error)
+  kFault,      // injected or real rank death / process kill
+  kTimeout,    // watchdog-detected stall or recv timeout
+  kNumerical,  // NaN/Inf/domain failures in results
+};
+
+constexpr std::string_view to_string(ErrorClass e) {
+  switch (e) {
+    case ErrorClass::kNone: return "none";
+    case ErrorClass::kIo: return "io";
+    case ErrorClass::kOom: return "oom";
+    case ErrorClass::kFault: return "fault";
+    case ErrorClass::kTimeout: return "timeout";
+    case ErrorClass::kNumerical: return "numerical";
+  }
+  return "none";
+}
+
+constexpr ErrorClass parse_error_class(std::string_view s) {
+  if (s == "io") return ErrorClass::kIo;
+  if (s == "oom") return ErrorClass::kOom;
+  if (s == "fault") return ErrorClass::kFault;
+  if (s == "timeout") return ErrorClass::kTimeout;
+  if (s == "numerical") return ErrorClass::kNumerical;
+  return ErrorClass::kNone;
+}
+
+}  // namespace gbpol

@@ -35,7 +35,12 @@ class ChaseLevDeque {
     }
     buf->put(b, item);
     std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    // Release store (not the paper's relaxed): every bottom_ store is the
+    // owner's, so a thief's acquire load of ANY later value happens-after
+    // this task's put. The fence above already provides that edge, but TSan
+    // does not model fences and would flag every stolen task as a race; the
+    // release store carries the same edge visibly and costs nothing on x86.
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   // Owner only. Returns true and fills `out` if a task was taken.
@@ -46,8 +51,9 @@ class ChaseLevDeque {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
     if (t > b) {
-      // Deque was empty; restore.
-      bottom_.store(b + 1, std::memory_order_relaxed);
+      // Deque was empty; restore (release for the same TSan-visible
+      // publish edge as push — a thief may read this value of bottom_).
+      bottom_.store(b + 1, std::memory_order_release);
       return false;
     }
     out = buf->get(b);
@@ -55,10 +61,10 @@ class ChaseLevDeque {
       // Last element: race against thieves via CAS on top.
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
-        bottom_.store(b + 1, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_release);
         return false;
       }
-      bottom_.store(b + 1, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_release);
     }
     return true;
   }

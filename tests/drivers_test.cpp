@@ -71,6 +71,50 @@ TEST_F(DriversTest, HybridMatchesPureMpi) {
   EXPECT_NEAR(a.energy, b.energy, std::abs(a.energy) * 1e-9);
 }
 
+TEST(DriversEdgeTest, MoreRanksThanLeavesGivesEmptySegmentsNotCrashes) {
+  // A tiny molecule with large leaf capacity yields a handful of leaves;
+  // running with far more ranks must leave the surplus ranks with empty
+  // segments (they still participate in every collective) and reproduce the
+  // serial answer for every division strategy.
+  const Fixture tiny = testing::make_fixture(40, 5, /*leaf_capacity=*/64);
+  ASSERT_LT(tiny.prep.atoms_tree.leaves().size(), 16u);
+  ApproxParams params;
+  const DriverResult serial = run_oct_serial(tiny.prep, params, GBConstants{});
+  for (const WorkDivision division :
+       {WorkDivision::kNodeNode, WorkDivision::kAtomBased,
+        WorkDivision::kNodeBalanced, WorkDivision::kDynamic}) {
+    RunConfig config;
+    config.ranks = 16;
+    config.division = division;
+    const DriverResult r =
+        run_oct_distributed(tiny.prep, params, GBConstants{}, config);
+    EXPECT_NEAR(r.energy, serial.energy, std::abs(serial.energy) * 1e-9)
+        << "division=" << static_cast<int>(division);
+    EXPECT_EQ(r.born_sorted.size(), serial.born_sorted.size());
+  }
+}
+
+TEST(DriversEdgeTest, MoreRanksThanLeavesWithCheckpointing) {
+  // Same shape with the checkpoint path on: empty per-rank chunk loops must
+  // still write consistent phase-entry snapshots and resume exactly.
+  const Fixture tiny = testing::make_fixture(40, 5, /*leaf_capacity=*/64);
+  ApproxParams params;
+  const DriverResult serial = run_oct_serial(tiny.prep, params, GBConstants{});
+  const std::string dir = ::testing::TempDir() + "/gbpol_edge_ckpt";
+  RunConfig config;
+  config.ranks = 16;
+  config.checkpoint.dir = dir;
+  config.checkpoint.every_k_chunks = 1;
+  config.checkpoint.every_n_collectives = 1;
+  const DriverResult r =
+      run_oct_distributed(tiny.prep, params, GBConstants{}, config);
+  EXPECT_NEAR(r.energy, serial.energy, std::abs(serial.energy) * 1e-9);
+  config.checkpoint.resume = true;
+  const DriverResult again =
+      run_oct_distributed(tiny.prep, params, GBConstants{}, config);
+  EXPECT_EQ(again.energy, r.energy);
+}
+
 TEST_F(DriversTest, CilkDriverMatchesNaiveScale) {
   ApproxParams params;
   const DriverResult r = run_oct_cilk(fix().prep, params, GBConstants{}, 4);

@@ -325,6 +325,47 @@ TEST_F(FaultedDriverTest, MultipleDeathsRecoverBitExactly) {
   EXPECT_GT(faulty.redistributed_work_items, 0u);
 }
 
+TEST_F(FaultedDriverTest, StalledRankIsConvertedToDeathAndRecoveredBitExactly) {
+  // Supervisor watchdog: a rank that stops making logical-clock progress is
+  // converted into the death-recovery path. Survivors legitimately blocked
+  // at the same barrier are equally "stagnant" but must come to no harm —
+  // only the parked rank reacts to the conversion.
+  const DriverResult clean = run(4, {});
+  for (const std::uint64_t seq : {0u, 1u, 2u}) {
+    FaultPlan plan;
+    plan.stalls.push_back({.rank = 2, .collective_seq = seq});
+    ApproxParams params;
+    RunConfig config;
+    config.ranks = 4;
+    config.faults = plan;
+    config.stall_timeout_seconds = 0.1;
+    const DriverResult faulty =
+        run_oct_distributed(*prep_, params, GBConstants{}, config);
+    SCOPED_TRACE("stall at collective " + std::to_string(seq));
+    expect_bit_identical(faulty, clean);
+    EXPECT_TRUE(faulty.degraded);
+    EXPECT_EQ(faulty.stalls_converted, 1);
+    EXPECT_EQ(faulty.error_class, ErrorClass::kTimeout);
+  }
+}
+
+TEST_F(FaultedDriverTest, StallAndDeathMixRecoversBitExactly) {
+  const DriverResult clean = run(5, {});
+  FaultPlan plan;
+  plan.deaths.push_back({.rank = 1, .collective_seq = 0});
+  plan.stalls.push_back({.rank = 3, .collective_seq = 2});
+  ApproxParams params;
+  RunConfig config;
+  config.ranks = 5;
+  config.faults = plan;
+  config.stall_timeout_seconds = 0.1;
+  const DriverResult faulty =
+      run_oct_distributed(*prep_, params, GBConstants{}, config);
+  expect_bit_identical(faulty, clean);
+  EXPECT_TRUE(faulty.degraded);
+  EXPECT_EQ(faulty.stalls_converted, 1);
+}
+
 TEST_F(FaultedDriverTest, RecoveryWorksForRecursiveTraversalAndBalancedDivision) {
   for (const TraversalMode traversal : {TraversalMode::kList, TraversalMode::kRecursive}) {
     for (const WorkDivision division :

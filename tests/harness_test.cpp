@@ -1,12 +1,17 @@
-// Harness: env knobs, repetition protocol, package dispatch.
+// Harness: env knobs, repetition protocol, package dispatch, and the
+// supervised resumable campaign runner.
 #include "harness/packages.hpp"
 
 #include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
 #include "baselines/registry.hpp"
+#include "harness/campaign.hpp"
 #include "harness/experiment.hpp"
+#include "molecule/io.hpp"
 #include "support/stats.hpp"
 #include "test_helpers.hpp"
 
@@ -97,6 +102,146 @@ TEST_F(PackageDispatchTest, OctreeBeatsNaiveOnModeledTime) {
   const PackageRun naive = run_package("naive", fix().mol, fix().quad, fix().prep, env);
   const PackageRun oct = run_package("oct_mpi", fix().mol, fix().quad, fix().prep, env);
   EXPECT_LT(oct.modeled_seconds, naive.modeled_seconds);
+}
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  std::string fresh_journal() {
+    static int counter = 0;
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) /
+        ("campaign_" + std::to_string(::getpid()) + "_" + std::to_string(counter++));
+    std::filesystem::create_directories(dir);
+    return (dir / "sweep.journal").string();
+  }
+
+  static CampaignConfig config(std::string path = {}, int max_attempts = 3) {
+    CampaignConfig cfg;
+    cfg.journal_path = std::move(path);
+    cfg.max_attempts = max_attempts;
+    return cfg;
+  }
+};
+
+TEST_F(CampaignTest, RunsJobsAndStoresPayloads) {
+  Campaign campaign(config());  // in-memory
+  int calls = 0;
+  const JobStatus& a = campaign.run("a", [&] { ++calls; return "1.5"; });
+  EXPECT_EQ(a.state, ckpt::JobState::kDone);
+  EXPECT_EQ(a.payload, "1.5");
+  EXPECT_EQ(a.attempts, 1);
+  // Re-running a done job is a no-op, even in memory.
+  campaign.run("a", [&] { ++calls; return "other"; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(campaign.completed(), 1);
+}
+
+TEST_F(CampaignTest, RetriesThenSucceeds) {
+  Campaign campaign(config());
+  int calls = 0;
+  const JobStatus& st = campaign.run("flaky", [&]() -> std::string {
+    if (++calls < 3) throw std::runtime_error("transient");
+    return "ok";
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(st.state, ckpt::JobState::kDone);
+  EXPECT_EQ(st.attempts, 3);
+  EXPECT_EQ(st.payload, "ok");
+}
+
+TEST_F(CampaignTest, QuarantinesDeterministicFailure) {
+  Campaign campaign(config());
+  int calls = 0;
+  const JobStatus& st = campaign.run("broken", [&]() -> std::string {
+    ++calls;
+    throw IoError("bad pqr line 7");
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(st.state, ckpt::JobState::kQuarantined);
+  EXPECT_EQ(st.error, ErrorClass::kIo);
+  EXPECT_EQ(st.payload, "bad pqr line 7");
+  EXPECT_EQ(campaign.quarantined(), 1);
+  // A quarantined job is never re-run.
+  campaign.run("broken", [&]() -> std::string { ++calls; return "nope"; });
+  EXPECT_EQ(calls, 3);
+}
+
+TEST_F(CampaignTest, ResumeSkipsDoneJobsAndKeepsPayloads) {
+  const std::string path = fresh_journal();
+  int calls = 0;
+  {
+    Campaign campaign(config(path));
+    campaign.run("a", [&] { ++calls; return "ra"; });
+    campaign.run("b", [&] { ++calls; return "rb"; });
+    ASSERT_TRUE(campaign.journal_healthy());
+  }
+  // "Restart": a and b must be skipped with their payloads intact; c runs.
+  Campaign resumed(config(path));
+  const JobStatus& a = resumed.run("a", [&] { ++calls; return "changed"; });
+  const JobStatus& c = resumed.run("c", [&] { ++calls; return "rc"; });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(a.payload, "ra");
+  EXPECT_TRUE(a.from_journal);
+  EXPECT_EQ(c.payload, "rc");
+  EXPECT_EQ(resumed.skipped(), 2);
+  EXPECT_EQ(resumed.completed(), 3);
+}
+
+TEST_F(CampaignTest, ResumeRerunsJobKilledMidRun) {
+  const std::string path = fresh_journal();
+  {
+    // Simulate a campaign killed while "a" was running: journal ends with a
+    // running record and no done/failed record.
+    ckpt::Journal journal(path);
+    ckpt::JournalRecord queued;
+    queued.state = ckpt::JobState::kQueued;
+    queued.job = "a";
+    journal.append(queued);
+    ckpt::JournalRecord running;
+    running.state = ckpt::JobState::kRunning;
+    running.attempt = 1;
+    running.job = "a";
+    journal.append(running);
+  }
+  Campaign resumed(config(path));
+  int calls = 0;
+  const JobStatus& st = resumed.run("a", [&] { ++calls; return "recovered"; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(st.state, ckpt::JobState::kDone);
+  EXPECT_EQ(st.payload, "recovered");
+  EXPECT_EQ(st.attempts, 2);  // attempt count continues across the restart
+}
+
+TEST_F(CampaignTest, AttemptBudgetSpansRestarts) {
+  const std::string path = fresh_journal();
+  int calls = 0;
+  const auto fail = [&]() -> std::string {
+    ++calls;
+    throw std::runtime_error("deterministic");
+  };
+  {
+    Campaign campaign(config(path, 5));
+    campaign.run("d", fail);  // burns all 5 attempts -> quarantined
+  }
+  EXPECT_EQ(calls, 5);
+  Campaign resumed(config(path, 5));
+  const JobStatus& st = resumed.run("d", fail);
+  EXPECT_EQ(calls, 5);  // not retried: quarantine persisted
+  EXPECT_EQ(st.state, ckpt::JobState::kQuarantined);
+}
+
+TEST_F(CampaignTest, ClassifiesExceptionsIntoErrorClasses) {
+  EXPECT_EQ(Campaign::classify(IoError("x")), ErrorClass::kIo);
+  EXPECT_EQ(Campaign::classify(std::bad_alloc()), ErrorClass::kOom);
+  EXPECT_EQ(Campaign::classify(std::length_error("huge")), ErrorClass::kOom);
+  EXPECT_EQ(Campaign::classify(std::runtime_error("rank 3 stalled")),
+            ErrorClass::kTimeout);
+  EXPECT_EQ(Campaign::classify(std::runtime_error("recv timed out")),
+            ErrorClass::kTimeout);
+  EXPECT_EQ(Campaign::classify(std::runtime_error("energy is NaN")),
+            ErrorClass::kNumerical);
+  EXPECT_EQ(Campaign::classify(std::runtime_error("rank died")),
+            ErrorClass::kFault);
 }
 
 }  // namespace

@@ -221,6 +221,56 @@ TEST(IoTest, PqrRejectsGarbage) {
   EXPECT_THROW(read_pqr(non_numeric), IoError);
 }
 
+// Helper: run the reader and return the IoError message (empty = no throw).
+template <typename Fn>
+std::string io_error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const IoError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(IoTest, RejectsNonFiniteXyzqrFields) {
+  // Stream extraction of "nan"/"inf" either parses the value (then the
+  // finiteness check fires) or fails extraction (then the truncation check
+  // fires) — both must surface as IoError, never as a silent NaN molecule.
+  std::istringstream nan_coord("1\nnan 0 0 1 1\n");
+  EXPECT_THROW(read_xyzqr(nan_coord), IoError);
+  std::istringstream inf_charge("1\n0 0 0 inf 1\n");
+  EXPECT_THROW(read_xyzqr(inf_charge), IoError);
+  std::istringstream inf_radius("1\n0 0 0 1 inf\n");
+  EXPECT_THROW(read_xyzqr(inf_radius), IoError);
+}
+
+TEST(IoTest, RejectsNonFinitePqrFieldsNamingLineAndField) {
+  const std::string msg = io_error_of([] {
+    std::istringstream pqr(
+        "REMARK test\n"
+        "ATOM 1 N ALA 1 1.0 2.0 3.0 -0.3 1.55\n"
+        "ATOM 2 CA ALA 1 4.0 nan 6.0 0.1 1.70\n");
+    read_pqr(pqr);
+  });
+  ASSERT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'y'"), std::string::npos) << msg;
+
+  std::istringstream inf_charge("ATOM 1 N ALA 1 1.0 2.0 3.0 inf 1.55\n");
+  const std::string charge_msg = io_error_of([&] { read_pqr(inf_charge); });
+  ASSERT_FALSE(charge_msg.empty());
+  EXPECT_NE(charge_msg.find("'charge'"), std::string::npos) << charge_msg;
+}
+
+TEST(IoTest, RejectsAbsurdAtomCountBeforeAllocating) {
+  // A corrupt header declaring ~10^18 atoms must be rejected up front, not
+  // handed to reserve().
+  std::istringstream huge("1000000000000000000\n0 0 0 1 1\n");
+  const std::string msg = io_error_of([&] { read_xyzqr(huge); });
+  ASSERT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("exceeds limit"), std::string::npos) << msg;
+}
+
 TEST(IoTest, FileRoundTrip) {
   const Molecule mol = molgen::synthetic_protein(20, 22);
   const std::string path = ::testing::TempDir() + "/gbpol_io_test.xyzqr";

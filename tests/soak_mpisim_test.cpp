@@ -1,11 +1,15 @@
 // Randomized soak harness for the fault-injection layer (ISSUE 2 acceptance
 // matrix): >= 100 seeded random fault schedules across >= 3 rank counts, and
 // for EVERY schedule the fault-recovered run must reproduce the fault-free
-// E_pol and Born radii exactly (0 ulp), with deterministic replay.
+// E_pol and Born radii exactly (0 ulp), with deterministic replay. Extended
+// (ISSUE 3) with kill-at-random-checkpoint schedules: a SIGKILL-equivalent
+// whole-process abort at a seeded logical clock, followed by a restart from
+// the latest snapshot set, must also reproduce the clean answer exactly.
 //
 // Registered under the `soak` CTest label and excluded from the default
 // tier-1 run (enable with -DGBPOL_SOAK_TESTS=ON or `ctest -L soak`).
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -113,6 +117,98 @@ TEST_F(SoakMpisimTest, DeathHeavySchedulesRecoverBitExactly) {
       ASSERT_EQ(faulty.born_sorted[i], clean.born_sorted[i]) << "born slot " << i;
     EXPECT_TRUE(faulty.degraded);
   }
+}
+
+// Kill-at-random-checkpoint soak: 3 rank counts x 18 seeds = 54 schedules.
+// Each schedule arms a SIGKILL-equivalent at a seeded logical clock (kill
+// rank, collective phase, poll tick) with seeded checkpoint cadence, then
+// restarts with resume enabled. Whether the kill fired, and whether the
+// restart resumed from snapshots or fell back to a cold start, the final
+// answer must equal the uninterrupted run to the last bit.
+TEST_F(SoakMpisimTest, KillAndRestartSchedulesResumeBitExactly) {
+  constexpr int kSeedsPerRankCount = 18;
+  const std::string base =
+      ::testing::TempDir() + "/gbpol_soak_ckpt_" + std::to_string(::getpid());
+
+  for (const int ranks : {3, 5, 8}) {
+    const DriverResult clean = run(ranks, {});
+    ASSERT_NE(clean.energy, 0.0);
+    for (int s = 0; s < kSeedsPerRankCount; ++s) {
+      const std::uint64_t seed =
+          static_cast<std::uint64_t>(ranks) * 100 + static_cast<std::uint64_t>(s);
+      const std::string dir = base + "_" + std::to_string(seed);
+      std::filesystem::remove_all(dir);
+
+      ApproxParams params;
+      RunConfig config;
+      config.ranks = ranks;
+      config.checkpoint.dir = dir;
+      config.checkpoint.every_k_chunks = 1 + static_cast<std::uint32_t>(seed % 2);
+      config.checkpoint.chunk_leaves = 1 + static_cast<std::uint32_t>(seed % 4);
+      config.checkpoint.every_n_collectives = 1;
+      config.kill.armed = true;
+      config.kill.rank = static_cast<int>(seed % static_cast<std::uint64_t>(ranks));
+      config.kill.collective_seq = (seed / 2) % 2 == 0 ? 0 : 2;  // Born / Epol phase
+      config.kill.tick = 1 + (seed / 3) % 4;
+      const DriverResult killed =
+          run_oct_distributed(*prep_, params, GBConstants{}, config);
+      SCOPED_TRACE("ranks=" + std::to_string(ranks) + " seed=" + std::to_string(seed) +
+                   " kill_rank=" + std::to_string(config.kill.rank) +
+                   " kill_seq=" + std::to_string(config.kill.collective_seq) +
+                   " tick=" + std::to_string(config.kill.tick));
+      if (!killed.killed) {
+        // The seeded tick was beyond this rank's poll count, so the run
+        // finished untouched — it must already be exact.
+        ASSERT_EQ(killed.energy, clean.energy);
+        std::filesystem::remove_all(dir);
+        continue;
+      }
+      // Restart from the latest snapshot set.
+      config.kill = {};
+      config.checkpoint.resume = true;
+      const DriverResult resumed =
+          run_oct_distributed(*prep_, params, GBConstants{}, config);
+      EXPECT_TRUE(resumed.resumed);
+      ASSERT_EQ(resumed.energy, clean.energy);
+      ASSERT_EQ(resumed.born_sorted.size(), clean.born_sorted.size());
+      for (std::size_t i = 0; i < clean.born_sorted.size(); ++i)
+        ASSERT_EQ(resumed.born_sorted[i], clean.born_sorted[i]) << "born slot " << i;
+      std::filesystem::remove_all(dir);
+    }
+  }
+}
+
+// Cascading death: the recovery of the first death is itself interrupted by
+// the death of another survivor at the immediately following logical clock
+// (the retried collective), so the relay chain has to re-form around the
+// second corpse. The final answer must still be exact.
+TEST_F(SoakMpisimTest, CascadingDeathDuringRecoveryStaysBitExact) {
+  const int ranks = 5;
+  const DriverResult clean = run(ranks, {});
+  // (first victim, second victim dying one collective later)
+  const std::pair<int, int> cascades[] = {{1, 2}, {2, 3}, {3, 1}, {1, 4}, {4, 2}};
+  for (const auto& [first, second] : cascades) {
+    for (const std::uint64_t seq : {0u, 1u}) {
+      FaultPlan plan;
+      plan.deaths.push_back({.rank = first, .collective_seq = seq});
+      plan.deaths.push_back({.rank = second, .collective_seq = seq + 1});
+      const DriverResult faulty = run(ranks, plan);
+      SCOPED_TRACE("cascade " + std::to_string(first) + "->" + std::to_string(second) +
+                   " at seq " + std::to_string(seq));
+      ASSERT_EQ(faulty.energy, clean.energy);
+      for (std::size_t i = 0; i < clean.born_sorted.size(); ++i)
+        ASSERT_EQ(faulty.born_sorted[i], clean.born_sorted[i]) << "born slot " << i;
+      EXPECT_TRUE(faulty.degraded);
+    }
+  }
+  // Triple cascade across all three driver collectives.
+  FaultPlan plan;
+  plan.deaths.push_back({.rank = 1, .collective_seq = 0});
+  plan.deaths.push_back({.rank = 2, .collective_seq = 1});
+  plan.deaths.push_back({.rank = 3, .collective_seq = 2});
+  const DriverResult faulty = run(ranks, plan);
+  ASSERT_EQ(faulty.energy, clean.energy);
+  EXPECT_TRUE(faulty.degraded);
 }
 
 // P2p soak at the Comm layer: random drop/delay schedules over a ring

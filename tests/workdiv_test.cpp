@@ -37,6 +37,36 @@ TEST(EvenSegmentTest, SizesDifferByAtMostOne) {
   }
 }
 
+TEST(EvenSegmentTest, MorePartsThanItemsYieldsEmptySegments) {
+  // ranks > leaves: surplus parts get empty [lo, lo) ranges, and the
+  // non-empty ones still tile [0, n) exactly.
+  for (const std::size_t n : {0u, 1u, 3u}) {
+    std::uint32_t cursor = 0;
+    std::size_t empty = 0;
+    for (int i = 0; i < 16; ++i) {
+      const Segment s = even_segment(n, 16, i);
+      EXPECT_EQ(s.lo, cursor);
+      EXPECT_LE(s.count(), 1u);
+      cursor = s.hi;
+      empty += s.count() == 0;
+    }
+    EXPECT_EQ(cursor, n);
+    EXPECT_EQ(empty, 16 - n);
+  }
+}
+
+TEST(SubSegmentTest, MorePartsThanItemsYieldsEmptySubranges) {
+  const Segment whole{10, 13};  // 3 items, offset origin
+  std::uint32_t cursor = whole.lo;
+  for (int i = 0; i < 8; ++i) {
+    const Segment s = sub_segment(whole, 8, i);
+    EXPECT_EQ(s.lo, cursor);
+    EXPECT_LE(s.count(), 1u);
+    cursor = s.hi;
+  }
+  EXPECT_EQ(cursor, whole.hi);
+}
+
 TEST(LeafSegmentsByPointsTest, PartitionsLeavesAndBalancesPoints) {
   const Molecule mol = molgen::synthetic_protein(3000, 31);
   std::vector<Vec3> pts(mol.size());
