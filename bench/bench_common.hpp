@@ -9,12 +9,16 @@
 //   GBPOL_CAMPAIGN_DIR directory for per-bench campaign journals; set it to
 //                      make a killed sweep resumable (completed sweep points
 //                      are skipped and rebuilt from their stored payloads)
+//   GBPOL_TRACE_OUT    path for a Chrome trace_event export of the FIRST
+//                      traced run (open in chrome://tracing or perfetto)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/naive.hpp"
@@ -25,6 +29,8 @@
 #include "harness/report.hpp"
 #include "molecule/generate.hpp"
 #include "molecule/suite.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 #include "surface/quadrature.hpp"
@@ -63,6 +69,77 @@ inline harness::CampaignConfig campaign_config(const std::string& bench_name) {
   }
   return cfg;
 }
+
+// --- observability adoption ----------------------------------------------
+// BenchMetrics brackets labelled runs in tracer sessions and accumulates one
+// metrics.json entry (obs/export.hpp schema) per run; write() mirrors the
+// document to bench_out/<name>.metrics.json next to the CSV the figure
+// already emits. With GBPOL_TRACE_OUT=<path> the first traced run is also
+// exported as a Chrome trace_event timeline. Under GBPOL_TRACING=OFF the
+// sessions are no-ops and the entries carry empty (but schema-valid)
+// snapshots, so the benches build and run unchanged.
+class BenchMetrics {
+ public:
+  explicit BenchMetrics(std::string figure) { doc_.figure = std::move(figure); }
+
+  // Runs `fn` inside a tracer session, appends its merged metrics under
+  // `label`, and returns fn's result. Driver/package results contribute
+  // standard context fields; any other return type records metrics only.
+  template <typename Fn>
+  auto traced(std::string label, Fn&& fn) {
+    obs::start_session();
+    auto result = std::forward<Fn>(fn)();
+    const obs::Trace trace = obs::stop_session();
+    obs::MetricsEntry entry;
+    entry.label = std::move(label);
+    using R = std::decay_t<decltype(result)>;
+    if constexpr (std::is_same_v<R, DriverResult>) {
+      entry.extra.emplace_back("energy", obs::json::Value(result.energy));
+      entry.extra.emplace_back("ranks", obs::json::Value(result.ranks));
+      entry.extra.emplace_back("threads_per_rank",
+                               obs::json::Value(result.threads_per_rank));
+      entry.extra.emplace_back("modeled_seconds",
+                               obs::json::Value(result.modeled_seconds()));
+    } else if constexpr (std::is_same_v<R, harness::PackageRun>) {
+      entry.extra.emplace_back("energy", obs::json::Value(result.energy));
+      entry.extra.emplace_back("modeled_seconds",
+                               obs::json::Value(result.modeled_seconds));
+    }
+    entry.metrics = trace.metrics;
+    doc_.entries.push_back(std::move(entry));
+    maybe_export_chrome(trace);
+    return result;
+  }
+
+  // Mirrors the accumulated document to bench_out/<name>.metrics.json.
+  void write(const std::string& name) {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    const std::string path = "bench_out/" + name + ".metrics.json";
+    if (obs::write_metrics_json(doc_, path))
+      std::printf("metrics: wrote %s (schema v%d, %zu entries)\n", path.c_str(),
+                  obs::kMetricsSchemaVersion, doc_.entries.size());
+    else
+      std::fprintf(stderr, "note: could not write %s\n", path.c_str());
+  }
+
+  const obs::MetricsDoc& doc() const { return doc_; }
+
+ private:
+  void maybe_export_chrome(const obs::Trace& trace) {
+    if (chrome_written_) return;
+    const char* path = std::getenv("GBPOL_TRACE_OUT");
+    if (path == nullptr || *path == '\0') return;
+    chrome_written_ = true;
+    if (obs::write_chrome_trace(trace, path))
+      std::printf("trace: wrote %s (open in chrome://tracing)\n", path);
+    else
+      std::fprintf(stderr, "note: could not write %s\n", path);
+  }
+
+  obs::MetricsDoc doc_;
+  bool chrome_written_ = false;
+};
 
 // ZDock-like suite subset: every `stride`-th molecule unless GBPOL_FULL=1.
 inline std::vector<Molecule> suite_subset(int stride, std::size_t max_atoms = 16000) {

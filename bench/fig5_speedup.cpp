@@ -39,13 +39,16 @@ int main() {
 
   Table table({"cores", "variant", "traversal", "modeled(s)", "speedup vs 12",
                "memory(MiB)", "E_pol"});
+  BenchMetrics metrics("fig5_speedup");
   for (const Mode& mode : modes) {
     ApproxParams params;  // 0.9/0.9
     params.traversal = mode.traversal;
     double base_mpi = 0.0, base_hybrid = 0.0;
     for (const int cores : {12, 24, 48, 96, 144}) {
       RunConfig mpi{.ranks = cores, .threads_per_rank = 1, .cluster = cluster};
-      const DriverResult a = run_oct_distributed(pm.prep, params, constants, mpi);
+      const DriverResult a = metrics.traced(
+          std::string("OCT_MPI ") + mode.name + " cores=" + std::to_string(cores),
+          [&] { return run_oct_distributed(pm.prep, params, constants, mpi); });
       if (cores == 12) base_mpi = a.modeled_seconds();
       table.add_row({Table::integer(cores), "OCT_MPI", mode.name,
                      Table::num(a.modeled_seconds(), 4),
@@ -54,7 +57,10 @@ int main() {
                      Table::num(a.energy, 6)});
 
       RunConfig hybrid{.ranks = cores / 6, .threads_per_rank = 6, .cluster = cluster};
-      const DriverResult b = run_oct_distributed(pm.prep, params, constants, hybrid);
+      const DriverResult b = metrics.traced(
+          std::string("OCT_MPI+CILK ") + mode.name + " cores=" +
+              std::to_string(cores),
+          [&] { return run_oct_distributed(pm.prep, params, constants, hybrid); });
       if (cores == 12) base_hybrid = b.modeled_seconds();
       table.add_row({Table::integer(cores), "OCT_MPI+CILK", mode.name,
                      Table::num(b.modeled_seconds(), 4),
@@ -64,5 +70,6 @@ int main() {
     }
   }
   harness::emit_table(table, "fig5_speedup");
+  metrics.write("fig5_speedup");
   return 0;
 }

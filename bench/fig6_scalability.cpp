@@ -24,6 +24,7 @@ int main() {
   const mpisim::ClusterModel cluster = mpisim::ClusterModel::lonestar4();
 
   Table table({"cores", "variant", "min(s)", "max(s)", "mean(s)", "std(s)"});
+  BenchMetrics metrics("fig6_scalability");
   for (const int cores : {12, 24, 48, 96, 144, 192}) {
     // 192 cores exceeds the 12-node model; extend nodes proportionally.
     mpisim::ClusterModel c = cluster;
@@ -33,10 +34,18 @@ int main() {
       config.threads_per_rank = hybrid ? 6 : 1;
       config.ranks = cores / config.threads_per_rank;
       config.cluster = c;
-      const auto timing = harness::repeat_timed(reps, [&] {
-        const DriverResult r = run_oct_distributed(pm.prep, params, constants, config);
-        return std::make_pair(r.modeled_seconds(), r.wall_seconds);
-      });
+      // One session over all repetitions: the entry's counters/histograms
+      // aggregate the whole configuration sweep point.
+      const auto timing = metrics.traced(
+          std::string(hybrid ? "OCT_MPI+CILK" : "OCT_MPI") + " cores=" +
+              std::to_string(cores) + " reps=" + std::to_string(reps),
+          [&] {
+            return harness::repeat_timed(reps, [&] {
+              const DriverResult r =
+                  run_oct_distributed(pm.prep, params, constants, config);
+              return std::make_pair(r.modeled_seconds(), r.wall_seconds);
+            });
+          });
       table.add_row({Table::integer(cores), hybrid ? "OCT_MPI+CILK" : "OCT_MPI",
                      Table::num(timing.modeled.min, 4), Table::num(timing.modeled.max, 4),
                      Table::num(timing.modeled.mean, 4),
@@ -44,5 +53,6 @@ int main() {
     }
   }
   harness::emit_table(table, "fig6_scalability");
+  metrics.write("fig6_scalability");
   return 0;
 }

@@ -3,6 +3,7 @@
 // HCT baseline (paper: OCT_MPI ~11x at 16k atoms, Gromacs ~2.7x,
 // NAMD/Tinker/GBr6 near 1x).
 #include <iostream>
+#include <string_view>
 
 #include "bench_common.hpp"
 
@@ -22,11 +23,22 @@ int main() {
                "oct_mpi", "oct_hybrid"});
   Table speedups({"atoms", "gromacs", "namd", "tinker", "gbr6", "oct_mpi",
                   "oct_hybrid"});  // relative to amber
+  BenchMetrics metrics("fig8_packages");
   for (const Molecule& mol : suite) {
     const PreparedMolecule pm = prepare(mol);
     std::vector<double> seconds;
     for (const char* name : packages) {
-      const auto run = harness::run_package(name, pm.mol, pm.quad, pm.prep, env);
+      // Only the oct_* packages run through the instrumented distributed
+      // driver; tracing the baselines would record empty sessions.
+      const bool traced = std::string_view(name).starts_with("oct");
+      const auto run =
+          traced ? metrics.traced(
+                       std::string(name) + " atoms=" + std::to_string(mol.size()),
+                       [&] {
+                         return harness::run_package(name, pm.mol, pm.quad,
+                                                     pm.prep, env);
+                       })
+                 : harness::run_package(name, pm.mol, pm.quad, pm.prep, env);
       seconds.push_back(run.modeled_seconds);
     }
     const double amber = seconds[1];
@@ -42,5 +54,6 @@ int main() {
   harness::emit_table(times, "fig8a_times");
   std::printf("\nFig. 8(b) — speedup w.r.t. the Amber-like baseline:\n");
   harness::emit_table(speedups, "fig8b_speedups");
+  metrics.write("fig8_packages");
   return 0;
 }

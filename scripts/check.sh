@@ -1,26 +1,31 @@
 #!/usr/bin/env bash
 # Local CI gate: build every sanitizer preset and run the fast test labels
-# (unit, property, checkpoint) under each. The long randomized soak
-# campaigns are opt-in.
+# (unit, property, checkpoint, trace) under each. The long randomized soak
+# campaigns and the coverage gate are opt-in.
 #
-#   scripts/check.sh            release + asan + tsan presets
-#   scripts/check.sh --fast     release preset only
-#   scripts/check.sh --soak     also build the soak preset and run `-L soak`
+#   scripts/check.sh             release + asan + tsan presets
+#   scripts/check.sh --fast      release preset only
+#   scripts/check.sh --soak      also build the soak preset and run `-L soak`
+#   scripts/check.sh --coverage  also build the coverage preset, run the fast
+#                                labels instrumented, and fail if src/obs/
+#                                line coverage drops below 85%
 #
 # Presets come from CMakePresets.json; each uses its own binary dir
-# (build, build-asan, build-tsan, build-soak), so the gate never perturbs an
-# existing working tree build.
+# (build, build-asan, build-tsan, build-soak, build-coverage), so the gate
+# never perturbs an existing working tree build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PRESETS=(release asan tsan)
 RUN_SOAK=0
+RUN_COVERAGE=0
 for arg in "$@"; do
   case "$arg" in
     --fast) PRESETS=(release) ;;
     --soak) RUN_SOAK=1 ;;
+    --coverage) RUN_COVERAGE=1 ;;
     *)
-      echo "usage: scripts/check.sh [--fast] [--soak]" >&2
+      echo "usage: scripts/check.sh [--fast] [--soak] [--coverage]" >&2
       exit 2
       ;;
   esac
@@ -32,8 +37,8 @@ for preset in "${PRESETS[@]}"; do
   echo "=== ${preset}: configure + build ==="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${JOBS}"
-  echo "=== ${preset}: ctest (unit|property|checkpoint) ==="
-  ctest --preset "${preset}" -L 'unit|property|checkpoint' -j "${JOBS}"
+  echo "=== ${preset}: ctest (unit|property|checkpoint|trace) ==="
+  ctest --preset "${preset}" -L 'unit|property|checkpoint|trace' -j "${JOBS}"
 done
 
 if [[ ${RUN_SOAK} -eq 1 ]]; then
@@ -42,6 +47,16 @@ if [[ ${RUN_SOAK} -eq 1 ]]; then
   cmake --build --preset soak -j "${JOBS}"
   echo "=== soak: ctest (-L soak) ==="
   ctest --preset soak
+fi
+
+if [[ ${RUN_COVERAGE} -eq 1 ]]; then
+  echo "=== coverage: configure + build (instrumented) ==="
+  cmake --preset coverage
+  cmake --build --preset coverage -j "${JOBS}"
+  echo "=== coverage: ctest (unit|property|checkpoint|trace) ==="
+  ctest --preset coverage -L 'unit|property|checkpoint|trace' -j "${JOBS}"
+  echo "=== coverage: src/obs line-coverage gate (>= 85%) ==="
+  scripts/coverage.sh build-coverage 85
 fi
 
 echo "check.sh: all requested presets passed"

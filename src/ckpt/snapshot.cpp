@@ -9,6 +9,8 @@
 #include <functional>
 #include <map>
 
+#include "obs/trace.hpp"
+
 namespace gbpol::ckpt {
 namespace {
 
@@ -164,6 +166,11 @@ void SnapshotStore::save(const Snapshot& snap) const {
   std::filesystem::create_directories(dir_, ec);
   if (ec) return;
   write_snapshot(path_for(snap.phase, snap.rank, snap.cursor), snap);
+  // The tmp+rename above has completed: this commit event logically precedes
+  // the kill poll it guards (drivers snapshot, then poll) — the ordering
+  // trace_invariants_test pins.
+  obs::emit(obs::EventKind::kCheckpointCommit, snap.cursor, 0,
+            static_cast<std::uint8_t>(snap.phase));
 }
 
 std::optional<std::vector<Snapshot>> SnapshotStore::load_latest() const {

@@ -10,6 +10,7 @@
 #include <span>
 
 #include "mpisim/runtime.hpp"
+#include "obs/trace.hpp"
 #include "support/timer.hpp"
 #include "ws/parallel_for.hpp"
 #include "ws/scheduler.hpp"
@@ -92,6 +93,25 @@ int index_of(const std::vector<int>& live, int rank) {
                           live.begin());
 }
 
+// Wraps one unit of dispatched work in kChunkDispatch/kChunkDone events plus
+// service-time accounting. The session check keeps the un-traced hot path
+// free of even the clock reads.
+template <typename Body>
+void traced_chunk(std::uint64_t lo, std::uint64_t hi, obs::PhaseId phase,
+                  Body&& body) {
+  if (!obs::session_active()) {
+    body();
+    return;
+  }
+  const auto arg = static_cast<std::uint8_t>(phase);
+  obs::emit(obs::EventKind::kChunkDispatch, lo, hi, arg);
+  WallTimer timer;
+  body();
+  obs::add_chunk_service(obs::current_rank(),
+                         static_cast<std::uint64_t>(timer.seconds() * 1e9));
+  obs::emit(obs::EventKind::kChunkDone, lo, hi, arg);
+}
+
 // Phase bracket for pool phases: returns max-over-workers busy seconds.
 class PoolPhase {
  public:
@@ -164,6 +184,7 @@ DriverResult run_oct_cilk(const Prepared& prep, const ApproxParams& params,
       static_cast<std::size_t>(result.threads_per_rank));
   for (auto& acc : worker_acc) acc = born_solver.make_accumulator();
 
+  obs::phase_begin(obs::PhaseId::kBornAccum);
   PoolPhase born_phase(sched);
   ws::parallel_for(sched, 0, born_tasks.size(), 1, [&](std::size_t lo, std::size_t hi) {
     auto& acc = worker_acc[static_cast<std::size_t>(ws::Scheduler::worker_id())];
@@ -182,6 +203,7 @@ DriverResult run_oct_cilk(const Prepared& prep, const ApproxParams& params,
 
   result.born_sorted.assign(prep.num_atoms(), 0.0);
   const std::uint32_t n_atoms = static_cast<std::uint32_t>(prep.num_atoms());
+  obs::phase_begin(obs::PhaseId::kPush);
   PoolPhase push_phase(sched);
   ws::parallel_for(sched, 0, n_atoms,
                    std::max<std::size_t>(1, n_atoms / min_tasks),
@@ -199,6 +221,7 @@ DriverResult run_oct_cilk(const Prepared& prep, const ApproxParams& params,
                                                params.epol_far_multiplier(), min_tasks);
   result.compute_seconds += bins_cpu.seconds();
 
+  obs::phase_begin(obs::PhaseId::kEpol);
   PoolPhase epol_phase(sched);
   result.energy = ws::parallel_reduce<double>(
       sched, 0, epol_tasks.size(), 1,
@@ -212,6 +235,7 @@ DriverResult run_oct_cilk(const Prepared& prep, const ApproxParams& params,
   result.compute_seconds += epol_phase.finish();
   result.steals += epol_phase.steals;
   result.tasks += epol_phase.tasks;
+  obs::phase_end();
 
   result.wall_seconds = wall.seconds();
   // One address space: data is shared, accumulators are per worker.
@@ -376,6 +400,7 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
     };
 
     // ---- Step 2: approximated integrals for this rank's Q-leaf segment.
+    obs::phase_begin(obs::PhaseId::kBornAccum);
     const Segment q_seg = q_segment(r);
     BornAccumulator acc = born_solver.make_accumulator();
     if (config.division == WorkDivision::kDynamic) {
@@ -385,7 +410,9 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
         const std::uint32_t lo = born_cursor.fetch_add(born_chunk);
         comm.charge_rpc(0, 2 * sizeof(std::uint32_t));
         if (lo >= n_qleaves) break;
-        born_solver.accumulate_qleaf_range(lo, std::min(lo + born_chunk, n_qleaves), acc);
+        const std::uint32_t hi = std::min(lo + born_chunk, n_qleaves);
+        traced_chunk(lo, hi, obs::PhaseId::kBornAccum,
+                     [&] { born_solver.accumulate_qleaf_range(lo, hi, acc); });
       }
     } else if (p == 1 && use_ckpt) {
       // Chunked evaluation with kill polls and periodic snapshots. Chunk
@@ -409,7 +436,7 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
       while (!skip_to_push && done < q_seg.count()) {
         const std::uint32_t lo = q_seg.lo + done;
         const std::uint32_t hi = std::min(lo + chunk, q_seg.hi);
-        {
+        traced_chunk(lo, hi, obs::PhaseId::kBornAccum, [&] {
           mpisim::Comm::ComputeRegion region(comm);
           if (params.traversal == TraversalMode::kList) {
             const InteractionLists lists = born_solver.build_lists(lo, hi);
@@ -417,7 +444,7 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
           } else {
             born_solver.accumulate_qleaf_range(lo, hi, acc);
           }
-        }
+        });
         done = hi - q_seg.lo;
         // Commit the due snapshot BEFORE the kill poll: progress is durable
         // at every poll point, and a kill only ever loses work since the
@@ -432,13 +459,15 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
         if (comm.poll_kill()) comm.abandon();
       }
     } else if (p == 1) {
-      mpisim::Comm::ComputeRegion region(comm);
-      if (params.traversal == TraversalMode::kList) {
-        const InteractionLists lists = born_solver.build_lists(q_seg.lo, q_seg.hi);
-        born_solver.accumulate_lists(lists, acc);
-      } else {
-        born_solver.accumulate_qleaf_range(q_seg.lo, q_seg.hi, acc);
-      }
+      traced_chunk(q_seg.lo, q_seg.hi, obs::PhaseId::kBornAccum, [&] {
+        mpisim::Comm::ComputeRegion region(comm);
+        if (params.traversal == TraversalMode::kList) {
+          const InteractionLists lists = born_solver.build_lists(q_seg.lo, q_seg.hi);
+          born_solver.accumulate_lists(lists, acc);
+        } else {
+          born_solver.accumulate_qleaf_range(q_seg.lo, q_seg.hi, acc);
+        }
+      });
     } else {
       std::vector<BornAccumulator> worker_acc(static_cast<std::size_t>(p));
       for (auto& wa : worker_acc) wa = born_solver.make_accumulator();
@@ -489,6 +518,7 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
     // far/near deposits of consecutive sub-ranges touch accumulator slots in
     // the same per-slot order as one full-range pass). The last survivor
     // keeps the result and publishes it as the dead rank's proxy on retry.
+    obs::phase_begin(obs::PhaseId::kBornReduce);
     if (use_ft && skip_to_push) {
       // The allreduce's result is part of the snapshot: kPush captured the
       // post-collective accumulator; kEpol no longer needs it at all.
@@ -541,14 +571,17 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
                     {std::vector<double>(acc.flat().begin(), acc.flat().end())});
 
     // ---- Step 4: Born radii for this rank's atom segment.
+    obs::phase_begin(obs::PhaseId::kPush);
     const Segment a_seg = even_segment(n_atoms, P, r);
     std::vector<double> born(prep.num_atoms(), 0.0);
     if (skip_to_epol) {
       // Born radii come out of the kEpol snapshot below; the push and the
       // gather both happened before the cut.
     } else if (p == 1) {
-      mpisim::Comm::ComputeRegion region(comm);
-      born_solver.push_to_atoms(acc, a_seg.lo, a_seg.hi, born);
+      traced_chunk(a_seg.lo, a_seg.hi, obs::PhaseId::kPush, [&] {
+        mpisim::Comm::ComputeRegion region(comm);
+        born_solver.push_to_atoms(acc, a_seg.lo, a_seg.hi, born);
+      });
     } else {
       sched->reset_stats();
       ws::parallel_for(*sched, a_seg.lo, a_seg.hi,
@@ -561,6 +594,7 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
     }
 
     // ---- Step 5: gather all Born-radius segments.
+    obs::phase_begin(obs::PhaseId::kBornGather);
     std::vector<int> counts(static_cast<std::size_t>(P)), displs(static_cast<std::size_t>(P));
     for (int i = 0; i < P; ++i) {
       const Segment s = even_segment(n_atoms, P, i);
@@ -620,6 +654,7 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
     }
 
     // ---- Step 6: partial energy for this rank's leaf (or atom) segment.
+    obs::phase_begin(obs::PhaseId::kEpol);
     double partial[1] = {0.0};
     {
       // Bin construction is replicated per rank; count it as compute.
@@ -651,7 +686,7 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
         while (done < l_seg.count()) {
           const std::uint32_t lo = l_seg.lo + done;
           const std::uint32_t hi = std::min(lo + chunk, l_seg.hi);
-          {
+          traced_chunk(lo, hi, obs::PhaseId::kEpol, [&] {
             mpisim::Comm::ComputeRegion region(comm);
             if (params.traversal == TraversalMode::kList) {
               const InteractionLists lists = epol_solver->build_lists(lo, hi);
@@ -662,7 +697,7 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
             } else {
               epol_solver->accumulate_energy_leaf_range(lo, hi, raws[0]);
             }
-          }
+          });
           done = hi - l_seg.lo;
           if (policy.enabled() && policy.every_k_chunks > 0 &&
               ++since_save >= policy.every_k_chunks) {
@@ -682,24 +717,30 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
           const std::uint32_t lo = epol_cursor.fetch_add(epol_chunk);
           comm.charge_rpc(0, 2 * sizeof(std::uint32_t));
           if (lo >= n_aleaves) break;
-          partial[0] +=
-              epol_solver->energy_for_leaf_range(lo, std::min(lo + epol_chunk, n_aleaves));
+          const std::uint32_t hi = std::min(lo + epol_chunk, n_aleaves);
+          traced_chunk(lo, hi, obs::PhaseId::kEpol, [&] {
+            partial[0] += epol_solver->energy_for_leaf_range(lo, hi);
+          });
         }
       } else if (config.division == WorkDivision::kAtomBased) {
-        mpisim::Comm::ComputeRegion region(comm);
-        partial[0] = epol_solver->energy_for_atom_range(a_seg.lo, a_seg.hi);
+        traced_chunk(a_seg.lo, a_seg.hi, obs::PhaseId::kEpol, [&] {
+          mpisim::Comm::ComputeRegion region(comm);
+          partial[0] = epol_solver->energy_for_atom_range(a_seg.lo, a_seg.hi);
+        });
       } else {
         const Segment l_seg = config.division == WorkDivision::kNodeBalanced
                                   ? balanced_a[static_cast<std::size_t>(r)]
                                   : even_segment(n_aleaves, P, r);
         if (p == 1) {
-          mpisim::Comm::ComputeRegion region(comm);
-          if (params.traversal == TraversalMode::kList) {
-            const InteractionLists lists = epol_solver->build_lists(l_seg.lo, l_seg.hi);
-            partial[0] = epol_solver->energy_from_lists(lists);
-          } else {
-            partial[0] = epol_solver->energy_for_leaf_range(l_seg.lo, l_seg.hi);
-          }
+          traced_chunk(l_seg.lo, l_seg.hi, obs::PhaseId::kEpol, [&] {
+            mpisim::Comm::ComputeRegion region(comm);
+            if (params.traversal == TraversalMode::kList) {
+              const InteractionLists lists = epol_solver->build_lists(l_seg.lo, l_seg.hi);
+              partial[0] = epol_solver->energy_from_lists(lists);
+            } else {
+              partial[0] = epol_solver->energy_for_leaf_range(l_seg.lo, l_seg.hi);
+            }
+          });
         } else if (params.traversal == TraversalMode::kList) {
           sched->reset_stats();
           const InteractionLists lists =
@@ -743,6 +784,7 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
       // itself died, the reduction re-targets the lowest surviving rank,
       // which then harvests the results.
       if (use_ft) {
+        obs::phase_begin(obs::PhaseId::kEpolReduce);
         std::map<int, double> proxy_partial;  // dead rank -> partial energy
         int live_root = 0;
         for (;;) {
@@ -788,16 +830,19 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
           std::copy(born.begin(), born.end(), born_shared.begin());
           per_rank_extra_bytes = acc.flat().size_bytes() + born.size() * sizeof(double);
         }
+        obs::phase_end();
         return;
       }
     }
 
     // ---- Step 7: master accumulates the final energy.
+    obs::phase_begin(obs::PhaseId::kEpolReduce);
     comm.reduce_sum(partial, 0);
     if (r == 0) {
       energy_shared = partial[0];
       std::copy(born.begin(), born.end(), born_shared.begin());
     }
+    obs::phase_end();
   });
 
   result.energy = energy_shared;

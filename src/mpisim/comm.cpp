@@ -18,11 +18,12 @@ Comm::Comm(SharedState& shared, int rank)
 
 int Comm::size() const { return shared_->ranks; }
 
-void Comm::die_now(std::uint64_t seq) {
+void Comm::die_now(std::uint64_t seq, obs::DeathCause cause) {
   // The rank dies without publishing. It still arrives once (so peers
   // waiting on the current phase proceed) but drops out of the expected
   // count for every later phase, then unwinds to the Runtime. Sleepers in
   // recv are woken to re-check peer liveness.
+  obs::emit(obs::EventKind::kDeath, seq, 0, static_cast<std::uint8_t>(cause));
   SharedState& s = *shared_;
   s.dead[static_cast<std::size_t>(rank_)].store(true, std::memory_order_release);
   s.sync.arrive_and_drop();
@@ -31,18 +32,25 @@ void Comm::die_now(std::uint64_t seq) {
 }
 
 std::uint64_t Comm::enter_collective(const void* own_data,
-                                     std::span<const ProxyPub> proxies) {
+                                     std::span<const ProxyPub> proxies,
+                                     obs::CollKind kind) {
   SharedState& s = *shared_;
   const std::uint64_t seq = collective_seq_++;
   tick_ = 0;
+  // Enter precedes any death/stall event carrying the same seq, so every
+  // kDeath/kStallPark in a stream has a matching kCollectiveEnter before it.
+  obs::emit(obs::EventKind::kCollectiveEnter, seq, 0,
+            static_cast<std::uint8_t>(kind));
   s.heartbeat[static_cast<std::size_t>(rank_)].fetch_add(1, std::memory_order_relaxed);
-  if (s.kill_all.load(std::memory_order_acquire)) die_now(seq);
-  if (s.faults.dies_at(rank_, seq)) die_now(seq);
+  if (s.kill_all.load(std::memory_order_acquire))
+    die_now(seq, obs::DeathCause::kKilled);
+  if (s.faults.dies_at(rank_, seq)) die_now(seq, obs::DeathCause::kScheduled);
   if (s.faults.stalls_at(rank_, seq)) {
     // Injected stall: freeze here — holding the barrier slot, heartbeat
     // stagnant — until the supervisor watchdog (or a process kill) breaks
     // the stall. Conversion reuses the ordinary death path, so survivors
     // recover exactly as they would from a crash.
+    obs::emit(obs::EventKind::kStallPark, seq);
     {
       std::unique_lock<std::mutex> lock(s.stall_mutex);
       s.in_stall[static_cast<std::size_t>(rank_)].store(true,
@@ -56,9 +64,11 @@ std::uint64_t Comm::enter_collective(const void* own_data,
       s.in_stall[static_cast<std::size_t>(rank_)].store(false,
                                                         std::memory_order_release);
     }
-    if (s.stall_break[static_cast<std::size_t>(rank_)].load(std::memory_order_acquire))
+    if (s.stall_break[static_cast<std::size_t>(rank_)].load(std::memory_order_acquire)) {
       s.stalls_converted.fetch_add(1, std::memory_order_relaxed);
-    die_now(seq);
+      die_now(seq, obs::DeathCause::kStallConverted);
+    }
+    die_now(seq, obs::DeathCause::kKilled);
   }
   if (own_data != nullptr) s.publish[static_cast<std::size_t>(rank_)] = {own_data, seq};
   for (const ProxyPub& p : proxies)
@@ -78,14 +88,16 @@ bool Comm::poll_kill() {
     std::lock_guard<std::mutex> lock(s.stall_mutex);
     s.stall_cv.notify_all();
   }
-  return s.kill_all.load(std::memory_order_acquire);
+  const bool armed = s.kill_all.load(std::memory_order_acquire);
+  obs::emit(obs::EventKind::kKillPoll, collective_seq_, tick_, armed ? 1 : 0);
+  return armed;
 }
 
 bool Comm::kill_requested() const {
   return shared_->kill_all.load(std::memory_order_acquire);
 }
 
-void Comm::abandon() { die_now(collective_seq_); }
+void Comm::abandon() { die_now(collective_seq_, obs::DeathCause::kKilled); }
 
 // Runs between the collective's first and second barriers, where the dead
 // flags and publish slots are frozen (a rank can only die at the entry of a
@@ -102,9 +114,13 @@ CollectiveStatus Comm::scan_dead(std::uint64_t seq) const {
   return st;
 }
 
-void Comm::abort_collective(CollectiveStatus& st) {
+void Comm::abort_collective(CollectiveStatus& st, std::uint64_t seq,
+                            obs::CollKind kind) {
   st.error = CommError::kRankDied;
   ++retries_;
+  obs::emit(obs::EventKind::kCollectiveAbort, seq,
+            static_cast<std::uint64_t>(retry_streak_),
+            static_cast<std::uint8_t>(kind));
   // Modeled cost of discovering the failure and re-entering: one barrier of
   // agreement plus an exponential backoff window.
   charge(shared_->cost.barrier() + shared_->cost.backoff(retry_streak_++));
@@ -130,15 +146,22 @@ void Comm::require_recv_ok(const RecvStatus& st, int src) const {
 }
 
 void Comm::barrier() {
-  enter_collective(nullptr, {});
+  const std::uint64_t seq = enter_collective(nullptr, {}, obs::CollKind::kBarrier);
   shared_->sync.arrive_and_wait();
-  charge(shared_->cost.barrier());
+  const double cost = shared_->cost.barrier();
+  charge(cost);
+  obs::emit(obs::EventKind::kCollectiveExit, seq, 0,
+            static_cast<std::uint8_t>(obs::CollKind::kBarrier));
+  obs::add_collective(rank_, obs::CollKind::kBarrier, 0, cost);
 }
 
 void Comm::add_compute_seconds(double s) {
   compute_seconds_ += s;
   const double factor = shared_->faults.slowdown(rank_);
   if (factor > 1.0) straggler_seconds_ += (factor - 1.0) * s;
+  // Attribute measured busy time to the driver phase open on this thread, so
+  // summed per-rank phase busy reconciles with RankResult::compute_seconds.
+  obs::add_phase_busy(rank_, s);
 }
 
 void Comm::allreduce_sum(std::span<double> data) {
@@ -175,11 +198,13 @@ CollectiveStatus Comm::reduce_sum_ft(std::span<double> data, int root,
 CollectiveStatus Comm::fold_ft(std::span<double> data, FoldOp op, int root,
                                std::span<const ProxyPub> proxies) {
   SharedState& s = *shared_;
-  const std::uint64_t seq = enter_collective(data.data(), proxies);
+  const obs::CollKind kind =
+      root < 0 ? obs::CollKind::kAllreduce : obs::CollKind::kReduce;
+  const std::uint64_t seq = enter_collective(data.data(), proxies, kind);
   s.sync.arrive_and_wait();
   CollectiveStatus st = scan_dead(seq);
   if (!st.missing.empty() || (root >= 0 && s.is_dead(root))) {
-    abort_collective(st);
+    abort_collective(st, seq, kind);
     s.sync.arrive_and_wait();  // everyone agrees on the abort before retrying
     return st;
   }
@@ -210,25 +235,30 @@ CollectiveStatus Comm::fold_ft(std::span<double> data, FoldOp op, int root,
   s.sync.arrive_and_wait();  // everyone done reading
   if (folds) std::memcpy(data.data(), total.data(), data.size_bytes());
   s.sync.arrive_and_wait();  // publish slots free for reuse
+  double cost;
   if (root < 0) {
-    charge(s.cost.allreduce(data.size_bytes()));
+    cost = s.cost.allreduce(data.size_bytes());
     bytes_sent_ += data.size_bytes();
   } else {
-    charge(s.cost.reduce(data.size_bytes()));
+    cost = s.cost.reduce(data.size_bytes());
     if (rank_ != root) bytes_sent_ += data.size_bytes();
   }
+  charge(cost);
+  obs::emit(obs::EventKind::kCollectiveExit, seq, data.size_bytes(),
+            static_cast<std::uint8_t>(kind));
+  obs::add_collective(rank_, kind, data.size_bytes(), cost);
   return st;
 }
 
 CollectiveStatus Comm::bcast_bytes_ft(void* data, std::size_t bytes, int root,
                                       std::span<const ProxyPub> proxies) {
   SharedState& s = *shared_;
-  const std::uint64_t seq = enter_collective(data, proxies);
+  const std::uint64_t seq = enter_collective(data, proxies, obs::CollKind::kBcast);
   s.sync.arrive_and_wait();
   CollectiveStatus st = scan_dead(seq);
   // Only the root's slot carries payload; dead non-roots don't block a bcast.
   if (s.publish[static_cast<std::size_t>(root)].seq != seq) {
-    abort_collective(st);
+    abort_collective(st, seq, obs::CollKind::kBcast);
     s.sync.arrive_and_wait();
     return st;
   }
@@ -236,8 +266,12 @@ CollectiveStatus Comm::bcast_bytes_ft(void* data, std::size_t bytes, int root,
   if (rank_ != root)
     std::memcpy(data, s.publish[static_cast<std::size_t>(root)].ptr, bytes);
   s.sync.arrive_and_wait();
-  charge(s.cost.bcast(bytes));
+  const double cost = s.cost.bcast(bytes);
+  charge(cost);
   if (rank_ == root) bytes_sent_ += bytes;
+  obs::emit(obs::EventKind::kCollectiveExit, seq, bytes,
+            static_cast<std::uint8_t>(obs::CollKind::kBcast));
+  obs::add_collective(rank_, obs::CollKind::kBcast, bytes, cost);
   return st;
 }
 
@@ -247,11 +281,12 @@ CollectiveStatus Comm::allgatherv_bytes_ft(const void* send, void* recv,
                                            std::span<const int> displs,
                                            std::span<const ProxyPub> proxies) {
   SharedState& s = *shared_;
-  const std::uint64_t seq = enter_collective(send, proxies);
+  const std::uint64_t seq =
+      enter_collective(send, proxies, obs::CollKind::kAllgatherv);
   s.sync.arrive_and_wait();
   CollectiveStatus st = scan_dead(seq);
   if (!st.missing.empty()) {
-    abort_collective(st);
+    abort_collective(st, seq, obs::CollKind::kAllgatherv);
     s.sync.arrive_and_wait();
     return st;
   }
@@ -269,8 +304,12 @@ CollectiveStatus Comm::allgatherv_bytes_ft(const void* send, void* recv,
     total_bytes += rb;
   }
   s.sync.arrive_and_wait();
-  charge(s.cost.allgatherv(total_bytes));
+  const double cost = s.cost.allgatherv(total_bytes);
+  charge(cost);
   bytes_sent_ += static_cast<std::size_t>(counts[rank_]) * elem_size;
+  obs::emit(obs::EventKind::kCollectiveExit, seq, total_bytes,
+            static_cast<std::uint8_t>(obs::CollKind::kAllgatherv));
+  obs::add_collective(rank_, obs::CollKind::kAllgatherv, total_bytes, cost);
   return st;
 }
 
@@ -285,6 +324,7 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) {
   const std::uint64_t seq = send_seq_[static_cast<std::size_t>(dst)]++;
   charge(s.cost.p2p(rank_, dst, bytes));
   bytes_sent_ += bytes;
+  obs::emit(obs::EventKind::kSend, static_cast<std::uint64_t>(dst), bytes);
   if (s.is_dead(dst)) return;  // wire time is spent; nobody is listening
   Mailbox& mb = *s.mailboxes[static_cast<std::size_t>(dst)];
   Message msg;
@@ -323,10 +363,14 @@ RecvStatus Comm::recv_bytes_ft(void* data, std::size_t bytes, int src, int tag) 
       for (int attempt = 0; it->suppressed > 0; --it->suppressed, ++attempt) {
         ++retries_;
         charge(s.cost.backoff(attempt) + s.cost.p2p(src, rank_, bytes));
+        obs::emit(obs::EventKind::kRetransmit, static_cast<std::uint64_t>(src),
+                  static_cast<std::uint64_t>(attempt));
+        obs::add_retransmit(rank_);
       }
       std::memcpy(data, it->payload.data(), bytes);
       charge(s.cost.p2p(src, rank_, bytes) + it->delay_seconds);
       mb.queue.erase(it);
+      obs::emit(obs::EventKind::kRecv, static_cast<std::uint64_t>(src), bytes);
       return {};
     }
     // Messages queued before the peer died are still deliverable (checked

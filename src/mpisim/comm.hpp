@@ -28,6 +28,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/timer.hpp"
 
 namespace gbpol::mpisim {
@@ -232,13 +233,16 @@ class Comm {
   // Advances the collective clock; if this is the rank's scheduled death
   // point, marks it dead, drops out of the barrier group and throws
   // RankKilled. A scheduled stall parks here until the supervisor converts
-  // it. Publishes this rank's slot plus any proxies it carries.
+  // it. Publishes this rank's slot plus any proxies it carries. `kind` tags
+  // the trace events (enter/abort/death all carry the same seq).
   std::uint64_t enter_collective(const void* own_data,
-                                 std::span<const ProxyPub> proxies);
+                                 std::span<const ProxyPub> proxies,
+                                 obs::CollKind kind);
   // Common death path: dead flag, arrive_and_drop, wake sleepers, throw.
-  [[noreturn]] void die_now(std::uint64_t seq);
+  [[noreturn]] void die_now(std::uint64_t seq, obs::DeathCause cause);
   CollectiveStatus scan_dead(std::uint64_t seq) const;
-  void abort_collective(CollectiveStatus& st);
+  void abort_collective(CollectiveStatus& st, std::uint64_t seq,
+                        obs::CollKind kind);
 
   void require_ok(const CollectiveStatus& st, const char* what) const;
   void require_recv_ok(const RecvStatus& st, int src) const;

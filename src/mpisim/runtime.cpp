@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "mpisim/shared_state.hpp"
+#include "obs/trace.hpp"
 #include "support/timer.hpp"
 
 namespace gbpol::mpisim {
@@ -88,11 +89,13 @@ RunReport Runtime::run(const Config& config, const std::function<void(Comm&)>& r
     });
   }
 
+  obs::emit(obs::EventKind::kRunBegin, static_cast<std::uint64_t>(ranks));
   WallTimer wall;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(ranks));
   for (int r = 0; r < ranks; ++r) {
     threads.emplace_back([&, r] {
+      obs::set_thread_rank(r);
       Comm comm(shared, r);
       RankResult& res = report.ranks[static_cast<std::size_t>(r)];
       // A throwing rank would leave peers blocked at a barrier with no safe
@@ -109,6 +112,9 @@ RunReport Runtime::run(const Config& config, const std::function<void(Comm&)>& r
         std::fprintf(stderr, "mpisim: rank %d terminated with exception: %s\n", r, e.what());
         std::terminate();
       }
+      // A rank thread that unwound mid-phase (death) leaves its TLS phase
+      // open; close it so phase intervals never dangle past the run.
+      obs::phase_end();
       res.compute_seconds = comm.compute_seconds();
       res.straggler_seconds = comm.straggler_seconds();
       res.comm_seconds = comm.comm_seconds();
@@ -118,6 +124,15 @@ RunReport Runtime::run(const Config& config, const std::function<void(Comm&)>& r
     });
   }
   for (std::thread& t : threads) t.join();
+  // "Merge at finalize": the joins above order every rank's metric slot
+  // writes before these reads and before stop_session's drain.
+  for (int r = 0; r < ranks; ++r) {
+    const RankResult& res = report.ranks[static_cast<std::size_t>(r)];
+    obs::record_rank_totals(r, res.compute_seconds, res.straggler_seconds,
+                            res.comm_seconds, res.bytes_sent, res.retries,
+                            res.redistributed_work_items);
+  }
+  obs::emit(obs::EventKind::kRunEnd, static_cast<std::uint64_t>(ranks));
   supervisor_done.store(true, std::memory_order_release);
   if (supervisor.joinable()) supervisor.join();
   report.wall_seconds = wall.seconds();

@@ -1,0 +1,442 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace gbpol::obs {
+
+// --- canonical trace dump ------------------------------------------------
+
+std::string canonical_dump(const Trace& trace) {
+  std::string out;
+  out.reserve(trace.total_events() * 48 + 256);
+  char line[160];
+  for (const EventStream& s : trace.streams) {
+    std::snprintf(line, sizeof(line),
+                  "stream rank=%d worker=%d dropped=%" PRIu64 "\n",
+                  static_cast<int>(s.rank), static_cast<int>(s.worker),
+                  s.dropped);
+    out += line;
+    for (const Event& e : s.events) {
+      // kPhaseEnd carries a wall duration in `a`; mask it like wall_ns.
+      const std::uint64_t a =
+          e.kind == EventKind::kPhaseEnd ? 0 : e.a;
+      std::snprintf(line, sizeof(line),
+                    "  %s a=%" PRIu64 " b=%" PRIu64 " arg=%u\n",
+                    event_kind_name(e.kind), a, e.b,
+                    static_cast<unsigned>(e.arg));
+      out += line;
+    }
+  }
+  return out;
+}
+
+// --- Chrome trace_event JSON ---------------------------------------------
+
+namespace {
+
+json::Object chrome_common(const Event& e) {
+  json::Object o;
+  o.emplace_back("pid", json::Value(static_cast<int>(e.rank)));
+  o.emplace_back("tid", json::Value(static_cast<int>(e.worker) + 1));
+  o.emplace_back("ts", json::Value(static_cast<double>(e.wall_ns) / 1000.0));
+  return o;
+}
+
+void add_arg(json::Object& args, const char* key, std::uint64_t v) {
+  args.emplace_back(key, json::Value(v));
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Trace& trace) {
+  json::Array events;
+  for (const EventStream& s : trace.streams) {
+    for (const Event& e : s.events) {
+      json::Object o = chrome_common(e);
+      json::Object args;
+      const char* ph = "i";  // instant by default
+      std::string name = event_kind_name(e.kind);
+      switch (e.kind) {
+        case EventKind::kPhaseBegin:
+          ph = "B";
+          name = phase_name(static_cast<PhaseId>(e.arg));
+          break;
+        case EventKind::kPhaseEnd:
+          ph = "E";
+          name = phase_name(static_cast<PhaseId>(e.arg));
+          break;
+        case EventKind::kChunkDispatch:
+          ph = "B";
+          name = "chunk";
+          add_arg(args, "lo", e.a);
+          add_arg(args, "hi", e.b);
+          break;
+        case EventKind::kChunkDone:
+          ph = "E";
+          name = "chunk";
+          break;
+        case EventKind::kCollectiveEnter:
+          ph = "B";
+          name = coll_kind_name(static_cast<CollKind>(e.arg));
+          add_arg(args, "seq", e.a);
+          break;
+        case EventKind::kCollectiveExit:
+          ph = "E";
+          name = coll_kind_name(static_cast<CollKind>(e.arg));
+          add_arg(args, "bytes", e.b);
+          break;
+        case EventKind::kCollectiveAbort:
+          add_arg(args, "seq", e.a);
+          add_arg(args, "retry_streak", e.b);
+          break;
+        case EventKind::kStealSuccess:
+        case EventKind::kStealAttempt:
+          add_arg(args, "victim", e.a);
+          break;
+        case EventKind::kSend:
+          add_arg(args, "dst", e.a);
+          add_arg(args, "bytes", e.b);
+          break;
+        case EventKind::kRecv:
+          add_arg(args, "src", e.a);
+          add_arg(args, "bytes", e.b);
+          break;
+        case EventKind::kRetransmit:
+          add_arg(args, "src", e.a);
+          add_arg(args, "attempt", e.b);
+          break;
+        case EventKind::kDeath:
+          add_arg(args, "seq", e.a);
+          add_arg(args, "cause", e.arg);
+          break;
+        case EventKind::kKillPoll:
+          add_arg(args, "seq", e.a);
+          add_arg(args, "tick", e.b);
+          break;
+        case EventKind::kCheckpointCommit:
+          add_arg(args, "cursor", e.a);
+          add_arg(args, "phase", e.arg);
+          break;
+        case EventKind::kStallPark:
+          add_arg(args, "seq", e.a);
+          break;
+        default:
+          break;
+      }
+      o.emplace_back("ph", json::Value(ph));
+      o.emplace_back("name", json::Value(std::move(name)));
+      if (std::string(ph) == "i")
+        o.emplace_back("s", json::Value("t"));  // thread-scoped instant
+      if (!args.empty()) o.emplace_back("args", json::Value(std::move(args)));
+      events.push_back(json::Value(std::move(o)));
+    }
+  }
+  json::Object root;
+  root.emplace_back("traceEvents", json::Value(std::move(events)));
+  root.emplace_back("displayTimeUnit", json::Value("ms"));
+  return json::Value(std::move(root)).dump();
+}
+
+bool write_chrome_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << chrome_trace_json(trace);
+  return static_cast<bool>(out);
+}
+
+// --- metrics.json --------------------------------------------------------
+
+namespace {
+
+json::Value u64_array(const std::vector<std::uint64_t>& v) {
+  json::Array a;
+  a.reserve(v.size());
+  for (const std::uint64_t x : v) a.push_back(json::Value(x));
+  return json::Value(std::move(a));
+}
+
+json::Value dbl_array(const std::vector<double>& v) {
+  json::Array a;
+  a.reserve(v.size());
+  for (const double x : v) a.push_back(json::Value(x));
+  return json::Value(std::move(a));
+}
+
+template <typename T, std::size_t N>
+json::Value matrix(const std::vector<std::array<T, N>>& m) {
+  json::Array rows;
+  rows.reserve(m.size());
+  for (const auto& row : m) {
+    json::Array r;
+    r.reserve(N);
+    for (const T x : row) r.push_back(json::Value(x));
+    rows.push_back(json::Value(std::move(r)));
+  }
+  return json::Value(std::move(rows));
+}
+
+json::Value snapshot_to_json(const MetricsSnapshot& m) {
+  json::Object o;
+  o.emplace_back("ranks", json::Value(m.ranks));
+  o.emplace_back("phase_busy_seconds", matrix(m.phase_busy_seconds));
+  o.emplace_back("phase_wall_seconds", matrix(m.phase_wall_seconds));
+  o.emplace_back("collective_count", matrix(m.collective_count));
+  o.emplace_back("collective_bytes", matrix(m.collective_bytes));
+  o.emplace_back("collective_seconds", matrix(m.collective_seconds));
+  o.emplace_back("rank_compute_seconds", dbl_array(m.rank_compute_seconds));
+  o.emplace_back("rank_straggler_seconds",
+                 dbl_array(m.rank_straggler_seconds));
+  o.emplace_back("rank_comm_seconds", dbl_array(m.rank_comm_seconds));
+  o.emplace_back("rank_bytes_sent", u64_array(m.rank_bytes_sent));
+  o.emplace_back("rank_retries", u64_array(m.rank_retries));
+  o.emplace_back("rank_redistributed", u64_array(m.rank_redistributed));
+  o.emplace_back("rank_retransmits", u64_array(m.rank_retransmits));
+  o.emplace_back("rank_chunks", u64_array(m.rank_chunks));
+  o.emplace_back("rank_chunk_service_seconds",
+                 dbl_array(m.rank_chunk_service_seconds));
+  {
+    json::Array hist;
+    for (const std::uint64_t x : m.chunk_service_hist)
+      hist.push_back(json::Value(x));
+    o.emplace_back("chunk_service_hist", json::Value(std::move(hist)));
+  }
+  o.emplace_back("steal_attempts", json::Value(m.steal_attempts));
+  o.emplace_back("steal_successes", json::Value(m.steal_successes));
+  o.emplace_back("pop_misses", json::Value(m.pop_misses));
+  // Derived convenience fields: written for humans/plots, IGNORED by the
+  // parser (recomputable), so they are not schema surface.
+  o.emplace_back("derived_steal_success_rate",
+                 json::Value(m.steal_success_rate()));
+  o.emplace_back("derived_total_phase_busy_seconds",
+                 json::Value(m.total_phase_busy_all()));
+  return json::Value(std::move(o));
+}
+
+bool read_u64_array(const json::Value* v, std::vector<std::uint64_t>& out,
+                    std::string& err, const char* name) {
+  if (v == nullptr || !v->is_array()) {
+    err = std::string("missing array field: ") + name;
+    return false;
+  }
+  out.clear();
+  for (const json::Value& e : v->as_array()) {
+    if (!e.is_number()) {
+      err = std::string("non-numeric element in ") + name;
+      return false;
+    }
+    out.push_back(static_cast<std::uint64_t>(e.as_number()));
+  }
+  return true;
+}
+
+bool read_dbl_array(const json::Value* v, std::vector<double>& out,
+                    std::string& err, const char* name) {
+  if (v == nullptr || !v->is_array()) {
+    err = std::string("missing array field: ") + name;
+    return false;
+  }
+  out.clear();
+  for (const json::Value& e : v->as_array()) {
+    if (!e.is_number()) {
+      err = std::string("non-numeric element in ") + name;
+      return false;
+    }
+    out.push_back(e.as_number());
+  }
+  return true;
+}
+
+template <typename T, std::size_t N>
+bool read_matrix(const json::Value* v, std::vector<std::array<T, N>>& out,
+                 std::string& err, const char* name) {
+  if (v == nullptr || !v->is_array()) {
+    err = std::string("missing matrix field: ") + name;
+    return false;
+  }
+  out.clear();
+  for (const json::Value& row : v->as_array()) {
+    if (!row.is_array() || row.as_array().size() != N) {
+      err = std::string("bad row width in ") + name;
+      return false;
+    }
+    std::array<T, N> r{};
+    for (std::size_t i = 0; i < N; ++i) {
+      const json::Value& e = row.as_array()[i];
+      if (!e.is_number()) {
+        err = std::string("non-numeric element in ") + name;
+        return false;
+      }
+      r[i] = static_cast<T>(e.as_number());
+    }
+    out.push_back(r);
+  }
+  return true;
+}
+
+bool snapshot_from_json(const json::Value& v, MetricsSnapshot& m,
+                        std::string& err) {
+  if (!v.is_object()) {
+    err = "metrics is not an object";
+    return false;
+  }
+  const json::Value* ranks = v.find("ranks");
+  if (ranks == nullptr || !ranks->is_number()) {
+    err = "missing field: ranks";
+    return false;
+  }
+  m.ranks = static_cast<int>(ranks->as_number());
+  if (!read_matrix(v.find("phase_busy_seconds"), m.phase_busy_seconds, err,
+                   "phase_busy_seconds") ||
+      !read_matrix(v.find("phase_wall_seconds"), m.phase_wall_seconds, err,
+                   "phase_wall_seconds") ||
+      !read_matrix(v.find("collective_count"), m.collective_count, err,
+                   "collective_count") ||
+      !read_matrix(v.find("collective_bytes"), m.collective_bytes, err,
+                   "collective_bytes") ||
+      !read_matrix(v.find("collective_seconds"), m.collective_seconds, err,
+                   "collective_seconds") ||
+      !read_dbl_array(v.find("rank_compute_seconds"), m.rank_compute_seconds,
+                      err, "rank_compute_seconds") ||
+      !read_dbl_array(v.find("rank_straggler_seconds"),
+                      m.rank_straggler_seconds, err,
+                      "rank_straggler_seconds") ||
+      !read_dbl_array(v.find("rank_comm_seconds"), m.rank_comm_seconds, err,
+                      "rank_comm_seconds") ||
+      !read_u64_array(v.find("rank_bytes_sent"), m.rank_bytes_sent, err,
+                      "rank_bytes_sent") ||
+      !read_u64_array(v.find("rank_retries"), m.rank_retries, err,
+                      "rank_retries") ||
+      !read_u64_array(v.find("rank_redistributed"), m.rank_redistributed, err,
+                      "rank_redistributed") ||
+      !read_u64_array(v.find("rank_retransmits"), m.rank_retransmits, err,
+                      "rank_retransmits") ||
+      !read_u64_array(v.find("rank_chunks"), m.rank_chunks, err,
+                      "rank_chunks") ||
+      !read_dbl_array(v.find("rank_chunk_service_seconds"),
+                      m.rank_chunk_service_seconds, err,
+                      "rank_chunk_service_seconds"))
+    return false;
+  const json::Value* hist = v.find("chunk_service_hist");
+  if (hist == nullptr || !hist->is_array() ||
+      hist->as_array().size() != static_cast<std::size_t>(kServiceHistBins)) {
+    err = "missing or mis-sized chunk_service_hist";
+    return false;
+  }
+  for (int i = 0; i < kServiceHistBins; ++i) {
+    const json::Value& e = hist->as_array()[static_cast<std::size_t>(i)];
+    if (!e.is_number()) {
+      err = "non-numeric element in chunk_service_hist";
+      return false;
+    }
+    m.chunk_service_hist[static_cast<std::size_t>(i)] =
+        static_cast<std::uint64_t>(e.as_number());
+  }
+  const json::Value* sa = v.find("steal_attempts");
+  const json::Value* ss = v.find("steal_successes");
+  const json::Value* pm = v.find("pop_misses");
+  if (sa == nullptr || !sa->is_number() || ss == nullptr ||
+      !ss->is_number() || pm == nullptr || !pm->is_number()) {
+    err = "missing steal counters";
+    return false;
+  }
+  m.steal_attempts = static_cast<std::uint64_t>(sa->as_number());
+  m.steal_successes = static_cast<std::uint64_t>(ss->as_number());
+  m.pop_misses = static_cast<std::uint64_t>(pm->as_number());
+  return true;
+}
+
+}  // namespace
+
+json::Value metrics_to_json(const MetricsDoc& doc) {
+  json::Object root;
+  root.emplace_back("schema_version", json::Value(kMetricsSchemaVersion));
+  root.emplace_back("figure", json::Value(doc.figure));
+  json::Array entries;
+  entries.reserve(doc.entries.size());
+  for (const MetricsEntry& e : doc.entries) {
+    json::Object o;
+    o.emplace_back("label", json::Value(e.label));
+    if (!e.extra.empty()) o.emplace_back("extra", json::Value(e.extra));
+    o.emplace_back("metrics", snapshot_to_json(e.metrics));
+    entries.push_back(json::Value(std::move(o)));
+  }
+  root.emplace_back("entries", json::Value(std::move(entries)));
+  return json::Value(std::move(root));
+}
+
+MetricsParse metrics_from_json(const json::Value& root) {
+  MetricsParse result;
+  if (!root.is_object()) {
+    result.error = "document is not an object";
+    return result;
+  }
+  const json::Value* ver = root.find("schema_version");
+  if (ver == nullptr || !ver->is_number()) {
+    result.error = "missing schema_version";
+    return result;
+  }
+  result.found_version = static_cast<int>(ver->as_number());
+  if (result.found_version != kMetricsSchemaVersion) {
+    result.version_mismatch = true;
+    result.error = "schema_version " + std::to_string(result.found_version) +
+                   " != supported " + std::to_string(kMetricsSchemaVersion);
+    return result;
+  }
+  const json::Value* figure = root.find("figure");
+  if (figure == nullptr || !figure->is_string()) {
+    result.error = "missing figure";
+    return result;
+  }
+  result.doc.figure = figure->as_string();
+  const json::Value* entries = root.find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    result.error = "missing entries";
+    return result;
+  }
+  for (const json::Value& ev : entries->as_array()) {
+    MetricsEntry entry;
+    const json::Value* label = ev.find("label");
+    if (label == nullptr || !label->is_string()) {
+      result.error = "entry missing label";
+      return result;
+    }
+    entry.label = label->as_string();
+    if (const json::Value* extra = ev.find("extra"); extra != nullptr) {
+      if (!extra->is_object()) {
+        result.error = "entry extra is not an object";
+        return result;
+      }
+      entry.extra = extra->as_object();
+    }
+    const json::Value* metrics = ev.find("metrics");
+    if (metrics == nullptr ||
+        !snapshot_from_json(*metrics, entry.metrics, result.error)) {
+      if (result.error.empty()) result.error = "entry missing metrics";
+      return result;
+    }
+    result.doc.entries.push_back(std::move(entry));
+  }
+  result.ok = true;
+  return result;
+}
+
+MetricsParse metrics_from_string(const std::string& text) {
+  const json::ParseResult parsed = json::parse(text);
+  if (!parsed.ok) {
+    MetricsParse result;
+    result.error = "json parse error: " + parsed.error;
+    return result;
+  }
+  return metrics_from_json(parsed.value);
+}
+
+bool write_metrics_json(const MetricsDoc& doc, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << metrics_to_json(doc).dump() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace gbpol::obs

@@ -1,0 +1,67 @@
+// Exporters for the observability layer.
+//
+//  * canonical_dump: deterministic text form of a Trace with every wall-time
+//    field masked — the bit-identical replay artifact golden_trace_test pins.
+//  * Chrome trace_event JSON (chrome://tracing or https://ui.perfetto.dev):
+//    phases become B/E duration events, point events (deaths, retransmits,
+//    checkpoint commits, steals) become instants; pid = rank, tid = worker.
+//  * metrics.json: stable versioned schema (kMetricsSchemaVersion) adopted
+//    by the bench drivers. Version policy: ANY field removal/rename or
+//    semantic change bumps the version; pure additions keep it. Parsers
+//    reject unknown versions loudly (version_mismatch) instead of guessing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace gbpol::obs {
+
+inline constexpr int kMetricsSchemaVersion = 1;
+
+// --- canonical trace dump ------------------------------------------------
+
+// One line per event, streams in (rank, worker, reg_index) order, wall_ns
+// and the kPhaseEnd duration payload masked. Two runs with the same seed and
+// FaultPlan produce byte-identical dumps.
+std::string canonical_dump(const Trace& trace);
+
+// --- Chrome trace_event JSON ---------------------------------------------
+
+std::string chrome_trace_json(const Trace& trace);
+bool write_chrome_trace(const Trace& trace, const std::string& path);
+
+// --- metrics.json schema -------------------------------------------------
+
+// One benchmark configuration's metrics: a label (e.g. "OCT_MPI+CILK p=12"),
+// free-form scalar context (energy, ranks, modeled seconds, ...) and the
+// merged snapshot.
+struct MetricsEntry {
+  std::string label;
+  json::Object extra;        // scalar context fields, emitted verbatim
+  MetricsSnapshot metrics;
+};
+
+struct MetricsDoc {
+  std::string figure;        // producing driver, e.g. "fig5_speedup"
+  std::vector<MetricsEntry> entries;
+};
+
+json::Value metrics_to_json(const MetricsDoc& doc);
+
+struct MetricsParse {
+  bool ok = false;
+  bool version_mismatch = false;  // parsed, but schema_version != ours
+  int found_version = -1;
+  std::string error;
+  MetricsDoc doc;
+};
+
+MetricsParse metrics_from_json(const json::Value& root);
+MetricsParse metrics_from_string(const std::string& text);
+
+bool write_metrics_json(const MetricsDoc& doc, const std::string& path);
+
+}  // namespace gbpol::obs

@@ -1,0 +1,311 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gbpol::obs::json {
+
+const Value* Value::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_value(const Value& v, std::string& out) {
+  switch (v.type()) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Type::kNumber: {
+      const double d = v.as_number();
+      // Integers up to 2^53 print without an exponent so logical counters
+      // (seqs, byte totals) stay greppable; %.17g keeps doubles exact.
+      char buf[40];
+      if (d == static_cast<double>(static_cast<long long>(d)) &&
+          d >= -9.007199254740992e15 && d <= 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+      }
+      out += buf;
+      break;
+    }
+    case Type::kString:
+      dump_string(v.as_string(), out);
+      break;
+    case Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Value& e : v.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_value(e, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, e] : v.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_string(k, out);
+        out.push_back(':');
+        dump_value(e, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ParseResult run() {
+    ParseResult result;
+    skip_ws();
+    if (!parse_value(result.value)) {
+      result.error = error_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      result.error = error_;
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool fail(const char* msg) {
+    if (error_.empty())
+      error_ = std::string(msg) + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return fail("invalid literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    if (++depth_ > 64) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    bool ok = false;
+    switch (text_[pos_]) {
+      case 'n': ok = literal("null", 4); if (ok) out = Value(nullptr); break;
+      case 't': ok = literal("true", 4); if (ok) out = Value(true); break;
+      case 'f': ok = literal("false", 5); if (ok) out = Value(false); break;
+      case '"': ok = parse_string_value(out); break;
+      case '[': ok = parse_array(out); break;
+      case '{': ok = parse_object(out); break;
+      default: ok = parse_number(out); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool parse_number(Value& out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(start, &end);
+    if (end == start) return fail("invalid number");
+    pos_ += static_cast<std::size_t>(end - start);
+    out = Value(d);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (text_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return fail("truncated escape");
+        const char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("invalid \\u escape");
+            }
+            pos_ += 4;
+            // Encode BMP code point as UTF-8 (surrogate pairs unsupported —
+            // the schema never emits them).
+            if (cp < 0x80) {
+              out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            }
+            break;
+          }
+          default: return fail("invalid escape");
+        }
+        continue;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_string_value(Value& out) {
+    std::string s;
+    if (!parse_string(s)) return false;
+    out = Value(std::move(s));
+    return true;
+  }
+
+  bool parse_array(Value& out) {
+    ++pos_;  // '['
+    Array arr;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      out = Value(std::move(arr));
+      return true;
+    }
+    while (true) {
+      Value elem;
+      skip_ws();
+      if (!parse_value(elem)) return false;
+      arr.push_back(std::move(elem));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        out = Value(std::move(arr));
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(Value& out) {
+    ++pos_;  // '{'
+    Object obj;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      out = Value(std::move(obj));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      Value val;
+      if (!parse_value(val)) return false;
+      obj.emplace_back(std::move(key), std::move(val));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        out = Value(std::move(obj));
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+ParseResult parse(const std::string& text) {
+  return Parser(text).run();
+}
+
+}  // namespace gbpol::obs::json

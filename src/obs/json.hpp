@@ -1,0 +1,75 @@
+// Minimal JSON value + recursive-descent parser, enough to round-trip the
+// metrics.json schema (obs/export.hpp) without external dependencies. Not a
+// general-purpose library: numbers parse via strtod, strings support the
+// standard escapes (\uXXXX decodes to UTF-8), objects preserve insertion
+// order so emitted documents are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gbpol::obs::json {
+
+enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  Value() = default;
+  Value(std::nullptr_t) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(double d) : type_(Type::kNumber), num_(d) {}
+  Value(int i) : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Value(std::uint64_t u) : type_(Type::kNumber), num_(static_cast<double>(u)) {}
+  Value(const char* s) : type_(Type::kString), str_(s) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  Value(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const Array& as_array() const { return arr_; }
+  Array& as_array() { return arr_; }
+  const Object& as_object() const { return obj_; }
+  Object& as_object() { return obj_; }
+
+  // Object lookup; returns nullptr when absent or when this is not an object.
+  const Value* find(const std::string& key) const;
+
+  // Serialize compactly (no whitespace). Doubles print with %.17g so that
+  // emit -> parse -> emit is a fixed point (round-trip exact for IEEE 754).
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;     // empty when ok; includes byte offset otherwise
+  Value value;
+};
+
+ParseResult parse(const std::string& text);
+
+}  // namespace gbpol::obs::json

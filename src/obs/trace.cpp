@@ -1,0 +1,454 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace gbpol::obs {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kRunBegin: return "run_begin";
+    case EventKind::kRunEnd: return "run_end";
+    case EventKind::kPhaseBegin: return "phase_begin";
+    case EventKind::kPhaseEnd: return "phase_end";
+    case EventKind::kChunkDispatch: return "chunk_dispatch";
+    case EventKind::kChunkDone: return "chunk_done";
+    case EventKind::kPopMiss: return "pop_miss";
+    case EventKind::kStealAttempt: return "steal_attempt";
+    case EventKind::kStealSuccess: return "steal_success";
+    case EventKind::kCollectiveEnter: return "coll_enter";
+    case EventKind::kCollectiveExit: return "coll_exit";
+    case EventKind::kCollectiveAbort: return "coll_abort";
+    case EventKind::kSend: return "send";
+    case EventKind::kRecv: return "recv";
+    case EventKind::kRetransmit: return "retransmit";
+    case EventKind::kStallPark: return "stall_park";
+    case EventKind::kDeath: return "death";
+    case EventKind::kKillPoll: return "kill_poll";
+    case EventKind::kCheckpointCommit: return "ckpt_commit";
+  }
+  return "unknown";
+}
+
+const char* coll_kind_name(CollKind k) {
+  switch (k) {
+    case CollKind::kBarrier: return "barrier";
+    case CollKind::kAllreduce: return "allreduce";
+    case CollKind::kReduce: return "reduce";
+    case CollKind::kBcast: return "bcast";
+    case CollKind::kAllgatherv: return "allgatherv";
+    case CollKind::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* phase_name(PhaseId p) {
+  switch (p) {
+    case PhaseId::kBornAccum: return "born_accum";
+    case PhaseId::kBornReduce: return "born_reduce";
+    case PhaseId::kPush: return "push";
+    case PhaseId::kBornGather: return "born_gather";
+    case PhaseId::kEpol: return "epol";
+    case PhaseId::kEpolReduce: return "epol_reduce";
+    case PhaseId::kOther: return "other";
+    case PhaseId::kCount: break;
+  }
+  return "unknown";
+}
+
+int service_hist_bin(std::uint64_t ns) {
+  int bin = 0;
+  while (ns > 1 && bin < kServiceHistBins - 1) {
+    ns >>= 1;
+    ++bin;
+  }
+  return bin;
+}
+
+#if GBPOL_TRACING_ENABLED
+
+namespace {
+
+std::uint64_t wall_now_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+struct ThreadBuffer {
+  std::int16_t rank = -1;
+  std::int16_t worker = -1;
+  std::uint64_t reg_index = 0;
+  std::uint64_t dropped = 0;
+  std::size_t capacity = 0;
+  std::vector<Event> events;  // reserved to capacity at registration
+};
+
+// Per-rank slot written only by that rank's thread (see metrics.hpp for the
+// locking story); globals are relaxed atomics.
+struct RankSlot {
+  std::array<double, kPhaseCount> phase_busy{};
+  std::array<double, kPhaseCount> phase_wall{};
+  std::array<std::uint64_t, kCollKindCount> coll_count{};
+  std::array<std::uint64_t, kCollKindCount> coll_bytes{};
+  std::array<double, kCollKindCount> coll_seconds{};
+  std::uint64_t retransmits = 0;
+  std::uint64_t chunks = 0;
+  double chunk_service_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double straggler_seconds = 0.0;
+  double comm_seconds = 0.0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t redistributed = 0;
+  bool active = false;  // any adder touched this slot
+};
+
+// Session storage is a leaked singleton: a stray thread observing a stale
+// epoch never dereferences freed registry memory (buffers it might still
+// point at are invalidated by the epoch check before any use).
+struct SessionState {
+  std::mutex mutex;
+  TraceConfig config;
+  std::deque<std::unique_ptr<ThreadBuffer>> buffers;
+  std::uint64_t next_reg_index = 0;
+  std::vector<RankSlot> ranks;
+  std::array<std::atomic<std::uint64_t>, kServiceHistBins> hist{};
+  std::atomic<std::uint64_t> steal_attempts{0};
+  std::atomic<std::uint64_t> steal_successes{0};
+  std::atomic<std::uint64_t> pop_misses{0};
+};
+
+SessionState& state() {
+  static SessionState* s = new SessionState;
+  return *s;
+}
+
+thread_local int tls_rank = -1;
+thread_local int tls_worker = -1;
+thread_local ThreadBuffer* tls_buffer = nullptr;
+thread_local std::uint64_t tls_buffer_epoch = 0;
+thread_local PhaseId tls_phase = PhaseId::kOther;
+thread_local std::uint64_t tls_phase_start_ns = 0;
+
+// Clamp a rank into the registry's slot range; -1 (host thread) gets no
+// slot. Slots are pre-sized at start_session, so writes never reallocate.
+RankSlot* slot_for(int rank) {
+  if (!session_active() || rank < 0) return nullptr;
+  SessionState& s = state();
+  const int max = static_cast<int>(s.ranks.size());
+  if (max == 0) return nullptr;
+  RankSlot& slot = s.ranks[static_cast<std::size_t>(std::min(rank, max - 1))];
+  slot.active = true;
+  return &slot;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<std::uint64_t> g_epoch{0};
+
+void emit_slow(EventKind kind, std::uint64_t a, std::uint64_t b,
+               std::uint8_t arg) {
+  SessionState& s = state();
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  if ((epoch & 1u) == 0) return;  // session ended between check and here
+  if (tls_buffer == nullptr || tls_buffer_epoch != epoch) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    // Re-check under the lock: stop_session also takes it, so a buffer is
+    // never registered into a session that has already drained.
+    if (g_epoch.load(std::memory_order_relaxed) != epoch) return;
+    auto buf = std::make_unique<ThreadBuffer>();
+    buf->rank = static_cast<std::int16_t>(tls_rank);
+    buf->worker = static_cast<std::int16_t>(tls_worker);
+    buf->reg_index = s.next_reg_index++;
+    buf->capacity = s.config.ring_capacity;
+    buf->events.reserve(buf->capacity);
+    tls_buffer = buf.get();
+    tls_buffer_epoch = epoch;
+    s.buffers.push_back(std::move(buf));
+  }
+  ThreadBuffer& buf = *tls_buffer;
+  if (buf.events.size() >= buf.capacity) {
+    ++buf.dropped;
+    return;
+  }
+  Event e;
+  e.wall_ns = wall_now_ns();
+  e.a = a;
+  e.b = b;
+  e.kind = kind;
+  e.arg = arg;
+  e.rank = static_cast<std::int16_t>(tls_rank);
+  e.worker = static_cast<std::int16_t>(tls_worker);
+  buf.events.push_back(e);
+}
+
+}  // namespace detail
+
+void start_session(const TraceConfig& config) {
+  SessionState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (session_active()) {
+    std::fprintf(stderr, "obs: start_session while a session is active\n");
+    std::abort();
+  }
+  s.config = config;
+  s.config.ring_capacity = std::max<std::size_t>(16, config.ring_capacity);
+  s.buffers.clear();
+  s.next_reg_index = 0;
+  s.ranks.assign(static_cast<std::size_t>(std::max(1, config.max_ranks)),
+                 RankSlot{});
+  for (auto& bin : s.hist) bin.store(0, std::memory_order_relaxed);
+  s.steal_attempts.store(0, std::memory_order_relaxed);
+  s.steal_successes.store(0, std::memory_order_relaxed);
+  s.pop_misses.store(0, std::memory_order_relaxed);
+  detail::g_epoch.fetch_add(1, std::memory_order_release);  // even -> odd
+}
+
+Trace stop_session() {
+  SessionState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (!session_active()) {
+    std::fprintf(stderr, "obs: stop_session without an active session\n");
+    std::abort();
+  }
+  detail::g_epoch.fetch_add(1, std::memory_order_release);  // odd -> even
+
+  Trace trace;
+  trace.streams.reserve(s.buffers.size());
+  for (auto& buf : s.buffers) {
+    EventStream stream;
+    stream.rank = buf->rank;
+    stream.worker = buf->worker;
+    stream.reg_index = buf->reg_index;
+    stream.dropped = buf->dropped;
+    stream.events = std::move(buf->events);
+    trace.streams.push_back(std::move(stream));
+  }
+  s.buffers.clear();
+  std::sort(trace.streams.begin(), trace.streams.end(),
+            [](const EventStream& x, const EventStream& y) {
+              if (x.rank != y.rank) return x.rank < y.rank;
+              if (x.worker != y.worker) return x.worker < y.worker;
+              return x.reg_index < y.reg_index;
+            });
+
+  MetricsSnapshot& m = trace.metrics;
+  int active_ranks = 0;
+  for (int r = 0; r < static_cast<int>(s.ranks.size()); ++r)
+    if (s.ranks[static_cast<std::size_t>(r)].active) active_ranks = r + 1;
+  m.ranks = active_ranks;
+  const auto n = static_cast<std::size_t>(active_ranks);
+  m.phase_busy_seconds.resize(n);
+  m.phase_wall_seconds.resize(n);
+  m.collective_count.resize(n);
+  m.collective_bytes.resize(n);
+  m.collective_seconds.resize(n);
+  m.rank_compute_seconds.resize(n);
+  m.rank_straggler_seconds.resize(n);
+  m.rank_comm_seconds.resize(n);
+  m.rank_bytes_sent.resize(n);
+  m.rank_retries.resize(n);
+  m.rank_redistributed.resize(n);
+  m.rank_retransmits.resize(n);
+  m.rank_chunks.resize(n);
+  m.rank_chunk_service_seconds.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const RankSlot& slot = s.ranks[r];
+    m.phase_busy_seconds[r] = slot.phase_busy;
+    m.phase_wall_seconds[r] = slot.phase_wall;
+    m.collective_count[r] = slot.coll_count;
+    m.collective_bytes[r] = slot.coll_bytes;
+    m.collective_seconds[r] = slot.coll_seconds;
+    m.rank_compute_seconds[r] = slot.compute_seconds;
+    m.rank_straggler_seconds[r] = slot.straggler_seconds;
+    m.rank_comm_seconds[r] = slot.comm_seconds;
+    m.rank_bytes_sent[r] = slot.bytes_sent;
+    m.rank_retries[r] = slot.retries;
+    m.rank_redistributed[r] = slot.redistributed;
+    m.rank_retransmits[r] = slot.retransmits;
+    m.rank_chunks[r] = slot.chunks;
+    m.rank_chunk_service_seconds[r] = slot.chunk_service_seconds;
+  }
+  for (int i = 0; i < kServiceHistBins; ++i)
+    m.chunk_service_hist[static_cast<std::size_t>(i)] =
+        s.hist[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  m.steal_attempts = s.steal_attempts.load(std::memory_order_relaxed);
+  m.steal_successes = s.steal_successes.load(std::memory_order_relaxed);
+  m.pop_misses = s.pop_misses.load(std::memory_order_relaxed);
+  s.ranks.clear();
+  return trace;
+}
+
+void set_thread_rank(int rank) { tls_rank = rank; }
+void set_thread_worker(int worker) { tls_worker = worker; }
+int current_rank() { return tls_rank; }
+int current_worker() { return tls_worker; }
+
+void phase_begin(PhaseId phase) {
+  if (tls_phase != PhaseId::kOther) phase_end();  // auto-close: no overlap
+  tls_phase = phase;
+  tls_phase_start_ns = wall_now_ns();
+  emit(EventKind::kPhaseBegin, 0, 0, static_cast<std::uint8_t>(phase));
+}
+
+void phase_end() {
+  if (tls_phase == PhaseId::kOther) return;
+  const std::uint64_t dur = wall_now_ns() - tls_phase_start_ns;
+  emit(EventKind::kPhaseEnd, dur, 0, static_cast<std::uint8_t>(tls_phase));
+  add_phase_wall(tls_rank, tls_phase, static_cast<double>(dur) * 1e-9);
+  tls_phase = PhaseId::kOther;
+}
+
+PhaseId current_phase() { return tls_phase; }
+
+// --- metrics adders (declared in metrics.hpp) ----------------------------
+
+void add_phase_busy(int rank, double seconds) {
+  if (RankSlot* slot = slot_for(rank))
+    slot->phase_busy[static_cast<std::size_t>(tls_phase)] += seconds;
+}
+
+void add_phase_wall(int rank, PhaseId phase, double seconds) {
+  if (RankSlot* slot = slot_for(rank))
+    slot->phase_wall[static_cast<std::size_t>(phase)] += seconds;
+}
+
+void add_collective(int rank, CollKind kind, std::uint64_t bytes,
+                    double modeled_seconds) {
+  if (RankSlot* slot = slot_for(rank)) {
+    const auto k = static_cast<std::size_t>(kind);
+    slot->coll_count[k] += 1;
+    slot->coll_bytes[k] += bytes;
+    slot->coll_seconds[k] += modeled_seconds;
+  }
+}
+
+void add_retransmit(int rank) {
+  if (RankSlot* slot = slot_for(rank)) slot->retransmits += 1;
+}
+
+void add_chunk_service(int rank, std::uint64_t ns) {
+  if (RankSlot* slot = slot_for(rank)) {
+    slot->chunks += 1;
+    slot->chunk_service_seconds += static_cast<double>(ns) * 1e-9;
+  }
+  if (session_active())
+    state().hist[static_cast<std::size_t>(service_hist_bin(ns))].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+void add_steal_attempt() {
+  if (session_active())
+    state().steal_attempts.fetch_add(1, std::memory_order_relaxed);
+}
+
+void add_steal_success() {
+  if (session_active())
+    state().steal_successes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void add_pop_miss() {
+  if (session_active())
+    state().pop_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void record_rank_totals(int rank, double compute_seconds,
+                        double straggler_seconds, double comm_seconds,
+                        std::uint64_t bytes_sent, std::uint64_t retries,
+                        std::uint64_t redistributed) {
+  if (RankSlot* slot = slot_for(rank)) {
+    slot->compute_seconds += compute_seconds;
+    slot->straggler_seconds += straggler_seconds;
+    slot->comm_seconds += comm_seconds;
+    slot->bytes_sent += bytes_sent;
+    slot->retries += retries;
+    slot->redistributed += redistributed;
+  }
+}
+
+#endif  // GBPOL_TRACING_ENABLED
+
+// --- MetricsSnapshot aggregates (built in both modes) --------------------
+
+double MetricsSnapshot::total_phase_busy(int rank) const {
+  if (rank < 0 || rank >= ranks) return 0.0;
+  double sum = 0.0;
+  for (double b : phase_busy_seconds[static_cast<std::size_t>(rank)]) sum += b;
+  return sum;
+}
+
+double MetricsSnapshot::total_phase_busy_all() const {
+  double sum = 0.0;
+  for (int r = 0; r < ranks; ++r) sum += total_phase_busy(r);
+  return sum;
+}
+
+double MetricsSnapshot::phase_busy_all_ranks(PhaseId p) const {
+  double sum = 0.0;
+  for (int r = 0; r < ranks; ++r)
+    sum += phase_busy_seconds[static_cast<std::size_t>(r)]
+                             [static_cast<std::size_t>(p)];
+  return sum;
+}
+
+double MetricsSnapshot::phase_wall_all_ranks(PhaseId p) const {
+  double sum = 0.0;
+  for (int r = 0; r < ranks; ++r)
+    sum += phase_wall_seconds[static_cast<std::size_t>(r)]
+                             [static_cast<std::size_t>(p)];
+  return sum;
+}
+
+std::uint64_t MetricsSnapshot::collective_bytes_all_ranks(CollKind k) const {
+  std::uint64_t sum = 0;
+  for (int r = 0; r < ranks; ++r)
+    sum += collective_bytes[static_cast<std::size_t>(r)]
+                           [static_cast<std::size_t>(k)];
+  return sum;
+}
+
+std::uint64_t MetricsSnapshot::collective_count_all_ranks(CollKind k) const {
+  std::uint64_t sum = 0;
+  for (int r = 0; r < ranks; ++r)
+    sum += collective_count[static_cast<std::size_t>(r)]
+                           [static_cast<std::size_t>(k)];
+  return sum;
+}
+
+double MetricsSnapshot::collective_seconds_all_ranks(CollKind k) const {
+  double sum = 0.0;
+  for (int r = 0; r < ranks; ++r)
+    sum += collective_seconds[static_cast<std::size_t>(r)]
+                             [static_cast<std::size_t>(k)];
+  return sum;
+}
+
+std::uint64_t MetricsSnapshot::total_retransmits() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : rank_retransmits) sum += v;
+  return sum;
+}
+
+std::uint64_t MetricsSnapshot::total_chunks() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : rank_chunks) sum += v;
+  return sum;
+}
+
+double MetricsSnapshot::steal_success_rate() const {
+  if (steal_attempts == 0) return 0.0;
+  return static_cast<double>(steal_successes) /
+         static_cast<double>(steal_attempts);
+}
+
+}  // namespace gbpol::obs
+

@@ -1,0 +1,186 @@
+// Structured event tracing for mpisim, the work-stealing pool, the drivers
+// and the checkpoint layer.
+//
+// Model: a globally started *session* owns one single-producer ring buffer
+// per participating OS thread (registered lazily at a thread's first emit).
+// Events are stamped with the emitting thread's (rank, worker) context —
+// plumbed by mpisim::Runtime and ws::Scheduler — plus the payload's LOGICAL
+// clocks (collective sequence numbers, chunk cursors, poll ticks) and a
+// CLOCK_MONOTONIC wall timestamp. Because every payload except the wall
+// stamp is keyed to the deterministic logical schedule, two runs with the
+// same seed and FaultPlan produce *structurally identical* streams: the
+// canonical dump (export.hpp) masks wall time and is bit-identical across
+// replays. That is what makes the tracer testable (tests/golden_trace_test)
+// rather than merely printable.
+//
+// Overhead: when no session is active every emit is one relaxed atomic load
+// and a predicted branch. When the build is configured with
+// -DGBPOL_TRACING=OFF the emit paths and context setters compile to empty
+// inline functions — zero code in the instrumented hot paths — while the
+// passive data types (Event, Trace) stay available so exporters and tools
+// still build.
+//
+// Threading contract: start_session/stop_session must not race with
+// emitters. The repo's usage brackets driver runs (all rank and worker
+// threads are joined before the driver returns), which satisfies this by
+// construction. A thread whose session ended re-registers on its next emit
+// (sessions are numbered by a monotonically increasing epoch).
+//
+// Overflow: a buffer that reaches capacity keeps the PREFIX of its stream
+// and counts the rest in `dropped` — a truncated stream is still a valid
+// prefix for the structural invariants, unlike a wrap-around that would cut
+// event pairs in half.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+#ifndef GBPOL_TRACING_ENABLED
+#define GBPOL_TRACING_ENABLED 1
+#endif
+
+namespace gbpol::obs {
+
+enum class EventKind : std::uint8_t {
+  kRunBegin = 0,       // a = ranks
+  kRunEnd,             // a = ranks
+  kPhaseBegin,         // arg = PhaseId
+  kPhaseEnd,           // arg = PhaseId, a = duration ns (masked in canon)
+  kChunkDispatch,      // a = lo, b = hi (leaf/atom range), arg = PhaseId
+  kChunkDone,          // a = lo, b = hi, arg = PhaseId
+  kPopMiss,            // thief's own deque was empty before a steal
+  kStealAttempt,       // a = victim worker id
+  kStealSuccess,       // a = victim worker id
+  kCollectiveEnter,    // a = collective seq, arg = CollKind
+  kCollectiveExit,     // a = collective seq, b = bytes, arg = CollKind
+  kCollectiveAbort,    // a = collective seq, b = retry streak, arg = CollKind
+  kSend,               // a = dst rank, b = bytes
+  kRecv,               // a = src rank, b = bytes
+  kRetransmit,         // a = src rank, b = attempt index (0-based)
+  kStallPark,          // a = collective seq
+  kDeath,              // a = collective seq, arg = DeathCause
+  kKillPoll,           // a = collective seq, b = tick, arg = 1 if kill seen
+  kCheckpointCommit,   // a = cursor, arg = ckpt phase
+};
+
+// Why a rank left the run through the death machinery.
+enum class DeathCause : std::uint8_t {
+  kScheduled = 0,      // FaultPlan::Death fired at a collective entry
+  kKilled = 1,         // process kill / abandon()
+  kStallConverted = 2, // supervisor watchdog converted an injected stall
+};
+
+// 32-byte POD event record. `wall_ns` is the only nondeterministic field;
+// canonicalization masks it.
+struct Event {
+  std::uint64_t wall_ns = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  EventKind kind{};
+  std::uint8_t arg = 0;
+  std::int16_t rank = -1;    // -1 = host thread (no simulated rank)
+  std::int16_t worker = -1;  // -1 = rank/main thread, >= 0 = pool worker
+  std::uint16_t pad = 0;
+};
+static_assert(sizeof(Event) == 32, "Event must stay one cache-line half");
+
+const char* event_kind_name(EventKind k);
+
+// One thread's recorded stream, in that thread's program order.
+struct EventStream {
+  std::int16_t rank = -1;
+  std::int16_t worker = -1;
+  std::uint64_t reg_index = 0;  // registration order within the session
+  std::uint64_t dropped = 0;    // events lost to the capacity cap
+  std::vector<Event> events;
+};
+
+// The drained result of a session: all streams (sorted by rank, worker,
+// registration order) plus the merged metrics snapshot.
+struct Trace {
+  std::vector<EventStream> streams;
+  MetricsSnapshot metrics;
+
+  std::size_t total_events() const {
+    std::size_t n = 0;
+    for (const EventStream& s : streams) n += s.events.size();
+    return n;
+  }
+  std::uint64_t total_dropped() const {
+    std::uint64_t n = 0;
+    for (const EventStream& s : streams) n += s.dropped;
+    return n;
+  }
+};
+
+struct TraceConfig {
+  // Per-thread event capacity. Streams keep the first `ring_capacity`
+  // events and count the overflow in EventStream::dropped.
+  std::size_t ring_capacity = 1u << 15;
+  // Upper bound on rank ids recorded in per-rank metric slots.
+  int max_ranks = 512;
+};
+
+#if GBPOL_TRACING_ENABLED
+
+namespace detail {
+// Bottom bit set = a session is active. Incremented on every start AND stop,
+// so an epoch value never repeats and stale thread-local buffer pointers are
+// detected by a simple inequality.
+extern std::atomic<std::uint64_t> g_epoch;
+void emit_slow(EventKind kind, std::uint64_t a, std::uint64_t b,
+               std::uint8_t arg);
+}  // namespace detail
+
+// Starts a global session. Only one session may be active; starting while
+// active terminates (programming error).
+void start_session(const TraceConfig& config = {});
+// Drains every buffer and the metrics registry. Callers must ensure no
+// emitter can race (join rank/worker threads first — the drivers do).
+Trace stop_session();
+
+inline bool session_active() {
+  return (detail::g_epoch.load(std::memory_order_acquire) & 1u) != 0;
+}
+
+inline void emit(EventKind kind, std::uint64_t a = 0, std::uint64_t b = 0,
+                 std::uint8_t arg = 0) {
+  if (session_active()) detail::emit_slow(kind, a, b, arg);
+}
+
+// Thread context, stamped into every event this thread emits.
+void set_thread_rank(int rank);
+void set_thread_worker(int worker);
+int current_rank();
+int current_worker();
+
+// Phase bracket for the drivers. phase_begin auto-closes a still-open phase
+// first, so per-thread phase intervals can never overlap — the structural
+// invariant tests/trace_invariants_test.cpp pins. Records phase wall time
+// into the metrics registry and leaves the phase id in TLS so that
+// add_phase_busy (metrics.hpp) attributes compute seconds to it.
+void phase_begin(PhaseId phase);
+void phase_end();
+PhaseId current_phase();
+
+#else  // GBPOL_TRACING_ENABLED == 0: everything compiles to nothing.
+
+inline void start_session(const TraceConfig& = {}) {}
+inline Trace stop_session() { return {}; }
+inline bool session_active() { return false; }
+inline void emit(EventKind, std::uint64_t = 0, std::uint64_t = 0,
+                 std::uint8_t = 0) {}
+inline void set_thread_rank(int) {}
+inline void set_thread_worker(int) {}
+inline int current_rank() { return -1; }
+inline int current_worker() { return -1; }
+inline void phase_begin(PhaseId) {}
+inline void phase_end() {}
+inline PhaseId current_phase() { return PhaseId::kOther; }
+
+#endif  // GBPOL_TRACING_ENABLED
+
+}  // namespace gbpol::obs

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "obs/trace.hpp"
 #include "support/timer.hpp"
 
 namespace gbpol::ws {
@@ -34,6 +35,7 @@ void TaskGroup::wait() {
 
 Scheduler::Scheduler(int num_workers) {
   const int n = num_workers > 0 ? num_workers : 1;
+  creator_rank_ = obs::current_rank();
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
     workers_.push_back(std::make_unique<Worker>(0xC0FFEEULL + static_cast<std::uint64_t>(i)));
@@ -82,15 +84,26 @@ void Scheduler::spawn(detail::Task* task) {
 detail::Task* Scheduler::find_task(Worker& self) {
   detail::Task* task = nullptr;
   if (self.deque.pop(task)) return task;
+  obs::add_pop_miss();
 
   // Random-victim stealing, one full sweep starting at a random offset.
   const std::size_t n = workers_.size();
   const std::size_t start = self.rng.next_below(n);
   for (std::size_t k = 0; k < n; ++k) {
-    Worker& victim = *workers_[(start + k) % n];
+    const std::size_t v = (start + k) % n;
+    Worker& victim = *workers_[v];
     if (&victim == &self) continue;
+    obs::add_steal_attempt();
     if (victim.deque.steal(task)) {
       self.steals.fetch_add(1, std::memory_order_relaxed);
+      obs::add_steal_success();
+      // Events only materialize for successful steals, as one contiguous
+      // triplet in the THIEF's stream: its own pop came up empty, it probed
+      // `v`, it won. Spinning idle workers thus cost three relaxed counter
+      // bumps per sweep, not trace traffic (the ≤5% on-but-idle budget).
+      obs::emit(obs::EventKind::kPopMiss);
+      obs::emit(obs::EventKind::kStealAttempt, v);
+      obs::emit(obs::EventKind::kStealSuccess, v);
       return task;
     }
   }
@@ -126,6 +139,8 @@ void Scheduler::execute(detail::Task* task, Worker& self) {
 void Scheduler::worker_main(int id) {
   tls_worker_id = id;
   tls_scheduler = this;
+  obs::set_thread_rank(creator_rank_);
+  obs::set_thread_worker(id);
   Worker& self = *workers_[static_cast<std::size_t>(id)];
   int spins = 0;
   while (!shutdown_.load(std::memory_order_acquire)) {

@@ -111,6 +111,10 @@ class Scheduler {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+  // Simulated rank of the thread that built this pool (-1 outside mpisim);
+  // workers inherit it so their trace events land in the owning rank's
+  // timeline (obs::set_thread_rank).
+  int creator_rank_ = -1;
 
   // Root-task injection + parking.
   std::mutex mutex_;

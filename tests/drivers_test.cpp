@@ -203,6 +203,28 @@ TEST_F(DriversTest, DynamicDivisionMatchesStaticEnergy) {
   EXPECT_GT(b.comm_seconds, a.comm_seconds);
 }
 
+TEST_F(DriversTest, FaultFreeRunsReportZeroRetriesAndRedistribution) {
+  // Regression guard: the fault accounting fields must be POPULATED (as
+  // zeros) on the fault-free path, not left to whatever the caller had —
+  // downstream tooling (bench metrics.json) reads them unconditionally.
+  ApproxParams params;
+  for (const WorkDivision division :
+       {WorkDivision::kNodeNode, WorkDivision::kAtomBased,
+        WorkDivision::kNodeBalanced}) {
+    RunConfig config;
+    config.ranks = 4;
+    config.division = division;
+    const DriverResult r =
+        run_oct_distributed(fix().prep, params, GBConstants{}, config);
+    EXPECT_EQ(r.retries, 0u) << "division=" << static_cast<int>(division);
+    EXPECT_EQ(r.redistributed_work_items, 0u)
+        << "division=" << static_cast<int>(division);
+    EXPECT_FALSE(r.degraded) << "division=" << static_cast<int>(division);
+    EXPECT_FALSE(r.killed);
+    EXPECT_EQ(r.stalls_converted, 0);
+  }
+}
+
 TEST_F(DriversTest, TimingFieldsPopulated) {
   ApproxParams params;
   RunConfig config;

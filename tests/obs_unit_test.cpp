@@ -1,0 +1,535 @@
+// Direct unit coverage of the observability layer's exporters, JSON
+// round-trip machinery and session mechanics — the paths the end-to-end
+// trace tests reach only through the drivers (or, for the Chrome exporter
+// and the parse error paths, not at all).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gbpol::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const char* leaf) {
+  return (fs::temp_directory_path() / leaf).string();
+}
+
+// --- enum name tables ----------------------------------------------------
+
+TEST(ObsNames, EveryEventKindHasAName) {
+  const EventKind kinds[] = {
+      EventKind::kRunBegin,     EventKind::kRunEnd,
+      EventKind::kPhaseBegin,   EventKind::kPhaseEnd,
+      EventKind::kChunkDispatch, EventKind::kChunkDone,
+      EventKind::kPopMiss,      EventKind::kStealAttempt,
+      EventKind::kStealSuccess, EventKind::kCollectiveEnter,
+      EventKind::kCollectiveExit, EventKind::kCollectiveAbort,
+      EventKind::kSend,         EventKind::kRecv,
+      EventKind::kRetransmit,   EventKind::kStallPark,
+      EventKind::kDeath,        EventKind::kKillPoll,
+      EventKind::kCheckpointCommit,
+  };
+  for (const EventKind k : kinds)
+    EXPECT_STRNE(event_kind_name(k), "unknown");
+  EXPECT_STREQ(event_kind_name(static_cast<EventKind>(200)), "unknown");
+}
+
+TEST(ObsNames, CollKindAndPhaseNames) {
+  for (int k = 0; k < kCollKindCount; ++k)
+    EXPECT_STRNE(coll_kind_name(static_cast<CollKind>(k)), "unknown");
+  EXPECT_STREQ(coll_kind_name(CollKind::kCount), "unknown");
+  for (int p = 0; p < kPhaseCount; ++p)
+    EXPECT_STRNE(phase_name(static_cast<PhaseId>(p)), "unknown");
+  EXPECT_STREQ(phase_name(PhaseId::kCount), "unknown");
+  EXPECT_STREQ(phase_name(PhaseId::kOther), "other");
+}
+
+TEST(ObsNames, ServiceHistBinIsLog2WithClamp) {
+  EXPECT_EQ(service_hist_bin(0), 0);
+  EXPECT_EQ(service_hist_bin(1), 0);
+  EXPECT_EQ(service_hist_bin(2), 1);
+  EXPECT_EQ(service_hist_bin(7), 2);
+  EXPECT_EQ(service_hist_bin(~0ull), kServiceHistBins - 1);
+}
+
+// --- Chrome trace_event export -------------------------------------------
+
+Trace one_of_each_kind() {
+  Trace t;
+  EventStream s;
+  s.rank = 3;
+  s.worker = 1;
+  auto push = [&s](EventKind k, std::uint64_t a, std::uint64_t b,
+                   std::uint8_t arg) {
+    Event e;
+    e.wall_ns = 1000 * (s.events.size() + 1);
+    e.kind = k;
+    e.a = a;
+    e.b = b;
+    e.arg = arg;
+    e.rank = s.rank;
+    e.worker = s.worker;
+    s.events.push_back(e);
+  };
+  push(EventKind::kRunBegin, 4, 0, 0);
+  push(EventKind::kPhaseBegin, 0, 0,
+       static_cast<std::uint8_t>(PhaseId::kBornAccum));
+  push(EventKind::kChunkDispatch, 0, 8,
+       static_cast<std::uint8_t>(PhaseId::kBornAccum));
+  push(EventKind::kChunkDone, 0, 8,
+       static_cast<std::uint8_t>(PhaseId::kBornAccum));
+  push(EventKind::kPopMiss, 0, 0, 0);
+  push(EventKind::kStealAttempt, 2, 0, 0);
+  push(EventKind::kStealSuccess, 2, 0, 0);
+  push(EventKind::kCollectiveEnter, 0, 0,
+       static_cast<std::uint8_t>(CollKind::kAllreduce));
+  push(EventKind::kCollectiveAbort, 0, 1,
+       static_cast<std::uint8_t>(CollKind::kAllreduce));
+  push(EventKind::kCollectiveExit, 1, 64,
+       static_cast<std::uint8_t>(CollKind::kAllreduce));
+  push(EventKind::kSend, 1, 128, 0);
+  push(EventKind::kRecv, 0, 128, 0);
+  push(EventKind::kRetransmit, 0, 1, 0);
+  push(EventKind::kStallPark, 2, 0, 0);
+  push(EventKind::kDeath, 2, 0,
+       static_cast<std::uint8_t>(DeathCause::kScheduled));
+  push(EventKind::kKillPoll, 2, 9, 0);
+  push(EventKind::kCheckpointCommit, 17, 0, 1);
+  push(EventKind::kPhaseEnd, 5555, 0,
+       static_cast<std::uint8_t>(PhaseId::kBornAccum));
+  push(EventKind::kRunEnd, 4, 0, 0);
+  t.streams.push_back(std::move(s));
+  return t;
+}
+
+TEST(ObsChromeExport, EveryEventKindRendersAndParses) {
+  const Trace t = one_of_each_kind();
+  const std::string text = chrome_trace_json(t);
+  const json::ParseResult parsed = json::parse(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const json::Value* events = parsed.value.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->as_array().size(), t.streams[0].events.size());
+
+  std::size_t begins = 0, ends = 0, instants = 0;
+  bool saw_allreduce = false, saw_chunk = false, saw_phase = false;
+  for (const json::Value& ev : events->as_array()) {
+    const json::Value* ph = ev.find("ph");
+    const json::Value* name = ev.find("name");
+    const json::Value* pid = ev.find("pid");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(pid, nullptr);
+    EXPECT_EQ(static_cast<int>(pid->as_number()), 3);
+    if (ph->as_string() == "B") ++begins;
+    if (ph->as_string() == "E") ++ends;
+    if (ph->as_string() == "i") {
+      ++instants;
+      const json::Value* scope = ev.find("s");
+      ASSERT_NE(scope, nullptr);
+      EXPECT_EQ(scope->as_string(), "t");
+    }
+    if (name->as_string() == "allreduce") saw_allreduce = true;
+    if (name->as_string() == "chunk") saw_chunk = true;
+    if (name->as_string() == "born_accum") saw_phase = true;
+  }
+  // Duration pairs: phase bracket, chunk bracket, collective enter/exit.
+  EXPECT_EQ(begins, 3u);
+  EXPECT_EQ(ends, 3u);
+  EXPECT_EQ(instants, t.streams[0].events.size() - 6);
+  EXPECT_TRUE(saw_allreduce);
+  EXPECT_TRUE(saw_chunk);
+  EXPECT_TRUE(saw_phase);
+}
+
+TEST(ObsChromeExport, WriteToFileAndFailurePath) {
+  const Trace t = one_of_each_kind();
+  const std::string path = temp_path("gbpol_obs_unit_chrome.json");
+  ASSERT_TRUE(write_chrome_trace(t, path));
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_TRUE(json::parse(text).ok);
+  std::remove(path.c_str());
+  EXPECT_FALSE(write_chrome_trace(t, "/nonexistent-dir/trace.json"));
+}
+
+// --- JSON dump / parse ---------------------------------------------------
+
+TEST(ObsJson, DumpEscapesAndScalarForms) {
+  json::Object o;
+  o.emplace_back("s", json::Value(std::string("q\"b\\n\nr\rt\tu\x01")));
+  o.emplace_back("null", json::Value(nullptr));
+  o.emplace_back("yes", json::Value(true));
+  o.emplace_back("no", json::Value(false));
+  o.emplace_back("int", json::Value(12345.0));
+  o.emplace_back("neg", json::Value(-7.0));
+  o.emplace_back("frac", json::Value(0.5));
+  o.emplace_back("huge", json::Value(1e300));
+  const std::string text = json::Value(std::move(o)).dump();
+  EXPECT_NE(text.find("q\\\"b\\\\n\\nr\\rt\\tu\\u0001"), std::string::npos);
+  EXPECT_NE(text.find("\"null\":null"), std::string::npos);
+  EXPECT_NE(text.find("\"yes\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"no\":false"), std::string::npos);
+  EXPECT_NE(text.find("\"int\":12345"), std::string::npos);
+  EXPECT_NE(text.find("\"neg\":-7"), std::string::npos);
+  EXPECT_NE(text.find("\"frac\":0.5"), std::string::npos);
+  EXPECT_NE(text.find("1e+300"), std::string::npos);
+
+  // Round trip: escapes decode back to the original bytes.
+  const json::ParseResult parsed = json::parse(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const json::Value* s = parsed.value.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->as_string(), "q\"b\\n\nr\rt\tu\x01");
+  EXPECT_TRUE(parsed.value.find("null")->is_null());
+  EXPECT_TRUE(parsed.value.find("yes")->as_bool());
+  EXPECT_FALSE(parsed.value.find("no")->as_bool());
+}
+
+TEST(ObsJson, ParseEscapesIncludingUnicode) {
+  const json::ParseResult p =
+      json::parse("\"\\/\\b\\f\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.value.as_string(), "/\b\fA\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(ObsJson, ParseErrorPathsNameTheProblem) {
+  const struct {
+    const char* text;
+    const char* expect;
+  } cases[] = {
+      {"", "unexpected end of input"},
+      {"nul", "invalid literal"},
+      {"tru", "invalid literal"},
+      {"fals", "invalid literal"},
+      {"\"abc", "unterminated string"},
+      {"\"a\\", "truncated escape"},
+      {"\"a\\u12", "truncated \\u escape"},
+      {"\"a\\uzzzz\"", "invalid \\u escape"},
+      {"\"a\\q\"", "invalid escape"},
+      {"[1", "unterminated array"},
+      {"[1;2]", "expected ',' or ']'"},
+      {"{1:2}", "expected object key"},
+      {"{\"a\" 1}", "expected ':'"},
+      {"{\"a\":1", "unterminated object"},
+      {"{\"a\":1;}", "expected ',' or '}'"},
+      {"x", "invalid number"},
+      {"1 2", "trailing characters"},
+  };
+  for (const auto& c : cases) {
+    const json::ParseResult p = json::parse(c.text);
+    EXPECT_FALSE(p.ok) << c.text;
+    EXPECT_NE(p.error.find(c.expect), std::string::npos)
+        << c.text << " -> " << p.error;
+  }
+  // Depth guard: 65 nested arrays trips the limit.
+  std::string deep(65, '[');
+  deep += std::string(65, ']');
+  const json::ParseResult p = json::parse(deep);
+  EXPECT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("nesting too deep"), std::string::npos);
+}
+
+TEST(ObsJson, EmptyContainersAndWhitespace) {
+  const json::ParseResult p = json::parse(" { \"a\" : [ ] , \"b\" : { } } ");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_TRUE(p.value.find("a")->is_array());
+  EXPECT_TRUE(p.value.find("a")->as_array().empty());
+  EXPECT_TRUE(p.value.find("b")->is_object());
+}
+
+// --- metrics.json error paths --------------------------------------------
+
+MetricsSnapshot tiny_snapshot() {
+  MetricsSnapshot m;
+  m.ranks = 1;
+  m.phase_busy_seconds.resize(1);
+  m.phase_wall_seconds.resize(1);
+  m.collective_count.resize(1);
+  m.collective_bytes.resize(1);
+  m.collective_seconds.resize(1);
+  m.rank_compute_seconds.assign(1, 1.5);
+  m.rank_straggler_seconds.assign(1, 0.0);
+  m.rank_comm_seconds.assign(1, 0.25);
+  m.rank_bytes_sent.assign(1, 640);
+  m.rank_retries.assign(1, 0);
+  m.rank_redistributed.assign(1, 0);
+  m.rank_retransmits.assign(1, 0);
+  m.rank_chunks.assign(1, 12);
+  m.rank_chunk_service_seconds.assign(1, 0.75);
+  m.steal_attempts = 4;
+  m.steal_successes = 1;
+  m.pop_misses = 4;
+  return m;
+}
+
+std::string tiny_doc_text() {
+  MetricsDoc doc;
+  doc.figure = "obs_unit_test";
+  MetricsEntry e;
+  e.label = "tiny";
+  e.metrics = tiny_snapshot();
+  doc.entries.push_back(std::move(e));
+  return metrics_to_json(doc).dump();
+}
+
+// Replace the first occurrence of `from` (must exist) and expect the parse
+// to fail naming `expect`.
+void expect_mutation_rejected(const std::string& base, const std::string& from,
+                              const std::string& to, const char* expect) {
+  std::string text = base;
+  const std::size_t at = text.find(from);
+  ASSERT_NE(at, std::string::npos) << from;
+  text.replace(at, from.size(), to);
+  const MetricsParse p = metrics_from_string(text);
+  EXPECT_FALSE(p.ok) << from << " -> " << to;
+  EXPECT_NE(p.error.find(expect), std::string::npos)
+      << from << " -> error was: " << p.error;
+}
+
+TEST(ObsMetricsJson, DocumentLevelRejections) {
+  EXPECT_NE(metrics_from_string("[]").error.find("not an object"),
+            std::string::npos);
+  EXPECT_NE(metrics_from_string("{}").error.find("missing schema_version"),
+            std::string::npos);
+  EXPECT_NE(metrics_from_string("{\"x\":").error.find("json parse error"),
+            std::string::npos);
+
+  const std::string base = tiny_doc_text();
+  expect_mutation_rejected(base, "\"figure\"", "\"fig\"", "missing figure");
+  expect_mutation_rejected(base, "\"entries\"", "\"rows\"", "missing entries");
+  expect_mutation_rejected(base, "\"label\"", "\"tag\"", "entry missing label");
+  expect_mutation_rejected(base, "\"metrics\":{", "\"metrics\":4,\"x\":{",
+                           "metrics is not an object");
+}
+
+TEST(ObsMetricsJson, SnapshotFieldRejections) {
+  const std::string base = tiny_doc_text();
+  expect_mutation_rejected(base, "\"ranks\":1", "\"ranks\":\"one\"",
+                           "missing field: ranks");
+  expect_mutation_rejected(base, "\"rank_bytes_sent\":[640]",
+                           "\"rank_bytes_sent\":[\"x\"]",
+                           "non-numeric element in rank_bytes_sent");
+  expect_mutation_rejected(base, "\"rank_bytes_sent\":[640]",
+                           "\"rank_bytes_sent\":640",
+                           "missing array field: rank_bytes_sent");
+  expect_mutation_rejected(base, "\"rank_comm_seconds\":[0.25]",
+                           "\"rank_comm_seconds\":[null]",
+                           "non-numeric element in rank_comm_seconds");
+  expect_mutation_rejected(base, "\"rank_comm_seconds\":[0.25]",
+                           "\"rank_comm_seconds\":{}",
+                           "missing array field: rank_comm_seconds");
+  expect_mutation_rejected(base, "\"phase_busy_seconds\":[[0,0,0,0,0,0,0]]",
+                           "\"phase_busy_seconds\":[[0,0,0]]",
+                           "bad row width in phase_busy_seconds");
+  expect_mutation_rejected(base, "\"phase_busy_seconds\":[[0,0,0,0,0,0,0]]",
+                           "\"phase_busy_seconds\":[[0,0,0,0,0,0,\"z\"]]",
+                           "non-numeric element in phase_busy_seconds");
+  expect_mutation_rejected(base, "\"phase_busy_seconds\":[[0,0,0,0,0,0,0]]",
+                           "\"phase_busy_seconds\":0",
+                           "missing matrix field: phase_busy_seconds");
+  expect_mutation_rejected(base, "\"collective_count\":[[0,0,0,0,0]]",
+                           "\"collective_count\":[[0]]",
+                           "bad row width in collective_count");
+  expect_mutation_rejected(base, "\"chunk_service_hist\":[",
+                           "\"chunk_service_hist\":[9999,",
+                           "mis-sized chunk_service_hist");
+  expect_mutation_rejected(base, "\"steal_attempts\":4",
+                           "\"steal_attempts\":\"4\"",
+                           "missing steal counters");
+}
+
+TEST(ObsMetricsJson, WriteReadBackAndFailurePath) {
+  MetricsDoc doc;
+  doc.figure = "obs_unit_test";
+  MetricsEntry e;
+  e.label = "tiny";
+  e.extra.emplace_back("energy", json::Value(-1234.5));
+  e.metrics = tiny_snapshot();
+  doc.entries.push_back(std::move(e));
+
+  const std::string path = temp_path("gbpol_obs_unit_metrics.json");
+  ASSERT_TRUE(write_metrics_json(doc, path));
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const MetricsParse p = metrics_from_string(text);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.found_version, kMetricsSchemaVersion);
+  EXPECT_EQ(p.doc.figure, "obs_unit_test");
+  ASSERT_EQ(p.doc.entries.size(), 1u);
+  EXPECT_EQ(p.doc.entries[0].metrics.rank_chunks[0], 12u);
+  EXPECT_DOUBLE_EQ(p.doc.entries[0].metrics.rank_compute_seconds[0], 1.5);
+  std::remove(path.c_str());
+  EXPECT_FALSE(write_metrics_json(doc, "/nonexistent-dir/metrics.json"));
+}
+
+// --- MetricsSnapshot aggregates ------------------------------------------
+
+TEST(ObsMetrics, AggregatesSumAcrossRanks) {
+  MetricsSnapshot m = tiny_snapshot();
+  m.ranks = 2;
+  m.phase_busy_seconds.resize(2);
+  m.phase_wall_seconds.resize(2);
+  m.collective_count.resize(2);
+  m.collective_bytes.resize(2);
+  m.collective_seconds.resize(2);
+  m.rank_retransmits = {1, 2};
+  m.rank_chunks = {12, 30};
+  const auto epol = static_cast<std::size_t>(PhaseId::kEpol);
+  const auto ar = static_cast<std::size_t>(CollKind::kAllreduce);
+  m.phase_busy_seconds[0][epol] = 1.0;
+  m.phase_busy_seconds[1][epol] = 2.0;
+  m.phase_wall_seconds[0][epol] = 1.5;
+  m.phase_wall_seconds[1][epol] = 2.5;
+  m.collective_count[0][ar] = 3;
+  m.collective_count[1][ar] = 4;
+  m.collective_bytes[0][ar] = 100;
+  m.collective_bytes[1][ar] = 200;
+  m.collective_seconds[0][ar] = 0.125;
+  m.collective_seconds[1][ar] = 0.25;
+
+  EXPECT_DOUBLE_EQ(m.phase_busy_all_ranks(PhaseId::kEpol), 3.0);
+  EXPECT_DOUBLE_EQ(m.phase_wall_all_ranks(PhaseId::kEpol), 4.0);
+  EXPECT_EQ(m.collective_count_all_ranks(CollKind::kAllreduce), 7u);
+  EXPECT_EQ(m.collective_bytes_all_ranks(CollKind::kAllreduce), 300u);
+  EXPECT_DOUBLE_EQ(m.collective_seconds_all_ranks(CollKind::kAllreduce),
+                   0.375);
+  EXPECT_EQ(m.total_retransmits(), 3u);
+  EXPECT_EQ(m.total_chunks(), 42u);
+  EXPECT_DOUBLE_EQ(m.total_phase_busy(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.total_phase_busy_all(), 3.0);
+  EXPECT_DOUBLE_EQ(m.total_phase_busy(-1), 0.0);
+  EXPECT_DOUBLE_EQ(m.total_phase_busy(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.steal_success_rate(), 0.25);
+  m.steal_attempts = 0;
+  EXPECT_DOUBLE_EQ(m.steal_success_rate(), 0.0);
+}
+
+// --- session mechanics ---------------------------------------------------
+
+// Restores a clean thread context even if a test fails mid-way.
+struct ThreadContextGuard {
+  ~ThreadContextGuard() {
+    set_thread_rank(-1);
+    set_thread_worker(-1);
+    if (session_active()) (void)stop_session();
+  }
+};
+
+TEST(ObsSession, OverflowKeepsPrefixAndCountsDrops) {
+  ThreadContextGuard guard;
+  TraceConfig cfg;
+  cfg.ring_capacity = 16;  // the configured floor
+  cfg.max_ranks = 4;
+  start_session(cfg);
+  set_thread_rank(0);
+  for (std::uint64_t i = 0; i < 20; ++i) emit(EventKind::kSend, i, 8);
+  const Trace t = stop_session();
+  ASSERT_EQ(t.streams.size(), 1u);
+  EXPECT_EQ(t.streams[0].events.size(), 16u);
+  EXPECT_EQ(t.streams[0].dropped, 4u);
+  EXPECT_EQ(t.total_dropped(), 4u);
+  // Prefix semantics: the first 16 payloads survive, in order.
+  for (std::uint64_t i = 0; i < 16; ++i)
+    EXPECT_EQ(t.streams[0].events[i].a, i);
+}
+
+TEST(ObsSession, SameContextStreamsSortByRegistrationOrder) {
+  ThreadContextGuard guard;
+  start_session();
+  for (int i = 0; i < 2; ++i) {
+    std::thread worker([i] {
+      set_thread_rank(1);
+      set_thread_worker(2);
+      emit(EventKind::kPopMiss, static_cast<std::uint64_t>(i));
+    });
+    worker.join();
+  }
+  const Trace t = stop_session();
+  ASSERT_EQ(t.streams.size(), 2u);
+  EXPECT_LT(t.streams[0].reg_index, t.streams[1].reg_index);
+  EXPECT_EQ(t.streams[0].events[0].a, 0u);
+  EXPECT_EQ(t.streams[1].events[0].a, 1u);
+}
+
+TEST(ObsSession, AddersClampRanksAndIgnoreHostAndInactive) {
+  // No active session: every adder and emit is a silent no-op.
+  add_phase_busy(0, 1.0);
+  add_collective(0, CollKind::kBarrier, 8, 0.1);
+  add_retransmit(0);
+  add_chunk_service(0, 100);
+  add_steal_attempt();
+  add_steal_success();
+  add_pop_miss();
+  record_rank_totals(0, 1, 0, 0, 0, 0, 0);
+  emit(EventKind::kSend, 1, 2);
+
+  ThreadContextGuard guard;
+  TraceConfig cfg;
+  cfg.max_ranks = 2;
+  start_session(cfg);
+  add_retransmit(7);    // clamps into the overflow slot (max_ranks - 1)
+  add_retransmit(-1);   // host thread: ignored
+  add_chunk_service(0, 1u << 20);
+  add_steal_attempt();
+  add_steal_success();
+  add_pop_miss();
+  const Trace t = stop_session();
+  ASSERT_EQ(t.metrics.ranks, 2);
+  EXPECT_EQ(t.metrics.rank_retransmits[1], 1u);
+  EXPECT_EQ(t.metrics.rank_retransmits[0], 0u);
+  EXPECT_EQ(t.metrics.rank_chunks[0], 1u);
+  EXPECT_EQ(t.metrics.chunk_service_hist[static_cast<std::size_t>(
+                service_hist_bin(1u << 20))],
+            1u);
+  EXPECT_EQ(t.metrics.steal_attempts, 1u);
+  EXPECT_EQ(t.metrics.steal_successes, 1u);
+  EXPECT_EQ(t.metrics.pop_misses, 1u);
+}
+
+TEST(ObsSession, ThreadContextGettersAndPhaseAutoClose) {
+  ThreadContextGuard guard;
+  start_session();
+  set_thread_rank(0);
+  set_thread_worker(3);
+  EXPECT_EQ(current_rank(), 0);
+  EXPECT_EQ(current_worker(), 3);
+  EXPECT_EQ(current_phase(), PhaseId::kOther);
+  phase_begin(PhaseId::kPush);
+  EXPECT_EQ(current_phase(), PhaseId::kPush);
+  phase_begin(PhaseId::kEpol);  // auto-closes kPush first
+  EXPECT_EQ(current_phase(), PhaseId::kEpol);
+  phase_end();
+  phase_end();  // second end with no open phase: no-op
+  EXPECT_EQ(current_phase(), PhaseId::kOther);
+  const Trace t = stop_session();
+  ASSERT_EQ(t.streams.size(), 1u);
+  std::vector<EventKind> kinds;
+  for (const Event& e : t.streams[0].events) kinds.push_back(e.kind);
+  const std::vector<EventKind> expect = {
+      EventKind::kPhaseBegin, EventKind::kPhaseEnd, EventKind::kPhaseBegin,
+      EventKind::kPhaseEnd};
+  EXPECT_EQ(kinds, expect);
+  // The auto-closed kPush bracket recorded wall time for kPush.
+  EXPECT_GT(t.metrics.phase_wall_all_ranks(PhaseId::kPush), 0.0);
+  EXPECT_GT(t.metrics.phase_wall_all_ranks(PhaseId::kEpol), 0.0);
+}
+
+}  // namespace
+}  // namespace gbpol::obs

@@ -1,0 +1,164 @@
+// Structural invariants of the event streams, fault-free and under several
+// deterministic fault schedules:
+//   * per-rank collective seqs strictly monotonic, every enter matched by
+//     exactly one exit/abort/stall-park/death with the same seq;
+//   * steal successes appear only as the thief-side triplet
+//     (pop-miss, attempt, success) on one victim;
+//   * per-thread phase intervals never overlap (begin/end alternate);
+//   * every kill poll is covered by a checkpoint commit since the previous
+//     poll (progress is durable at every possible kill point).
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/drivers.hpp"
+#include "mpisim/faults.hpp"
+#include "test_helpers.hpp"
+#include "trace_helpers.hpp"
+
+namespace gbpol {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testing::Fixture;
+using testing::TracedRun;
+using testing::events_of;
+using testing::make_fixture;
+using testing::run_traced;
+
+class TraceInvariantsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { fixture_ = new Fixture(make_fixture(300)); }
+  static void TearDownTestSuite() { delete fixture_; }
+  static const Fixture& fix() { return *fixture_; }
+  static Fixture* fixture_;
+};
+Fixture* TraceInvariantsTest::fixture_ = nullptr;
+
+void expect_stream_invariants(const obs::Trace& trace) {
+  for (const obs::EventStream& s : trace.streams) {
+    if (s.worker < 0) {  // rank/main threads own the collective clocks
+      EXPECT_EQ(testing::check_collective_invariants(s), "");
+    }
+    EXPECT_EQ(testing::check_phase_invariants(s), "");
+    EXPECT_EQ(testing::check_steal_invariants(s), "");
+  }
+}
+
+TEST_F(TraceInvariantsTest, FaultFreeDistributedRun) {
+  ApproxParams params;
+  RunConfig config;
+  config.ranks = 4;
+  const TracedRun run = run_traced(fix().prep, params, GBConstants{}, config);
+  ASSERT_GT(run.trace.total_events(), 0u);
+  EXPECT_EQ(run.trace.total_dropped(), 0u);
+  expect_stream_invariants(run.trace);
+  // Every rank participates in the same globally ordered collective
+  // schedule: all four streams record the same number of enters.
+  std::size_t enters_rank0 = 0;
+  for (const obs::EventStream& s : run.trace.streams) {
+    if (s.rank < 0) continue;  // host thread: only run begin/end markers
+    std::size_t enters = 0;
+    for (const obs::Event& e : s.events)
+      if (e.kind == obs::EventKind::kCollectiveEnter) ++enters;
+    if (s.rank == 0) enters_rank0 = enters;
+    EXPECT_GT(enters, 0u) << "rank " << s.rank;
+  }
+  EXPECT_GT(enters_rank0, 0u);
+  for (const obs::EventStream& s : run.trace.streams) {
+    if (s.rank < 0) continue;
+    std::size_t enters = 0;
+    for (const obs::Event& e : s.events)
+      if (e.kind == obs::EventKind::kCollectiveEnter) ++enters;
+    EXPECT_EQ(enters, enters_rank0) << "rank " << s.rank;
+  }
+}
+
+TEST_F(TraceInvariantsTest, HoldUnderRandomFaultSchedules) {
+  // Three distinct seeded schedules (delays, drops, stragglers, deaths —
+  // RandomProfile never emits stalls, so no supervisor is needed). The
+  // invariants must hold on every survivor's and every victim's stream.
+  ApproxParams params;
+  const mpisim::FaultPlan::RandomProfile profile;
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    RunConfig config;
+    config.ranks = 4;
+    config.faults = mpisim::FaultPlan::random(seed, config.ranks, profile);
+    const TracedRun run =
+        run_traced(fix().prep, params, GBConstants{}, config);
+    ASSERT_GT(run.trace.total_events(), 0u) << "seed " << seed;
+    expect_stream_invariants(run.trace);
+    // Death events (if the schedule drew any) carry the scheduled cause.
+    for (const obs::Event& e : events_of(run.trace, obs::EventKind::kDeath))
+      EXPECT_EQ(e.arg, static_cast<std::uint8_t>(obs::DeathCause::kScheduled))
+          << "seed " << seed;
+  }
+}
+
+TEST_F(TraceInvariantsTest, StealTripletsInSharedMemoryRun) {
+  ApproxParams params;
+  obs::start_session();
+  const DriverResult r = run_oct_cilk(fix().prep, params, GBConstants{}, 4);
+  const obs::Trace trace = obs::stop_session();
+  EXPECT_GT(r.tasks, 0u);
+  expect_stream_invariants(trace);
+  // Idle workers probe constantly; the counters must have seen traffic even
+  // if no steal happened to succeed.
+  EXPECT_GT(trace.metrics.steal_attempts, 0u);
+  EXPECT_GE(trace.metrics.steal_attempts, trace.metrics.steal_successes);
+  // Every traced success sits in a worker (not rank-thread) stream.
+  for (const obs::Event& e :
+       events_of(trace, obs::EventKind::kStealSuccess))
+    EXPECT_GE(e.worker, 0);
+}
+
+TEST_F(TraceInvariantsTest, PhaseBracketsCoverTheSchedule) {
+  // A fault-free node-node run walks all six pipeline phases on every rank.
+  ApproxParams params;
+  RunConfig config;
+  config.ranks = 3;
+  const TracedRun run = run_traced(fix().prep, params, GBConstants{}, config);
+  for (const obs::EventStream& s : run.trace.streams) {
+    if (s.rank < 0 || s.worker >= 0) continue;
+    bool seen[obs::kPhaseCount] = {};
+    for (const obs::Event& e : s.events)
+      if (e.kind == obs::EventKind::kPhaseBegin) seen[e.arg] = true;
+    for (const obs::PhaseId p :
+         {obs::PhaseId::kBornAccum, obs::PhaseId::kBornReduce,
+          obs::PhaseId::kPush, obs::PhaseId::kBornGather, obs::PhaseId::kEpol,
+          obs::PhaseId::kEpolReduce}) {
+      EXPECT_TRUE(seen[static_cast<int>(p)])
+          << "rank " << s.rank << " never entered " << obs::phase_name(p);
+    }
+  }
+}
+
+TEST_F(TraceInvariantsTest, CheckpointCommitPrecedesEveryKillPoll) {
+  // every_k_chunks = 1 makes each chunk commit its snapshot before the kill
+  // poll that follows it, so a kill can never observe un-snapshotted
+  // progress. The trace must show that ordering on every rank.
+  const fs::path dir = fs::path(::testing::TempDir()) / "gbpol_trace_ckpt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  ApproxParams params;
+  RunConfig config;
+  config.ranks = 3;
+  config.checkpoint.dir = dir.string();
+  config.checkpoint.every_k_chunks = 1;
+  config.checkpoint.every_n_collectives = 1;
+  const TracedRun run = run_traced(fix().prep, params, GBConstants{}, config);
+  ASSERT_FALSE(run.result.killed);
+  const auto polls = events_of(run.trace, obs::EventKind::kKillPoll);
+  const auto commits =
+      events_of(run.trace, obs::EventKind::kCheckpointCommit);
+  ASSERT_GT(polls.size(), 0u);
+  ASSERT_GT(commits.size(), 0u);
+  for (const obs::EventStream& s : run.trace.streams)
+    EXPECT_EQ(testing::check_commit_before_poll(s), "");
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace gbpol
