@@ -27,8 +27,8 @@ int main() {
     ApproxParams on;
     on.approx_math = true;
     // Serial driver isolates the kernel cost from scheduling noise.
-    const DriverResult r_off = run_oct_serial(pm.prep, off, constants);
-    const DriverResult r_on = run_oct_serial(pm.prep, on, constants);
+    const RunResult r_off = Engine(pm.prep, off, constants).run(serial_options());
+    const RunResult r_on = Engine(pm.prep, on, constants).run(serial_options());
     const double speedup = r_off.compute_seconds / r_on.compute_seconds;
     const double err_off = percent_error(r_off.energy, naive.energy);
     const double err_on = percent_error(r_on.energy, naive.energy);

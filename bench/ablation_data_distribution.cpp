@@ -29,7 +29,9 @@ int main() {
     config.ranks = ranks;
     config.cluster = cluster;
 
-    const DriverResult rep = run_oct_distributed(pm.prep, params, constants, config);
+    RunOptions rep_options = distributed_options(ranks);
+    rep_options.cluster = cluster;
+    const RunResult rep = Engine(pm.prep, params, constants).run(rep_options);
     table.add_row({Table::integer(ranks), "replicated",
                    Table::num(rep.modeled_seconds(), 4), Table::num(rep.comm_seconds, 5),
                    Table::num(static_cast<double>(rep.replicated_bytes) /

@@ -31,9 +31,9 @@ int main() {
       off.eps_born = eps;
       ApproxParams on = off;
       on.born_dipole_correction = true;
-      const DriverResult r_off = run_oct_serial(pm.prep, off, constants);
-      const DriverResult r_on = run_oct_serial(pm.prep, on, constants);
-      auto mean_radius_error = [&](const DriverResult& r) {
+      const RunResult r_off = Engine(pm.prep, off, constants).run(serial_options());
+      const RunResult r_on = Engine(pm.prep, on, constants).run(serial_options());
+      auto mean_radius_error = [&](const RunResult& r) {
         const auto original = pm.prep.to_original_order(r.born_sorted);
         double sum = 0.0;
         for (std::size_t i = 0; i < original.size(); ++i)

@@ -30,10 +30,11 @@ int main() {
   for (const int ranks : {4, 12, 48}) {
     for (const WorkDivision division :
          {WorkDivision::kNodeNode, WorkDivision::kNodeBalanced, WorkDivision::kDynamic}) {
-      RunConfig config;
-      config.ranks = ranks;
-      config.division = division;
-      const DriverResult r = run_oct_distributed(pm.prep, params, constants, config);
+      RunOptions options;
+      options.mode = EngineMode::kDistributed;
+      options.ranks = ranks;
+      options.division = division;
+      const RunResult r = Engine(pm.prep, params, constants).run(options);
       const char* name = division == WorkDivision::kNodeNode     ? "static node-node"
                          : division == WorkDivision::kNodeBalanced ? "point-balanced"
                                                                    : "dynamic (RPC)";

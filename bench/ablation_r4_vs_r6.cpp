@@ -44,8 +44,8 @@ int main() {
     ApproxParams p6;
     ApproxParams p4;
     p4.radius_kernel = RadiusKernel::kR4;
-    const DriverResult r6 = run_oct_serial(pm.prep, p6, constants);
-    const DriverResult r4 = run_oct_serial(pm.prep, p4, constants);
+    const RunResult r6 = Engine(pm.prep, p6, constants).run(serial_options());
+    const RunResult r4 = Engine(pm.prep, p4, constants).run(serial_options());
     double mean_dev = 0.0;
     for (std::size_t i = 0; i < r6.born_sorted.size(); ++i)
       mean_dev += std::abs(r4.born_sorted[i] - r6.born_sorted[i]) / r6.born_sorted[i];

@@ -24,13 +24,16 @@ int main() {
   Table table({"P", "node-node E", "node-node err(%)", "atom-based E",
                "atom-based err(%)"});
   for (const int ranks : {1, 2, 4, 8, 16}) {
-    RunConfig node{.ranks = ranks, .threads_per_rank = 1,
-                   .cluster = mpisim::ClusterModel::lonestar4(),
-                   .division = WorkDivision::kNodeNode};
-    RunConfig atom = node;
+    RunOptions node;
+    node.mode = EngineMode::kDistributed;
+    node.ranks = ranks;
+    node.cluster = mpisim::ClusterModel::lonestar4();
+    node.division = WorkDivision::kNodeNode;
+    RunOptions atom = node;
     atom.division = WorkDivision::kAtomBased;
-    const DriverResult a = run_oct_distributed(pm.prep, params, constants, node);
-    const DriverResult b = run_oct_distributed(pm.prep, params, constants, atom);
+    const Engine engine(pm.prep, params, constants);
+    const RunResult a = engine.run(node);
+    const RunResult b = engine.run(atom);
     table.add_row({Table::integer(ranks), Table::num(a.energy, 9),
                    Table::num(percent_error(a.energy, naive.energy), 6),
                    Table::num(b.energy, 9),

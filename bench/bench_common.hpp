@@ -6,11 +6,13 @@
 //   GBPOL_BENCH_SCALE  multiplies virus-shell sizes        (default 1.0)
 //   GBPOL_REPS         repetition count                    (bench-specific)
 //   GBPOL_FULL=1       run the full 84-molecule suite      (default subset)
-//   GBPOL_CAMPAIGN_DIR directory for per-bench campaign journals; set it to
-//                      make a killed sweep resumable (completed sweep points
-//                      are skipped and rebuilt from their stored payloads)
-//   GBPOL_TRACE_OUT    path for a Chrome trace_event export of the FIRST
-//                      traced run (open in chrome://tracing or perfetto)
+//
+// Campaign-journal and trace destinations are RunOptions fields
+// (campaign_dir / trace_out); their env defaults (GBPOL_CAMPAIGN_DIR /
+// GBPOL_TRACE_OUT) are documented in core/engine.hpp and resolved ONLY
+// through gbpol::resolved_campaign_dir / resolved_trace_out — benches pass a
+// RunOptions through campaign_config() / BenchMetrics instead of reading the
+// environment themselves.
 #pragma once
 
 #include <cstdio>
@@ -21,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/naive.hpp"
 #include "core/prepared.hpp"
 #include "harness/campaign.hpp"
@@ -56,16 +59,18 @@ inline PreparedMolecule prepare(Molecule mol, std::uint32_t leaf_capacity = 32) 
   return pm;
 }
 
-// Campaign config for a bench: journaled (resumable) iff GBPOL_CAMPAIGN_DIR
-// is set, in-memory otherwise. The journal lives at
-// $GBPOL_CAMPAIGN_DIR/<bench_name>.journal (directory created on demand).
-inline harness::CampaignConfig campaign_config(const std::string& bench_name) {
+// Campaign config for a bench: journaled (resumable) iff the resolved
+// campaign_dir (RunOptions::campaign_dir, env default GBPOL_CAMPAIGN_DIR —
+// see core/engine.hpp) is non-empty, in-memory otherwise. The journal lives
+// at <campaign_dir>/<bench_name>.journal (directory created on demand).
+inline harness::CampaignConfig campaign_config(const std::string& bench_name,
+                                               const RunOptions& options = {}) {
   harness::CampaignConfig cfg;
-  const char* dir = std::getenv("GBPOL_CAMPAIGN_DIR");
-  if (dir != nullptr && *dir != '\0') {
+  const std::string dir = resolved_campaign_dir(options);
+  if (!dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);  // best effort
-    cfg.journal_path = std::string(dir) + "/" + bench_name + ".journal";
+    cfg.journal_path = dir + "/" + bench_name + ".journal";
   }
   return cfg;
 }
@@ -80,7 +85,13 @@ inline harness::CampaignConfig campaign_config(const std::string& bench_name) {
 // snapshots, so the benches build and run unchanged.
 class BenchMetrics {
  public:
-  explicit BenchMetrics(std::string figure) { doc_.figure = std::move(figure); }
+  // `options` supplies the trace destination (RunOptions::trace_out, env
+  // default GBPOL_TRACE_OUT); the default-constructed RunOptions preserves
+  // the old env-only behaviour.
+  explicit BenchMetrics(std::string figure, const RunOptions& options = {})
+      : trace_out_(resolved_trace_out(options)) {
+    doc_.figure = std::move(figure);
+  }
 
   // Runs `fn` inside a tracer session, appends its merged metrics under
   // `label`, and returns fn's result. Driver/package results contribute
@@ -93,7 +104,18 @@ class BenchMetrics {
     obs::MetricsEntry entry;
     entry.label = std::move(label);
     using R = std::decay_t<decltype(result)>;
-    if constexpr (std::is_same_v<R, DriverResult>) {
+    if constexpr (std::is_same_v<R, RunResult>) {
+      entry.extra.emplace_back("energy", obs::json::Value(result.energy));
+      entry.extra.emplace_back("ranks", obs::json::Value(result.ranks));
+      entry.extra.emplace_back("threads_per_rank",
+                               obs::json::Value(result.threads_per_rank));
+      entry.extra.emplace_back("modeled_seconds",
+                               obs::json::Value(result.modeled_seconds()));
+      entry.extra.emplace_back("migrated_chunks",
+                               obs::json::Value(result.migrated_chunks));
+      entry.extra.emplace_back("steal_grants",
+                               obs::json::Value(result.steal_grants));
+    } else if constexpr (std::is_same_v<R, DriverResult>) {
       entry.extra.emplace_back("energy", obs::json::Value(result.energy));
       entry.extra.emplace_back("ranks", obs::json::Value(result.ranks));
       entry.extra.emplace_back("threads_per_rank",
@@ -127,17 +149,16 @@ class BenchMetrics {
 
  private:
   void maybe_export_chrome(const obs::Trace& trace) {
-    if (chrome_written_) return;
-    const char* path = std::getenv("GBPOL_TRACE_OUT");
-    if (path == nullptr || *path == '\0') return;
+    if (chrome_written_ || trace_out_.empty()) return;
     chrome_written_ = true;
-    if (obs::write_chrome_trace(trace, path))
-      std::printf("trace: wrote %s (open in chrome://tracing)\n", path);
+    if (obs::write_chrome_trace(trace, trace_out_))
+      std::printf("trace: wrote %s (open in chrome://tracing)\n", trace_out_.c_str());
     else
-      std::fprintf(stderr, "note: could not write %s\n", path);
+      std::fprintf(stderr, "note: could not write %s\n", trace_out_.c_str());
   }
 
   obs::MetricsDoc doc_;
+  std::string trace_out_;
   bool chrome_written_ = false;
 };
 

@@ -42,8 +42,9 @@ int main() {
     RunningStats err_stats;
     RunningStats time_stats;
     for (const Entry& e : entries) {
-      RunConfig hybrid{.ranks = 2, .threads_per_rank = 6, .cluster = cluster};
-      const DriverResult r = run_oct_distributed(e.pm.prep, params, constants, hybrid);
+      RunOptions hybrid = distributed_options(2, 6);
+      hybrid.cluster = cluster;
+      const RunResult r = Engine(e.pm.prep, params, constants).run(hybrid);
       err_stats.add(percent_error(r.energy, e.naive_energy));
       time_stats.add(r.modeled_seconds());
     }

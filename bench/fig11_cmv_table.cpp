@@ -44,15 +44,17 @@ int main() {
   amber_options.ranks = 144;
   const auto amber144 = baselines::run_hct(pm.mol.atoms(), amber_options);
 
-  const DriverResult cilk = run_oct_cilk(pm.prep, params, constants, 12);
-  RunConfig mpi12{.ranks = 12, .threads_per_rank = 1, .cluster = cluster};
-  RunConfig mpi144{.ranks = 144, .threads_per_rank = 1, .cluster = cluster};
-  RunConfig hyb12{.ranks = 2, .threads_per_rank = 6, .cluster = cluster};
-  RunConfig hyb144{.ranks = 24, .threads_per_rank = 6, .cluster = cluster};
-  const DriverResult oct_mpi12 = run_oct_distributed(pm.prep, params, constants, mpi12);
-  const DriverResult oct_mpi144 = run_oct_distributed(pm.prep, params, constants, mpi144);
-  const DriverResult oct_hyb12 = run_oct_distributed(pm.prep, params, constants, hyb12);
-  const DriverResult oct_hyb144 = run_oct_distributed(pm.prep, params, constants, hyb144);
+  const Engine engine(pm.prep, params, constants);
+  const RunResult cilk = engine.run(cilk_options(12));
+  auto mpi_options = [&](int ranks, int threads) {
+    RunOptions options = distributed_options(ranks, threads);
+    options.cluster = cluster;
+    return options;
+  };
+  const RunResult oct_mpi12 = engine.run(mpi_options(12, 1));
+  const RunResult oct_mpi144 = engine.run(mpi_options(144, 1));
+  const RunResult oct_hyb12 = engine.run(mpi_options(2, 6));
+  const RunResult oct_hyb144 = engine.run(mpi_options(24, 6));
 
   auto diff = [&](double e) {
     return (e - naive.energy) / std::abs(naive.energy) * 100.0;

@@ -40,15 +40,19 @@ int main() {
   Table table({"cores", "variant", "traversal", "modeled(s)", "speedup vs 12",
                "memory(MiB)", "E_pol"});
   BenchMetrics metrics("fig5_speedup");
+  const ApproxParams params;  // 0.9/0.9; traversal comes from RunOptions
+  const Engine engine(pm.prep, params, constants);
   for (const Mode& mode : modes) {
-    ApproxParams params;  // 0.9/0.9
-    params.traversal = mode.traversal;
     double base_mpi = 0.0, base_hybrid = 0.0;
     for (const int cores : {12, 24, 48, 96, 144}) {
-      RunConfig mpi{.ranks = cores, .threads_per_rank = 1, .cluster = cluster};
-      const DriverResult a = metrics.traced(
+      RunOptions mpi;
+      mpi.mode = EngineMode::kDistributed;
+      mpi.ranks = cores;
+      mpi.cluster = cluster;
+      mpi.traversal = mode.traversal;
+      const RunResult a = metrics.traced(
           std::string("OCT_MPI ") + mode.name + " cores=" + std::to_string(cores),
-          [&] { return run_oct_distributed(pm.prep, params, constants, mpi); });
+          [&] { return engine.run(mpi); });
       if (cores == 12) base_mpi = a.modeled_seconds();
       table.add_row({Table::integer(cores), "OCT_MPI", mode.name,
                      Table::num(a.modeled_seconds(), 4),
@@ -56,11 +60,13 @@ int main() {
                      Table::num(static_cast<double>(a.replicated_bytes) / (1 << 20), 4),
                      Table::num(a.energy, 6)});
 
-      RunConfig hybrid{.ranks = cores / 6, .threads_per_rank = 6, .cluster = cluster};
-      const DriverResult b = metrics.traced(
+      RunOptions hybrid = mpi;
+      hybrid.ranks = cores / 6;
+      hybrid.threads_per_rank = 6;
+      const RunResult b = metrics.traced(
           std::string("OCT_MPI+CILK ") + mode.name + " cores=" +
               std::to_string(cores),
-          [&] { return run_oct_distributed(pm.prep, params, constants, hybrid); });
+          [&] { return engine.run(hybrid); });
       if (cores == 12) base_hybrid = b.modeled_seconds();
       table.add_row({Table::integer(cores), "OCT_MPI+CILK", mode.name,
                      Table::num(b.modeled_seconds(), 4),

@@ -30,7 +30,8 @@ int main() {
     mpisim::ClusterModel c = cluster;
     c.nodes = std::max(c.nodes, cores / c.cores_per_node() + 1);
     for (const bool hybrid : {false, true}) {
-      RunConfig config;
+      RunOptions config;
+      config.mode = EngineMode::kDistributed;
       config.threads_per_rank = hybrid ? 6 : 1;
       config.ranks = cores / config.threads_per_rank;
       config.cluster = c;
@@ -41,8 +42,7 @@ int main() {
               std::to_string(cores) + " reps=" + std::to_string(reps),
           [&] {
             return harness::repeat_timed(reps, [&] {
-              const DriverResult r =
-                  run_oct_distributed(pm.prep, params, constants, config);
+              const RunResult r = Engine(pm.prep, params, constants).run(config);
               return std::make_pair(r.modeled_seconds(), r.wall_seconds);
             });
           });

@@ -29,12 +29,15 @@ int main() {
   std::vector<Row> rows;
   for (const Molecule& mol : suite) {
     const PreparedMolecule pm = prepare(mol);
+    const Engine engine(pm.prep, params, constants);
+    RunOptions mpi = distributed_options(12);
+    mpi.cluster = cluster;
+    RunOptions hybrid = distributed_options(2, 6);
+    hybrid.cluster = cluster;
     Row row{mol.size(), 0, 0, 0};
-    row.cilk = run_oct_cilk(pm.prep, params, constants, 12).compute_seconds;
-    RunConfig mpi{.ranks = 12, .threads_per_rank = 1, .cluster = cluster};
-    row.mpi = run_oct_distributed(pm.prep, params, constants, mpi).modeled_seconds();
-    RunConfig hybrid{.ranks = 2, .threads_per_rank = 6, .cluster = cluster};
-    row.hybrid = run_oct_distributed(pm.prep, params, constants, hybrid).modeled_seconds();
+    row.cilk = engine.run(cilk_options(12)).compute_seconds;
+    row.mpi = engine.run(mpi).modeled_seconds();
+    row.hybrid = engine.run(hybrid).modeled_seconds();
     rows.push_back(row);
   }
   std::sort(rows.begin(), rows.end(),

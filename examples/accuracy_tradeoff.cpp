@@ -8,7 +8,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "core/naive.hpp"
 #include "molecule/generate.hpp"
 #include "support/stats.hpp"
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       params.eps_born = eps;
       params.eps_epol = eps;
       params.approx_math = approx_math;
-      const DriverResult r = run_oct_serial(prep, params, GBConstants{});
+      const RunResult r = Engine(prep, params, GBConstants{}).run(serial_options());
       table.add_row({Table::num(eps, 2), Table::num(r.energy, 6),
                      Table::num(percent_error(r.energy, naive.energy), 3),
                      Table::num(r.compute_seconds, 3),

@@ -10,7 +10,7 @@
 #include <iostream>
 #include <vector>
 
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "molecule/generate.hpp"
 #include "support/table.hpp"
 #include "surface/quadrature.hpp"
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   auto solve = [&](const Molecule& mol) {
     const auto quad = surface::molecular_surface_quadrature(mol);
     const Prepared prep = Prepared::build(mol, quad, 32);
-    return run_oct_serial(prep, params, constants).energy;
+    return Engine(prep, params, constants).run(serial_options()).energy;
   };
   const double e_receptor = solve(receptor);
   const double e_ligand = solve(ligand);

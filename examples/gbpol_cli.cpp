@@ -23,7 +23,7 @@
 #include <string>
 
 #include "core/distributed_data.hpp"
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "core/forces.hpp"
 #include "core/naive.hpp"
 #include "molecule/generate.hpp"
@@ -118,21 +118,21 @@ int main(int argc, char** argv) {
     born_sorted.resize(mol.size());
     for (std::uint32_t slot = 0; slot < mol.size(); ++slot)
       born_sorted[slot] = r.born_radii[prep.atoms_tree.original_index(slot)];
-  } else if (driver == "serial") {
-    const DriverResult r = run_oct_serial(prep, params, constants);
-    energy = r.energy;
-    modeled = r.modeled_seconds();
-    born_sorted = r.born_sorted;
-  } else if (driver == "cilk") {
-    const DriverResult r = run_oct_cilk(prep, params, constants, cores);
-    energy = r.energy;
-    modeled = r.modeled_seconds();
-    born_sorted = r.born_sorted;
-  } else if (driver == "mpi" || driver == "hybrid") {
-    RunConfig config;
-    config.threads_per_rank = driver == "hybrid" ? 6 : 1;
-    config.ranks = std::max(1, cores / config.threads_per_rank);
-    const DriverResult r = run_oct_distributed(prep, params, constants, config);
+  } else if (driver == "serial" || driver == "cilk" || driver == "mpi" ||
+             driver == "hybrid") {
+    const Engine engine(prep, params, constants);
+    RunOptions options;
+    if (driver == "serial") {
+      options.mode = EngineMode::kSerial;
+    } else if (driver == "cilk") {
+      options.mode = EngineMode::kCilk;
+      options.threads_per_rank = cores;
+    } else {
+      options.mode = EngineMode::kDistributed;
+      options.threads_per_rank = driver == "hybrid" ? 6 : 1;
+      options.ranks = std::max(1, cores / options.threads_per_rank);
+    }
+    const RunResult r = engine.run(options);
     energy = r.energy;
     modeled = r.modeled_seconds();
     born_sorted = r.born_sorted;

@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "core/forces.hpp"
 #include "molecule/generate.hpp"
 #include "surface/quadrature.hpp"
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
       // Full re-preparation: new surface, new octrees, new Born radii.
       quad = surface::molecular_surface_quadrature(mol);
       prep = Prepared::build(mol, quad, 32);
-      const DriverResult r = run_oct_serial(prep, params, constants);
+      const RunResult r = Engine(prep, params, constants).run(serial_options());
       born_sorted = r.born_sorted;
     } else {
       // Cheap path: refit the atoms octree to the moved coordinates and

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "core/naive.hpp"
 #include "molecule/generate.hpp"
 #include "molecule/io.hpp"
@@ -42,10 +42,12 @@ int main(int argc, char** argv) {
   // 4. Solve with the paper's settings (eps = 0.9 for both phases) on a
   //    modeled 12-core node: 2 ranks x 6 threads (the hybrid OCT_MPI+CILK).
   ApproxParams params;  // eps_born = eps_epol = 0.9
-  RunConfig config;
-  config.ranks = 2;
-  config.threads_per_rank = 6;
-  const DriverResult result = run_oct_distributed(prep, params, GBConstants{}, config);
+  const Engine engine(prep, params, GBConstants{});
+  RunOptions options;
+  options.mode = EngineMode::kDistributed;
+  options.ranks = 2;
+  options.threads_per_rank = 6;
+  const RunResult result = engine.run(options);
   std::printf("\nOCT_MPI+CILK (2 ranks x 6 threads):\n");
   std::printf("  E_pol            = %.4f kcal/mol\n", result.energy);
   std::printf("  modeled time     = %.4f s (compute %.4f + comm %.6f)\n",

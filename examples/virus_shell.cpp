@@ -8,7 +8,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "molecule/generate.hpp"
 #include "molecule/suite.hpp"
 #include "support/table.hpp"
@@ -37,22 +37,23 @@ int main(int argc, char** argv) {
                "comm(s)", "memory(MiB)", "E_pol"});
   for (const int cores : {12, 48, 144}) {
     // Pure MPI: one rank per core. Hybrid: one rank per socket, 6 threads.
-    RunConfig mpi;
+    const Engine engine(prep, params, constants);
+    RunOptions mpi;
+    mpi.mode = EngineMode::kDistributed;
     mpi.ranks = cores;
     mpi.threads_per_rank = 1;
     mpi.cluster = cluster;
-    const DriverResult a = run_oct_distributed(prep, params, constants, mpi);
+    const RunResult a = engine.run(mpi);
     table.add_row({Table::integer(cores), "OCT_MPI",
                    std::to_string(cores) + " x 1", Table::num(a.modeled_seconds(), 4),
                    Table::num(a.compute_seconds, 4), Table::num(a.comm_seconds, 4),
                    Table::num(static_cast<double>(a.replicated_bytes) / (1 << 20), 4),
                    Table::num(a.energy, 6)});
 
-    RunConfig hybrid;
+    RunOptions hybrid = mpi;
     hybrid.ranks = cores / 6;
     hybrid.threads_per_rank = 6;
-    hybrid.cluster = cluster;
-    const DriverResult b = run_oct_distributed(prep, params, constants, hybrid);
+    const RunResult b = engine.run(hybrid);
     table.add_row({Table::integer(cores), "OCT_MPI+CILK",
                    std::to_string(cores / 6) + " x 6", Table::num(b.modeled_seconds(), 4),
                    Table::num(b.compute_seconds, 4), Table::num(b.comm_seconds, 4),

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Local CI gate: build every sanitizer preset and run the fast test labels
-# (unit, property, checkpoint, trace) under each. The long randomized soak
-# campaigns and the coverage gate are opt-in.
+# (unit, property, checkpoint, balance, trace) under each, plus two repo-wide
+# gates: no in-tree caller may use the deprecated run_oct_* free functions
+# (everything goes through Engine/RunOptions), and the balance_stress bench
+# must hold its >= 1.3x steal-vs-static makespan target. The long randomized
+# soak campaigns and the coverage gate are opt-in.
 #
 #   scripts/check.sh             release + asan + tsan presets
 #   scripts/check.sh --fast      release preset only
@@ -33,13 +36,28 @@ done
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
+echo "=== grep gate: no in-tree run_oct_* callers outside the facade ==="
+# The deprecated free functions exist only for external callers; inside the
+# repo everything must use Engine/RunOptions. The facade itself (core/engine,
+# core/drivers) is the one place allowed to mention them.
+if grep -rnE 'run_oct_(serial|cilk|distributed)\s*\(' src bench tests examples 2>/dev/null \
+    | grep -vE '^(src/core/drivers|src/core/engine)\.(cpp|hpp):'; then
+  echo "check.sh: deprecated run_oct_* caller found in-tree (use Engine::run)" >&2
+  exit 1
+fi
+
 for preset in "${PRESETS[@]}"; do
   echo "=== ${preset}: configure + build ==="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${JOBS}"
-  echo "=== ${preset}: ctest (unit|property|checkpoint|trace) ==="
-  ctest --preset "${preset}" -L 'unit|property|checkpoint|trace' -j "${JOBS}"
+  echo "=== ${preset}: ctest (unit|property|checkpoint|balance|trace) ==="
+  ctest --preset "${preset}" -L 'unit|property|checkpoint|balance|trace' -j "${JOBS}"
 done
+
+echo "=== balance_stress: skew-bench smoke run (release build) ==="
+# Runs the 8-rank balance A/B; the binary itself fails unless the three
+# policies agree to the bit AND kSteal beats kStatic by >= 1.3x makespan.
+(cd build/bench && ./balance_stress)
 
 if [[ ${RUN_SOAK} -eq 1 ]]; then
   echo "=== soak: configure + build ==="
@@ -53,8 +71,8 @@ if [[ ${RUN_COVERAGE} -eq 1 ]]; then
   echo "=== coverage: configure + build (instrumented) ==="
   cmake --preset coverage
   cmake --build --preset coverage -j "${JOBS}"
-  echo "=== coverage: ctest (unit|property|checkpoint|trace) ==="
-  ctest --preset coverage -L 'unit|property|checkpoint|trace' -j "${JOBS}"
+  echo "=== coverage: ctest (unit|property|checkpoint|balance|trace) ==="
+  ctest --preset coverage -L 'unit|property|checkpoint|balance|trace' -j "${JOBS}"
   echo "=== coverage: src/obs line-coverage gate (>= 85%) ==="
   scripts/coverage.sh build-coverage 85
 fi

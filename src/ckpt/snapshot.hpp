@@ -73,6 +73,29 @@ bool write_snapshot(const std::string& path, const Snapshot& snap);
 // version, CRC mismatch, or section sizes inconsistent with the byte count.
 std::optional<Snapshot> read_snapshot(const std::string& path);
 
+// --- balanced-path migrated-chunk ledger ---------------------------------
+// The balanced driver (core/balance.hpp) checkpoints per-rank sets of
+// completed chunks plus each chunk's partial buffer, so resume-after-steal
+// is exact: a chunk is restored wherever it was computed (possibly on a
+// thief) or recomputed from scratch — either way the partial is identical.
+// Layout appended to Snapshot::sections: one index section holding the done
+// chunk ids as doubles, then each done chunk's partial in the same order.
+void append_chunk_ledger(Snapshot& snap, const std::vector<std::uint32_t>& ids,
+                         const std::vector<std::vector<double>>& partials);
+
+struct ChunkLedgerSections {
+  bool ok = false;
+  std::vector<std::uint32_t> ids;
+  std::vector<std::vector<double>> partials;  // parallel to ids
+};
+
+// Reads a ledger back starting at `first_section` (sections before it belong
+// to the caller, e.g. the Born radii in a kEpol snapshot). Returns ok=false
+// on any structural inconsistency — the caller treats that like a corrupt
+// snapshot and cold-starts the chunk.
+ChunkLedgerSections read_chunk_ledger(const Snapshot& snap,
+                                      std::size_t first_section);
+
 // When to checkpoint. Attached to a driver RunConfig; an empty dir disables
 // the whole subsystem (zero overhead on the default path).
 struct CheckpointPolicy {

@@ -1,6 +1,7 @@
 #include "core/drivers.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <deque>
@@ -9,6 +10,9 @@
 #include <memory>
 #include <span>
 
+#include "core/balance.hpp"
+#include "core/engine.hpp"
+#include "mpisim/costmodel.hpp"
 #include "mpisim/runtime.hpp"
 #include "obs/trace.hpp"
 #include "support/timer.hpp"
@@ -131,9 +135,11 @@ class PoolPhase {
 
 }  // namespace
 
-DriverResult run_oct_serial(const Prepared& prep, const ApproxParams& params,
-                            const GBConstants& constants) {
-  DriverResult result;
+namespace detail {
+
+RunResult oct_serial(const Prepared& prep, const ApproxParams& params,
+                     const GBConstants& constants) {
+  RunResult result;
   WallTimer wall;
   ThreadCpuTimer cpu;
 
@@ -166,9 +172,9 @@ DriverResult run_oct_serial(const Prepared& prep, const ApproxParams& params,
   return result;
 }
 
-DriverResult run_oct_cilk(const Prepared& prep, const ApproxParams& params,
-                          const GBConstants& constants, int threads) {
-  DriverResult result;
+RunResult oct_cilk(const Prepared& prep, const ApproxParams& params,
+                   const GBConstants& constants, int threads) {
+  RunResult result;
   result.threads_per_rank = std::max(1, threads);
   WallTimer wall;
 
@@ -244,9 +250,9 @@ DriverResult run_oct_cilk(const Prepared& prep, const ApproxParams& params,
   return result;
 }
 
-DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& params,
-                                 const GBConstants& constants, const RunConfig& config) {
-  DriverResult result;
+RunResult oct_distributed(const Prepared& prep, const ApproxParams& params,
+                          const GBConstants& constants, const RunConfig& config) {
+  RunResult result;
   result.ranks = std::max(1, config.ranks);
   result.threads_per_rank = std::max(1, config.threads_per_rank);
   const int P = result.ranks;
@@ -861,7 +867,554 @@ DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& param
   // payloads, accumulator and Born array (paper §V-B memory comparison).
   result.replicated_bytes = static_cast<std::size_t>(P) *
                             (prep.replicated_footprint().bytes + per_rank_extra_bytes);
+  result.migrated_chunks = report.migrated_chunks;
+  result.rank_results = report.ranks;
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical chunk-fold path with cross-rank balancing (core/balance.hpp,
+// DESIGN.md "Load balancing").
+//
+// Work is cut into fixed, policy-independent chunks; each chunk's partial is
+// computed fresh-from-zero by whichever rank the plan (or death recovery, or
+// a checkpoint restore) hands it to, and every rank folds the partials in
+// ascending chunk order. The fold's result depends only on the chunk
+// boundaries — never on the assignment — so kStatic, kCostModel and kSteal
+// agree to the last bit, and so do recovered and resumed runs.
+//
+// The phase structure mirrors oct_distributed's, with two differences: the
+// Born push is replicated (every rank pushes all atoms from the identical
+// folded accumulator, so no gather is needed), and each phase synchronizes
+// on a 1-double token allreduce whose abort is the death-recovery point —
+// deaths fire only at collective entries, so a rank that dies there has
+// already finished and published its chunks for the current phase; only its
+// NEXT-phase chunks ever need recovery.
+RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
+                       const GBConstants& constants, const RunOptions& options) {
+  RunResult result;
+  result.ranks = std::max(1, options.ranks);
+  result.threads_per_rank = 1;
+  const int P = result.ranks;
+
+  const BornSolver born_solver(prep, params);
+  const std::uint32_t n_atoms = static_cast<std::uint32_t>(prep.num_atoms());
+  const std::uint32_t n_qleaves = static_cast<std::uint32_t>(prep.q_tree.leaves().size());
+  const std::uint32_t n_aleaves = static_cast<std::uint32_t>(prep.atoms_tree.leaves().size());
+  const std::size_t acc_len = born_solver.make_accumulator().flat().size();
+
+  // Chunk geometry + per-chunk cost estimates: identical on every rank, and
+  // independent of the policy (the fold's determinism rests on that).
+  //
+  // Chunks are priced from a host-side list build: a source leaf costs its
+  // near-field point pairs (target points x source points per near entry)
+  // plus one aggregated evaluation per source point for each far entry.
+  // Occupancy x total — the coarser interaction_costs overload — under-
+  // prices dense regions, because near-field work grows with the
+  // neighbourhood's density, not just the leaf's own count. The list walk
+  // is pure geometry (no Born values), so the Epol lists can be built
+  // before phase 1 runs. kStatic even-splits regardless of the costs, so
+  // the build is skipped there and the baseline stays list-free.
+  const ChunkPlan born_plan = make_chunk_plan(n_qleaves, P, options.balance_chunk_leaves);
+  const ChunkPlan epol_plan = make_chunk_plan(n_aleaves, P, options.balance_chunk_leaves);
+  const auto chunk_costs = [](const Octree& target, const Octree& source,
+                              const ChunkPlan& plan, const InteractionLists& lists) {
+    const auto leaves = source.leaves();
+    std::vector<std::uint32_t> leaf_of(source.nodes().size(), 0);
+    for (std::uint32_t i = 0; i < leaves.size(); ++i) leaf_of[leaves[i]] = i;
+    std::vector<std::uint64_t> per_leaf(leaves.size(), 0);
+    for (const InteractionLists::Near& nr : lists.near)
+      per_leaf[leaf_of[nr.source_leaf]] +=
+          static_cast<std::uint64_t>(target.node(nr.target_leaf).count()) *
+          source.node(nr.source_leaf).count();
+    for (const InteractionLists::Far& fr : lists.far)
+      per_leaf[leaf_of[fr.source_leaf]] += source.node(fr.source_leaf).count();
+    const std::vector<double> leaf_costs = mpisim::interaction_costs(per_leaf);
+    std::vector<double> costs(plan.n_chunks, 0.0);
+    for (std::uint32_t c = 0; c < plan.n_chunks; ++c) {
+      const Segment seg = plan.chunk_range(c);
+      for (std::uint32_t l = seg.lo; l < seg.hi; ++l) costs[c] += leaf_costs[l];
+    }
+    return costs;
+  };
+  std::vector<double> born_costs(born_plan.n_chunks, 0.0);
+  std::vector<double> epol_costs(epol_plan.n_chunks, 0.0);
+  if (options.balance != BalancePolicy::kStatic) {
+    born_costs = chunk_costs(prep.atoms_tree, prep.q_tree, born_plan,
+                             born_solver.build_lists(0, n_qleaves));
+    epol_costs = chunk_costs(
+        prep.atoms_tree, prep.atoms_tree, epol_plan,
+        build_interaction_lists(prep.atoms_tree, prep.atoms_tree,
+                                {.far_multiplier = params.epol_far_multiplier(),
+                                 .exact_at_target_leaf = true,
+                                 .source_leaf_lo = 0,
+                                 .source_leaf_hi = n_aleaves}));
+  }
+  const BalanceAssignment plan_born = plan_balance(born_costs, P, options.balance);
+  const BalanceAssignment plan_epol = plan_balance(epol_costs, P, options.balance);
+  result.steal_grants = plan_born.steals.size() + plan_epol.steals.size();
+  const auto steals_by_thief = [P](const BalanceAssignment& plan) {
+    std::vector<std::vector<StealEvent>> by(static_cast<std::size_t>(P));
+    for (const StealEvent& ev : plan.steals)
+      by[static_cast<std::size_t>(ev.thief)].push_back(ev);
+    return by;
+  };
+  const auto born_steals = steals_by_thief(plan_born);
+  const auto epol_steals = steals_by_thief(plan_epol);
+  // Planned executor per chunk (the rank whose order holds it, post-steal).
+  // Death recovery stripes over the chunks whose executor is dead — a list
+  // derived only from the plan and the collectively-agreed dead set, so
+  // every survivor stripes the SAME list. (The ledger alone cannot serve:
+  // survivors recover concurrently, so a ledger snapshot taken mid-recovery
+  // differs between ranks and a shifted stripe can orphan chunks.)
+  const auto executor_of = [P](const BalanceAssignment& plan,
+                               std::uint32_t n_chunks) {
+    std::vector<int> executor(n_chunks, 0);
+    for (int rr = 0; rr < P; ++rr)
+      for (const std::uint32_t c : plan.order[static_cast<std::size_t>(rr)])
+        executor[c] = rr;
+    return executor;
+  };
+  const std::vector<int> born_executor = executor_of(plan_born, born_plan.n_chunks);
+  const std::vector<int> epol_executor = executor_of(plan_epol, epol_plan.n_chunks);
+
+  // Shared cross-rank state: each chunk slot is written by exactly one rank
+  // (ledger discipline), then read by all after the phase sync's barrier.
+  std::vector<std::vector<double>> born_partials(born_plan.n_chunks);
+  std::vector<std::array<double, 2>> epol_raws(epol_plan.n_chunks,
+                                               std::array<double, 2>{0.0, 0.0});
+  ChunkLedger born_ledger(born_plan.n_chunks);
+  ChunkLedger epol_ledger(epol_plan.n_chunks);
+  std::vector<double> born_shared(prep.num_atoms(), 0.0);
+  double energy_shared = 0.0;
+
+  // ---- Checkpoint/restart. The job key covers the chunk geometry but NOT
+  // the balance policy: snapshots are policy-portable, because a restored
+  // chunk's partial is identical wherever (and under whichever policy) it
+  // was computed.
+  const ckpt::CheckpointPolicy& policy = options.checkpoint;
+  const std::uint64_t job_key = ckpt::fnv1a64(
+      {n_atoms, n_qleaves, n_aleaves, static_cast<std::uint64_t>(P),
+       static_cast<std::uint64_t>(params.traversal), 0xBA1Aull,
+       born_plan.n_chunks, born_plan.chunk_items, epol_plan.n_chunks,
+       epol_plan.chunk_items});
+  const ckpt::SnapshotStore store(policy.enabled() ? policy.dir : std::string("."),
+                                  P, job_key);
+
+  // Restore decision + application, made once up front on the host so every
+  // rank agrees on the cut. Restored chunks land directly in the shared
+  // arrays and ledgers; each rank also re-adopts its own snapshot's chunk
+  // id set so its NEXT snapshot still covers them.
+  std::vector<std::vector<std::uint32_t>> restored_born_ids(
+      static_cast<std::size_t>(P));
+  std::vector<std::vector<std::uint32_t>> restored_epol_ids(
+      static_cast<std::size_t>(P));
+  std::vector<ckpt::Snapshot> restored;
+  bool resume = false;
+  if (policy.enabled() && policy.resume) {
+    if (auto set = store.load_latest()) {
+      bool valid = true;
+      std::vector<ckpt::ChunkLedgerSections> ledgers(static_cast<std::size_t>(P));
+      for (int rr = 0; rr < P && valid; ++rr) {
+        const ckpt::Snapshot& s = (*set)[static_cast<std::size_t>(rr)];
+        const auto ledger_ok = [&](const ckpt::ChunkLedgerSections& led,
+                                   std::uint32_t n_chunks, std::size_t partial_len) {
+          if (!led.ok || s.cursor != led.ids.size()) return false;
+          for (const std::uint32_t id : led.ids)
+            if (id >= n_chunks) return false;
+          for (const std::vector<double>& p : led.partials)
+            if (p.size() != partial_len) return false;
+          return true;
+        };
+        switch (s.phase) {
+          case ckpt::Phase::kBornAccum:
+            ledgers[static_cast<std::size_t>(rr)] = ckpt::read_chunk_ledger(s, 0);
+            valid = ledger_ok(ledgers[static_cast<std::size_t>(rr)],
+                              born_plan.n_chunks, acc_len);
+            break;
+          case ckpt::Phase::kPush:
+            valid = s.sections.size() == 1 && s.sections[0].size() == acc_len &&
+                    s.cursor == 0;
+            break;
+          case ckpt::Phase::kEpol:
+            ledgers[static_cast<std::size_t>(rr)] = ckpt::read_chunk_ledger(s, 1);
+            valid = !s.sections.empty() && s.sections[0].size() == n_atoms &&
+                    ledger_ok(ledgers[static_cast<std::size_t>(rr)],
+                              epol_plan.n_chunks, 2);
+            break;
+        }
+      }
+      if (valid) {
+        restored = std::move(*set);
+        resume = true;
+        for (int rr = 0; rr < P; ++rr) {
+          const ckpt::Snapshot& s = restored[static_cast<std::size_t>(rr)];
+          ckpt::ChunkLedgerSections& led = ledgers[static_cast<std::size_t>(rr)];
+          if (s.phase == ckpt::Phase::kBornAccum) {
+            for (std::size_t i = 0; i < led.ids.size(); ++i) {
+              born_partials[led.ids[i]] = std::move(led.partials[i]);
+              born_ledger.mark_done(led.ids[i], rr);
+            }
+            restored_born_ids[static_cast<std::size_t>(rr)] = std::move(led.ids);
+          } else if (s.phase == ckpt::Phase::kEpol) {
+            for (std::size_t i = 0; i < led.ids.size(); ++i) {
+              epol_raws[led.ids[i]] = {led.partials[i][0], led.partials[i][1]};
+              epol_ledger.mark_done(led.ids[i], rr);
+            }
+            restored_epol_ids[static_cast<std::size_t>(rr)] = std::move(led.ids);
+          }
+        }
+      }
+    }
+  }
+  const ckpt::Phase resume_phase = resume ? restored[0].phase : ckpt::Phase::kBornAccum;
+
+  mpisim::Runtime::Config rt;
+  rt.ranks = P;
+  rt.threads_per_rank = 1;
+  rt.cluster = options.cluster;
+  rt.faults = options.faults;
+  rt.kill = options.kill;
+  rt.stall_timeout_seconds = options.stall_timeout_seconds;
+
+  const auto report = mpisim::Runtime::run(rt, [&](mpisim::Comm& comm) {
+    const int r = comm.rank();
+    const bool skip_to_push = resume && resume_phase >= ckpt::Phase::kPush;
+    const bool skip_to_epol = resume && resume_phase == ckpt::Phase::kEpol;
+    int writer = 0;  // lowest surviving rank; publishes the shared answer
+
+    std::uint32_t phase_boundaries = 0;
+    const auto boundary_due = [&] {
+      const bool due = policy.every_n_collectives > 0 &&
+                       phase_boundaries % policy.every_n_collectives == 0;
+      ++phase_boundaries;
+      return due;
+    };
+    const auto save_ledger_snapshot =
+        [&](ckpt::Phase phase, const std::vector<std::uint32_t>& ids,
+            std::vector<std::vector<double>> head) {
+          ckpt::Snapshot snap;
+          snap.rank = static_cast<std::uint32_t>(r);
+          snap.ranks = static_cast<std::uint32_t>(P);
+          snap.phase = phase;
+          snap.cursor = ids.size();
+          snap.job_key = job_key;
+          snap.sections = std::move(head);
+          if (phase != ckpt::Phase::kPush) {  // kPush carries only the accumulator
+            std::vector<std::vector<double>> partials;
+            partials.reserve(ids.size());
+            for (const std::uint32_t id : ids) {
+              if (phase == ckpt::Phase::kBornAccum)
+                partials.push_back(born_partials[id]);
+              else
+                partials.push_back({epol_raws[id][0], epol_raws[id][1]});
+            }
+            ckpt::append_chunk_ledger(snap, ids, partials);
+          }
+          store.save(snap);
+        };
+
+    // Fires the planned steal round trips due before processing slot `i` of
+    // this rank's order (modeled messages only; the chunks are already in
+    // the order vector).
+    const auto fire_steals = [&](const std::vector<StealEvent>& evs,
+                                 std::size_t& next, std::size_t i,
+                                 std::size_t order_size) {
+      while (next < evs.size() && evs[next].after_processed == i) {
+        const StealEvent& ev = evs[next];
+        comm.steal_rpc(ev.victim, static_cast<std::uint64_t>(order_size - i),
+                       ev.granted, 16, static_cast<std::size_t>(ev.granted) * 16);
+        ++next;
+      }
+    };
+
+    // One Born chunk, fresh-from-zero into its shared slot.
+    const auto compute_born_chunk = [&](std::uint32_t c) {
+      const Segment seg = born_plan.chunk_range(c);
+      traced_chunk(seg.lo, seg.hi, obs::PhaseId::kBornAccum, [&] {
+        mpisim::Comm::ComputeRegion region(comm);
+        BornAccumulator scratch = born_solver.make_accumulator();
+        if (params.traversal == TraversalMode::kList) {
+          const InteractionLists lists = born_solver.build_lists(seg.lo, seg.hi);
+          born_solver.accumulate_lists(lists, scratch);
+        } else {
+          born_solver.accumulate_qleaf_range(seg.lo, seg.hi, scratch);
+        }
+        born_partials[c].assign(scratch.flat().begin(), scratch.flat().end());
+      });
+      if (plan_born.initial_rank[c] != r) comm.add_migrated_chunk();
+      born_ledger.mark_done(c, r);
+    };
+
+    // ---- Born accumulation over this rank's planned chunk order.
+    obs::phase_begin(obs::PhaseId::kBornAccum);
+    std::vector<std::uint32_t> my_born_ids = restored_born_ids[static_cast<std::size_t>(r)];
+    if (!skip_to_push) {
+      const std::vector<std::uint32_t>& order = plan_born.order[static_cast<std::size_t>(r)];
+      if (policy.enabled())
+        save_ledger_snapshot(ckpt::Phase::kBornAccum, my_born_ids, {});
+      std::uint32_t since_save = 0;
+      std::size_t next_steal = 0;
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        fire_steals(born_steals[static_cast<std::size_t>(r)], next_steal, i,
+                    order.size());
+        const std::uint32_t c = order[i];
+        if (!born_ledger.done(c)) {  // restored chunks are skipped
+          compute_born_chunk(c);
+          my_born_ids.push_back(c);
+          if (policy.enabled() && policy.every_k_chunks > 0 &&
+              ++since_save >= policy.every_k_chunks) {
+            since_save = 0;
+            save_ledger_snapshot(ckpt::Phase::kBornAccum, my_born_ids, {});
+          }
+        }
+        if (comm.poll_kill()) comm.abandon();
+      }
+      fire_steals(born_steals[static_cast<std::size_t>(r)], next_steal,
+                  order.size(), order.size());
+    }
+
+    // ---- Born sync: 1-double token allreduce. An abort is the recovery
+    // point: survivors stripe the dead executors' chunks and recompute the
+    // unpublished ones. A dead rank's CURRENT-phase chunks are usually all
+    // published (deaths fire at collective entry), but its next-phase order
+    // is orphaned wholesale, and a cascade can orphan recovery stripes too;
+    // recomputing fresh-from-zero is always exact.
+    obs::phase_begin(obs::PhaseId::kBornReduce);
+    if (!skip_to_push) {
+      double token[1] = {0.0};
+      const double proxy_zero = 0.0;
+      std::vector<int> proxied;  // dead ranks this rank republishes for
+      for (;;) {
+        std::vector<mpisim::ProxyPub> pubs;
+        pubs.reserve(proxied.size());
+        for (const int d : proxied) pubs.push_back({d, &proxy_zero});
+        const mpisim::CollectiveStatus st = comm.allreduce_sum_ft(token, pubs);
+        if (st.ok()) break;
+        if (comm.kill_requested()) comm.abandon();
+        const std::vector<int> live = live_ranks(P, st.dead);
+        writer = live.front();
+        const int parts = static_cast<int>(live.size());
+        const int my = index_of(live, r);
+        // Stripe the dead executors' chunks (a plan-derived list, identical
+        // on every survivor); chunks the dead rank had already published
+        // before dying at the collective entry are skipped via the ledger.
+        std::vector<std::uint32_t> orphans;
+        for (std::uint32_t c = 0; c < born_plan.n_chunks; ++c)
+          if (std::binary_search(st.dead.begin(), st.dead.end(), born_executor[c]))
+            orphans.push_back(c);
+        bool recomputed = false;
+        for (std::size_t i = static_cast<std::size_t>(my); i < orphans.size();
+             i += static_cast<std::size_t>(parts)) {
+          const std::uint32_t c = orphans[i];
+          if (born_ledger.done(c)) continue;
+          compute_born_chunk(c);
+          my_born_ids.push_back(c);
+          comm.add_redistributed_work(born_plan.chunk_range(c).count());
+          recomputed = true;
+        }
+        if (policy.enabled() && recomputed)
+          save_ledger_snapshot(ckpt::Phase::kBornAccum, my_born_ids, {});
+        // The lowest survivor republishes a zero token for every dead rank.
+        proxied = r == live.front() ? st.dead : std::vector<int>{};
+      }
+    }
+
+    // ---- Canonical fold + replicated push. Every rank folds the identical
+    // partials in ascending chunk order, so every rank holds the identical
+    // accumulator and Born radii — no gather collective is needed; the data
+    // motion (each rank reading every chunk partial) is charged as one
+    // modeled allgatherv.
+    BornAccumulator acc = born_solver.make_accumulator();
+    if (skip_to_push && !skip_to_epol) {
+      const ckpt::Snapshot& snap = restored[static_cast<std::size_t>(r)];
+      std::copy(snap.sections[0].begin(), snap.sections[0].end(),
+                acc.flat().begin());
+    } else if (!skip_to_epol) {
+      comm.charge_collective(obs::CollKind::kAllgatherv,
+                             static_cast<std::size_t>(born_plan.n_chunks) *
+                                 acc_len * sizeof(double));
+      mpisim::Comm::ComputeRegion region(comm);
+      const std::span<double> flat = acc.flat();
+      for (std::uint32_t c = 0; c < born_plan.n_chunks; ++c) {
+        const std::vector<double>& partial = born_partials[c];
+        for (std::size_t j = 0; j < flat.size(); ++j) flat[j] += partial[j];
+      }
+    }
+    if (!skip_to_epol && policy.enabled() && boundary_due())
+      save_ledger_snapshot(
+          ckpt::Phase::kPush, {},
+          {std::vector<double>(acc.flat().begin(), acc.flat().end())});
+
+    obs::phase_begin(obs::PhaseId::kPush);
+    std::vector<double> born(prep.num_atoms(), 0.0);
+    if (skip_to_epol) {
+      const ckpt::Snapshot& snap = restored[static_cast<std::size_t>(r)];
+      std::copy(snap.sections[0].begin(), snap.sections[0].end(), born.begin());
+    } else {
+      traced_chunk(0, n_atoms, obs::PhaseId::kPush, [&] {
+        mpisim::Comm::ComputeRegion region(comm);
+        born_solver.push_to_atoms(acc, 0, n_atoms, born);
+      });
+    }
+
+    // ---- E_pol over this rank's planned chunk order (raw far/near sums per
+    // chunk; the -tau/2 scale is applied once, after the fold).
+    obs::phase_begin(obs::PhaseId::kEpol);
+    std::unique_ptr<EpolSolver> epol_solver;
+    {
+      mpisim::Comm::ComputeRegion region(comm);
+      epol_solver = std::make_unique<EpolSolver>(prep, born, params, constants);
+    }
+    const auto compute_epol_chunk = [&](std::uint32_t c) {
+      const Segment seg = epol_plan.chunk_range(c);
+      traced_chunk(seg.lo, seg.hi, obs::PhaseId::kEpol, [&] {
+        mpisim::Comm::ComputeRegion region(comm);
+        double raws[2] = {0.0, 0.0};
+        if (params.traversal == TraversalMode::kList) {
+          const InteractionLists lists = epol_solver->build_lists(seg.lo, seg.hi);
+          epol_solver->accumulate_energy_far_range(lists, 0, lists.far.size(),
+                                                   raws[0]);
+          epol_solver->accumulate_energy_near_range(lists, 0, lists.near.size(),
+                                                    raws[1]);
+        } else {
+          epol_solver->accumulate_energy_leaf_range(seg.lo, seg.hi, raws[0]);
+        }
+        epol_raws[c] = {raws[0], raws[1]};
+      });
+      if (plan_epol.initial_rank[c] != r) comm.add_migrated_chunk();
+      epol_ledger.mark_done(c, r);
+    };
+
+    std::vector<std::uint32_t> my_epol_ids = restored_epol_ids[static_cast<std::size_t>(r)];
+    {
+      const std::vector<std::uint32_t>& order = plan_epol.order[static_cast<std::size_t>(r)];
+      if (policy.enabled() && boundary_due())
+        save_ledger_snapshot(ckpt::Phase::kEpol, my_epol_ids, {born});
+      std::uint32_t since_save = 0;
+      std::size_t next_steal = 0;
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        fire_steals(epol_steals[static_cast<std::size_t>(r)], next_steal, i,
+                    order.size());
+        const std::uint32_t c = order[i];
+        if (!epol_ledger.done(c)) {
+          compute_epol_chunk(c);
+          my_epol_ids.push_back(c);
+          if (policy.enabled() && policy.every_k_chunks > 0 &&
+              ++since_save >= policy.every_k_chunks) {
+            since_save = 0;
+            save_ledger_snapshot(ckpt::Phase::kEpol, my_epol_ids, {born});
+          }
+        }
+        if (comm.poll_kill()) comm.abandon();
+      }
+      fire_steals(epol_steals[static_cast<std::size_t>(r)], next_steal,
+                  order.size(), order.size());
+    }
+
+    // ---- E_pol sync + recovery (same token protocol as the Born sync).
+    obs::phase_begin(obs::PhaseId::kEpolReduce);
+    {
+      double token[1] = {0.0};
+      const double proxy_zero = 0.0;
+      std::vector<int> proxied;
+      for (;;) {
+        std::vector<mpisim::ProxyPub> pubs;
+        pubs.reserve(proxied.size());
+        for (const int d : proxied) pubs.push_back({d, &proxy_zero});
+        const mpisim::CollectiveStatus st = comm.allreduce_sum_ft(token, pubs);
+        if (st.ok()) break;
+        if (comm.kill_requested()) comm.abandon();
+        const std::vector<int> live = live_ranks(P, st.dead);
+        writer = live.front();
+        const int parts = static_cast<int>(live.size());
+        const int my = index_of(live, r);
+        // Same stable-list striping as the Born recovery: dead executors'
+        // chunks per the plan, skipping the already-published ones.
+        std::vector<std::uint32_t> orphans;
+        for (std::uint32_t c = 0; c < epol_plan.n_chunks; ++c)
+          if (std::binary_search(st.dead.begin(), st.dead.end(), epol_executor[c]))
+            orphans.push_back(c);
+        bool recomputed = false;
+        for (std::size_t i = static_cast<std::size_t>(my); i < orphans.size();
+             i += static_cast<std::size_t>(parts)) {
+          const std::uint32_t c = orphans[i];
+          if (epol_ledger.done(c)) continue;
+          compute_epol_chunk(c);
+          my_epol_ids.push_back(c);
+          comm.add_redistributed_work(epol_plan.chunk_range(c).count());
+          recomputed = true;
+        }
+        if (policy.enabled() && recomputed)
+          save_ledger_snapshot(ckpt::Phase::kEpol, my_epol_ids, {born});
+        proxied = r == live.front() ? st.dead : std::vector<int>{};
+      }
+    }
+
+    // Fold the raw sums in ascending chunk order (identical on every rank),
+    // finish once, and let the lowest survivor publish.
+    comm.charge_collective(obs::CollKind::kAllreduce,
+                           static_cast<std::size_t>(epol_plan.n_chunks) * 2 *
+                               sizeof(double));
+    double energy = 0.0;
+    {
+      mpisim::Comm::ComputeRegion region(comm);
+      double far_total = 0.0, near_total = 0.0;
+      for (std::uint32_t c = 0; c < epol_plan.n_chunks; ++c) {
+        far_total += epol_raws[c][0];
+        near_total += epol_raws[c][1];
+      }
+      energy = params.traversal == TraversalMode::kList
+                   ? epol_solver->finish_energy(far_total) +
+                         epol_solver->finish_energy(near_total)
+                   : epol_solver->finish_energy(far_total);
+    }
+    if (r == writer) {
+      energy_shared = energy;
+      std::copy(born.begin(), born.end(), born_shared.begin());
+    }
+    obs::phase_end();
+  });
+
+  result.energy = energy_shared;
+  result.born_sorted = std::move(born_shared);
+  result.compute_seconds = report.max_compute_seconds();
+  result.comm_seconds = report.max_comm_seconds();
+  result.wall_seconds = report.wall_seconds;
+  result.retries = report.retries;
+  result.redistributed_work_items = report.redistributed_work_items;
+  result.migrated_chunks = report.migrated_chunks;
+  result.degraded = report.degraded;
+  result.killed = report.killed;
+  result.resumed = resume;
+  result.stalls_converted = report.stalls_converted;
+  result.error_class = report.error_class;
+  result.replicated_bytes =
+      static_cast<std::size_t>(P) *
+      (prep.replicated_footprint().bytes + acc_len * sizeof(double) +
+       static_cast<std::size_t>(n_atoms) * sizeof(double));
+  result.rank_results = report.ranks;
+  return result;
+}
+
+}  // namespace detail
+
+// Deprecated free-function drivers: thin wrappers over the detail entry
+// points, kept so external callers keep compiling. In-tree code must use
+// gbpol::Engine (scripts/check.sh enforces it).
+DriverResult run_oct_serial(const Prepared& prep, const ApproxParams& params,
+                            const GBConstants& constants) {
+  return detail::oct_serial(prep, params, constants).to_driver_result();
+}
+
+DriverResult run_oct_cilk(const Prepared& prep, const ApproxParams& params,
+                          const GBConstants& constants, int threads) {
+  return detail::oct_cilk(prep, params, constants, threads).to_driver_result();
+}
+
+DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& params,
+                                 const GBConstants& constants, const RunConfig& config) {
+  return detail::oct_distributed(prep, params, constants, config).to_driver_result();
 }
 
 }  // namespace gbpol

@@ -89,17 +89,25 @@ struct RunConfig {
   ckpt::CheckpointPolicy checkpoint;
 };
 
+// The free-function drivers below are DEPRECATED in favour of the unified
+// gbpol::Engine / RunOptions facade (core/engine.hpp), which subsumes all of
+// them plus the cross-rank balanced path. They remain as thin wrappers so
+// external callers keep compiling; scripts/check.sh rejects in-tree use.
+
 // Single-threaded single-tree pipeline (APPROX-INTEGRALS over every Q leaf,
 // push, APPROX-EPOL over every atom leaf).
+[[deprecated("use gbpol::Engine (core/engine.hpp)")]]
 DriverResult run_oct_serial(const Prepared& prep, const ApproxParams& params,
                             const GBConstants& constants);
 
 // Shared-memory dual-tree pipeline on `threads` workers (OCT_CILK).
+[[deprecated("use gbpol::Engine (core/engine.hpp)")]]
 DriverResult run_oct_cilk(const Prepared& prep, const ApproxParams& params,
                           const GBConstants& constants, int threads);
 
 // Distributed / hybrid pipeline per Fig. 4. threads_per_rank == 1 gives
 // OCT_MPI; > 1 gives OCT_MPI+CILK.
+[[deprecated("use gbpol::Engine (core/engine.hpp)")]]
 DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& params,
                                  const GBConstants& constants, const RunConfig& config);
 

@@ -1,0 +1,361 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+namespace gbpol {
+namespace {
+
+// Shared env-default rule: explicit field wins, "-" is an explicit off
+// switch (ignore the environment), empty falls back to the variable.
+std::string resolved(const std::string& field, const char* env_var) {
+  if (field == "-") return {};
+  if (!field.empty()) return field;
+  const char* env = std::getenv(env_var);
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+}  // namespace
+
+std::string resolved_trace_out(const RunOptions& options) {
+  return resolved(options.trace_out, "GBPOL_TRACE_OUT");
+}
+
+std::string resolved_campaign_dir(const RunOptions& options) {
+  return resolved(options.campaign_dir, "GBPOL_CAMPAIGN_DIR");
+}
+
+double RunResult::max_compute_seconds() const {
+  if (rank_results.empty()) return compute_seconds;
+  double best = 0.0;
+  for (const mpisim::RankResult& r : rank_results)
+    best = std::max(best, r.compute_seconds + r.straggler_seconds);
+  return best;
+}
+
+std::uint64_t RunResult::total_bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const mpisim::RankResult& r : rank_results) total += r.bytes_sent;
+  return total;
+}
+
+DriverResult RunResult::to_driver_result() const {
+  DriverResult out;
+  out.energy = energy;
+  out.born_sorted = born_sorted;
+  out.compute_seconds = compute_seconds;
+  out.comm_seconds = comm_seconds;
+  out.wall_seconds = wall_seconds;
+  out.steals = steals;
+  out.tasks = tasks;
+  out.replicated_bytes = replicated_bytes;
+  out.retries = retries;
+  out.redistributed_work_items = redistributed_work_items;
+  out.degraded = degraded;
+  out.killed = killed;
+  out.resumed = resumed;
+  out.stalls_converted = stalls_converted;
+  out.error_class = error_class;
+  out.ranks = ranks;
+  out.threads_per_rank = threads_per_rank;
+  return out;
+}
+
+RunResult Engine::run(const RunOptions& options) const {
+  ApproxParams params = params_;
+  params.traversal = options.traversal;
+
+  EngineMode mode = options.mode;
+  if (mode == EngineMode::kAuto) {
+    if (options.ranks > 1)
+      mode = EngineMode::kDistributed;
+    else if (options.threads_per_rank > 1)
+      mode = EngineMode::kCilk;
+    else
+      mode = EngineMode::kSerial;
+  }
+
+  switch (mode) {
+    case EngineMode::kSerial:
+      return detail::oct_serial(*prep_, params, constants_);
+    case EngineMode::kCilk:
+      return detail::oct_cilk(*prep_, params, constants_,
+                              options.threads_per_rank);
+    case EngineMode::kAuto:
+    case EngineMode::kDistributed:
+      break;
+  }
+
+  // Distributed: the canonical chunk-fold path owns every policy except
+  // plain kStatic (which keeps the legacy reduction for baseline parity),
+  // and only supports the bit-deterministic configuration it is defined for.
+  const bool balanced =
+      (options.balance != BalancePolicy::kStatic || options.canonical_reduction) &&
+      options.threads_per_rank <= 1 && options.division == WorkDivision::kNodeNode;
+  if (balanced) return detail::oct_balanced(*prep_, params, constants_, options);
+
+  RunConfig config;
+  config.ranks = options.ranks;
+  config.threads_per_rank = options.threads_per_rank;
+  config.cluster = options.cluster;
+  config.division = options.division;
+  config.faults = options.faults;
+  config.kill = options.kill;
+  config.stall_timeout_seconds = options.stall_timeout_seconds;
+  config.checkpoint = options.checkpoint;
+  return detail::oct_distributed(*prep_, params, constants_, config);
+}
+
+// --- RunResult JSON ------------------------------------------------------
+
+namespace {
+
+RunResultDoc doc_from_result(const RunResult& result, const std::string& label) {
+  RunResultDoc doc;
+  doc.label = label;
+  doc.energy = result.energy;
+  doc.ranks = result.ranks;
+  doc.threads_per_rank = result.threads_per_rank;
+  doc.compute_seconds = result.compute_seconds;
+  doc.comm_seconds = result.comm_seconds;
+  doc.wall_seconds = result.wall_seconds;
+  doc.steals = result.steals;
+  doc.tasks = result.tasks;
+  doc.replicated_bytes = static_cast<std::uint64_t>(result.replicated_bytes);
+  doc.retries = result.retries;
+  doc.redistributed_work_items = result.redistributed_work_items;
+  doc.migrated_chunks = result.migrated_chunks;
+  doc.steal_grants = result.steal_grants;
+  doc.degraded = result.degraded;
+  doc.killed = result.killed;
+  doc.resumed = result.resumed;
+  doc.stalls_converted = result.stalls_converted;
+  const std::vector<double>& born = result.born_sorted;
+  doc.born_count = born.size();
+  if (!born.empty()) {
+    doc.born_first = born.front();
+    doc.born_middle = born[born.size() / 2];
+    doc.born_last = born.back();
+    double sum = 0.0;
+    for (const double b : born) sum += b;
+    doc.born_mean = sum / static_cast<double>(born.size());
+  }
+  doc.rank_results = result.rank_results;
+  return doc;
+}
+
+bool read_number(const obs::json::Value& v, const char* key, double& out,
+                 std::string& err) {
+  const obs::json::Value* f = v.find(key);
+  if (f == nullptr || !f->is_number()) {
+    err = std::string("missing or non-numeric field: ") + key;
+    return false;
+  }
+  out = f->as_number();
+  return true;
+}
+
+bool read_u64(const obs::json::Value& v, const char* key, std::uint64_t& out,
+              std::string& err) {
+  double d = 0.0;
+  if (!read_number(v, key, d, err)) return false;
+  if (d < 0.0) {
+    err = std::string("negative count field: ") + key;
+    return false;
+  }
+  out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+bool read_int(const obs::json::Value& v, const char* key, int& out,
+              std::string& err) {
+  double d = 0.0;
+  if (!read_number(v, key, d, err)) return false;
+  out = static_cast<int>(d);
+  return true;
+}
+
+bool read_bool(const obs::json::Value& v, const char* key, bool& out,
+               std::string& err) {
+  const obs::json::Value* f = v.find(key);
+  if (f == nullptr || !f->is_bool()) {
+    err = std::string("missing or non-boolean field: ") + key;
+    return false;
+  }
+  out = f->as_bool();
+  return true;
+}
+
+}  // namespace
+
+obs::json::Value run_result_doc_to_json(const RunResultDoc& doc) {
+  using obs::json::Array;
+  using obs::json::Object;
+  using obs::json::Value;
+
+  Object born;
+  born.emplace_back("count", Value(doc.born_count));
+  born.emplace_back("first", Value(doc.born_first));
+  born.emplace_back("middle", Value(doc.born_middle));
+  born.emplace_back("last", Value(doc.born_last));
+  born.emplace_back("mean", Value(doc.born_mean));
+
+  Array ranks;
+  for (const mpisim::RankResult& r : doc.rank_results) {
+    Object o;
+    o.emplace_back("compute_seconds", Value(r.compute_seconds));
+    o.emplace_back("straggler_seconds", Value(r.straggler_seconds));
+    o.emplace_back("comm_seconds", Value(r.comm_seconds));
+    o.emplace_back("bytes_sent", Value(r.bytes_sent));
+    o.emplace_back("retries", Value(r.retries));
+    o.emplace_back("redistributed_work_items", Value(r.redistributed_work_items));
+    o.emplace_back("migrated_chunks", Value(r.migrated_chunks));
+    o.emplace_back("died", Value(r.died));
+    ranks.emplace_back(std::move(o));
+  }
+
+  Object root;
+  root.emplace_back("schema_version", Value(kRunResultSchemaVersion));
+  root.emplace_back("label", Value(doc.label));
+  root.emplace_back("energy", Value(doc.energy));
+  root.emplace_back("ranks", Value(doc.ranks));
+  root.emplace_back("threads_per_rank", Value(doc.threads_per_rank));
+  root.emplace_back("compute_seconds", Value(doc.compute_seconds));
+  root.emplace_back("comm_seconds", Value(doc.comm_seconds));
+  root.emplace_back("wall_seconds", Value(doc.wall_seconds));
+  root.emplace_back("steals", Value(doc.steals));
+  root.emplace_back("tasks", Value(doc.tasks));
+  root.emplace_back("replicated_bytes", Value(doc.replicated_bytes));
+  root.emplace_back("retries", Value(doc.retries));
+  root.emplace_back("redistributed_work_items", Value(doc.redistributed_work_items));
+  root.emplace_back("migrated_chunks", Value(doc.migrated_chunks));
+  root.emplace_back("steal_grants", Value(doc.steal_grants));
+  root.emplace_back("degraded", Value(doc.degraded));
+  root.emplace_back("killed", Value(doc.killed));
+  root.emplace_back("resumed", Value(doc.resumed));
+  root.emplace_back("stalls_converted", Value(doc.stalls_converted));
+  root.emplace_back("born", Value(std::move(born)));
+  root.emplace_back("rank_results", Value(std::move(ranks)));
+  // Derived (parsers recompute or ignore): keeps dashboards one-pass.
+  root.emplace_back("derived_modeled_seconds",
+                    Value(doc.compute_seconds + doc.comm_seconds));
+  return Value(std::move(root));
+}
+
+obs::json::Value run_result_to_json(const RunResult& result,
+                                    const std::string& label) {
+  return run_result_doc_to_json(doc_from_result(result, label));
+}
+
+RunResultParse run_result_from_json(const obs::json::Value& root) {
+  RunResultParse out;
+  if (!root.is_object()) {
+    out.error = "run-result document is not a JSON object";
+    return out;
+  }
+  const obs::json::Value* version = root.find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    out.error = "missing schema_version";
+    return out;
+  }
+  out.found_version = static_cast<int>(version->as_number());
+  if (out.found_version != kRunResultSchemaVersion) {
+    // Loud rejection: a reader built for v1 must not quietly misread a
+    // future layout (same policy as metrics.json).
+    out.version_mismatch = true;
+    out.error = "unsupported run-result schema_version " +
+                std::to_string(out.found_version) + " (this reader expects " +
+                std::to_string(kRunResultSchemaVersion) + ")";
+    return out;
+  }
+
+  RunResultDoc& doc = out.doc;
+  std::string& err = out.error;
+  const obs::json::Value* label = root.find("label");
+  if (label == nullptr || !label->is_string()) {
+    err = "missing or non-string field: label";
+    return out;
+  }
+  doc.label = label->as_string();
+  if (!read_number(root, "energy", doc.energy, err) ||
+      !read_int(root, "ranks", doc.ranks, err) ||
+      !read_int(root, "threads_per_rank", doc.threads_per_rank, err) ||
+      !read_number(root, "compute_seconds", doc.compute_seconds, err) ||
+      !read_number(root, "comm_seconds", doc.comm_seconds, err) ||
+      !read_number(root, "wall_seconds", doc.wall_seconds, err) ||
+      !read_u64(root, "steals", doc.steals, err) ||
+      !read_u64(root, "tasks", doc.tasks, err) ||
+      !read_u64(root, "replicated_bytes", doc.replicated_bytes, err) ||
+      !read_u64(root, "retries", doc.retries, err) ||
+      !read_u64(root, "redistributed_work_items", doc.redistributed_work_items,
+                err) ||
+      !read_u64(root, "migrated_chunks", doc.migrated_chunks, err) ||
+      !read_u64(root, "steal_grants", doc.steal_grants, err) ||
+      !read_bool(root, "degraded", doc.degraded, err) ||
+      !read_bool(root, "killed", doc.killed, err) ||
+      !read_bool(root, "resumed", doc.resumed, err) ||
+      !read_int(root, "stalls_converted", doc.stalls_converted, err))
+    return out;
+
+  const obs::json::Value* born = root.find("born");
+  if (born == nullptr || !born->is_object()) {
+    err = "missing or non-object field: born";
+    return out;
+  }
+  if (!read_u64(*born, "count", doc.born_count, err) ||
+      !read_number(*born, "first", doc.born_first, err) ||
+      !read_number(*born, "middle", doc.born_middle, err) ||
+      !read_number(*born, "last", doc.born_last, err) ||
+      !read_number(*born, "mean", doc.born_mean, err))
+    return out;
+
+  const obs::json::Value* ranks = root.find("rank_results");
+  if (ranks == nullptr || !ranks->is_array()) {
+    err = "missing or non-array field: rank_results";
+    return out;
+  }
+  for (const obs::json::Value& entry : ranks->as_array()) {
+    if (!entry.is_object()) {
+      err = "rank_results entry is not an object";
+      return out;
+    }
+    mpisim::RankResult r;
+    if (!read_number(entry, "compute_seconds", r.compute_seconds, err) ||
+        !read_number(entry, "straggler_seconds", r.straggler_seconds, err) ||
+        !read_number(entry, "comm_seconds", r.comm_seconds, err) ||
+        !read_u64(entry, "bytes_sent", r.bytes_sent, err) ||
+        !read_u64(entry, "retries", r.retries, err) ||
+        !read_u64(entry, "redistributed_work_items", r.redistributed_work_items,
+                  err) ||
+        !read_u64(entry, "migrated_chunks", r.migrated_chunks, err) ||
+        !read_bool(entry, "died", r.died, err))
+      return out;
+    doc.rank_results.push_back(r);
+  }
+
+  out.ok = true;
+  out.error.clear();
+  return out;
+}
+
+RunResultParse run_result_from_string(const std::string& text) {
+  const obs::json::ParseResult parsed = obs::json::parse(text);
+  if (!parsed.ok) {
+    RunResultParse out;
+    out.error = "run-result JSON parse error: " + parsed.error;
+    return out;
+  }
+  return run_result_from_json(parsed.value);
+}
+
+bool write_run_result_json(const RunResult& result, const std::string& label,
+                           const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << run_result_to_json(result, label).dump() << '\n';
+  return static_cast<bool>(os);
+}
+
+}  // namespace gbpol

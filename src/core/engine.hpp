@@ -1,0 +1,247 @@
+// Unified driver facade: one Engine, one RunOptions aggregate, one RunResult.
+//
+// The free-function drivers (run_oct_serial / run_oct_cilk /
+// run_oct_distributed, drivers.hpp) accreted knobs across five layers —
+// traversal mode on ApproxParams, work division + faults + kill + checkpoint
+// on RunConfig, rank/thread counts as positional arguments, and campaign /
+// trace destinations as ambient environment variables. Engine consolidates
+// all of it:
+//
+//   gbpol::Engine engine(prep);            // or (prep, params, constants)
+//   gbpol::RunOptions opt;
+//   opt.ranks = 8;
+//   opt.balance = BalancePolicy::kSteal;
+//   gbpol::RunResult res = engine.run(opt);
+//
+// RunResult merges the old DriverResult with the per-rank RunReport the
+// distributed runtime produces, and serializes to JSON under the same
+// versioned-schema policy as metrics.json (schema v1, loud rejection of
+// unknown versions — see run_result_from_string).
+//
+// The old free functions remain as thin [[deprecated]] wrappers so external
+// callers keep compiling; scripts/check.sh greps the tree so no in-repo
+// caller can creep back onto them.
+//
+// --- Environment-variable defaults (THE documented place) ----------------
+// Two env vars act as defaults for RunOptions fields; an explicit field
+// always wins, and everything else in the system reads the RESOLVED option,
+// never the environment:
+//   GBPOL_CAMPAIGN_DIR -> RunOptions::campaign_dir (resumable bench journals;
+//                         harness::CampaignConfig journal_path derives from it)
+//   GBPOL_TRACE_OUT    -> RunOptions::trace_out (Chrome trace_event export
+//                         path for the first traced run of a bench)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/balance.hpp"
+#include "core/drivers.hpp"
+#include "mpisim/runtime.hpp"
+#include "obs/json.hpp"
+
+namespace gbpol {
+
+enum class EngineMode {
+  kAuto,         // ranks > 1 -> distributed; threads > 1 -> cilk; else serial
+  kSerial,       // OCT_SERIAL
+  kCilk,         // OCT_CILK (threads_per_rank workers)
+  kDistributed,  // OCT_MPI / OCT_MPI+CILK (honours ranks == 1 too)
+};
+
+// Aggregate options for one Engine::run. Everything the run needs is a
+// field here; no positional knobs, no env-var side channels (the two env
+// vars above are read ONCE, as defaults, by resolved_*).
+struct RunOptions {
+  // Topology & routing.
+  EngineMode mode = EngineMode::kAuto;
+  int ranks = 1;
+  int threads_per_rank = 1;
+  mpisim::ClusterModel cluster = mpisim::ClusterModel::lonestar4();
+  WorkDivision division = WorkDivision::kNodeNode;
+
+  // Tree traversal for Born + E_pol (replaces setting ApproxParams::traversal
+  // on the params the Engine was constructed with).
+  TraversalMode traversal = TraversalMode::kList;
+
+  // Cross-rank balancing (core/balance.hpp). Policies other than kStatic run
+  // the canonical chunk-fold path, which requires threads_per_rank == 1 and
+  // division == kNodeNode; other configurations fall back to the legacy
+  // static path. kStatic + canonical_reduction routes the STATIC split
+  // through the same canonical fold, giving a 0-ulp baseline for policy A/Bs
+  // (plain kStatic keeps the legacy reduction, whose association differs).
+  BalancePolicy balance = BalancePolicy::kStatic;
+  bool canonical_reduction = false;
+  std::uint32_t balance_chunk_leaves = 0;  // leaves per chunk; 0 = auto
+
+  // Fault injection, process kill, stall supervision (mpisim).
+  mpisim::FaultPlan faults;
+  mpisim::KillPlan kill;
+  double stall_timeout_seconds = 0.0;
+
+  // Checkpoint/restart (ckpt/snapshot.hpp); enabled when checkpoint.dir set.
+  ckpt::CheckpointPolicy checkpoint;
+
+  // Observability / campaign destinations. Empty = fall back to the env
+  // defaults documented above ("-" = explicitly off, ignore the env).
+  std::string trace_out;
+  std::string campaign_dir;
+};
+
+// Resolved destination: the explicit field, else the env default, else "".
+std::string resolved_trace_out(const RunOptions& options);
+std::string resolved_campaign_dir(const RunOptions& options);
+
+// Factories for the three common shapes. Callers that need more knobs start
+// from one of these and set fields (plain assignment avoids GCC's
+// -Wmissing-field-initializers on designated initializers).
+inline RunOptions serial_options(TraversalMode traversal = TraversalMode::kList) {
+  RunOptions options;
+  options.mode = EngineMode::kSerial;
+  options.traversal = traversal;
+  return options;
+}
+
+inline RunOptions cilk_options(int threads,
+                               TraversalMode traversal = TraversalMode::kList) {
+  RunOptions options;
+  options.mode = EngineMode::kCilk;
+  options.threads_per_rank = threads;
+  options.traversal = traversal;
+  return options;
+}
+
+inline RunOptions distributed_options(int ranks, int threads_per_rank = 1) {
+  RunOptions options;
+  options.mode = EngineMode::kDistributed;
+  options.ranks = ranks;
+  options.threads_per_rank = threads_per_rank;
+  return options;
+}
+
+// Merged result: the old DriverResult surface plus the per-rank accounting
+// the distributed runtime reports (empty rank_results for serial/cilk).
+struct RunResult {
+  double energy = 0.0;                // kcal/mol
+  std::vector<double> born_sorted;    // atoms_tree order
+
+  double compute_seconds = 0.0;       // modeled makespan, compute part
+  double comm_seconds = 0.0;          // modeled makespan, communication part
+  double wall_seconds = 0.0;          // actual wall clock of the run
+
+  std::uint64_t steals = 0;           // intra-rank work-stealing events
+  std::uint64_t tasks = 0;
+  std::size_t replicated_bytes = 0;   // modeled memory across all ranks
+
+  std::uint64_t retries = 0;
+  std::uint64_t redistributed_work_items = 0;
+  std::uint64_t migrated_chunks = 0;  // cross-rank: chunks computed off-plan
+  std::uint64_t steal_grants = 0;     // cross-rank: granted steal requests
+  bool degraded = false;
+  bool killed = false;
+  bool resumed = false;
+  int stalls_converted = 0;
+  ErrorClass error_class = ErrorClass::kNone;
+
+  int ranks = 1;
+  int threads_per_rank = 1;
+  std::vector<mpisim::RankResult> rank_results;  // distributed runs only
+
+  double modeled_seconds() const { return compute_seconds + comm_seconds; }
+  // Max over ranks of measured compute (+ modeled straggler surplus); falls
+  // back to compute_seconds when there is no per-rank detail.
+  double max_compute_seconds() const;
+  std::uint64_t total_bytes_sent() const;
+
+  // Down-conversion for the deprecated free-function wrappers.
+  DriverResult to_driver_result() const;
+};
+
+class Engine {
+ public:
+  // The Engine borrows `prep` (it must outlive the Engine) and copies the
+  // parameter packs. ApproxParams::traversal is overridden per run by
+  // RunOptions::traversal.
+  explicit Engine(const Prepared& prep, const ApproxParams& params = {},
+                  const GBConstants& constants = {})
+      : prep_(&prep), params_(params), constants_(constants) {}
+
+  RunResult run(const RunOptions& options = {}) const;
+
+ private:
+  const Prepared* prep_;
+  ApproxParams params_;
+  GBConstants constants_;
+};
+
+// --- RunResult JSON (versioned schema, policy of obs/export.hpp) ---------
+// Schema v1. The born array is summarized as a digest (count / first /
+// middle / last / mean) — campaign tooling compares energies and timings,
+// not per-atom arrays. Pure additions keep the version; anything that
+// changes the meaning of an existing field bumps it.
+inline constexpr int kRunResultSchemaVersion = 1;
+
+obs::json::Value run_result_to_json(const RunResult& result,
+                                    const std::string& label);
+
+// Parsed summary (everything in the schema except the full born array,
+// which the digest stands in for).
+struct RunResultDoc {
+  std::string label;
+  double energy = 0.0;
+  int ranks = 1;
+  int threads_per_rank = 1;
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t steals = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t replicated_bytes = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t redistributed_work_items = 0;
+  std::uint64_t migrated_chunks = 0;
+  std::uint64_t steal_grants = 0;
+  bool degraded = false;
+  bool killed = false;
+  bool resumed = false;
+  int stalls_converted = 0;
+  std::uint64_t born_count = 0;
+  double born_first = 0.0;
+  double born_middle = 0.0;
+  double born_last = 0.0;
+  double born_mean = 0.0;
+  std::vector<mpisim::RankResult> rank_results;
+};
+
+obs::json::Value run_result_doc_to_json(const RunResultDoc& doc);
+
+struct RunResultParse {
+  bool ok = false;
+  bool version_mismatch = false;  // loud rejection: wrong schema_version
+  int found_version = 0;
+  std::string error;
+  RunResultDoc doc;
+};
+
+RunResultParse run_result_from_json(const obs::json::Value& root);
+RunResultParse run_result_from_string(const std::string& text);
+bool write_run_result_json(const RunResult& result, const std::string& label,
+                           const std::string& path);
+
+// --- implementation entry points (called by Engine and the deprecated
+// wrappers in drivers.cpp; not part of the public surface) ----------------
+namespace detail {
+RunResult oct_serial(const Prepared& prep, const ApproxParams& params,
+                     const GBConstants& constants);
+RunResult oct_cilk(const Prepared& prep, const ApproxParams& params,
+                   const GBConstants& constants, int threads);
+RunResult oct_distributed(const Prepared& prep, const ApproxParams& params,
+                          const GBConstants& constants, const RunConfig& config);
+// Canonical chunk-fold path with cross-rank balancing (DESIGN.md "Load
+// balancing"); requires threads_per_rank == 1 and division == kNodeNode.
+RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
+                       const GBConstants& constants, const RunOptions& options);
+}  // namespace detail
+
+}  // namespace gbpol

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "octree/octree.hpp"
@@ -30,6 +31,27 @@ Segment sub_segment(Segment whole, int parts, int index);
 // exact-interaction work when leaf occupancy is skewed. Returns `parts`
 // segments of leaf indices.
 std::vector<Segment> leaf_segments_by_points(const Octree& tree, int parts);
+
+// Cost-guided partitioning: contiguous segments of `costs.size()` items,
+// chosen greedily so each segment's cumulative cost approaches its
+// proportional share of the total. Degenerates to an even item split when
+// every cost is zero. Always returns exactly `parts` segments covering
+// [0, costs.size()); trailing segments are empty when parts > items or when
+// one item carries all the cost.
+std::vector<Segment> segments_by_cost(std::span<const double> costs, int parts);
+
+// Cross-rank balancing strategy for the chunked (canonical-reduction)
+// distributed path. All three policies yield bit-identical energies because
+// the reduction folds fixed, policy-independent chunk partials in ascending
+// chunk order regardless of which rank computed each chunk (DESIGN.md
+// "Load balancing").
+enum class BalancePolicy {
+  kStatic,     // even chunk split by index (the paper's static scheme)
+  kCostModel,  // initial split weighted by per-leaf cost estimates
+               // (mpisim::leaf_interaction_costs)
+  kSteal       // cost-model split + work stealing: a drained rank requests
+               // chunks from the most-loaded peer (gossiped progress counter)
+};
 
 // Work-division strategies for the distributed drivers (paper §IV-A, plus
 // the explicit cross-rank dynamic balancing of §VI's future work).

@@ -7,12 +7,13 @@
 #include "baselines/hct.hpp"
 #include "baselines/obc.hpp"
 #include "baselines/still_empirical.hpp"
+#include "core/engine.hpp"
 #include "core/naive.hpp"
 
 namespace gbpol::harness {
 namespace {
 
-PackageRun from_driver(DriverResult&& r, const Prepared& prep) {
+PackageRun from_driver(RunResult&& r, const Prepared& prep) {
   PackageRun run;
   run.energy = r.energy;
   run.modeled_seconds = r.modeled_seconds();
@@ -58,25 +59,29 @@ PackageRun run_package(std::string_view name, const Molecule& mol,
     run.born_radii = r.born_radii;
     return run;
   }
+  const Engine engine(prep, env.approx, env.constants);
+  RunOptions options;
+  options.traversal = env.approx.traversal;
+  options.cluster = env.cluster;
   if (name == "oct_serial") {
-    return from_driver(run_oct_serial(prep, env.approx, env.constants), prep);
+    options.mode = EngineMode::kSerial;
+    return from_driver(engine.run(options), prep);
   }
   if (name == "oct_cilk") {
-    return from_driver(run_oct_cilk(prep, env.approx, env.constants, env.cores), prep);
+    options.mode = EngineMode::kCilk;
+    options.threads_per_rank = env.cores;
+    return from_driver(engine.run(options), prep);
   }
   if (name == "oct_mpi") {
-    RunConfig config;
-    config.ranks = env.cores;
-    config.threads_per_rank = 1;
-    config.cluster = env.cluster;
-    return from_driver(run_oct_distributed(prep, env.approx, env.constants, config), prep);
+    options.mode = EngineMode::kDistributed;
+    options.ranks = env.cores;
+    return from_driver(engine.run(options), prep);
   }
   if (name == "oct_hybrid") {
-    RunConfig config;
-    config.threads_per_rank = std::max(1, env.hybrid_threads);
-    config.ranks = std::max(1, env.cores / config.threads_per_rank);
-    config.cluster = env.cluster;
-    return from_driver(run_oct_distributed(prep, env.approx, env.constants, config), prep);
+    options.mode = EngineMode::kDistributed;
+    options.threads_per_rank = std::max(1, env.hybrid_threads);
+    options.ranks = std::max(1, env.cores / options.threads_per_rank);
+    return from_driver(engine.run(options), prep);
   }
   if (name == "hct_amber") {
     return from_baseline(

@@ -319,6 +319,39 @@ void Comm::charge_rpc(int peer, std::size_t bytes) {
   bytes_sent_ += bytes;
 }
 
+void Comm::steal_rpc(int victim, std::uint64_t remaining, std::uint64_t granted,
+                     std::size_t request_bytes, std::size_t grant_bytes) {
+  SharedState& s = *shared_;
+  obs::emit(obs::EventKind::kStealRequest, static_cast<std::uint64_t>(victim),
+            remaining);
+  charge(s.cost.p2p(rank_, victim, request_bytes));
+  bytes_sent_ += request_bytes;
+  // The grant leg travels victim -> thief but the thief models the round
+  // trip, keeping the exchange outside the victim's accounting (and its
+  // logical clocks) entirely.
+  charge(s.cost.p2p(victim, rank_, grant_bytes));
+  obs::emit(obs::EventKind::kStealGrant, static_cast<std::uint64_t>(victim),
+            granted);
+  if (granted > 0) obs::add_steal_success();
+  obs::add_steal_attempt();
+}
+
+void Comm::charge_collective(obs::CollKind kind, std::size_t bytes) {
+  SharedState& s = *shared_;
+  double cost = 0.0;
+  switch (kind) {
+    case obs::CollKind::kBarrier: cost = s.cost.barrier(); break;
+    case obs::CollKind::kAllreduce: cost = s.cost.allreduce(bytes); break;
+    case obs::CollKind::kReduce: cost = s.cost.reduce(bytes); break;
+    case obs::CollKind::kBcast: cost = s.cost.bcast(bytes); break;
+    case obs::CollKind::kAllgatherv: cost = s.cost.allgatherv(bytes); break;
+    case obs::CollKind::kCount: break;
+  }
+  charge(cost);
+  bytes_sent_ += bytes;
+  obs::add_collective(rank_, kind, bytes, cost);
+}
+
 void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) {
   SharedState& s = *shared_;
   const std::uint64_t seq = send_seq_[static_cast<std::size_t>(dst)]++;

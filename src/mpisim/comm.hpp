@@ -166,6 +166,22 @@ class Comm {
   // whose shared chunk counter models a work server hosted on `peer`.
   void charge_rpc(int peer, std::size_t bytes);
 
+  // Steal round trip against `victim` for the cross-rank balancer: a
+  // request carrying this rank's gossiped progress counter and a grant
+  // carrying `granted` chunk descriptors back. Charges both p2p legs and
+  // emits kStealRequest/kStealGrant, but does NOT advance the collective
+  // clock — FaultPlan/KillPlan logical coordinates replay unchanged no
+  // matter how many steals a policy issues. `remaining` is the thief's own
+  // chunk backlog at request time (trace payload).
+  void steal_rpc(int victim, std::uint64_t remaining, std::uint64_t granted,
+                 std::size_t request_bytes, std::size_t grant_bytes);
+
+  // Charges the modeled time of one collective of `kind` moving `bytes` —
+  // the balanced reduction exchanges its chunk partials through shared
+  // memory in canonical order, so the data motion is charged analytically
+  // here rather than through a publish-slot collective.
+  void charge_collective(obs::CollKind kind, std::size_t bytes);
+
   // --- process kill & progress (checkpoint/restart support) -------------
   // Called by drivers at checkpoint-chunk boundaries. Bumps this rank's
   // heartbeat, advances the intra-epoch poll tick, arms the shared kill
@@ -195,6 +211,13 @@ class Comm {
   // rank recomputed on behalf of a dead rank.
   void add_redistributed_work(std::uint64_t items) { redistributed_work_ += items; }
 
+  // Balancer bookkeeping: one chunk computed by this rank that the initial
+  // partition assigned to another rank (stolen or redistributed).
+  void add_migrated_chunk() {
+    migrated_chunks_ += 1;
+    obs::add_migrated_chunk(rank_);
+  }
+
   // RAII region measuring the rank thread's own CPU time as compute.
   class ComputeRegion {
    public:
@@ -214,6 +237,7 @@ class Comm {
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t retries() const { return retries_; }
   std::uint64_t redistributed_work() const { return redistributed_work_; }
+  std::uint64_t migrated_chunks() const { return migrated_chunks_; }
 
  private:
   enum class FoldOp { kSum, kMin, kMax };
@@ -257,6 +281,7 @@ class Comm {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t redistributed_work_ = 0;
+  std::uint64_t migrated_chunks_ = 0;
   std::uint64_t collective_seq_ = 0;      // logical clock: collectives entered
   std::vector<std::uint64_t> send_seq_;   // logical clock: sends per dest rank
   std::uint64_t tick_ = 0;                // polls since last collective entry

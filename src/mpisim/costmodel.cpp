@@ -45,4 +45,24 @@ double CostModel::allgatherv(std::size_t total_bytes) const {
   return ts() * log2_ceil(p) + tw() * static_cast<double>(total_bytes) * frac;
 }
 
+std::vector<double> interaction_costs(std::span<const std::uint32_t> item_points,
+                                      std::size_t other_points,
+                                      const WorkCostParams& params) {
+  std::vector<double> costs(item_points.size());
+  for (std::size_t i = 0; i < item_points.size(); ++i)
+    costs[i] = params.per_item + params.per_interaction *
+                                     static_cast<double>(item_points[i]) *
+                                     static_cast<double>(other_points);
+  return costs;
+}
+
+std::vector<double> interaction_costs(std::span<const std::uint64_t> interactions,
+                                      const WorkCostParams& params) {
+  std::vector<double> costs(interactions.size());
+  for (std::size_t i = 0; i < interactions.size(); ++i)
+    costs[i] = params.per_item +
+               params.per_interaction * static_cast<double>(interactions[i]);
+  return costs;
+}
+
 }  // namespace gbpol::mpisim

@@ -17,10 +17,37 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "mpisim/cluster.hpp"
 
 namespace gbpol::mpisim {
+
+// Per-item compute-cost estimate for the load balancer: item i carrying
+// `item_points[i]` points interacting with `other_points` counterparts costs
+//   cost_i = per_item + per_interaction * item_points[i] * other_points.
+// The absolute scale is irrelevant — only the ratios steer the partitioner —
+// so the defaults just weight interactions far above fixed per-item overhead.
+struct WorkCostParams {
+  double per_item = 1.0;
+  double per_interaction = 1.0;
+};
+
+std::vector<double> interaction_costs(std::span<const std::uint32_t> item_points,
+                                      std::size_t other_points,
+                                      const WorkCostParams& params = {});
+
+// Measured variant: the caller has already counted the exact work units item
+// i will execute (e.g. near-field point pairs plus far-side aggregated
+// evaluations from a built interaction list), so
+//   cost_i = per_item + per_interaction * interactions[i].
+// Occupancy x total is a fine first cut, but it prices a leaf the same
+// whether its neighbourhood is dense or empty; list-derived counts capture
+// the quadratic near-field term the balancer actually needs to equalize.
+std::vector<double> interaction_costs(std::span<const std::uint64_t> interactions,
+                                      const WorkCostParams& params = {});
 
 class CostModel {
  public:

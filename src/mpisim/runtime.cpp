@@ -121,6 +121,7 @@ RunReport Runtime::run(const Config& config, const std::function<void(Comm&)>& r
       res.bytes_sent = comm.bytes_sent();
       res.retries = comm.retries();
       res.redistributed_work_items = comm.redistributed_work();
+      res.migrated_chunks = comm.migrated_chunks();
     });
   }
   for (std::thread& t : threads) t.join();
@@ -139,6 +140,7 @@ RunReport Runtime::run(const Config& config, const std::function<void(Comm&)>& r
   for (const RankResult& r : report.ranks) {
     report.retries += r.retries;
     report.redistributed_work_items += r.redistributed_work_items;
+    report.migrated_chunks += r.migrated_chunks;
     report.degraded = report.degraded || r.died;
   }
   report.killed = shared.kill_all.load(std::memory_order_acquire);

@@ -55,6 +55,8 @@ struct RankResult {
   std::uint64_t bytes_sent = 0;
   std::uint64_t retries = 0;                   // retransmits + aborted collectives
   std::uint64_t redistributed_work_items = 0;  // recomputed for dead peers
+  std::uint64_t migrated_chunks = 0;           // computed for the balancer on
+                                               // behalf of another rank's split
   bool died = false;
 };
 
@@ -63,6 +65,7 @@ struct RunReport {
   double wall_seconds = 0.0;
   std::uint64_t retries = 0;                   // sum over ranks
   std::uint64_t redistributed_work_items = 0;  // sum over ranks
+  std::uint64_t migrated_chunks = 0;           // sum over ranks
   bool degraded = false;                       // at least one rank died
   bool killed = false;                         // KillPlan fired; no answer
   int stalls_converted = 0;                    // stalls turned into deaths

@@ -122,6 +122,14 @@ std::string chrome_trace_json(const Trace& trace) {
         case EventKind::kStallPark:
           add_arg(args, "seq", e.a);
           break;
+        case EventKind::kStealRequest:
+          add_arg(args, "victim", e.a);
+          add_arg(args, "remaining", e.b);
+          break;
+        case EventKind::kStealGrant:
+          add_arg(args, "victim", e.a);
+          add_arg(args, "granted", e.b);
+          break;
         default:
           break;
       }
@@ -196,6 +204,7 @@ json::Value snapshot_to_json(const MetricsSnapshot& m) {
   o.emplace_back("rank_chunks", u64_array(m.rank_chunks));
   o.emplace_back("rank_chunk_service_seconds",
                  dbl_array(m.rank_chunk_service_seconds));
+  o.emplace_back("rank_migrated_chunks", u64_array(m.rank_migrated_chunks));
   {
     json::Array hist;
     for (const std::uint64_t x : m.chunk_service_hist)
@@ -211,6 +220,7 @@ json::Value snapshot_to_json(const MetricsSnapshot& m) {
                  json::Value(m.steal_success_rate()));
   o.emplace_back("derived_total_phase_busy_seconds",
                  json::Value(m.total_phase_busy_all()));
+  o.emplace_back("derived_chunk_imbalance", json::Value(m.chunk_imbalance()));
   return json::Value(std::move(o));
 }
 
@@ -317,6 +327,13 @@ bool snapshot_from_json(const json::Value& v, MetricsSnapshot& m,
       !read_dbl_array(v.find("rank_chunk_service_seconds"),
                       m.rank_chunk_service_seconds, err,
                       "rank_chunk_service_seconds"))
+    return false;
+  // Pure v1 addition (PR 5): absent in docs written before the balancer
+  // existed, so it parses as empty rather than rejecting the document.
+  if (const json::Value* mig = v.find("rank_migrated_chunks");
+      mig != nullptr &&
+      !read_u64_array(mig, m.rank_migrated_chunks, err,
+                      "rank_migrated_chunks"))
     return false;
   const json::Value* hist = v.find("chunk_service_hist");
   if (hist == nullptr || !hist->is_array() ||

@@ -87,6 +87,10 @@ struct MetricsSnapshot {
   std::vector<double> rank_chunk_service_seconds;
   std::array<std::uint64_t, kServiceHistBins> chunk_service_hist{};
 
+  // Cross-rank chunk migration (balanced driver path): chunks a rank
+  // computed that the initial partition assigned to some OTHER rank.
+  std::vector<std::uint64_t> rank_migrated_chunks;
+
   // Work stealing (whole session, all pools).
   std::uint64_t steal_attempts = 0;
   std::uint64_t steal_successes = 0;
@@ -102,7 +106,16 @@ struct MetricsSnapshot {
   double collective_seconds_all_ranks(CollKind k) const;
   std::uint64_t total_retransmits() const;
   std::uint64_t total_chunks() const;
+  std::uint64_t total_migrated_chunks() const;
   double steal_success_rate() const;  // successes / attempts (0 if none)
+  // Cross-rank imbalance: max over ranks of chunks computed, divided by the
+  // mean (1.0 = perfectly even; 0 if no chunks were dispatched).
+  double chunk_imbalance() const;
+  // Per-rank chunk counts as a histogram over ranks — the balance benches
+  // plot this to show the skew each policy leaves behind.
+  const std::vector<std::uint64_t>& chunk_histogram() const {
+    return rank_chunks;
+  }
 };
 
 #if GBPOL_TRACING_ENABLED
@@ -117,6 +130,7 @@ void add_collective(int rank, CollKind kind, std::uint64_t bytes,
                     double modeled_seconds);
 void add_retransmit(int rank);
 void add_chunk_service(int rank, std::uint64_t ns);
+void add_migrated_chunk(int rank);
 void add_steal_attempt();
 void add_steal_success();
 void add_pop_miss();
@@ -132,6 +146,7 @@ inline void add_phase_wall(int, PhaseId, double) {}
 inline void add_collective(int, CollKind, std::uint64_t, double) {}
 inline void add_retransmit(int) {}
 inline void add_chunk_service(int, std::uint64_t) {}
+inline void add_migrated_chunk(int) {}
 inline void add_steal_attempt() {}
 inline void add_steal_success() {}
 inline void add_pop_miss() {}

@@ -31,6 +31,8 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kDeath: return "death";
     case EventKind::kKillPoll: return "kill_poll";
     case EventKind::kCheckpointCommit: return "ckpt_commit";
+    case EventKind::kStealRequest: return "steal_request";
+    case EventKind::kStealGrant: return "steal_grant";
   }
   return "unknown";
 }
@@ -100,6 +102,7 @@ struct RankSlot {
   std::array<double, kCollKindCount> coll_seconds{};
   std::uint64_t retransmits = 0;
   std::uint64_t chunks = 0;
+  std::uint64_t migrated_chunks = 0;
   double chunk_service_seconds = 0.0;
   double compute_seconds = 0.0;
   double straggler_seconds = 0.0;
@@ -261,6 +264,7 @@ Trace stop_session() {
   m.rank_retransmits.resize(n);
   m.rank_chunks.resize(n);
   m.rank_chunk_service_seconds.resize(n);
+  m.rank_migrated_chunks.resize(n);
   for (std::size_t r = 0; r < n; ++r) {
     const RankSlot& slot = s.ranks[r];
     m.phase_busy_seconds[r] = slot.phase_busy;
@@ -277,6 +281,7 @@ Trace stop_session() {
     m.rank_retransmits[r] = slot.retransmits;
     m.rank_chunks[r] = slot.chunks;
     m.rank_chunk_service_seconds[r] = slot.chunk_service_seconds;
+    m.rank_migrated_chunks[r] = slot.migrated_chunks;
   }
   for (int i = 0; i < kServiceHistBins; ++i)
     m.chunk_service_hist[static_cast<std::size_t>(i)] =
@@ -344,6 +349,10 @@ void add_chunk_service(int rank, std::uint64_t ns) {
   if (session_active())
     state().hist[static_cast<std::size_t>(service_hist_bin(ns))].fetch_add(
         1, std::memory_order_relaxed);
+}
+
+void add_migrated_chunk(int rank) {
+  if (RankSlot* slot = slot_for(rank)) slot->migrated_chunks += 1;
 }
 
 void add_steal_attempt() {
@@ -442,6 +451,25 @@ std::uint64_t MetricsSnapshot::total_chunks() const {
   std::uint64_t sum = 0;
   for (const std::uint64_t v : rank_chunks) sum += v;
   return sum;
+}
+
+std::uint64_t MetricsSnapshot::total_migrated_chunks() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : rank_migrated_chunks) sum += v;
+  return sum;
+}
+
+double MetricsSnapshot::chunk_imbalance() const {
+  if (rank_chunks.empty()) return 0.0;
+  std::uint64_t max = 0, total = 0;
+  for (const std::uint64_t v : rank_chunks) {
+    max = std::max(max, v);
+    total += v;
+  }
+  if (total == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(rank_chunks.size());
+  return static_cast<double>(max) / mean;
 }
 
 double MetricsSnapshot::steal_success_rate() const {

@@ -64,6 +64,9 @@ enum class EventKind : std::uint8_t {
   kDeath,              // a = collective seq, arg = DeathCause
   kKillPoll,           // a = collective seq, b = tick, arg = 1 if kill seen
   kCheckpointCommit,   // a = cursor, arg = ckpt phase
+  // Cross-rank balancing (PR 5); appended so older kind ids stay stable.
+  kStealRequest,       // a = victim rank, b = thief's remaining chunk count
+  kStealGrant,         // a = victim rank, b = chunks granted (0 = refused)
 };
 
 // Why a rank left the run through the death machinery.

@@ -13,7 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "ckpt/journal.hpp"
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "molecule/generate.hpp"
 #include "surface/quadrature.hpp"
 
@@ -259,21 +259,22 @@ class CheckpointDriverTest : public ::testing::Test {
     delete mol_;
   }
 
-  static RunConfig base_config(int ranks) {
-    RunConfig config;
+  static RunOptions base_config(int ranks) {
+    RunOptions config;
+    config.mode = EngineMode::kDistributed;
     config.ranks = ranks;
     config.division = WorkDivision::kNodeNode;
     return config;
   }
 
-  static DriverResult run(const RunConfig& config,
-                          TraversalMode traversal = TraversalMode::kList) {
-    ApproxParams params;
-    params.traversal = traversal;
-    return run_oct_distributed(*prep_, params, GBConstants{}, config);
+  static RunResult run(const RunOptions& config,
+                       TraversalMode traversal = TraversalMode::kList) {
+    RunOptions options = config;
+    options.traversal = traversal;
+    return Engine(*prep_, ApproxParams{}, GBConstants{}).run(options);
   }
 
-  static void expect_bit_identical(const DriverResult& a, const DriverResult& b) {
+  static void expect_bit_identical(const RunResult& a, const RunResult& b) {
     EXPECT_EQ(a.energy, b.energy);  // exact: 0 ulp
     ASSERT_EQ(a.born_sorted.size(), b.born_sorted.size());
     for (std::size_t i = 0; i < a.born_sorted.size(); ++i)
@@ -289,13 +290,13 @@ surface::SurfaceQuadrature* CheckpointDriverTest::quad_ = nullptr;
 Prepared* CheckpointDriverTest::prep_ = nullptr;
 
 TEST_F(CheckpointDriverTest, CheckpointingRunMatchesCleanRunExactly) {
-  const DriverResult clean = run(base_config(3));
+  const RunResult clean = run(base_config(3));
   ASSERT_NE(clean.energy, 0.0);
-  RunConfig config = base_config(3);
+  RunOptions config = base_config(3);
   config.checkpoint.dir = fresh_dir("drv_plain");
   config.checkpoint.chunk_leaves = 4;
   config.checkpoint.every_k_chunks = 2;
-  const DriverResult ckpt = run(config);
+  const RunResult ckpt = run(config);
   expect_bit_identical(ckpt, clean);
   EXPECT_FALSE(ckpt.killed);
   EXPECT_FALSE(ckpt.resumed);
@@ -303,19 +304,19 @@ TEST_F(CheckpointDriverTest, CheckpointingRunMatchesCleanRunExactly) {
 }
 
 TEST_F(CheckpointDriverTest, KillDuringBornPhaseResumesBitExactly) {
-  const DriverResult clean = run(base_config(3));
-  RunConfig config = base_config(3);
+  const RunResult clean = run(base_config(3));
+  RunOptions config = base_config(3);
   config.checkpoint.dir = fresh_dir("drv_kill_born");
   config.checkpoint.chunk_leaves = 2;
   config.checkpoint.every_k_chunks = 1;
   config.kill = {.armed = true, .rank = 1, .collective_seq = 0, .tick = 3};
-  const DriverResult killed = run(config);
+  const RunResult killed = run(config);
   EXPECT_TRUE(killed.killed);
   EXPECT_EQ(killed.error_class, ErrorClass::kFault);
 
   config.kill = {};
   config.checkpoint.resume = true;
-  const DriverResult resumed = run(config);
+  const RunResult resumed = run(config);
   EXPECT_FALSE(resumed.killed);
   EXPECT_TRUE(resumed.resumed);
   expect_bit_identical(resumed, clean);
@@ -325,32 +326,32 @@ TEST_F(CheckpointDriverTest, KillDuringEnergyPhaseResumesBitExactly) {
   for (const TraversalMode traversal :
        {TraversalMode::kList, TraversalMode::kRecursive}) {
     SCOPED_TRACE(traversal == TraversalMode::kList ? "list" : "recursive");
-    const DriverResult clean = run(base_config(3), traversal);
-    RunConfig config = base_config(3);
+    const RunResult clean = run(base_config(3), traversal);
+    RunOptions config = base_config(3);
     config.checkpoint.dir = fresh_dir("drv_kill_epol");
     config.checkpoint.chunk_leaves = 2;
     config.checkpoint.every_k_chunks = 1;
     // Collective 2 = after the Born allreduce + allgatherv: the E_pol loop.
     config.kill = {.armed = true, .rank = 0, .collective_seq = 2, .tick = 2};
-    const DriverResult killed = run(config, traversal);
+    const RunResult killed = run(config, traversal);
     EXPECT_TRUE(killed.killed);
 
     config.kill = {};
     config.checkpoint.resume = true;
-    const DriverResult resumed = run(config, traversal);
+    const RunResult resumed = run(config, traversal);
     EXPECT_TRUE(resumed.resumed);
     expect_bit_identical(resumed, clean);
   }
 }
 
 TEST_F(CheckpointDriverTest, CorruptSnapshotsFallBackNeverWrongAnswer) {
-  const DriverResult clean = run(base_config(3));
-  RunConfig config = base_config(3);
+  const RunResult clean = run(base_config(3));
+  RunOptions config = base_config(3);
   config.checkpoint.dir = fresh_dir("drv_corrupt");
   config.checkpoint.chunk_leaves = 2;
   config.checkpoint.every_k_chunks = 1;
   config.kill = {.armed = true, .rank = 0, .collective_seq = 2, .tick = 2};
-  const DriverResult killed = run(config);
+  const RunResult killed = run(config);
   ASSERT_TRUE(killed.killed);
 
   // Corrupt EVERY snapshot file: resume must degrade to a cold start and
@@ -362,19 +363,19 @@ TEST_F(CheckpointDriverTest, CorruptSnapshotsFallBackNeverWrongAnswer) {
   }
   config.kill = {};
   config.checkpoint.resume = true;
-  const DriverResult resumed = run(config);
+  const RunResult resumed = run(config);
   EXPECT_FALSE(resumed.resumed);  // nothing valid to resume from
   expect_bit_identical(resumed, clean);
 }
 
 TEST_F(CheckpointDriverTest, ResumeAfterCompletionStillExact) {
-  RunConfig config = base_config(2);
+  RunOptions config = base_config(2);
   config.checkpoint.dir = fresh_dir("drv_recomplete");
   config.checkpoint.chunk_leaves = 4;
   config.checkpoint.every_k_chunks = 1;
-  const DriverResult first = run(config);
+  const RunResult first = run(config);
   config.checkpoint.resume = true;
-  const DriverResult again = run(config);
+  const RunResult again = run(config);
   EXPECT_TRUE(again.resumed);
   expect_bit_identical(again, first);
 }

@@ -1,6 +1,7 @@
 // End-to-end drivers: OCT_SERIAL / OCT_CILK / OCT_MPI / OCT_MPI+CILK
 // agreement, work-division behaviour, memory accounting, timing plumbing.
-#include "core/drivers.hpp"
+// All runs go through the Engine/RunOptions facade (core/engine.hpp).
+#include "core/engine.hpp"
 
 #include <cmath>
 
@@ -15,6 +16,10 @@ namespace {
 using testing::Fixture;
 using testing::make_fixture;
 
+RunResult run_serial(const Fixture& f, const ApproxParams& params) {
+  return Engine(f.prep, params, GBConstants{}).run(serial_options());
+}
+
 class DriversTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() { fixture_ = new Fixture(make_fixture(900)); }
@@ -26,7 +31,7 @@ Fixture* DriversTest::fixture_ = nullptr;
 
 TEST_F(DriversTest, SerialMatchesNaiveWithinApproximation) {
   ApproxParams params;  // paper defaults: eps 0.9 / 0.9
-  const DriverResult r = run_oct_serial(fix().prep, params, GBConstants{});
+  const RunResult r = run_serial(fix(), params);
   EXPECT_LT(percent_error(r.energy, fix().naive_energy), 5.0);
   EXPECT_GT(r.compute_seconds, 0.0);
   EXPECT_EQ(r.comm_seconds, 0.0);
@@ -37,11 +42,10 @@ TEST_F(DriversTest, DistributedEnergyIndependentOfRankCount) {
   // Node-node division: the computed approximation is identical for every P
   // (only FP summation order changes) — the paper's §IV-A claim.
   ApproxParams params;
-  const DriverResult serial = run_oct_serial(fix().prep, params, GBConstants{});
+  const Engine engine(fix().prep, params, GBConstants{});
+  const RunResult serial = run_serial(fix(), params);
   for (const int ranks : {1, 2, 5, 12}) {
-    RunConfig config;
-    config.ranks = ranks;
-    const DriverResult r = run_oct_distributed(fix().prep, params, GBConstants{}, config);
+    const RunResult r = engine.run(distributed_options(ranks));
     EXPECT_NEAR(r.energy, serial.energy, std::abs(serial.energy) * 1e-10)
         << "ranks=" << ranks;
   }
@@ -49,10 +53,9 @@ TEST_F(DriversTest, DistributedEnergyIndependentOfRankCount) {
 
 TEST_F(DriversTest, DistributedBornRadiiMatchSerial) {
   ApproxParams params;
-  const DriverResult serial = run_oct_serial(fix().prep, params, GBConstants{});
-  RunConfig config;
-  config.ranks = 6;
-  const DriverResult dist = run_oct_distributed(fix().prep, params, GBConstants{}, config);
+  const RunResult serial = run_serial(fix(), params);
+  const RunResult dist =
+      Engine(fix().prep, params, GBConstants{}).run(distributed_options(6));
   ASSERT_EQ(dist.born_sorted.size(), serial.born_sorted.size());
   for (std::size_t i = 0; i < serial.born_sorted.size(); ++i)
     ASSERT_NEAR(dist.born_sorted[i], serial.born_sorted[i],
@@ -61,13 +64,11 @@ TEST_F(DriversTest, DistributedBornRadiiMatchSerial) {
 
 TEST_F(DriversTest, HybridMatchesPureMpi) {
   ApproxParams params;
-  RunConfig mpi;
-  mpi.ranks = 12;
-  RunConfig hybrid;
-  hybrid.ranks = 2;
+  const Engine engine(fix().prep, params, GBConstants{});
+  RunOptions hybrid = distributed_options(2);
   hybrid.threads_per_rank = 6;
-  const DriverResult a = run_oct_distributed(fix().prep, params, GBConstants{}, mpi);
-  const DriverResult b = run_oct_distributed(fix().prep, params, GBConstants{}, hybrid);
+  const RunResult a = engine.run(distributed_options(12));
+  const RunResult b = engine.run(hybrid);
   EXPECT_NEAR(a.energy, b.energy, std::abs(a.energy) * 1e-9);
 }
 
@@ -79,15 +80,14 @@ TEST(DriversEdgeTest, MoreRanksThanLeavesGivesEmptySegmentsNotCrashes) {
   const Fixture tiny = testing::make_fixture(40, 5, /*leaf_capacity=*/64);
   ASSERT_LT(tiny.prep.atoms_tree.leaves().size(), 16u);
   ApproxParams params;
-  const DriverResult serial = run_oct_serial(tiny.prep, params, GBConstants{});
+  const Engine engine(tiny.prep, params, GBConstants{});
+  const RunResult serial = run_serial(tiny, params);
   for (const WorkDivision division :
        {WorkDivision::kNodeNode, WorkDivision::kAtomBased,
         WorkDivision::kNodeBalanced, WorkDivision::kDynamic}) {
-    RunConfig config;
-    config.ranks = 16;
-    config.division = division;
-    const DriverResult r =
-        run_oct_distributed(tiny.prep, params, GBConstants{}, config);
+    RunOptions options = distributed_options(16);
+    options.division = division;
+    const RunResult r = engine.run(options);
     EXPECT_NEAR(r.energy, serial.energy, std::abs(serial.energy) * 1e-9)
         << "division=" << static_cast<int>(division);
     EXPECT_EQ(r.born_sorted.size(), serial.born_sorted.size());
@@ -99,25 +99,23 @@ TEST(DriversEdgeTest, MoreRanksThanLeavesWithCheckpointing) {
   // still write consistent phase-entry snapshots and resume exactly.
   const Fixture tiny = testing::make_fixture(40, 5, /*leaf_capacity=*/64);
   ApproxParams params;
-  const DriverResult serial = run_oct_serial(tiny.prep, params, GBConstants{});
+  const Engine engine(tiny.prep, params, GBConstants{});
+  const RunResult serial = run_serial(tiny, params);
   const std::string dir = ::testing::TempDir() + "/gbpol_edge_ckpt";
-  RunConfig config;
-  config.ranks = 16;
-  config.checkpoint.dir = dir;
-  config.checkpoint.every_k_chunks = 1;
-  config.checkpoint.every_n_collectives = 1;
-  const DriverResult r =
-      run_oct_distributed(tiny.prep, params, GBConstants{}, config);
+  RunOptions options = distributed_options(16);
+  options.checkpoint.dir = dir;
+  options.checkpoint.every_k_chunks = 1;
+  options.checkpoint.every_n_collectives = 1;
+  const RunResult r = engine.run(options);
   EXPECT_NEAR(r.energy, serial.energy, std::abs(serial.energy) * 1e-9);
-  config.checkpoint.resume = true;
-  const DriverResult again =
-      run_oct_distributed(tiny.prep, params, GBConstants{}, config);
+  options.checkpoint.resume = true;
+  const RunResult again = engine.run(options);
   EXPECT_EQ(again.energy, r.energy);
 }
 
 TEST_F(DriversTest, CilkDriverMatchesNaiveScale) {
   ApproxParams params;
-  const DriverResult r = run_oct_cilk(fix().prep, params, GBConstants{}, 4);
+  const RunResult r = Engine(fix().prep, params, GBConstants{}).run(cilk_options(4));
   EXPECT_LT(percent_error(r.energy, fix().naive_energy), 6.0);
   EXPECT_GT(r.tasks, 0u);
 }
@@ -128,21 +126,20 @@ TEST_F(DriversTest, CilkDriverStableAcrossRuns) {
   // stole which task (as in cilk++ without reducers), so runs agree to FP
   // reassociation noise, not bit-for-bit.
   ApproxParams params;
-  const DriverResult a = run_oct_cilk(fix().prep, params, GBConstants{}, 4);
-  const DriverResult b = run_oct_cilk(fix().prep, params, GBConstants{}, 4);
+  const Engine engine(fix().prep, params, GBConstants{});
+  const RunResult a = engine.run(cilk_options(4));
+  const RunResult b = engine.run(cilk_options(4));
   EXPECT_NEAR(a.energy, b.energy, std::abs(a.energy) * 1e-10);
 }
 
 TEST_F(DriversTest, MemoryAccountingScalesWithRanks) {
   // §V-B: pure MPI with 12 ranks replicates ~6x the memory of 2x6 hybrid.
   ApproxParams params;
-  RunConfig mpi;
-  mpi.ranks = 12;
-  RunConfig hybrid;
-  hybrid.ranks = 2;
+  const Engine engine(fix().prep, params, GBConstants{});
+  RunOptions hybrid = distributed_options(2);
   hybrid.threads_per_rank = 6;
-  const DriverResult a = run_oct_distributed(fix().prep, params, GBConstants{}, mpi);
-  const DriverResult b = run_oct_distributed(fix().prep, params, GBConstants{}, hybrid);
+  const RunResult a = engine.run(distributed_options(12));
+  const RunResult b = engine.run(hybrid);
   const double ratio = static_cast<double>(a.replicated_bytes) /
                        static_cast<double>(b.replicated_bytes);
   EXPECT_NEAR(ratio, 6.0, 0.5);
@@ -150,12 +147,9 @@ TEST_F(DriversTest, MemoryAccountingScalesWithRanks) {
 
 TEST_F(DriversTest, CommTimeGrowsWithRanks) {
   ApproxParams params;
-  RunConfig few;
-  few.ranks = 2;
-  RunConfig many;
-  many.ranks = 24;
-  const DriverResult a = run_oct_distributed(fix().prep, params, GBConstants{}, few);
-  const DriverResult b = run_oct_distributed(fix().prep, params, GBConstants{}, many);
+  const Engine engine(fix().prep, params, GBConstants{});
+  const RunResult a = engine.run(distributed_options(2));
+  const RunResult b = engine.run(distributed_options(24));
   EXPECT_GT(b.comm_seconds, a.comm_seconds);
 }
 
@@ -163,13 +157,13 @@ TEST_F(DriversTest, AtomBasedDivisionEnergyVariesWithRankCount) {
   // §IV-A: the atom-based division's approximation depends on the division
   // boundaries, so the energy drifts as P changes.
   ApproxParams params;
-  RunConfig base;
+  const Engine engine(fix().prep, params, GBConstants{});
+  RunOptions base = distributed_options(1);
   base.division = WorkDivision::kAtomBased;
-  base.ranks = 1;
-  RunConfig split = base;
+  RunOptions split = base;
   split.ranks = 7;
-  const DriverResult a = run_oct_distributed(fix().prep, params, GBConstants{}, base);
-  const DriverResult b = run_oct_distributed(fix().prep, params, GBConstants{}, split);
+  const RunResult a = engine.run(base);
+  const RunResult b = engine.run(split);
   EXPECT_GT(std::abs(a.energy - b.energy), std::abs(a.energy) * 1e-10);
   // Both still approximate the true energy.
   EXPECT_LT(percent_error(a.energy, fix().naive_energy), 6.0);
@@ -178,12 +172,12 @@ TEST_F(DriversTest, AtomBasedDivisionEnergyVariesWithRankCount) {
 
 TEST_F(DriversTest, BalancedNodeDivisionMatchesDefaultEnergy) {
   ApproxParams params;
-  RunConfig def;
-  def.ranks = 5;
-  RunConfig balanced = def;
+  const Engine engine(fix().prep, params, GBConstants{});
+  const RunOptions def = distributed_options(5);
+  RunOptions balanced = def;
   balanced.division = WorkDivision::kNodeBalanced;
-  const DriverResult a = run_oct_distributed(fix().prep, params, GBConstants{}, def);
-  const DriverResult b = run_oct_distributed(fix().prep, params, GBConstants{}, balanced);
+  const RunResult a = engine.run(def);
+  const RunResult b = engine.run(balanced);
   // Same set of leaf-vs-tree interactions, different grouping only.
   EXPECT_NEAR(a.energy, b.energy, std::abs(a.energy) * 1e-10);
 }
@@ -192,12 +186,12 @@ TEST_F(DriversTest, DynamicDivisionMatchesStaticEnergy) {
   // kDynamic self-schedules the same leaf set, so the energy equals the
   // static division up to the order partial sums are folded.
   ApproxParams params;
-  RunConfig station;
-  station.ranks = 6;
-  RunConfig dynamic = station;
+  const Engine engine(fix().prep, params, GBConstants{});
+  const RunOptions station = distributed_options(6);
+  RunOptions dynamic = station;
   dynamic.division = WorkDivision::kDynamic;
-  const DriverResult a = run_oct_distributed(fix().prep, params, GBConstants{}, station);
-  const DriverResult b = run_oct_distributed(fix().prep, params, GBConstants{}, dynamic);
+  const RunResult a = engine.run(station);
+  const RunResult b = engine.run(dynamic);
   EXPECT_NEAR(a.energy, b.energy, std::abs(a.energy) * 1e-9);
   // Each chunk fetch is charged as an RPC: dynamic must report more comm.
   EXPECT_GT(b.comm_seconds, a.comm_seconds);
@@ -208,14 +202,13 @@ TEST_F(DriversTest, FaultFreeRunsReportZeroRetriesAndRedistribution) {
   // zeros) on the fault-free path, not left to whatever the caller had —
   // downstream tooling (bench metrics.json) reads them unconditionally.
   ApproxParams params;
+  const Engine engine(fix().prep, params, GBConstants{});
   for (const WorkDivision division :
        {WorkDivision::kNodeNode, WorkDivision::kAtomBased,
         WorkDivision::kNodeBalanced}) {
-    RunConfig config;
-    config.ranks = 4;
-    config.division = division;
-    const DriverResult r =
-        run_oct_distributed(fix().prep, params, GBConstants{}, config);
+    RunOptions options = distributed_options(4);
+    options.division = division;
+    const RunResult r = engine.run(options);
     EXPECT_EQ(r.retries, 0u) << "division=" << static_cast<int>(division);
     EXPECT_EQ(r.redistributed_work_items, 0u)
         << "division=" << static_cast<int>(division);
@@ -227,10 +220,9 @@ TEST_F(DriversTest, FaultFreeRunsReportZeroRetriesAndRedistribution) {
 
 TEST_F(DriversTest, TimingFieldsPopulated) {
   ApproxParams params;
-  RunConfig config;
-  config.ranks = 3;
-  config.threads_per_rank = 2;
-  const DriverResult r = run_oct_distributed(fix().prep, params, GBConstants{}, config);
+  RunOptions options = distributed_options(3);
+  options.threads_per_rank = 2;
+  const RunResult r = Engine(fix().prep, params, GBConstants{}).run(options);
   EXPECT_GT(r.compute_seconds, 0.0);
   EXPECT_GT(r.comm_seconds, 0.0);
   EXPECT_GT(r.wall_seconds, 0.0);

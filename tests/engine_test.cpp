@@ -1,0 +1,244 @@
+// Engine facade contract: mode routing, the RunOptions factories, the
+// traversal override, env-default resolution for the two destination
+// fields, and the versioned RunResult JSON schema (round-trip fixed point +
+// loud rejection of unknown versions).
+#include "core/engine.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "molecule/generate.hpp"
+#include "surface/quadrature.hpp"
+
+namespace gbpol {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Molecule mol = molgen::synthetic_protein(180, 23);
+    quad_ = new surface::SurfaceQuadrature(surface::molecular_surface_quadrature(
+        mol, {.grid_spacing = 1.5, .dunavant_degree = 2, .kappa = 2.3}));
+    prep_ = new Prepared(Prepared::build(mol, *quad_, 16));
+  }
+  static void TearDownTestSuite() {
+    delete prep_;
+    delete quad_;
+  }
+
+  static surface::SurfaceQuadrature* quad_;
+  static Prepared* prep_;
+};
+surface::SurfaceQuadrature* EngineTest::quad_ = nullptr;
+Prepared* EngineTest::prep_ = nullptr;
+
+TEST_F(EngineTest, FactoriesSetTheAdvertisedShape) {
+  const RunOptions serial = serial_options(TraversalMode::kRecursive);
+  EXPECT_EQ(serial.mode, EngineMode::kSerial);
+  EXPECT_EQ(serial.traversal, TraversalMode::kRecursive);
+  const RunOptions cilk = cilk_options(6);
+  EXPECT_EQ(cilk.mode, EngineMode::kCilk);
+  EXPECT_EQ(cilk.threads_per_rank, 6);
+  const RunOptions dist = distributed_options(8, 2);
+  EXPECT_EQ(dist.mode, EngineMode::kDistributed);
+  EXPECT_EQ(dist.ranks, 8);
+  EXPECT_EQ(dist.threads_per_rank, 2);
+  // The side-channel-free defaults: empty destinations, no faults, static
+  // balance on the legacy reduction.
+  EXPECT_TRUE(dist.trace_out.empty());
+  EXPECT_TRUE(dist.campaign_dir.empty());
+  EXPECT_EQ(dist.balance, BalancePolicy::kStatic);
+  EXPECT_FALSE(dist.canonical_reduction);
+}
+
+TEST_F(EngineTest, AutoModeRoutesByTopology) {
+  const Engine engine(*prep_);
+  RunOptions options;  // kAuto, ranks = 1, threads = 1 -> serial
+  const RunResult serial = engine.run(options);
+  EXPECT_EQ(serial.ranks, 1);
+  EXPECT_EQ(serial.threads_per_rank, 1);
+  EXPECT_TRUE(serial.rank_results.empty());
+  ASSERT_NE(serial.energy, 0.0);
+
+  options.threads_per_rank = 4;  // kAuto, threads > 1 -> cilk
+  const RunResult cilk = engine.run(options);
+  EXPECT_EQ(cilk.threads_per_rank, 4);
+  EXPECT_TRUE(cilk.rank_results.empty());
+
+  options.threads_per_rank = 1;
+  options.ranks = 3;  // kAuto, ranks > 1 -> distributed
+  const RunResult dist = engine.run(options);
+  EXPECT_EQ(dist.ranks, 3);
+  EXPECT_EQ(dist.rank_results.size(), 3u);
+}
+
+TEST_F(EngineTest, RunOptionsTraversalOverridesConstructionParams) {
+  // The Engine copies ApproxParams at construction but traversal is a
+  // per-run knob: the params' own setting must be ignored.
+  ApproxParams recursive_params;
+  recursive_params.traversal = TraversalMode::kRecursive;
+  const Engine engine(*prep_, recursive_params);
+  const Engine list_engine(*prep_);
+
+  const RunResult a = engine.run(serial_options(TraversalMode::kList));
+  const RunResult b = list_engine.run(serial_options(TraversalMode::kList));
+  ASSERT_EQ(a.energy, b.energy);
+  const RunResult c = engine.run(serial_options(TraversalMode::kRecursive));
+  const RunResult d = list_engine.run(serial_options(TraversalMode::kRecursive));
+  ASSERT_EQ(c.energy, d.energy);
+}
+
+TEST_F(EngineTest, DownConversionPreservesTheLegacySurface) {
+  // to_driver_result is what the [[deprecated]] wrappers return; the shared
+  // fields must carry over unchanged. (The wrappers themselves are not
+  // called here — scripts/check.sh greps the tree to keep them unused.)
+  const RunResult serial = Engine(*prep_).run(serial_options());
+  const DriverResult legacy = serial.to_driver_result();
+  ASSERT_EQ(legacy.energy, serial.energy);
+  ASSERT_EQ(legacy.born_sorted, serial.born_sorted);
+  EXPECT_EQ(legacy.ranks, serial.ranks);
+  EXPECT_EQ(legacy.threads_per_rank, serial.threads_per_rank);
+}
+
+// --- env-default resolution ----------------------------------------------
+
+struct EnvGuard {
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+  }
+  ~EnvGuard() {
+    if (had_)
+      ::setenv(name_, saved_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(EngineEnvTest, ExplicitFieldWinsOverEnvironment) {
+  const EnvGuard trace_guard("GBPOL_TRACE_OUT");
+  const EnvGuard campaign_guard("GBPOL_CAMPAIGN_DIR");
+  ::setenv("GBPOL_TRACE_OUT", "/tmp/env_trace.json", 1);
+  ::setenv("GBPOL_CAMPAIGN_DIR", "/tmp/env_campaign", 1);
+
+  RunOptions options;
+  // Empty field: the env default applies.
+  EXPECT_EQ(resolved_trace_out(options), "/tmp/env_trace.json");
+  EXPECT_EQ(resolved_campaign_dir(options), "/tmp/env_campaign");
+  // Explicit field: wins over the environment.
+  options.trace_out = "/tmp/explicit_trace.json";
+  options.campaign_dir = "/tmp/explicit_campaign";
+  EXPECT_EQ(resolved_trace_out(options), "/tmp/explicit_trace.json");
+  EXPECT_EQ(resolved_campaign_dir(options), "/tmp/explicit_campaign");
+  // "-" is the explicit OFF switch: the env default is ignored.
+  options.trace_out = "-";
+  options.campaign_dir = "-";
+  EXPECT_EQ(resolved_trace_out(options), "");
+  EXPECT_EQ(resolved_campaign_dir(options), "");
+}
+
+TEST(EngineEnvTest, NoFieldAndNoEnvironmentResolvesToOff) {
+  const EnvGuard trace_guard("GBPOL_TRACE_OUT");
+  const EnvGuard campaign_guard("GBPOL_CAMPAIGN_DIR");
+  ::unsetenv("GBPOL_TRACE_OUT");
+  ::unsetenv("GBPOL_CAMPAIGN_DIR");
+  const RunOptions options;
+  EXPECT_EQ(resolved_trace_out(options), "");
+  EXPECT_EQ(resolved_campaign_dir(options), "");
+}
+
+// --- RunResult JSON schema ------------------------------------------------
+
+TEST_F(EngineTest, RunResultJsonEmitParseEmitIsAFixedPoint) {
+  // A distributed run so rank_results (the most structure-rich part of the
+  // schema) is populated.
+  const RunResult result =
+      Engine(*prep_).run(distributed_options(3));
+  ASSERT_EQ(result.rank_results.size(), 3u);
+
+  const std::string first = run_result_to_json(result, "fixture").dump();
+  const RunResultParse parsed = run_result_from_string(first);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_FALSE(parsed.version_mismatch);
+  EXPECT_EQ(parsed.doc.label, "fixture");
+  EXPECT_EQ(parsed.doc.energy, result.energy);
+  EXPECT_EQ(parsed.doc.ranks, 3);
+  EXPECT_EQ(parsed.doc.born_count, result.born_sorted.size());
+  ASSERT_EQ(parsed.doc.rank_results.size(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(parsed.doc.rank_results[r].compute_seconds,
+              result.rank_results[r].compute_seconds);
+    EXPECT_EQ(parsed.doc.rank_results[r].bytes_sent,
+              result.rank_results[r].bytes_sent);
+  }
+  // %.17g doubles: emit -> parse -> emit reproduces the bytes exactly.
+  const std::string second = run_result_doc_to_json(parsed.doc).dump();
+  EXPECT_EQ(second, first);
+}
+
+TEST_F(EngineTest, WriteRunResultJsonRoundTripsThroughAFile) {
+  const RunResult result = Engine(*prep_).run(serial_options());
+  const std::string path = ::testing::TempDir() + "/gbpol_run_result_" +
+                           std::to_string(::getpid()) + ".json";
+  ASSERT_TRUE(write_run_result_json(result, "file-round-trip", path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const RunResultParse parsed = run_result_from_string(buffer.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.doc.label, "file-round-trip");
+  EXPECT_EQ(parsed.doc.energy, result.energy);
+  std::remove(path.c_str());
+}
+
+TEST(RunResultSchemaTest, UnknownVersionIsRejectedLoudly) {
+  RunResultDoc doc;
+  doc.label = "future";
+  obs::json::Value value = run_result_doc_to_json(doc);
+  for (auto& [key, field] : value.as_object())
+    if (key == "schema_version") field = obs::json::Value(2);
+  const RunResultParse parsed = run_result_from_string(value.dump());
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_TRUE(parsed.version_mismatch);
+  EXPECT_EQ(parsed.found_version, 2);
+  EXPECT_NE(parsed.error.find("unsupported run-result schema_version 2"),
+            std::string::npos)
+      << parsed.error;
+  EXPECT_NE(parsed.error.find("expects 1"), std::string::npos) << parsed.error;
+}
+
+TEST(RunResultSchemaTest, MalformedDocumentsFailWithReasons) {
+  const RunResultParse not_json = run_result_from_string("not json at all");
+  EXPECT_FALSE(not_json.ok);
+  EXPECT_FALSE(not_json.error.empty());
+
+  const RunResultParse not_object = run_result_from_string("[1,2,3]");
+  EXPECT_FALSE(not_object.ok);
+  EXPECT_FALSE(not_object.version_mismatch);
+
+  const RunResultParse no_version = run_result_from_string("{\"label\":\"x\"}");
+  EXPECT_FALSE(no_version.ok);
+  EXPECT_NE(no_version.error.find("schema_version"), std::string::npos);
+
+  // A v1 document with a field of the wrong type parses loudly, not quietly.
+  RunResultDoc doc;
+  obs::json::Value value = run_result_doc_to_json(doc);
+  for (auto& [key, field] : value.as_object())
+    if (key == "energy") field = obs::json::Value("not-a-number");
+  const RunResultParse bad_field = run_result_from_string(value.dump());
+  EXPECT_FALSE(bad_field.ok);
+  EXPECT_NE(bad_field.error.find("energy"), std::string::npos) << bad_field.error;
+}
+
+}  // namespace
+}  // namespace gbpol

@@ -12,7 +12,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "molecule/generate.hpp"
 #include "mpisim/runtime.hpp"
 #include "surface/quadrature.hpp"
@@ -257,20 +257,20 @@ class FaultedDriverTest : public ::testing::Test {
     delete mol_;
   }
 
-  static DriverResult run(int ranks, FaultPlan plan,
-                          TraversalMode traversal = TraversalMode::kList,
-                          WorkDivision division = WorkDivision::kNodeNode) {
-    ApproxParams params;
-    params.traversal = traversal;
-    RunConfig config;
-    config.ranks = ranks;
-    config.division = division;
-    config.faults = std::move(plan);
-    return run_oct_distributed(*prep_, params, GBConstants{}, config);
+  static RunResult run(int ranks, FaultPlan plan,
+                       TraversalMode traversal = TraversalMode::kList,
+                       WorkDivision division = WorkDivision::kNodeNode) {
+    RunOptions options;
+    options.mode = EngineMode::kDistributed;
+    options.ranks = ranks;
+    options.division = division;
+    options.traversal = traversal;
+    options.faults = std::move(plan);
+    return Engine(*prep_, ApproxParams{}, GBConstants{}).run(options);
   }
 
-  static void expect_bit_identical(const DriverResult& faulty,
-                                   const DriverResult& clean) {
+  static void expect_bit_identical(const RunResult& faulty,
+                                   const RunResult& clean) {
     EXPECT_EQ(faulty.energy, clean.energy);  // exact: 0 ulp
     ASSERT_EQ(faulty.born_sorted.size(), clean.born_sorted.size());
     for (std::size_t i = 0; i < clean.born_sorted.size(); ++i)
@@ -286,14 +286,14 @@ surface::SurfaceQuadrature* FaultedDriverTest::quad_ = nullptr;
 Prepared* FaultedDriverTest::prep_ = nullptr;
 
 TEST_F(FaultedDriverTest, DeathAtEachCollectiveRecoversBitExactly) {
-  const DriverResult clean = run(4, {});
+  const RunResult clean = run(4, {});
   ASSERT_NE(clean.energy, 0.0);
   // Kill rank 2 at each of the driver's three collectives in turn:
   // 0 = Born allreduce, 1 = Born-radius allgatherv, 2 = energy reduce.
   for (const std::uint64_t seq : {0u, 1u, 2u}) {
     FaultPlan plan;
     plan.deaths.push_back({.rank = 2, .collective_seq = seq});
-    const DriverResult faulty = run(4, plan);
+    const RunResult faulty = run(4, plan);
     SCOPED_TRACE("death at collective " + std::to_string(seq));
     expect_bit_identical(faulty, clean);
     EXPECT_TRUE(faulty.degraded);
@@ -303,11 +303,11 @@ TEST_F(FaultedDriverTest, DeathAtEachCollectiveRecoversBitExactly) {
 }
 
 TEST_F(FaultedDriverTest, RootDeathRedirectsHarvestToSurvivor) {
-  const DriverResult clean = run(3, {});
+  const RunResult clean = run(3, {});
   for (const std::uint64_t seq : {0u, 2u}) {
     FaultPlan plan;
     plan.deaths.push_back({.rank = 0, .collective_seq = seq});
-    const DriverResult faulty = run(3, plan);
+    const RunResult faulty = run(3, plan);
     SCOPED_TRACE("root death at collective " + std::to_string(seq));
     expect_bit_identical(faulty, clean);
     EXPECT_TRUE(faulty.degraded);
@@ -315,11 +315,11 @@ TEST_F(FaultedDriverTest, RootDeathRedirectsHarvestToSurvivor) {
 }
 
 TEST_F(FaultedDriverTest, MultipleDeathsRecoverBitExactly) {
-  const DriverResult clean = run(5, {});
+  const RunResult clean = run(5, {});
   FaultPlan plan;
   plan.deaths.push_back({.rank = 1, .collective_seq = 0});
   plan.deaths.push_back({.rank = 3, .collective_seq = 2});
-  const DriverResult faulty = run(5, plan);
+  const RunResult faulty = run(5, plan);
   expect_bit_identical(faulty, clean);
   EXPECT_TRUE(faulty.degraded);
   EXPECT_GT(faulty.redistributed_work_items, 0u);
@@ -330,17 +330,17 @@ TEST_F(FaultedDriverTest, StalledRankIsConvertedToDeathAndRecoveredBitExactly) {
   // converted into the death-recovery path. Survivors legitimately blocked
   // at the same barrier are equally "stagnant" but must come to no harm —
   // only the parked rank reacts to the conversion.
-  const DriverResult clean = run(4, {});
+  const RunResult clean = run(4, {});
   for (const std::uint64_t seq : {0u, 1u, 2u}) {
     FaultPlan plan;
     plan.stalls.push_back({.rank = 2, .collective_seq = seq});
-    ApproxParams params;
-    RunConfig config;
+    RunOptions config;
+    config.mode = EngineMode::kDistributed;
     config.ranks = 4;
     config.faults = plan;
     config.stall_timeout_seconds = 0.1;
-    const DriverResult faulty =
-        run_oct_distributed(*prep_, params, GBConstants{}, config);
+    const RunResult faulty =
+        Engine(*prep_, ApproxParams{}, GBConstants{}).run(config);
     SCOPED_TRACE("stall at collective " + std::to_string(seq));
     expect_bit_identical(faulty, clean);
     EXPECT_TRUE(faulty.degraded);
@@ -350,17 +350,17 @@ TEST_F(FaultedDriverTest, StalledRankIsConvertedToDeathAndRecoveredBitExactly) {
 }
 
 TEST_F(FaultedDriverTest, StallAndDeathMixRecoversBitExactly) {
-  const DriverResult clean = run(5, {});
+  const RunResult clean = run(5, {});
   FaultPlan plan;
   plan.deaths.push_back({.rank = 1, .collective_seq = 0});
   plan.stalls.push_back({.rank = 3, .collective_seq = 2});
-  ApproxParams params;
-  RunConfig config;
+  RunOptions config;
+  config.mode = EngineMode::kDistributed;
   config.ranks = 5;
   config.faults = plan;
   config.stall_timeout_seconds = 0.1;
-  const DriverResult faulty =
-      run_oct_distributed(*prep_, params, GBConstants{}, config);
+  const RunResult faulty =
+      Engine(*prep_, ApproxParams{}, GBConstants{}).run(config);
   expect_bit_identical(faulty, clean);
   EXPECT_TRUE(faulty.degraded);
   EXPECT_EQ(faulty.stalls_converted, 1);
@@ -370,10 +370,10 @@ TEST_F(FaultedDriverTest, RecoveryWorksForRecursiveTraversalAndBalancedDivision)
   for (const TraversalMode traversal : {TraversalMode::kList, TraversalMode::kRecursive}) {
     for (const WorkDivision division :
          {WorkDivision::kNodeNode, WorkDivision::kNodeBalanced}) {
-      const DriverResult clean = run(4, {}, traversal, division);
+      const RunResult clean = run(4, {}, traversal, division);
       FaultPlan plan;
       plan.deaths.push_back({.rank = 1, .collective_seq = 0});
-      const DriverResult faulty = run(4, plan, traversal, division);
+      const RunResult faulty = run(4, plan, traversal, division);
       SCOPED_TRACE("traversal=" + std::to_string(static_cast<int>(traversal)) +
                    " division=" + std::to_string(static_cast<int>(division)));
       expect_bit_identical(faulty, clean);
@@ -384,8 +384,8 @@ TEST_F(FaultedDriverTest, RecoveryWorksForRecursiveTraversalAndBalancedDivision)
 
 TEST_F(FaultedDriverTest, FaultScheduleReplayIsBitIdentical) {
   const FaultPlan plan = FaultPlan::random(99, 4, {.max_deaths = 1, .collective_horizon = 3});
-  const DriverResult a = run(4, plan);
-  const DriverResult b = run(4, plan);
+  const RunResult a = run(4, plan);
+  const RunResult b = run(4, plan);
   EXPECT_EQ(a.energy, b.energy);
   EXPECT_EQ(a.retries, b.retries);
   EXPECT_EQ(a.redistributed_work_items, b.redistributed_work_items);
@@ -395,11 +395,11 @@ TEST_F(FaultedDriverTest, FaultScheduleReplayIsBitIdentical) {
 }
 
 TEST_F(FaultedDriverTest, DelaysAndStragglersPerturbTimeNotPhysics) {
-  const DriverResult clean = run(4, {});
+  const RunResult clean = run(4, {});
   FaultPlan plan;
   plan.stragglers.push_back({.rank = 2, .slowdown_factor = 4.0});
   plan.delays.push_back({.src = 0, .dst = 1, .send_seq = 0, .extra_seconds = 1e-3});
-  const DriverResult faulty = run(4, plan);
+  const RunResult faulty = run(4, plan);
   expect_bit_identical(faulty, clean);
   EXPECT_FALSE(faulty.degraded);
   EXPECT_EQ(faulty.retries, 0u);

@@ -17,7 +17,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "molecule/generate.hpp"
 #include "surface/quadrature.hpp"
 
@@ -67,11 +67,9 @@ TEST_P(GoldenEnergyTest, MatchesCommittedReference) {
       mol, {.grid_spacing = 1.5, .dunavant_degree = 2, .kappa = 2.3});
   const Prepared prep = Prepared::build(mol, quad, 16);
 
-  ApproxParams params;
-  params.traversal = TraversalMode::kList;
-  const DriverResult list = run_oct_serial(prep, params, GBConstants{});
-  params.traversal = TraversalMode::kRecursive;
-  const DriverResult recursive = run_oct_serial(prep, params, GBConstants{});
+  const Engine engine(prep, ApproxParams{}, GBConstants{});
+  const RunResult list = engine.run(serial_options(TraversalMode::kList));
+  const RunResult recursive = engine.run(serial_options(TraversalMode::kRecursive));
 
   const std::vector<double>& born = list.born_sorted;
   ASSERT_FALSE(born.empty());

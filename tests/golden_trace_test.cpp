@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "mpisim/faults.hpp"
 #include "obs/export.hpp"
 #include "test_helpers.hpp"
@@ -33,7 +33,7 @@ Fixture* GoldenTraceTest::fixture_ = nullptr;
 
 TEST_F(GoldenTraceTest, FaultFreeReplayIsBitIdentical) {
   ApproxParams params;
-  RunConfig config;
+  RunOptions config;
   config.ranks = 4;
   const TracedRun a = run_traced(fix().prep, params, GBConstants{}, config);
   const TracedRun b = run_traced(fix().prep, params, GBConstants{}, config);
@@ -48,7 +48,7 @@ TEST_F(GoldenTraceTest, FaultedReplayIsBitIdentical) {
   // abort/retry and retransmit paths; both are scheduled on logical
   // coordinates, so the canonical dumps must still match byte for byte.
   ApproxParams params;
-  RunConfig config;
+  RunOptions config;
   config.ranks = 3;
   config.faults.deaths.push_back({/*rank=*/2, /*collective_seq=*/0});
   config.faults.drops.push_back(
@@ -63,7 +63,7 @@ TEST_F(GoldenTraceTest, FaultedReplayIsBitIdentical) {
 
 TEST_F(GoldenTraceTest, PlannedFaultsAppearExactlyInTrace) {
   ApproxParams params;
-  RunConfig config;
+  RunOptions config;
   config.ranks = 3;
   config.faults.deaths.push_back({/*rank=*/2, /*collective_seq=*/0});
   // First rank0 -> rank1 send is the Born recovery relay hand-off; losing
@@ -113,13 +113,14 @@ TEST_F(GoldenTraceTest, FaultedEnergyMatchesFaultFree) {
   // fault-injection suite pins at large; re-asserted here against the traced
   // configuration specifically).
   ApproxParams params;
-  RunConfig clean;
+  RunOptions clean;
   clean.ranks = 3;
-  RunConfig faulted = clean;
+  RunOptions faulted = clean;
   faulted.faults.deaths.push_back({2, 0});
   faulted.faults.drops.push_back({0, 1, 0, 2});
-  const DriverResult a =
-      run_oct_distributed(fix().prep, params, GBConstants{}, clean);
+  RunOptions clean_dist = clean;
+  clean_dist.mode = EngineMode::kDistributed;
+  const RunResult a = Engine(fix().prep, params, GBConstants{}).run(clean_dist);
   const TracedRun b = run_traced(fix().prep, params, GBConstants{}, faulted);
   EXPECT_EQ(a.energy, b.result.energy);
 }

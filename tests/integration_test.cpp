@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "core/naive.hpp"
 #include "molecule/generate.hpp"
 #include "molecule/io.hpp"
@@ -23,10 +23,11 @@ TEST(IntegrationTest, BoundComplexEndToEnd) {
 
   const NaiveResult naive = run_naive(mol, quad, GBConstants{});
   ApproxParams params;  // 0.9 / 0.9 paper settings
-  RunConfig config;
+  RunOptions config;
+  config.mode = EngineMode::kDistributed;
   config.ranks = 4;
   config.threads_per_rank = 3;
-  const DriverResult r = run_oct_distributed(prep, params, GBConstants{}, config);
+  const RunResult r = Engine(prep, params, GBConstants{}).run(config);
 
   EXPECT_LT(percent_error(r.energy, naive.energy), 5.0);
   const auto born = prep.to_original_order(r.born_sorted);
@@ -44,7 +45,8 @@ TEST(IntegrationTest, EnergyScalesWithSystemSize) {
     const Molecule mol = molgen::synthetic_protein(n, 9);
     const auto quad = surface::molecular_surface_quadrature(mol);
     const Prepared prep = Prepared::build(mol, quad, 16);
-    const DriverResult r = run_oct_serial(prep, ApproxParams{}, GBConstants{});
+    const RunResult r =
+        Engine(prep, ApproxParams{}, GBConstants{}).run(serial_options());
     EXPECT_LT(r.energy, prev);  // more negative each time
     prev = r.energy;
   }
@@ -56,13 +58,15 @@ TEST(IntegrationTest, RigidTransformLeavesEnergyInvariant) {
   Molecule mol = molgen::synthetic_protein(600, 17);
   const auto quad1 = surface::molecular_surface_quadrature(mol);
   const Prepared prep1 = Prepared::build(mol, quad1, 16);
-  const DriverResult before = run_oct_serial(prep1, ApproxParams{}, GBConstants{});
+  const RunResult before =
+      Engine(prep1, ApproxParams{}, GBConstants{}).run(serial_options());
 
   mol.translate(Vec3{25, -13, 8});
   mol.rotate(Vec3{1, 1, 0}, 0.8);
   const auto quad2 = surface::molecular_surface_quadrature(mol);
   const Prepared prep2 = Prepared::build(mol, quad2, 16);
-  const DriverResult after = run_oct_serial(prep2, ApproxParams{}, GBConstants{});
+  const RunResult after =
+      Engine(prep2, ApproxParams{}, GBConstants{}).run(serial_options());
 
   // Surface re-marching on a shifted grid perturbs the quadrature slightly;
   // tolerance covers that plus the eps=0.9 approximation.
@@ -85,7 +89,9 @@ TEST(IntegrationTest, DockingPoseSweepProducesDistinctEnergies) {
     complex.append(posed);
     const auto quad = surface::molecular_surface_quadrature(complex);
     const Prepared prep = Prepared::build(complex, quad, 16);
-    energies.push_back(run_oct_serial(prep, ApproxParams{}, GBConstants{}).energy);
+    energies.push_back(Engine(prep, ApproxParams{}, GBConstants{})
+                           .run(serial_options())
+                           .energy);
   }
   EXPECT_NE(energies[0], energies[1]);
   for (const double e : energies) EXPECT_LT(e, 0.0);
@@ -100,8 +106,10 @@ TEST(IntegrationTest, XyzqrRoundTripPreservesEnergy) {
   const auto quad = surface::molecular_surface_quadrature(mol);
   const Prepared prep_a = Prepared::build(mol, quad, 16);
   const Prepared prep_b = Prepared::build(back, quad, 16);
-  const DriverResult a = run_oct_serial(prep_a, ApproxParams{}, GBConstants{});
-  const DriverResult b = run_oct_serial(prep_b, ApproxParams{}, GBConstants{});
+  const RunResult a =
+      Engine(prep_a, ApproxParams{}, GBConstants{}).run(serial_options());
+  const RunResult b =
+      Engine(prep_b, ApproxParams{}, GBConstants{}).run(serial_options());
   EXPECT_EQ(a.energy, b.energy);  // full-precision I/O
 }
 
@@ -113,7 +121,8 @@ TEST(IntegrationTest, PreparedReusableAcrossEpsilons) {
     ApproxParams params;
     params.eps_born = eps;
     params.eps_epol = eps;
-    const DriverResult r = run_oct_serial(fix.prep, params, GBConstants{});
+    const RunResult r =
+        Engine(fix.prep, params, GBConstants{}).run(serial_options());
     EXPECT_LT(percent_error(r.energy, fix.naive_energy), 6.0) << "eps=" << eps;
   }
 }

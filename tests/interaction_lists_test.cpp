@@ -12,7 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "core/born_octree.hpp"
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "core/epol_octree.hpp"
 #include "test_helpers.hpp"
 #include "ws/scheduler.hpp"
@@ -216,22 +216,22 @@ TEST_F(InteractionListsTest, LeafRangePartitionCoversFullList) {
 // Born radius, serial and distributed.
 TEST_F(InteractionListsTest, DriversAgreeAcrossTraversalModes) {
   const Fixture& f = fixtures()[1];
-  ApproxParams list_params, rec_params;
-  list_params.traversal = TraversalMode::kList;
-  rec_params.traversal = TraversalMode::kRecursive;
   const GBConstants constants;
 
-  const DriverResult serial_list = run_oct_serial(f.prep, list_params, constants);
-  const DriverResult serial_rec = run_oct_serial(f.prep, rec_params, constants);
+  const Engine engine(f.prep, ApproxParams{}, constants);
+  const RunResult serial_list = engine.run(serial_options(TraversalMode::kList));
+  const RunResult serial_rec = engine.run(serial_options(TraversalMode::kRecursive));
   EXPECT_LE(rel_diff(serial_list.energy, serial_rec.energy), 1e-12);
   ASSERT_EQ(serial_list.born_sorted.size(), serial_rec.born_sorted.size());
   for (std::size_t i = 0; i < serial_list.born_sorted.size(); ++i)
     EXPECT_LE(rel_diff(serial_list.born_sorted[i], serial_rec.born_sorted[i]), 1e-12);
 
-  RunConfig config;
+  RunOptions config;
+  config.mode = EngineMode::kDistributed;
   config.ranks = 3;
   config.threads_per_rank = 2;
-  const DriverResult dist_list = run_oct_distributed(f.prep, list_params, constants, config);
+  config.traversal = TraversalMode::kList;
+  const RunResult dist_list = engine.run(config);
   // Parallel evaluation reassociates worker-partial sums, so compare against
   // the serial result at the drivers' established cross-mode tolerance.
   EXPECT_LE(rel_diff(dist_list.energy, serial_list.energy), 1e-9);

@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "test_helpers.hpp"
@@ -25,7 +25,7 @@ class MetricsSchemaTest : public ::testing::Test {
   static void SetUpTestSuite() {
     fixture_ = new Fixture(make_fixture(300));
     ApproxParams params;
-    RunConfig config;
+    RunOptions config;
     config.ranks = 4;
     run_ = new TracedRun(
         run_traced(fixture_->prep, params, GBConstants{}, config));

@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "support/stats.hpp"
 #include "test_helpers.hpp"
 
@@ -19,7 +19,9 @@ class DistributedConfigProperty
   static void SetUpTestSuite() {
     fixture_ = new gbpol::testing::Fixture(gbpol::testing::make_fixture(500));
     ApproxParams params;
-    reference_ = run_oct_serial(fixture_->prep, params, GBConstants{}).energy;
+    reference_ = Engine(fixture_->prep, params, GBConstants{})
+                     .run(serial_options())
+                     .energy;
   }
   static void TearDownTestSuite() { delete fixture_; }
   static gbpol::testing::Fixture* fixture_;
@@ -31,11 +33,11 @@ double DistributedConfigProperty::reference_ = 0.0;
 TEST_P(DistributedConfigProperty, EnergyMatchesSerialReference) {
   const auto [ranks, threads] = GetParam();
   ApproxParams params;
-  RunConfig config;
+  RunOptions config;
+  config.mode = EngineMode::kDistributed;
   config.ranks = ranks;
   config.threads_per_rank = threads;
-  const DriverResult r =
-      run_oct_distributed(fixture_->prep, params, GBConstants{}, config);
+  const RunResult r = Engine(fixture_->prep, params, GBConstants{}).run(config);
   EXPECT_NEAR(r.energy, reference_, std::abs(reference_) * 1e-9)
       << "P=" << ranks << " p=" << threads;
 }
@@ -57,7 +59,8 @@ TEST_P(EpsilonEnvelopeProperty, EnergyErrorBounded) {
   ApproxParams params;
   params.eps_born = eps;
   params.eps_epol = eps;
-  const DriverResult r = run_oct_serial(fix.prep, params, GBConstants{});
+  const RunResult r =
+      Engine(fix.prep, params, GBConstants{}).run(serial_options());
   const double err = percent_error(r.energy, fix.naive_energy);
   EXPECT_LT(err, 0.5 + 5.0 * eps) << "n=" << n_atoms << " eps=" << eps;
 }
@@ -80,7 +83,8 @@ TEST_P(SelfEnergyProperty, DistantAtomsReduceToSelfTerms) {
   const auto quad = surface::molecular_surface_quadrature(
       mol, {.grid_spacing = 0.4, .dunavant_degree = 2, .kappa = 2.3});
   const Prepared prep = Prepared::build(mol, quad, 4);
-  const DriverResult r = run_oct_serial(prep, ApproxParams{}, GBConstants{});
+  const RunResult r =
+      Engine(prep, ApproxParams{}, GBConstants{}).run(serial_options());
 
   GBConstants constants;
   // Isolated Gaussian-surface sphere for radius 1.5 has R ~ its iso-surface

@@ -16,7 +16,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "molecule/generate.hpp"
 #include "mpisim/faults.hpp"
 #include "mpisim/runtime.hpp"
@@ -41,12 +41,12 @@ class SoakMpisimTest : public ::testing::Test {
     delete mol_;
   }
 
-  static DriverResult run(int ranks, const FaultPlan& plan) {
-    ApproxParams params;  // default: TraversalMode::kList
-    RunConfig config;
+  static RunResult run(int ranks, const FaultPlan& plan) {
+    RunOptions config;  // default traversal: TraversalMode::kList
+    config.mode = EngineMode::kDistributed;
     config.ranks = ranks;
     config.faults = plan;
-    return run_oct_distributed(*prep_, params, GBConstants{}, config);
+    return Engine(*prep_, ApproxParams{}, GBConstants{}).run(config);
   }
 
   static Molecule* mol_;
@@ -65,13 +65,13 @@ TEST_F(SoakMpisimTest, RandomSchedulesRecoverBitExactly) {
   constexpr int kSeedsPerRankCount = 35;
 
   for (const int ranks : {3, 5, 8}) {
-    const DriverResult clean = run(ranks, {});
+    const RunResult clean = run(ranks, {});
     ASSERT_NE(clean.energy, 0.0);
     for (int s = 0; s < kSeedsPerRankCount; ++s) {
       const std::uint64_t seed =
           static_cast<std::uint64_t>(ranks) * 1000 + static_cast<std::uint64_t>(s);
       const FaultPlan plan = FaultPlan::random(seed, ranks, profile);
-      const DriverResult faulty = run(ranks, plan);
+      const RunResult faulty = run(ranks, plan);
       SCOPED_TRACE("ranks=" + std::to_string(ranks) + " seed=" + std::to_string(seed) +
                    " deaths=" + std::to_string(plan.deaths.size()));
       // Exact equality — no tolerance. Recovery must reproduce the
@@ -86,7 +86,7 @@ TEST_F(SoakMpisimTest, RandomSchedulesRecoverBitExactly) {
       EXPECT_TRUE(!faulty.degraded || plan.has_deaths());
       // Every 10th schedule: replay and require identical fault accounting.
       if (s % 10 == 0) {
-        const DriverResult replay = run(ranks, plan);
+        const RunResult replay = run(ranks, plan);
         ASSERT_EQ(replay.energy, faulty.energy);
         ASSERT_EQ(replay.retries, faulty.retries);
         ASSERT_EQ(replay.redistributed_work_items, faulty.redistributed_work_items);
@@ -101,7 +101,7 @@ TEST_F(SoakMpisimTest, RandomSchedulesRecoverBitExactly) {
 // bookkeeping) get the bulk of the coverage.
 TEST_F(SoakMpisimTest, DeathHeavySchedulesRecoverBitExactly) {
   const int ranks = 4;
-  const DriverResult clean = run(ranks, {});
+  const RunResult clean = run(ranks, {});
   for (std::uint64_t seed = 0; seed < 24; ++seed) {
     FaultPlan plan;
     // collective_seq in {0, 1, 2}: the driver's three collectives, so every
@@ -110,7 +110,7 @@ TEST_F(SoakMpisimTest, DeathHeavySchedulesRecoverBitExactly) {
         {.rank = static_cast<int>(seed % ranks), .collective_seq = seed % 3});
     if (seed % 3 == 0 && (seed % ranks) != 2)
       plan.deaths.push_back({.rank = 2, .collective_seq = (seed + 1) % 3});
-    const DriverResult faulty = run(ranks, plan);
+    const RunResult faulty = run(ranks, plan);
     SCOPED_TRACE("seed=" + std::to_string(seed));
     ASSERT_EQ(faulty.energy, clean.energy);
     for (std::size_t i = 0; i < clean.born_sorted.size(); ++i)
@@ -131,7 +131,7 @@ TEST_F(SoakMpisimTest, KillAndRestartSchedulesResumeBitExactly) {
       ::testing::TempDir() + "/gbpol_soak_ckpt_" + std::to_string(::getpid());
 
   for (const int ranks : {3, 5, 8}) {
-    const DriverResult clean = run(ranks, {});
+    const RunResult clean = run(ranks, {});
     ASSERT_NE(clean.energy, 0.0);
     for (int s = 0; s < kSeedsPerRankCount; ++s) {
       const std::uint64_t seed =
@@ -139,8 +139,8 @@ TEST_F(SoakMpisimTest, KillAndRestartSchedulesResumeBitExactly) {
       const std::string dir = base + "_" + std::to_string(seed);
       std::filesystem::remove_all(dir);
 
-      ApproxParams params;
-      RunConfig config;
+      RunOptions config;
+      config.mode = EngineMode::kDistributed;
       config.ranks = ranks;
       config.checkpoint.dir = dir;
       config.checkpoint.every_k_chunks = 1 + static_cast<std::uint32_t>(seed % 2);
@@ -150,8 +150,8 @@ TEST_F(SoakMpisimTest, KillAndRestartSchedulesResumeBitExactly) {
       config.kill.rank = static_cast<int>(seed % static_cast<std::uint64_t>(ranks));
       config.kill.collective_seq = (seed / 2) % 2 == 0 ? 0 : 2;  // Born / Epol phase
       config.kill.tick = 1 + (seed / 3) % 4;
-      const DriverResult killed =
-          run_oct_distributed(*prep_, params, GBConstants{}, config);
+      const RunResult killed =
+          Engine(*prep_, ApproxParams{}, GBConstants{}).run(config);
       SCOPED_TRACE("ranks=" + std::to_string(ranks) + " seed=" + std::to_string(seed) +
                    " kill_rank=" + std::to_string(config.kill.rank) +
                    " kill_seq=" + std::to_string(config.kill.collective_seq) +
@@ -166,8 +166,8 @@ TEST_F(SoakMpisimTest, KillAndRestartSchedulesResumeBitExactly) {
       // Restart from the latest snapshot set.
       config.kill = {};
       config.checkpoint.resume = true;
-      const DriverResult resumed =
-          run_oct_distributed(*prep_, params, GBConstants{}, config);
+      const RunResult resumed =
+          Engine(*prep_, ApproxParams{}, GBConstants{}).run(config);
       EXPECT_TRUE(resumed.resumed);
       ASSERT_EQ(resumed.energy, clean.energy);
       ASSERT_EQ(resumed.born_sorted.size(), clean.born_sorted.size());
@@ -184,7 +184,7 @@ TEST_F(SoakMpisimTest, KillAndRestartSchedulesResumeBitExactly) {
 // second corpse. The final answer must still be exact.
 TEST_F(SoakMpisimTest, CascadingDeathDuringRecoveryStaysBitExact) {
   const int ranks = 5;
-  const DriverResult clean = run(ranks, {});
+  const RunResult clean = run(ranks, {});
   // (first victim, second victim dying one collective later)
   const std::pair<int, int> cascades[] = {{1, 2}, {2, 3}, {3, 1}, {1, 4}, {4, 2}};
   for (const auto& [first, second] : cascades) {
@@ -192,7 +192,7 @@ TEST_F(SoakMpisimTest, CascadingDeathDuringRecoveryStaysBitExact) {
       FaultPlan plan;
       plan.deaths.push_back({.rank = first, .collective_seq = seq});
       plan.deaths.push_back({.rank = second, .collective_seq = seq + 1});
-      const DriverResult faulty = run(ranks, plan);
+      const RunResult faulty = run(ranks, plan);
       SCOPED_TRACE("cascade " + std::to_string(first) + "->" + std::to_string(second) +
                    " at seq " + std::to_string(seq));
       ASSERT_EQ(faulty.energy, clean.energy);
@@ -206,9 +206,68 @@ TEST_F(SoakMpisimTest, CascadingDeathDuringRecoveryStaysBitExact) {
   plan.deaths.push_back({.rank = 1, .collective_seq = 0});
   plan.deaths.push_back({.rank = 2, .collective_seq = 1});
   plan.deaths.push_back({.rank = 3, .collective_seq = 2});
-  const DriverResult faulty = run(ranks, plan);
+  const RunResult faulty = run(ranks, plan);
   ASSERT_EQ(faulty.energy, clean.energy);
   EXPECT_TRUE(faulty.degraded);
+}
+
+// Steal-schedule soak (ISSUE 5 acceptance matrix): 3 rank counts x 30
+// seeded balanced-path configurations. Each seed picks a chunk granularity,
+// a policy (kSteal, with kCostModel sprinkled in), and every third seed
+// injects a death; the answer must equal the canonical kStatic baseline AT
+// THE SAME CHUNK GRANULARITY to the last bit, because the chunk-fold
+// reduction depends only on the chunk boundaries, never on the assignment.
+TEST_F(SoakMpisimTest, StealSchedulesMatchCanonicalStaticBitExactly) {
+  constexpr int kSeedsPerRankCount = 30;
+  for (const int ranks : {3, 5, 8}) {
+    // kStatic + canonical_reduction baseline per chunk granularity (the
+    // fold changes with the boundaries, so each granularity has its own).
+    std::map<std::uint32_t, RunResult> baselines;
+    for (int s = 0; s < kSeedsPerRankCount; ++s) {
+      const std::uint64_t seed =
+          static_cast<std::uint64_t>(ranks) * 10000 + static_cast<std::uint64_t>(s);
+      const std::uint32_t chunk_leaves = 1 + static_cast<std::uint32_t>(seed % 5);
+
+      RunOptions options;
+      options.mode = EngineMode::kDistributed;
+      options.ranks = ranks;
+      options.balance =
+          s % 5 == 4 ? BalancePolicy::kCostModel : BalancePolicy::kSteal;
+      options.balance_chunk_leaves = chunk_leaves;
+      if (s % 3 == 0) {
+        // The balanced path always reaches collective_seq 0 and 1 (the Born
+        // and Epol phase syncs), so these deaths are guaranteed to fire.
+        options.faults.deaths.push_back(
+            {.rank = static_cast<int>(seed % static_cast<std::uint64_t>(ranks)),
+             .collective_seq = seed % 2});
+      }
+
+      auto baseline = baselines.find(chunk_leaves);
+      if (baseline == baselines.end()) {
+        RunOptions canonical;
+        canonical.mode = EngineMode::kDistributed;
+        canonical.ranks = ranks;
+        canonical.canonical_reduction = true;  // kStatic on the same fold
+        canonical.balance_chunk_leaves = chunk_leaves;
+        RunResult clean =
+            Engine(*prep_, ApproxParams{}, GBConstants{}).run(canonical);
+        ASSERT_NE(clean.energy, 0.0);
+        baseline = baselines.emplace(chunk_leaves, std::move(clean)).first;
+      }
+      const RunResult& clean = baseline->second;
+
+      const RunResult balanced =
+          Engine(*prep_, ApproxParams{}, GBConstants{}).run(options);
+      SCOPED_TRACE("ranks=" + std::to_string(ranks) + " seed=" + std::to_string(seed) +
+                   " chunk_leaves=" + std::to_string(chunk_leaves) +
+                   " deaths=" + std::to_string(options.faults.deaths.size()));
+      ASSERT_EQ(balanced.energy, clean.energy);
+      ASSERT_EQ(balanced.born_sorted.size(), clean.born_sorted.size());
+      for (std::size_t i = 0; i < clean.born_sorted.size(); ++i)
+        ASSERT_EQ(balanced.born_sorted[i], clean.born_sorted[i]) << "born slot " << i;
+      EXPECT_TRUE(!balanced.degraded || options.faults.has_deaths());
+    }
+  }
 }
 
 // P2p soak at the Comm layer: random drop/delay schedules over a ring

@@ -7,24 +7,27 @@
 #include <string>
 #include <vector>
 
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 
 namespace gbpol::testing {
 
 struct TracedRun {
-  DriverResult result;
+  RunResult result;
   obs::Trace trace;
 };
 
 inline TracedRun run_traced(const Prepared& prep, const ApproxParams& params,
                             const GBConstants& constants,
-                            const RunConfig& config,
+                            const RunOptions& options,
                             const obs::TraceConfig& tc = {}) {
+  RunOptions distributed = options;
+  distributed.mode = EngineMode::kDistributed;
+  distributed.traversal = params.traversal;
   obs::start_session(tc);
   TracedRun out;
-  out.result = run_oct_distributed(prep, params, constants, config);
+  out.result = Engine(prep, params, constants).run(distributed);
   out.trace = obs::stop_session();
   return out;
 }

@@ -12,7 +12,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/drivers.hpp"
+#include "core/engine.hpp"
 #include "mpisim/faults.hpp"
 #include "test_helpers.hpp"
 #include "trace_helpers.hpp"
@@ -49,7 +49,7 @@ void expect_stream_invariants(const obs::Trace& trace) {
 
 TEST_F(TraceInvariantsTest, FaultFreeDistributedRun) {
   ApproxParams params;
-  RunConfig config;
+  RunOptions config;
   config.ranks = 4;
   const TracedRun run = run_traced(fix().prep, params, GBConstants{}, config);
   ASSERT_GT(run.trace.total_events(), 0u);
@@ -83,7 +83,7 @@ TEST_F(TraceInvariantsTest, HoldUnderRandomFaultSchedules) {
   ApproxParams params;
   const mpisim::FaultPlan::RandomProfile profile;
   for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
-    RunConfig config;
+    RunOptions config;
     config.ranks = 4;
     config.faults = mpisim::FaultPlan::random(seed, config.ranks, profile);
     const TracedRun run =
@@ -100,7 +100,7 @@ TEST_F(TraceInvariantsTest, HoldUnderRandomFaultSchedules) {
 TEST_F(TraceInvariantsTest, StealTripletsInSharedMemoryRun) {
   ApproxParams params;
   obs::start_session();
-  const DriverResult r = run_oct_cilk(fix().prep, params, GBConstants{}, 4);
+  const RunResult r = Engine(fix().prep, params, GBConstants{}).run(cilk_options(4));
   const obs::Trace trace = obs::stop_session();
   EXPECT_GT(r.tasks, 0u);
   expect_stream_invariants(trace);
@@ -117,7 +117,7 @@ TEST_F(TraceInvariantsTest, StealTripletsInSharedMemoryRun) {
 TEST_F(TraceInvariantsTest, PhaseBracketsCoverTheSchedule) {
   // A fault-free node-node run walks all six pipeline phases on every rank.
   ApproxParams params;
-  RunConfig config;
+  RunOptions config;
   config.ranks = 3;
   const TracedRun run = run_traced(fix().prep, params, GBConstants{}, config);
   for (const obs::EventStream& s : run.trace.streams) {
@@ -143,7 +143,7 @@ TEST_F(TraceInvariantsTest, CheckpointCommitPrecedesEveryKillPoll) {
   fs::remove_all(dir);
   fs::create_directories(dir);
   ApproxParams params;
-  RunConfig config;
+  RunOptions config;
   config.ranks = 3;
   config.checkpoint.dir = dir.string();
   config.checkpoint.every_k_chunks = 1;
