@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/interaction_lists.hpp"
+#include "core/kernels_simd.hpp"
 #include "core/naive.hpp"
 #include "core/prepared.hpp"
 #include "harness/campaign.hpp"
@@ -103,6 +105,13 @@ class BenchMetrics {
     const obs::Trace trace = obs::stop_session();
     obs::MetricsEntry entry;
     entry.label = std::move(label);
+    // Every entry records which near-kernel path produced it and the L2 tile
+    // budget in effect, so perf regressions in the archives can be attributed
+    // to a dispatch or tiling change.
+    entry.extra.emplace_back("dispatch_path",
+                             obs::json::Value(std::string(simd_dispatch_name())));
+    entry.extra.emplace_back(
+        "tile_bytes", obs::json::Value(static_cast<std::uint64_t>(default_tile_bytes())));
     using R = std::decay_t<decltype(result)>;
     if constexpr (std::is_same_v<R, RunResult>) {
       entry.extra.emplace_back("energy", obs::json::Value(result.energy));

@@ -7,7 +7,9 @@
 // bench_out/micro_kernels.json.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <chrono>
+#include <functional>
 #include <filesystem>
 #include <fstream>
 
@@ -16,6 +18,7 @@
 #include "core/drivers.hpp"
 #include "core/epol_octree.hpp"
 #include "core/interaction_lists.hpp"
+#include "core/kernels_simd.hpp"
 #include "molecule/generate.hpp"
 #include "mpisim/runtime.hpp"
 #include "support/morton.hpp"
@@ -118,6 +121,39 @@ double epol_near_sweep_soa(const ListFixture& f) {
                                       prep.atoms_soa.z.data(), prep.charge.data(),
                                       f.born_sorted.data(), u.begin, u.end, v.begin,
                                       v.end);
+  }
+  return sum;
+}
+
+// Same sweeps through the dispatched SIMD kernel table. Callers must check
+// simd_kernel_table() != nullptr first.
+double born_near_sweep_simd(const ListFixture& f, std::vector<double>& atom_s) {
+  const Prepared& prep = f.prep;
+  const SimdKernelTable* t = simd_kernel_table();
+  for (const InteractionLists::Near& e : f.born_lists.near) {
+    const OctreeNode& a = prep.atoms_tree.node(e.target_leaf);
+    const OctreeNode& q = prep.q_tree.node(e.source_leaf);
+    t->born_near_r6(prep.q_soa.x.data(), prep.q_soa.y.data(), prep.q_soa.z.data(),
+                    prep.q_wn_soa.x.data(), prep.q_wn_soa.y.data(),
+                    prep.q_wn_soa.z.data(), q.begin, q.end, prep.atoms_soa.x.data(),
+                    prep.atoms_soa.y.data(), prep.atoms_soa.z.data(), a.begin, a.end,
+                    atom_s.data());
+  }
+  return atom_s[0];
+}
+
+template <bool kApproxMath>
+double epol_near_sweep_simd(const ListFixture& f) {
+  const Prepared& prep = f.prep;
+  const SimdKernelTable* t = simd_kernel_table();
+  const auto fn = kApproxMath ? t->epol_near_approx : t->epol_near_exact;
+  double sum = 0.0;
+  for (const InteractionLists::Near& e : f.epol_lists.near) {
+    const OctreeNode& u = prep.atoms_tree.node(e.target_leaf);
+    const OctreeNode& v = prep.atoms_tree.node(e.source_leaf);
+    sum += fn(prep.atoms_soa.x.data(), prep.atoms_soa.y.data(),
+              prep.atoms_soa.z.data(), prep.charge.data(), f.born_sorted.data(),
+              u.begin, u.end, v.begin, v.end);
   }
   return sum;
 }
@@ -299,6 +335,31 @@ void BM_EpolNearSoA(benchmark::State& state) {
 }
 BENCHMARK(BM_EpolNearSoA);
 
+void BM_BornNearSimd(benchmark::State& state) {
+  if (simd_kernel_table() == nullptr) {
+    state.SkipWithError("SIMD dispatch inactive");
+    return;
+  }
+  const ListFixture& f = list_fixture();
+  std::vector<double> atom_s(f.prep.num_atoms(), 0.0);
+  for (auto _ : state) benchmark::DoNotOptimize(born_near_sweep_simd(f, atom_s));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.born_lists.near_point_pairs));
+}
+BENCHMARK(BM_BornNearSimd);
+
+void BM_EpolNearSimd(benchmark::State& state) {
+  if (simd_kernel_table() == nullptr) {
+    state.SkipWithError("SIMD dispatch inactive");
+    return;
+  }
+  const ListFixture& f = list_fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(epol_near_sweep_simd<false>(f));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.epol_near_pairs));
+}
+BENCHMARK(BM_EpolNearSimd);
+
 // ---- Engine-level A/B: recursive walk vs prebuilt-list evaluation ---------
 
 void BM_BornListBuild(benchmark::State& state) {
@@ -350,18 +411,53 @@ double best_seconds(int reps, F&& fn) {
   return best;
 }
 
+// Interleaved best-of-reps for a set of variants of the same kernel: each
+// rep times every variant back to back, so a frequency or steal-time drift
+// on a shared core hits all variants alike instead of biasing whichever one
+// happened to run during the slow window (the gate compares their ratio).
+template <std::size_t N>
+std::array<double, N> best_seconds_interleaved(
+    int reps, const std::array<std::function<double()>, N>& fns) {
+  std::array<double, N> best;
+  best.fill(1e300);
+  for (int r = 0; r < reps; ++r) {
+    for (std::size_t i = 0; i < N; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(fns[i]());
+      const auto t1 = std::chrono::steady_clock::now();
+      best[i] = std::min(best[i], std::chrono::duration<double>(t1 - t0).count());
+    }
+  }
+  return best;
+}
+
 struct KernelAB {
   const char* name;
   std::uint64_t pairs;
   double scalar_s;
   double soa_s;
+  double simd_s = 0.0;  // 0 when the SIMD dispatch is inactive
+  bool gated = false;   // participates in the >= 2x SIMD-vs-SoA check
 };
 
+// Minimum dispatched-SIMD-vs-SoA speedup for gated kernels; scripts/check.sh
+// runs this binary and fails the push when the gate breaks. Only
+// epol_near_exact is gated: its SoA form is serialized on scalar libm calls,
+// which is exactly what the explicit kernels exist to fix. The Born kernel
+// already autovectorizes under -march=x86-64-v3, so its SIMD ratio is
+// recorded but not gated.
+constexpr double kSimdGateSpeedup = 2.0;
+
 void write_json(std::ostream& os, const ListFixture& f,
-                const std::vector<KernelAB>& kernels) {
+                const std::vector<KernelAB>& kernels, bool gate_pass) {
   os << "{\n";
   os << "  \"molecule_atoms\": " << f.prep.num_atoms() << ",\n";
   os << "  \"quadrature_points\": " << f.prep.q_tree.num_points() << ",\n";
+  os << "  \"dispatch_path\": \"" << simd_dispatch_name() << "\",\n";
+  os << "  \"tile_bytes\": " << default_tile_bytes() << ",\n";
+  os << "  \"simd_gate\": {\"required_speedup\": " << kSimdGateSpeedup
+     << ", \"active\": " << (simd_kernel_table() != nullptr ? "true" : "false")
+     << ", \"pass\": " << (gate_pass ? "true" : "false") << "},\n";
   os << "  \"kernels\": [\n";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     const KernelAB& k = kernels[i];
@@ -371,43 +467,94 @@ void write_json(std::ostream& os, const ListFixture& f,
        << ", \"soa_seconds\": " << k.soa_s
        << ", \"scalar_aos_pairs_per_second\": " << pairs / k.scalar_s
        << ", \"soa_pairs_per_second\": " << pairs / k.soa_s
-       << ", \"soa_speedup\": " << k.scalar_s / k.soa_s << "}"
-       << (i + 1 < kernels.size() ? "," : "") << "\n";
+       << ", \"soa_speedup\": " << k.scalar_s / k.soa_s;
+    if (k.simd_s > 0.0) {
+      os << ", \"simd_seconds\": " << k.simd_s
+         << ", \"simd_pairs_per_second\": " << pairs / k.simd_s
+         << ", \"simd_vs_soa_speedup\": " << k.soa_s / k.simd_s
+         << ", \"gated\": " << (k.gated ? "true" : "false");
+    }
+    os << "}" << (i + 1 < kernels.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
   os << "}\n";
 }
 
-// Times the scalar-AoS vs batched-SoA near kernels over the molecule's real
-// near lists and writes the comparison to bench_out/micro_kernels.json.
-void emit_kernel_json() {
+// Times the scalar-AoS vs batched-SoA vs dispatched-SIMD near kernels over
+// the molecule's real near lists, writes the comparison to
+// bench_out/micro_kernels.json, and returns false when a gated kernel misses
+// the >= 2x SIMD-vs-SoA target (self-gate used by scripts/check.sh).
+bool emit_kernel_json() {
   const ListFixture& f = list_fixture();
-  constexpr int kReps = 5;
+  constexpr int kReps = 7;
+  const bool simd_active = simd_kernel_table() != nullptr;
   std::vector<double> atom_s(f.prep.num_atoms(), 0.0);
 
+  // Each kernel's three variants are timed interleaved (scalar, SoA, SIMD
+  // back to back per rep) so shared-core noise cancels out of the ratios.
+  const auto measure = [&](std::function<double()> scalar_fn,
+                           std::function<double()> soa_fn,
+                           std::function<double()> simd_fn) {
+    if (!simd_active) simd_fn = [] { return 0.0; };
+    const std::array<double, 3> t = best_seconds_interleaved<3>(
+        kReps, {std::move(scalar_fn), std::move(soa_fn), std::move(simd_fn)});
+    return std::array<double, 3>{t[0], t[1], simd_active ? t[2] : 0.0};
+  };
+
   std::vector<KernelAB> kernels;
-  kernels.push_back(
-      {"born_near_r6", f.born_lists.near_point_pairs,
-       best_seconds(kReps, [&] { return born_near_sweep_aos(f, atom_s); }),
-       best_seconds(kReps, [&] { return born_near_sweep_soa(f, atom_s); })});
-  kernels.push_back({"epol_near_exact", f.epol_near_pairs,
-                     best_seconds(kReps, [&] { return epol_near_sweep_aos<false>(f); }),
-                     best_seconds(kReps, [&] { return epol_near_sweep_soa<false>(f); })});
-  kernels.push_back({"epol_near_approx_math", f.epol_near_pairs,
-                     best_seconds(kReps, [&] { return epol_near_sweep_aos<true>(f); }),
-                     best_seconds(kReps, [&] { return epol_near_sweep_soa<true>(f); })});
+  {
+    const auto t = measure([&] { return born_near_sweep_aos(f, atom_s); },
+                           [&] { return born_near_sweep_soa(f, atom_s); },
+                           [&] { return born_near_sweep_simd(f, atom_s); });
+    kernels.push_back({"born_near_r6", f.born_lists.near_point_pairs, t[0], t[1],
+                       t[2], /*gated=*/false});
+  }
+  {
+    const auto t = measure([&] { return epol_near_sweep_aos<false>(f); },
+                           [&] { return epol_near_sweep_soa<false>(f); },
+                           [&] { return epol_near_sweep_simd<false>(f); });
+    kernels.push_back(
+        {"epol_near_exact", f.epol_near_pairs, t[0], t[1], t[2], /*gated=*/true});
+  }
+  {
+    const auto t = measure([&] { return epol_near_sweep_aos<true>(f); },
+                           [&] { return epol_near_sweep_soa<true>(f); },
+                           [&] { return epol_near_sweep_simd<true>(f); });
+    kernels.push_back({"epol_near_approx_math", f.epol_near_pairs, t[0], t[1], t[2],
+                       /*gated=*/false});
+  }
+
+  bool gate_pass = true;
+  if (simd_active) {
+    for (const KernelAB& k : kernels)
+      if (k.gated && k.soa_s / k.simd_s < kSimdGateSpeedup) gate_pass = false;
+  }
 
   std::error_code ec;
   std::filesystem::create_directories("bench_out", ec);
   std::ofstream out("bench_out/micro_kernels.json");
   if (!out) {
     std::fprintf(stderr, "note: could not open bench_out/micro_kernels.json\n");
-    return;
+    return gate_pass;
   }
-  write_json(out, f, kernels);
-  std::printf("wrote bench_out/micro_kernels.json\n");
-  for (const KernelAB& k : kernels)
-    std::printf("  %-22s SoA speedup %.2fx\n", k.name, k.scalar_s / k.soa_s);
+  write_json(out, f, kernels, gate_pass);
+  std::printf("wrote bench_out/micro_kernels.json (dispatch: %s)\n",
+              simd_dispatch_name());
+  for (const KernelAB& k : kernels) {
+    if (k.simd_s > 0.0)
+      std::printf("  %-22s SoA speedup %.2fx, SIMD vs SoA %.2fx%s\n", k.name,
+                  k.scalar_s / k.soa_s, k.soa_s / k.simd_s, k.gated ? " [gated]" : "");
+    else
+      std::printf("  %-22s SoA speedup %.2fx\n", k.name, k.scalar_s / k.soa_s);
+  }
+  if (simd_active && !gate_pass)
+    std::fprintf(stderr,
+                 "micro_kernels: FAIL — gated SIMD kernel below %.1fx vs SoA\n",
+                 kSimdGateSpeedup);
+  else if (!simd_active)
+    std::printf("micro_kernels: SIMD gate skipped (dispatch inactive: %s)\n",
+                simd_dispatch_name());
+  return gate_pass;
 }
 
 }  // namespace
@@ -417,6 +564,5 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  emit_kernel_json();
-  return 0;
+  return emit_kernel_json() ? 0 : 1;
 }

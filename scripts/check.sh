@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Local CI gate: build every sanitizer preset and run the fast test labels
-# (unit, property, checkpoint, balance, trace) under each, plus two repo-wide
+# (unit, property, checkpoint, balance, trace) under each, plus repo-wide
 # gates: no in-tree caller may use the deprecated run_oct_* free functions
-# (everything goes through Engine/RunOptions), and the balance_stress bench
-# must hold its >= 1.3x steal-vs-static makespan target. The long randomized
+# (everything goes through Engine/RunOptions), the balance_stress bench must
+# hold its >= 1.3x steal-vs-static makespan target, the micro_kernels bench
+# must hold the >= 2x dispatched-SIMD-vs-SoA target on its gated kernel (and
+# records the ratios in bench_out/micro_kernels.json), the approx-math
+# primitive accuracy/speed point is refreshed into bench_out/, and the
+# forced-scalar build (GBPOL_SIMD=OFF preset + GBPOL_SIMD=off env) must pass
+# the same test labels so the SoA fallback stays healthy. The long randomized
 # soak campaigns and the coverage gate are opt-in.
 #
 #   scripts/check.sh             release + asan + tsan presets
@@ -58,6 +63,27 @@ echo "=== balance_stress: skew-bench smoke run (release build) ==="
 # Runs the 8-rank balance A/B; the binary itself fails unless the three
 # policies agree to the bit AND kSteal beats kStatic by >= 1.3x makespan.
 (cd build/bench && ./balance_stress)
+
+echo "=== micro_kernels: SIMD-vs-SoA self-gate (release build) ==="
+# --benchmark_filter matching nothing skips the google-benchmark timings;
+# only the kernel A/B + JSON + gate path runs. The binary exits non-zero if
+# the gated kernel (epol_near_exact) dispatches SIMD below 2x over SoA; on a
+# host without AVX2 the gate self-skips (dispatch falls back to SoA).
+(cd build/bench && ./micro_kernels --benchmark_filter='^$')
+
+echo "=== ablation_approx_math: primitive accuracy/speed point (fast mode) ==="
+# Records the scalar fast_* vs SIMD rsqrt-Newton/exp accuracy and throughput
+# to bench_out/ablation_math_primitives.json without the molecule suite.
+(cd build/bench && GBPOL_ABLATION_FAST=1 ./ablation_approx_math)
+
+echo "=== scalar: forced-SoA fallback build + tests ==="
+# GBPOL_SIMD=OFF at configure time compiles the stub TU (no AVX2 code in the
+# binary); GBPOL_SIMD=off in the test environment (set by the preset) also
+# exercises the runtime override. Together they prove the fallback path
+# passes the same tier-1 labels as the dispatched build.
+cmake --preset scalar
+cmake --build --preset scalar -j "${JOBS}"
+ctest --preset scalar -L 'unit|property|checkpoint|balance|trace' -j "${JOBS}"
 
 if [[ ${RUN_SOAK} -eq 1 ]]; then
   echo "=== soak: configure + build ==="

@@ -87,7 +87,10 @@ bool write_snapshot(const std::string& path, const Snapshot& snap) {
     put(body, static_cast<std::uint64_t>(sec.size()));
     const std::size_t at = body.size();
     body.resize(at + sec.size() * sizeof(double));
-    std::memcpy(body.data() + at, sec.data(), sec.size() * sizeof(double));
+    // Empty sections are legal (e.g. a phase-entry ledger); data() is null
+    // then and memcpy's nonnull contract forbids it even for size 0.
+    if (!sec.empty())
+      std::memcpy(body.data() + at, sec.data(), sec.size() * sizeof(double));
   }
   const std::uint32_t crc = crc32(body.data(), body.size());
 
@@ -141,7 +144,7 @@ std::optional<Snapshot> read_snapshot(const std::string& path) {
         r.left < count * sizeof(double))
       return std::nullopt;
     sec.resize(count);
-    std::memcpy(sec.data(), r.p, count * sizeof(double));
+    if (count != 0) std::memcpy(sec.data(), r.p, count * sizeof(double));
     r.p += count * sizeof(double);
     r.left -= count * sizeof(double);
   }

@@ -22,9 +22,12 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "support/arena.hpp"
 #include "support/mat3.hpp"
 #include "support/vec3.hpp"
 
@@ -65,8 +68,20 @@ double fast_exp_max_rel_error(double lo, double hi, int samples);
 // Structure-of-arrays mirror of a Vec3 array. Octree points are Morton
 // sorted, so every node's [begin, end) range is contiguous in these arrays —
 // one global SoA store doubles as a per-leaf store.
+//
+// The axes are arena-backed (support/arena.hpp): page-granular slabs,
+// 64-byte-aligned starts for the SIMD loads, first-touch committed by the
+// thread that fills them. A default-constructed PointsSoA owns a private
+// arena; pass a shared one to co-locate several stores in the same slabs
+// (Prepared puts all three of its stores in one arena).
 struct PointsSoA {
-  std::vector<double> x, y, z;
+  ArenaVector<double> x, y, z;
+
+  PointsSoA() = default;
+  explicit PointsSoA(std::shared_ptr<PageArena> arena)
+      : x(ArenaAllocator<double>(arena)),
+        y(ArenaAllocator<double>(arena)),
+        z(ArenaAllocator<double>(std::move(arena))) {}
 
   void assign(std::span<const Vec3> pts);
   std::size_t size() const { return x.size(); }

@@ -3,10 +3,20 @@
 #include <cassert>
 
 #include "core/approx_math.hpp"
+#include "core/kernels_simd.hpp"
 #include "core/naive.hpp"
 
 namespace gbpol {
 namespace {
+
+// Streamed bytes per point for the near tiles: the atom side touches x/y/z
+// plus the atom_s accumulator (read+write), the q side six payload arrays.
+constexpr InteractionLists::TileCost kBornTileCost = {
+    /*near_target_bytes_per_point=*/5 * sizeof(double),
+    /*near_source_bytes_per_point=*/6 * sizeof(double),
+    // Far entries stream a node aggregate (w*n Vec3 + moment Mat3) and two
+    // tree nodes.
+    /*far_bytes_per_entry=*/sizeof(Vec3) + sizeof(Mat3) + 2 * sizeof(OctreeNode)};
 
 // Scalar kernels live in core/approx_math.hpp (born_kernel_term /
 // born_dipole_term), shared between the recursive engine, the list engine's
@@ -142,41 +152,50 @@ void BornSolver::accumulate_dual_tree(BornAccumulator& acc) const {
 
 InteractionLists BornSolver::build_lists(std::uint32_t q_leaf_lo,
                                          std::uint32_t q_leaf_hi) const {
-  return build_interaction_lists(
+  InteractionLists lists = build_interaction_lists(
       prep_->atoms_tree, prep_->q_tree,
       {.far_multiplier = far_multiplier_,
        .exact_at_target_leaf = false,  // Fig. 2 tests far before the leaf case
        .source_leaf_lo = q_leaf_lo,
        .source_leaf_hi = q_leaf_hi});
+  lists.build_tiles(prep_->atoms_tree, prep_->q_tree, kBornTileCost);
+  return lists;
 }
 
 InteractionLists BornSolver::build_lists_parallel(ws::Scheduler& sched,
                                                   std::uint32_t q_leaf_lo,
                                                   std::uint32_t q_leaf_hi) const {
-  return build_interaction_lists_parallel(
+  InteractionLists lists = build_interaction_lists_parallel(
       sched, prep_->atoms_tree, prep_->q_tree,
       {.far_multiplier = far_multiplier_,
        .exact_at_target_leaf = false,
        .source_leaf_lo = q_leaf_lo,
        .source_leaf_hi = q_leaf_hi});
+  lists.build_tiles(prep_->atoms_tree, prep_->q_tree, kBornTileCost);
+  return lists;
 }
 
 template <int Power, bool Dipole>
 void BornSolver::far_range_impl(const InteractionLists& lists, std::size_t lo,
                                 std::size_t hi, BornAccumulator& acc) const {
-  for (std::size_t i = lo; i < hi; ++i) {
-    const InteractionLists::Far& e = lists.far[i];
-    const OctreeNode& a = prep_->atoms_tree.node(e.target_node);
-    const OctreeNode& q = prep_->q_tree.node(e.source_leaf);
-    const Vec3 diff = q.centroid - a.centroid;
-    const double d2 = norm2(diff);
-    double term = born_kernel_term<Power>(prep_->node_weighted_normal[e.source_leaf],
-                                          diff, d2);
-    if constexpr (Dipole) {
-      term += born_dipole_term<Power>(prep_->node_moment[e.source_leaf], diff, d2);
+  // Tile boundaries only group the loop; entry order (and thus every += into
+  // the accumulator) is unchanged, so results are identical per tile size.
+  for_each_tile_range(lists.far_tile_start, lo, hi, [&](std::size_t tlo,
+                                                        std::size_t thi) {
+    for (std::size_t i = tlo; i < thi; ++i) {
+      const InteractionLists::Far& e = lists.far[i];
+      const OctreeNode& a = prep_->atoms_tree.node(e.target_node);
+      const OctreeNode& q = prep_->q_tree.node(e.source_leaf);
+      const Vec3 diff = q.centroid - a.centroid;
+      const double d2 = norm2(diff);
+      double term = born_kernel_term<Power>(prep_->node_weighted_normal[e.source_leaf],
+                                            diff, d2);
+      if constexpr (Dipole) {
+        term += born_dipole_term<Power>(prep_->node_moment[e.source_leaf], diff, d2);
+      }
+      acc.node_s(e.target_node) += term;
     }
-    acc.node_s(e.target_node) += term;
-  }
+  });
 }
 
 template <int Power>
@@ -186,14 +205,29 @@ void BornSolver::near_range_impl(const InteractionLists& lists, std::size_t lo,
   const PointsSoA& wn = prep_->q_wn_soa;
   const PointsSoA& a = prep_->atoms_soa;
   double* atom_s = acc.atom_s_data();
-  for (std::size_t i = lo; i < hi; ++i) {
-    const InteractionLists::Near& e = lists.near[i];
-    const OctreeNode& an = prep_->atoms_tree.node(e.target_leaf);
-    const OctreeNode& qn = prep_->q_tree.node(e.source_leaf);
-    born_near_soa<Power>(q.x.data(), q.y.data(), q.z.data(), wn.x.data(), wn.y.data(),
-                         wn.z.data(), qn.begin, qn.end, a.x.data(), a.y.data(),
-                         a.z.data(), an.begin, an.end, atom_s);
-  }
+  // Runtime dispatch: one table lookup per range, one indirect call per leaf
+  // pair; the SoA template stays the always-available fallback.
+  const SimdKernelTable* simd = simd_kernel_table();
+  const SimdKernelTable::BornNearFn fn =
+      simd != nullptr ? (Power == 6 ? simd->born_near_r6 : simd->born_near_r4)
+                      : nullptr;
+  for_each_tile_range(lists.near_tile_start, lo, hi, [&](std::size_t tlo,
+                                                         std::size_t thi) {
+    for (std::size_t i = tlo; i < thi; ++i) {
+      const InteractionLists::Near& e = lists.near[i];
+      const OctreeNode& an = prep_->atoms_tree.node(e.target_leaf);
+      const OctreeNode& qn = prep_->q_tree.node(e.source_leaf);
+      if (fn != nullptr) {
+        fn(q.x.data(), q.y.data(), q.z.data(), wn.x.data(), wn.y.data(), wn.z.data(),
+           qn.begin, qn.end, a.x.data(), a.y.data(), a.z.data(), an.begin, an.end,
+           atom_s);
+      } else {
+        born_near_soa<Power>(q.x.data(), q.y.data(), q.z.data(), wn.x.data(),
+                             wn.y.data(), wn.z.data(), qn.begin, qn.end, a.x.data(),
+                             a.y.data(), a.z.data(), an.begin, an.end, atom_s);
+      }
+    }
+  });
 }
 
 void BornSolver::accumulate_far_range(const InteractionLists& lists, std::size_t lo,

@@ -12,6 +12,7 @@
 
 #include "core/balance.hpp"
 #include "core/engine.hpp"
+#include "support/arena.hpp"
 #include "mpisim/costmodel.hpp"
 #include "mpisim/runtime.hpp"
 #include "obs/trace.hpp"
@@ -980,7 +981,10 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
 
   // Shared cross-rank state: each chunk slot is written by exactly one rank
   // (ledger discipline), then read by all after the phase sync's barrier.
-  std::vector<std::vector<double>> born_partials(born_plan.n_chunks);
+  // Arena-backed per-chunk partials: each chunk's vector owns a private page
+  // arena, so its pages are committed (first touch) by the worker thread of
+  // the rank that computes the chunk — NUMA-local on multi-socket hosts.
+  std::vector<ArenaVector<double>> born_partials(born_plan.n_chunks);
   std::vector<std::array<double, 2>> epol_raws(epol_plan.n_chunks,
                                                std::array<double, 2>{0.0, 0.0});
   ChunkLedger born_ledger(born_plan.n_chunks);
@@ -1052,7 +1056,8 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
           ckpt::ChunkLedgerSections& led = ledgers[static_cast<std::size_t>(rr)];
           if (s.phase == ckpt::Phase::kBornAccum) {
             for (std::size_t i = 0; i < led.ids.size(); ++i) {
-              born_partials[led.ids[i]] = std::move(led.partials[i]);
+              born_partials[led.ids[i]].assign(led.partials[i].begin(),
+                                               led.partials[i].end());
               born_ledger.mark_done(led.ids[i], rr);
             }
             restored_born_ids[static_cast<std::size_t>(rr)] = std::move(led.ids);
@@ -1105,7 +1110,8 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
             partials.reserve(ids.size());
             for (const std::uint32_t id : ids) {
               if (phase == ckpt::Phase::kBornAccum)
-                partials.push_back(born_partials[id]);
+                partials.emplace_back(born_partials[id].begin(),
+                                      born_partials[id].end());
               else
                 partials.push_back({epol_raws[id][0], epol_raws[id][1]});
             }
@@ -1237,7 +1243,7 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
       mpisim::Comm::ComputeRegion region(comm);
       const std::span<double> flat = acc.flat();
       for (std::uint32_t c = 0; c < born_plan.n_chunks; ++c) {
-        const std::vector<double>& partial = born_partials[c];
+        const ArenaVector<double>& partial = born_partials[c];
         for (std::size_t j = 0; j < flat.size(); ++j) flat[j] += partial[j];
       }
     }

@@ -4,8 +4,15 @@
 #include <cmath>
 
 #include "core/approx_math.hpp"
+#include "core/kernels_simd.hpp"
 
 namespace gbpol {
+namespace {
+
+// Both sides of an epol near pair stream x/y/z/charge/born per atom.
+constexpr std::size_t kEpolNearBytesPerPoint = 5 * sizeof(double);
+
+}  // namespace
 
 EpolSolver::EpolSolver(const Prepared& prep, std::span<const double> born_sorted,
                        const ApproxParams& params, const GBConstants& constants)
@@ -172,38 +179,55 @@ double EpolSolver::energy_for_atom_range(std::uint32_t atom_lo,
   return scale_ * sum;
 }
 
+InteractionLists::TileCost EpolSolver::tile_cost() const {
+  return {/*near_target_bytes_per_point=*/kEpolNearBytesPerPoint,
+          /*near_source_bytes_per_point=*/kEpolNearBytesPerPoint,
+          // A far entry streams two m_bins-wide charge histograms + two nodes.
+          /*far_bytes_per_entry=*/2 * static_cast<std::size_t>(m_bins_) *
+                  sizeof(double) +
+              2 * sizeof(OctreeNode)};
+}
+
 InteractionLists EpolSolver::build_lists(std::uint32_t leaf_lo,
                                          std::uint32_t leaf_hi) const {
-  return build_interaction_lists(
+  InteractionLists lists = build_interaction_lists(
       prep_->atoms_tree, prep_->atoms_tree,
       {.far_multiplier = far_multiplier_,
        .exact_at_target_leaf = true,  // Fig. 3 line 1: leaves are exact even if far
        .source_leaf_lo = leaf_lo,
        .source_leaf_hi = leaf_hi});
+  lists.build_tiles(prep_->atoms_tree, prep_->atoms_tree, tile_cost());
+  return lists;
 }
 
 InteractionLists EpolSolver::build_lists_parallel(ws::Scheduler& sched,
                                                   std::uint32_t leaf_lo,
                                                   std::uint32_t leaf_hi) const {
-  return build_interaction_lists_parallel(
+  InteractionLists lists = build_interaction_lists_parallel(
       sched, prep_->atoms_tree, prep_->atoms_tree,
       {.far_multiplier = far_multiplier_,
        .exact_at_target_leaf = true,
        .source_leaf_lo = leaf_lo,
        .source_leaf_hi = leaf_hi});
+  lists.build_tiles(prep_->atoms_tree, prep_->atoms_tree, tile_cost());
+  return lists;
 }
 
 template <bool kApproxMath>
 void EpolSolver::far_range_impl(const InteractionLists& lists, std::size_t lo,
                                 std::size_t hi, double& sum) const {
   const auto nodes = prep_->atoms_tree.nodes();
-  for (std::size_t i = lo; i < hi; ++i) {
-    const InteractionLists::Far& e = lists.far[i];
-    const double d2 =
-        distance2(nodes[e.target_node].centroid, nodes[e.source_leaf].centroid);
-    sum += binned_far_term<kApproxMath>(node_bins(e.target_node),
-                                        node_bins(e.source_leaf), d2);
-  }
+  // Far bin tiles: boundaries only, entry order unchanged — bit-identical.
+  for_each_tile_range(lists.far_tile_start, lo, hi, [&](std::size_t tlo,
+                                                        std::size_t thi) {
+    for (std::size_t i = tlo; i < thi; ++i) {
+      const InteractionLists::Far& e = lists.far[i];
+      const double d2 =
+          distance2(nodes[e.target_node].centroid, nodes[e.source_leaf].centroid);
+      sum += binned_far_term<kApproxMath>(node_bins(e.target_node),
+                                          node_bins(e.source_leaf), d2);
+    }
+  });
 }
 
 template <bool kApproxMath>
@@ -211,14 +235,27 @@ void EpolSolver::near_range_impl(const InteractionLists& lists, std::size_t lo,
                                  std::size_t hi, double& sum) const {
   const PointsSoA& a = prep_->atoms_soa;
   const auto nodes = prep_->atoms_tree.nodes();
-  for (std::size_t i = lo; i < hi; ++i) {
-    const InteractionLists::Near& e = lists.near[i];
-    const OctreeNode& u = nodes[e.target_leaf];
-    const OctreeNode& v = nodes[e.source_leaf];
-    sum += epol_near_soa<kApproxMath>(a.x.data(), a.y.data(), a.z.data(),
-                                      prep_->charge.data(), born_.data(), u.begin,
-                                      u.end, v.begin, v.end);
-  }
+  const SimdKernelTable* simd = simd_kernel_table();
+  const SimdKernelTable::EpolNearFn fn =
+      simd != nullptr
+          ? (kApproxMath ? simd->epol_near_approx : simd->epol_near_exact)
+          : nullptr;
+  for_each_tile_range(lists.near_tile_start, lo, hi, [&](std::size_t tlo,
+                                                         std::size_t thi) {
+    for (std::size_t i = tlo; i < thi; ++i) {
+      const InteractionLists::Near& e = lists.near[i];
+      const OctreeNode& u = nodes[e.target_leaf];
+      const OctreeNode& v = nodes[e.source_leaf];
+      if (fn != nullptr) {
+        sum += fn(a.x.data(), a.y.data(), a.z.data(), prep_->charge.data(),
+                  born_.data(), u.begin, u.end, v.begin, v.end);
+      } else {
+        sum += epol_near_soa<kApproxMath>(a.x.data(), a.y.data(), a.z.data(),
+                                          prep_->charge.data(), born_.data(), u.begin,
+                                          u.end, v.begin, v.end);
+      }
+    }
+  });
 }
 
 void EpolSolver::accumulate_energy_far_range(const InteractionLists& lists,

@@ -104,6 +104,9 @@ class EpolSolver {
   const double* node_bins(std::uint32_t node_id) const {
     return node_bins_.data() + static_cast<std::size_t>(node_id) * m_bins_;
   }
+  // Per-entry streamed-bytes estimates for the L2 tile index (depends on
+  // m_bins_, so it cannot be a file-level constant like the Born one).
+  InteractionLists::TileCost tile_cost() const;
 
   template <bool kApproxMath>
   double pair_sum_exact(std::uint32_t u_begin, std::uint32_t u_end,

@@ -18,10 +18,12 @@
 // recursive result up to FP reassociation (tests pin <= 1e-12 relative).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "octree/octree.hpp"
+#include "support/arena.hpp"
 #include "support/memtrack.hpp"
 
 namespace gbpol {
@@ -42,15 +44,73 @@ struct InteractionLists {
     std::uint32_t source_leaf = 0;
   };
 
-  std::vector<Far> far;
-  std::vector<Near> near;
+  // Arena-backed (support/arena.hpp): the lists are the largest transient hot
+  // array — built once, streamed every evaluation — so they live in mmap'd
+  // page slabs, first-touch placed on the building worker and accounted by
+  // arena_mapped_bytes() rather than the general heap.
+  ArenaVector<Far> far;
+  ArenaVector<Near> near;
 
   // Exact point pairs the near list will evaluate (for stats / grain tuning).
   std::uint64_t near_point_pairs = 0;
 
+  // L2 tile index: ascending entry boundaries partitioning `near` (resp.
+  // `far`) so the points (resp. bins) streamed per tile fit a byte budget.
+  // When built, size is n_tiles+1 with front()==0 and back()==list size.
+  // Tiling only inserts boundaries into the existing traversal order, so
+  // evaluation is bit-identical for ANY tile size — see for_each_tile_range.
+  std::vector<std::uint32_t> near_tile_start;
+  std::vector<std::uint32_t> far_tile_start;
+  std::size_t tile_bytes = 0;  // budget the index was built with (0 = unbuilt)
+
+  // Streamed-bytes estimates for one near entry's target/source point and one
+  // far entry; the solvers pass kernel-specific values (see build_lists).
+  struct TileCost {
+    std::size_t near_target_bytes_per_point = 0;
+    std::size_t near_source_bytes_per_point = 0;
+    std::size_t far_bytes_per_entry = 0;
+  };
+
+  // Builds the tile index; budget_bytes == 0 uses default_tile_bytes().
+  void build_tiles(const Octree& target, const Octree& source, const TileCost& cost,
+                   std::size_t budget_bytes = 0);
+
   void append(InteractionLists&& other);
   MemoryFootprint footprint() const;
 };
+
+// Detected per-core L2 data-cache size in bytes (0 when the OS won't say).
+std::size_t detected_l2_bytes();
+
+// Default tile budget: half the detected L2 (the other half absorbs the
+// write streams and the tree metadata), clamped to [64 KiB, 1 MiB]; 256 KiB
+// when detection fails.
+std::size_t default_tile_bytes();
+
+// Calls fn(sub_lo, sub_hi) for each maximal sub-range of [lo, hi) lying
+// within a single tile of `starts` (an InteractionLists tile index). With an
+// unbuilt index the whole range is one call. Sub-ranges are visited in
+// ascending order and partition [lo, hi) exactly, so any per-entry fold over
+// them is bit-identical to the untiled loop.
+template <typename Fn>
+inline void for_each_tile_range(const std::vector<std::uint32_t>& starts,
+                                std::size_t lo, std::size_t hi, Fn&& fn) {
+  if (lo >= hi) return;
+  if (starts.size() < 2) {
+    fn(lo, hi);
+    return;
+  }
+  // First boundary strictly past lo ends the tile containing lo.
+  auto it = std::upper_bound(starts.begin(), starts.end(), static_cast<std::uint32_t>(lo));
+  std::size_t cur = lo;
+  while (cur < hi) {
+    const std::size_t stop =
+        it == starts.end() ? hi : std::min<std::size_t>(hi, *it);
+    fn(cur, stop);
+    cur = stop;
+    ++it;
+  }
+}
 
 struct ListBuildParams {
   double far_multiplier = 1.0;

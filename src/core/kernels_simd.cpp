@@ -1,0 +1,101 @@
+#include "core/kernels_simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace gbpol {
+
+// Implemented in core/kernels_simd_avx2.cpp. That TU is always part of the
+// build; when it is compiled WITHOUT the AVX2 flags (non-x86 toolchain or
+// -DGBPOL_SIMD=OFF) its table accessor returns nullptr and the probes report
+// "unavailable", so this dispatcher needs no preprocessor coupling.
+namespace detail {
+const SimdKernelTable* avx2_kernel_table();
+double avx2_rsqrt_max_rel_error(double lo, double hi, int samples);
+double avx2_exp_max_rel_error(double lo, double hi, int samples);
+double avx2_rsqrt_sum(const double* xs, std::size_t n);
+double avx2_exp_sum(const double* xs, std::size_t n);
+}  // namespace detail
+
+bool simd_kernels_compiled() { return detail::avx2_kernel_table() != nullptr; }
+
+bool simd_cpu_supported() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+SimdDispatch resolve_dispatch() {
+  if (const char* env = std::getenv("GBPOL_SIMD")) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "scalar") == 0 || std::strcmp(env, "soa") == 0) {
+      return SimdDispatch::kSoA;
+    }
+  }
+  if (!simd_kernels_compiled() || !simd_cpu_supported()) return SimdDispatch::kSoA;
+  return SimdDispatch::kAvx2;
+}
+
+// -1 = unresolved. Not a function-local static: tests flip GBPOL_SIMD at
+// runtime and call simd_dispatch_refresh() to re-resolve.
+std::atomic<int> g_dispatch{-1};
+
+}  // namespace
+
+SimdDispatch simd_dispatch() {
+  int d = g_dispatch.load(std::memory_order_relaxed);
+  if (d < 0) {
+    d = static_cast<int>(resolve_dispatch());
+    g_dispatch.store(d, std::memory_order_relaxed);
+  }
+  return static_cast<SimdDispatch>(d);
+}
+
+void simd_dispatch_refresh() {
+  g_dispatch.store(static_cast<int>(resolve_dispatch()), std::memory_order_relaxed);
+}
+
+const char* simd_dispatch_name(SimdDispatch d) {
+  switch (d) {
+    case SimdDispatch::kAvx2:
+      return "avx2";
+    case SimdDispatch::kSoA:
+      return "soa";
+  }
+  return "unknown";
+}
+
+const SimdKernelTable* simd_kernel_table(SimdDispatch d) {
+  return d == SimdDispatch::kAvx2 ? detail::avx2_kernel_table() : nullptr;
+}
+
+double simd_rsqrt_max_rel_error(double lo, double hi, int samples) {
+  if (simd_kernel_table(SimdDispatch::kAvx2) == nullptr || !simd_cpu_supported())
+    return -1.0;
+  return detail::avx2_rsqrt_max_rel_error(lo, hi, samples);
+}
+
+double simd_exp_max_rel_error(double lo, double hi, int samples) {
+  if (simd_kernel_table(SimdDispatch::kAvx2) == nullptr || !simd_cpu_supported())
+    return -1.0;
+  return detail::avx2_exp_max_rel_error(lo, hi, samples);
+}
+
+double simd_rsqrt_sum(const double* xs, std::size_t n) {
+  if (simd_kernel_table(SimdDispatch::kAvx2) == nullptr || !simd_cpu_supported())
+    return 0.0;
+  return detail::avx2_rsqrt_sum(xs, n);
+}
+
+double simd_exp_sum(const double* xs, std::size_t n) {
+  if (simd_kernel_table(SimdDispatch::kAvx2) == nullptr || !simd_cpu_supported())
+    return 0.0;
+  return detail::avx2_exp_sum(xs, n);
+}
+
+}  // namespace gbpol

@@ -1,0 +1,88 @@
+// Explicit-SIMD near-field kernels with runtime CPU dispatch.
+//
+// The SoA kernels in core/approx_math.hpp rely on autovectorization, which
+// works for the polynomial Born kernel but leaves the E_pol kernel serialized
+// on scalar libm exp/sqrt calls. This layer adds hand-written AVX2/FMA
+// implementations (core/kernels_simd_avx2.cpp, compiled with -mavx2 -mfma in
+// its own translation unit) of the same four kernels:
+//
+//   born_near_r6 / born_near_r4   — signature of born_near_soa<6|4>
+//   epol_near_exact               — epol_near_soa<false>, with a vector
+//                                   Cephes-style exp and rsqrt+Newton
+//   epol_near_approx              — epol_near_soa<true>, bit-for-bit AVX2
+//                                   replication of fast_rsqrt/fast_exp
+//
+// Dispatch policy (resolved once, refreshable for tests):
+//   1. GBPOL_SIMD=off|0|scalar|soa in the environment forces the SoA path.
+//   2. Otherwise kAvx2 iff the AVX2 TU was compiled in (x86 toolchain +
+//      GBPOL_SIMD=ON at configure time) AND the CPU reports AVX2+FMA.
+//   3. Fallback is always the SoA path — correct on any hardware.
+//
+// Determinism contract: each dispatch path is deterministic on its own
+// (fixed lane widths, fixed horizontal-sum order), so the canonical
+// ascending-chunk fold keeps kStatic/kCostModel/kSteal bit-identical WITHIN a
+// path. Across paths (SoA vs AVX2) results differ only by FP reassociation
+// and the rsqrt/rcp-Newton vs div/sqrt rounding, pinned <= 1e-10 relative on
+// the golden molecules by tests/kernels_simd_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gbpol {
+
+enum class SimdDispatch : int { kSoA = 0, kAvx2 = 1 };
+
+// Function-pointer table so the solvers' inner loops pay one indirect call
+// per LEAF PAIR (hundreds of point pairs), not per point.
+struct SimdKernelTable {
+  using BornNearFn = void (*)(const double* qx, const double* qy, const double* qz,
+                              const double* wx, const double* wy, const double* wz,
+                              std::uint32_t q_begin, std::uint32_t q_end,
+                              const double* ax, const double* ay, const double* az,
+                              std::uint32_t a_begin, std::uint32_t a_end,
+                              double* atom_s);
+  using EpolNearFn = double (*)(const double* x, const double* y, const double* z,
+                                const double* charge, const double* born,
+                                std::uint32_t u_begin, std::uint32_t u_end,
+                                std::uint32_t v_begin, std::uint32_t v_end);
+
+  BornNearFn born_near_r6 = nullptr;
+  BornNearFn born_near_r4 = nullptr;
+  EpolNearFn epol_near_exact = nullptr;
+  EpolNearFn epol_near_approx = nullptr;
+};
+
+// True when the AVX2 translation unit was compiled into this binary.
+bool simd_kernels_compiled();
+// True when the running CPU reports AVX2 and FMA.
+bool simd_cpu_supported();
+
+// Resolved dispatch for this process (cached after the first call).
+SimdDispatch simd_dispatch();
+// Re-resolves from the environment + CPU; tests flip GBPOL_SIMD at runtime.
+void simd_dispatch_refresh();
+
+const char* simd_dispatch_name(SimdDispatch d);
+inline const char* simd_dispatch_name() { return simd_dispatch_name(simd_dispatch()); }
+
+// Kernel table for a dispatch value; nullptr for kSoA (callers fall back to
+// the approx_math SoA kernels) or when the AVX2 TU is unavailable.
+const SimdKernelTable* simd_kernel_table(SimdDispatch d);
+inline const SimdKernelTable* simd_kernel_table() {
+  return simd_kernel_table(simd_dispatch());
+}
+
+// Accuracy probes for the AVX2 exact-path primitives (rsqrt+Newton and the
+// vector exp), mirroring fast_rsqrt_max_rel_error / fast_exp_max_rel_error
+// in core/approx_math.hpp. Return a negative value when the AVX2 TU is not
+// compiled in or the CPU lacks AVX2.
+double simd_rsqrt_max_rel_error(double lo, double hi, int samples);
+double simd_exp_max_rel_error(double lo, double hi, int samples);
+
+// Throughput probes for the ablation bench: sum of 1/sqrt(x) (resp. exp(x))
+// over xs[0..n) using the AVX2 primitives. Return 0.0 when unavailable.
+double simd_rsqrt_sum(const double* xs, std::size_t n);
+double simd_exp_sum(const double* xs, std::size_t n);
+
+}  // namespace gbpol

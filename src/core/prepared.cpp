@@ -53,6 +53,10 @@ Prepared Prepared::build(const Molecule& mol, const surface::SurfaceQuadrature& 
     prep.weighted_normal[slot] = quad.normals[orig] * quad.weights[orig];
   }
 
+  prep.hot_arena = std::make_shared<PageArena>();
+  prep.atoms_soa = PointsSoA(prep.hot_arena);
+  prep.q_soa = PointsSoA(prep.hot_arena);
+  prep.q_wn_soa = PointsSoA(prep.hot_arena);
   prep.atoms_soa.assign(prep.atoms_tree.points());
   prep.q_soa.assign(prep.q_tree.points());
   prep.q_wn_soa.assign(prep.weighted_normal);

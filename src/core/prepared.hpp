@@ -34,11 +34,17 @@ struct Prepared {
 
   // SoA mirrors of the point payloads (atoms_tree / q_tree order). Morton
   // sorting makes every octree leaf a contiguous range of these arrays, so
-  // the batched near-field kernels (approx_math) stream them without
-  // gathering through Vec3.
+  // the batched near-field kernels (approx_math / kernels_simd) stream them
+  // without gathering through Vec3. All three stores share one page arena
+  // (hot_arena below): 64-byte-aligned, first-touch committed by the
+  // building thread, accounted by arena_mapped_bytes().
   PointsSoA atoms_soa;  // atom centers
   PointsSoA q_soa;      // quadrature points
   PointsSoA q_wn_soa;   // weighted normals w_q * n_q
+
+  // Owner of the SoA stores' slabs (shared with their allocators, so it may
+  // outlive this struct if a store is moved out).
+  std::shared_ptr<PageArena> hot_arena;
 
   // Per-q_tree-NODE aggregate sum of w*n — the tilde-n of Fig. 2, available
   // at every node so both the single-tree (leaf Q) and dual-tree (any Q)

@@ -1,0 +1,126 @@
+#include "support/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <new>
+
+#include "support/memtrack.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define GBPOL_ARENA_MMAP 1
+#else
+#define GBPOL_ARENA_MMAP 0
+#endif
+
+namespace gbpol {
+namespace {
+
+std::size_t page_size() {
+#if GBPOL_ARENA_MMAP
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+#else
+  return 4096;
+#endif
+}
+
+std::size_t round_up(std::size_t v, std::size_t to) { return (v + to - 1) / to * to; }
+
+std::byte* map_slab(std::size_t bytes) {
+#if GBPOL_ARENA_MMAP
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw std::bad_alloc();
+  return static_cast<std::byte*>(p);
+#else
+  return static_cast<std::byte*>(::operator new(bytes, std::align_val_t(4096)));
+#endif
+}
+
+void unmap_slab(std::byte* base, std::size_t bytes) {
+#if GBPOL_ARENA_MMAP
+  ::munmap(base, bytes);
+#else
+  ::operator delete(base, bytes, std::align_val_t(4096));
+#endif
+}
+
+}  // namespace
+
+PageArena::PageArena(std::size_t min_slab_bytes)
+    : min_slab_bytes_(round_up(min_slab_bytes > 0 ? min_slab_bytes : 1, page_size())) {}
+
+PageArena::~PageArena() {
+  for (const Slab& s : slabs_) unmap_slab(s.base, s.size);
+  detail::arena_account_mapped(-static_cast<std::ptrdiff_t>(mapped_));
+  detail::arena_account_used(-static_cast<std::ptrdiff_t>(used_));
+}
+
+PageArena::Slab& PageArena::grow(std::size_t at_least) {
+  const std::size_t size = round_up(std::max(at_least, min_slab_bytes_), page_size());
+  Slab slab;
+  slab.base = map_slab(size);
+  slab.size = size;
+  mapped_ += size;
+  detail::arena_account_mapped(static_cast<std::ptrdiff_t>(size));
+  slabs_.push_back(slab);
+  return slabs_.back();
+}
+
+void* PageArena::allocate(std::size_t bytes, std::size_t alignment) {
+  if (bytes == 0) bytes = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Only the active slab keeps an open cursor; a slab that cannot fit the
+  // request is abandoned for good (bounded waste: one alignment + one
+  // allocation per slab). After reset() the walk restarts at slab 0, so
+  // refills reuse already-mapped slabs before growing new ones.
+  while (active_ < slabs_.size()) {
+    Slab& s = slabs_[active_];
+    const std::size_t cursor =
+        round_up(reinterpret_cast<std::uintptr_t>(s.base) + s.used, alignment) -
+        reinterpret_cast<std::uintptr_t>(s.base);
+    if (cursor + bytes <= s.size) {
+      void* p = s.base + cursor;
+      detail::arena_account_used(static_cast<std::ptrdiff_t>(cursor + bytes - s.used));
+      used_ += cursor + bytes - s.used;
+      s.used = cursor + bytes;
+      return p;
+    }
+    ++active_;
+  }
+  // mmap returns page-aligned memory, so a fresh slab satisfies any sane
+  // alignment from offset 0.
+  Slab& s = grow(bytes);
+  active_ = slabs_.size() - 1;
+  s.used = bytes;
+  used_ += bytes;
+  detail::arena_account_used(static_cast<std::ptrdiff_t>(bytes));
+  return s.base;
+}
+
+void PageArena::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slab& s : slabs_) s.used = 0;
+  detail::arena_account_used(-static_cast<std::ptrdiff_t>(used_));
+  used_ = 0;
+  active_ = 0;
+}
+
+std::size_t PageArena::mapped_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mapped_;
+}
+
+std::size_t PageArena::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+std::size_t PageArena::slab_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slabs_.size();
+}
+
+}  // namespace gbpol

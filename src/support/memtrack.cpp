@@ -1,10 +1,34 @@
 #include "support/memtrack.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 #include <unistd.h>
 
 namespace gbpol {
+namespace {
+std::atomic<std::ptrdiff_t> g_arena_mapped{0};
+std::atomic<std::ptrdiff_t> g_arena_used{0};
+}  // namespace
+
+std::size_t arena_mapped_bytes() {
+  const std::ptrdiff_t v = g_arena_mapped.load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+std::size_t arena_used_bytes() {
+  const std::ptrdiff_t v = g_arena_used.load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+namespace detail {
+void arena_account_mapped(std::ptrdiff_t delta) {
+  g_arena_mapped.fetch_add(delta, std::memory_order_relaxed);
+}
+void arena_account_used(std::ptrdiff_t delta) {
+  g_arena_used.fetch_add(delta, std::memory_order_relaxed);
+}
+}  // namespace detail
 
 std::size_t process_rss_bytes() {
   std::FILE* f = std::fopen("/proc/self/statm", "r");

@@ -27,4 +27,17 @@ struct MemoryFootprint {
 // Only used as a sanity cross-check next to logical footprints.
 std::size_t process_rss_bytes();
 
+// Process-wide accounting of the page arenas (support/arena.hpp): address
+// space currently mapped by live PageArena slabs, and bytes handed out of
+// them since their last reset. Lets footprint reports separate the
+// arena-backed hot arrays from general heap.
+std::size_t arena_mapped_bytes();
+std::size_t arena_used_bytes();
+
+namespace detail {
+// Called by PageArena only; deltas may be negative (unmap / reset / dtor).
+void arena_account_mapped(std::ptrdiff_t delta);
+void arena_account_used(std::ptrdiff_t delta);
+}  // namespace detail
+
 }  // namespace gbpol

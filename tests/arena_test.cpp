@@ -1,0 +1,124 @@
+// PageArena / ArenaAllocator coverage: alignment guarantees, slab growth,
+// reuse across reset() without remapping, memtrack accounting, and container
+// adapter behaviour (the properties the hot arrays in Prepared /
+// InteractionLists / the driver partials rely on).
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "support/arena.hpp"
+#include "support/memtrack.hpp"
+
+namespace gbpol {
+namespace {
+
+bool aligned_to(const void* p, std::size_t a) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (a - 1)) == 0;
+}
+
+TEST(PageArena, AllocationsAreAlignedAndDisjoint) {
+  PageArena arena;
+  void* a = arena.allocate(100, 64);
+  void* b = arena.allocate(1, 64);
+  void* c = arena.allocate(4096, 256);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(aligned_to(a, 64));
+  EXPECT_TRUE(aligned_to(b, 64));
+  EXPECT_TRUE(aligned_to(c, 256));
+  // Disjoint and writable end to end (first touch commits the pages).
+  std::memset(a, 0xa1, 100);
+  std::memset(b, 0xb2, 1);
+  std::memset(c, 0xc3, 4096);
+  EXPECT_EQ(*static_cast<unsigned char*>(a), 0xa1);
+  EXPECT_EQ(*static_cast<unsigned char*>(b), 0xb2);
+  EXPECT_EQ(*static_cast<unsigned char*>(c), 0xc3);
+  EXPECT_GE(arena.used_bytes(), 100u + 1u + 4096u);
+  EXPECT_GE(arena.mapped_bytes(), arena.used_bytes());
+}
+
+TEST(PageArena, OversizedAllocationGrowsDedicatedSlab) {
+  PageArena arena(/*min_slab_bytes=*/1 << 16);  // 64 KiB slabs
+  const std::size_t big = (std::size_t(1) << 20) + 123;  // > min slab
+  auto* p = static_cast<unsigned char*>(arena.allocate(big, 64));
+  ASSERT_NE(p, nullptr);
+  p[0] = 1;
+  p[big - 1] = 2;  // whole range must be mapped
+  EXPECT_EQ(p[0], 1);
+  EXPECT_EQ(p[big - 1], 2);
+  EXPECT_GE(arena.mapped_bytes(), big);
+}
+
+TEST(PageArena, ResetRewindsWithoutUnmapping) {
+  PageArena arena(/*min_slab_bytes=*/1 << 16);
+  for (int i = 0; i < 8; ++i) arena.allocate(1 << 15, 64);
+  const std::size_t mapped = arena.mapped_bytes();
+  const std::size_t slabs = arena.slab_count();
+  EXPECT_GT(arena.used_bytes(), 0u);
+
+  arena.reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_EQ(arena.mapped_bytes(), mapped) << "reset must keep slabs mapped";
+  EXPECT_EQ(arena.slab_count(), slabs);
+
+  // Refilling within the existing capacity maps nothing new.
+  for (int i = 0; i < 8; ++i) arena.allocate(1 << 15, 64);
+  EXPECT_EQ(arena.mapped_bytes(), mapped);
+  EXPECT_EQ(arena.slab_count(), slabs);
+}
+
+TEST(PageArena, MemtrackAccountsMapAndUnmap) {
+  const std::size_t mapped_before = arena_mapped_bytes();
+  const std::size_t used_before = arena_used_bytes();
+  {
+    PageArena arena;
+    arena.allocate(1 << 12, 64);
+    EXPECT_GE(arena_mapped_bytes(), mapped_before + arena.mapped_bytes());
+    EXPECT_GE(arena_used_bytes(), used_before + arena.used_bytes());
+  }
+  // Destructor unmaps everything it mapped.
+  EXPECT_EQ(arena_mapped_bytes(), mapped_before);
+  EXPECT_EQ(arena_used_bytes(), used_before);
+}
+
+TEST(ArenaVector, PushCopyMovePreserveValuesAndArena) {
+  auto arena = std::make_shared<PageArena>();
+  ArenaVector<double> v{ArenaAllocator<double>(arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(0.5 * i);
+  EXPECT_TRUE(aligned_to(v.data(), 64));
+
+  ArenaVector<double> copy = v;  // POCCA: copy carries the arena
+  ASSERT_EQ(copy.size(), v.size());
+  EXPECT_EQ(copy.get_allocator(), v.get_allocator());
+  for (std::size_t i = 0; i < copy.size(); ++i) EXPECT_EQ(copy[i], 0.5 * i);
+
+  const double* data = v.data();
+  ArenaVector<double> moved = std::move(v);  // move steals the buffer
+  EXPECT_EQ(moved.data(), data);
+  EXPECT_EQ(moved[999], 0.5 * 999);
+
+  // Interop: assigning from a plain std::vector range works (the driver
+  // restores checkpointed partials this way).
+  std::vector<double> plain{1.0, 2.0, 3.0};
+  ArenaVector<double> restored{ArenaAllocator<double>(arena)};
+  restored.assign(plain.begin(), plain.end());
+  EXPECT_EQ(restored.size(), 3u);
+  EXPECT_EQ(restored[2], 3.0);
+}
+
+TEST(ArenaVector, DefaultConstructedOwnsPrivateArena) {
+  ArenaVector<int> a;
+  ArenaVector<int> b;
+  a.push_back(1);
+  b.push_back(2);
+  EXPECT_FALSE(a.get_allocator() == b.get_allocator());
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b[0], 2);
+}
+
+}  // namespace
+}  // namespace gbpol

@@ -1,0 +1,187 @@
+// SIMD dispatch layer checks:
+//  * the GBPOL_SIMD env override forces the SoA fallback at runtime,
+//  * the AVX2 primitive probes meet their accuracy budgets,
+//  * full-pipeline dispatch equivalence — the same molecules through the
+//    dispatched SIMD path and the forced-SoA path agree to 1e-10 (exact
+//    kernels) resp. 1e-8 (approx-math kernels, where fast_exp's truncation
+//    boundary can flip a lane between the scalar and vector constructions),
+//  * tile-size invariance — the L2 tile index only partitions the canonical
+//    entry order, so any tile budget yields bit-identical energies within a
+//    dispatch path.
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/born_octree.hpp"
+#include "core/engine.hpp"
+#include "core/epol_octree.hpp"
+#include "core/interaction_lists.hpp"
+#include "core/kernels_simd.hpp"
+#include "molecule/generate.hpp"
+#include "surface/quadrature.hpp"
+
+namespace gbpol {
+namespace {
+
+// Forces the SoA dispatch path for the enclosing scope, restoring the
+// ambient dispatch on exit. The dispatch cache is process-wide, so tests
+// using this must not run concurrently with others in this binary (gtest
+// runs tests sequentially by default).
+class ScopedSimdOff {
+ public:
+  ScopedSimdOff() {
+    setenv("GBPOL_SIMD", "off", /*overwrite=*/1);
+    simd_dispatch_refresh();
+  }
+  ~ScopedSimdOff() {
+    unsetenv("GBPOL_SIMD");
+    simd_dispatch_refresh();
+  }
+};
+
+double rel_err(double got, double want) {
+  return std::abs(got - want) / std::max(1.0, std::abs(want));
+}
+
+TEST(SimdDispatch, EnvOverrideForcesSoA) {
+  ScopedSimdOff off;
+  EXPECT_EQ(simd_dispatch(), SimdDispatch::kSoA);
+  EXPECT_EQ(simd_kernel_table(), nullptr);
+  EXPECT_STREQ(simd_dispatch_name(), "soa");
+}
+
+TEST(SimdDispatch, ResolvesAvx2OnlyWhenCompiledAndSupported) {
+  simd_dispatch_refresh();
+  if (simd_dispatch() == SimdDispatch::kAvx2) {
+    EXPECT_TRUE(simd_kernels_compiled());
+    EXPECT_TRUE(simd_cpu_supported());
+    EXPECT_NE(simd_kernel_table(), nullptr);
+  } else {
+    EXPECT_EQ(simd_kernel_table(), nullptr);
+  }
+}
+
+TEST(SimdDispatch, ProbeAccuracyMeetsBudget) {
+  const double rsqrt_err = simd_rsqrt_max_rel_error(1e-2, 1e4, 4001);
+  const double exp_err = simd_exp_max_rel_error(-40.0, 0.0, 4001);
+  if (rsqrt_err < 0.0) GTEST_SKIP() << "AVX2 kernels unavailable on this host";
+  // rsqrt: vrsqrtps + 2 Newton converges to ~3e-14; exp: Cephes rational is
+  // good to a few ulp. Both budgets sit well under the 1e-10 drift contract.
+  EXPECT_LT(rsqrt_err, 1e-13);
+  EXPECT_LT(exp_err, 1e-12);
+}
+
+struct PipelineResult {
+  double energy = 0.0;
+  std::vector<double> born;
+};
+
+PipelineResult run_pipeline(const Prepared& prep, bool approx_math) {
+  ApproxParams params;
+  params.approx_math = approx_math;
+  const Engine engine(prep, params, GBConstants{});
+  const RunResult r = engine.run(serial_options(TraversalMode::kList));
+  return {r.energy, r.born_sorted};
+}
+
+class SimdEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Molecule mol = molgen::synthetic_protein(900, 31);
+    const auto quad = surface::molecular_surface_quadrature(
+        mol, {.grid_spacing = 1.5, .dunavant_degree = 2, .kappa = 2.3});
+    prep_ = new Prepared(Prepared::build(mol, quad, 16));
+  }
+  static void TearDownTestSuite() {
+    delete prep_;
+    prep_ = nullptr;
+  }
+  static const Prepared* prep_;
+};
+
+const Prepared* SimdEquivalenceTest::prep_ = nullptr;
+
+TEST_F(SimdEquivalenceTest, ExactPathMatchesSoAWithin1e10) {
+  simd_dispatch_refresh();
+  if (simd_kernel_table() == nullptr)
+    GTEST_SKIP() << "SIMD dispatch inactive on this host";
+  const PipelineResult simd = run_pipeline(*prep_, /*approx_math=*/false);
+  PipelineResult soa;
+  {
+    ScopedSimdOff off;
+    soa = run_pipeline(*prep_, /*approx_math=*/false);
+  }
+  EXPECT_LE(rel_err(simd.energy, soa.energy), 1e-10);
+  ASSERT_EQ(simd.born.size(), soa.born.size());
+  for (std::size_t i = 0; i < simd.born.size(); ++i)
+    ASSERT_LE(rel_err(simd.born[i], soa.born[i]), 1e-10) << "born[" << i << "]";
+}
+
+TEST_F(SimdEquivalenceTest, ApproxPathMatchesSoAWithin1e8) {
+  simd_dispatch_refresh();
+  if (simd_kernel_table() == nullptr)
+    GTEST_SKIP() << "SIMD dispatch inactive on this host";
+  const PipelineResult simd = run_pipeline(*prep_, /*approx_math=*/true);
+  PipelineResult soa;
+  {
+    ScopedSimdOff off;
+    soa = run_pipeline(*prep_, /*approx_math=*/true);
+  }
+  // fast_exp truncates kScale*x + kBias to an integer; the scalar and vector
+  // constructions can land on opposite sides of a truncation boundary, so
+  // the approx path gets a looser (but still tight) budget.
+  EXPECT_LE(rel_err(simd.energy, soa.energy), 1e-8);
+  ASSERT_EQ(simd.born.size(), soa.born.size());
+  for (std::size_t i = 0; i < simd.born.size(); ++i)
+    ASSERT_LE(rel_err(simd.born[i], soa.born[i]), 1e-8) << "born[" << i << "]";
+}
+
+// Rebuilding the tile index with a pathologically small budget must not
+// change a single bit of the result: tiles only partition the canonical
+// ascending entry order that the folds already follow.
+TEST_F(SimdEquivalenceTest, TileSizeInvarianceIsBitExact) {
+  const Prepared& prep = *prep_;
+  ApproxParams params;
+  const BornSolver born_solver(prep, params);
+  const auto n_qleaves = static_cast<std::uint32_t>(prep.q_tree.leaves().size());
+  InteractionLists blists = born_solver.build_lists(0, n_qleaves);
+  BornAccumulator acc = born_solver.make_accumulator();
+  born_solver.accumulate_lists(blists, acc);
+  std::vector<double> born(prep.num_atoms());
+  born_solver.push_to_atoms(acc, 0, static_cast<std::uint32_t>(prep.num_atoms()), born);
+
+  const EpolSolver epol_solver(prep, born, params, GBConstants{});
+  const auto n_aleaves = static_cast<std::uint32_t>(prep.atoms_tree.leaves().size());
+  InteractionLists elists = epol_solver.build_lists(0, n_aleaves);
+  const double e_default = epol_solver.energy_from_lists(elists);
+  const std::size_t default_tiles = elists.near_tile_start.size();
+
+  // Tiny budget: one entry per tile at the extreme.
+  const InteractionLists::TileCost cost{40, 40, 200};
+  elists.build_tiles(prep.atoms_tree, prep.atoms_tree, cost, /*budget=*/1);
+  EXPECT_GT(elists.near_tile_start.size(), default_tiles);
+  EXPECT_EQ(epol_solver.energy_from_lists(elists), e_default);
+
+  // Huge budget: a single tile.
+  elists.build_tiles(prep.atoms_tree, prep.atoms_tree, cost,
+                     /*budget=*/std::size_t(1) << 40);
+  EXPECT_EQ(elists.near_tile_start.size(), 2u);  // {0, near.size()}
+  EXPECT_EQ(epol_solver.energy_from_lists(elists), e_default);
+
+  // Same invariance for the Born accumulation.
+  BornAccumulator acc_default = born_solver.make_accumulator();
+  born_solver.accumulate_lists(blists, acc_default);
+  blists.build_tiles(prep.atoms_tree, prep.q_tree, cost, /*budget=*/1);
+  BornAccumulator acc_tiny = born_solver.make_accumulator();
+  born_solver.accumulate_lists(blists, acc_tiny);
+  const auto flat_default = acc_default.flat();
+  const auto flat_tiny = acc_tiny.flat();
+  ASSERT_EQ(flat_default.size(), flat_tiny.size());
+  for (std::size_t i = 0; i < flat_default.size(); ++i)
+    ASSERT_EQ(flat_default[i], flat_tiny[i]) << "accumulator slot " << i;
+}
+
+}  // namespace
+}  // namespace gbpol
