@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Local CI gate: build every sanitizer preset and run the fast test labels
-# (unit, property, checkpoint, balance, trace) under each, plus repo-wide
+# (unit, property, checkpoint, balance, owned, trace) under each, plus repo-wide
 # gates: no in-tree caller may use the deprecated run_oct_* free functions
 # (everything goes through Engine/RunOptions), the balance_stress bench must
 # hold its >= 1.3x steal-vs-static makespan target, the micro_kernels bench
@@ -55,14 +55,21 @@ for preset in "${PRESETS[@]}"; do
   echo "=== ${preset}: configure + build ==="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${JOBS}"
-  echo "=== ${preset}: ctest (unit|property|checkpoint|balance|trace) ==="
-  ctest --preset "${preset}" -L 'unit|property|checkpoint|balance|trace' -j "${JOBS}"
+  echo "=== ${preset}: ctest (unit|property|checkpoint|balance|owned|trace) ==="
+  ctest --preset "${preset}" -L 'unit|property|checkpoint|balance|owned|trace' -j "${JOBS}"
 done
 
 echo "=== balance_stress: skew-bench smoke run (release build) ==="
 # Runs the 8-rank balance A/B; the binary itself fails unless the three
 # policies agree to the bit AND kSteal beats kStatic by >= 1.3x makespan.
 (cd build/bench && ./balance_stress)
+
+echo "=== fig_memory_scaling: owned-mode footprint self-gate (release build) ==="
+# Owned-vs-replicated per-rank footprint at P = 1..8 on a >= 50k-point
+# molecule; writes bench_out/memory_scaling.json and exits non-zero unless
+# every point matches the replicated canonical energy to the bit AND the
+# 8-rank ratio holds the <= 0.35x acceptance target.
+(cd build/bench && ./fig_memory_scaling)
 
 echo "=== micro_kernels: SIMD-vs-SoA self-gate (release build) ==="
 # --benchmark_filter matching nothing skips the google-benchmark timings;
@@ -83,7 +90,7 @@ echo "=== scalar: forced-SoA fallback build + tests ==="
 # passes the same tier-1 labels as the dispatched build.
 cmake --preset scalar
 cmake --build --preset scalar -j "${JOBS}"
-ctest --preset scalar -L 'unit|property|checkpoint|balance|trace' -j "${JOBS}"
+ctest --preset scalar -L 'unit|property|checkpoint|balance|owned|trace' -j "${JOBS}"
 
 if [[ ${RUN_SOAK} -eq 1 ]]; then
   echo "=== soak: configure + build ==="
@@ -97,8 +104,8 @@ if [[ ${RUN_COVERAGE} -eq 1 ]]; then
   echo "=== coverage: configure + build (instrumented) ==="
   cmake --preset coverage
   cmake --build --preset coverage -j "${JOBS}"
-  echo "=== coverage: ctest (unit|property|checkpoint|balance|trace) ==="
-  ctest --preset coverage -L 'unit|property|checkpoint|balance|trace' -j "${JOBS}"
+  echo "=== coverage: ctest (unit|property|checkpoint|balance|owned|trace) ==="
+  ctest --preset coverage -L 'unit|property|checkpoint|balance|owned|trace' -j "${JOBS}"
   echo "=== coverage: src/obs line-coverage gate (>= 85%) ==="
   scripts/coverage.sh build-coverage 85
 fi

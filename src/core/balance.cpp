@@ -133,6 +133,22 @@ BalanceAssignment plan_balance(std::span<const double> chunk_costs, int ranks,
   return out;
 }
 
+std::vector<std::vector<StealEvent>> steals_by_thief(const BalanceAssignment& plan,
+                                                     int ranks) {
+  std::vector<std::vector<StealEvent>> by(static_cast<std::size_t>(std::max(1, ranks)));
+  for (const StealEvent& ev : plan.steals)
+    by[static_cast<std::size_t>(ev.thief)].push_back(ev);
+  return by;
+}
+
+std::vector<int> executor_of(const BalanceAssignment& plan, std::uint32_t n_chunks) {
+  std::vector<int> executor(n_chunks, 0);
+  for (int r = 0; r < plan.ranks(); ++r)
+    for (const std::uint32_t c : plan.order[static_cast<std::size_t>(r)])
+      executor[c] = r;
+  return executor;
+}
+
 std::vector<std::uint32_t> ChunkLedger::pending() const {
   std::vector<std::uint32_t> out;
   for (std::uint32_t c = 0; c < size(); ++c)

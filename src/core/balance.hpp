@@ -78,6 +78,20 @@ struct BalanceAssignment {
 BalanceAssignment plan_balance(std::span<const double> chunk_costs, int ranks,
                                BalancePolicy policy);
 
+// Planned steals regrouped per thief, in planning order — the order a thief
+// fires its steal_rpc calls at runtime (shared by the balanced and owned
+// drivers so their message schedules agree).
+std::vector<std::vector<StealEvent>> steals_by_thief(const BalanceAssignment& plan,
+                                                     int ranks);
+
+// Planned executor per chunk (the rank whose order holds it, post-steal).
+// Death recovery stripes over the chunks whose executor is dead — a list
+// derived only from the plan and the collectively-agreed dead set, so every
+// survivor stripes the SAME list. (The ledger alone cannot serve: survivors
+// recover concurrently, so a ledger snapshot taken mid-recovery differs
+// between ranks and a shifted stripe can orphan chunks.)
+std::vector<int> executor_of(const BalanceAssignment& plan, std::uint32_t n_chunks);
+
 // Shared completion ledger for one phase of the balanced path. Each chunk is
 // computed by exactly one live rank (the planned owner, or a recovery rank
 // after a death); mark_done's release store pairs with done's acquire load,

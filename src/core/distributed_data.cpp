@@ -13,28 +13,7 @@ namespace gbpol {
 namespace {
 
 // Binning identical to EpolSolver's (verified by the cross-driver energy
-// equality test): geometric bins of width (1+eps) starting at r_min.
-struct BinModel {
-  double r_min = 1.0;
-  double log1p_eps = 1.0;
-  int m_bins = 1;
-  std::vector<double> rr_table;  // r_min^2 (1+eps)^(i+j)
-
-  BinModel(double rmin, double rmax, double eps) {
-    r_min = rmin;
-    log1p_eps = std::log1p(eps);
-    m_bins = std::max(1, 1 + static_cast<int>(std::floor(std::log(rmax / rmin) /
-                                                         log1p_eps)));
-    rr_table.resize(static_cast<std::size_t>(2 * m_bins - 1));
-    for (std::size_t k = 0; k < rr_table.size(); ++k)
-      rr_table[k] = rmin * rmin * std::exp(static_cast<double>(k) * log1p_eps);
-  }
-
-  int bin_of(double r) const {
-    const int k = static_cast<int>(std::floor(std::log(r / r_min) / log1p_eps));
-    return std::clamp(k, 0, m_bins - 1);
-  }
-};
+// equality test): the shared EpolFarField model from core/epol_octree.hpp.
 
 struct LeafOwnership {
   Segment leaf_seg;                 // owned leaf ordinals
@@ -68,7 +47,7 @@ void collect_near_leaves(const Octree& tree, double far_mult, std::uint32_t u_no
                         v, out);
 }
 
-double epol_recurse(const Octree& tree, const BinModel& bins,
+double epol_recurse(const Octree& tree, const EpolFarField& bins,
                     std::span<const double> node_bins, std::span<const double> charge,
                     std::span<const double> born, double far_mult,
                     std::uint32_t u_node, std::uint32_t v_leaf) {
@@ -160,7 +139,8 @@ DataDistResult run_oct_data_distributed(const Prepared& prep, const ApproxParams
     }
     comm.allreduce_min(rmin);
     comm.allreduce_max(rmax);
-    const BinModel bins(rmin[0], std::max(rmax[0], rmin[0]), params.eps_epol);
+    const EpolFarField bins = EpolFarField::make(
+        rmin[0], std::max(rmax[0], rmin[0]), params.eps_epol);
 
     // ---- 3. Node bins: own contributions, then one small allreduce.
     std::vector<double> node_bins(n_nodes * static_cast<std::size_t>(bins.m_bins), 0.0);

@@ -88,6 +88,16 @@ RunResult Engine::run(const RunOptions& options) const {
       break;
   }
 
+  // Owned-mode data distribution rides the canonical chunk-fold machinery
+  // and is only defined for its bit-deterministic configuration; any other
+  // shape falls back to the replicated routing below (documented on
+  // RunOptions::distribution).
+  if (options.distribution == DataDistribution::kOwned &&
+      options.threads_per_rank <= 1 &&
+      options.division == WorkDivision::kNodeNode &&
+      options.traversal == TraversalMode::kList)
+    return detail::oct_owned(*prep_, params, constants_, options);
+
   // Distributed: the canonical chunk-fold path owns every policy except
   // plain kStatic (which keeps the legacy reduction for baseline parity),
   // and only supports the bit-deterministic configuration it is defined for.
@@ -128,6 +138,8 @@ RunResultDoc doc_from_result(const RunResult& result, const std::string& label) 
   doc.redistributed_work_items = result.redistributed_work_items;
   doc.migrated_chunks = result.migrated_chunks;
   doc.steal_grants = result.steal_grants;
+  doc.owned_bytes_per_rank = static_cast<std::uint64_t>(result.owned_bytes_per_rank);
+  doc.owned_halo_bytes = static_cast<std::uint64_t>(result.owned_halo_bytes);
   doc.degraded = result.degraded;
   doc.killed = result.killed;
   doc.resumed = result.resumed;
@@ -232,6 +244,8 @@ obs::json::Value run_result_doc_to_json(const RunResultDoc& doc) {
   root.emplace_back("redistributed_work_items", Value(doc.redistributed_work_items));
   root.emplace_back("migrated_chunks", Value(doc.migrated_chunks));
   root.emplace_back("steal_grants", Value(doc.steal_grants));
+  root.emplace_back("owned_bytes_per_rank", Value(doc.owned_bytes_per_rank));
+  root.emplace_back("owned_halo_bytes", Value(doc.owned_halo_bytes));
   root.emplace_back("degraded", Value(doc.degraded));
   root.emplace_back("killed", Value(doc.killed));
   root.emplace_back("resumed", Value(doc.resumed));
@@ -297,6 +311,16 @@ RunResultParse run_result_from_json(const obs::json::Value& root) {
       !read_bool(root, "killed", doc.killed, err) ||
       !read_bool(root, "resumed", doc.resumed, err) ||
       !read_int(root, "stalls_converted", doc.stalls_converted, err))
+    return out;
+
+  // Pure v1 additions (owned mode): optional, so pre-owned-mode documents
+  // parse as zero rather than rejecting (same policy as migrated_chunks in
+  // metrics.json).
+  if (root.find("owned_bytes_per_rank") != nullptr &&
+      !read_u64(root, "owned_bytes_per_rank", doc.owned_bytes_per_rank, err))
+    return out;
+  if (root.find("owned_halo_bytes") != nullptr &&
+      !read_u64(root, "owned_halo_bytes", doc.owned_halo_bytes, err))
     return out;
 
   const obs::json::Value* born = root.find("born");

@@ -75,6 +75,13 @@ struct RunOptions {
   bool canonical_reduction = false;
   std::uint32_t balance_chunk_leaves = 0;  // leaves per chunk; 0 = auto
 
+  // Data residency (core/workdiv.hpp). kOwned routes distributed runs
+  // through the owned-mode driver: ranks own Morton-contiguous leaf ranges
+  // and exchange halos instead of holding the full molecule. Requires the
+  // canonical-fold configuration (threads_per_rank == 1, kNodeNode,
+  // TraversalMode::kList); other shapes fall back to the replicated paths.
+  DataDistribution distribution = DataDistribution::kReplicated;
+
   // Fault injection, process kill, stall supervision (mpisim).
   mpisim::FaultPlan faults;
   mpisim::KillPlan kill;
@@ -133,6 +140,12 @@ struct RunResult {
   std::uint64_t steals = 0;           // intra-rank work-stealing events
   std::uint64_t tasks = 0;
   std::size_t replicated_bytes = 0;   // modeled memory across all ranks
+
+  // Owned-mode memory accounting (DataDistribution::kOwned runs only): the
+  // largest per-rank hot-array footprint under the ownership map + halo
+  // plan, and the total halo bytes across ranks (core/halo_exchange.hpp).
+  std::size_t owned_bytes_per_rank = 0;
+  std::size_t owned_halo_bytes = 0;
 
   std::uint64_t retries = 0;
   std::uint64_t redistributed_work_items = 0;
@@ -202,6 +215,10 @@ struct RunResultDoc {
   std::uint64_t redistributed_work_items = 0;
   std::uint64_t migrated_chunks = 0;
   std::uint64_t steal_grants = 0;
+  // Pure v1 additions (owned mode): absent in documents written before the
+  // owned driver existed, so they parse as zero rather than rejecting.
+  std::uint64_t owned_bytes_per_rank = 0;
+  std::uint64_t owned_halo_bytes = 0;
   bool degraded = false;
   bool killed = false;
   bool resumed = false;
@@ -242,6 +259,14 @@ RunResult oct_distributed(const Prepared& prep, const ApproxParams& params,
 // balancing"); requires threads_per_rank == 1 and division == kNodeNode.
 RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
                        const GBConstants& constants, const RunOptions& options);
+// Owned-mode spatial domain decomposition (DataDistribution::kOwned): ranks
+// own Morton-contiguous leaf ranges and exchange halos per their interaction
+// lists (DESIGN.md "Domain decomposition & halo exchange"); same canonical
+// chunk-fold and recovery protocols as oct_balanced, so energies and Born
+// radii are bit-identical to the replicated drivers. Requires
+// threads_per_rank == 1, WorkDivision::kNodeNode, TraversalMode::kList.
+RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
+                    const GBConstants& constants, const RunOptions& options);
 }  // namespace detail
 
 }  // namespace gbpol

@@ -14,6 +14,53 @@ constexpr std::size_t kEpolNearBytesPerPoint = 5 * sizeof(double);
 
 }  // namespace
 
+EpolFarField EpolFarField::make(double r_min, double r_max, double eps_epol) {
+  EpolFarField field;
+  field.r_min = r_min;
+  field.r_max = r_max;
+  field.log_one_plus_eps = std::log1p(eps_epol);
+  field.m_bins = 1 + static_cast<int>(std::floor(std::log(r_max / r_min) /
+                                                 field.log_one_plus_eps));
+  field.m_bins = std::max(1, field.m_bins);
+  // Bin-floor Born-radius products for every bin-index sum.
+  field.rr_table.resize(static_cast<std::size_t>(2 * field.m_bins - 1));
+  for (std::size_t k = 0; k < field.rr_table.size(); ++k)
+    field.rr_table[k] = r_min * r_min *
+                        std::exp(static_cast<double>(k) * field.log_one_plus_eps);
+  return field;
+}
+
+void EpolSolver::adopt_far_field(const EpolFarField& field) {
+  r_min_ = field.r_min;
+  r_max_ = field.r_max;
+  log_one_plus_eps_ = field.log_one_plus_eps;
+  m_bins_ = field.m_bins;
+  rr_table_ = field.rr_table;
+}
+
+void EpolSolver::leaf_bins(const Prepared& prep, std::span<const double> born,
+                           const EpolFarField& field, std::uint32_t begin,
+                           std::uint32_t end, double* bins) {
+  for (std::uint32_t ai = begin; ai < end; ++ai)
+    bins[field.bin_of(born[ai])] += prep.charge[ai];
+}
+
+void EpolSolver::fold_internal_bins(const Octree& tree, int m_bins,
+                                    std::span<double> node_bins) {
+  const auto nodes = tree.nodes();
+  for (std::size_t id = nodes.size(); id-- > 0;) {
+    const OctreeNode& node = nodes[id];
+    if (node.is_leaf()) continue;
+    double* bins = node_bins.data() + id * static_cast<std::size_t>(m_bins);
+    for (std::uint8_t c = 0; c < node.child_count; ++c) {
+      const double* child =
+          node_bins.data() + (static_cast<std::size_t>(node.first_child) + c) *
+                                 static_cast<std::size_t>(m_bins);
+      for (int k = 0; k < m_bins; ++k) bins[k] += child[k];
+    }
+  }
+}
+
 EpolSolver::EpolSolver(const Prepared& prep, std::span<const double> born_sorted,
                        const ApproxParams& params, const GBConstants& constants)
     : prep_(&prep),
@@ -22,40 +69,43 @@ EpolSolver::EpolSolver(const Prepared& prep, std::span<const double> born_sorted
       scale_(-0.5 * constants.tau() * constants.coulomb_kcal),
       approx_math_(params.approx_math) {
   const auto [min_it, max_it] = std::minmax_element(born_.begin(), born_.end());
-  r_min_ = born_.empty() ? 1.0 : *min_it;
-  r_max_ = born_.empty() ? 1.0 : *max_it;
-  log_one_plus_eps_ = std::log1p(params.eps_epol);
-
-  // M_eps = floor(log_{1+eps}(R_max/R_min)) + 1 geometric bins cover
-  // [R_min, R_max] with R_max landing in the last bin.
-  m_bins_ = 1 + static_cast<int>(std::floor(std::log(r_max_ / r_min_) /
-                                            log_one_plus_eps_));
-  m_bins_ = std::max(1, m_bins_);
-
-  // Bin-floor Born-radius products for every bin-index sum.
-  rr_table_.resize(static_cast<std::size_t>(2 * m_bins_ - 1));
-  for (std::size_t k = 0; k < rr_table_.size(); ++k)
-    rr_table_[k] = r_min_ * r_min_ *
-                   std::exp(static_cast<double>(k) * log_one_plus_eps_);
+  const EpolFarField field =
+      EpolFarField::make(born_.empty() ? 1.0 : *min_it,
+                         born_.empty() ? 1.0 : *max_it, params.eps_epol);
+  adopt_far_field(field);
 
   // Per-node binned charges, bottom-up (children follow parents in the BFS
   // layout, so a reverse sweep folds children before parents read them).
+  // Leaf rows come from the shared leaf_bins loop and internal rows from the
+  // shared fold, so owned-mode ranks that gather every leaf row and fold
+  // locally land on the identical table.
   const auto nodes = prep_->atoms_tree.nodes();
   node_bins_.assign(nodes.size() * static_cast<std::size_t>(m_bins_), 0.0);
-  for (std::size_t id = nodes.size(); id-- > 0;) {
-    double* bins = node_bins_.data() + id * static_cast<std::size_t>(m_bins_);
-    const OctreeNode& node = nodes[id];
-    if (node.is_leaf()) {
-      for (std::uint32_t ai = node.begin; ai < node.end; ++ai)
-        bins[bin_of(born_[ai])] += prep_->charge[ai];
-    } else {
-      for (std::uint8_t c = 0; c < node.child_count; ++c) {
-        const double* child =
-            node_bins(static_cast<std::uint32_t>(node.first_child) + c);
-        for (int k = 0; k < m_bins_; ++k) bins[k] += child[k];
-      }
-    }
+  for (const std::uint32_t leaf_id : prep_->atoms_tree.leaves()) {
+    const OctreeNode& node = nodes[leaf_id];
+    leaf_bins(*prep_, born_, field, node.begin, node.end,
+              node_bins_.data() +
+                  static_cast<std::size_t>(leaf_id) * static_cast<std::size_t>(m_bins_));
   }
+  fold_internal_bins(prep_->atoms_tree, m_bins_, node_bins_);
+  node_bins_view_ = node_bins_;
+}
+
+EpolSolver::EpolSolver(const Prepared& prep, std::span<const double> born_sorted,
+                       const ApproxParams& params, const GBConstants& constants,
+                       const EpolFarField& field,
+                       std::span<const double> node_bins_ext)
+    : prep_(&prep),
+      born_(born_sorted),
+      far_multiplier_(params.epol_far_multiplier()),
+      scale_(-0.5 * constants.tau() * constants.coulomb_kcal),
+      approx_math_(params.approx_math) {
+  adopt_far_field(field);
+  node_bins_view_ = node_bins_ext;
+}
+
+double EpolSolver::finish_energy_pair(double raw_far, double raw_near) const {
+  return finish_energy(raw_far) + finish_energy(raw_near);
 }
 
 int EpolSolver::bin_of(double born_radius) const {

@@ -21,6 +21,8 @@
 //  * energy_dual_tree: the prior-work dual-tree recursion (OCT_CILK).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -30,11 +32,63 @@
 
 namespace gbpol {
 
+// The far-field bin model every E_pol far evaluation keys on: geometric
+// Born-radius bins of width (1+eps) starting at r_min, plus the bin-floor
+// radius-product table. Factored out of EpolSolver so the owned-mode driver
+// (core/halo_exchange.hpp) and the distributed-data footprint model build
+// the IDENTICAL model from collectively-agreed (r_min, r_max) — the bin
+// count and table bits match the replicated constructor exactly.
+struct EpolFarField {
+  double r_min = 1.0;
+  double r_max = 1.0;
+  double log_one_plus_eps = 1.0;
+  int m_bins = 1;
+  std::vector<double> rr_table;  // r_min^2 (1+eps)^(i+j), indexed i+j
+
+  // M_eps = floor(log_{1+eps}(r_max/r_min)) + 1 geometric bins cover
+  // [r_min, r_max] with r_max landing in the last bin.
+  static EpolFarField make(double r_min, double r_max, double eps_epol);
+
+  int bin_of(double born_radius) const {
+    const int k = static_cast<int>(
+        std::floor(std::log(born_radius / r_min) / log_one_plus_eps));
+    return std::clamp(k, 0, m_bins - 1);
+  }
+  double bin_radius_floor(int k) const {
+    return r_min * std::exp(static_cast<double>(k) * log_one_plus_eps);
+  }
+};
+
 class EpolSolver {
  public:
   // `born_sorted` is in atoms_tree order and must outlive the solver.
   EpolSolver(const Prepared& prep, std::span<const double> born_sorted,
              const ApproxParams& params, const GBConstants& constants);
+
+  // Injected-state constructor (owned-mode driver): the caller supplies the
+  // far-field model (built from collectively-agreed r_min/r_max) and an
+  // external node_bins store (nodes x field.m_bins doubles, flattened; must
+  // outlive the solver) instead of having the solver scan the full Born
+  // array and build the table itself. `born_sorted` may be sparse (only
+  // owned + halo slots valid) as long as every slot the evaluated lists
+  // touch is filled.
+  EpolSolver(const Prepared& prep, std::span<const double> born_sorted,
+             const ApproxParams& params, const GBConstants& constants,
+             const EpolFarField& field, std::span<const double> node_bins_ext);
+
+  // THE leaf-row loop of the replicated constructor, shared so owned-mode
+  // gathered rows are bit-identical: adds leaf [begin, end)'s Born-binned
+  // charges into `bins` (field.m_bins doubles, caller-zeroed).
+  static void leaf_bins(const Prepared& prep, std::span<const double> born,
+                        const EpolFarField& field, std::uint32_t begin,
+                        std::uint32_t end, double* bins);
+
+  // Folds complete child rows into internal-node rows, bottom-up (reverse
+  // BFS sweep; leaf rows must already be filled). Identical fold order to
+  // the replicated constructor, so a rank holding every leaf row reproduces
+  // every internal row bit-exactly.
+  static void fold_internal_bins(const Octree& tree, int m_bins,
+                                 std::span<double> node_bins);
 
   // Energy contribution of atom-tree leaves [leaf_lo, leaf_hi) (indices into
   // atoms_tree.leaves()) interacting with the ENTIRE tree. Summing over all
@@ -70,6 +124,13 @@ class EpolSolver {
   void accumulate_energy_near_range(const InteractionLists& lists, std::size_t lo,
                                     std::size_t hi, double& raw) const;
   double finish_energy(double raw) const { return scale_ * raw; }
+  // Two-term finish for the kList drivers (separate far/near raw sums).
+  // Deliberately out of line: the expression scale*far + scale*near is
+  // FMA-contractible, and if it inlined into more than one driver the
+  // compiler could contract one call site but not another, breaking the
+  // bit-equality contract between them. One TU-private instance means one
+  // rounding pattern everywhere.
+  double finish_energy_pair(double raw_far, double raw_near) const;
 
   // Atom-based division: contribution of sorted atom slots [atom_lo, atom_hi).
   double energy_for_atom_range(std::uint32_t atom_lo, std::uint32_t atom_hi) const;
@@ -102,8 +163,11 @@ class EpolSolver {
 
   int bin_of(double born_radius) const;
   const double* node_bins(std::uint32_t node_id) const {
-    return node_bins_.data() + static_cast<std::size_t>(node_id) * m_bins_;
+    return node_bins_view_.data() + static_cast<std::size_t>(node_id) * m_bins_;
   }
+  // Shared tail of both constructors: adopts the far-field model into the
+  // flat members the kernels read.
+  void adopt_far_field(const EpolFarField& field);
   // Per-entry streamed-bytes estimates for the L2 tile index (depends on
   // m_bins_, so it cannot be a file-level constant like the Born one).
   InteractionLists::TileCost tile_cost() const;
@@ -139,7 +203,10 @@ class EpolSolver {
   double log_one_plus_eps_ = 1.0;
   int m_bins_ = 1;
   std::vector<double> rr_table_;   // R_min^2 (1+eps)^(i+j), indexed i+j
-  std::vector<double> node_bins_;  // nodes x m_bins_, flattened
+  std::vector<double> node_bins_;  // nodes x m_bins_, flattened (owning ctor)
+  // All reads go through the view: the owning constructor points it at
+  // node_bins_, the injected-state constructor at the caller's store.
+  std::span<const double> node_bins_view_;
 };
 
 }  // namespace gbpol

@@ -53,6 +53,20 @@ enum class BalancePolicy {
                // chunks from the most-loaded peer (gossiped progress counter)
 };
 
+// Data residency for the distributed drivers. The paper replicates the full
+// molecule on every rank ("distribute work, not data"), which is the memory
+// wall for virus-scale inputs. kOwned instead gives each rank a
+// Morton-contiguous octree leaf range (the canonical leaf order the
+// interaction lists already use): the rank holds its owned point payload
+// plus a halo imported per its interaction lists (core/halo_exchange.hpp),
+// so per-rank hot memory scales as N/P + halo. Results are bit-identical
+// to kReplicated because both fold the same per-chunk partials in the same
+// canonical order (DESIGN.md "Domain decomposition & halo exchange").
+enum class DataDistribution {
+  kReplicated,  // every rank holds everything (the paper's scheme)
+  kOwned        // ranks own leaf ranges and exchange halos
+};
+
 // Work-division strategies for the distributed drivers (paper §IV-A, plus
 // the explicit cross-rank dynamic balancing of §VI's future work).
 enum class WorkDivision {

@@ -205,6 +205,9 @@ json::Value snapshot_to_json(const MetricsSnapshot& m) {
   o.emplace_back("rank_chunk_service_seconds",
                  dbl_array(m.rank_chunk_service_seconds));
   o.emplace_back("rank_migrated_chunks", u64_array(m.rank_migrated_chunks));
+  o.emplace_back("rank_halo_bytes_sent", u64_array(m.rank_halo_bytes_sent));
+  o.emplace_back("rank_halo_bytes_recv", u64_array(m.rank_halo_bytes_recv));
+  o.emplace_back("rank_halo_msgs", u64_array(m.rank_halo_msgs));
   {
     json::Array hist;
     for (const std::uint64_t x : m.chunk_service_hist)
@@ -334,6 +337,19 @@ bool snapshot_from_json(const json::Value& v, MetricsSnapshot& m,
       mig != nullptr &&
       !read_u64_array(mig, m.rank_migrated_chunks, err,
                       "rank_migrated_chunks"))
+    return false;
+  // Pure v1 additions (owned mode): same absent-parses-as-empty policy.
+  if (const json::Value* hs = v.find("rank_halo_bytes_sent");
+      hs != nullptr &&
+      !read_u64_array(hs, m.rank_halo_bytes_sent, err, "rank_halo_bytes_sent"))
+    return false;
+  if (const json::Value* hr = v.find("rank_halo_bytes_recv");
+      hr != nullptr &&
+      !read_u64_array(hr, m.rank_halo_bytes_recv, err, "rank_halo_bytes_recv"))
+    return false;
+  if (const json::Value* hm = v.find("rank_halo_msgs");
+      hm != nullptr &&
+      !read_u64_array(hm, m.rank_halo_msgs, err, "rank_halo_msgs"))
     return false;
   const json::Value* hist = v.find("chunk_service_hist");
   if (hist == nullptr || !hist->is_array() ||

@@ -91,6 +91,12 @@ struct MetricsSnapshot {
   // computed that the initial partition assigned to some OTHER rank.
   std::vector<std::uint64_t> rank_migrated_chunks;
 
+  // Owned-mode halo traffic (core/halo_exchange.hpp): point-level Born halo
+  // payload each rank sent/received over p2p, and the message count.
+  std::vector<std::uint64_t> rank_halo_bytes_sent;
+  std::vector<std::uint64_t> rank_halo_bytes_recv;
+  std::vector<std::uint64_t> rank_halo_msgs;
+
   // Work stealing (whole session, all pools).
   std::uint64_t steal_attempts = 0;
   std::uint64_t steal_successes = 0;
@@ -107,6 +113,7 @@ struct MetricsSnapshot {
   std::uint64_t total_retransmits() const;
   std::uint64_t total_chunks() const;
   std::uint64_t total_migrated_chunks() const;
+  std::uint64_t total_halo_bytes() const;  // sent side (recv mirrors it)
   double steal_success_rate() const;  // successes / attempts (0 if none)
   // Cross-rank imbalance: max over ranks of chunks computed, divided by the
   // mean (1.0 = perfectly even; 0 if no chunks were dispatched).
@@ -131,6 +138,8 @@ void add_collective(int rank, CollKind kind, std::uint64_t bytes,
 void add_retransmit(int rank);
 void add_chunk_service(int rank, std::uint64_t ns);
 void add_migrated_chunk(int rank);
+void add_halo_sent(int rank, std::uint64_t bytes);
+void add_halo_recv(int rank, std::uint64_t bytes);
 void add_steal_attempt();
 void add_steal_success();
 void add_pop_miss();
@@ -147,6 +156,8 @@ inline void add_collective(int, CollKind, std::uint64_t, double) {}
 inline void add_retransmit(int) {}
 inline void add_chunk_service(int, std::uint64_t) {}
 inline void add_migrated_chunk(int) {}
+inline void add_halo_sent(int, std::uint64_t) {}
+inline void add_halo_recv(int, std::uint64_t) {}
 inline void add_steal_attempt() {}
 inline void add_steal_success() {}
 inline void add_pop_miss() {}

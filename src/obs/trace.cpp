@@ -33,6 +33,9 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kCheckpointCommit: return "ckpt_commit";
     case EventKind::kStealRequest: return "steal_request";
     case EventKind::kStealGrant: return "steal_grant";
+    case EventKind::kHaloPlan: return "halo_plan";
+    case EventKind::kHaloSend: return "halo_send";
+    case EventKind::kHaloRecv: return "halo_recv";
   }
   return "unknown";
 }
@@ -103,6 +106,9 @@ struct RankSlot {
   std::uint64_t retransmits = 0;
   std::uint64_t chunks = 0;
   std::uint64_t migrated_chunks = 0;
+  std::uint64_t halo_bytes_sent = 0;
+  std::uint64_t halo_bytes_recv = 0;
+  std::uint64_t halo_msgs = 0;
   double chunk_service_seconds = 0.0;
   double compute_seconds = 0.0;
   double straggler_seconds = 0.0;
@@ -265,6 +271,9 @@ Trace stop_session() {
   m.rank_chunks.resize(n);
   m.rank_chunk_service_seconds.resize(n);
   m.rank_migrated_chunks.resize(n);
+  m.rank_halo_bytes_sent.resize(n);
+  m.rank_halo_bytes_recv.resize(n);
+  m.rank_halo_msgs.resize(n);
   for (std::size_t r = 0; r < n; ++r) {
     const RankSlot& slot = s.ranks[r];
     m.phase_busy_seconds[r] = slot.phase_busy;
@@ -282,6 +291,9 @@ Trace stop_session() {
     m.rank_chunks[r] = slot.chunks;
     m.rank_chunk_service_seconds[r] = slot.chunk_service_seconds;
     m.rank_migrated_chunks[r] = slot.migrated_chunks;
+    m.rank_halo_bytes_sent[r] = slot.halo_bytes_sent;
+    m.rank_halo_bytes_recv[r] = slot.halo_bytes_recv;
+    m.rank_halo_msgs[r] = slot.halo_msgs;
   }
   for (int i = 0; i < kServiceHistBins; ++i)
     m.chunk_service_hist[static_cast<std::size_t>(i)] =
@@ -353,6 +365,20 @@ void add_chunk_service(int rank, std::uint64_t ns) {
 
 void add_migrated_chunk(int rank) {
   if (RankSlot* slot = slot_for(rank)) slot->migrated_chunks += 1;
+}
+
+void add_halo_sent(int rank, std::uint64_t bytes) {
+  if (RankSlot* slot = slot_for(rank)) {
+    slot->halo_bytes_sent += bytes;
+    slot->halo_msgs += 1;
+  }
+}
+
+void add_halo_recv(int rank, std::uint64_t bytes) {
+  if (RankSlot* slot = slot_for(rank)) {
+    slot->halo_bytes_recv += bytes;
+    slot->halo_msgs += 1;
+  }
 }
 
 void add_steal_attempt() {
@@ -456,6 +482,12 @@ std::uint64_t MetricsSnapshot::total_chunks() const {
 std::uint64_t MetricsSnapshot::total_migrated_chunks() const {
   std::uint64_t sum = 0;
   for (const std::uint64_t v : rank_migrated_chunks) sum += v;
+  return sum;
+}
+
+std::uint64_t MetricsSnapshot::total_halo_bytes() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : rank_halo_bytes_sent) sum += v;
   return sum;
 }
 

@@ -67,6 +67,11 @@ enum class EventKind : std::uint8_t {
   // Cross-rank balancing (PR 5); appended so older kind ids stay stable.
   kStealRequest,       // a = victim rank, b = thief's remaining chunk count
   kStealGrant,         // a = victim rank, b = chunks granted (0 = refused)
+  // Owned-mode halo exchange (core/halo_exchange.hpp); appended so older
+  // kind ids stay stable.
+  kHaloPlan,           // a = owned atom count, b = Born-halo atom count
+  kHaloSend,           // a = dst rank, b = bytes
+  kHaloRecv,           // a = src rank, b = bytes
 };
 
 // Why a rank left the run through the death machinery.

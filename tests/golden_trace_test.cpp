@@ -107,6 +107,119 @@ TEST_F(GoldenTraceTest, PlannedFaultsAppearExactlyInTrace) {
   }
 }
 
+// The canonical collective sequence is a function of the distribution mode:
+// replicated canonical runs two token allreduces; owned mode adds the exact
+// Born-extrema min-allreduce and the leaf-row allgatherv. Every rank's main
+// stream must show exactly the expected kinds, in order, fault-free.
+TEST_F(GoldenTraceTest, CollectiveKindSequenceMatchesDistributionMode) {
+  for (const DataDistribution dist :
+       {DataDistribution::kReplicated, DataDistribution::kOwned}) {
+    ApproxParams params;
+    RunOptions config;
+    config.ranks = 4;
+    config.canonical_reduction = true;
+    config.distribution = dist;
+    const TracedRun run = run_traced(fix().prep, params, GBConstants{}, config);
+    SCOPED_TRACE(dist == DataDistribution::kOwned ? "owned" : "replicated");
+    const std::vector<obs::CollKind> expected =
+        testing::expected_collective_kinds(dist);
+    int rank_streams = 0;
+    for (const obs::EventStream& s : run.trace.streams) {
+      const std::vector<obs::CollKind> kinds = testing::collective_kinds_of(s);
+      if (kinds.empty()) continue;  // worker streams never enter collectives
+      ++rank_streams;
+      ASSERT_EQ(kinds.size(), expected.size()) << "rank " << s.rank;
+      for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(static_cast<int>(kinds[i]), static_cast<int>(expected[i]))
+            << "rank " << s.rank << " collective " << i;
+    }
+    EXPECT_EQ(rank_streams, 4);
+  }
+}
+
+TEST_F(GoldenTraceTest, OwnedFaultFreeReplayIsBitIdentical) {
+  ApproxParams params;
+  RunOptions config;
+  config.ranks = 4;
+  config.canonical_reduction = true;
+  config.distribution = DataDistribution::kOwned;
+  const TracedRun a = run_traced(fix().prep, params, GBConstants{}, config);
+  const TracedRun b = run_traced(fix().prep, params, GBConstants{}, config);
+  ASSERT_GT(a.result.owned_bytes_per_rank, 0u);  // owned routing engaged
+  ASSERT_GT(a.trace.total_events(), 0u);
+  EXPECT_EQ(a.trace.total_dropped(), 0u);
+  EXPECT_EQ(obs::canonical_dump(a.trace), obs::canonical_dump(b.trace));
+  EXPECT_EQ(a.result.energy, b.result.energy);
+}
+
+TEST_F(GoldenTraceTest, OwnedFaultedReplayIsBitIdenticalAndExact) {
+  // A death at the Born-extrema collective plus a dropped p2p copy exercise
+  // the owned retry and halo-retransmit paths; the canonical dumps must
+  // replay byte for byte and the energy must equal the replicated canonical
+  // clean answer to the last bit.
+  ApproxParams params;
+  RunOptions clean;
+  clean.mode = EngineMode::kDistributed;
+  clean.ranks = 3;
+  clean.canonical_reduction = true;
+  const RunResult replicated =
+      Engine(fix().prep, params, GBConstants{}).run(clean);
+
+  RunOptions config = clean;
+  config.distribution = DataDistribution::kOwned;
+  config.faults.deaths.push_back({/*rank=*/2, /*collective_seq=*/1});
+  config.faults.drops.push_back(
+      {/*src=*/0, /*dst=*/1, /*send_seq=*/0, /*lost_copies=*/1});
+  const TracedRun a = run_traced(fix().prep, params, GBConstants{}, config);
+  const TracedRun b = run_traced(fix().prep, params, GBConstants{}, config);
+  ASSERT_GT(a.trace.total_events(), 0u);
+  EXPECT_TRUE(a.result.degraded);
+  EXPECT_EQ(obs::canonical_dump(a.trace), obs::canonical_dump(b.trace));
+  EXPECT_EQ(a.result.energy, replicated.energy);
+}
+
+// Halo observability: one kHaloPlan per rank, and the per-rank sums of the
+// kHaloSend/kHaloRecv byte payloads must agree with the metrics registry.
+TEST_F(GoldenTraceTest, OwnedHaloEventsMatchByteMetrics) {
+  constexpr int kRanks = 4;
+  ApproxParams params;
+  RunOptions config;
+  config.ranks = kRanks;
+  config.canonical_reduction = true;
+  config.distribution = DataDistribution::kOwned;
+  const TracedRun run = run_traced(fix().prep, params, GBConstants{}, config);
+  ASSERT_GT(run.result.owned_bytes_per_rank, 0u);
+
+  const auto plans = events_of(run.trace, obs::EventKind::kHaloPlan);
+  EXPECT_EQ(plans.size(), static_cast<std::size_t>(kRanks));
+
+  std::vector<std::uint64_t> sent(kRanks, 0), recv(kRanks, 0), msgs(kRanks, 0);
+  for (const obs::EventStream& s : run.trace.streams) {
+    for (const obs::Event& e : s.events) {
+      if (e.kind == obs::EventKind::kHaloSend) {
+        sent[s.rank] += e.b;
+        ++msgs[s.rank];
+      } else if (e.kind == obs::EventKind::kHaloRecv) {
+        recv[s.rank] += e.b;
+        ++msgs[s.rank];
+      }
+    }
+  }
+  ASSERT_EQ(run.trace.metrics.ranks, kRanks);
+  std::uint64_t total_sent = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(run.trace.metrics.rank_halo_bytes_sent[r], sent[r]) << "rank " << r;
+    EXPECT_EQ(run.trace.metrics.rank_halo_bytes_recv[r], recv[r]) << "rank " << r;
+    EXPECT_EQ(run.trace.metrics.rank_halo_msgs[r], msgs[r]) << "rank " << r;
+    total_sent += sent[r];
+  }
+  // Conservation: every byte sent is a byte received somewhere.
+  std::uint64_t total_recv = 0;
+  for (int r = 0; r < kRanks; ++r) total_recv += recv[r];
+  EXPECT_EQ(total_sent, total_recv);
+  EXPECT_GT(total_sent, 0u);  // 4 ranks on this fixture always import halo
+}
+
 TEST_F(GoldenTraceTest, FaultedEnergyMatchesFaultFree) {
   // The recovery relays reproduce the dead rank's fold exactly; the golden
   // schedule must therefore leave the energy bit-identical (the property the

@@ -1,0 +1,326 @@
+// Owned-mode spatial domain decomposition (DataDistribution::kOwned): the
+// 0-ulp equivalence battery pinning owned runs to the replicated canonical
+// chunk-fold baseline — across rank counts on the three golden molecules,
+// across all balance policies, under seeded fault schedules (drops + a
+// death), and across a kill/restart resume — plus the memory-scaling
+// regression the decomposition exists for (per-rank hot bytes at 8 ranks
+// <= 0.35x the replicated footprint on a >= 50k-point molecule).
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "molecule/generate.hpp"
+#include "mpisim/faults.hpp"
+#include "surface/quadrature.hpp"
+
+namespace gbpol {
+namespace {
+
+using mpisim::FaultPlan;
+
+struct Golden {
+  std::uint32_t n_atoms;
+  std::uint64_t seed;
+};
+
+// The committed golden-reference molecules (tests/golden_energy_test.cpp).
+constexpr Golden kGolden[] = {{400, 21}, {1200, 22}, {3000, 23}};
+
+Prepared build_prep(const Golden& g) {
+  const Molecule mol = molgen::synthetic_protein(g.n_atoms, g.seed);
+  const surface::SurfaceQuadrature quad = surface::molecular_surface_quadrature(
+      mol, {.grid_spacing = 1.5, .dunavant_degree = 2, .kappa = 2.3});
+  return Prepared::build(mol, quad, 16);
+}
+
+RunOptions replicated_options(int ranks) {
+  RunOptions options = distributed_options(ranks);
+  options.canonical_reduction = true;  // the chunk-fold baseline
+  return options;
+}
+
+RunOptions owned_options(int ranks) {
+  RunOptions options = replicated_options(ranks);
+  options.distribution = DataDistribution::kOwned;
+  return options;
+}
+
+RunResult run(const Prepared& prep, const RunOptions& options) {
+  return Engine(prep, ApproxParams{}, GBConstants{}).run(options);
+}
+
+void expect_bit_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.energy, b.energy);
+  ASSERT_EQ(a.born_sorted.size(), b.born_sorted.size());
+  for (std::size_t i = 0; i < a.born_sorted.size(); ++i)
+    ASSERT_EQ(a.born_sorted[i], b.born_sorted[i]) << "born slot " << i;
+}
+
+// --- owned == replicated, fault-free -------------------------------------
+
+TEST(OwnedModeTest, MatchesReplicatedBitExactlyOnGoldenMolecules) {
+  for (const Golden& g : kGolden) {
+    const Prepared prep = build_prep(g);
+    for (const int ranks : {1, 2, 5, 8}) {
+      SCOPED_TRACE("atoms=" + std::to_string(g.n_atoms) +
+                   " ranks=" + std::to_string(ranks));
+      const RunResult baseline = run(prep, replicated_options(ranks));
+      ASSERT_NE(baseline.energy, 0.0);
+      const RunResult owned = run(prep, owned_options(ranks));
+      expect_bit_identical(owned, baseline);
+      // The owned run must actually report its decomposed footprint; the
+      // replicated run must not.
+      EXPECT_GT(owned.owned_bytes_per_rank, 0u);
+      EXPECT_EQ(baseline.owned_bytes_per_rank, 0u);
+      // A single rank owns everything: no halo at all.
+      if (ranks == 1) {
+        EXPECT_EQ(owned.owned_halo_bytes, 0u);
+      }
+    }
+  }
+}
+
+TEST(OwnedModeTest, ChunkGranularityStaysBitIdenticalToReplicatedTwin) {
+  // The fold depends on the chunk boundaries; owned and replicated runs at
+  // the SAME granularity must agree at every granularity.
+  const Prepared prep = build_prep(kGolden[0]);
+  for (const std::uint32_t chunk_leaves : {1u, 3u}) {
+    RunOptions repl = replicated_options(5);
+    repl.balance_chunk_leaves = chunk_leaves;
+    RunOptions owned = owned_options(5);
+    owned.balance_chunk_leaves = chunk_leaves;
+    SCOPED_TRACE("chunk_leaves=" + std::to_string(chunk_leaves));
+    expect_bit_identical(run(prep, owned), run(prep, repl));
+  }
+}
+
+// --- balance policies -----------------------------------------------------
+
+TEST(OwnedModeTest, AllBalancePoliciesBitIdentical) {
+  const Prepared prep = build_prep(kGolden[1]);
+  for (const int ranks : {3, 8}) {
+    const RunResult baseline = run(prep, replicated_options(ranks));
+    for (const BalancePolicy policy :
+         {BalancePolicy::kStatic, BalancePolicy::kCostModel,
+          BalancePolicy::kSteal}) {
+      RunOptions options = owned_options(ranks);
+      options.balance = policy;
+      SCOPED_TRACE("ranks=" + std::to_string(ranks) + " policy=" +
+                   std::to_string(static_cast<int>(policy)));
+      expect_bit_identical(run(prep, options), baseline);
+    }
+  }
+}
+
+// --- fault schedules ------------------------------------------------------
+
+TEST(OwnedModeTest, SeededDropAndDeathSchedulesStayBitExact) {
+  const Prepared prep = build_prep(kGolden[0]);
+  const int ranks = 5;
+  const RunResult clean = run(prep, owned_options(ranks));
+  const RunResult baseline = run(prep, replicated_options(ranks));
+  expect_bit_identical(clean, baseline);
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    FaultPlan plan;
+    // Dropped p2p copies force halo-exchange retransmits; the owned path
+    // always reaches collective seqs 0..3 (Born sync, minmax, row gather,
+    // Epol sync), so this death is guaranteed to fire.
+    plan.drops.push_back({/*src=*/static_cast<int>(seed % ranks),
+                          /*dst=*/static_cast<int>((seed + 1) % ranks),
+                          /*send_seq=*/0,
+                          /*lost_copies=*/static_cast<int>(1 + seed % 2)});
+    plan.deaths.push_back({.rank = static_cast<int>(seed % ranks),
+                           .collective_seq = seed % 4});
+    RunOptions options = owned_options(ranks);
+    options.faults = plan;
+    const RunResult faulty = run(prep, options);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    expect_bit_identical(faulty, baseline);
+    EXPECT_TRUE(faulty.degraded);
+  }
+}
+
+TEST(OwnedModeTest, CascadingDeathDuringOwnedRecoveryStaysBitExact) {
+  const Prepared prep = build_prep(kGolden[0]);
+  const int ranks = 5;
+  const RunResult baseline = run(prep, replicated_options(ranks));
+  for (const std::uint64_t seq : {0u, 1u, 2u, 3u}) {
+    FaultPlan plan;
+    plan.deaths.push_back({.rank = 1, .collective_seq = seq});
+    plan.deaths.push_back({.rank = 3, .collective_seq = seq + 1});
+    RunOptions options = owned_options(ranks);
+    options.faults = plan;
+    SCOPED_TRACE("seq=" + std::to_string(seq));
+    const RunResult faulty = run(prep, options);
+    expect_bit_identical(faulty, baseline);
+    EXPECT_TRUE(faulty.degraded);
+  }
+}
+
+TEST(OwnedModeTest, StealPolicyUnderDeathStaysBitExact) {
+  const Prepared prep = build_prep(kGolden[0]);
+  const int ranks = 5;
+  const RunResult baseline = run(prep, replicated_options(ranks));
+  for (const std::uint64_t seed : {0u, 1u, 2u, 3u}) {
+    RunOptions options = owned_options(ranks);
+    options.balance = BalancePolicy::kSteal;
+    options.faults.deaths.push_back(
+        {.rank = static_cast<int>(1 + seed % (ranks - 1)),
+         .collective_seq = seed});
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const RunResult faulty = run(prep, options);
+    expect_bit_identical(faulty, baseline);
+    EXPECT_TRUE(faulty.degraded);
+  }
+}
+
+// --- kill / restart resume ------------------------------------------------
+
+TEST(OwnedModeTest, ResumesBitExactlyAfterKillRestart) {
+  const Prepared prep = build_prep(kGolden[0]);
+  const std::string base = ::testing::TempDir() + "/gbpol_owned_ckpt_" +
+                           std::to_string(::getpid());
+  const int ranks = 5;
+  const RunResult clean = run(prep, replicated_options(ranks));
+  bool any_killed = false;
+  for (const std::uint64_t seed : {0u, 1u, 2u, 3u, 4u, 5u}) {
+    const std::string dir = base + "_" + std::to_string(seed);
+    std::filesystem::remove_all(dir);
+    RunOptions options = owned_options(ranks);
+    options.checkpoint.dir = dir;
+    options.checkpoint.every_k_chunks = 1;
+    options.checkpoint.chunk_leaves = 1 + static_cast<std::uint32_t>(seed % 3);
+    options.checkpoint.every_n_collectives = 1;
+    options.kill.armed = true;
+    options.kill.rank = static_cast<int>(seed % ranks);
+    // The owned path's kill polls happen in the Born and Epol chunk loops;
+    // both collective phases are exercised across the seed set.
+    options.kill.collective_seq = seed % 2 == 0 ? 0 : 3;
+    options.kill.tick = 1 + seed;
+    const RunResult killed = run(prep, options);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    if (killed.killed) {
+      any_killed = true;
+      options.kill = {};
+      options.checkpoint.resume = true;
+      const RunResult resumed = run(prep, options);
+      EXPECT_TRUE(resumed.resumed);
+      expect_bit_identical(resumed, clean);
+    } else {
+      expect_bit_identical(killed, clean);
+    }
+    std::filesystem::remove_all(dir);
+  }
+  EXPECT_TRUE(any_killed);  // the seed set must actually exercise a resume
+}
+
+TEST(OwnedModeTest, ResumeWithDeathAfterRestartStaysBitExact) {
+  // Kill, restart, and lose a rank during the resumed run: the resumed
+  // redistribution (pinned by the ownership/halo hashes in the job key)
+  // plus degraded recovery must still land on the clean bits.
+  const Prepared prep = build_prep(kGolden[0]);
+  const std::string dir = ::testing::TempDir() + "/gbpol_owned_ckpt_dd_" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  const int ranks = 4;
+  const RunResult clean = run(prep, replicated_options(ranks));
+  RunOptions options = owned_options(ranks);
+  options.checkpoint.dir = dir;
+  options.checkpoint.every_k_chunks = 1;
+  options.checkpoint.every_n_collectives = 1;
+  options.kill.armed = true;
+  options.kill.rank = 1;
+  options.kill.collective_seq = 0;
+  options.kill.tick = 2;
+  const RunResult killed = run(prep, options);
+  if (killed.killed) {
+    options.kill = {};
+    options.checkpoint.resume = true;
+    options.faults.deaths.push_back({.rank = 2, .collective_seq = 1});
+    const RunResult resumed = run(prep, options);
+    EXPECT_TRUE(resumed.resumed);
+    EXPECT_TRUE(resumed.degraded);
+    expect_bit_identical(resumed, clean);
+  } else {
+    expect_bit_identical(killed, clean);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// --- memory scaling -------------------------------------------------------
+
+TEST(OwnedModeTest, EightRankFootprintIsUnderThirtyFivePercentOfReplicated) {
+  // The decomposition's reason to exist: per-rank hot bytes ~ N/P + halo.
+  // On a >= 50k-point molecule at 8 ranks the largest rank must hold at
+  // most 0.35x what the replicated layout makes every rank hold. The halo
+  // overhead is real and included in the owned side — the 0.35 threshold
+  // (not 1/8 = 0.125) is the budget for it plus the node-scale structures
+  // (tree nodes, far-field bin store) that stay replicated by design.
+  const Molecule mol = molgen::synthetic_protein(3000, 23);
+  const surface::SurfaceQuadrature quad = surface::molecular_surface_quadrature(
+      mol, {.grid_spacing = 1.5, .dunavant_degree = 2, .kappa = 2.3});
+  const Prepared prep = Prepared::build(mol, quad, 16);
+  ASSERT_GE(prep.num_atoms() + prep.q_tree.num_points(), 50000u)
+      << "synthetic molecule too small for the scaling regression";
+
+  const RunResult owned = run(prep, owned_options(8));
+  ASSERT_GT(owned.owned_bytes_per_rank, 0u);
+  ASSERT_GT(owned.replicated_bytes, 0u);
+  const double replicated_per_rank =
+      static_cast<double>(owned.replicated_bytes) / 8.0;
+  const double ratio =
+      static_cast<double>(owned.owned_bytes_per_rank) / replicated_per_rank;
+  EXPECT_LE(ratio, 0.35) << "owned_bytes_per_rank=" << owned.owned_bytes_per_rank
+                         << " replicated_per_rank=" << replicated_per_rank;
+  // The halo must be a strict minority of the decomposed footprint.
+  EXPECT_LT(owned.owned_halo_bytes, owned.owned_bytes_per_rank * 8u);
+}
+
+TEST(OwnedModeTest, FootprintShrinksWithRankCount) {
+  const Prepared prep = build_prep(kGolden[1]);
+  std::size_t prev = 0;
+  for (const int ranks : {1, 4, 8}) {
+    const RunResult owned = run(prep, owned_options(ranks));
+    ASSERT_GT(owned.owned_bytes_per_rank, 0u);
+    if (prev > 0) {
+      EXPECT_LT(owned.owned_bytes_per_rank, prev);
+    }
+    prev = owned.owned_bytes_per_rank;
+  }
+}
+
+// --- degenerate shapes ----------------------------------------------------
+
+TEST(OwnedModeTest, MoreRanksThanLeavesStillMatches) {
+  // 40 atoms, leaf cap 16: a handful of leaves against 12 ranks, so most
+  // ranks own nothing and import nothing.
+  const Molecule mol = molgen::synthetic_protein(40, 7);
+  const surface::SurfaceQuadrature quad = surface::molecular_surface_quadrature(
+      mol, {.grid_spacing = 1.5, .dunavant_degree = 2, .kappa = 2.3});
+  const Prepared prep = Prepared::build(mol, quad, 16);
+  const RunResult baseline = run(prep, replicated_options(12));
+  const RunResult owned = run(prep, owned_options(12));
+  expect_bit_identical(owned, baseline);
+}
+
+TEST(OwnedModeTest, NonCanonicalShapesFallBackToReplicatedRouting) {
+  // distribution = kOwned with a shape the owned driver doesn't define
+  // (recursive traversal) must still produce the correct answer through the
+  // replicated fallback and report no owned footprint.
+  const Prepared prep = build_prep(kGolden[0]);
+  RunOptions options = owned_options(3);
+  options.traversal = TraversalMode::kRecursive;
+  RunOptions repl = replicated_options(3);
+  repl.traversal = TraversalMode::kRecursive;
+  const RunResult a = run(prep, options);
+  const RunResult b = run(prep, repl);
+  expect_bit_identical(a, b);
+  EXPECT_EQ(a.owned_bytes_per_rank, 0u);
+}
+
+}  // namespace
+}  // namespace gbpol

@@ -270,6 +270,76 @@ TEST_F(SoakMpisimTest, StealSchedulesMatchCanonicalStaticBitExactly) {
   }
 }
 
+// Owned-mode soak (ISSUE 7 acceptance matrix): 3 rank counts x 12 seeded
+// owned-distribution schedules = 36 runs. Each seed picks a chunk
+// granularity, a balance policy (kStatic with kSteal/kCostModel sprinkled
+// in), every third seed injects a death (the owned path always reaches
+// collective_seq 0..2: Born sync, Born minmax, leaf-row allgather), and
+// every fourth seed drops halo p2p copies. The owned answer must equal the
+// REPLICATED canonical baseline at the same chunk granularity to the last
+// bit — the decomposition must be invisible in the arithmetic.
+TEST_F(SoakMpisimTest, OwnedSchedulesMatchReplicatedCanonicalBitExactly) {
+  constexpr int kSeedsPerRankCount = 12;
+  for (const int ranks : {3, 5, 8}) {
+    std::map<std::uint32_t, RunResult> baselines;
+    for (int s = 0; s < kSeedsPerRankCount; ++s) {
+      const std::uint64_t seed =
+          static_cast<std::uint64_t>(ranks) * 20000 + static_cast<std::uint64_t>(s);
+      const std::uint32_t chunk_leaves = 1 + static_cast<std::uint32_t>(seed % 5);
+
+      RunOptions options;
+      options.mode = EngineMode::kDistributed;
+      options.ranks = ranks;
+      options.distribution = DataDistribution::kOwned;
+      options.balance = s % 5 == 4   ? BalancePolicy::kCostModel
+                        : s % 5 == 2 ? BalancePolicy::kSteal
+                                     : BalancePolicy::kStatic;
+      options.balance_chunk_leaves = chunk_leaves;
+      if (s % 3 == 0) {
+        options.faults.deaths.push_back(
+            {.rank = static_cast<int>(seed % static_cast<std::uint64_t>(ranks)),
+             .collective_seq = seed % 3});
+      }
+      if (s % 4 == 1) {
+        const int src = static_cast<int>(seed % static_cast<std::uint64_t>(ranks));
+        const int dst = (src + 1) % ranks;
+        options.faults.drops.push_back(
+            {.src = src, .dst = dst, .send_seq = 0,
+             .lost_copies = static_cast<int>(1 + seed % 2)});
+      }
+
+      auto baseline = baselines.find(chunk_leaves);
+      if (baseline == baselines.end()) {
+        RunOptions canonical;
+        canonical.mode = EngineMode::kDistributed;
+        canonical.ranks = ranks;
+        canonical.canonical_reduction = true;  // replicated kStatic fold
+        canonical.balance_chunk_leaves = chunk_leaves;
+        RunResult clean =
+            Engine(*prep_, ApproxParams{}, GBConstants{}).run(canonical);
+        ASSERT_NE(clean.energy, 0.0);
+        baseline = baselines.emplace(chunk_leaves, std::move(clean)).first;
+      }
+      const RunResult& clean = baseline->second;
+
+      const RunResult owned =
+          Engine(*prep_, ApproxParams{}, GBConstants{}).run(options);
+      SCOPED_TRACE("ranks=" + std::to_string(ranks) + " seed=" + std::to_string(seed) +
+                   " chunk_leaves=" + std::to_string(chunk_leaves) +
+                   " deaths=" + std::to_string(options.faults.deaths.size()) +
+                   " drops=" + std::to_string(options.faults.drops.size()));
+      // Guard against silent fallback to the replicated router: a vacuous
+      // pass would hide a routing regression.
+      ASSERT_GT(owned.owned_bytes_per_rank, 0u);
+      ASSERT_EQ(owned.energy, clean.energy);
+      ASSERT_EQ(owned.born_sorted.size(), clean.born_sorted.size());
+      for (std::size_t i = 0; i < clean.born_sorted.size(); ++i)
+        ASSERT_EQ(owned.born_sorted[i], clean.born_sorted[i]) << "born slot " << i;
+      EXPECT_TRUE(!owned.degraded || options.faults.has_deaths());
+    }
+  }
+}
+
 // P2p soak at the Comm layer: random drop/delay schedules over a ring
 // exchange must never corrupt or lose a payload, and replay must reproduce
 // the retry count exactly.

@@ -42,6 +42,32 @@ inline std::vector<obs::Event> events_of(const obs::Trace& trace,
   return out;
 }
 
+// Fault-free collective-enter CollKind sequence a surviving rank emits on
+// the canonical chunk-fold drivers, keyed by distribution mode. Cost-only
+// accounting (Comm::charge_collective) emits no enter events, so these are
+// the REAL collectives only: the replicated canonical driver runs the Born
+// and Epol phase-sync token allreduces; owned mode inserts the exact
+// Born-extrema min-allreduce and the owned-leaf-row allgatherv between them.
+inline std::vector<obs::CollKind> expected_collective_kinds(DataDistribution d) {
+  using obs::CollKind;
+  if (d == DataDistribution::kOwned)
+    return {CollKind::kAllreduce,    // Born phase sync
+            CollKind::kAllreduce,    // Born extrema (allreduce_min pair)
+            CollKind::kAllgatherv,   // owned leaf bin rows
+            CollKind::kAllreduce};   // Epol phase sync
+  return {CollKind::kAllreduce, CollKind::kAllreduce};
+}
+
+// The observed enter-kind sequence of one stream (empty for worker streams,
+// which never enter collectives).
+inline std::vector<obs::CollKind> collective_kinds_of(const obs::EventStream& s) {
+  std::vector<obs::CollKind> out;
+  for (const obs::Event& e : s.events)
+    if (e.kind == obs::EventKind::kCollectiveEnter)
+      out.push_back(static_cast<obs::CollKind>(e.arg));
+  return out;
+}
+
 // --- structural invariant checks ----------------------------------------
 // Each returns an empty string on success, else a description of the first
 // violation (so gtest failure messages point at the broken event).
