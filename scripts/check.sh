@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Local CI gate: build every sanitizer preset and run the fast test labels
-# (unit, property, checkpoint, balance, owned, trace) under each, plus repo-wide
+# (unit, property, checkpoint, balance, owned, integrity, trace) under each, plus repo-wide
 # gates: no in-tree caller may use the deprecated run_oct_* free functions
 # (everything goes through Engine/RunOptions), the balance_stress bench must
 # hold its >= 1.3x steal-vs-static makespan target, the micro_kernels bench
@@ -55,8 +55,8 @@ for preset in "${PRESETS[@]}"; do
   echo "=== ${preset}: configure + build ==="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${JOBS}"
-  echo "=== ${preset}: ctest (unit|property|checkpoint|balance|owned|trace) ==="
-  ctest --preset "${preset}" -L 'unit|property|checkpoint|balance|owned|trace' -j "${JOBS}"
+  echo "=== ${preset}: ctest (unit|property|checkpoint|balance|owned|integrity|trace) ==="
+  ctest --preset "${preset}" -L 'unit|property|checkpoint|balance|owned|integrity|trace' -j "${JOBS}"
 done
 
 echo "=== balance_stress: skew-bench smoke run (release build) ==="
@@ -90,7 +90,7 @@ echo "=== scalar: forced-SoA fallback build + tests ==="
 # passes the same tier-1 labels as the dispatched build.
 cmake --preset scalar
 cmake --build --preset scalar -j "${JOBS}"
-ctest --preset scalar -L 'unit|property|checkpoint|balance|owned|trace' -j "${JOBS}"
+ctest --preset scalar -L 'unit|property|checkpoint|balance|owned|integrity|trace' -j "${JOBS}"
 
 if [[ ${RUN_SOAK} -eq 1 ]]; then
   echo "=== soak: configure + build ==="
@@ -104,8 +104,8 @@ if [[ ${RUN_COVERAGE} -eq 1 ]]; then
   echo "=== coverage: configure + build (instrumented) ==="
   cmake --preset coverage
   cmake --build --preset coverage -j "${JOBS}"
-  echo "=== coverage: ctest (unit|property|checkpoint|balance|owned|trace) ==="
-  ctest --preset coverage -L 'unit|property|checkpoint|balance|owned|trace' -j "${JOBS}"
+  echo "=== coverage: ctest (unit|property|checkpoint|balance|owned|integrity|trace) ==="
+  ctest --preset coverage -L 'unit|property|checkpoint|balance|owned|integrity|trace' -j "${JOBS}"
   echo "=== coverage: src/obs line-coverage gate (>= 85%) ==="
   scripts/coverage.sh build-coverage 85
 fi

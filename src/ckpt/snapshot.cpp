@@ -164,16 +164,18 @@ std::string SnapshotStore::path_for(Phase phase, std::uint32_t rank,
   return dir_ + "/" + name;
 }
 
-void SnapshotStore::save(const Snapshot& snap) const {
+std::string SnapshotStore::save(const Snapshot& snap) const {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
-  if (ec) return;
-  write_snapshot(path_for(snap.phase, snap.rank, snap.cursor), snap);
+  if (ec) return {};
+  const std::string path = path_for(snap.phase, snap.rank, snap.cursor);
+  if (!write_snapshot(path, snap)) return {};
   // The tmp+rename above has completed: this commit event logically precedes
   // the kill poll it guards (drivers snapshot, then poll) — the ordering
   // trace_invariants_test pins.
   obs::emit(obs::EventKind::kCheckpointCommit, snap.cursor, 0,
             static_cast<std::uint8_t>(snap.phase));
+  return path;
 }
 
 std::optional<std::vector<Snapshot>> SnapshotStore::load_latest() const {
@@ -202,9 +204,18 @@ std::optional<std::vector<Snapshot>> SnapshotStore::load_latest() const {
       std::sort(cursors.begin(), cursors.end(), std::greater<>());
       bool found = false;
       for (const std::uint64_t cursor : cursors) {
-        std::optional<Snapshot> snap =
-            read_snapshot(path_for(static_cast<Phase>(phase), rank, cursor));
-        if (!snap) continue;  // torn/corrupt: fall back to the older cursor
+        const std::string path =
+            path_for(static_cast<Phase>(phase), rank, cursor);
+        std::optional<Snapshot> snap = read_snapshot(path);
+        if (!snap) {
+          // Torn/corrupt payload in an existing file: count it as a detected
+          // corruption (the CRC caught it) and fall back to the older cursor
+          // — the recovery ladder's snapshot rung.
+          obs::add_corruption_detected(static_cast<int>(rank));
+          obs::emit(obs::EventKind::kCorruptionDetect, cursor, 0,
+                    /*site=*/3);
+          continue;
+        }
         if (snap->ranks != static_cast<std::uint32_t>(ranks_) ||
             snap->job_key != job_key_ || snap->rank != rank ||
             snap->phase != static_cast<Phase>(phase))

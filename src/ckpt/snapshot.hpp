@@ -116,13 +116,17 @@ class SnapshotStore {
   SnapshotStore(std::string dir, int ranks, std::uint64_t job_key);
 
   // Best-effort write (directory created on demand). Thread-safe across
-  // ranks: file names embed the rank, so writers never collide.
-  void save(const Snapshot& snap) const;
+  // ranks: file names embed the rank, so writers never collide. Returns the
+  // path the snapshot was committed under, or "" on failure — the integrity
+  // layer uses the path to target scheduled snapshot-byte corruption.
+  std::string save(const Snapshot& snap) const;
 
   // Latest consistent set, indexed by rank, or nullopt for a cold start.
   // Corrupt candidates are skipped (falling back to an older cursor, then an
   // older phase); snapshots from a different job_key or rank count are
-  // treated as corrupt.
+  // treated as corrupt. Each EXISTING candidate file whose payload fails
+  // validation is surfaced as a corruption detection to obs (recovery is the
+  // fallback itself: newest clean snapshot, else cold start).
   std::optional<std::vector<Snapshot>> load_latest() const;
 
   const std::string& dir() const { return dir_; }

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <deque>
 #include <exception>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <memory>
@@ -20,6 +21,7 @@
 #include "mpisim/costmodel.hpp"
 #include "mpisim/runtime.hpp"
 #include "obs/trace.hpp"
+#include "support/checksum.hpp"
 #include "support/timer.hpp"
 #include "ws/parallel_for.hpp"
 #include "ws/scheduler.hpp"
@@ -140,6 +142,38 @@ class PoolPhase {
  private:
   ws::Scheduler& sched_;
 };
+
+// Scheduled snapshot-byte corruption (CorruptionPlan::SnapshotBytes): flip
+// one bit of a just-committed snapshot file, anywhere past the 8-byte magic
+// (body or trailing CRC — either way read_snapshot's CRC check rejects the
+// file on the next resume, which falls back to the older cursor/phase).
+void corrupt_snapshot_file(const std::string& path, std::uint64_t bit) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) return;
+  f.seekg(0, std::ios::end);
+  const std::streamoff size = f.tellg();
+  constexpr std::streamoff kMagicBytes = 8;
+  if (size <= kMagicBytes) return;
+  const std::uint64_t pos =
+      bit % (static_cast<std::uint64_t>(size - kMagicBytes) * 8);
+  const std::streamoff byte_at = kMagicBytes + static_cast<std::streamoff>(pos / 8);
+  f.seekg(byte_at);
+  char byte = 0;
+  if (!f.read(&byte, 1)) return;
+  byte = static_cast<char>(byte ^ static_cast<char>(1u << (pos % 8)));
+  f.seekp(byte_at);
+  f.write(&byte, 1);
+}
+
+// Integrity words folded into every checkpoint job key (satellite of the
+// data-integrity layer): a store written under a different guard posture or
+// checksum scheme is never resumed from.
+constexpr std::uint64_t kIntegrityTag = 0x1D7E6u;
+std::uint64_t integrity_job_word(bool guards_on) {
+  return ckpt::fnv1a64({kIntegrityTag, support::kIntegrityEpoch,
+                        static_cast<std::uint64_t>(support::kChecksumBlockBytes),
+                        guards_on ? 1ull : 0ull});
+}
 
 }  // namespace
 
@@ -323,7 +357,8 @@ RunResult oct_distributed(const Prepared& prep, const ApproxParams& params,
   const std::uint64_t job_key = ckpt::fnv1a64(
       {n_atoms, n_qleaves, n_aleaves, static_cast<std::uint64_t>(P),
        static_cast<std::uint64_t>(config.division),
-       static_cast<std::uint64_t>(params.traversal)});
+       static_cast<std::uint64_t>(params.traversal),
+       integrity_job_word(config.integrity_guards)});
   const ckpt::SnapshotStore store(policy.enabled() ? policy.dir : std::string("."),
                                   P, job_key);
 
@@ -370,6 +405,8 @@ RunResult oct_distributed(const Prepared& prep, const ApproxParams& params,
   rt.faults = config.faults;
   if (use_ckpt) rt.kill = config.kill;
   rt.stall_timeout_seconds = config.stall_timeout_seconds;
+  rt.corruption = config.corruption;
+  rt.integrity_guards = config.integrity_guards;
 
   const auto report = mpisim::Runtime::run(rt, [&](mpisim::Comm& comm) {
     const int r = comm.rank();
@@ -382,6 +419,7 @@ RunResult oct_distributed(const Prepared& prep, const ApproxParams& params,
     const bool skip_to_push = resume && resume_phase >= ckpt::Phase::kPush;
     const bool skip_to_epol = resume && resume_phase == ckpt::Phase::kEpol;
     std::uint32_t phase_boundaries = 0;
+    std::uint64_t snapshot_ordinal = 0;  // per-rank save order, for injection
     const auto save_snapshot = [&](ckpt::Phase phase, std::uint64_t cursor,
                                    std::vector<std::vector<double>> sections) {
       ckpt::Snapshot snap;
@@ -391,7 +429,16 @@ RunResult oct_distributed(const Prepared& prep, const ApproxParams& params,
       snap.cursor = cursor;
       snap.job_key = job_key;
       snap.sections = std::move(sections);
-      store.save(snap);
+      const std::string path = store.save(snap);
+      std::uint64_t bit = 0;
+      if (!path.empty() &&
+          comm.corruption_schedule().snapshot_bit(r, snapshot_ordinal, &bit)) {
+        corrupt_snapshot_file(path, bit);
+        comm.note_corruption_injected();
+        obs::emit(obs::EventKind::kCorruptionInject, snapshot_ordinal, 0,
+                  /*site=*/3);
+      }
+      ++snapshot_ordinal;
     };
     // Collective-boundary snapshot cadence (policy.every_n_collectives).
     const auto boundary_due = [&] {
@@ -866,6 +913,10 @@ RunResult oct_distributed(const Prepared& prep, const ApproxParams& params,
   result.wall_seconds = report.wall_seconds;
   result.retries = report.retries;
   result.redistributed_work_items = report.redistributed_work_items;
+  result.corruption_injected = report.corruption_injected;
+  result.corruption_detected = report.corruption_detected;
+  result.corruption_recomputed = report.corruption_recomputed;
+  result.corruption_retransmits = report.corruption_retransmits;
   result.degraded = report.degraded;
   result.killed = report.killed;
   result.resumed = resume;
@@ -979,6 +1030,18 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
   std::vector<double> born_shared(prep.num_atoms(), 0.0);
   double energy_shared = 0.0;
 
+  // Integrity epoch guards over the shared hot arrays: the executor seals a
+  // CRC of each chunk's pristine partial right after computing it (ledger
+  // discipline: each slot written by exactly one rank), and re-verifies its
+  // own chunks at every phase boundary — immediately before the token
+  // allreduce, whose barrier publishes any repair before any rank folds.
+  // Only allocated/active when a corruption schedule exists (zero overhead
+  // on the default path).
+  std::vector<std::uint32_t> born_crcs(
+      options.corruption.empty() ? 0 : born_plan.n_chunks, 0u);
+  std::vector<std::uint32_t> epol_crcs(
+      options.corruption.empty() ? 0 : epol_plan.n_chunks, 0u);
+
   // ---- Checkpoint/restart. The job key covers the chunk geometry but NOT
   // the balance policy: snapshots are policy-portable, because a restored
   // chunk's partial is identical wherever (and under whichever policy) it
@@ -988,7 +1051,7 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
       {n_atoms, n_qleaves, n_aleaves, static_cast<std::uint64_t>(P),
        static_cast<std::uint64_t>(params.traversal), 0xBA1Aull,
        born_plan.n_chunks, born_plan.chunk_items, epol_plan.n_chunks,
-       epol_plan.chunk_items});
+       epol_plan.chunk_items, integrity_job_word(options.integrity_guards)});
   const ckpt::SnapshotStore store(policy.enabled() ? policy.dir : std::string("."),
                                   P, job_key);
 
@@ -1061,6 +1124,19 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
   }
   const ckpt::Phase resume_phase = resume ? restored[0].phase : ckpt::Phase::kBornAccum;
 
+  // Seal restored chunks' CRCs host-side so the phase-boundary verification
+  // treats them as clean (they passed the snapshot CRC on the way in).
+  if (!options.corruption.empty()) {
+    for (std::uint32_t c = 0; c < born_plan.n_chunks; ++c)
+      if (born_ledger.done(c))
+        born_crcs[c] = support::crc32(born_partials[c].data(),
+                                      born_partials[c].size() * sizeof(double));
+    for (std::uint32_t c = 0; c < epol_plan.n_chunks; ++c)
+      if (epol_ledger.done(c))
+        epol_crcs[c] =
+            support::crc32(epol_raws[c].data(), epol_raws[c].size() * sizeof(double));
+  }
+
   mpisim::Runtime::Config rt;
   rt.ranks = P;
   rt.threads_per_rank = 1;
@@ -1068,6 +1144,8 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
   rt.faults = options.faults;
   rt.kill = options.kill;
   rt.stall_timeout_seconds = options.stall_timeout_seconds;
+  rt.corruption = options.corruption;
+  rt.integrity_guards = options.integrity_guards;
 
   const auto report = mpisim::Runtime::run(rt, [&](mpisim::Comm& comm) {
     const int r = comm.rank();
@@ -1075,7 +1153,40 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
     const bool skip_to_epol = resume && resume_phase == ckpt::Phase::kEpol;
     int writer = 0;  // lowest surviving rank; publishes the shared answer
 
+    // Hot-array integrity plumbing: injection fires once per scheduled
+    // (rank, phase, chunk) even if the chunk is recomputed afterwards.
+    const mpisim::CorruptionSchedule& corr = comm.corruption_schedule();
+    std::vector<char> born_fired(corr.empty() ? 0 : born_plan.n_chunks, 0);
+    std::vector<char> epol_fired(corr.empty() ? 0 : epol_plan.n_chunks, 0);
+    const auto seal_born = [&](std::uint32_t c) {
+      if (corr.empty()) return;
+      const std::size_t bytes = born_partials[c].size() * sizeof(double);
+      born_crcs[c] = support::crc32(born_partials[c].data(), bytes);
+      std::uint64_t bit = 0;
+      if (born_fired[c] == 0 &&
+          corr.hot_array_bit(r, mpisim::CorruptionPlan::kBornPartials, c, &bit)) {
+        born_fired[c] = 1;
+        support::flip_bit(born_partials[c].data(), bytes, bit);
+        comm.note_corruption_injected();
+        obs::emit(obs::EventKind::kCorruptionInject, c, bytes, /*site=*/2);
+      }
+    };
+    const auto seal_epol = [&](std::uint32_t c) {
+      if (corr.empty()) return;
+      const std::size_t bytes = epol_raws[c].size() * sizeof(double);
+      epol_crcs[c] = support::crc32(epol_raws[c].data(), bytes);
+      std::uint64_t bit = 0;
+      if (epol_fired[c] == 0 &&
+          corr.hot_array_bit(r, mpisim::CorruptionPlan::kEpolPartials, c, &bit)) {
+        epol_fired[c] = 1;
+        support::flip_bit(epol_raws[c].data(), bytes, bit);
+        comm.note_corruption_injected();
+        obs::emit(obs::EventKind::kCorruptionInject, c, bytes, /*site=*/2);
+      }
+    };
+
     std::uint32_t phase_boundaries = 0;
+    std::uint64_t snapshot_ordinal = 0;  // per-rank save order, for injection
     const auto boundary_due = [&] {
       const bool due = policy.every_n_collectives > 0 &&
                        phase_boundaries % policy.every_n_collectives == 0;
@@ -1104,7 +1215,17 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
             }
             ckpt::append_chunk_ledger(snap, ids, partials);
           }
-          store.save(snap);
+          const std::string path = store.save(snap);
+          std::uint64_t snap_bit = 0;
+          if (!path.empty() &&
+              comm.corruption_schedule().snapshot_bit(r, snapshot_ordinal,
+                                                      &snap_bit)) {
+            corrupt_snapshot_file(path, snap_bit);
+            comm.note_corruption_injected();
+            obs::emit(obs::EventKind::kCorruptionInject, snapshot_ordinal, 0,
+                      /*site=*/3);
+          }
+          ++snapshot_ordinal;
         };
 
     // Fires the planned steal round trips due before processing slot `i` of
@@ -1121,8 +1242,10 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
       }
     };
 
-    // One Born chunk, fresh-from-zero into its shared slot.
-    const auto compute_born_chunk = [&](std::uint32_t c) {
+    // One Born chunk, fresh-from-zero into its shared slot. `recompute`
+    // marks an integrity recompute: no migration accounting, and the seal
+    // records the clean CRC (the fired flag stops a second injection).
+    const auto compute_born_chunk = [&](std::uint32_t c, bool recompute = false) {
       const Segment seg = born_plan.chunk_range(c);
       traced_chunk(seg.lo, seg.hi, obs::PhaseId::kBornAccum, [&] {
         mpisim::Comm::ComputeRegion region(comm);
@@ -1135,8 +1258,26 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
         }
         born_partials[c].assign(scratch.flat().begin(), scratch.flat().end());
       });
-      if (plan_born.initial_rank[c] != r) comm.add_migrated_chunk();
+      seal_born(c);
+      if (!recompute && plan_born.initial_rank[c] != r) comm.add_migrated_chunk();
       born_ledger.mark_done(c, r);
+    };
+
+    // Re-checksum this rank's chunks against their seals; any mismatch is a
+    // detected hot-array corruption, recovered by recomputing the chunk
+    // fresh-from-zero (exact, by the canonical-fold construction).
+    const auto verify_born = [&](const std::vector<std::uint32_t>& ids) {
+      if (corr.empty() || !comm.integrity_guards()) return;
+      for (const std::uint32_t c : ids) {
+        const std::size_t bytes = born_partials[c].size() * sizeof(double);
+        if (support::crc32(born_partials[c].data(), bytes) == born_crcs[c])
+          continue;
+        comm.note_corruption_detected();
+        obs::emit(obs::EventKind::kCorruptionDetect, c, bytes, /*site=*/2);
+        compute_born_chunk(c, /*recompute=*/true);
+        comm.note_corruption_recomputed();
+        obs::emit(obs::EventKind::kCorruptionRecompute, c, bytes, /*site=*/2);
+      }
     };
 
     // ---- Born accumulation over this rank's planned chunk order.
@@ -1179,6 +1320,11 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
       const double proxy_zero = 0.0;
       std::vector<int> proxied;  // dead ranks this rank republishes for
       for (;;) {
+        // Integrity gate: every chunk this rank published (including
+        // death-recovery recomputes from a prior iteration, which can fire
+        // fresh injections) must verify before the collective succeeds and
+        // any rank starts folding.
+        verify_born(my_born_ids);
         std::vector<mpisim::ProxyPub> pubs;
         pubs.reserve(proxied.size());
         for (const int d : proxied) pubs.push_back({d, &proxy_zero});
@@ -1259,7 +1405,7 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
       mpisim::Comm::ComputeRegion region(comm);
       epol_solver = std::make_unique<EpolSolver>(prep, born, params, constants);
     }
-    const auto compute_epol_chunk = [&](std::uint32_t c) {
+    const auto compute_epol_chunk = [&](std::uint32_t c, bool recompute = false) {
       const Segment seg = epol_plan.chunk_range(c);
       traced_chunk(seg.lo, seg.hi, obs::PhaseId::kEpol, [&] {
         mpisim::Comm::ComputeRegion region(comm);
@@ -1275,8 +1421,23 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
         }
         epol_raws[c] = {raws[0], raws[1]};
       });
-      if (plan_epol.initial_rank[c] != r) comm.add_migrated_chunk();
+      seal_epol(c);
+      if (!recompute && plan_epol.initial_rank[c] != r) comm.add_migrated_chunk();
       epol_ledger.mark_done(c, r);
+    };
+
+    const auto verify_epol = [&](const std::vector<std::uint32_t>& ids) {
+      if (corr.empty() || !comm.integrity_guards()) return;
+      for (const std::uint32_t c : ids) {
+        const std::size_t bytes = epol_raws[c].size() * sizeof(double);
+        if (support::crc32(epol_raws[c].data(), bytes) == epol_crcs[c])
+          continue;
+        comm.note_corruption_detected();
+        obs::emit(obs::EventKind::kCorruptionDetect, c, bytes, /*site=*/2);
+        compute_epol_chunk(c, /*recompute=*/true);
+        comm.note_corruption_recomputed();
+        obs::emit(obs::EventKind::kCorruptionRecompute, c, bytes, /*site=*/2);
+      }
     };
 
     std::vector<std::uint32_t> my_epol_ids = restored_epol_ids[static_cast<std::size_t>(r)];
@@ -1312,6 +1473,9 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
       const double proxy_zero = 0.0;
       std::vector<int> proxied;
       for (;;) {
+        // Same integrity gate as the Born sync: all published chunks must
+        // verify before the fold can begin.
+        verify_epol(my_epol_ids);
         std::vector<mpisim::ProxyPub> pubs;
         pubs.reserve(proxied.size());
         for (const int d : proxied) pubs.push_back({d, &proxy_zero});
@@ -1376,6 +1540,10 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
   result.retries = report.retries;
   result.redistributed_work_items = report.redistributed_work_items;
   result.migrated_chunks = report.migrated_chunks;
+  result.corruption_injected = report.corruption_injected;
+  result.corruption_detected = report.corruption_detected;
+  result.corruption_recomputed = report.corruption_recomputed;
+  result.corruption_retransmits = report.corruption_retransmits;
   result.degraded = report.degraded;
   result.killed = report.killed;
   result.resumed = resume;
@@ -1488,12 +1656,20 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
   std::vector<double> born_shared(prep.num_atoms(), 0.0);
   double energy_shared = 0.0;
 
+  // Integrity epoch guards over the shared hot arrays (see oct_balanced):
+  // executor-sealed CRCs, re-verified before each phase's token allreduce.
+  std::vector<std::uint32_t> born_crcs(
+      options.corruption.empty() ? 0 : born_plan.n_chunks, 0u);
+  std::vector<std::uint32_t> epol_crcs(
+      options.corruption.empty() ? 0 : epol_plan.n_chunks, 0u);
+
   const ckpt::CheckpointPolicy& policy = options.checkpoint;
   const std::uint64_t job_key = ckpt::fnv1a64(
       {n_atoms, n_qleaves, n_aleaves, static_cast<std::uint64_t>(P),
        static_cast<std::uint64_t>(params.traversal), 0xBA1Aull,
        born_plan.n_chunks, born_plan.chunk_items, epol_plan.n_chunks,
-       epol_plan.chunk_items, 0x04EDull, ownership_hash, halo_hash});
+       epol_plan.chunk_items, 0x04EDull, ownership_hash, halo_hash,
+       integrity_job_word(options.integrity_guards)});
   const ckpt::SnapshotStore store(policy.enabled() ? policy.dir : std::string("."),
                                   P, job_key);
 
@@ -1582,6 +1758,19 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
   }
   const ckpt::Phase resume_phase = resume ? restored[0].phase : ckpt::Phase::kBornAccum;
 
+  // Seal restored chunks' CRCs host-side so the phase-boundary verification
+  // treats them as clean (they passed the snapshot CRC on the way in).
+  if (!options.corruption.empty()) {
+    for (std::uint32_t c = 0; c < born_plan.n_chunks; ++c)
+      if (born_ledger.done(c))
+        born_crcs[c] = support::crc32(born_partials[c].data(),
+                                      born_partials[c].size() * sizeof(double));
+    for (std::uint32_t c = 0; c < epol_plan.n_chunks; ++c)
+      if (epol_ledger.done(c))
+        epol_crcs[c] =
+            support::crc32(epol_raws[c].data(), epol_raws[c].size() * sizeof(double));
+  }
+
   mpisim::Runtime::Config rt;
   rt.ranks = P;
   rt.threads_per_rank = 1;
@@ -1589,6 +1778,8 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
   rt.faults = options.faults;
   rt.kill = options.kill;
   rt.stall_timeout_seconds = options.stall_timeout_seconds;
+  rt.corruption = options.corruption;
+  rt.integrity_guards = options.integrity_guards;
 
   const auto report = mpisim::Runtime::run(rt, [&](mpisim::Comm& comm) {
     const int r = comm.rank();
@@ -1606,7 +1797,40 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
     obs::emit(obs::EventKind::kHaloPlan, own.atoms.count(),
               my_halo.born_halo_atoms);
 
+    // Hot-array integrity plumbing (same protocol as oct_balanced): the
+    // executor seals the PRISTINE CRC, then applies any scheduled flip once.
+    const mpisim::CorruptionSchedule& corr = comm.corruption_schedule();
+    std::vector<char> born_fired(corr.empty() ? 0 : born_plan.n_chunks, 0);
+    std::vector<char> epol_fired(corr.empty() ? 0 : epol_plan.n_chunks, 0);
+    const auto seal_born = [&](std::uint32_t c) {
+      if (corr.empty()) return;
+      const std::size_t bytes = born_partials[c].size() * sizeof(double);
+      born_crcs[c] = support::crc32(born_partials[c].data(), bytes);
+      std::uint64_t bit = 0;
+      if (born_fired[c] == 0 &&
+          corr.hot_array_bit(r, mpisim::CorruptionPlan::kBornPartials, c, &bit)) {
+        born_fired[c] = 1;
+        support::flip_bit(born_partials[c].data(), bytes, bit);
+        comm.note_corruption_injected();
+        obs::emit(obs::EventKind::kCorruptionInject, c, bytes, /*site=*/2);
+      }
+    };
+    const auto seal_epol = [&](std::uint32_t c) {
+      if (corr.empty()) return;
+      const std::size_t bytes = epol_raws[c].size() * sizeof(double);
+      epol_crcs[c] = support::crc32(epol_raws[c].data(), bytes);
+      std::uint64_t bit = 0;
+      if (epol_fired[c] == 0 &&
+          corr.hot_array_bit(r, mpisim::CorruptionPlan::kEpolPartials, c, &bit)) {
+        epol_fired[c] = 1;
+        support::flip_bit(epol_raws[c].data(), bytes, bit);
+        comm.note_corruption_injected();
+        obs::emit(obs::EventKind::kCorruptionInject, c, bytes, /*site=*/2);
+      }
+    };
+
     std::uint32_t phase_boundaries = 0;
+    std::uint64_t snapshot_ordinal = 0;  // per-rank save order, for injection
     const auto boundary_due = [&] {
       const bool due = policy.every_n_collectives > 0 &&
                        phase_boundaries % policy.every_n_collectives == 0;
@@ -1635,7 +1859,17 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
             }
             ckpt::append_chunk_ledger(snap, ids, partials);
           }
-          store.save(snap);
+          const std::string path = store.save(snap);
+          std::uint64_t snap_bit = 0;
+          if (!path.empty() &&
+              comm.corruption_schedule().snapshot_bit(r, snapshot_ordinal,
+                                                      &snap_bit)) {
+            corrupt_snapshot_file(path, snap_bit);
+            comm.note_corruption_injected();
+            obs::emit(obs::EventKind::kCorruptionInject, snapshot_ordinal, 0,
+                      /*site=*/3);
+          }
+          ++snapshot_ordinal;
         };
 
     const auto fire_steals = [&](const std::vector<StealEvent>& evs,
@@ -1649,7 +1883,7 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
       }
     };
 
-    const auto compute_born_chunk = [&](std::uint32_t c) {
+    const auto compute_born_chunk = [&](std::uint32_t c, bool recompute = false) {
       const Segment seg = born_plan.chunk_range(c);
       traced_chunk(seg.lo, seg.hi, obs::PhaseId::kBornAccum, [&] {
         mpisim::Comm::ComputeRegion region(comm);
@@ -1662,8 +1896,23 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
         }
         born_partials[c].assign(scratch.flat().begin(), scratch.flat().end());
       });
-      if (plan_born.initial_rank[c] != r) comm.add_migrated_chunk();
+      seal_born(c);
+      if (!recompute && plan_born.initial_rank[c] != r) comm.add_migrated_chunk();
       born_ledger.mark_done(c, r);
+    };
+
+    const auto verify_born = [&](const std::vector<std::uint32_t>& ids) {
+      if (corr.empty() || !comm.integrity_guards()) return;
+      for (const std::uint32_t c : ids) {
+        const std::size_t bytes = born_partials[c].size() * sizeof(double);
+        if (support::crc32(born_partials[c].data(), bytes) == born_crcs[c])
+          continue;
+        comm.note_corruption_detected();
+        obs::emit(obs::EventKind::kCorruptionDetect, c, bytes, /*site=*/2);
+        compute_born_chunk(c, /*recompute=*/true);
+        comm.note_corruption_recomputed();
+        obs::emit(obs::EventKind::kCorruptionRecompute, c, bytes, /*site=*/2);
+      }
     };
 
     // ---- Born accumulation (same chunk protocol as oct_balanced).
@@ -1702,6 +1951,10 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
       const double proxy_zero = 0.0;
       std::vector<int> proxied;
       for (;;) {
+        // Integrity gate: re-verify every published chunk (including any
+        // death-recovery recomputes from a prior iteration) before the
+        // collective succeeds and the sliced fold begins.
+        verify_born(my_born_ids);
         std::vector<mpisim::ProxyPub> pubs;
         pubs.reserve(proxied.size());
         for (const int d : proxied) pubs.push_back({d, &proxy_zero});
@@ -1992,7 +2245,8 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
         }
       }
     };
-    const auto compute_epol_chunk = [&](std::uint32_t c, bool recovery) {
+    const auto compute_epol_chunk = [&](std::uint32_t c, bool recovery,
+                                        bool recompute = false) {
       const Segment seg = epol_plan.chunk_range(c);
       if (recovery) {
         const InteractionLists lists = epol_solver->build_lists(seg.lo, seg.hi);
@@ -2008,8 +2262,26 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
                                                   raws[1]);
         epol_raws[c] = {raws[0], raws[1]};
       });
-      if (plan_epol.initial_rank[c] != r) comm.add_migrated_chunk();
+      seal_epol(c);
+      if (!recompute && plan_epol.initial_rank[c] != r) comm.add_migrated_chunk();
       epol_ledger.mark_done(c, r);
+    };
+
+    const auto verify_epol = [&](const std::vector<std::uint32_t>& ids) {
+      if (corr.empty() || !comm.integrity_guards()) return;
+      for (const std::uint32_t c : ids) {
+        const std::size_t bytes = epol_raws[c].size() * sizeof(double);
+        if (support::crc32(epol_raws[c].data(), bytes) == epol_crcs[c])
+          continue;
+        comm.note_corruption_detected();
+        obs::emit(obs::EventKind::kCorruptionDetect, c, bytes, /*site=*/2);
+        // recovery=true is a no-op when the chunk's near inputs are still
+        // resident (they are: this rank computed it earlier); it only
+        // reconstructs after a degraded path dropped them.
+        compute_epol_chunk(c, /*recovery=*/true, /*recompute=*/true);
+        comm.note_corruption_recomputed();
+        obs::emit(obs::EventKind::kCorruptionRecompute, c, bytes, /*site=*/2);
+      }
     };
 
     std::vector<std::uint32_t> my_epol_ids = restored_epol_ids[static_cast<std::size_t>(r)];
@@ -2047,6 +2319,8 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
       const double proxy_zero = 0.0;
       std::vector<int> proxied;
       for (;;) {
+        // Same integrity gate as the Born sync.
+        verify_epol(my_epol_ids);
         std::vector<mpisim::ProxyPub> pubs;
         pubs.reserve(proxied.size());
         for (const int d : proxied) pubs.push_back({d, &proxy_zero});
@@ -2134,6 +2408,10 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
   result.retries = report.retries;
   result.redistributed_work_items = report.redistributed_work_items;
   result.migrated_chunks = report.migrated_chunks;
+  result.corruption_injected = report.corruption_injected;
+  result.corruption_detected = report.corruption_detected;
+  result.corruption_recomputed = report.corruption_recomputed;
+  result.corruption_retransmits = report.corruption_retransmits;
   result.degraded = report.degraded;
   result.killed = report.killed;
   result.resumed = resume;

@@ -81,6 +81,10 @@ struct RunConfig {
   // Supervisor watchdog: heartbeat-stagnation bound after which a stalled
   // rank is converted into a death (mpisim/runtime.hpp). <= 0 disables.
   double stall_timeout_seconds = 0.0;
+  // Silent-corruption injection schedule and the integrity-guard master
+  // switch (mpisim/faults.hpp). Guards OFF is canary-test only.
+  mpisim::CorruptionPlan corruption;
+  bool integrity_guards = true;
   // Checkpoint policy (ckpt/snapshot.hpp): enabled when checkpoint.dir is
   // non-empty. Snapshots are keyed to logical schedule points (phase +
   // leaf-range cursor), so a resumed run reproduces the uninterrupted

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <utility>
@@ -115,6 +116,8 @@ RunResult Engine::run(const RunOptions& options) const {
   config.kill = options.kill;
   config.stall_timeout_seconds = options.stall_timeout_seconds;
   config.checkpoint = options.checkpoint;
+  config.corruption = options.corruption;
+  config.integrity_guards = options.integrity_guards;
   return detail::oct_distributed(*prep_, params, constants_, config);
 }
 
@@ -140,6 +143,10 @@ RunResultDoc doc_from_result(const RunResult& result, const std::string& label) 
   doc.steal_grants = result.steal_grants;
   doc.owned_bytes_per_rank = static_cast<std::uint64_t>(result.owned_bytes_per_rank);
   doc.owned_halo_bytes = static_cast<std::uint64_t>(result.owned_halo_bytes);
+  doc.corruption_injected = result.corruption_injected;
+  doc.corruption_detected = result.corruption_detected;
+  doc.corruption_recomputed = result.corruption_recomputed;
+  doc.corruption_retransmits = result.corruption_retransmits;
   doc.degraded = result.degraded;
   doc.killed = result.killed;
   doc.resumed = result.resumed;
@@ -207,6 +214,29 @@ obs::json::Value run_result_doc_to_json(const RunResultDoc& doc) {
   using obs::json::Object;
   using obs::json::Value;
 
+  // Satellite guard: JSON cannot represent NaN/Inf, so a non-finite double
+  // here would serialize as null. Name the offending fields loudly at the
+  // root; the parser rejects a flagged document outright.
+  std::vector<std::string> non_finite;
+  const auto check = [&non_finite](double d, const char* name) {
+    if (!std::isfinite(d)) non_finite.emplace_back(name);
+  };
+  check(doc.energy, "energy");
+  check(doc.compute_seconds, "compute_seconds");
+  check(doc.comm_seconds, "comm_seconds");
+  check(doc.wall_seconds, "wall_seconds");
+  check(doc.born_first, "born.first");
+  check(doc.born_middle, "born.middle");
+  check(doc.born_last, "born.last");
+  check(doc.born_mean, "born.mean");
+  for (const mpisim::RankResult& r : doc.rank_results) {
+    if (!std::isfinite(r.compute_seconds) ||
+        !std::isfinite(r.straggler_seconds) || !std::isfinite(r.comm_seconds)) {
+      non_finite.emplace_back("rank_results");
+      break;
+    }
+  }
+
   Object born;
   born.emplace_back("count", Value(doc.born_count));
   born.emplace_back("first", Value(doc.born_first));
@@ -224,6 +254,10 @@ obs::json::Value run_result_doc_to_json(const RunResultDoc& doc) {
     o.emplace_back("retries", Value(r.retries));
     o.emplace_back("redistributed_work_items", Value(r.redistributed_work_items));
     o.emplace_back("migrated_chunks", Value(r.migrated_chunks));
+    o.emplace_back("corruption_injected", Value(r.corruption_injected));
+    o.emplace_back("corruption_detected", Value(r.corruption_detected));
+    o.emplace_back("corruption_recomputed", Value(r.corruption_recomputed));
+    o.emplace_back("corruption_retransmits", Value(r.corruption_retransmits));
     o.emplace_back("died", Value(r.died));
     ranks.emplace_back(std::move(o));
   }
@@ -246,6 +280,11 @@ obs::json::Value run_result_doc_to_json(const RunResultDoc& doc) {
   root.emplace_back("steal_grants", Value(doc.steal_grants));
   root.emplace_back("owned_bytes_per_rank", Value(doc.owned_bytes_per_rank));
   root.emplace_back("owned_halo_bytes", Value(doc.owned_halo_bytes));
+  root.emplace_back("corruption_injected", Value(doc.corruption_injected));
+  root.emplace_back("corruption_detected", Value(doc.corruption_detected));
+  root.emplace_back("corruption_recomputed", Value(doc.corruption_recomputed));
+  root.emplace_back("corruption_retransmits",
+                    Value(doc.corruption_retransmits));
   root.emplace_back("degraded", Value(doc.degraded));
   root.emplace_back("killed", Value(doc.killed));
   root.emplace_back("resumed", Value(doc.resumed));
@@ -255,6 +294,12 @@ obs::json::Value run_result_doc_to_json(const RunResultDoc& doc) {
   // Derived (parsers recompute or ignore): keeps dashboards one-pass.
   root.emplace_back("derived_modeled_seconds",
                     Value(doc.compute_seconds + doc.comm_seconds));
+  if (!non_finite.empty()) {
+    Array bad;
+    bad.reserve(non_finite.size());
+    for (std::string& f : non_finite) bad.push_back(Value(std::move(f)));
+    root.emplace_back("non_finite_fields", Value(std::move(bad)));
+  }
   return Value(std::move(root));
 }
 
@@ -287,6 +332,13 @@ RunResultParse run_result_from_json(const obs::json::Value& root) {
 
   RunResultDoc& doc = out.doc;
   std::string& err = out.error;
+  if (const obs::json::Value* bad = root.find("non_finite_fields");
+      bad != nullptr && bad->is_array() && !bad->as_array().empty()) {
+    err = "document flagged non-finite fields:";
+    for (const obs::json::Value& f : bad->as_array())
+      if (f.is_string()) err += " " + f.as_string();
+    return out;
+  }
   const obs::json::Value* label = root.find("label");
   if (label == nullptr || !label->is_string()) {
     err = "missing or non-string field: label";
@@ -322,6 +374,20 @@ RunResultParse run_result_from_json(const obs::json::Value& root) {
   if (root.find("owned_halo_bytes") != nullptr &&
       !read_u64(root, "owned_halo_bytes", doc.owned_halo_bytes, err))
     return out;
+  // Pure v1 additions (data-integrity layer): same optional policy.
+  if (root.find("corruption_injected") != nullptr &&
+      !read_u64(root, "corruption_injected", doc.corruption_injected, err))
+    return out;
+  if (root.find("corruption_detected") != nullptr &&
+      !read_u64(root, "corruption_detected", doc.corruption_detected, err))
+    return out;
+  if (root.find("corruption_recomputed") != nullptr &&
+      !read_u64(root, "corruption_recomputed", doc.corruption_recomputed, err))
+    return out;
+  if (root.find("corruption_retransmits") != nullptr &&
+      !read_u64(root, "corruption_retransmits", doc.corruption_retransmits,
+                err))
+    return out;
 
   const obs::json::Value* born = root.find("born");
   if (born == nullptr || !born->is_object()) {
@@ -355,6 +421,21 @@ RunResultParse run_result_from_json(const obs::json::Value& root) {
                   err) ||
         !read_u64(entry, "migrated_chunks", r.migrated_chunks, err) ||
         !read_bool(entry, "died", r.died, err))
+      return out;
+    // Optional v1 additions (data-integrity layer).
+    if (entry.find("corruption_injected") != nullptr &&
+        !read_u64(entry, "corruption_injected", r.corruption_injected, err))
+      return out;
+    if (entry.find("corruption_detected") != nullptr &&
+        !read_u64(entry, "corruption_detected", r.corruption_detected, err))
+      return out;
+    if (entry.find("corruption_recomputed") != nullptr &&
+        !read_u64(entry, "corruption_recomputed", r.corruption_recomputed,
+                  err))
+      return out;
+    if (entry.find("corruption_retransmits") != nullptr &&
+        !read_u64(entry, "corruption_retransmits", r.corruption_retransmits,
+                  err))
       return out;
     doc.rank_results.push_back(r);
   }

@@ -87,6 +87,15 @@ struct RunOptions {
   mpisim::KillPlan kill;
   double stall_timeout_seconds = 0.0;
 
+  // Silent-corruption injection + integrity guards (mpisim/faults.hpp,
+  // DESIGN.md "Data integrity & silent corruption"). `corruption` schedules
+  // deterministic bit flips in message/collective payloads, hot arrays and
+  // snapshot bytes; `integrity_guards` (default ON) enables the checksum
+  // detection + surgical-recompute recovery. Guards OFF is canary-test only:
+  // corrupted bytes then flow through undetected.
+  mpisim::CorruptionPlan corruption;
+  bool integrity_guards = true;
+
   // Checkpoint/restart (ckpt/snapshot.hpp); enabled when checkpoint.dir set.
   ckpt::CheckpointPolicy checkpoint;
 
@@ -151,6 +160,13 @@ struct RunResult {
   std::uint64_t redistributed_work_items = 0;
   std::uint64_t migrated_chunks = 0;  // cross-rank: chunks computed off-plan
   std::uint64_t steal_grants = 0;     // cross-rank: granted steal requests
+
+  // Data-integrity accounting (sums over ranks; see CorruptionPlan).
+  std::uint64_t corruption_injected = 0;
+  std::uint64_t corruption_detected = 0;
+  std::uint64_t corruption_recomputed = 0;
+  std::uint64_t corruption_retransmits = 0;
+
   bool degraded = false;
   bool killed = false;
   bool resumed = false;
@@ -219,6 +235,12 @@ struct RunResultDoc {
   // owned driver existed, so they parse as zero rather than rejecting.
   std::uint64_t owned_bytes_per_rank = 0;
   std::uint64_t owned_halo_bytes = 0;
+  // Pure v1 additions (data-integrity layer): same absent-parses-as-zero
+  // policy.
+  std::uint64_t corruption_injected = 0;
+  std::uint64_t corruption_detected = 0;
+  std::uint64_t corruption_recomputed = 0;
+  std::uint64_t corruption_retransmits = 0;
   bool degraded = false;
   bool killed = false;
   bool resumed = false;

@@ -73,6 +73,8 @@ int Campaign::quarantined() const {
 }
 
 ErrorClass Campaign::classify(const std::exception& e) {
+  if (dynamic_cast<const CorruptionError*>(&e) != nullptr)
+    return ErrorClass::kCorruption;
   if (dynamic_cast<const IoError*>(&e) != nullptr) return ErrorClass::kIo;
   if (dynamic_cast<const std::ios_base::failure*>(&e) != nullptr)
     return ErrorClass::kIo;
@@ -83,6 +85,11 @@ ErrorClass Campaign::classify(const std::exception& e) {
   if (dynamic_cast<const std::length_error*>(&e) != nullptr)
     return ErrorClass::kOom;
   const std::string msg = e.what();
+  // Corruption outranks the other string classes: a checksum-mismatch
+  // message often also mentions the payload that went bad.
+  if (contains_ci(msg, "corrupt") || contains_ci(msg, "checksum") ||
+      contains_ci(msg, "crc"))
+    return ErrorClass::kCorruption;
   if (contains_ci(msg, "timeout") || contains_ci(msg, "timed out") ||
       contains_ci(msg, "stall"))
     return ErrorClass::kTimeout;

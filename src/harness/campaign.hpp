@@ -62,10 +62,12 @@ class Campaign {
   bool journal_healthy() const { return journal_.healthy(); }
   const ckpt::Journal& journal() const { return journal_; }
 
-  // Folds an exception into the ErrorClass taxonomy: IoError and stream /
-  // filesystem errors -> kIo; bad_alloc/length_error -> kOom; messages
-  // naming a stall or timeout -> kTimeout; messages naming NaN/Inf or
-  // non-finite values -> kNumerical; anything else -> kFault.
+  // Folds an exception into the ErrorClass taxonomy: CorruptionError (and
+  // messages naming corruption/checksum/CRC) -> kCorruption, retried then
+  // quarantined like any other job failure; IoError and stream / filesystem
+  // errors -> kIo; bad_alloc/length_error -> kOom; messages naming a stall
+  // or timeout -> kTimeout; messages naming NaN/Inf or non-finite values ->
+  // kNumerical; anything else -> kFault.
   static ErrorClass classify(const std::exception& e);
 
  private:

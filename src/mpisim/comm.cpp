@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "mpisim/shared_state.hpp"
+#include "support/checksum.hpp"
 
 namespace gbpol::mpisim {
 
@@ -17,6 +18,74 @@ Comm::Comm(SharedState& shared, int rank)
       send_seq_(static_cast<std::size_t>(shared.ranks), 0) {}
 
 int Comm::size() const { return shared_->ranks; }
+
+const CorruptionSchedule& Comm::corruption_schedule() const {
+  return shared_->corruption;
+}
+
+bool Comm::integrity_guards() const { return shared_->integrity_guards; }
+
+void Comm::note_corruption_injected() {
+  ++corruption_injected_;
+  obs::add_corruption_injected(rank_);
+}
+
+void Comm::note_corruption_detected() {
+  ++corruption_detected_;
+  obs::add_corruption_detected(rank_);
+}
+
+void Comm::note_corruption_recomputed() {
+  ++corruption_recomputed_;
+  obs::add_corruption_recompute(rank_);
+}
+
+// Site codes for the corruption trace events' arg byte.
+namespace {
+constexpr std::uint8_t kSiteMessage = 0;
+constexpr std::uint8_t kSiteCollective = 1;
+}  // namespace
+
+const void* Comm::integrity_fetch(const void* published, std::size_t bytes,
+                                  int publisher, std::uint64_t seq,
+                                  std::vector<std::byte>& scratch) {
+  SharedState& s = *shared_;
+  std::uint64_t bit = 0;
+  if (publisher == rank_ || bytes == 0 ||
+      !s.corruption.collective_bit(publisher, rank_, seq, &bit))
+    return published;
+  // The flip happens on the wire: the publisher's buffer stays pristine,
+  // only this rank's received copy carries the flipped bit.
+  scratch.assign(static_cast<const std::byte*>(published),
+                 static_cast<const std::byte*>(published) + bytes);
+  support::flip_bit(scratch.data(), bytes, bit);
+  ++corruption_injected_;
+  obs::add_corruption_injected(rank_);
+  obs::emit(obs::EventKind::kCorruptionInject, seq, bytes, kSiteCollective);
+  if (!s.integrity_guards) return scratch.data();
+  // Guarded read: the received copy must reproduce the publisher's block
+  // digests. On mismatch, recovery re-reads the publication — modeled as
+  // one retransmit round (backoff window + fresh p2p leg from the
+  // publisher), after which the copy is clean by construction.
+  const support::BlockChecksum expected =
+      support::block_checksum(published, bytes);
+  if (!support::diff_blocks(expected, scratch.data(), bytes).empty()) {
+    ++corruption_detected_;
+    ++corruption_retransmits_;
+    ++retries_;
+    charge(s.cost.backoff(0) + s.cost.p2p(publisher, rank_, bytes));
+    obs::add_corruption_detected(rank_);
+    obs::add_corruption_retransmit(rank_);
+    obs::emit(obs::EventKind::kCorruptionDetect, seq, bytes, kSiteCollective);
+    obs::emit(obs::EventKind::kCorruptionRetransmit, seq, bytes,
+              kSiteCollective);
+    return published;
+  }
+  // Unreachable for single-bit flips (CRC32 detects them all); kept so an
+  // undetectable pattern would flow through corrupted and fail loudly in
+  // the equivalence tests rather than masking a guard bug here.
+  return scratch.data();
+}
 
 void Comm::die_now(std::uint64_t seq, obs::DeathCause cause) {
   // The rank dies without publishing. It still arrives once (so peers
@@ -220,9 +289,11 @@ CollectiveStatus Comm::fold_ft(std::span<double> data, FoldOp op, int root,
                               : op == FoldOp::kMin
                                   ? std::numeric_limits<double>::infinity()
                                   : -std::numeric_limits<double>::infinity());
+    std::vector<std::byte> scratch;
     for (int r = 0; r < s.ranks; ++r) {
-      const auto* src =
-          static_cast<const double*>(s.publish[static_cast<std::size_t>(r)].ptr);
+      const auto* src = static_cast<const double*>(
+          integrity_fetch(s.publish[static_cast<std::size_t>(r)].ptr,
+                          data.size_bytes(), r, seq, scratch));
       for (std::size_t i = 0; i < data.size(); ++i) {
         switch (op) {
           case FoldOp::kSum: total[i] += src[i]; break;
@@ -263,8 +334,13 @@ CollectiveStatus Comm::bcast_bytes_ft(void* data, std::size_t bytes, int root,
     return st;
   }
   retry_streak_ = 0;
-  if (rank_ != root)
-    std::memcpy(data, s.publish[static_cast<std::size_t>(root)].ptr, bytes);
+  if (rank_ != root) {
+    std::vector<std::byte> scratch;
+    std::memcpy(data,
+                integrity_fetch(s.publish[static_cast<std::size_t>(root)].ptr,
+                                bytes, root, seq, scratch),
+                bytes);
+  }
   s.sync.arrive_and_wait();
   const double cost = s.cost.bcast(bytes);
   charge(cost);
@@ -292,6 +368,7 @@ CollectiveStatus Comm::allgatherv_bytes_ft(const void* send, void* recv,
   }
   retry_streak_ = 0;
   std::size_t total_bytes = 0;
+  std::vector<std::byte> scratch;
   for (int r = 0; r < s.ranks; ++r) {
     const std::size_t rb = static_cast<std::size_t>(counts[r]) * elem_size;
     auto* dst = static_cast<std::byte*>(recv) +
@@ -299,7 +376,8 @@ CollectiveStatus Comm::allgatherv_bytes_ft(const void* send, void* recv,
     // In-place gather: a rank's own slice may alias recv exactly. Skip the
     // self-copy then — besides being a no-op, writing those bytes would race
     // with peers concurrently reading them through the publish slot.
-    const void* src = s.publish[static_cast<std::size_t>(r)].ptr;
+    const void* src = integrity_fetch(s.publish[static_cast<std::size_t>(r)].ptr,
+                                      rb, r, seq, scratch);
     if (dst != src) std::memmove(dst, src, rb);
     total_bytes += rb;
   }
@@ -367,6 +445,21 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) {
   msg.delay_seconds = s.faults.delay_seconds(rank_, dst, seq);
   msg.payload.resize(bytes);
   std::memcpy(msg.payload.data(), data, bytes);
+  if (!s.corruption.empty()) {
+    // Integrity framing: block checksums of the pristine payload travel
+    // with the message. Only armed when a corruption schedule exists — a
+    // clean run keeps the original zero-overhead framing.
+    msg.checksum = support::block_checksum(msg.payload.data(), bytes);
+    std::uint64_t bit = 0;
+    if (bytes > 0 && s.corruption.message_bit(rank_, dst, seq, &bit)) {
+      msg.pristine = msg.payload;  // what the modeled retransmit delivers
+      support::flip_bit(msg.payload.data(), bytes, bit);
+      ++corruption_injected_;
+      obs::add_corruption_injected(rank_);
+      obs::emit(obs::EventKind::kCorruptionInject,
+                static_cast<std::uint64_t>(dst), bytes, kSiteMessage);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mb.mutex);
     mb.queue.push_back(std::move(msg));
@@ -399,6 +492,25 @@ RecvStatus Comm::recv_bytes_ft(void* data, std::size_t bytes, int src, int tag) 
         obs::emit(obs::EventKind::kRetransmit, static_cast<std::uint64_t>(src),
                   static_cast<std::uint64_t>(attempt));
         obs::add_retransmit(rank_);
+      }
+      if (!it->checksum.blocks.empty() && s.integrity_guards &&
+          !support::diff_blocks(it->checksum, it->payload.data(), bytes)
+               .empty()) {
+        // Silent wire corruption: the framing checksums disagree with the
+        // delivered bytes. Recovery is one modeled retransmit round (backoff
+        // window + a fresh transmission), after which the pristine copy
+        // arrives — the sender's buffer was never wrong.
+        ++corruption_detected_;
+        ++corruption_retransmits_;
+        ++retries_;
+        charge(s.cost.backoff(0) + s.cost.p2p(src, rank_, bytes));
+        obs::add_corruption_detected(rank_);
+        obs::add_corruption_retransmit(rank_);
+        obs::emit(obs::EventKind::kCorruptionDetect,
+                  static_cast<std::uint64_t>(src), bytes, kSiteMessage);
+        obs::emit(obs::EventKind::kCorruptionRetransmit,
+                  static_cast<std::uint64_t>(src), bytes, kSiteMessage);
+        it->payload = std::move(it->pristine);
       }
       std::memcpy(data, it->payload.data(), bytes);
       charge(s.cost.p2p(src, rank_, bytes) + it->delay_seconds);

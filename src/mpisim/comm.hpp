@@ -34,6 +34,7 @@
 namespace gbpol::mpisim {
 
 struct SharedState;
+class CorruptionSchedule;
 
 enum class CommError {
   kOk = 0,
@@ -238,6 +239,24 @@ class Comm {
   std::uint64_t retries() const { return retries_; }
   std::uint64_t redistributed_work() const { return redistributed_work_; }
   std::uint64_t migrated_chunks() const { return migrated_chunks_; }
+  std::uint64_t corruption_injected() const { return corruption_injected_; }
+  std::uint64_t corruption_detected() const { return corruption_detected_; }
+  std::uint64_t corruption_recomputed() const { return corruption_recomputed_; }
+  std::uint64_t corruption_retransmits() const { return corruption_retransmits_; }
+
+  // --- data integrity ---------------------------------------------------
+  // The run's silent-corruption schedule and the guard master switch,
+  // exposed so drivers can inject/verify their hot arrays and snapshots on
+  // the same replayable clocks the comm framing uses.
+  const CorruptionSchedule& corruption_schedule() const;
+  bool integrity_guards() const;
+
+  // Integrity bookkeeping from outside the comm framing (hot-array guards,
+  // snapshot injection in the drivers). Counters land in this rank's report
+  // and the per-rank obs metrics alongside the comm layer's own.
+  void note_corruption_injected();
+  void note_corruption_detected();
+  void note_corruption_recomputed();
 
  private:
   enum class FoldOp { kSum, kMin, kMax };
@@ -271,6 +290,16 @@ class Comm {
   void require_ok(const CollectiveStatus& st, const char* what) const;
   void require_recv_ok(const RecvStatus& st, int src) const;
 
+  // Collective-payload integrity: the bytes rank `publisher` published, as
+  // THIS rank receives them at collective `seq`. If the schedule flips a bit
+  // on the (publisher -> this) copy, the flipped bytes live in `scratch`;
+  // with guards on, the digest mismatch is detected, a modeled retransmit
+  // is charged, and the pristine publication is returned — with guards off
+  // the corrupted scratch copy is returned as-is.
+  const void* integrity_fetch(const void* published, std::size_t bytes,
+                              int publisher, std::uint64_t seq,
+                              std::vector<std::byte>& scratch);
+
   void charge(double seconds) { comm_seconds_ += seconds; }
 
   SharedState* shared_;
@@ -282,6 +311,10 @@ class Comm {
   std::uint64_t retries_ = 0;
   std::uint64_t redistributed_work_ = 0;
   std::uint64_t migrated_chunks_ = 0;
+  std::uint64_t corruption_injected_ = 0;
+  std::uint64_t corruption_detected_ = 0;
+  std::uint64_t corruption_recomputed_ = 0;
+  std::uint64_t corruption_retransmits_ = 0;
   std::uint64_t collective_seq_ = 0;      // logical clock: collectives entered
   std::vector<std::uint64_t> send_seq_;   // logical clock: sends per dest rank
   std::uint64_t tick_ = 0;                // polls since last collective entry

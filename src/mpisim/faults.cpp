@@ -159,4 +159,145 @@ bool FaultSchedule::stalls_at(int rank, std::uint64_t collective_seq) const {
   return stall_seq_[static_cast<std::size_t>(rank)] == collective_seq;
 }
 
+CorruptionPlan CorruptionPlan::random(std::uint64_t seed, int ranks,
+                                      const RandomProfile& profile) {
+  CorruptionPlan plan;
+  if (ranks <= 0) return plan;
+  // Distinct stream constant from FaultPlan::random so the same seed can
+  // drive both generators without correlated draws.
+  Rng rng(seed ^ 0x51dc0441b17ULL);
+
+  const auto pick_rank = [&] {
+    return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ranks)));
+  };
+  const auto pick_bit = [&] { return rng.next_below(std::uint64_t(1) << 20); };
+
+  const int n_messages = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(profile.max_messages) + 1));
+  for (int i = 0; i < n_messages; ++i) {
+    Message m;
+    m.src = pick_rank();
+    m.dst = pick_rank();
+    if (m.src == m.dst) m.dst = (m.dst + 1) % ranks;
+    m.send_seq = rng.next_below(std::max<std::uint64_t>(1, profile.send_seq_horizon));
+    m.bit = pick_bit();
+    if (m.src != m.dst) plan.messages.push_back(m);
+  }
+
+  const int n_collectives = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(profile.max_collectives) + 1));
+  for (int i = 0; i < n_collectives; ++i) {
+    Collective c;
+    c.src = pick_rank();
+    c.dst = pick_rank();
+    if (c.src == c.dst) c.dst = (c.dst + 1) % ranks;
+    c.collective_seq =
+        rng.next_below(std::max<std::uint64_t>(1, profile.collective_horizon));
+    c.bit = pick_bit();
+    if (c.src != c.dst) plan.collectives.push_back(c);
+  }
+
+  const int n_hot = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(profile.max_hot_arrays) + 1));
+  for (int i = 0; i < n_hot; ++i) {
+    HotArray h;
+    h.rank = pick_rank();
+    h.phase = static_cast<std::uint32_t>(rng.next_below(2));
+    h.chunk = static_cast<std::uint32_t>(
+        rng.next_below(std::max<std::uint64_t>(1, profile.chunk_horizon)));
+    h.bit = pick_bit();
+    plan.hot_arrays.push_back(h);
+  }
+
+  const int n_snaps = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(std::max(0, profile.max_snapshots)) + 1));
+  for (int i = 0; i < n_snaps; ++i) {
+    SnapshotBytes s;
+    s.rank = pick_rank();
+    s.ordinal =
+        rng.next_below(std::max<std::uint64_t>(1, profile.snapshot_horizon));
+    s.bit = pick_bit();
+    plan.snapshots.push_back(s);
+  }
+  return plan;
+}
+
+CorruptionSchedule::CorruptionSchedule(const CorruptionPlan& plan, int ranks)
+    : ranks_(std::max(1, ranks)) {
+  const auto in_range = [&](int r) { return r >= 0 && r < ranks_; };
+  constexpr std::uint64_t kPhases = 2;  // kBornPartials / kEpolPartials
+
+  for (const CorruptionPlan::Message& m : plan.messages) {
+    if (!in_range(m.src) || !in_range(m.dst) || m.src == m.dst) continue;
+    messages_.push_back({link_key(m.src, m.dst, ranks_), m.send_seq, m.bit});
+  }
+  for (const CorruptionPlan::Collective& c : plan.collectives) {
+    if (!in_range(c.src) || !in_range(c.dst) || c.src == c.dst) continue;
+    collectives_.push_back(
+        {link_key(c.src, c.dst, ranks_), c.collective_seq, c.bit});
+  }
+  for (const CorruptionPlan::HotArray& h : plan.hot_arrays) {
+    if (!in_range(h.rank) || h.phase >= kPhases) continue;
+    hot_arrays_.push_back({static_cast<std::uint64_t>(h.rank) * kPhases + h.phase,
+                           h.chunk, h.bit});
+  }
+  for (const CorruptionPlan::SnapshotBytes& s : plan.snapshots) {
+    if (!in_range(s.rank)) continue;
+    snapshots_.push_back({static_cast<std::uint64_t>(s.rank), s.ordinal, s.bit});
+  }
+
+  const auto by_coord = [](const Event& a, const Event& b) {
+    return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+  };
+  std::sort(messages_.begin(), messages_.end(), by_coord);
+  std::sort(collectives_.begin(), collectives_.end(), by_coord);
+  std::sort(hot_arrays_.begin(), hot_arrays_.end(), by_coord);
+  std::sort(snapshots_.begin(), snapshots_.end(), by_coord);
+  empty_ = messages_.empty() && collectives_.empty() && hot_arrays_.empty() &&
+           snapshots_.empty();
+}
+
+bool CorruptionSchedule::find(const std::vector<Event>& events,
+                              std::uint64_t key, std::uint64_t seq,
+                              std::uint64_t* bit) {
+  if (events.empty()) return false;
+  Event probe;
+  probe.key = key;
+  probe.seq = seq;
+  const auto it = std::lower_bound(
+      events.begin(), events.end(), probe, [](const Event& a, const Event& b) {
+        return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+      });
+  if (it == events.end() || it->key != key || it->seq != seq) return false;
+  if (bit != nullptr) *bit = it->bit;
+  return true;
+}
+
+bool CorruptionSchedule::message_bit(int src, int dst, std::uint64_t send_seq,
+                                     std::uint64_t* bit) const {
+  if (src < 0 || src >= ranks_ || dst < 0 || dst >= ranks_) return false;
+  return find(messages_, link_key(src, dst, ranks_), send_seq, bit);
+}
+
+bool CorruptionSchedule::collective_bit(int src, int dst,
+                                        std::uint64_t collective_seq,
+                                        std::uint64_t* bit) const {
+  if (src < 0 || src >= ranks_ || dst < 0 || dst >= ranks_) return false;
+  return find(collectives_, link_key(src, dst, ranks_), collective_seq, bit);
+}
+
+bool CorruptionSchedule::hot_array_bit(int rank, std::uint32_t phase,
+                                       std::uint32_t chunk,
+                                       std::uint64_t* bit) const {
+  if (rank < 0 || rank >= ranks_ || phase >= 2) return false;
+  return find(hot_arrays_, static_cast<std::uint64_t>(rank) * 2 + phase, chunk,
+              bit);
+}
+
+bool CorruptionSchedule::snapshot_bit(int rank, std::uint64_t ordinal,
+                                      std::uint64_t* bit) const {
+  if (rank < 0 || rank >= ranks_) return false;
+  return find(snapshots_, static_cast<std::uint64_t>(rank), ordinal, bit);
+}
+
 }  // namespace gbpol::mpisim

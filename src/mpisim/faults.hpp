@@ -114,6 +114,81 @@ struct KillPlan {
   std::uint64_t tick = 1;  // 1-based poll count within the epoch
 };
 
+// Deterministic SILENT-corruption injection (DESIGN.md "Data integrity &
+// silent corruption"): single-bit flips planted at logical coordinates, the
+// same replayable clocks FaultPlan uses. Unlike faults, corruption raises no
+// error by itself — the payload simply carries wrong bits — so every class
+// here exists to exercise a matching checksum guard:
+//   * Message    — the n-th send over a (src, dst) link is flipped in
+//                  flight; the receiver's block-checksum framing must catch
+//                  it and charge a modeled retransmit.
+//   * Collective — the copy of `src`'s published collective payload read by
+//                  `dst` at a collective seq is flipped; the reader's digest
+//                  check must catch it and re-read the pristine slot.
+//   * HotArray   — a sealed per-chunk partial (Born accumulator rows or the
+//                  E_pol raw pair) is flipped in place after the executor
+//                  seals its CRC; the phase-boundary verification must catch
+//                  it and recompute the chunk fresh-from-zero (0 ulp).
+//   * SnapshotBytes — a bit of the just-written checkpoint file is flipped;
+//                  the ckpt CRC must reject the file on load and fall back
+//                  to the newest clean set.
+// `bit` is reduced modulo the target's bit count at injection time, so
+// seeded plans need no knowledge of payload sizes.
+struct CorruptionPlan {
+  // Hot-array phase ids (the `phase` field of HotArray).
+  static constexpr std::uint32_t kBornPartials = 0;
+  static constexpr std::uint32_t kEpolPartials = 1;
+
+  struct Message {
+    int src = 0;
+    int dst = 0;
+    std::uint64_t send_seq = 0;  // n-th send from src to dst, 0-based
+    std::uint64_t bit = 0;
+  };
+  struct Collective {
+    int src = 0;                      // publisher whose payload is flipped
+    int dst = 0;                      // reader that sees the flipped copy
+    std::uint64_t collective_seq = 0; // dst's collective seq, 0-based
+    std::uint64_t bit = 0;
+  };
+  struct HotArray {
+    int rank = 0;                // executor whose sealed partial is flipped
+    std::uint32_t phase = kBornPartials;
+    std::uint32_t chunk = 0;     // canonical chunk id within the phase
+    std::uint64_t bit = 0;
+  };
+  struct SnapshotBytes {
+    int rank = 0;
+    std::uint64_t ordinal = 0;   // n-th snapshot the rank saves, 0-based
+    std::uint64_t bit = 0;       // flipped within the file body (past magic)
+  };
+
+  std::vector<Message> messages;
+  std::vector<Collective> collectives;
+  std::vector<HotArray> hot_arrays;
+  std::vector<SnapshotBytes> snapshots;
+
+  bool empty() const {
+    return messages.empty() && collectives.empty() && hot_arrays.empty() &&
+           snapshots.empty();
+  }
+
+  struct RandomProfile {
+    int max_messages = 4;
+    int max_collectives = 2;
+    int max_hot_arrays = 2;
+    int max_snapshots = 0;  // detection lands in the NEXT run; opt-in
+    std::uint64_t send_seq_horizon = 4;
+    std::uint64_t collective_horizon = 3;
+    std::uint32_t chunk_horizon = 8;
+    std::uint64_t snapshot_horizon = 2;
+  };
+
+  // Deterministic plan from a seed: same (seed, ranks, profile) -> same plan.
+  static CorruptionPlan random(std::uint64_t seed, int ranks,
+                               const RandomProfile& profile);
+};
+
 // Plan compiled into per-run lookup form. Built once at Runtime launch and
 // shared read-only by every rank, so lookups need no locking.
 class FaultSchedule {
@@ -147,6 +222,43 @@ class FaultSchedule {
   std::vector<double> slowdown_;           // per rank, 1.0 = none
   std::vector<std::uint64_t> death_seq_;   // per rank, ~0 = immortal
   std::vector<std::uint64_t> stall_seq_;   // per rank, ~0 = never stalls
+};
+
+// CorruptionPlan compiled into sorted-coordinate lookup form, mirroring
+// FaultSchedule. Each query returns whether a flip is scheduled at the
+// coordinate and, if so, its bit position. Schedules are read-only after
+// construction; the FIRING of an event (once per run) is tracked by the
+// injecting site, not here.
+class CorruptionSchedule {
+ public:
+  CorruptionSchedule() = default;
+  CorruptionSchedule(const CorruptionPlan& plan, int ranks);
+
+  bool empty() const { return empty_; }
+  bool message_bit(int src, int dst, std::uint64_t send_seq,
+                   std::uint64_t* bit) const;
+  bool collective_bit(int src, int dst, std::uint64_t collective_seq,
+                      std::uint64_t* bit) const;
+  bool hot_array_bit(int rank, std::uint32_t phase, std::uint32_t chunk,
+                     std::uint64_t* bit) const;
+  bool snapshot_bit(int rank, std::uint64_t ordinal, std::uint64_t* bit) const;
+
+ private:
+  struct Event {
+    std::uint64_t key = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t bit = 0;
+  };
+
+  static bool find(const std::vector<Event>& events, std::uint64_t key,
+                   std::uint64_t seq, std::uint64_t* bit);
+
+  int ranks_ = 0;
+  bool empty_ = true;
+  std::vector<Event> messages_;     // key = link, seq = send_seq
+  std::vector<Event> collectives_;  // key = link, seq = collective_seq
+  std::vector<Event> hot_arrays_;   // key = rank * phases + phase, seq = chunk
+  std::vector<Event> snapshots_;    // key = rank, seq = save ordinal
 };
 
 }  // namespace gbpol::mpisim

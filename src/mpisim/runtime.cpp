@@ -42,7 +42,8 @@ std::uint64_t RunReport::total_bytes_sent() const {
 RunReport Runtime::run(const Config& config, const std::function<void(Comm&)>& rank_fn) {
   const int ranks = std::max(1, config.ranks);
   SharedState shared(config.cluster, ranks, std::max(1, config.threads_per_rank),
-                     config.faults, config.recv_watchdog_seconds, config.kill);
+                     config.faults, config.recv_watchdog_seconds, config.kill,
+                     config.corruption, config.integrity_guards);
 
   RunReport report;
   report.ranks.resize(static_cast<std::size_t>(ranks));
@@ -122,6 +123,10 @@ RunReport Runtime::run(const Config& config, const std::function<void(Comm&)>& r
       res.retries = comm.retries();
       res.redistributed_work_items = comm.redistributed_work();
       res.migrated_chunks = comm.migrated_chunks();
+      res.corruption_injected = comm.corruption_injected();
+      res.corruption_detected = comm.corruption_detected();
+      res.corruption_recomputed = comm.corruption_recomputed();
+      res.corruption_retransmits = comm.corruption_retransmits();
     });
   }
   for (std::thread& t : threads) t.join();
@@ -141,6 +146,10 @@ RunReport Runtime::run(const Config& config, const std::function<void(Comm&)>& r
     report.retries += r.retries;
     report.redistributed_work_items += r.redistributed_work_items;
     report.migrated_chunks += r.migrated_chunks;
+    report.corruption_injected += r.corruption_injected;
+    report.corruption_detected += r.corruption_detected;
+    report.corruption_recomputed += r.corruption_recomputed;
+    report.corruption_retransmits += r.corruption_retransmits;
     report.degraded = report.degraded || r.died;
   }
   report.killed = shared.kill_all.load(std::memory_order_acquire);

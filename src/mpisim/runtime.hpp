@@ -57,6 +57,11 @@ struct RankResult {
   std::uint64_t redistributed_work_items = 0;  // recomputed for dead peers
   std::uint64_t migrated_chunks = 0;           // computed for the balancer on
                                                // behalf of another rank's split
+  // Data-integrity accounting (see CorruptionPlan, faults.hpp).
+  std::uint64_t corruption_injected = 0;
+  std::uint64_t corruption_detected = 0;
+  std::uint64_t corruption_recomputed = 0;
+  std::uint64_t corruption_retransmits = 0;
   bool died = false;
 };
 
@@ -66,6 +71,10 @@ struct RunReport {
   std::uint64_t retries = 0;                   // sum over ranks
   std::uint64_t redistributed_work_items = 0;  // sum over ranks
   std::uint64_t migrated_chunks = 0;           // sum over ranks
+  std::uint64_t corruption_injected = 0;       // sum over ranks
+  std::uint64_t corruption_detected = 0;       // sum over ranks
+  std::uint64_t corruption_recomputed = 0;     // sum over ranks
+  std::uint64_t corruption_retransmits = 0;    // sum over ranks
   bool degraded = false;                       // at least one rank died
   bool killed = false;                         // KillPlan fired; no answer
   int stalls_converted = 0;                    // stalls turned into deaths
@@ -85,6 +94,11 @@ class Runtime {
     ClusterModel cluster = ClusterModel::lonestar4();
     FaultPlan faults;          // empty by default: fault-free run
     KillPlan kill;             // disarmed by default
+    // Silent-corruption injection schedule (empty = no corruption) and the
+    // integrity-guard master switch. Guards ON is the production posture;
+    // OFF lets corrupted bytes flow undetected — canary tests only.
+    CorruptionPlan corruption;
+    bool integrity_guards = true;
     // Fail-fast safety net for recv: wall-clock bound after which a blocked
     // receive reports CommError::kTimeout instead of hanging CI. Generous on
     // purpose — deterministic schedules never hit it. <= 0 disables it.

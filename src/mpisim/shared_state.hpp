@@ -15,6 +15,7 @@
 #include "mpisim/cluster.hpp"
 #include "mpisim/costmodel.hpp"
 #include "mpisim/faults.hpp"
+#include "support/checksum.hpp"
 
 namespace gbpol::mpisim {
 
@@ -28,6 +29,13 @@ struct Message {
   int suppressed = 0;
   double delay_seconds = 0.0;
   std::vector<std::byte> payload;
+  // Integrity framing: block checksums of the PRISTINE payload, computed by
+  // the sender before any scheduled corruption flips `payload` in flight.
+  // When a flip was injected, `pristine` holds the clean bytes the modeled
+  // retransmit delivers after the receiver detects the mismatch (empty
+  // otherwise — the common case carries no extra copy).
+  support::BlockChecksum checksum;
+  std::vector<std::byte> pristine;
 };
 
 struct Mailbox {
@@ -50,11 +58,15 @@ struct PublishSlot {
 struct SharedState {
   SharedState(const ClusterModel& cluster_model, int ranks, int threads_per_rank,
               const FaultPlan& plan, double recv_watchdog_seconds,
-              const KillPlan& kill_plan = {})
+              const KillPlan& kill_plan = {},
+              const CorruptionPlan& corruption_plan = {},
+              bool integrity_guards_on = true)
       : ranks(ranks),
         map(cluster_model, ranks, threads_per_rank),
         cost(cluster_model, map),
         faults(plan, ranks),
+        corruption(corruption_plan, ranks),
+        integrity_guards(integrity_guards_on),
         kill(kill_plan),
         recv_watchdog_seconds(recv_watchdog_seconds),
         sync(ranks),
@@ -85,6 +97,11 @@ struct SharedState {
   RankMap map;
   CostModel cost;
   FaultSchedule faults;
+  // Silent-corruption schedule plus the guard master switch. Guards ON is
+  // the production configuration (checksum + detect + recover); OFF exists
+  // so the canary tests can prove an unguarded run silently goes wrong.
+  CorruptionSchedule corruption;
+  bool integrity_guards = true;
   KillPlan kill;
   double recv_watchdog_seconds;
   std::barrier<> sync;

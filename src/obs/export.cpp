@@ -1,6 +1,7 @@
 #include "obs/export.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -130,6 +131,18 @@ std::string chrome_trace_json(const Trace& trace) {
           add_arg(args, "victim", e.a);
           add_arg(args, "granted", e.b);
           break;
+        case EventKind::kCorruptionInject:
+        case EventKind::kCorruptionDetect:
+        case EventKind::kCorruptionRetransmit:
+          add_arg(args, "where", e.a);
+          add_arg(args, "bytes", e.b);
+          add_arg(args, "site", e.arg);
+          break;
+        case EventKind::kCorruptionRecompute:
+          add_arg(args, "chunk", e.a);
+          add_arg(args, "bytes", e.b);
+          add_arg(args, "site", e.arg);
+          break;
         default:
           break;
       }
@@ -208,6 +221,14 @@ json::Value snapshot_to_json(const MetricsSnapshot& m) {
   o.emplace_back("rank_halo_bytes_sent", u64_array(m.rank_halo_bytes_sent));
   o.emplace_back("rank_halo_bytes_recv", u64_array(m.rank_halo_bytes_recv));
   o.emplace_back("rank_halo_msgs", u64_array(m.rank_halo_msgs));
+  o.emplace_back("rank_corruption_injected",
+                 u64_array(m.rank_corruption_injected));
+  o.emplace_back("rank_corruption_detected",
+                 u64_array(m.rank_corruption_detected));
+  o.emplace_back("rank_corruption_recomputed",
+                 u64_array(m.rank_corruption_recomputed));
+  o.emplace_back("rank_corruption_retransmits",
+                 u64_array(m.rank_corruption_retransmits));
   {
     json::Array hist;
     for (const std::uint64_t x : m.chunk_service_hist)
@@ -225,6 +246,39 @@ json::Value snapshot_to_json(const MetricsSnapshot& m) {
                  json::Value(m.total_phase_busy_all()));
   o.emplace_back("derived_chunk_imbalance", json::Value(m.chunk_imbalance()));
   return json::Value(std::move(o));
+}
+
+// Satellite guard: JSON cannot carry NaN/Inf, so a snapshot holding one
+// would otherwise serialize as a silently-nulled value. Collect the names of
+// offending fields so the emitter can flag them loudly at the document root
+// and the parser can reject the flagged document outright.
+void collect_non_finite_fields(const MetricsSnapshot& m,
+                               const std::string& prefix,
+                               std::vector<std::string>& out) {
+  const auto check_dbl = [&](const std::vector<double>& v, const char* name) {
+    for (const double x : v)
+      if (!std::isfinite(x)) {
+        out.push_back(prefix + name);
+        return;
+      }
+  };
+  const auto check_mat = [&]<std::size_t N>(
+                             const std::vector<std::array<double, N>>& mat,
+                             const char* name) {
+    for (const auto& row : mat)
+      for (const double x : row)
+        if (!std::isfinite(x)) {
+          out.push_back(prefix + name);
+          return;
+        }
+  };
+  check_mat(m.phase_busy_seconds, "phase_busy_seconds");
+  check_mat(m.phase_wall_seconds, "phase_wall_seconds");
+  check_mat(m.collective_seconds, "collective_seconds");
+  check_dbl(m.rank_compute_seconds, "rank_compute_seconds");
+  check_dbl(m.rank_straggler_seconds, "rank_straggler_seconds");
+  check_dbl(m.rank_comm_seconds, "rank_comm_seconds");
+  check_dbl(m.rank_chunk_service_seconds, "rank_chunk_service_seconds");
 }
 
 bool read_u64_array(const json::Value* v, std::vector<std::uint64_t>& out,
@@ -351,6 +405,27 @@ bool snapshot_from_json(const json::Value& v, MetricsSnapshot& m,
       hm != nullptr &&
       !read_u64_array(hm, m.rank_halo_msgs, err, "rank_halo_msgs"))
     return false;
+  // Pure v1 additions (data-integrity layer): absent-parses-as-empty.
+  if (const json::Value* ci = v.find("rank_corruption_injected");
+      ci != nullptr &&
+      !read_u64_array(ci, m.rank_corruption_injected, err,
+                      "rank_corruption_injected"))
+    return false;
+  if (const json::Value* cd = v.find("rank_corruption_detected");
+      cd != nullptr &&
+      !read_u64_array(cd, m.rank_corruption_detected, err,
+                      "rank_corruption_detected"))
+    return false;
+  if (const json::Value* cr = v.find("rank_corruption_recomputed");
+      cr != nullptr &&
+      !read_u64_array(cr, m.rank_corruption_recomputed, err,
+                      "rank_corruption_recomputed"))
+    return false;
+  if (const json::Value* ct = v.find("rank_corruption_retransmits");
+      ct != nullptr &&
+      !read_u64_array(ct, m.rank_corruption_retransmits, err,
+                      "rank_corruption_retransmits"))
+    return false;
   const json::Value* hist = v.find("chunk_service_hist");
   if (hist == nullptr || !hist->is_array() ||
       hist->as_array().size() != static_cast<std::size_t>(kServiceHistBins)) {
@@ -388,7 +463,11 @@ json::Value metrics_to_json(const MetricsDoc& doc) {
   root.emplace_back("figure", json::Value(doc.figure));
   json::Array entries;
   entries.reserve(doc.entries.size());
-  for (const MetricsEntry& e : doc.entries) {
+  std::vector<std::string> non_finite;
+  for (std::size_t i = 0; i < doc.entries.size(); ++i) {
+    const MetricsEntry& e = doc.entries[i];
+    collect_non_finite_fields(
+        e.metrics, "entries[" + std::to_string(i) + "].metrics.", non_finite);
     json::Object o;
     o.emplace_back("label", json::Value(e.label));
     if (!e.extra.empty()) o.emplace_back("extra", json::Value(e.extra));
@@ -396,6 +475,15 @@ json::Value metrics_to_json(const MetricsDoc& doc) {
     entries.push_back(json::Value(std::move(o)));
   }
   root.emplace_back("entries", json::Value(std::move(entries)));
+  // Loud poison marker: a NaN/Inf metric would serialize as null, so the
+  // document names the fields it could not represent and the parser refuses
+  // to accept it (better a rejected document than a silently-wrong plot).
+  if (!non_finite.empty()) {
+    json::Array bad;
+    bad.reserve(non_finite.size());
+    for (std::string& f : non_finite) bad.push_back(json::Value(std::move(f)));
+    root.emplace_back("non_finite_fields", json::Value(std::move(bad)));
+  }
   return json::Value(std::move(root));
 }
 
@@ -415,6 +503,13 @@ MetricsParse metrics_from_json(const json::Value& root) {
     result.version_mismatch = true;
     result.error = "schema_version " + std::to_string(result.found_version) +
                    " != supported " + std::to_string(kMetricsSchemaVersion);
+    return result;
+  }
+  if (const json::Value* bad = root.find("non_finite_fields");
+      bad != nullptr && bad->is_array() && !bad->as_array().empty()) {
+    result.error = "document flagged non-finite fields:";
+    for (const json::Value& f : bad->as_array())
+      if (f.is_string()) result.error += " " + f.as_string();
     return result;
   }
   const json::Value* figure = root.find("figure");

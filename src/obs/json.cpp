@@ -1,6 +1,7 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +49,13 @@ void dump_value(const Value& v, std::string& out) {
       break;
     case Type::kNumber: {
       const double d = v.as_number();
+      // JSON has no NaN/Inf; "%.17g" would emit "nan"/"inf" and corrupt the
+      // document. Dump null instead — emitters that care surface the defect
+      // loudly via a non_finite_fields error entry before dumping.
+      if (!std::isfinite(d)) {
+        out += "null";
+        break;
+      }
       // Integers up to 2^53 print without an exponent so logical counters
       // (seqs, byte totals) stay greppable; %.17g keeps doubles exact.
       char buf[40];
@@ -152,6 +160,10 @@ class Parser {
     char* end = nullptr;
     const double d = std::strtod(start, &end);
     if (end == start) return fail("invalid number");
+    // strtod accepts "inf"/"nan" spellings JSON forbids, and a finite
+    // literal can still overflow to infinity; both are rejected so a
+    // non-finite value can never round-trip through this parser.
+    if (!std::isfinite(d)) return fail("non-finite number");
     pos_ += static_cast<std::size_t>(end - start);
     out = Value(d);
     return true;

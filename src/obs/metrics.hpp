@@ -97,6 +97,16 @@ struct MetricsSnapshot {
   std::vector<std::uint64_t> rank_halo_bytes_recv;
   std::vector<std::uint64_t> rank_halo_msgs;
 
+  // Data-integrity layer: per-rank silent-corruption accounting. `injected`
+  // counts scheduled flips that actually fired; `detected` the checksum
+  // mismatches the guards caught; `recomputed` the canonical chunks rebuilt
+  // fresh-from-zero; `retransmits` the modeled corruption-retransmit rounds
+  // (disjoint from rank_retransmits, which counts dropped-copy rounds).
+  std::vector<std::uint64_t> rank_corruption_injected;
+  std::vector<std::uint64_t> rank_corruption_detected;
+  std::vector<std::uint64_t> rank_corruption_recomputed;
+  std::vector<std::uint64_t> rank_corruption_retransmits;
+
   // Work stealing (whole session, all pools).
   std::uint64_t steal_attempts = 0;
   std::uint64_t steal_successes = 0;
@@ -114,6 +124,10 @@ struct MetricsSnapshot {
   std::uint64_t total_chunks() const;
   std::uint64_t total_migrated_chunks() const;
   std::uint64_t total_halo_bytes() const;  // sent side (recv mirrors it)
+  std::uint64_t total_corruption_injected() const;
+  std::uint64_t total_corruption_detected() const;
+  std::uint64_t total_corruption_recomputed() const;
+  std::uint64_t total_corruption_retransmits() const;
   double steal_success_rate() const;  // successes / attempts (0 if none)
   // Cross-rank imbalance: max over ranks of chunks computed, divided by the
   // mean (1.0 = perfectly even; 0 if no chunks were dispatched).
@@ -140,6 +154,10 @@ void add_chunk_service(int rank, std::uint64_t ns);
 void add_migrated_chunk(int rank);
 void add_halo_sent(int rank, std::uint64_t bytes);
 void add_halo_recv(int rank, std::uint64_t bytes);
+void add_corruption_injected(int rank);
+void add_corruption_detected(int rank);
+void add_corruption_recompute(int rank);
+void add_corruption_retransmit(int rank);
 void add_steal_attempt();
 void add_steal_success();
 void add_pop_miss();
@@ -158,6 +176,10 @@ inline void add_chunk_service(int, std::uint64_t) {}
 inline void add_migrated_chunk(int) {}
 inline void add_halo_sent(int, std::uint64_t) {}
 inline void add_halo_recv(int, std::uint64_t) {}
+inline void add_corruption_injected(int) {}
+inline void add_corruption_detected(int) {}
+inline void add_corruption_recompute(int) {}
+inline void add_corruption_retransmit(int) {}
 inline void add_steal_attempt() {}
 inline void add_steal_success() {}
 inline void add_pop_miss() {}

@@ -36,6 +36,10 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kHaloPlan: return "halo_plan";
     case EventKind::kHaloSend: return "halo_send";
     case EventKind::kHaloRecv: return "halo_recv";
+    case EventKind::kCorruptionInject: return "corruption_inject";
+    case EventKind::kCorruptionDetect: return "corruption_detect";
+    case EventKind::kCorruptionRecompute: return "corruption_recompute";
+    case EventKind::kCorruptionRetransmit: return "corruption_retransmit";
   }
   return "unknown";
 }
@@ -109,6 +113,10 @@ struct RankSlot {
   std::uint64_t halo_bytes_sent = 0;
   std::uint64_t halo_bytes_recv = 0;
   std::uint64_t halo_msgs = 0;
+  std::uint64_t corruption_injected = 0;
+  std::uint64_t corruption_detected = 0;
+  std::uint64_t corruption_recomputed = 0;
+  std::uint64_t corruption_retransmits = 0;
   double chunk_service_seconds = 0.0;
   double compute_seconds = 0.0;
   double straggler_seconds = 0.0;
@@ -274,6 +282,10 @@ Trace stop_session() {
   m.rank_halo_bytes_sent.resize(n);
   m.rank_halo_bytes_recv.resize(n);
   m.rank_halo_msgs.resize(n);
+  m.rank_corruption_injected.resize(n);
+  m.rank_corruption_detected.resize(n);
+  m.rank_corruption_recomputed.resize(n);
+  m.rank_corruption_retransmits.resize(n);
   for (std::size_t r = 0; r < n; ++r) {
     const RankSlot& slot = s.ranks[r];
     m.phase_busy_seconds[r] = slot.phase_busy;
@@ -294,6 +306,10 @@ Trace stop_session() {
     m.rank_halo_bytes_sent[r] = slot.halo_bytes_sent;
     m.rank_halo_bytes_recv[r] = slot.halo_bytes_recv;
     m.rank_halo_msgs[r] = slot.halo_msgs;
+    m.rank_corruption_injected[r] = slot.corruption_injected;
+    m.rank_corruption_detected[r] = slot.corruption_detected;
+    m.rank_corruption_recomputed[r] = slot.corruption_recomputed;
+    m.rank_corruption_retransmits[r] = slot.corruption_retransmits;
   }
   for (int i = 0; i < kServiceHistBins; ++i)
     m.chunk_service_hist[static_cast<std::size_t>(i)] =
@@ -379,6 +395,22 @@ void add_halo_recv(int rank, std::uint64_t bytes) {
     slot->halo_bytes_recv += bytes;
     slot->halo_msgs += 1;
   }
+}
+
+void add_corruption_injected(int rank) {
+  if (RankSlot* slot = slot_for(rank)) slot->corruption_injected += 1;
+}
+
+void add_corruption_detected(int rank) {
+  if (RankSlot* slot = slot_for(rank)) slot->corruption_detected += 1;
+}
+
+void add_corruption_recompute(int rank) {
+  if (RankSlot* slot = slot_for(rank)) slot->corruption_recomputed += 1;
+}
+
+void add_corruption_retransmit(int rank) {
+  if (RankSlot* slot = slot_for(rank)) slot->corruption_retransmits += 1;
 }
 
 void add_steal_attempt() {
@@ -488,6 +520,30 @@ std::uint64_t MetricsSnapshot::total_migrated_chunks() const {
 std::uint64_t MetricsSnapshot::total_halo_bytes() const {
   std::uint64_t sum = 0;
   for (const std::uint64_t v : rank_halo_bytes_sent) sum += v;
+  return sum;
+}
+
+std::uint64_t MetricsSnapshot::total_corruption_injected() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : rank_corruption_injected) sum += v;
+  return sum;
+}
+
+std::uint64_t MetricsSnapshot::total_corruption_detected() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : rank_corruption_detected) sum += v;
+  return sum;
+}
+
+std::uint64_t MetricsSnapshot::total_corruption_recomputed() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : rank_corruption_recomputed) sum += v;
+  return sum;
+}
+
+std::uint64_t MetricsSnapshot::total_corruption_retransmits() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : rank_corruption_retransmits) sum += v;
   return sum;
 }
 

@@ -72,6 +72,13 @@ enum class EventKind : std::uint8_t {
   kHaloPlan,           // a = owned atom count, b = Born-halo atom count
   kHaloSend,           // a = dst rank, b = bytes
   kHaloRecv,           // a = src rank, b = bytes
+  // Data-integrity layer (DESIGN.md "Data integrity & silent corruption");
+  // appended so older kind ids stay stable. arg = site: 0 p2p message,
+  // 1 collective payload, 2 hot array, 3 snapshot bytes.
+  kCorruptionInject,     // a = peer/seq/chunk (site-specific), b = bytes
+  kCorruptionDetect,     // a = peer/seq/chunk, b = bytes
+  kCorruptionRecompute,  // a = chunk id, b = bytes recomputed
+  kCorruptionRetransmit, // a = peer/seq, b = bytes
 };
 
 // Why a rank left the run through the death machinery.

@@ -1,0 +1,70 @@
+#include "support/checksum.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace gbpol::support {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i)
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t BlockChecksum::digest() const {
+  std::uint32_t d = 0;
+  if (!blocks.empty())
+    d = crc32(blocks.data(), blocks.size() * sizeof(std::uint32_t));
+  return d;
+}
+
+BlockChecksum block_checksum(const void* data, std::size_t n,
+                             std::size_t block_bytes) {
+  BlockChecksum out;
+  out.block_bytes = block_bytes == 0 ? kChecksumBlockBytes : block_bytes;
+  out.total_bytes = n;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  out.blocks.reserve((n + out.block_bytes - 1) / out.block_bytes);
+  for (std::size_t at = 0; at < n; at += out.block_bytes) {
+    const std::size_t len = std::min(out.block_bytes, n - at);
+    out.blocks.push_back(crc32(bytes + at, len));
+  }
+  return out;
+}
+
+std::vector<std::size_t> diff_blocks(const BlockChecksum& expected,
+                                     const void* data, std::size_t n) {
+  const BlockChecksum actual = block_checksum(data, n, expected.block_bytes);
+  const std::size_t common = std::min(expected.blocks.size(), actual.blocks.size());
+  std::vector<std::size_t> bad;
+  for (std::size_t b = 0; b < common; ++b)
+    if (expected.blocks[b] != actual.blocks[b]) bad.push_back(b);
+  const std::size_t total = std::max(expected.blocks.size(), actual.blocks.size());
+  for (std::size_t b = common; b < total; ++b) bad.push_back(b);
+  return bad;
+}
+
+void flip_bit(void* data, std::size_t n, std::uint64_t bit) {
+  if (n == 0) return;
+  const std::uint64_t pos = bit % (static_cast<std::uint64_t>(n) * 8u);
+  auto* bytes = static_cast<unsigned char*>(data);
+  bytes[pos / 8] ^= static_cast<unsigned char>(1u << (pos % 8));
+}
+
+}  // namespace gbpol::support

@@ -1,0 +1,62 @@
+// Block-checksum utility for the data-integrity layer (DESIGN.md "Data
+// integrity & silent corruption"): CRC32 (reflected, poly 0xEDB88320 — the
+// same polynomial the checkpoint files use) computed over fixed-size blocks
+// of a byte range, plus a folded whole-range digest.
+//
+// Blocks exist so a detector can LOCALIZE a flip: a mismatching message or
+// hot array reports which block(s) differ, and recovery can be priced per
+// block instead of per payload. The block grid is part of the guard
+// configuration — kIntegrityEpoch below versions the scheme and is folded
+// into the checkpoint job_key so snapshots taken under a different guard
+// configuration are never cross-loaded.
+//
+// This header is obs-free on purpose: gbpol_support sits below gbpol_obs in
+// the library stack, so everything here must stay a pure utility.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gbpol::support {
+
+// Version of the integrity-guard scheme (block size, digest construction).
+// Bump when the guard layout changes; folded into ckpt job keys.
+inline constexpr std::uint64_t kIntegrityEpoch = 1;
+
+// Default block granularity: 256 bytes = 32 doubles. Small enough to
+// localize a flip to a handful of values, large enough that the per-block
+// bookkeeping stays negligible next to the payloads it guards.
+inline constexpr std::size_t kChecksumBlockBytes = 256;
+
+// One CRC32 step: reflected table-driven update, seedable for chaining
+// (crc32(b, nb, crc32(a, na)) == crc32(ab, na+nb)).
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+// Per-block CRCs over [data, data+n), last block short. n == 0 yields no
+// blocks and digest 0 — an empty payload is trivially intact.
+struct BlockChecksum {
+  std::size_t block_bytes = kChecksumBlockBytes;
+  std::size_t total_bytes = 0;
+  std::vector<std::uint32_t> blocks;
+
+  // Whole-range digest: CRC32 chained across the block CRCs, so two
+  // BlockChecksums agree iff every block agrees.
+  std::uint32_t digest() const;
+};
+
+BlockChecksum block_checksum(const void* data, std::size_t n,
+                             std::size_t block_bytes = kChecksumBlockBytes);
+
+// Indices of blocks in [data, data+n) that differ from `expected`. A size
+// mismatch returns every block of the LARGER extent (a truncation corrupts
+// everything after the cut). Empty result == byte range verifies clean.
+std::vector<std::size_t> diff_blocks(const BlockChecksum& expected,
+                                     const void* data, std::size_t n);
+
+// Flips one bit of [data, data+n). `bit` is reduced modulo the range's bit
+// count, so seeded plans can draw bit positions without knowing payload
+// sizes. No-op on an empty range.
+void flip_bit(void* data, std::size_t n, std::uint64_t bit);
+
+}  // namespace gbpol::support

@@ -4,17 +4,27 @@
 // reporting can dispatch on a closed set instead of parsing message strings.
 #pragma once
 
+#include <stdexcept>
 #include <string_view>
 
 namespace gbpol {
 
 enum class ErrorClass {
-  kNone = 0,   // no failure
-  kIo,         // file/parse errors (IoError, snapshot/journal corruption)
-  kOom,        // allocation failure (std::bad_alloc, length_error)
-  kFault,      // injected or real rank death / process kill
-  kTimeout,    // watchdog-detected stall or recv timeout
-  kNumerical,  // NaN/Inf/domain failures in results
+  kNone = 0,    // no failure
+  kIo,          // file/parse errors (IoError, snapshot/journal corruption)
+  kOom,         // allocation failure (std::bad_alloc, length_error)
+  kFault,       // injected or real rank death / process kill
+  kTimeout,     // watchdog-detected stall or recv timeout
+  kNumerical,   // NaN/Inf/domain failures in results
+  kCorruption,  // detected silent data corruption (checksum mismatch)
+};
+
+// Thrown when an integrity guard detects corruption it cannot repair in
+// place (no pristine copy, no recomputable chunk, no clean snapshot). The
+// campaign runner classifies it as kCorruption: retry-then-quarantine, like
+// a fault — never treated as a fatal config error.
+struct CorruptionError : std::runtime_error {
+  using std::runtime_error::runtime_error;
 };
 
 constexpr std::string_view to_string(ErrorClass e) {
@@ -25,6 +35,7 @@ constexpr std::string_view to_string(ErrorClass e) {
     case ErrorClass::kFault: return "fault";
     case ErrorClass::kTimeout: return "timeout";
     case ErrorClass::kNumerical: return "numerical";
+    case ErrorClass::kCorruption: return "corruption";
   }
   return "none";
 }
@@ -35,6 +46,7 @@ constexpr ErrorClass parse_error_class(std::string_view s) {
   if (s == "fault") return ErrorClass::kFault;
   if (s == "timeout") return ErrorClass::kTimeout;
   if (s == "numerical") return ErrorClass::kNumerical;
+  if (s == "corruption") return ErrorClass::kCorruption;
   return ErrorClass::kNone;
 }
 

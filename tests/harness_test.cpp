@@ -2,6 +2,7 @@
 // supervised resumable campaign runner.
 #include "harness/packages.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
@@ -242,6 +243,59 @@ TEST_F(CampaignTest, ClassifiesExceptionsIntoErrorClasses) {
             ErrorClass::kNumerical);
   EXPECT_EQ(Campaign::classify(std::runtime_error("rank died")),
             ErrorClass::kFault);
+  // Corruption: the dedicated type, and checksum-vocabulary messages from
+  // code that only has a generic exception to throw. The typed check beats
+  // the string heuristics even when the message matches another class.
+  EXPECT_EQ(Campaign::classify(CorruptionError("halo payload mismatch")),
+            ErrorClass::kCorruption);
+  EXPECT_EQ(Campaign::classify(CorruptionError("recv timed out")),
+            ErrorClass::kCorruption);
+  EXPECT_EQ(Campaign::classify(std::runtime_error("checksum mismatch ph2")),
+            ErrorClass::kCorruption);
+  EXPECT_EQ(Campaign::classify(std::runtime_error("CRC32 failure in block 4")),
+            ErrorClass::kCorruption);
+  EXPECT_EQ(Campaign::classify(std::runtime_error("corrupt snapshot header")),
+            ErrorClass::kCorruption);
+}
+
+TEST_F(CampaignTest, RetryCountRespectsCappedBackoffSchedule) {
+  // With a base of 1ms and a cap of 2ms the exponential schedule is
+  // 1, 2, 2, 2... ms — attempts must still be exactly max_attempts, and
+  // total sleep stays bounded by (max_attempts - 1) * cap.
+  CampaignConfig cfg = config({}, 4);
+  cfg.backoff_base_seconds = 0.001;
+  cfg.backoff_cap_seconds = 0.002;
+  Campaign campaign(cfg);
+  int calls = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  const JobStatus& st = campaign.run("always-bad", [&]() -> std::string {
+    ++calls;
+    throw std::runtime_error("deterministic");
+  });
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(st.attempts, 4);
+  EXPECT_EQ(st.state, ckpt::JobState::kQuarantined);
+  EXPECT_GE(waited, 0.001 + 0.002 + 0.002);  // the three scheduled sleeps
+  EXPECT_LT(waited, 5.0);                    // cap held: no runaway 2^k wait
+}
+
+TEST_F(CampaignTest, QuarantinesAlwaysCorruptingJobAsCorruption) {
+  Campaign campaign(config());
+  int calls = 0;
+  const JobStatus& st = campaign.run("sdc", [&]() -> std::string {
+    ++calls;
+    throw CorruptionError("hot-array checksum mismatch, chunk 12");
+  });
+  EXPECT_EQ(calls, 3);  // retried to the attempt budget, then quarantined
+  EXPECT_EQ(st.state, ckpt::JobState::kQuarantined);
+  EXPECT_EQ(st.error, ErrorClass::kCorruption);
+  EXPECT_EQ(campaign.quarantined(), 1);
+  // Quarantine is sticky: the corrupting job never runs again.
+  campaign.run("sdc", [&]() -> std::string { ++calls; return "clean"; });
+  EXPECT_EQ(calls, 3);
 }
 
 }  // namespace

@@ -340,6 +340,75 @@ TEST_F(SoakMpisimTest, OwnedSchedulesMatchReplicatedCanonicalBitExactly) {
   }
 }
 
+// Silent-corruption soak (ISSUE 8 acceptance matrix): seeded random
+// corruption schedules — message, collective and hot-array bit flips — across
+// 3 rank counts on BOTH canonical paths (replicated chunk-fold and owned-mode
+// decomposition). With the integrity guards on, every injected flip must be
+// detected, the recovery must land on the corruption-free answer to the last
+// bit, and replay must reproduce the corruption accounting exactly.
+TEST_F(SoakMpisimTest, RandomCorruptionSchedulesRecoverBitExactly) {
+  constexpr int kSeedsPerRankCount = 15;
+  mpisim::CorruptionPlan::RandomProfile profile;
+  profile.max_messages = 6;
+  profile.max_collectives = 3;
+  profile.max_hot_arrays = 4;
+  profile.collective_horizon = 4;
+
+  for (const bool owned : {false, true}) {
+    for (const int ranks : {3, 5, 8}) {
+      RunOptions base;
+      base.mode = EngineMode::kDistributed;
+      base.ranks = ranks;
+      base.balance_chunk_leaves = 2;
+      if (owned)
+        base.distribution = DataDistribution::kOwned;
+      else
+        base.canonical_reduction = true;  // kStatic on the canonical fold
+      const RunResult clean =
+          Engine(*prep_, ApproxParams{}, GBConstants{}).run(base);
+      ASSERT_NE(clean.energy, 0.0);
+
+      for (int s = 0; s < kSeedsPerRankCount; ++s) {
+        const std::uint64_t seed = static_cast<std::uint64_t>(ranks) * 30000 +
+                                   (owned ? 500u : 0u) +
+                                   static_cast<std::uint64_t>(s);
+        RunOptions options = base;
+        options.corruption =
+            mpisim::CorruptionPlan::random(seed, ranks, profile);
+        const RunResult corrupted =
+            Engine(*prep_, ApproxParams{}, GBConstants{}).run(options);
+        SCOPED_TRACE((owned ? std::string("owned") : std::string("replicated")) +
+                     " ranks=" + std::to_string(ranks) +
+                     " seed=" + std::to_string(seed) +
+                     " injected=" + std::to_string(corrupted.corruption_injected));
+        ASSERT_EQ(corrupted.energy, clean.energy);
+        ASSERT_EQ(corrupted.born_sorted.size(), clean.born_sorted.size());
+        for (std::size_t i = 0; i < clean.born_sorted.size(); ++i)
+          ASSERT_EQ(corrupted.born_sorted[i], clean.born_sorted[i])
+              << "born slot " << i;
+        // CRC32 sees every single-bit flip: nothing injected goes unnoticed,
+        // and every recovery is accounted as a recompute or a retransmit.
+        EXPECT_EQ(corrupted.corruption_detected, corrupted.corruption_injected);
+        EXPECT_EQ(corrupted.corruption_recomputed +
+                      corrupted.corruption_retransmits,
+                  corrupted.corruption_detected);
+        // Every 5th schedule: replay and require identical accounting.
+        if (s % 5 == 0) {
+          const RunResult replay =
+              Engine(*prep_, ApproxParams{}, GBConstants{}).run(options);
+          ASSERT_EQ(replay.energy, corrupted.energy);
+          ASSERT_EQ(replay.corruption_injected, corrupted.corruption_injected);
+          ASSERT_EQ(replay.corruption_detected, corrupted.corruption_detected);
+          ASSERT_EQ(replay.corruption_recomputed,
+                    corrupted.corruption_recomputed);
+          ASSERT_EQ(replay.corruption_retransmits,
+                    corrupted.corruption_retransmits);
+        }
+      }
+    }
+  }
+}
+
 // P2p soak at the Comm layer: random drop/delay schedules over a ring
 // exchange must never corrupt or lose a payload, and replay must reproduce
 // the retry count exactly.
