@@ -1,0 +1,169 @@
+// Trajectory amortization figure (DESIGN.md "Incremental preparation &
+// trajectories"): per-step wall time of the incremental trajectory engine
+// against the cold re-prepare-every-frame baseline on a ~10k-atom
+// receptor/ligand complex whose ligand jiggles below the skin margin — the
+// docking-refinement regime the driver is built for.
+//
+// Writes bench_out/trajectory.json and self-gates the ISSUE 9 acceptance
+// target: the median incremental step must cost <= 25% of the median cold
+// step, at 0-ulp identical energies on every frame (ReuseMode contract —
+// an amortization that changed the bits would be worthless).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "core/incremental.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  using namespace gbpol;
+  using namespace gbpol::bench;
+
+  harness::print_figure_header(
+      "Trajectory", "Incremental vs cold per-step cost, jiggling ligand");
+
+  // ~10k-atom complex: a rigid receptor plus a ~600-atom ligand parked just
+  // outside its bounding box. Only the ligand moves, well below the skin.
+  Molecule receptor = molgen::synthetic_protein(9400, 31);
+  Molecule ligand = molgen::synthetic_protein(600, 32);
+  {
+    std::vector<Vec3> rp(receptor.size()), lp(ligand.size());
+    for (std::size_t i = 0; i < receptor.size(); ++i) rp[i] = receptor.atom(i).pos;
+    for (std::size_t i = 0; i < ligand.size(); ++i) lp[i] = ligand.atom(i).pos;
+    const Aabb rb = bounding_box(rp), lb = bounding_box(lp);
+    // Corner contact: a small docking patch, not a face-on collision — the
+    // Born blast radius of the jiggle stays a realistic fraction of the
+    // receptor.
+    ligand.translate({rb.hi.x - lb.lo.x + 2.0, rb.hi.y - lb.lo.y + 2.0,
+                      rb.hi.z - lb.lo.z + 2.0});
+  }
+  const std::size_t n_receptor = receptor.size();
+  Molecule complex_mol = receptor;
+  complex_mol.append(ligand);
+  std::printf("complex: %zu atoms (%zu receptor + %zu ligand)\n",
+              complex_mol.size(), n_receptor, ligand.size());
+
+  TrajectoryOptions topt;
+  topt.surface = bench_quadrature_params();
+  TrajectoryDriver inc(complex_mol, topt);
+  TrajectoryDriver cold(complex_mol, topt);
+
+  RunOptions inc_opts = serial_options();
+  inc_opts.reuse = ReuseMode::kIncremental;
+  RunOptions cold_opts = serial_options();
+  cold_opts.reuse = ReuseMode::kCold;
+
+  const int steps = std::max(4, harness::env_int("GBPOL_REPS", 6));
+  std::vector<Vec3> pos(complex_mol.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) pos[i] = complex_mol.atom(i).pos;
+
+  struct Step {
+    double cold_seconds, inc_seconds, reused_fraction, energy;
+    std::uint64_t dirty_leaves, lists_rebuilt;
+  };
+  std::vector<Step> rows;
+  std::uint64_t rng = 0x11aa22bb;
+  for (int s = 0; s < steps; ++s) {
+    if (s > 0) {
+      // Sub-skin ligand jiggle: ±0.05 A per axis against the 0.3 A skin.
+      for (std::size_t i = n_receptor; i < pos.size(); ++i) {
+        auto jig = [&rng] {
+          rng += 0x9e3779b97f4a7c15ull;
+          std::uint64_t z = rng;
+          z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+          z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+          z ^= z >> 31;
+          return 0.05 * (2.0 * (static_cast<double>(z >> 11) * 0x1.0p-53) - 1.0);
+        };
+        pos[i].x += jig();
+        pos[i].y += jig();
+        pos[i].z += jig();
+      }
+    }
+    WallTimer tc;
+    const RunResult rc = cold.step(pos, cold_opts);
+    const double cold_s = tc.seconds();
+    WallTimer ti;
+    const RunResult ri = inc.step(pos, inc_opts);
+    const double inc_s = ti.seconds();
+    if (ri.energy != rc.energy) {
+      std::fprintf(stderr, "FAIL: step %d diverged: %.17g vs %.17g\n", s,
+                   ri.energy, rc.energy);
+      return 1;
+    }
+    rows.push_back({cold_s, inc_s, ri.reused_fraction, ri.energy,
+                    ri.dirty_leaves, ri.lists_rebuilt});
+  }
+
+  Table table({"step", "cold (s)", "incremental (s)", "ratio", "dirty leaves",
+               "lists rebuilt", "reused"});
+  std::vector<double> cold_med, inc_med;
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    const Step& r = rows[s];
+    table.add_row({Table::integer(static_cast<int>(s)), Table::num(r.cold_seconds, 4),
+                   Table::num(r.inc_seconds, 4),
+                   Table::num(r.inc_seconds / r.cold_seconds, 4),
+                   Table::integer(static_cast<long long>(r.dirty_leaves)),
+                   Table::integer(static_cast<long long>(r.lists_rebuilt)),
+                   Table::num(r.reused_fraction, 4)});
+    if (s > 0) {  // step 0 is a cold start for both drivers
+      cold_med.push_back(r.cold_seconds);
+      inc_med.push_back(r.inc_seconds);
+    }
+  }
+  harness::emit_table(table, "trajectory");
+
+  const double mc = median(cold_med), mi = median(inc_med);
+  const double ratio = mi / mc;
+  std::printf("\nmedian cold %.4fs, median incremental %.4fs, ratio %.4f\n", mc,
+              mi, ratio);
+
+  obs::json::Object root;
+  root.emplace_back("schema_version", obs::json::Value(1));
+  root.emplace_back("atoms", obs::json::Value(
+                                 static_cast<std::uint64_t>(complex_mol.size())));
+  root.emplace_back("ligand_atoms",
+                    obs::json::Value(static_cast<std::uint64_t>(ligand.size())));
+  obs::json::Array arr;
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    const Step& r = rows[s];
+    obs::json::Object o;
+    o.emplace_back("step", obs::json::Value(static_cast<std::uint64_t>(s)));
+    o.emplace_back("cold_seconds", obs::json::Value(r.cold_seconds));
+    o.emplace_back("incremental_seconds", obs::json::Value(r.inc_seconds));
+    o.emplace_back("dirty_leaves",
+                   obs::json::Value(static_cast<std::uint64_t>(r.dirty_leaves)));
+    o.emplace_back("lists_rebuilt",
+                   obs::json::Value(static_cast<std::uint64_t>(r.lists_rebuilt)));
+    o.emplace_back("reused_fraction", obs::json::Value(r.reused_fraction));
+    o.emplace_back("energy", obs::json::Value(r.energy));
+    arr.push_back(obs::json::Value(std::move(o)));
+  }
+  root.emplace_back("steps", obs::json::Value(std::move(arr)));
+  root.emplace_back("median_cold_seconds", obs::json::Value(mc));
+  root.emplace_back("median_incremental_seconds", obs::json::Value(mi));
+  root.emplace_back("step_ratio", obs::json::Value(ratio));
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  std::ofstream out("bench_out/trajectory.json");
+  out << obs::json::Value(std::move(root)).dump() << '\n';
+  out.close();
+  std::printf("wrote bench_out/trajectory.json (ratio %.4f)\n", ratio);
+
+  if (ratio > 0.25) {
+    std::fprintf(stderr, "FAIL: incremental/cold step ratio %.4f above 0.25\n",
+                 ratio);
+    return 1;
+  }
+  return 0;
+}

@@ -1,16 +1,27 @@
 // Docking-style pose scan — the drug-design workload the paper's
-// introduction motivates: place a ligand at many positions/orientations
-// relative to a receptor and rank poses by the GB polarization energy of the
-// complex. The octrees are rebuilt per pose, but the approximation
-// parameters and the receptor structure are reused.
+// introduction motivates: place a ligand at many positions relative to a
+// receptor and rank poses by the GB polarization energy of the complex.
+//
+// The complex is evaluated through TrajectoryDriver (core/incremental.hpp):
+// between poses only the ligand atoms move, so the receptor's octree
+// subtrees, interaction-list work and cached near-field partials carry over;
+// the pose jump itself re-anchors just the ligand-side leaves. The scan is
+// translation-only (gap + lateral slide) because the driver attaches the
+// marched surface rigidly to its supporting atoms — offsets translate with a
+// pose but do not rotate.
+//
+// Self-asserting (smoke-tested by CTest): every pose must produce a finite
+// energy, the scan must visit all poses, and the association energy must
+// decay toward zero as the gap opens — exits non-zero otherwise.
 //
 // Usage: docking_scan [n_receptor_atoms] [n_poses]
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <vector>
 
-#include "core/engine.hpp"
+#include "core/incremental.hpp"
 #include "molecule/generate.hpp"
 #include "support/table.hpp"
 #include "surface/quadrature.hpp"
@@ -26,12 +37,13 @@ int main(int argc, char** argv) {
               receptor.size(), ligand.size(), n_poses);
 
   // Reference energies of the isolated molecules (for a crude dE_pol of
-  // association: E(complex) - E(receptor) - E(ligand)).
+  // association: E(complex) - E(receptor) - E(ligand)). One-shot preparations
+  // outside the pose loop. (trajectory-cold-baseline)
   ApproxParams params;
   const GBConstants constants;
   auto solve = [&](const Molecule& mol) {
     const auto quad = surface::molecular_surface_quadrature(mol);
-    const Prepared prep = Prepared::build(mol, quad, 32);
+    const Prepared prep = Prepared::build(mol, quad, 32);  // trajectory-cold-baseline
     return Engine(prep, params, constants).run(serial_options()).energy;
   };
   const double e_receptor = solve(receptor);
@@ -39,34 +51,64 @@ int main(int argc, char** argv) {
   std::printf("E_pol(receptor) = %.2f kcal/mol\nE_pol(ligand)   = %.2f kcal/mol\n\n",
               e_receptor, e_ligand);
 
-  Table table({"pose", "gap(A)", "rot(rad)", "E_complex", "dE_pol"});
-  double best = 1e300;
-  int best_pose = -1;
-  for (int pose = 0; pose < n_poses; ++pose) {
-    // Pose grid: interface gap sweeps 0.5..4 A, ligand rotates about z.
-    const double gap = 0.5 + 3.5 * pose / std::max(1, n_poses - 1);
-    const double angle = 0.7 * pose;
-
-    Molecule complex = receptor;
+  // The scanned complex: ligand parked at the pose-0 gap; later poses only
+  // translate its atoms, so one driver serves the whole scan.
+  const Aabb rb = receptor.bounding_box();
+  const Aabb lb = ligand.bounding_box();
+  const Vec3 base{rb.hi.x - lb.lo.x + 0.5, rb.center().y - lb.center().y,
+                  rb.center().z - lb.center().z};
+  Molecule complex_mol = receptor;
+  {
     Molecule posed = ligand;
-    posed.rotate(Vec3{0, 0, 1}, angle);
-    const Aabb rb = receptor.bounding_box();
-    const Aabb lb = posed.bounding_box();
-    posed.translate(Vec3{rb.hi.x - lb.lo.x + gap,
-                         rb.center().y - lb.center().y,
-                         rb.center().z - lb.center().z});
-    complex.append(posed);
+    posed.translate(base);
+    complex_mol.append(posed);
+  }
+  TrajectoryDriver driver(complex_mol, {}, params, constants);
 
-    const double e_complex = solve(complex);
-    const double de = e_complex - e_receptor - e_ligand;
-    table.add_row({Table::integer(pose), Table::num(gap, 3), Table::num(angle, 3),
-                   Table::num(e_complex, 6), Table::num(de, 4)});
-    if (e_complex < best) {
-      best = e_complex;
+  std::vector<Vec3> pos(complex_mol.size());
+  for (std::size_t i = 0; i < complex_mol.size(); ++i)
+    pos[i] = complex_mol.atom(i).pos;
+
+  Table table({"pose", "gap(A)", "slide(A)", "E_complex", "dE_pol"});
+  double best = 1e300, first_de = 0.0, last_de = 0.0;
+  int best_pose = -1, visited = 0;
+  for (int pose = 0; pose < n_poses; ++pose) {
+    // Pose grid: interface gap sweeps 0.5..4 A with a small lateral slide.
+    const double gap = 0.5 + 3.5 * pose / std::max(1, n_poses - 1);
+    const double slide = 0.8 * pose;
+    const Vec3 shift{gap - 0.5, slide, 0.0};
+    for (std::size_t i = receptor.size(); i < pos.size(); ++i)
+      pos[i] = complex_mol.atom(i).pos + shift;
+
+    const RunResult r = driver.step(pos);
+    const double de = r.energy - e_receptor - e_ligand;
+    if (!std::isfinite(r.energy)) {
+      std::fprintf(stderr, "FAIL: pose %d produced a non-finite energy\n", pose);
+      return 1;
+    }
+    table.add_row({Table::integer(pose), Table::num(gap, 3), Table::num(slide, 3),
+                   Table::num(r.energy, 6), Table::num(de, 4)});
+    if (r.energy < best) {
+      best = r.energy;
       best_pose = pose;
     }
+    if (pose == 0) first_de = de;
+    last_de = de;
+    ++visited;
   }
   table.print(std::cout);
   std::printf("\nbest pose by E_pol: #%d (E = %.2f kcal/mol)\n", best_pose, best);
+
+  if (visited != n_poses) {
+    std::fprintf(stderr, "FAIL: scan visited %d of %d poses\n", visited, n_poses);
+    return 1;
+  }
+  // Association energy must fade as the ligand pulls away from the receptor.
+  if (n_poses > 2 && !(std::abs(last_de) < std::abs(first_de))) {
+    std::fprintf(stderr,
+                 "FAIL: |dE_pol| did not decay with gap (%.4f -> %.4f)\n",
+                 first_de, last_de);
+    return 1;
+  }
   return 0;
 }

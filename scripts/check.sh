@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Local CI gate: build every sanitizer preset and run the fast test labels
-# (unit, property, checkpoint, balance, owned, integrity, trace) under each, plus repo-wide
+# (unit, property, checkpoint, balance, owned, integrity, incremental, trace) under each, plus repo-wide
 # gates: no in-tree caller may use the deprecated run_oct_* free functions
 # (everything goes through Engine/RunOptions), the balance_stress bench must
 # hold its >= 1.3x steal-vs-static makespan target, the micro_kernels bench
@@ -51,12 +51,23 @@ if grep -rnE 'run_oct_(serial|cilk|distributed)\s*\(' src bench tests examples 2
   exit 1
 fi
 
+echo "=== grep gate: no per-step re-preparation in trajectory workloads ==="
+# Trajectory-shaped examples and benches must route step loops through
+# TrajectoryDriver (core/incremental.hpp), not rebuild a Prepared per frame.
+# Intentional cold baselines carry a trajectory-cold-baseline marker.
+if grep -nE 'Prepared::build' \
+    examples/minimize.cpp examples/docking_scan.cpp bench/fig_trajectory.cpp 2>/dev/null \
+    | grep -v 'trajectory-cold-baseline'; then
+  echo "check.sh: unmarked Prepared::build in a trajectory workload (use TrajectoryDriver, or mark an intentional cold baseline with trajectory-cold-baseline)" >&2
+  exit 1
+fi
+
 for preset in "${PRESETS[@]}"; do
   echo "=== ${preset}: configure + build ==="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${JOBS}"
-  echo "=== ${preset}: ctest (unit|property|checkpoint|balance|owned|integrity|trace) ==="
-  ctest --preset "${preset}" -L 'unit|property|checkpoint|balance|owned|integrity|trace' -j "${JOBS}"
+  echo "=== ${preset}: ctest (unit|property|checkpoint|balance|owned|integrity|incremental|trace) ==="
+  ctest --preset "${preset}" -L 'unit|property|checkpoint|balance|owned|integrity|incremental|trace' -j "${JOBS}"
 done
 
 echo "=== balance_stress: skew-bench smoke run (release build) ==="
@@ -70,6 +81,13 @@ echo "=== fig_memory_scaling: owned-mode footprint self-gate (release build) ===
 # every point matches the replicated canonical energy to the bit AND the
 # 8-rank ratio holds the <= 0.35x acceptance target.
 (cd build/bench && ./fig_memory_scaling)
+
+echo "=== fig_trajectory: incremental-vs-cold amortization self-gate (release build) ==="
+# ~10k-atom receptor/ligand complex, ligand jiggling below the skin margin;
+# writes bench_out/trajectory.json and exits non-zero unless every frame is
+# 0-ulp identical between ReuseMode::kIncremental and kCold AND the median
+# incremental step costs <= 25% of the median cold re-preparation step.
+(cd build/bench && ./fig_trajectory)
 
 echo "=== micro_kernels: SIMD-vs-SoA self-gate (release build) ==="
 # --benchmark_filter matching nothing skips the google-benchmark timings;
@@ -90,7 +108,7 @@ echo "=== scalar: forced-SoA fallback build + tests ==="
 # passes the same tier-1 labels as the dispatched build.
 cmake --preset scalar
 cmake --build --preset scalar -j "${JOBS}"
-ctest --preset scalar -L 'unit|property|checkpoint|balance|owned|integrity|trace' -j "${JOBS}"
+ctest --preset scalar -L 'unit|property|checkpoint|balance|owned|integrity|incremental|trace' -j "${JOBS}"
 
 if [[ ${RUN_SOAK} -eq 1 ]]; then
   echo "=== soak: configure + build ==="
@@ -104,8 +122,8 @@ if [[ ${RUN_COVERAGE} -eq 1 ]]; then
   echo "=== coverage: configure + build (instrumented) ==="
   cmake --preset coverage
   cmake --build --preset coverage -j "${JOBS}"
-  echo "=== coverage: ctest (unit|property|checkpoint|balance|owned|integrity|trace) ==="
-  ctest --preset coverage -L 'unit|property|checkpoint|balance|owned|integrity|trace' -j "${JOBS}"
+  echo "=== coverage: ctest (unit|property|checkpoint|balance|owned|integrity|incremental|trace) ==="
+  ctest --preset coverage -L 'unit|property|checkpoint|balance|owned|integrity|incremental|trace' -j "${JOBS}"
   echo "=== coverage: src/obs line-coverage gate (>= 85%) ==="
   scripts/coverage.sh build-coverage 85
 fi

@@ -104,6 +104,11 @@ struct CheckpointPolicy {
   std::uint32_t chunk_leaves = 16;        // leaves per evaluation chunk
   std::uint32_t every_k_chunks = 4;       // snapshot every K chunks; 0 = off
   std::uint32_t every_n_collectives = 1;  // phase-entry snapshot cadence; 0 = off
+  // Caller-supplied word folded into every driver's job_key. The trajectory
+  // driver (core/incremental.hpp) sets this to the step index so snapshots
+  // from different steps of one campaign can never satisfy each other's
+  // resume, even though molecule shape and run configuration are identical.
+  std::uint64_t job_salt = 0;
   bool enabled() const { return !dir.empty(); }
 };
 

@@ -253,6 +253,43 @@ void BornSolver::accumulate_near_range(const InteractionLists& lists, std::size_
     near_range_impl<4>(lists, lo, hi, acc);
 }
 
+template <int Power>
+void BornSolver::near_entries_impl(const InteractionLists& lists,
+                                   std::span<const std::uint32_t> entry_ids,
+                                   BornAccumulator& acc) const {
+  const PointsSoA& q = prep_->q_soa;
+  const PointsSoA& wn = prep_->q_wn_soa;
+  const PointsSoA& a = prep_->atoms_soa;
+  double* atom_s = acc.atom_s_data();
+  const SimdKernelTable* simd = simd_kernel_table();
+  const SimdKernelTable::BornNearFn fn =
+      simd != nullptr ? (Power == 6 ? simd->born_near_r6 : simd->born_near_r4)
+                      : nullptr;
+  for (std::uint32_t idx : entry_ids) {
+    const InteractionLists::Near& e = lists.near[idx];
+    const OctreeNode& an = prep_->atoms_tree.node(e.target_leaf);
+    const OctreeNode& qn = prep_->q_tree.node(e.source_leaf);
+    if (fn != nullptr) {
+      fn(q.x.data(), q.y.data(), q.z.data(), wn.x.data(), wn.y.data(), wn.z.data(),
+         qn.begin, qn.end, a.x.data(), a.y.data(), a.z.data(), an.begin, an.end,
+         atom_s);
+    } else {
+      born_near_soa<Power>(q.x.data(), q.y.data(), q.z.data(), wn.x.data(),
+                           wn.y.data(), wn.z.data(), qn.begin, qn.end, a.x.data(),
+                           a.y.data(), a.z.data(), an.begin, an.end, atom_s);
+    }
+  }
+}
+
+void BornSolver::accumulate_near_entries(const InteractionLists& lists,
+                                         std::span<const std::uint32_t> entry_ids,
+                                         BornAccumulator& acc) const {
+  if (kernel_ == RadiusKernel::kR6)
+    near_entries_impl<6>(lists, entry_ids, acc);
+  else
+    near_entries_impl<4>(lists, entry_ids, acc);
+}
+
 void BornSolver::accumulate_lists(const InteractionLists& lists,
                                   BornAccumulator& acc) const {
   accumulate_far_range(lists, 0, lists.far.size(), acc);

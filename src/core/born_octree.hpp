@@ -93,6 +93,16 @@ class BornSolver {
   // Whole-list convenience (far then near), serial.
   void accumulate_lists(const InteractionLists& lists, BornAccumulator& acc) const;
 
+  // Near evaluation restricted to an explicit subset of near-list entry
+  // indices, given in ASCENDING order. Because atom_s slots of a target leaf
+  // are touched only by that leaf's near entries, replaying all entries of a
+  // set of target leaves (ascending) into a fresh accumulator reproduces the
+  // full pass's per-slot fold order exactly — the bit-identity the
+  // incremental trajectory engine's dirty-leaf refresh relies on.
+  void accumulate_near_entries(const InteractionLists& lists,
+                               std::span<const std::uint32_t> entry_ids,
+                               BornAccumulator& acc) const;
+
   // Dual-tree pass over the full trees (OCT_CILK algorithm), serial.
   void accumulate_dual_tree(BornAccumulator& acc) const;
   // Dual-tree restricted to one atoms-subtree (used for parallel spawns:
@@ -124,6 +134,10 @@ class BornSolver {
   template <int Power>
   void near_range_impl(const InteractionLists& lists, std::size_t lo, std::size_t hi,
                        BornAccumulator& acc) const;
+  template <int Power>
+  void near_entries_impl(const InteractionLists& lists,
+                         std::span<const std::uint32_t> entry_ids,
+                         BornAccumulator& acc) const;
   template <int Power, bool Dipole>
   void dual_subtree(std::uint32_t atom_node, std::uint32_t q_node,
                     BornAccumulator& acc) const;

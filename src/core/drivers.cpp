@@ -358,7 +358,7 @@ RunResult oct_distributed(const Prepared& prep, const ApproxParams& params,
       {n_atoms, n_qleaves, n_aleaves, static_cast<std::uint64_t>(P),
        static_cast<std::uint64_t>(config.division),
        static_cast<std::uint64_t>(params.traversal),
-       integrity_job_word(config.integrity_guards)});
+       integrity_job_word(config.integrity_guards), policy.job_salt});
   const ckpt::SnapshotStore store(policy.enabled() ? policy.dir : std::string("."),
                                   P, job_key);
 
@@ -1051,7 +1051,8 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
       {n_atoms, n_qleaves, n_aleaves, static_cast<std::uint64_t>(P),
        static_cast<std::uint64_t>(params.traversal), 0xBA1Aull,
        born_plan.n_chunks, born_plan.chunk_items, epol_plan.n_chunks,
-       epol_plan.chunk_items, integrity_job_word(options.integrity_guards)});
+       epol_plan.chunk_items, integrity_job_word(options.integrity_guards),
+       policy.job_salt});
   const ckpt::SnapshotStore store(policy.enabled() ? policy.dir : std::string("."),
                                   P, job_key);
 
@@ -1669,7 +1670,7 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
        static_cast<std::uint64_t>(params.traversal), 0xBA1Aull,
        born_plan.n_chunks, born_plan.chunk_items, epol_plan.n_chunks,
        epol_plan.chunk_items, 0x04EDull, ownership_hash, halo_hash,
-       integrity_job_word(options.integrity_guards)});
+       integrity_job_word(options.integrity_guards), policy.job_salt});
   const ckpt::SnapshotStore store(policy.enabled() ? policy.dir : std::string("."),
                                   P, job_key);
 

@@ -143,6 +143,9 @@ RunResultDoc doc_from_result(const RunResult& result, const std::string& label) 
   doc.steal_grants = result.steal_grants;
   doc.owned_bytes_per_rank = static_cast<std::uint64_t>(result.owned_bytes_per_rank);
   doc.owned_halo_bytes = static_cast<std::uint64_t>(result.owned_halo_bytes);
+  doc.dirty_leaves = result.dirty_leaves;
+  doc.lists_rebuilt = result.lists_rebuilt;
+  doc.reused_fraction = result.reused_fraction;
   doc.corruption_injected = result.corruption_injected;
   doc.corruption_detected = result.corruption_detected;
   doc.corruption_recomputed = result.corruption_recomputed;
@@ -280,6 +283,9 @@ obs::json::Value run_result_doc_to_json(const RunResultDoc& doc) {
   root.emplace_back("steal_grants", Value(doc.steal_grants));
   root.emplace_back("owned_bytes_per_rank", Value(doc.owned_bytes_per_rank));
   root.emplace_back("owned_halo_bytes", Value(doc.owned_halo_bytes));
+  root.emplace_back("dirty_leaves", Value(doc.dirty_leaves));
+  root.emplace_back("lists_rebuilt", Value(doc.lists_rebuilt));
+  root.emplace_back("reused_fraction", Value(doc.reused_fraction));
   root.emplace_back("corruption_injected", Value(doc.corruption_injected));
   root.emplace_back("corruption_detected", Value(doc.corruption_detected));
   root.emplace_back("corruption_recomputed", Value(doc.corruption_recomputed));
@@ -373,6 +379,16 @@ RunResultParse run_result_from_json(const obs::json::Value& root) {
     return out;
   if (root.find("owned_halo_bytes") != nullptr &&
       !read_u64(root, "owned_halo_bytes", doc.owned_halo_bytes, err))
+    return out;
+  // Pure v1 additions (incremental trajectories): same optional policy.
+  if (root.find("dirty_leaves") != nullptr &&
+      !read_u64(root, "dirty_leaves", doc.dirty_leaves, err))
+    return out;
+  if (root.find("lists_rebuilt") != nullptr &&
+      !read_u64(root, "lists_rebuilt", doc.lists_rebuilt, err))
+    return out;
+  if (root.find("reused_fraction") != nullptr &&
+      !read_number(root, "reused_fraction", doc.reused_fraction, err))
     return out;
   // Pure v1 additions (data-integrity layer): same optional policy.
   if (root.find("corruption_injected") != nullptr &&

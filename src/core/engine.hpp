@@ -50,6 +50,15 @@ enum class EngineMode {
   kDistributed,  // OCT_MPI / OCT_MPI+CILK (honours ranks == 1 too)
 };
 
+// Preparation-reuse policy for trajectory workloads (core/incremental.hpp).
+// kCold rebuilds every structure and recomputes every cached partial from
+// scratch each step with the SAME deterministic recipe the incremental path
+// follows, so the two modes are comparable bit-for-bit — the differential
+// contract tests/incremental_test.cpp pins. Engine::run itself evaluates the
+// Prepared it was handed either way; the knob is consumed by the
+// TrajectoryDriver, which owns the between-step state.
+enum class ReuseMode { kCold, kIncremental };
+
 // Aggregate options for one Engine::run. Everything the run needs is a
 // field here; no positional knobs, no env-var side channels (the two env
 // vars above are read ONCE, as defaults, by resolved_*).
@@ -98,6 +107,10 @@ struct RunOptions {
 
   // Checkpoint/restart (ckpt/snapshot.hpp); enabled when checkpoint.dir set.
   ckpt::CheckpointPolicy checkpoint;
+
+  // Trajectory preparation reuse (core/incremental.hpp). Consumed by the
+  // TrajectoryDriver per step; ignored by a bare Engine::run.
+  ReuseMode reuse = ReuseMode::kIncremental;
 
   // Observability / campaign destinations. Empty = fall back to the env
   // defaults documented above ("-" = explicitly off, ignore the env).
@@ -160,6 +173,17 @@ struct RunResult {
   std::uint64_t redistributed_work_items = 0;
   std::uint64_t migrated_chunks = 0;  // cross-rank: chunks computed off-plan
   std::uint64_t steal_grants = 0;     // cross-rank: granted steal requests
+
+  // Incremental-trajectory accounting (core/incremental.hpp): leaf-granular
+  // evaluation refreshes this step (Born target leaves refolded + leaves
+  // whose change drove E_pol entry recomputes; every leaf on a
+  // structural-rebuild or kCold step), interaction-list source leaves
+  // re-traversed (vs lists reused wholesale from the previous step), and the
+  // fraction of near-field point-pair work whose cached partial was reused.
+  // All zero for a bare Engine::run.
+  std::uint64_t dirty_leaves = 0;
+  std::uint64_t lists_rebuilt = 0;
+  double reused_fraction = 0.0;
 
   // Data-integrity accounting (sums over ranks; see CorruptionPlan).
   std::uint64_t corruption_injected = 0;
@@ -235,6 +259,11 @@ struct RunResultDoc {
   // owned driver existed, so they parse as zero rather than rejecting.
   std::uint64_t owned_bytes_per_rank = 0;
   std::uint64_t owned_halo_bytes = 0;
+  // Pure v1 additions (incremental trajectories): same absent-parses-as-zero
+  // policy.
+  std::uint64_t dirty_leaves = 0;
+  std::uint64_t lists_rebuilt = 0;
+  double reused_fraction = 0.0;
   // Pure v1 additions (data-integrity layer): same absent-parses-as-zero
   // policy.
   std::uint64_t corruption_injected = 0;

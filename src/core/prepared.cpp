@@ -29,10 +29,19 @@ MemoryFootprint Prepared::replicated_footprint() const {
 
 Prepared Prepared::build(const Molecule& mol, const surface::SurfaceQuadrature& quad,
                          std::uint32_t leaf_capacity) {
+  return build(mol, quad, leaf_capacity, Aabb{}, Aabb{});
+}
+
+Prepared Prepared::build(const Molecule& mol, const surface::SurfaceQuadrature& quad,
+                         std::uint32_t leaf_capacity, const Aabb& atoms_domain,
+                         const Aabb& q_domain) {
   ThreadCpuTimer timer;
   Prepared prep;
 
-  const Octree::BuildParams params{.leaf_capacity = leaf_capacity, .max_depth = 20};
+  const Octree::BuildParams params{
+      .leaf_capacity = leaf_capacity, .max_depth = 20, .domain = atoms_domain};
+  const Octree::BuildParams q_params{
+      .leaf_capacity = leaf_capacity, .max_depth = 20, .domain = q_domain};
 
   std::vector<Vec3> atom_pos(mol.size());
   for (std::size_t i = 0; i < mol.size(); ++i) atom_pos[i] = mol.atom(i).pos;
@@ -46,7 +55,7 @@ Prepared Prepared::build(const Molecule& mol, const surface::SurfaceQuadrature& 
     prep.intrinsic_radius[slot] = a.radius;
   }
 
-  prep.q_tree = Octree::build(quad.points, params);
+  prep.q_tree = Octree::build(quad.points, q_params);
   prep.weighted_normal.resize(quad.size());
   for (std::size_t slot = 0; slot < quad.size(); ++slot) {
     const std::uint32_t orig = prep.q_tree.original_index(static_cast<std::uint32_t>(slot));

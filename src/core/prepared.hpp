@@ -71,6 +71,16 @@ struct Prepared {
 
   static Prepared build(const Molecule& mol, const surface::SurfaceQuadrature& quad,
                         std::uint32_t leaf_capacity);
+
+  // Domain-pinned variant for the incremental trajectory engine
+  // (core/incremental.hpp): Morton codes for the two trees are quantized
+  // against the caller's fixed boxes instead of the fitted bounding boxes, so
+  // rebuilds over perturbed point sets stay comparable (see
+  // Octree::BuildParams::domain). Empty boxes fall back to fitted — passing
+  // two empty domains reproduces the overload above bit-for-bit.
+  static Prepared build(const Molecule& mol, const surface::SurfaceQuadrature& quad,
+                        std::uint32_t leaf_capacity, const Aabb& atoms_domain,
+                        const Aabb& q_domain);
 };
 
 }  // namespace gbpol

@@ -238,6 +238,9 @@ json::Value snapshot_to_json(const MetricsSnapshot& m) {
   o.emplace_back("steal_attempts", json::Value(m.steal_attempts));
   o.emplace_back("steal_successes", json::Value(m.steal_successes));
   o.emplace_back("pop_misses", json::Value(m.pop_misses));
+  o.emplace_back("delta_updates", json::Value(m.delta_updates));
+  o.emplace_back("delta_dirty_leaves", json::Value(m.delta_dirty_leaves));
+  o.emplace_back("delta_lists_rebuilt", json::Value(m.delta_lists_rebuilt));
   // Derived convenience fields: written for humans/plots, IGNORED by the
   // parser (recomputable), so they are not schema surface.
   o.emplace_back("derived_steal_success_rate",
@@ -452,6 +455,14 @@ bool snapshot_from_json(const json::Value& v, MetricsSnapshot& m,
   m.steal_attempts = static_cast<std::uint64_t>(sa->as_number());
   m.steal_successes = static_cast<std::uint64_t>(ss->as_number());
   m.pop_misses = static_cast<std::uint64_t>(pm->as_number());
+  // Pure v1 additions (incremental trajectories): absent in documents
+  // written before the trajectory engine existed, so they parse as zero.
+  if (const json::Value* f = v.find("delta_updates"); f != nullptr && f->is_number())
+    m.delta_updates = static_cast<std::uint64_t>(f->as_number());
+  if (const json::Value* f = v.find("delta_dirty_leaves"); f != nullptr && f->is_number())
+    m.delta_dirty_leaves = static_cast<std::uint64_t>(f->as_number());
+  if (const json::Value* f = v.find("delta_lists_rebuilt"); f != nullptr && f->is_number())
+    m.delta_lists_rebuilt = static_cast<std::uint64_t>(f->as_number());
   return true;
 }
 

@@ -112,6 +112,14 @@ struct MetricsSnapshot {
   std::uint64_t steal_successes = 0;
   std::uint64_t pop_misses = 0;
 
+  // Incremental trajectory engine (core/incremental.hpp): delta_update steps
+  // observed this session, total leaves re-anchored by them, and total list
+  // segments re-derived (the reuse counterpart is derivable: segments per
+  // step minus rebuilt).
+  std::uint64_t delta_updates = 0;
+  std::uint64_t delta_dirty_leaves = 0;
+  std::uint64_t delta_lists_rebuilt = 0;
+
   // -- aggregates ---------------------------------------------------------
   double total_phase_busy(int rank) const;
   double total_phase_busy_all() const;
@@ -161,6 +169,7 @@ void add_corruption_retransmit(int rank);
 void add_steal_attempt();
 void add_steal_success();
 void add_pop_miss();
+void add_delta_update(std::uint64_t dirty_leaves, std::uint64_t lists_rebuilt);
 void record_rank_totals(int rank, double compute_seconds,
                         double straggler_seconds, double comm_seconds,
                         std::uint64_t bytes_sent, std::uint64_t retries,
@@ -183,6 +192,7 @@ inline void add_corruption_retransmit(int) {}
 inline void add_steal_attempt() {}
 inline void add_steal_success() {}
 inline void add_pop_miss() {}
+inline void add_delta_update(std::uint64_t, std::uint64_t) {}
 inline void record_rank_totals(int, double, double, double, std::uint64_t,
                                std::uint64_t, std::uint64_t) {}
 

@@ -40,6 +40,8 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kCorruptionDetect: return "corruption_detect";
     case EventKind::kCorruptionRecompute: return "corruption_recompute";
     case EventKind::kCorruptionRetransmit: return "corruption_retransmit";
+    case EventKind::kPrepReuse: return "prep_reuse";
+    case EventKind::kDeltaUpdate: return "delta_update";
   }
   return "unknown";
 }
@@ -140,6 +142,9 @@ struct SessionState {
   std::atomic<std::uint64_t> steal_attempts{0};
   std::atomic<std::uint64_t> steal_successes{0};
   std::atomic<std::uint64_t> pop_misses{0};
+  std::atomic<std::uint64_t> delta_updates{0};
+  std::atomic<std::uint64_t> delta_dirty_leaves{0};
+  std::atomic<std::uint64_t> delta_lists_rebuilt{0};
 };
 
 SessionState& state() {
@@ -227,6 +232,9 @@ void start_session(const TraceConfig& config) {
   s.steal_attempts.store(0, std::memory_order_relaxed);
   s.steal_successes.store(0, std::memory_order_relaxed);
   s.pop_misses.store(0, std::memory_order_relaxed);
+  s.delta_updates.store(0, std::memory_order_relaxed);
+  s.delta_dirty_leaves.store(0, std::memory_order_relaxed);
+  s.delta_lists_rebuilt.store(0, std::memory_order_relaxed);
   detail::g_epoch.fetch_add(1, std::memory_order_release);  // even -> odd
 }
 
@@ -317,6 +325,9 @@ Trace stop_session() {
   m.steal_attempts = s.steal_attempts.load(std::memory_order_relaxed);
   m.steal_successes = s.steal_successes.load(std::memory_order_relaxed);
   m.pop_misses = s.pop_misses.load(std::memory_order_relaxed);
+  m.delta_updates = s.delta_updates.load(std::memory_order_relaxed);
+  m.delta_dirty_leaves = s.delta_dirty_leaves.load(std::memory_order_relaxed);
+  m.delta_lists_rebuilt = s.delta_lists_rebuilt.load(std::memory_order_relaxed);
   s.ranks.clear();
   return trace;
 }
@@ -426,6 +437,14 @@ void add_steal_success() {
 void add_pop_miss() {
   if (session_active())
     state().pop_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void add_delta_update(std::uint64_t dirty_leaves, std::uint64_t lists_rebuilt) {
+  if (!session_active()) return;
+  SessionState& s = state();
+  s.delta_updates.fetch_add(1, std::memory_order_relaxed);
+  s.delta_dirty_leaves.fetch_add(dirty_leaves, std::memory_order_relaxed);
+  s.delta_lists_rebuilt.fetch_add(lists_rebuilt, std::memory_order_relaxed);
 }
 
 void record_rank_totals(int rank, double compute_seconds,

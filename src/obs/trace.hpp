@@ -79,6 +79,10 @@ enum class EventKind : std::uint8_t {
   kCorruptionDetect,     // a = peer/seq/chunk, b = bytes
   kCorruptionRecompute,  // a = chunk id, b = bytes recomputed
   kCorruptionRetransmit, // a = peer/seq, b = bytes
+  // Incremental trajectory engine (core/incremental.hpp); appended so older
+  // kind ids stay stable.
+  kPrepReuse,            // a = list segments reused, b = segments rebuilt
+  kDeltaUpdate,          // a = re-anchored (dirty) leaves, b = moved atoms
 };
 
 // Why a rank left the run through the death machinery.

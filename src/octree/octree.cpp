@@ -13,7 +13,9 @@ Octree Octree::build(std::span<const Vec3> points, const BuildParams& params) {
   if (points.empty()) return tree;
 
   // Morton-sort the points once; everything else works on contiguous ranges.
-  const Aabb box = bounding_box(points);
+  // A caller-pinned domain (BuildParams::domain) replaces the fitted box so
+  // codes stay comparable across rebuilds over perturbed point sets.
+  const Aabb box = params.domain.empty() ? bounding_box(points) : params.domain;
   const std::vector<std::uint64_t> raw_codes = morton::encode_points(points, box);
   tree.perm_ = morton::sort_permutation(raw_codes);
 

@@ -47,6 +47,15 @@ class Octree {
   struct BuildParams {
     std::uint32_t leaf_capacity = 32;
     int max_depth = 20;  // Morton codes carry 21 levels; one is kept in reserve
+    // Optional fixed Morton quantization domain. When non-empty, codes are
+    // quantized against THIS box instead of the point set's bounding box, so
+    // two builds over (slightly) different point sets assign comparable codes
+    // — the property the incremental trajectory engine (core/incremental.hpp)
+    // needs to re-anchor a subset of points without perturbing the Morton
+    // cells of everything else. Points outside the domain clamp to its faces
+    // (morton::encode_point), which degrades traversal efficiency but never
+    // correctness. Empty (the default) keeps the historical behavior.
+    Aabb domain;
   };
 
   Octree() = default;
@@ -80,6 +89,14 @@ class Octree {
   // cells — the octree update-efficiency argument of paper §II, contrasted
   // with nblist rebuilds in bench/ablation_octree_vs_nblist.
   void refit(std::span<const Vec3> new_points);
+
+  // Payload-only position patch for ONE sorted slot: updates the stored
+  // point without touching node geometry. The trajectory engine uses this
+  // for sub-skin motion — node centroids/radii deliberately stay at their
+  // anchor values (the skin margin bounds how stale they can get), exactly
+  // like a neighbor-list skin in MD codes. For a full geometry refresh use
+  // refit(); for topology changes rebuild.
+  void set_point(std::uint32_t sorted_slot, const Vec3& p) { points_[sorted_slot] = p; }
 
   // Logical footprint of the structure (paper §II space argument).
   MemoryFootprint footprint() const;

@@ -3,9 +3,12 @@
 #include "core/forces.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "core/kernels_simd.hpp"
 #include "core/naive.hpp"
 #include "test_helpers.hpp"
 
@@ -133,6 +136,76 @@ TEST_F(OctreeGradientTest, TighterEpsilonImprovesAgreement) {
     prev = err;
   }
 }
+
+// --- forced-dispatch battery ------------------------------------------------
+// The FD and octree-vs-naive gradient checks re-run under each forced
+// GBPOL_SIMD path, so a bug in one near-kernel variant (explicit AVX2 vs the
+// batched SoA fallback) cannot hide behind whichever path the host CPU
+// happens to select. "off" forces the SoA path; "auto" re-enables the
+// runtime's preferred path (AVX2+FMA where compiled in and supported).
+class ForcedSimdGradientTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    setenv("GBPOL_SIMD", GetParam(), /*overwrite=*/1);
+    simd_dispatch_refresh();
+  }
+  void TearDown() override {
+    unsetenv("GBPOL_SIMD");
+    simd_dispatch_refresh();
+  }
+};
+
+TEST_P(ForcedSimdGradientTest, FiniteDifferencesMatchUnderForcedPath) {
+  const Molecule mol = molgen::synthetic_protein(60, 123);
+  std::vector<Atom> atoms{mol.atoms().begin(), mol.atoms().end()};
+  std::vector<double> born(atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) born[i] = 1.5 + 0.1 * (i % 7);
+  const GBConstants constants;
+
+  const auto grad = naive_epol_gradient(atoms, born, constants);
+  const double h = 1e-6;
+  for (const std::size_t i : {std::size_t{0}, atoms.size() / 2, atoms.size() - 1}) {
+    for (int axis = 0; axis < 3; ++axis) {
+      auto shift = [&](double delta) {
+        std::vector<Atom> moved = atoms;
+        double* coord = axis == 0   ? &moved[i].pos.x
+                        : axis == 1 ? &moved[i].pos.y
+                                    : &moved[i].pos.z;
+        *coord += delta;
+        return frozen_energy(std::move(moved), born, constants);
+      };
+      const double fd = (shift(h) - shift(-h)) / (2.0 * h);
+      const double an = axis == 0 ? grad[i].x : axis == 1 ? grad[i].y : grad[i].z;
+      EXPECT_NEAR(an, fd, 1e-5 * (1.0 + std::abs(fd)))
+          << "atom " << i << " axis " << axis;
+    }
+  }
+}
+
+TEST_P(ForcedSimdGradientTest, OctreeGradientMatchesNaiveUnderForcedPath) {
+  const Fixture fixture = make_fixture(240);
+  const auto born_sorted = naive_born_sorted(fixture);
+  ApproxParams params;
+  const GBConstants constants;
+  const EpolSolver epol(fixture.prep, born_sorted, params, constants);
+  const EpolGradientSolver solver(fixture.prep, born_sorted, epol, constants);
+  const auto octree_grad = solver.gradient_all();
+  const auto naive_grad =
+      naive_epol_gradient(fixture.mol.atoms(), fixture.naive_born, constants);
+
+  double ref_scale = 0.0;
+  for (const Vec3& g : naive_grad) ref_scale = std::max(ref_scale, norm(g));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < naive_grad.size(); ++i)
+    worst = std::max(worst, norm(octree_grad[i] - naive_grad[i]));
+  EXPECT_LT(worst, 0.08 * ref_scale) << "dispatch " << simd_dispatch_name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Dispatch, ForcedSimdGradientTest,
+                         ::testing::Values("off", "auto"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
 
 }  // namespace
 }  // namespace gbpol
