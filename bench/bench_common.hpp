@@ -124,13 +124,6 @@ class BenchMetrics {
                                obs::json::Value(result.migrated_chunks));
       entry.extra.emplace_back("steal_grants",
                                obs::json::Value(result.steal_grants));
-    } else if constexpr (std::is_same_v<R, DriverResult>) {
-      entry.extra.emplace_back("energy", obs::json::Value(result.energy));
-      entry.extra.emplace_back("ranks", obs::json::Value(result.ranks));
-      entry.extra.emplace_back("threads_per_rank",
-                               obs::json::Value(result.threads_per_rank));
-      entry.extra.emplace_back("modeled_seconds",
-                               obs::json::Value(result.modeled_seconds()));
     } else if constexpr (std::is_same_v<R, harness::PackageRun>) {
       entry.extra.emplace_back("energy", obs::json::Value(result.energy));
       entry.extra.emplace_back("modeled_seconds",

@@ -1,0 +1,300 @@
+// Serving-throughput figure (DESIGN.md "Serving layer"): a multi-tenant
+// request mix — repeat scoring, docking-style jittered poses, and one-off
+// molecules — served by gbpol::Service (batched dispatch + Prepared cache +
+// memoization + delta routing) against the per-request cold baseline that
+// re-marches the surface and rebuilds the preparation for every request.
+//
+// Writes bench_out/serving.json (requests/sec for both sides, p50/p99
+// modeled latency, per-request accounting) and self-gates the ISSUE 10
+// acceptance targets:
+//   * batched+cached serving >= 3x the per-request cold throughput;
+//   * every served energy is 0 ulp against its path-appropriate cold twin
+//     (direct Engine::run for cold/cached/memoized requests, the mirror
+//     ReuseMode::kCold TrajectoryDriver for delta-routed poses).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/incremental.hpp"
+#include "serve/service.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace gbpol;
+using namespace gbpol::bench;
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+// Deterministic sub-skin docking jitter: displace a couple of "ligand" atoms
+// by < 0.1 A, leaving the rest anchored for the delta path to reuse.
+Molecule jittered(const Molecule& base, int pose) {
+  Molecule mol = base;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull * (pose + 1);
+  const std::size_t moved = std::max<std::size_t>(1, mol.size() / 100);
+  for (Atom& a : mol.atoms().subspan(0, moved)) {
+    const auto next = [&state]() {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return (static_cast<double>(state % 2001) - 1000.0) / 10000.0;  // +-0.1
+    };
+    a.pos.x += next();
+    a.pos.y += next();
+    a.pos.z += next();
+  }
+  return mol;
+}
+
+enum class Kind { kAnchor, kRepeat, kPose, kSingleton };
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kAnchor: return "anchor";
+    case Kind::kRepeat: return "repeat";
+    case Kind::kPose: return "pose";
+    case Kind::kSingleton: return "singleton";
+  }
+  return "?";
+}
+
+struct Labeled {
+  Molecule mol;
+  Kind kind;
+  int family;  // -1 for singletons
+};
+
+}  // namespace
+
+int main() {
+  harness::print_figure_header(
+      "Serving", "Batched+cached service vs per-request cold baseline");
+
+  // Request mix: 4 base molecules ("tenant" targets), each scored once cold,
+  // re-scored repeatedly (memo hits), and re-evaluated at jittered docking
+  // poses (delta routing); plus 8 one-off singletons that stay cold.
+  const int kFamilies = 4;
+  const int kPosesPerFamily = 3;
+  const int kRepeatsPerFamily =
+      std::max(1, harness::env_int("GBPOL_REPS", 12));
+  const int kSingletons = 8;
+
+  std::vector<Molecule> bases;
+  for (int b = 0; b < kFamilies; ++b)
+    bases.push_back(molgen::synthetic_protein(200 + 15 * b, 21 + b));
+
+  std::vector<Labeled> stream;
+  for (int b = 0; b < kFamilies; ++b)
+    stream.push_back({bases[b], Kind::kAnchor, b});
+  int singletons_used = 0;
+  for (int round = 0; round < kPosesPerFamily; ++round) {
+    for (int b = 0; b < kFamilies; ++b)
+      stream.push_back({jittered(bases[b], round + 1), Kind::kPose, b});
+    for (int s = 0; s < 2 && singletons_used < kSingletons; ++s, ++singletons_used)
+      stream.push_back({molgen::synthetic_protein(120 + 9 * singletons_used,
+                                                  41 + singletons_used),
+                        Kind::kSingleton, -1});
+  }
+  for (; singletons_used < kSingletons; ++singletons_used)
+    stream.push_back({molgen::synthetic_protein(120 + 9 * singletons_used,
+                                                41 + singletons_used),
+                      Kind::kSingleton, -1});
+  for (int k = 0; k < kRepeatsPerFamily; ++k)
+    for (int b = 0; b < kFamilies; ++b)
+      stream.push_back({bases[b], Kind::kRepeat, b});
+  const std::size_t n_requests = stream.size();
+
+  ServiceOptions options;
+  options.campaign_dir = "-";  // throughput figure; durability benched by tests
+  options.run.trace_out = "-";
+  const surface::QuadratureParams quad = bench_quadrature_params();
+  const ApproxParams params;
+  const GBConstants constants;
+
+  const auto make_request = [&](const Molecule& mol) {
+    ServeRequest req;
+    req.mol = mol;
+    req.params = params;
+    req.constants = constants;
+    req.surface = quad;
+    return req;
+  };
+
+  // --- per-request cold baseline: fresh surface + Prepared + Engine::run
+  // for every request, the pre-Service serving cost. Its results double as
+  // the 0-ulp twins for every non-delta served request.
+  std::vector<RunResult> cold_twin(n_requests);
+  std::vector<double> cold_latency(n_requests);
+  WallTimer cold_timer;
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    WallTimer one;
+    const Molecule& mol = stream[i].mol;
+    const surface::SurfaceQuadrature sq =
+        surface::molecular_surface_quadrature(mol, quad);
+    const Prepared prep = Prepared::build(mol, sq, params.leaf_capacity);
+    cold_twin[i] = Engine(prep, params, constants).run(options.run);
+    cold_latency[i] = one.seconds();
+  }
+  const double cold_seconds = cold_timer.seconds();
+
+  // --- batched+cached service: submit the whole stream, drain once.
+  Service service(options);
+  WallTimer serve_timer;
+  for (const Labeled& item : stream) service.submit(make_request(item.mol));
+  const std::vector<ServeResult> served = service.drain();
+  const double serve_seconds = serve_timer.seconds();
+  if (served.size() != n_requests) {
+    std::fprintf(stderr, "FAIL: served %zu of %zu requests\n", served.size(),
+                 n_requests);
+    return 1;
+  }
+
+  // --- 0-ulp verification against the path-appropriate twin. Delta-routed
+  // poses mirror a ReuseMode::kCold TrajectoryDriver per family, anchored at
+  // the family's first geometry and fed the same pose sequence in serve
+  // order (the core/incremental differential contract).
+  std::vector<std::unique_ptr<TrajectoryDriver>> mirrors(kFamilies);
+  RunOptions mirror_run = options.run;
+  mirror_run.reuse = ReuseMode::kCold;
+  std::size_t verified_delta = 0, verified_direct = 0;
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    const ServeResult& s = served[i];
+    if (s.path == ServePath::kDelta) {
+      const int fam = stream[i].family;
+      if (!mirrors[fam]) {
+        TrajectoryOptions topt;
+        topt.skin = options.delta_skin;
+        topt.surface = quad;
+        mirrors[fam] = std::make_unique<TrajectoryDriver>(bases[fam], topt,
+                                                          params, constants);
+      }
+      std::vector<Vec3> pos;
+      for (const Atom& a : stream[i].mol.atoms()) pos.push_back(a.pos);
+      const RunResult twin = mirrors[fam]->step(pos, mirror_run);
+      if (s.result.energy != twin.energy ||
+          s.result.born_sorted != twin.born_sorted) {
+        std::fprintf(stderr,
+                     "FAIL: request %zu (%s) diverged from its kCold mirror "
+                     "driver: %.17g vs %.17g\n",
+                     i, kind_name(stream[i].kind), s.result.energy,
+                     twin.energy);
+        return 1;
+      }
+      ++verified_delta;
+    } else {
+      if (s.result.energy != cold_twin[i].energy ||
+          s.result.born_sorted != cold_twin[i].born_sorted) {
+        std::fprintf(stderr,
+                     "FAIL: request %zu (%s, path %s) diverged from its "
+                     "direct cold twin: %.17g vs %.17g\n",
+                     i, kind_name(stream[i].kind),
+                     serve_path_name(s.path), s.result.energy,
+                     cold_twin[i].energy);
+        return 1;
+      }
+      ++verified_direct;
+    }
+  }
+
+  std::vector<double> served_latency;
+  for (const ServeResult& s : served)
+    served_latency.push_back(s.result.queue_seconds + s.result.serve_seconds);
+
+  const double rps_cold = static_cast<double>(n_requests) / cold_seconds;
+  const double rps_served = static_cast<double>(n_requests) / serve_seconds;
+  const double speedup = rps_served / rps_cold;
+  const ServiceStats stats = service.stats();
+
+  Table table({"side", "requests", "wall (s)", "req/s", "p50 (s)", "p99 (s)"});
+  table.add_row({"per-request cold", Table::integer(static_cast<long long>(n_requests)),
+                 Table::num(cold_seconds, 4), Table::num(rps_cold, 2),
+                 Table::num(percentile(cold_latency, 0.50), 5),
+                 Table::num(percentile(cold_latency, 0.99), 5)});
+  table.add_row({"batched+cached", Table::integer(static_cast<long long>(n_requests)),
+                 Table::num(serve_seconds, 4), Table::num(rps_served, 2),
+                 Table::num(percentile(served_latency, 0.50), 5),
+                 Table::num(percentile(served_latency, 0.99), 5)});
+  harness::emit_table(table, "serving");
+
+  std::printf(
+      "\npaths: cold %llu, cache hits %llu / misses %llu, memo %llu, "
+      "delta %llu; verified %zu delta + %zu direct twins\n",
+      static_cast<unsigned long long>(stats.cold),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses),
+      static_cast<unsigned long long>(stats.memo_hits),
+      static_cast<unsigned long long>(stats.delta_routed), verified_delta,
+      verified_direct);
+  std::printf("throughput: %.2f req/s served vs %.2f req/s cold (%.2fx)\n",
+              rps_served, rps_cold, speedup);
+
+  obs::json::Object root;
+  root.emplace_back("schema_version", obs::json::Value(1));
+  root.emplace_back("requests",
+                    obs::json::Value(static_cast<std::uint64_t>(n_requests)));
+  root.emplace_back("cold_seconds", obs::json::Value(cold_seconds));
+  root.emplace_back("served_seconds", obs::json::Value(serve_seconds));
+  root.emplace_back("requests_per_second_cold", obs::json::Value(rps_cold));
+  root.emplace_back("requests_per_second_served",
+                    obs::json::Value(rps_served));
+  root.emplace_back("speedup", obs::json::Value(speedup));
+  root.emplace_back("p50_latency_seconds_cold",
+                    obs::json::Value(percentile(cold_latency, 0.50)));
+  root.emplace_back("p99_latency_seconds_cold",
+                    obs::json::Value(percentile(cold_latency, 0.99)));
+  root.emplace_back("p50_latency_seconds_served",
+                    obs::json::Value(percentile(served_latency, 0.50)));
+  root.emplace_back("p99_latency_seconds_served",
+                    obs::json::Value(percentile(served_latency, 0.99)));
+  {
+    obs::json::Object st;
+    st.emplace_back("cold", obs::json::Value(stats.cold));
+    st.emplace_back("cache_hits", obs::json::Value(stats.cache_hits));
+    st.emplace_back("cache_misses", obs::json::Value(stats.cache_misses));
+    st.emplace_back("cache_evictions", obs::json::Value(stats.cache_evictions));
+    st.emplace_back("memo_hits", obs::json::Value(stats.memo_hits));
+    st.emplace_back("delta_routed", obs::json::Value(stats.delta_routed));
+    root.emplace_back("service_stats", obs::json::Value(std::move(st)));
+  }
+  {
+    obs::json::Array arr;
+    for (std::size_t i = 0; i < n_requests; ++i) {
+      const ServeResult& s = served[i];
+      obs::json::Object o;
+      o.emplace_back("kind", obs::json::Value(std::string(kind_name(stream[i].kind))));
+      o.emplace_back("path",
+                     obs::json::Value(std::string(serve_path_name(s.path))));
+      o.emplace_back("queue_seconds", obs::json::Value(s.result.queue_seconds));
+      o.emplace_back("serve_seconds", obs::json::Value(s.result.serve_seconds));
+      o.emplace_back("energy", obs::json::Value(s.result.energy));
+      arr.push_back(obs::json::Value(std::move(o)));
+    }
+    root.emplace_back("per_request", obs::json::Value(std::move(arr)));
+  }
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  std::ofstream out("bench_out/serving.json");
+  out << obs::json::Value(std::move(root)).dump() << '\n';
+  out.close();
+  std::printf("wrote bench_out/serving.json (speedup %.2fx)\n", speedup);
+
+  if (speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: batched+cached throughput %.2fx the per-request cold "
+                 "baseline, below the 3x gate\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Local CI gate: build every sanitizer preset and run the fast test labels
-# (unit, property, checkpoint, balance, owned, integrity, incremental, trace) under each, plus repo-wide
-# gates: no in-tree caller may use the deprecated run_oct_* free functions
-# (everything goes through Engine/RunOptions), the balance_stress bench must
+# (unit, property, checkpoint, balance, owned, integrity, incremental, serve,
+# trace) under each, plus repo-wide gates: the removed run_oct_* free
+# functions must not reappear anywhere (the Engine/Service API surface is
+# final), the balance_stress bench must
 # hold its >= 1.3x steal-vs-static makespan target, the micro_kernels bench
 # must hold the >= 2x dispatched-SIMD-vs-SoA target on its gated kernel (and
 # records the ratios in bench_out/micro_kernels.json), the approx-math
@@ -41,13 +42,12 @@ done
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== grep gate: no in-tree run_oct_* callers outside the facade ==="
-# The deprecated free functions exist only for external callers; inside the
-# repo everything must use Engine/RunOptions. The facade itself (core/engine,
-# core/drivers) is the one place allowed to mention them.
-if grep -rnE 'run_oct_(serial|cilk|distributed)\s*\(' src bench tests examples 2>/dev/null \
-    | grep -vE '^(src/core/drivers|src/core/engine)\.(cpp|hpp):'; then
-  echo "check.sh: deprecated run_oct_* caller found in-tree (use Engine::run)" >&2
+echo "=== grep gate: run_oct_* symbols stay deleted ==="
+# The deprecated run_oct_* free functions were removed outright (ISSUE 10:
+# the Engine/Service surface is final). Nothing in-tree — facade included —
+# may declare, define, or call them ever again.
+if grep -rnE 'run_oct_(serial|cilk|distributed)' src bench tests examples 2>/dev/null; then
+  echo "check.sh: run_oct_* symbol found in-tree (the API was removed; use Engine::run or gbpol::Service)" >&2
   exit 1
 fi
 
@@ -66,8 +66,8 @@ for preset in "${PRESETS[@]}"; do
   echo "=== ${preset}: configure + build ==="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${JOBS}"
-  echo "=== ${preset}: ctest (unit|property|checkpoint|balance|owned|integrity|incremental|trace) ==="
-  ctest --preset "${preset}" -L 'unit|property|checkpoint|balance|owned|integrity|incremental|trace' -j "${JOBS}"
+  echo "=== ${preset}: ctest (unit|property|checkpoint|balance|owned|integrity|incremental|serve|trace) ==="
+  ctest --preset "${preset}" -L 'unit|property|checkpoint|balance|owned|integrity|incremental|serve|trace' -j "${JOBS}"
 done
 
 echo "=== balance_stress: skew-bench smoke run (release build) ==="
@@ -89,6 +89,15 @@ echo "=== fig_trajectory: incremental-vs-cold amortization self-gate (release bu
 # incremental step costs <= 25% of the median cold re-preparation step.
 (cd build/bench && ./fig_trajectory)
 
+echo "=== fig_serving: batched+cached serving self-gate (release build) ==="
+# Multi-tenant request mix (cold, exact repeats, jittered poses) through
+# gbpol::Service vs the per-request cold baseline; writes
+# bench_out/serving.json and exits non-zero unless every served energy is
+# 0-ulp against its path-appropriate twin (direct cold run, or the mirror
+# kCold TrajectoryDriver for delta routes) AND batched+cached throughput
+# holds the >= 3x acceptance target.
+(cd build/bench && ./fig_serving)
+
 echo "=== micro_kernels: SIMD-vs-SoA self-gate (release build) ==="
 # --benchmark_filter matching nothing skips the google-benchmark timings;
 # only the kernel A/B + JSON + gate path runs. The binary exits non-zero if
@@ -108,7 +117,7 @@ echo "=== scalar: forced-SoA fallback build + tests ==="
 # passes the same tier-1 labels as the dispatched build.
 cmake --preset scalar
 cmake --build --preset scalar -j "${JOBS}"
-ctest --preset scalar -L 'unit|property|checkpoint|balance|owned|integrity|incremental|trace' -j "${JOBS}"
+ctest --preset scalar -L 'unit|property|checkpoint|balance|owned|integrity|incremental|serve|trace' -j "${JOBS}"
 
 if [[ ${RUN_SOAK} -eq 1 ]]; then
   echo "=== soak: configure + build ==="
@@ -122,8 +131,8 @@ if [[ ${RUN_COVERAGE} -eq 1 ]]; then
   echo "=== coverage: configure + build (instrumented) ==="
   cmake --preset coverage
   cmake --build --preset coverage -j "${JOBS}"
-  echo "=== coverage: ctest (unit|property|checkpoint|balance|owned|integrity|incremental|trace) ==="
-  ctest --preset coverage -L 'unit|property|checkpoint|balance|owned|integrity|incremental|trace' -j "${JOBS}"
+  echo "=== coverage: ctest (unit|property|checkpoint|balance|owned|integrity|incremental|serve|trace) ==="
+  ctest --preset coverage -L 'unit|property|checkpoint|balance|owned|integrity|incremental|serve|trace' -j "${JOBS}"
   echo "=== coverage: src/obs line-coverage gate (>= 85%) ==="
   scripts/coverage.sh build-coverage 85
 fi

@@ -19,6 +19,7 @@
 #include "core/halo_exchange.hpp"
 #include "support/arena.hpp"
 #include "mpisim/costmodel.hpp"
+#include "mpisim/pool.hpp"
 #include "mpisim/runtime.hpp"
 #include "obs/trace.hpp"
 #include "support/checksum.hpp"
@@ -408,7 +409,7 @@ RunResult oct_distributed(const Prepared& prep, const ApproxParams& params,
   rt.corruption = config.corruption;
   rt.integrity_guards = config.integrity_guards;
 
-  const auto report = mpisim::Runtime::run(rt, [&](mpisim::Comm& comm) {
+  const auto report = mpisim::run_on(config.pool, rt, [&](mpisim::Comm& comm) {
     const int r = comm.rank();
     // Hybrid ranks own a worker pool; pure-MPI ranks compute inline.
     std::unique_ptr<ws::Scheduler> sched;
@@ -1148,7 +1149,7 @@ RunResult oct_balanced(const Prepared& prep, const ApproxParams& params,
   rt.corruption = options.corruption;
   rt.integrity_guards = options.integrity_guards;
 
-  const auto report = mpisim::Runtime::run(rt, [&](mpisim::Comm& comm) {
+  const auto report = mpisim::run_on(options.pool, rt, [&](mpisim::Comm& comm) {
     const int r = comm.rank();
     const bool skip_to_push = resume && resume_phase >= ckpt::Phase::kPush;
     const bool skip_to_epol = resume && resume_phase == ckpt::Phase::kEpol;
@@ -1782,7 +1783,7 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
   rt.corruption = options.corruption;
   rt.integrity_guards = options.integrity_guards;
 
-  const auto report = mpisim::Runtime::run(rt, [&](mpisim::Comm& comm) {
+  const auto report = mpisim::run_on(options.pool, rt, [&](mpisim::Comm& comm) {
     const int r = comm.rank();
     const bool skip_to_push = resume && resume_phase >= ckpt::Phase::kPush;
     const bool skip_to_epol = resume && resume_phase == ckpt::Phase::kEpol;
@@ -2444,23 +2445,5 @@ RunResult oct_owned(const Prepared& prep, const ApproxParams& params,
 }
 
 }  // namespace detail
-
-// Deprecated free-function drivers: thin wrappers over the detail entry
-// points, kept so external callers keep compiling. In-tree code must use
-// gbpol::Engine (scripts/check.sh enforces it).
-DriverResult run_oct_serial(const Prepared& prep, const ApproxParams& params,
-                            const GBConstants& constants) {
-  return detail::oct_serial(prep, params, constants).to_driver_result();
-}
-
-DriverResult run_oct_cilk(const Prepared& prep, const ApproxParams& params,
-                          const GBConstants& constants, int threads) {
-  return detail::oct_cilk(prep, params, constants, threads).to_driver_result();
-}
-
-DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& params,
-                                 const GBConstants& constants, const RunConfig& config) {
-  return detail::oct_distributed(prep, params, constants, config).to_driver_result();
-}
 
 }  // namespace gbpol

@@ -26,41 +26,9 @@
 
 namespace gbpol {
 
-struct DriverResult {
-  double energy = 0.0;                // kcal/mol
-  std::vector<double> born_sorted;    // atoms_tree order
-
-  double compute_seconds = 0.0;       // modeled makespan, compute part
-  double comm_seconds = 0.0;          // modeled makespan, communication part
-  double wall_seconds = 0.0;          // actual wall clock of the run
-
-  std::uint64_t steals = 0;           // work-stealing events (shared-memory part)
-  std::uint64_t tasks = 0;
-  std::size_t replicated_bytes = 0;   // modeled memory across all ranks
-
-  // Fault-injection / recovery accounting (mpisim/faults.hpp): aborted
-  // collectives + p2p retransmits, work items recomputed on behalf of dead
-  // ranks, and whether any rank died during the run.
-  std::uint64_t retries = 0;
-  std::uint64_t redistributed_work_items = 0;
-  bool degraded = false;
-
-  // Checkpoint/restart + supervision accounting. A killed run carries no
-  // answer: energy/born are meaningless and the caller should restart with
-  // checkpoint.resume = true. `resumed` reports that this run started from
-  // a valid snapshot set rather than cold.
-  bool killed = false;
-  bool resumed = false;
-  int stalls_converted = 0;
-  ErrorClass error_class = ErrorClass::kNone;
-
-  int ranks = 1;
-  int threads_per_rank = 1;
-
-  // Modeled time on the configured cluster: max over ranks of
-  // (compute + comm). For serial runs this equals compute_seconds.
-  double modeled_seconds() const { return compute_seconds + comm_seconds; }
-};
+namespace mpisim {
+class PersistentPool;
+}
 
 struct RunConfig {
   int ranks = 1;
@@ -91,28 +59,16 @@ struct RunConfig {
   // answer to the last bit. Ignored outside the bit-deterministic
   // configurations.
   ckpt::CheckpointPolicy checkpoint;
+  // Persistent rank-thread pool (mpisim/pool.hpp): non-null routes the
+  // distributed run onto resident worker threads (the serving layer's
+  // amortized rank setup); null spawns per-run threads as before. Results
+  // are bit-identical either way.
+  mpisim::PersistentPool* pool = nullptr;
 };
 
-// The free-function drivers below are DEPRECATED in favour of the unified
-// gbpol::Engine / RunOptions facade (core/engine.hpp), which subsumes all of
-// them plus the cross-rank balanced path. They remain as thin wrappers so
-// external callers keep compiling; scripts/check.sh rejects in-tree use.
-
-// Single-threaded single-tree pipeline (APPROX-INTEGRALS over every Q leaf,
-// push, APPROX-EPOL over every atom leaf).
-[[deprecated("use gbpol::Engine (core/engine.hpp)")]]
-DriverResult run_oct_serial(const Prepared& prep, const ApproxParams& params,
-                            const GBConstants& constants);
-
-// Shared-memory dual-tree pipeline on `threads` workers (OCT_CILK).
-[[deprecated("use gbpol::Engine (core/engine.hpp)")]]
-DriverResult run_oct_cilk(const Prepared& prep, const ApproxParams& params,
-                          const GBConstants& constants, int threads);
-
-// Distributed / hybrid pipeline per Fig. 4. threads_per_rank == 1 gives
-// OCT_MPI; > 1 gives OCT_MPI+CILK.
-[[deprecated("use gbpol::Engine (core/engine.hpp)")]]
-DriverResult run_oct_distributed(const Prepared& prep, const ApproxParams& params,
-                                 const GBConstants& constants, const RunConfig& config);
+// The one-per-mode free-function drivers that predated the facade were
+// deprecated in PR 5 and are now REMOVED: gbpol::Engine (core/engine.hpp)
+// and gbpol::Service (serve/service.hpp) are the whole public API.
+// scripts/check.sh gates the old symbol names out of the tree.
 
 }  // namespace gbpol

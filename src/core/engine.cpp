@@ -6,6 +6,8 @@
 #include <fstream>
 #include <utility>
 
+#include "core/kernels_simd.hpp"
+
 namespace gbpol {
 namespace {
 
@@ -28,6 +30,12 @@ std::string resolved_campaign_dir(const RunOptions& options) {
   return resolved(options.campaign_dir, "GBPOL_CAMPAIGN_DIR");
 }
 
+std::string resolved_simd(const RunOptions& options) {
+  if (!options.simd.empty()) return options.simd;
+  const char* env = std::getenv("GBPOL_SIMD");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
 double RunResult::max_compute_seconds() const {
   if (rank_results.empty()) return compute_seconds;
   double best = 0.0;
@@ -42,31 +50,13 @@ std::uint64_t RunResult::total_bytes_sent() const {
   return total;
 }
 
-DriverResult RunResult::to_driver_result() const {
-  DriverResult out;
-  out.energy = energy;
-  out.born_sorted = born_sorted;
-  out.compute_seconds = compute_seconds;
-  out.comm_seconds = comm_seconds;
-  out.wall_seconds = wall_seconds;
-  out.steals = steals;
-  out.tasks = tasks;
-  out.replicated_bytes = replicated_bytes;
-  out.retries = retries;
-  out.redistributed_work_items = redistributed_work_items;
-  out.degraded = degraded;
-  out.killed = killed;
-  out.resumed = resumed;
-  out.stalls_converted = stalls_converted;
-  out.error_class = error_class;
-  out.ranks = ranks;
-  out.threads_per_rank = threads_per_rank;
-  return out;
-}
-
 RunResult Engine::run(const RunOptions& options) const {
   ApproxParams params = params_;
   params.traversal = options.traversal;
+
+  // Explicit SIMD request wins over the GBPOL_SIMD env default; an empty
+  // field leaves the process-wide dispatch untouched (kernels_simd.hpp).
+  if (!options.simd.empty()) simd_set_override(options.simd);
 
   EngineMode mode = options.mode;
   if (mode == EngineMode::kAuto) {
@@ -118,6 +108,7 @@ RunResult Engine::run(const RunOptions& options) const {
   config.checkpoint = options.checkpoint;
   config.corruption = options.corruption;
   config.integrity_guards = options.integrity_guards;
+  config.pool = options.pool;
   return detail::oct_distributed(*prep_, params, constants_, config);
 }
 
@@ -150,6 +141,10 @@ RunResultDoc doc_from_result(const RunResult& result, const std::string& label) 
   doc.corruption_detected = result.corruption_detected;
   doc.corruption_recomputed = result.corruption_recomputed;
   doc.corruption_retransmits = result.corruption_retransmits;
+  doc.cache_hit = result.cache_hit;
+  doc.queue_seconds = result.queue_seconds;
+  doc.serve_seconds = result.serve_seconds;
+  doc.batch_id = result.batch_id;
   doc.degraded = result.degraded;
   doc.killed = result.killed;
   doc.resumed = result.resumed;
@@ -228,6 +223,8 @@ obs::json::Value run_result_doc_to_json(const RunResultDoc& doc) {
   check(doc.compute_seconds, "compute_seconds");
   check(doc.comm_seconds, "comm_seconds");
   check(doc.wall_seconds, "wall_seconds");
+  check(doc.queue_seconds, "queue_seconds");
+  check(doc.serve_seconds, "serve_seconds");
   check(doc.born_first, "born.first");
   check(doc.born_middle, "born.middle");
   check(doc.born_last, "born.last");
@@ -291,6 +288,10 @@ obs::json::Value run_result_doc_to_json(const RunResultDoc& doc) {
   root.emplace_back("corruption_recomputed", Value(doc.corruption_recomputed));
   root.emplace_back("corruption_retransmits",
                     Value(doc.corruption_retransmits));
+  root.emplace_back("cache_hit", Value(doc.cache_hit));
+  root.emplace_back("queue_seconds", Value(doc.queue_seconds));
+  root.emplace_back("serve_seconds", Value(doc.serve_seconds));
+  root.emplace_back("batch_id", Value(doc.batch_id));
   root.emplace_back("degraded", Value(doc.degraded));
   root.emplace_back("killed", Value(doc.killed));
   root.emplace_back("resumed", Value(doc.resumed));
@@ -327,12 +328,21 @@ RunResultParse run_result_from_json(const obs::json::Value& root) {
   }
   out.found_version = static_cast<int>(version->as_number());
   if (out.found_version != kRunResultSchemaVersion) {
-    // Loud rejection: a reader built for v1 must not quietly misread a
-    // future layout (same policy as metrics.json).
+    // Loud rejection: a reader built for v2 must not quietly misread another
+    // layout (same policy as metrics.json). v1 gets a version-specific
+    // message because it is the one layout old tooling still emits.
     out.version_mismatch = true;
-    out.error = "unsupported run-result schema_version " +
-                std::to_string(out.found_version) + " (this reader expects " +
-                std::to_string(kRunResultSchemaVersion) + ")";
+    if (out.found_version == 1) {
+      out.error =
+          "unsupported run-result schema_version 1 (this reader expects " +
+          std::to_string(kRunResultSchemaVersion) +
+          "; v2 added the REQUIRED serving fields cache_hit / queue_seconds / "
+          "serve_seconds / batch_id — re-emit the document with a v2 writer)";
+    } else {
+      out.error = "unsupported run-result schema_version " +
+                  std::to_string(out.found_version) + " (this reader expects " +
+                  std::to_string(kRunResultSchemaVersion) + ")";
+    }
     return out;
   }
 
@@ -369,6 +379,14 @@ RunResultParse run_result_from_json(const obs::json::Value& root) {
       !read_bool(root, "killed", doc.killed, err) ||
       !read_bool(root, "resumed", doc.resumed, err) ||
       !read_int(root, "stalls_converted", doc.stalls_converted, err))
+    return out;
+
+  // v2 serving fields: REQUIRED (the version bump exists so readers can rely
+  // on them; absence is a malformed v2 document, not an older layout).
+  if (!read_bool(root, "cache_hit", doc.cache_hit, err) ||
+      !read_number(root, "queue_seconds", doc.queue_seconds, err) ||
+      !read_number(root, "serve_seconds", doc.serve_seconds, err) ||
+      !read_u64(root, "batch_id", doc.batch_id, err))
     return out;
 
   // Pure v1 additions (owned mode): optional, so pre-owned-mode documents

@@ -1,7 +1,7 @@
 // Unified driver facade: one Engine, one RunOptions aggregate, one RunResult.
 //
-// The free-function drivers (run_oct_serial / run_oct_cilk /
-// run_oct_distributed, drivers.hpp) accreted knobs across five layers —
+// The one-per-mode free-function drivers (drivers.hpp) accreted knobs
+// across five layers —
 // traversal mode on ApproxParams, work division + faults + kill + checkpoint
 // on RunConfig, rank/thread counts as positional arguments, and campaign /
 // trace destinations as ambient environment variables. Engine consolidates
@@ -13,23 +13,28 @@
 //   opt.balance = BalancePolicy::kSteal;
 //   gbpol::RunResult res = engine.run(opt);
 //
-// RunResult merges the old DriverResult with the per-rank RunReport the
-// distributed runtime produces, and serializes to JSON under the same
-// versioned-schema policy as metrics.json (schema v1, loud rejection of
-// unknown versions — see run_result_from_string).
+// RunResult merges the old free-function driver surface with the per-rank
+// RunReport the distributed runtime produces, and serializes to JSON under
+// the same versioned-schema policy as metrics.json (schema v2 — serving
+// fields added; v1 and any other version are rejected loudly — see
+// run_result_from_string).
 //
-// The old free functions remain as thin [[deprecated]] wrappers so external
-// callers keep compiling; scripts/check.sh greps the tree so no in-repo
-// caller can creep back onto them.
+// The PR-5 [[deprecated]] per-mode free functions are REMOVED: Engine plus
+// the serving facade gbpol::Service (serve/service.hpp) are the entire
+// public API, and scripts/check.sh gates the old symbol names out of the
+// tree.
 //
 // --- Environment-variable defaults (THE documented place) ----------------
-// Two env vars act as defaults for RunOptions fields; an explicit field
+// Three env vars act as defaults for RunOptions fields; an explicit field
 // always wins, and everything else in the system reads the RESOLVED option,
 // never the environment:
 //   GBPOL_CAMPAIGN_DIR -> RunOptions::campaign_dir (resumable bench journals;
 //                         harness::CampaignConfig journal_path derives from it)
 //   GBPOL_TRACE_OUT    -> RunOptions::trace_out (Chrome trace_event export
 //                         path for the first traced run of a bench)
+//   GBPOL_SIMD         -> RunOptions::simd (near-kernel dispatch request;
+//                         grammar documented on simd_set_override in
+//                         core/kernels_simd.hpp)
 #pragma once
 
 #include <cstdint>
@@ -116,11 +121,30 @@ struct RunOptions {
   // defaults documented above ("-" = explicitly off, ignore the env).
   std::string trace_out;
   std::string campaign_dir;
+
+  // Near-kernel SIMD dispatch request (absorbs the GBPOL_SIMD side channel).
+  // Empty = leave the process dispatch alone (env + CPUID decide); any other
+  // value is applied via simd_set_override (core/kernels_simd.hpp) before
+  // the run: "off"/"0"/"scalar"/"soa" force the SoA path, "avx2"/"on"
+  // request AVX2 with SoA fallback, "auto" clears a previous override.
+  // Dispatch is process-global (the kernels resolve one table per process),
+  // so a non-empty field re-points every subsequent run too.
+  std::string simd;
+
+  // Persistent rank-thread pool (mpisim/pool.hpp) for distributed shapes:
+  // non-null runs the rank function on resident worker threads, amortizing
+  // thread setup across requests (the serving layer's batching substrate);
+  // null spawns per-run threads. Bit-identical either way. Ignored by the
+  // serial/cilk modes. Borrowed — the pool must outlive the run.
+  mpisim::PersistentPool* pool = nullptr;
 };
 
 // Resolved destination: the explicit field, else the env default, else "".
 std::string resolved_trace_out(const RunOptions& options);
 std::string resolved_campaign_dir(const RunOptions& options);
+// Resolved SIMD request: the explicit field, else the GBPOL_SIMD env value,
+// else "" (auto: compiled-in support + CPUID decide).
+std::string resolved_simd(const RunOptions& options);
 
 // Factories for the three common shapes. Callers that need more knobs start
 // from one of these and set fields (plain assignment avoids GCC's
@@ -191,6 +215,20 @@ struct RunResult {
   std::uint64_t corruption_recomputed = 0;
   std::uint64_t corruption_retransmits = 0;
 
+  // Serving accounting (serve/service.hpp; schema v2 fields). Zero/false for
+  // a bare Engine::run: cache_hit reports that the Prepared came from the
+  // service's byte-budgeted LRU rather than a cold build; queue_seconds is
+  // the wall time the request waited between submit and dispatch;
+  // serve_seconds the wall time of the dispatch itself (including any cold
+  // preparation); batch_id groups requests that shared one persistent-pool
+  // dispatch round (0 = unbatched). Reuse accounting for delta-routed
+  // requests rides the existing dirty_leaves / lists_rebuilt /
+  // reused_fraction fields.
+  bool cache_hit = false;
+  double queue_seconds = 0.0;
+  double serve_seconds = 0.0;
+  std::uint64_t batch_id = 0;
+
   bool degraded = false;
   bool killed = false;
   bool resumed = false;
@@ -206,9 +244,6 @@ struct RunResult {
   // back to compute_seconds when there is no per-rank detail.
   double max_compute_seconds() const;
   std::uint64_t total_bytes_sent() const;
-
-  // Down-conversion for the deprecated free-function wrappers.
-  DriverResult to_driver_result() const;
 };
 
 class Engine {
@@ -229,11 +264,15 @@ class Engine {
 };
 
 // --- RunResult JSON (versioned schema, policy of obs/export.hpp) ---------
-// Schema v1. The born array is summarized as a digest (count / first /
-// middle / last / mean) — campaign tooling compares energies and timings,
-// not per-atom arrays. Pure additions keep the version; anything that
-// changes the meaning of an existing field bumps it.
-inline constexpr int kRunResultSchemaVersion = 1;
+// Schema v2: v1 plus the REQUIRED serving fields (cache_hit, queue_seconds,
+// serve_seconds, batch_id). The born array is summarized as a digest
+// (count / first / middle / last / mean) — campaign tooling compares
+// energies and timings, not per-atom arrays. Pure additions keep the
+// version; making fields required (as v2 did) or changing the meaning of an
+// existing field bumps it. v1 documents are rejected loudly with a
+// version-specific message (see run_result_from_json) rather than parsed
+// with guessed defaults.
+inline constexpr int kRunResultSchemaVersion = 2;
 
 obs::json::Value run_result_to_json(const RunResult& result,
                                     const std::string& label);
@@ -270,6 +309,12 @@ struct RunResultDoc {
   std::uint64_t corruption_detected = 0;
   std::uint64_t corruption_recomputed = 0;
   std::uint64_t corruption_retransmits = 0;
+  // v2 serving fields: REQUIRED in a v2 document (their introduction is what
+  // bumped the version).
+  bool cache_hit = false;
+  double queue_seconds = 0.0;
+  double serve_seconds = 0.0;
+  std::uint64_t batch_id = 0;
   bool degraded = false;
   bool killed = false;
   bool resumed = false;
@@ -297,8 +342,8 @@ RunResultParse run_result_from_string(const std::string& text);
 bool write_run_result_json(const RunResult& result, const std::string& label,
                            const std::string& path);
 
-// --- implementation entry points (called by Engine and the deprecated
-// wrappers in drivers.cpp; not part of the public surface) ----------------
+// --- implementation entry points (called by Engine; not part of the public
+// surface) -----------------------------------------------------------------
 namespace detail {
 RunResult oct_serial(const Prepared& prep, const ApproxParams& params,
                      const GBConstants& constants);

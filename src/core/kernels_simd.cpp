@@ -1,6 +1,7 @@
 #include "core/kernels_simd.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -30,12 +31,21 @@ bool simd_cpu_supported() {
 
 namespace {
 
+bool is_soa_token(const char* v) {
+  return std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+         std::strcmp(v, "scalar") == 0 || std::strcmp(v, "soa") == 0;
+}
+
+// Explicit override (simd_set_override): -1 = none (env + CPUID decide),
+// 0 = force SoA, 1 = request AVX2 (SoA fallback when unavailable).
+std::atomic<int> g_override{-1};
+
 SimdDispatch resolve_dispatch() {
-  if (const char* env = std::getenv("GBPOL_SIMD")) {
-    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
-        std::strcmp(env, "scalar") == 0 || std::strcmp(env, "soa") == 0) {
-      return SimdDispatch::kSoA;
-    }
+  const int ov = g_override.load(std::memory_order_relaxed);
+  if (ov == 0) return SimdDispatch::kSoA;
+  if (ov < 0) {
+    if (const char* env = std::getenv("GBPOL_SIMD"))
+      if (is_soa_token(env)) return SimdDispatch::kSoA;
   }
   if (!simd_kernels_compiled() || !simd_cpu_supported()) return SimdDispatch::kSoA;
   return SimdDispatch::kAvx2;
@@ -46,6 +56,29 @@ SimdDispatch resolve_dispatch() {
 std::atomic<int> g_dispatch{-1};
 
 }  // namespace
+
+void simd_set_override(const std::string& value) {
+  int ov = -1;
+  if (is_soa_token(value.c_str()))
+    ov = 0;
+  else if (value == "avx2" || value == "on")
+    ov = 1;
+  else if (!value.empty() && value != "auto")
+    std::fprintf(stderr,
+                 "gbpol: unknown simd override '%s' (expected off|0|scalar|soa|"
+                 "avx2|on|auto); resolving as auto\n",
+                 value.c_str());
+  g_override.store(ov, std::memory_order_relaxed);
+  simd_dispatch_refresh();
+}
+
+std::string simd_override() {
+  switch (g_override.load(std::memory_order_relaxed)) {
+    case 0: return "soa";
+    case 1: return "avx2";
+    default: return {};
+  }
+}
 
 SimdDispatch simd_dispatch() {
   int d = g_dispatch.load(std::memory_order_relaxed);

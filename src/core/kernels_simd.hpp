@@ -28,6 +28,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace gbpol {
 
@@ -60,8 +61,20 @@ bool simd_cpu_supported();
 
 // Resolved dispatch for this process (cached after the first call).
 SimdDispatch simd_dispatch();
-// Re-resolves from the environment + CPU; tests flip GBPOL_SIMD at runtime.
+// Re-resolves from the override + environment + CPU; tests flip GBPOL_SIMD
+// at runtime.
 void simd_dispatch_refresh();
+
+// Explicit dispatch override — the documented absorption of the GBPOL_SIMD
+// side channel (RunOptions::simd, core/engine.hpp). Grammar matches the env
+// var: "off" / "0" / "scalar" / "soa" force the SoA path; "avx2" / "on"
+// request AVX2 (falls back to SoA when the TU or CPU lacks it); "" / "auto"
+// clear the override so GBPOL_SIMD + CPUID decide again. The override wins
+// over the environment and re-resolves the process-wide dispatch
+// immediately (kernel dispatch is inherently process-global state).
+void simd_set_override(const std::string& value);
+// The override currently in force ("" = none; env + CPUID decide).
+std::string simd_override();
 
 const char* simd_dispatch_name(SimdDispatch d);
 inline const char* simd_dispatch_name() { return simd_dispatch_name(simd_dispatch()); }

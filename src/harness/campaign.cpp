@@ -99,6 +99,17 @@ ErrorClass Campaign::classify(const std::exception& e) {
   return ErrorClass::kFault;
 }
 
+const JobStatus& Campaign::record_queued(const std::string& job) {
+  const auto [it, inserted] = jobs_.try_emplace(job);
+  if (inserted) {
+    ckpt::JournalRecord queued;
+    queued.state = ckpt::JobState::kQueued;
+    queued.job = job;
+    journal_.append(queued);
+  }
+  return it->second;
+}
+
 const JobStatus& Campaign::run(const std::string& job,
                                const std::function<std::string()>& fn) {
   const auto [it, inserted] = jobs_.try_emplace(job);

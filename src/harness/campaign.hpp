@@ -53,6 +53,14 @@ class Campaign {
   const JobStatus& run(const std::string& job,
                        const std::function<std::string()>& fn);
 
+  // Journals `job` as queued without running it — the accept half of a
+  // queue/serve split (serve/service.hpp accepts requests long before it
+  // drains them, and a crash in between must replay the accepted set).
+  // Idempotent: a job already known (this run or replay) is left untouched,
+  // so a later run(job, fn) on a freshly-queued job does not double-journal
+  // the kQueued record. Returns the job's current status.
+  const JobStatus& record_queued(const std::string& job);
+
   // nullptr if the job was never seen (neither journal nor this run).
   const JobStatus* find(const std::string& job) const;
 

@@ -1,0 +1,190 @@
+#include "mpisim/pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <memory>
+
+#include "mpisim/shared_state.hpp"
+#include "obs/trace.hpp"
+#include "support/timer.hpp"
+
+namespace gbpol::mpisim {
+
+// Everything one job needs, owned by run() for its duration. Workers only
+// ever touch it between the epoch handshake and their done signal, both of
+// which run() orders around the job's lifetime.
+struct PersistentPool::Job {
+  SharedState shared;
+  RunReport report;
+  const std::function<void(Comm&)>* rank_fn = nullptr;
+
+  Job(const Runtime::Config& config, int ranks)
+      : shared(config.cluster, ranks, std::max(1, config.threads_per_rank),
+               config.faults, config.recv_watchdog_seconds, config.kill,
+               config.corruption, config.integrity_guards) {
+    report.ranks.resize(static_cast<std::size_t>(ranks));
+  }
+};
+
+PersistentPool::PersistentPool(int ranks) : ranks_(std::max(1, ranks)) {
+  threads_.reserve(static_cast<std::size_t>(ranks_));
+  for (int r = 0; r < ranks_; ++r)
+    threads_.emplace_back([this, r] { worker_main(r); });
+}
+
+PersistentPool::~PersistentPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void PersistentPool::worker_main(int rank) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || job_epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    // Same per-rank body as Runtime::run: a scheduled death (RankKilled)
+    // retires the JOB on this rank — the worker thread survives to serve the
+    // next job — while any other exception fails fast, as a crashed MPI
+    // process would.
+    obs::set_thread_rank(rank);
+    Comm comm(job->shared, rank);
+    RankResult& res = job->report.ranks[static_cast<std::size_t>(rank)];
+    try {
+      (*job->rank_fn)(comm);
+    } catch (const RankKilled&) {
+      res.died = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mpisim: pooled rank %d terminated with exception: %s\n",
+                   rank, e.what());
+      std::terminate();
+    }
+    obs::phase_end();  // close a phase left open by a mid-phase unwind
+    res.compute_seconds = comm.compute_seconds();
+    res.straggler_seconds = comm.straggler_seconds();
+    res.comm_seconds = comm.comm_seconds();
+    res.bytes_sent = comm.bytes_sent();
+    res.retries = comm.retries();
+    res.redistributed_work_items = comm.redistributed_work();
+    res.migrated_chunks = comm.migrated_chunks();
+    res.corruption_injected = comm.corruption_injected();
+    res.corruption_detected = comm.corruption_detected();
+    res.corruption_recomputed = comm.corruption_recomputed();
+    res.corruption_retransmits = comm.corruption_retransmits();
+    obs::set_thread_rank(-1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++workers_done_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+RunReport PersistentPool::run(const Runtime::Config& config,
+                              const std::function<void(Comm&)>& rank_fn) {
+  const int ranks = std::max(1, config.ranks);
+  if (ranks != ranks_) return Runtime::run(config, rank_fn);
+
+  Job job(config, ranks);
+  job.rank_fn = &rank_fn;
+
+  // Supervisor watchdog, per job (mirrors Runtime::run; rarely armed on the
+  // serving path, so a per-job thread costs nothing in the common case).
+  std::atomic<bool> supervisor_done{false};
+  std::thread supervisor;
+  if (config.stall_timeout_seconds > 0.0) {
+    SharedState& shared = job.shared;
+    supervisor = std::thread([&shared, &supervisor_done, ranks,
+                              timeout = config.stall_timeout_seconds] {
+      using clock = std::chrono::steady_clock;
+      const auto period =
+          std::chrono::duration<double>(std::min(timeout / 4.0, 0.05));
+      std::vector<std::uint64_t> last(static_cast<std::size_t>(ranks), 0);
+      std::vector<clock::time_point> since(static_cast<std::size_t>(ranks),
+                                           clock::now());
+      while (!supervisor_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(period);
+        const auto now = clock::now();
+        for (int r = 0; r < ranks; ++r) {
+          const auto i = static_cast<std::size_t>(r);
+          if (shared.is_dead(r)) {
+            since[i] = now;
+            continue;
+          }
+          const std::uint64_t hb =
+              shared.heartbeat[i].load(std::memory_order_relaxed);
+          if (hb != last[i]) {
+            last[i] = hb;
+            since[i] = now;
+            continue;
+          }
+          if (std::chrono::duration<double>(now - since[i]).count() < timeout)
+            continue;
+          std::lock_guard<std::mutex> lock(shared.stall_mutex);
+          shared.stall_break[i].store(true, std::memory_order_release);
+          shared.stall_cv.notify_all();
+        }
+      }
+    });
+  }
+
+  obs::emit(obs::EventKind::kRunBegin, static_cast<std::uint64_t>(ranks));
+  WallTimer wall;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    workers_done_ = 0;
+    ++job_epoch_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return workers_done_ == ranks_; });
+    job_ = nullptr;
+  }
+  // "Merge at finalize": the done handshake above orders every rank's metric
+  // slot writes before these reads, exactly like Runtime::run's joins.
+  RunReport& report = job.report;
+  for (int r = 0; r < ranks; ++r) {
+    const RankResult& res = report.ranks[static_cast<std::size_t>(r)];
+    obs::record_rank_totals(r, res.compute_seconds, res.straggler_seconds,
+                            res.comm_seconds, res.bytes_sent, res.retries,
+                            res.redistributed_work_items);
+  }
+  obs::emit(obs::EventKind::kRunEnd, static_cast<std::uint64_t>(ranks));
+  supervisor_done.store(true, std::memory_order_release);
+  if (supervisor.joinable()) supervisor.join();
+  report.wall_seconds = wall.seconds();
+  for (const RankResult& r : report.ranks) {
+    report.retries += r.retries;
+    report.redistributed_work_items += r.redistributed_work_items;
+    report.migrated_chunks += r.migrated_chunks;
+    report.corruption_injected += r.corruption_injected;
+    report.corruption_detected += r.corruption_detected;
+    report.corruption_recomputed += r.corruption_recomputed;
+    report.corruption_retransmits += r.corruption_retransmits;
+    report.degraded = report.degraded || r.died;
+  }
+  report.killed = job.shared.kill_all.load(std::memory_order_acquire);
+  report.stalls_converted =
+      job.shared.stalls_converted.load(std::memory_order_relaxed);
+  if (report.killed || report.degraded) {
+    report.error_class = report.stalls_converted > 0 ? ErrorClass::kTimeout
+                                                     : ErrorClass::kFault;
+  }
+  jobs_served_.fetch_add(1, std::memory_order_relaxed);
+  return report;
+}
+
+}  // namespace gbpol::mpisim

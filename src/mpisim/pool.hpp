@@ -1,0 +1,83 @@
+// Persistent rank-thread pool for the serving layer.
+//
+// Runtime::run (runtime.hpp) spawns and joins one OS thread per rank for
+// every call — the right shape for a single batch job, but a serving loop
+// pays that rank setup on every request. PersistentPool keeps the rank
+// threads alive across jobs: construction spawns `ranks` workers once, each
+// run() builds a fresh per-job SharedState (collective sequence numbers,
+// fault schedules and kill flags are per job, exactly as in Runtime::run),
+// wakes the workers, and blocks until they all finish the job. The ONLY
+// thing amortized is thread creation/teardown; the per-job execution body is
+// the same as Runtime::run's, so a pooled job returns a bit-identical
+// RunReport to an unpooled one with the same Config and rank function.
+//
+// A job whose Config::ranks differs from the pool width cannot reuse the
+// resident threads; run() transparently falls back to Runtime::run so
+// callers never need to special-case pool shape. run_on(pool, ...) is the
+// routing helper the drivers call: nullptr pool means plain Runtime::run.
+//
+// Threading contract: run() may be called from one thread at a time (the
+// service serializes dispatch); worker threads are joined by the destructor.
+// RankKilled unwinds a worker's JOB, not the worker thread — the thread
+// parks again and serves the next job, which is what makes the pool safe
+// under the fault-injection plans.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mpisim/runtime.hpp"
+
+namespace gbpol::mpisim {
+
+class PersistentPool {
+ public:
+  explicit PersistentPool(int ranks);
+  ~PersistentPool();
+
+  PersistentPool(const PersistentPool&) = delete;
+  PersistentPool& operator=(const PersistentPool&) = delete;
+
+  int ranks() const { return ranks_; }
+  // Jobs executed on the resident threads (fallback runs not counted).
+  std::uint64_t jobs_served() const {
+    return jobs_served_.load(std::memory_order_relaxed);
+  }
+
+  // Same contract as Runtime::run. Falls back to a one-shot Runtime::run
+  // when config.ranks does not match the pool width.
+  RunReport run(const Runtime::Config& config,
+                const std::function<void(Comm&)>& rank_fn);
+
+ private:
+  struct Job;  // per-job shared state + report + rank function
+
+  void worker_main(int rank);
+
+  const int ranks_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> jobs_served_{0};
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for a new job epoch
+  std::condition_variable done_cv_;   // run() waits for the job to drain
+  std::uint64_t job_epoch_ = 0;       // bumped per dispatched job
+  bool shutdown_ = false;
+  Job* job_ = nullptr;                // valid while a job is in flight
+  int workers_done_ = 0;              // ranks finished with the current job
+};
+
+// Routing helper for the drivers: a null pool (or a shape mismatch, handled
+// inside run()) degrades to the classic one-shot Runtime::run.
+inline RunReport run_on(PersistentPool* pool, const Runtime::Config& config,
+                        const std::function<void(Comm&)>& rank_fn) {
+  return pool != nullptr ? pool->run(config, rank_fn)
+                         : Runtime::run(config, rank_fn);
+}
+
+}  // namespace gbpol::mpisim

@@ -241,6 +241,13 @@ json::Value snapshot_to_json(const MetricsSnapshot& m) {
   o.emplace_back("delta_updates", json::Value(m.delta_updates));
   o.emplace_back("delta_dirty_leaves", json::Value(m.delta_dirty_leaves));
   o.emplace_back("delta_lists_rebuilt", json::Value(m.delta_lists_rebuilt));
+  o.emplace_back("requests_accepted", json::Value(m.requests_accepted));
+  o.emplace_back("requests_served", json::Value(m.requests_served));
+  o.emplace_back("cache_hits", json::Value(m.cache_hits));
+  o.emplace_back("cache_misses", json::Value(m.cache_misses));
+  o.emplace_back("cache_evictions", json::Value(m.cache_evictions));
+  o.emplace_back("cache_evicted_bytes", json::Value(m.cache_evicted_bytes));
+  o.emplace_back("batches_dispatched", json::Value(m.batches_dispatched));
   // Derived convenience fields: written for humans/plots, IGNORED by the
   // parser (recomputable), so they are not schema surface.
   o.emplace_back("derived_steal_success_rate",
@@ -463,6 +470,21 @@ bool snapshot_from_json(const json::Value& v, MetricsSnapshot& m,
     m.delta_dirty_leaves = static_cast<std::uint64_t>(f->as_number());
   if (const json::Value* f = v.find("delta_lists_rebuilt"); f != nullptr && f->is_number())
     m.delta_lists_rebuilt = static_cast<std::uint64_t>(f->as_number());
+  // Pure v1 additions (serving layer): same optional policy.
+  if (const json::Value* f = v.find("requests_accepted"); f != nullptr && f->is_number())
+    m.requests_accepted = static_cast<std::uint64_t>(f->as_number());
+  if (const json::Value* f = v.find("requests_served"); f != nullptr && f->is_number())
+    m.requests_served = static_cast<std::uint64_t>(f->as_number());
+  if (const json::Value* f = v.find("cache_hits"); f != nullptr && f->is_number())
+    m.cache_hits = static_cast<std::uint64_t>(f->as_number());
+  if (const json::Value* f = v.find("cache_misses"); f != nullptr && f->is_number())
+    m.cache_misses = static_cast<std::uint64_t>(f->as_number());
+  if (const json::Value* f = v.find("cache_evictions"); f != nullptr && f->is_number())
+    m.cache_evictions = static_cast<std::uint64_t>(f->as_number());
+  if (const json::Value* f = v.find("cache_evicted_bytes"); f != nullptr && f->is_number())
+    m.cache_evicted_bytes = static_cast<std::uint64_t>(f->as_number());
+  if (const json::Value* f = v.find("batches_dispatched"); f != nullptr && f->is_number())
+    m.batches_dispatched = static_cast<std::uint64_t>(f->as_number());
   return true;
 }
 

@@ -120,6 +120,17 @@ struct MetricsSnapshot {
   std::uint64_t delta_dirty_leaves = 0;
   std::uint64_t delta_lists_rebuilt = 0;
 
+  // Serving layer (serve/service.hpp): request and prepared-state cache
+  // accounting for this session. Evicted bytes are cumulative over the
+  // session, not the cache's current occupancy.
+  std::uint64_t requests_accepted = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_evicted_bytes = 0;
+  std::uint64_t batches_dispatched = 0;
+
   // -- aggregates ---------------------------------------------------------
   double total_phase_busy(int rank) const;
   double total_phase_busy_all() const;
@@ -170,6 +181,12 @@ void add_steal_attempt();
 void add_steal_success();
 void add_pop_miss();
 void add_delta_update(std::uint64_t dirty_leaves, std::uint64_t lists_rebuilt);
+void add_request_accepted();
+void add_request_served();
+void add_cache_hit();
+void add_cache_miss();
+void add_cache_eviction(std::uint64_t bytes);
+void add_batch_dispatched();
 void record_rank_totals(int rank, double compute_seconds,
                         double straggler_seconds, double comm_seconds,
                         std::uint64_t bytes_sent, std::uint64_t retries,
@@ -193,6 +210,12 @@ inline void add_steal_attempt() {}
 inline void add_steal_success() {}
 inline void add_pop_miss() {}
 inline void add_delta_update(std::uint64_t, std::uint64_t) {}
+inline void add_request_accepted() {}
+inline void add_request_served() {}
+inline void add_cache_hit() {}
+inline void add_cache_miss() {}
+inline void add_cache_eviction(std::uint64_t) {}
+inline void add_batch_dispatched() {}
 inline void record_rank_totals(int, double, double, double, std::uint64_t,
                                std::uint64_t, std::uint64_t) {}
 

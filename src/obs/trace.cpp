@@ -42,6 +42,12 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kCorruptionRetransmit: return "corruption_retransmit";
     case EventKind::kPrepReuse: return "prep_reuse";
     case EventKind::kDeltaUpdate: return "delta_update";
+    case EventKind::kRequestAccept: return "request_accept";
+    case EventKind::kRequestDispatch: return "request_dispatch";
+    case EventKind::kRequestDone: return "request_done";
+    case EventKind::kCacheHit: return "cache_hit";
+    case EventKind::kCacheMiss: return "cache_miss";
+    case EventKind::kCacheEvict: return "cache_evict";
   }
   return "unknown";
 }
@@ -145,6 +151,13 @@ struct SessionState {
   std::atomic<std::uint64_t> delta_updates{0};
   std::atomic<std::uint64_t> delta_dirty_leaves{0};
   std::atomic<std::uint64_t> delta_lists_rebuilt{0};
+  std::atomic<std::uint64_t> requests_accepted{0};
+  std::atomic<std::uint64_t> requests_served{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> cache_evictions{0};
+  std::atomic<std::uint64_t> cache_evicted_bytes{0};
+  std::atomic<std::uint64_t> batches_dispatched{0};
 };
 
 SessionState& state() {
@@ -235,6 +248,13 @@ void start_session(const TraceConfig& config) {
   s.delta_updates.store(0, std::memory_order_relaxed);
   s.delta_dirty_leaves.store(0, std::memory_order_relaxed);
   s.delta_lists_rebuilt.store(0, std::memory_order_relaxed);
+  s.requests_accepted.store(0, std::memory_order_relaxed);
+  s.requests_served.store(0, std::memory_order_relaxed);
+  s.cache_hits.store(0, std::memory_order_relaxed);
+  s.cache_misses.store(0, std::memory_order_relaxed);
+  s.cache_evictions.store(0, std::memory_order_relaxed);
+  s.cache_evicted_bytes.store(0, std::memory_order_relaxed);
+  s.batches_dispatched.store(0, std::memory_order_relaxed);
   detail::g_epoch.fetch_add(1, std::memory_order_release);  // even -> odd
 }
 
@@ -328,6 +348,13 @@ Trace stop_session() {
   m.delta_updates = s.delta_updates.load(std::memory_order_relaxed);
   m.delta_dirty_leaves = s.delta_dirty_leaves.load(std::memory_order_relaxed);
   m.delta_lists_rebuilt = s.delta_lists_rebuilt.load(std::memory_order_relaxed);
+  m.requests_accepted = s.requests_accepted.load(std::memory_order_relaxed);
+  m.requests_served = s.requests_served.load(std::memory_order_relaxed);
+  m.cache_hits = s.cache_hits.load(std::memory_order_relaxed);
+  m.cache_misses = s.cache_misses.load(std::memory_order_relaxed);
+  m.cache_evictions = s.cache_evictions.load(std::memory_order_relaxed);
+  m.cache_evicted_bytes = s.cache_evicted_bytes.load(std::memory_order_relaxed);
+  m.batches_dispatched = s.batches_dispatched.load(std::memory_order_relaxed);
   s.ranks.clear();
   return trace;
 }
@@ -445,6 +472,38 @@ void add_delta_update(std::uint64_t dirty_leaves, std::uint64_t lists_rebuilt) {
   s.delta_updates.fetch_add(1, std::memory_order_relaxed);
   s.delta_dirty_leaves.fetch_add(dirty_leaves, std::memory_order_relaxed);
   s.delta_lists_rebuilt.fetch_add(lists_rebuilt, std::memory_order_relaxed);
+}
+
+void add_request_accepted() {
+  if (session_active())
+    state().requests_accepted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void add_request_served() {
+  if (session_active())
+    state().requests_served.fetch_add(1, std::memory_order_relaxed);
+}
+
+void add_cache_hit() {
+  if (session_active())
+    state().cache_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void add_cache_miss() {
+  if (session_active())
+    state().cache_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void add_cache_eviction(std::uint64_t bytes) {
+  if (!session_active()) return;
+  SessionState& s = state();
+  s.cache_evictions.fetch_add(1, std::memory_order_relaxed);
+  s.cache_evicted_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void add_batch_dispatched() {
+  if (session_active())
+    state().batches_dispatched.fetch_add(1, std::memory_order_relaxed);
 }
 
 void record_rank_totals(int rank, double compute_seconds,

@@ -83,6 +83,14 @@ enum class EventKind : std::uint8_t {
   // kind ids stay stable.
   kPrepReuse,            // a = list segments reused, b = segments rebuilt
   kDeltaUpdate,          // a = re-anchored (dirty) leaves, b = moved atoms
+  // Serving layer (serve/service.hpp); appended so older kind ids stay
+  // stable.
+  kRequestAccept,        // a = job sequence number
+  kRequestDispatch,      // a = job sequence number, b = batch id
+  kRequestDone,          // a = job sequence number, b = served path
+  kCacheHit,             // a = cache key (low 64), b = entry bytes
+  kCacheMiss,            // a = cache key (low 64)
+  kCacheEvict,           // a = cache key (low 64), b = entry bytes freed
 };
 
 // Why a rank left the run through the death machinery.

@@ -1,0 +1,465 @@
+#include "serve/service.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "molecule/io.hpp"
+#include "obs/trace.hpp"
+#include "surface/quadrature.hpp"
+
+namespace gbpol {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Streaming FNV-1a over 64-bit words (byte order of ckpt::fnv1a64), so the
+// per-atom loops below don't have to materialize an initializer_list.
+struct Hasher {
+  std::uint64_t h = 14695981039346656037ull;
+
+  void add(std::uint64_t w) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (w >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  void add(double d) { add(std::bit_cast<std::uint64_t>(d)); }
+  void add(const std::string& s) {
+    add(static_cast<std::uint64_t>(s.size()));
+    for (const char c : s) add(static_cast<std::uint64_t>(
+        static_cast<unsigned char>(c)));
+  }
+};
+
+// Atom identity (radii + charges) — the part of the molecule a docking scan
+// keeps fixed.
+void hash_identity(Hasher& h, const Molecule& mol) {
+  h.add(static_cast<std::uint64_t>(mol.size()));
+  for (const Atom& a : mol.atoms()) {
+    h.add(a.radius);
+    h.add(a.charge);
+  }
+}
+
+void hash_positions(Hasher& h, const Molecule& mol) {
+  for (const Atom& a : mol.atoms()) {
+    h.add(a.pos.x);
+    h.add(a.pos.y);
+    h.add(a.pos.z);
+  }
+}
+
+void hash_preparation_params(Hasher& h, const ServeRequest& r) {
+  h.add(r.surface.grid_spacing);
+  h.add(static_cast<std::uint64_t>(r.surface.dunavant_degree));
+  h.add(r.surface.kappa);
+  h.add(static_cast<std::uint64_t>(r.params.leaf_capacity));
+}
+
+void hash_evaluation_params(Hasher& h, const ServeRequest& r,
+                            const RunOptions& run) {
+  h.add(static_cast<std::uint64_t>(r.params.radius_kernel));
+  h.add(r.params.eps_born);
+  h.add(r.params.eps_epol);
+  h.add(static_cast<std::uint64_t>(r.params.approx_math));
+  h.add(static_cast<std::uint64_t>(r.params.born_strict_criterion));
+  h.add(static_cast<std::uint64_t>(r.params.born_dipole_correction));
+  h.add(r.constants.eps_solvent);
+  h.add(r.constants.coulomb_kcal);
+  // Run shape: anything that can change a bit of the answer or its
+  // accounting keys a distinct memo entry.
+  h.add(static_cast<std::uint64_t>(run.mode));
+  h.add(static_cast<std::uint64_t>(run.ranks));
+  h.add(static_cast<std::uint64_t>(run.threads_per_rank));
+  h.add(static_cast<std::uint64_t>(run.division));
+  h.add(static_cast<std::uint64_t>(run.traversal));
+  h.add(static_cast<std::uint64_t>(run.balance));
+  h.add(static_cast<std::uint64_t>(run.canonical_reduction));
+  h.add(static_cast<std::uint64_t>(run.balance_chunk_leaves));
+  h.add(static_cast<std::uint64_t>(run.distribution));
+  h.add(static_cast<std::uint64_t>(run.integrity_guards));
+  h.add(resolved_simd(run));
+}
+
+bool is_serial_shape(const RunOptions& run) {
+  switch (run.mode) {
+    case EngineMode::kSerial:
+      return true;
+    case EngineMode::kCilk:
+    case EngineMode::kDistributed:
+      return false;
+    case EngineMode::kAuto:
+      return run.ranks <= 1 && run.threads_per_rank <= 1;
+  }
+  return false;
+}
+
+bool is_distributed_shape(const RunOptions& run) {
+  return run.mode == EngineMode::kDistributed ||
+         (run.mode == EngineMode::kAuto && run.ranks > 1);
+}
+
+// Rebuilds the scalar surface of a RunResult from its journaled v2 digest
+// (born_sorted stays empty — the schema stores a digest, not the array).
+RunResult result_from_doc(const RunResultDoc& doc) {
+  RunResult r;
+  r.energy = doc.energy;
+  r.compute_seconds = doc.compute_seconds;
+  r.comm_seconds = doc.comm_seconds;
+  r.wall_seconds = doc.wall_seconds;
+  r.steals = doc.steals;
+  r.tasks = doc.tasks;
+  r.replicated_bytes = static_cast<std::size_t>(doc.replicated_bytes);
+  r.owned_bytes_per_rank = static_cast<std::size_t>(doc.owned_bytes_per_rank);
+  r.owned_halo_bytes = static_cast<std::size_t>(doc.owned_halo_bytes);
+  r.retries = doc.retries;
+  r.redistributed_work_items = doc.redistributed_work_items;
+  r.migrated_chunks = doc.migrated_chunks;
+  r.steal_grants = doc.steal_grants;
+  r.dirty_leaves = doc.dirty_leaves;
+  r.lists_rebuilt = doc.lists_rebuilt;
+  r.reused_fraction = doc.reused_fraction;
+  r.corruption_injected = doc.corruption_injected;
+  r.corruption_detected = doc.corruption_detected;
+  r.corruption_recomputed = doc.corruption_recomputed;
+  r.corruption_retransmits = doc.corruption_retransmits;
+  r.cache_hit = doc.cache_hit;
+  r.queue_seconds = doc.queue_seconds;
+  r.serve_seconds = doc.serve_seconds;
+  r.batch_id = doc.batch_id;
+  r.degraded = doc.degraded;
+  r.killed = doc.killed;
+  r.resumed = doc.resumed;
+  r.stalls_converted = doc.stalls_converted;
+  r.ranks = doc.ranks;
+  r.threads_per_rank = doc.threads_per_rank;
+  r.rank_results = doc.rank_results;
+  return r;
+}
+
+}  // namespace
+
+const char* serve_path_name(ServePath path) {
+  switch (path) {
+    case ServePath::kCold: return "cold";
+    case ServePath::kCached: return "cached";
+    case ServePath::kMemoized: return "memoized";
+    case ServePath::kReplayed: return "replayed";
+    case ServePath::kDelta: return "delta";
+  }
+  return "unknown";
+}
+
+std::string resolved_service_campaign_dir(const ServiceOptions& options) {
+  if (options.campaign_dir == "-") return "";
+  if (!options.campaign_dir.empty()) return options.campaign_dir;
+  if (const char* env = std::getenv("GBPOL_CAMPAIGN_DIR")) return env;
+  return "";
+}
+
+int resolved_soak_requests(const ServiceOptions& options, int quick_scale,
+                           int soak_scale) {
+  if (options.soak_requests > 0) return options.soak_requests;
+  if (const char* env = std::getenv("GBPOL_SOAK_TESTS")) {
+    const std::string v = env;
+    if (!v.empty() && v != "0" && v != "OFF" && v != "off") return soak_scale;
+  }
+  return quick_scale;
+}
+
+Service::Service(ServiceOptions options) : options_(std::move(options)) {
+  // The service owns its pool and its journal destinations; a caller-set
+  // pool or engine-level campaign dir would double-route.
+  options_.run.pool = nullptr;
+  options_.run.campaign_dir = "-";
+
+  campaign_dir_ = resolved_service_campaign_dir(options_);
+  if (!campaign_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(campaign_dir_, ec);
+    harness::CampaignConfig config;
+    config.journal_path = campaign_dir_ + "/service.journal";
+    campaign_ = std::make_unique<harness::Campaign>(config);
+  }
+  if (is_distributed_shape(options_.run) && options_.run.ranks >= 1)
+    pool_ = std::make_unique<mpisim::PersistentPool>(options_.run.ranks);
+}
+
+Service::~Service() = default;
+
+std::string Service::submit(ServeRequest request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Pending pending;
+  pending.sequence = next_sequence_++;
+  pending.job_id = request.id.empty()
+                       ? "req-" + std::to_string(pending.sequence)
+                       : request.id;
+  pending.request = std::move(request);
+  pending.accepted_at = Clock::now();
+  ++stats_.accepted;
+  obs::emit(obs::EventKind::kRequestAccept, pending.sequence);
+  obs::add_request_accepted();
+  if (campaign_ != nullptr) campaign_->record_queued(pending.job_id);
+  std::string job_id = pending.job_id;
+  queue_.push_back(std::move(pending));
+  return job_id;
+}
+
+std::vector<ServeResult> Service::drain(std::size_t max_requests) {
+  std::vector<ServeResult> results;
+  std::uint64_t batch_id = 0;
+  while (results.size() < max_requests) {
+    Pending pending;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) break;
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      // One batch per drain: every pooled dispatch in this call shares the
+      // id, so "requests that rode one persistent-pool round" is queryable.
+      if (pool_ != nullptr && batch_id == 0) {
+        batch_id = ++next_batch_;
+        ++stats_.batches;
+        obs::add_batch_dispatched();
+      }
+    }
+    results.push_back(serve_one(std::move(pending), batch_id));
+  }
+  return results;
+}
+
+ServeResult Service::serve(ServeRequest request) {
+  submit(std::move(request));
+  std::vector<ServeResult> results = drain();
+  return std::move(results.back());
+}
+
+std::size_t Service::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t Service::cache_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+std::size_t Service::cache_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_bytes_;
+}
+
+std::shared_ptr<const Prepared> Service::cache_lookup(std::uint64_t prep_key) {
+  const auto it = cache_index_.find(prep_key);
+  if (it == cache_index_.end()) return nullptr;
+  cache_.splice(cache_.begin(), cache_, it->second);  // refresh LRU position
+  return cache_.front().prep;
+}
+
+std::shared_ptr<const Prepared> Service::cache_insert(std::uint64_t prep_key,
+                                                      Prepared prep) {
+  CacheEntry entry;
+  entry.key = prep_key;
+  entry.bytes = prep.replicated_footprint().bytes;
+  entry.prep = std::make_shared<const Prepared>(std::move(prep));
+  cache_.push_front(std::move(entry));
+  cache_index_[prep_key] = cache_.begin();
+  cache_bytes_ += cache_.front().bytes;
+  // Evict LRU-first down to the byte budget, but never the entry just
+  // inserted: one oversized molecule must still serve.
+  while (cache_bytes_ > options_.cache_budget_bytes && cache_.size() > 1) {
+    const CacheEntry& victim = cache_.back();
+    obs::emit(obs::EventKind::kCacheEvict, victim.key,
+              static_cast<std::uint64_t>(victim.bytes));
+    obs::add_cache_eviction(victim.bytes);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.cache_evictions;
+      stats_.cache_evicted_bytes += victim.bytes;
+    }
+    cache_bytes_ -= victim.bytes;
+    cache_index_.erase(victim.key);
+    cache_.pop_back();
+  }
+  return cache_.front().prep;
+}
+
+RunResult Service::compute(const Pending& pending, std::uint64_t full_key,
+                           std::uint64_t family_key, std::uint64_t prep_key,
+                           ServePath& path, std::uint64_t batch_id) {
+  const ServeRequest& req = pending.request;
+
+  // Path 1: exact repeat — replay the stored answer.
+  if (options_.memoize_results) {
+    const auto memo = memo_.find(full_key);
+    if (memo != memo_.end()) {
+      path = ServePath::kMemoized;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.memo_hits;
+      }
+      RunResult result = memo->second;
+      result.cache_hit = true;
+      result.batch_id = 0;  // no dispatch happened
+      return result;
+    }
+  }
+
+  // Path 3: same family, new geometry -> incremental delta update (serial
+  // shapes only; the evaluation caches are serial, and the distributed
+  // delta-maintained Prepared would break the 0-ulp cold-twin story).
+  const auto family = families_.find(family_key);
+  if (options_.delta_routing && is_serial_shape(options_.run) &&
+      family != families_.end()) {
+    Family& fam = family->second;
+    if (fam.driver == nullptr) {
+      TrajectoryOptions topt;
+      topt.skin = options_.delta_skin;
+      topt.surface = req.surface;
+      fam.driver = std::make_unique<TrajectoryDriver>(
+          fam.first_mol, topt, req.params, req.constants);
+    }
+    std::vector<Vec3> positions;
+    positions.reserve(req.mol.size());
+    for (const Atom& a : req.mol.atoms()) positions.push_back(a.pos);
+    RunOptions run = options_.run;
+    RunResult result = fam.driver->step(positions, run);
+    path = ServePath::kDelta;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.delta_routed;
+    }
+    if (options_.memoize_results) memo_[full_key] = result;
+    return result;
+  }
+
+  // Path 2: Prepared-cache hit or cold miss + insert.
+  std::shared_ptr<const Prepared> prep = cache_lookup(prep_key);
+  const bool hit = prep != nullptr;
+  if (hit) {
+    obs::emit(obs::EventKind::kCacheHit, prep_key,
+              static_cast<std::uint64_t>(cache_.front().bytes));
+    obs::add_cache_hit();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.cache_hits;
+  } else {
+    obs::emit(obs::EventKind::kCacheMiss, prep_key);
+    obs::add_cache_miss();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.cache_misses;
+      ++stats_.cold;
+    }
+    const surface::SurfaceQuadrature quad =
+        surface::molecular_surface_quadrature(req.mol, req.surface);
+    prep = cache_insert(
+        prep_key, Prepared::build(req.mol, quad, req.params.leaf_capacity));
+  }
+
+  RunOptions run = options_.run;
+  run.pool = pool_.get();
+  const Engine engine(*prep, req.params, req.constants);
+  RunResult result = engine.run(run);
+  result.cache_hit = hit;
+  result.batch_id = pool_ != nullptr ? batch_id : 0;
+  path = hit ? ServePath::kCached : ServePath::kCold;
+
+  // Register the family after its first cold serve so the NEXT moved
+  // geometry can delta-route, and memoize the exact answer.
+  families_.try_emplace(family_key, Family{req.mol, nullptr});
+  if (options_.memoize_results) memo_[full_key] = result;
+  return result;
+}
+
+ServeResult Service::serve_one(Pending pending, std::uint64_t batch_id) {
+  const Clock::time_point dispatched_at = Clock::now();
+  const double queue_seconds =
+      seconds_between(pending.accepted_at, dispatched_at);
+  obs::emit(obs::EventKind::kRequestDispatch, pending.sequence, batch_id);
+
+  Hasher identity;
+  hash_identity(identity, pending.request.mol);
+  hash_preparation_params(identity, pending.request);
+
+  Hasher prep_hash = identity;
+  hash_positions(prep_hash, pending.request.mol);
+  const std::uint64_t prep_key = prep_hash.h;
+
+  Hasher family_hash = identity;
+  hash_evaluation_params(family_hash, pending.request, options_.run);
+  const std::uint64_t family_key = family_hash.h;
+
+  Hasher full_hash = family_hash;
+  hash_positions(full_hash, pending.request.mol);
+  const std::uint64_t full_key = full_hash.h;
+
+  ServeResult out;
+  out.job_id = pending.job_id;
+
+  ServePath path = ServePath::kCold;
+  RunResult result;
+  bool computed = false;
+  const auto compute_and_stamp = [&]() {
+    result = compute(pending, full_key, family_key, prep_key, path, batch_id);
+    result.queue_seconds = queue_seconds;
+    result.serve_seconds = seconds_between(dispatched_at, Clock::now());
+    computed = true;
+  };
+
+  if (campaign_ != nullptr) {
+    const harness::JobStatus& status =
+        campaign_->run(pending.job_id, [&]() -> std::string {
+          compute_and_stamp();
+          return run_result_to_json(result, pending.job_id).dump();
+        });
+    if (!computed && status.state == ckpt::JobState::kDone) {
+      // Journal replay from a previous incarnation (or a duplicate id).
+      const RunResultParse parsed = run_result_from_string(status.payload);
+      if (parsed.ok) {
+        result = result_from_doc(parsed.doc);
+        path = ServePath::kReplayed;
+        out.from_journal = true;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.replayed;
+      } else {
+        // Unreadable payload (e.g. a journal written by an older schema):
+        // recompute rather than serve garbage; the journal keeps the old
+        // done record, so this stays a one-off.
+        compute_and_stamp();
+      }
+    } else if (!computed) {
+      // Quarantined job: surface the failure loudly instead of a zero
+      // energy pretending to be an answer.
+      throw IoError("service job '" + pending.job_id +
+                    "' is quarantined: " + status.payload);
+    }
+  } else {
+    compute_and_stamp();
+  }
+
+  out.path = path;
+  out.result = std::move(result);
+  obs::emit(obs::EventKind::kRequestDone, pending.sequence,
+            static_cast<std::uint64_t>(path));
+  obs::add_request_served();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.served;
+  }
+  return out;
+}
+
+}  // namespace gbpol

@@ -4,6 +4,7 @@
 // loud rejection of unknown versions).
 #include "core/engine.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -12,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/kernels_simd.hpp"
 #include "molecule/generate.hpp"
 #include "surface/quadrature.hpp"
 
@@ -93,18 +95,6 @@ TEST_F(EngineTest, RunOptionsTraversalOverridesConstructionParams) {
   ASSERT_EQ(c.energy, d.energy);
 }
 
-TEST_F(EngineTest, DownConversionPreservesTheLegacySurface) {
-  // to_driver_result is what the [[deprecated]] wrappers return; the shared
-  // fields must carry over unchanged. (The wrappers themselves are not
-  // called here — scripts/check.sh greps the tree to keep them unused.)
-  const RunResult serial = Engine(*prep_).run(serial_options());
-  const DriverResult legacy = serial.to_driver_result();
-  ASSERT_EQ(legacy.energy, serial.energy);
-  ASSERT_EQ(legacy.born_sorted, serial.born_sorted);
-  EXPECT_EQ(legacy.ranks, serial.ranks);
-  EXPECT_EQ(legacy.threads_per_rank, serial.threads_per_rank);
-}
-
 // --- env-default resolution ----------------------------------------------
 
 struct EnvGuard {
@@ -154,6 +144,28 @@ TEST(EngineEnvTest, NoFieldAndNoEnvironmentResolvesToOff) {
   const RunOptions options;
   EXPECT_EQ(resolved_trace_out(options), "");
   EXPECT_EQ(resolved_campaign_dir(options), "");
+}
+
+TEST(EngineEnvTest, SimdFieldWinsOverEnvironment) {
+  // GBPOL_SIMD absorption: the RunOptions field is the documented control;
+  // the env var is only the default when the field is empty.
+  const EnvGuard simd_guard("GBPOL_SIMD");
+  ::setenv("GBPOL_SIMD", "off", 1);
+  RunOptions options;
+  EXPECT_EQ(resolved_simd(options), "off");
+  options.simd = "avx2";
+  EXPECT_EQ(resolved_simd(options), "avx2");
+  ::unsetenv("GBPOL_SIMD");
+  options.simd.clear();
+  EXPECT_EQ(resolved_simd(options), "");
+
+  // The override plumbing behind the field: set / read back / clear.
+  simd_set_override("soa");
+  EXPECT_EQ(simd_override(), "soa");
+  EXPECT_EQ(simd_dispatch(), SimdDispatch::kSoA);
+  simd_set_override("auto");
+  EXPECT_EQ(simd_override(), "");
+  simd_dispatch_refresh();
 }
 
 // --- RunResult JSON schema ------------------------------------------------
@@ -206,15 +218,60 @@ TEST(RunResultSchemaTest, UnknownVersionIsRejectedLoudly) {
   doc.label = "future";
   obs::json::Value value = run_result_doc_to_json(doc);
   for (auto& [key, field] : value.as_object())
-    if (key == "schema_version") field = obs::json::Value(2);
+    if (key == "schema_version") field = obs::json::Value(3);
   const RunResultParse parsed = run_result_from_string(value.dump());
   EXPECT_FALSE(parsed.ok);
   EXPECT_TRUE(parsed.version_mismatch);
-  EXPECT_EQ(parsed.found_version, 2);
-  EXPECT_NE(parsed.error.find("unsupported run-result schema_version 2"),
+  EXPECT_EQ(parsed.found_version, 3);
+  EXPECT_NE(parsed.error.find("unsupported run-result schema_version 3"),
             std::string::npos)
       << parsed.error;
-  EXPECT_NE(parsed.error.find("expects 1"), std::string::npos) << parsed.error;
+  EXPECT_NE(parsed.error.find("expects 2"), std::string::npos) << parsed.error;
+}
+
+TEST(RunResultSchemaTest, V1DocumentsAreRejectedWithAMigrationHint) {
+  // A v1 document (no serving fields) must fail loudly with a message that
+  // names the v2 additions, not a generic field-missing error.
+  RunResultDoc doc;
+  doc.label = "legacy";
+  obs::json::Value value = run_result_doc_to_json(doc);
+  auto& object = value.as_object();
+  for (auto& [key, field] : object)
+    if (key == "schema_version") field = obs::json::Value(1);
+  object.erase(
+      std::remove_if(object.begin(), object.end(),
+                     [](const auto& kv) {
+                       return kv.first == "cache_hit" ||
+                              kv.first == "queue_seconds" ||
+                              kv.first == "serve_seconds" ||
+                              kv.first == "batch_id";
+                     }),
+      object.end());
+  const RunResultParse parsed = run_result_from_string(value.dump());
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_TRUE(parsed.version_mismatch);
+  EXPECT_EQ(parsed.found_version, 1);
+  EXPECT_NE(parsed.error.find("schema_version 1"), std::string::npos)
+      << parsed.error;
+  EXPECT_NE(parsed.error.find("serving fields"), std::string::npos)
+      << parsed.error;
+}
+
+TEST(RunResultSchemaTest, V2ServingFieldsAreRequired) {
+  // Dropping a serving field from an otherwise-valid v2 document is a
+  // malformed document, not a soft default.
+  RunResultDoc doc;
+  doc.label = "v2";
+  obs::json::Value value = run_result_doc_to_json(doc);
+  auto& object = value.as_object();
+  object.erase(std::remove_if(
+                   object.begin(), object.end(),
+                   [](const auto& kv) { return kv.first == "cache_hit"; }),
+               object.end());
+  const RunResultParse parsed = run_result_from_string(value.dump());
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_FALSE(parsed.version_mismatch);
+  EXPECT_NE(parsed.error.find("cache_hit"), std::string::npos) << parsed.error;
 }
 
 TEST(RunResultSchemaTest, MalformedDocumentsFailWithReasons) {
