@@ -19,6 +19,11 @@ struct PersistentPool::Job {
   SharedState shared;
   RunReport report;
   const std::function<void(Comm&)>* rank_fn = nullptr;
+  // First non-RankKilled exception thrown by any rank of this job; run()
+  // rethrows it to its caller after the job drains. Written under
+  // error_mutex (ranks fail concurrently), read after the done handshake.
+  std::mutex error_mutex;
+  std::exception_ptr error;
 
   Job(const Runtime::Config& config, int ranks)
       : shared(config.cluster, ranks, std::max(1, config.threads_per_rank),
@@ -54,10 +59,14 @@ void PersistentPool::worker_main(int rank) {
       seen_epoch = job_epoch_;
       job = job_;
     }
-    // Same per-rank body as Runtime::run: a scheduled death (RankKilled)
-    // retires the JOB on this rank — the worker thread survives to serve the
-    // next job — while any other exception fails fast, as a crashed MPI
-    // process would.
+    // Same per-rank body as Runtime::run for the fault layer: a scheduled
+    // death (RankKilled) retires the JOB on this rank — the worker thread
+    // survives to serve the next job. Any OTHER exception fails the JOB,
+    // not the process: in the long-lived multi-tenant service, one bad
+    // request must not take down every tenant's queued work, so the
+    // exception is captured for run() to rethrow (the campaign layer then
+    // retries/quarantines that job) and this rank retires with the same
+    // bookkeeping as die_now so its peers unwind instead of hanging.
     obs::set_thread_rank(rank);
     Comm comm(job->shared, rank);
     RankResult& res = job->report.ranks[static_cast<std::size_t>(rank)];
@@ -65,10 +74,36 @@ void PersistentPool::worker_main(int rank) {
       (*job->rank_fn)(comm);
     } catch (const RankKilled&) {
       res.died = true;
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "mpisim: pooled rank %d terminated with exception: %s\n",
-                   rank, e.what());
-      std::terminate();
+    } catch (...) {
+      try {
+        throw;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "mpisim: pooled rank %d failed: %s\n", rank,
+                     e.what());
+      } catch (...) {
+        std::fprintf(stderr, "mpisim: pooled rank %d failed: unknown exception\n",
+                     rank);
+      }
+      {
+        std::lock_guard<std::mutex> lock(job->error_mutex);
+        if (!job->error) job->error = std::current_exception();
+      }
+      SharedState& s = job->shared;
+      // The whole job is doomed (run() will rethrow): raise kill_all so the
+      // surviving ranks abandon at their next poll/collective entry instead
+      // of finishing work nobody will read, and wake any parked stalls.
+      s.kill_all.store(true, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(s.stall_mutex);
+        s.stall_cv.notify_all();
+      }
+      // die_now's bookkeeping: mark dead, arrive once for the phase peers
+      // may be waiting on, drop from later phases, wake blocked receivers.
+      s.dead[static_cast<std::size_t>(rank)].store(true,
+                                                   std::memory_order_release);
+      s.sync.arrive_and_drop();
+      s.wake_all_mailboxes();
+      res.died = true;
     }
     obs::phase_end();  // close a phase left open by a mid-phase unwind
     res.compute_seconds = comm.compute_seconds();
@@ -184,6 +219,10 @@ RunReport PersistentPool::run(const Runtime::Config& config,
                                                      : ErrorClass::kFault;
   }
   jobs_served_.fetch_add(1, std::memory_order_relaxed);
+  // A rank threw a real (non-RankKilled) exception: the job failed. Surface
+  // it to the caller — the pool itself stays healthy (per-job SharedState,
+  // resident threads already parked for the next job).
+  if (job.error) std::rethrow_exception(job.error);
   return report;
 }
 

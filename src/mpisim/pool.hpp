@@ -20,7 +20,12 @@
 // service serializes dispatch); worker threads are joined by the destructor.
 // RankKilled unwinds a worker's JOB, not the worker thread — the thread
 // parks again and serves the next job, which is what makes the pool safe
-// under the fault-injection plans.
+// under the fault-injection plans. Any OTHER exception thrown by a rank
+// function fails that JOB, not the process: the rank retires with die_now's
+// bookkeeping (peers unwind promptly via kill_all), and run() rethrows the
+// first such exception to its caller once the job drains — the pool remains
+// usable for the next job. This is what lets the multi-tenant service
+// quarantine one bad request instead of losing every tenant's queued work.
 #pragma once
 
 #include <atomic>
@@ -49,8 +54,10 @@ class PersistentPool {
     return jobs_served_.load(std::memory_order_relaxed);
   }
 
-  // Same contract as Runtime::run. Falls back to a one-shot Runtime::run
-  // when config.ranks does not match the pool width.
+  // Same contract as Runtime::run, except that a rank function throwing a
+  // non-RankKilled exception fails the job (run() rethrows it) instead of
+  // terminating the process. Falls back to a one-shot Runtime::run when
+  // config.ranks does not match the pool width.
   RunReport run(const Runtime::Config& config,
                 const std::function<void(Comm&)>& rank_fn);
 

@@ -1,12 +1,15 @@
 #include "serve/service.hpp"
 
 #include <bit>
+#include <charconv>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <utility>
 
 #include "molecule/io.hpp"
+#include "obs/json.hpp"
 #include "obs/trace.hpp"
 #include "surface/quadrature.hpp"
 
@@ -107,6 +110,28 @@ bool is_distributed_shape(const RunOptions& run) {
          (run.mode == EngineMode::kAuto && run.ranks > 1);
 }
 
+constexpr char kAutoIdPrefix[] = "req-";
+
+// Fixed-width hex of the request content hash; stamped into the journal
+// payload so a replay can prove the stored answer belongs to THIS request.
+std::string hex_key(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+// "req-<n>" -> n; false for anything else (explicit ids, partial matches).
+bool parse_auto_id(const std::string& job, std::uint64_t& sequence) {
+  const std::string_view prefix = kAutoIdPrefix;
+  if (job.size() <= prefix.size() || job.compare(0, prefix.size(), prefix) != 0)
+    return false;
+  const char* first = job.data() + prefix.size();
+  const char* last = job.data() + job.size();
+  const auto [ptr, ec] = std::from_chars(first, last, sequence);
+  return ec == std::errc{} && ptr == last;
+}
+
 // Rebuilds the scalar surface of a RunResult from its journaled v2 digest
 // (born_sorted stays empty — the schema stores a digest, not the array).
 RunResult result_from_doc(const RunResultDoc& doc) {
@@ -176,10 +201,13 @@ int resolved_soak_requests(const ServiceOptions& options, int quick_scale,
 }
 
 Service::Service(ServiceOptions options) : options_(std::move(options)) {
-  // The service owns its pool and its journal destinations; a caller-set
-  // pool or engine-level campaign dir would double-route.
+  // The service owns its pool and its journal/trace destinations; a
+  // caller-set pool or an engine-level campaign dir / trace file would
+  // double-route every request. "-" is the explicit-off switch, so the
+  // GBPOL_CAMPAIGN_DIR / GBPOL_TRACE_OUT env defaults cannot leak in either.
   options_.run.pool = nullptr;
   options_.run.campaign_dir = "-";
+  options_.run.trace_out = "-";
 
   campaign_dir_ = resolved_service_campaign_dir(options_);
   if (!campaign_dir_.empty()) {
@@ -188,6 +216,14 @@ Service::Service(ServiceOptions options) : options_(std::move(options)) {
     harness::CampaignConfig config;
     config.journal_path = campaign_dir_ + "/service.journal";
     campaign_ = std::make_unique<harness::Campaign>(config);
+    // Resume auto-id numbering past every "req-<n>" the journal has seen, so
+    // a restarted incarnation cannot reissue a dead incarnation's auto id
+    // (and then mistake its journaled answer for this request's).
+    for (const ckpt::JournalRecord& rec : campaign_->journal().records()) {
+      std::uint64_t seen = 0;
+      if (parse_auto_id(rec.job, seen) && seen >= next_sequence_)
+        next_sequence_ = seen + 1;
+    }
   }
   if (is_distributed_shape(options_.run) && options_.run.ranks >= 1)
     pool_ = std::make_unique<mpisim::PersistentPool>(options_.run.ranks);
@@ -200,7 +236,7 @@ std::string Service::submit(ServeRequest request) {
   Pending pending;
   pending.sequence = next_sequence_++;
   pending.job_id = request.id.empty()
-                       ? "req-" + std::to_string(pending.sequence)
+                       ? kAutoIdPrefix + std::to_string(pending.sequence)
                        : request.id;
   pending.request = std::move(request);
   pending.accepted_at = Clock::now();
@@ -214,6 +250,11 @@ std::string Service::submit(ServeRequest request) {
 }
 
 std::vector<ServeResult> Service::drain(std::size_t max_requests) {
+  std::lock_guard<std::mutex> serving(serve_mutex_);
+  return drain_locked(max_requests);
+}
+
+std::vector<ServeResult> Service::drain_locked(std::size_t max_requests) {
   std::vector<ServeResult> results;
   std::uint64_t batch_id = 0;
   while (results.size() < max_requests) {
@@ -237,9 +278,18 @@ std::vector<ServeResult> Service::drain(std::size_t max_requests) {
 }
 
 ServeResult Service::serve(ServeRequest request) {
-  submit(std::move(request));
-  std::vector<ServeResult> results = drain();
-  return std::move(results.back());
+  // Take the serving lock BEFORE submitting: any concurrent drain is then
+  // either already past the queue (our request not yet visible) or waiting
+  // behind us, so our own drain below is guaranteed to serve our job.
+  std::lock_guard<std::mutex> serving(serve_mutex_);
+  const std::string job_id = submit(std::move(request));
+  std::vector<ServeResult> results = drain_locked(SIZE_MAX);
+  for (ServeResult& r : results)
+    if (r.job_id == job_id) return std::move(r);
+  // Unreachable while the invariant above holds; fail loudly rather than
+  // hand back another tenant's answer.
+  throw IoError("service request '" + job_id +
+                "' was not served by its own drain");
 }
 
 std::size_t Service::queued() const {
@@ -263,9 +313,20 @@ std::size_t Service::cache_bytes() const {
 }
 
 std::shared_ptr<const Prepared> Service::cache_lookup(std::uint64_t prep_key) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = cache_index_.find(prep_key);
-  if (it == cache_index_.end()) return nullptr;
+  if (it == cache_index_.end()) {
+    obs::emit(obs::EventKind::kCacheMiss, prep_key);
+    obs::add_cache_miss();
+    ++stats_.cache_misses;
+    ++stats_.cold;
+    return nullptr;
+  }
   cache_.splice(cache_.begin(), cache_, it->second);  // refresh LRU position
+  obs::emit(obs::EventKind::kCacheHit, prep_key,
+            static_cast<std::uint64_t>(cache_.front().bytes));
+  obs::add_cache_hit();
+  ++stats_.cache_hits;
   return cache_.front().prep;
 }
 
@@ -275,6 +336,7 @@ std::shared_ptr<const Prepared> Service::cache_insert(std::uint64_t prep_key,
   entry.key = prep_key;
   entry.bytes = prep.replicated_footprint().bytes;
   entry.prep = std::make_shared<const Prepared>(std::move(prep));
+  std::lock_guard<std::mutex> lock(mutex_);
   cache_.push_front(std::move(entry));
   cache_index_[prep_key] = cache_.begin();
   cache_bytes_ += cache_.front().bytes;
@@ -285,11 +347,8 @@ std::shared_ptr<const Prepared> Service::cache_insert(std::uint64_t prep_key,
     obs::emit(obs::EventKind::kCacheEvict, victim.key,
               static_cast<std::uint64_t>(victim.bytes));
     obs::add_cache_eviction(victim.bytes);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.cache_evictions;
-      stats_.cache_evicted_bytes += victim.bytes;
-    }
+    ++stats_.cache_evictions;
+    stats_.cache_evicted_bytes += victim.bytes;
     cache_bytes_ -= victim.bytes;
     cache_index_.erase(victim.key);
     cache_.pop_back();
@@ -346,23 +405,11 @@ RunResult Service::compute(const Pending& pending, std::uint64_t full_key,
     return result;
   }
 
-  // Path 2: Prepared-cache hit or cold miss + insert.
+  // Path 2: Prepared-cache hit or cold miss + insert (hit/miss accounting
+  // happens inside cache_lookup, under the cache lock).
   std::shared_ptr<const Prepared> prep = cache_lookup(prep_key);
   const bool hit = prep != nullptr;
-  if (hit) {
-    obs::emit(obs::EventKind::kCacheHit, prep_key,
-              static_cast<std::uint64_t>(cache_.front().bytes));
-    obs::add_cache_hit();
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.cache_hits;
-  } else {
-    obs::emit(obs::EventKind::kCacheMiss, prep_key);
-    obs::add_cache_miss();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.cache_misses;
-      ++stats_.cold;
-    }
+  if (!hit) {
     const surface::SurfaceQuadrature quad =
         surface::molecular_surface_quadrature(req.mol, req.surface);
     prep = cache_insert(
@@ -423,17 +470,42 @@ ServeResult Service::serve_one(Pending pending, std::uint64_t batch_id) {
     const harness::JobStatus& status =
         campaign_->run(pending.job_id, [&]() -> std::string {
           compute_and_stamp();
-          return run_result_to_json(result, pending.job_id).dump();
+          // Stamp the payload with the request content hash so a later
+          // incarnation can verify a replay candidate really answers THIS
+          // request. The extra field is outside the v2 run-result schema
+          // and ignored by its parser.
+          obs::json::Value doc = run_result_to_json(result, pending.job_id);
+          doc.as_object().emplace_back("request_key",
+                                       obs::json::Value(hex_key(full_key)));
+          return doc.dump();
         });
     if (!computed && status.state == ckpt::JobState::kDone) {
       // Journal replay from a previous incarnation (or a duplicate id).
-      const RunResultParse parsed = run_result_from_string(status.payload);
+      // Only honour the stored answer if its request_key matches this
+      // request; a same-id job with different content must recompute.
+      const obs::json::ParseResult payload = obs::json::parse(status.payload);
+      const obs::json::Value* stored_key =
+          payload.ok ? payload.value.find("request_key") : nullptr;
+      const bool key_mismatch = stored_key != nullptr &&
+                                stored_key->is_string() &&
+                                stored_key->as_string() != hex_key(full_key);
+      const RunResultParse parsed =
+          payload.ok && !key_mismatch ? run_result_from_json(payload.value)
+                                      : RunResultParse{};
       if (parsed.ok) {
         result = result_from_doc(parsed.doc);
         path = ServePath::kReplayed;
         out.from_journal = true;
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.replayed;
+      } else if (key_mismatch) {
+        // The journaled answer belongs to a different request that used the
+        // same id. Serve this one fresh; the journal keeps the old record.
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.replay_rejected;
+        }
+        compute_and_stamp();
       } else {
         // Unreadable payload (e.g. a journal written by an older schema):
         // recompute rather than serve garbage; the journal keeps the old

@@ -11,6 +11,10 @@
 //    in acceptance order. "Deterministic" therefore means: the serve order
 //    IS the accept order, and every request's answer depends only on the
 //    accepted sequence before it — never on thread timing after acceptance.
+//    Serving itself is serialized: drain()/serve() calls take a dedicated
+//    serving lock, so at most one thread drives the compute paths (and the
+//    persistent pool, which requires one caller) at a time, while submit()
+//    and the accessors stay callable concurrently.
 //  * PREPARED-STATE CACHE. Prepared::build is a deterministic pure function
 //    of (molecule bits, quadrature params, leaf capacity) — the same key this
 //    cache hashes (ckpt::fnv1a64 over the raw IEEE-754 bits). A hit runs the
@@ -45,8 +49,14 @@
 // Durability: with a campaign directory resolved (explicit field or
 // GBPOL_CAMPAIGN_DIR), accepted/running/done transitions are journaled
 // through harness::Campaign at <dir>/service.journal. A service restarted on
-// the same journal replays done jobs (payload = the v2 run-result JSON)
-// without recomputation and re-serves jobs that were accepted but not done.
+// the same journal replays done jobs (payload = the v2 run-result JSON plus
+// a "request_key" stamp, the request's content hash) without recomputation
+// and re-serves jobs that were accepted but not done. Two guards keep a
+// replay from serving a DIFFERENT request's stored answer: auto-assigned
+// "req-<n>" ids resume numbering after the journal's highest seen n (so a
+// restarted service never reissues a dead incarnation's auto id), and every
+// replay candidate's request_key is checked against the incoming request —
+// on mismatch the answer is recomputed instead of replayed.
 #pragma once
 
 #include <chrono>
@@ -72,9 +82,12 @@ namespace gbpol {
 // service-level policy — tenants ask for an energy, not a topology.
 struct ServeRequest {
   // Stable job id for the durable queue; empty = auto-assigned
-  // "req-<sequence>". Two requests with the same id are the same job: once
-  // one is done (this run or a previous incarnation via the journal), the
-  // other replays its stored answer.
+  // "req-<sequence>" (numbering resumes past the journal's highest seen
+  // sequence on restart). Two requests with the same id AND the same content
+  // hash are the same job: once one is done (this run or a previous
+  // incarnation via the journal), the other replays its stored answer. A
+  // same-id request with DIFFERENT content is computed fresh — the journal
+  // payload's request_key stamp is validated before any replay.
   std::string id;
   Molecule mol;
   ApproxParams params;
@@ -106,8 +119,10 @@ struct ServiceOptions {
   // Run shape + evaluation routing for every request (mode, ranks, threads,
   // balancing, traversal, simd, ...). ranks > 1 / kDistributed creates the
   // persistent pool; RunOptions::pool is owned by the service and must stay
-  // null here. trace_out / campaign_dir on THIS RunOptions are ignored — the
-  // service-level fields below are the destinations.
+  // null here. trace_out / campaign_dir on THIS RunOptions are ignored (the
+  // constructor pins both to "-", the explicit-off switch, so not even the
+  // env defaults leak in) — the service-level fields below are the
+  // destinations.
   RunOptions run;
 
   // Prepared-cache byte budget (replicated_footprint bytes per entry). The
@@ -151,6 +166,10 @@ struct ServiceStats {
   std::uint64_t memo_hits = 0;
   std::uint64_t delta_routed = 0;
   std::uint64_t replayed = 0;
+  // Journal replays refused because the stored payload's request_key did not
+  // match the incoming request (same job id, different content) — the answer
+  // was recomputed instead.
+  std::uint64_t replay_rejected = 0;
   std::uint64_t batches = 0;
 };
 
@@ -169,11 +188,17 @@ class Service {
   // Serves up to max_requests queued requests in acceptance order on the
   // calling thread, returning one ServeResult per served request. A partial
   // drain (max_requests < queue depth) leaves the rest queued — and, with
-  // the journal on, re-servable by a restarted service.
+  // the journal on, re-servable by a restarted service. Concurrent drains
+  // are serialized on the serving lock: each queued request is served by
+  // exactly one drain, and its result goes to that caller only.
   std::vector<ServeResult> drain(std::size_t max_requests = SIZE_MAX);
 
-  // Convenience: submit + drain everything pending; returns this request's
-  // result (the last one served).
+  // Convenience: submit + drain everything pending; returns THIS request's
+  // result (located by job id in the drained batch — never another
+  // tenant's). Earlier pending requests are served too, in acceptance
+  // order; their ServeResults are dropped here, but their answers stay
+  // memoized/journaled, so their owners can recover them by re-submitting
+  // the same id. Throws if the result cannot be produced.
   ServeResult serve(ServeRequest request);
 
   std::size_t queued() const;
@@ -201,6 +226,7 @@ class Service {
     std::unique_ptr<TrajectoryDriver> driver;
   };
 
+  std::vector<ServeResult> drain_locked(std::size_t max_requests);
   ServeResult serve_one(Pending pending, std::uint64_t batch_id);
   RunResult compute(const Pending& pending, std::uint64_t full_key,
                     std::uint64_t family_key, std::uint64_t prep_key,
@@ -212,7 +238,15 @@ class Service {
   ServiceOptions options_;
   std::string campaign_dir_;
 
-  mutable std::mutex mutex_;  // queue + stats; serving is single-threaded
+  // Serializes the serving side: drain()/serve() hold it end to end, so the
+  // compute paths (memo_, families_, campaign_, pool_) run on one thread at
+  // a time.
+  std::mutex serve_mutex_;
+  // Guards the state shared between the serving thread and the concurrent
+  // public surface: queue_, next_sequence_, stats_, and the Prepared cache
+  // (cache_/cache_index_/cache_bytes_) that cache_entries()/cache_bytes()
+  // read.
+  mutable std::mutex mutex_;
   std::deque<Pending> queue_;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t next_batch_ = 0;
@@ -225,6 +259,8 @@ class Service {
   std::map<std::uint64_t, std::list<CacheEntry>::iterator> cache_index_;
   std::size_t cache_bytes_ = 0;
 
+  // Serving-thread-only state (guarded by serve_mutex_, not mutex_: no
+  // public accessor reads these).
   std::map<std::uint64_t, RunResult> memo_;
   std::map<std::uint64_t, Family> families_;
 

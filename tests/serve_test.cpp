@@ -5,8 +5,10 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -321,6 +323,154 @@ TEST(ServeTest, KillRestartResumesAHalfDrainedQueue) {
   }
   EXPECT_EQ(restarted.stats().replayed, 3u);
   std::filesystem::remove_all(dir);
+}
+
+TEST(ServeTest, RestartWithAutoIdsNeverReplaysAForeignRequest) {
+  // Regression: auto ids restarting at req-0 in every incarnation must not
+  // let a restarted service replay the PREVIOUS incarnation's journaled
+  // answer for a DIFFERENT molecule. Sequence numbering resumes past the
+  // journal's highest seen auto id.
+  const std::string dir = temp_dir("autoid");
+  const Molecule first_mol = molgen::synthetic_protein(90, 61);
+  const Molecule second_mol = molgen::synthetic_protein(100, 62);
+  ServiceOptions options;
+  options.campaign_dir = dir;
+  options.delta_routing = false;
+  {
+    Service service(options);
+    service.submit(make_request(first_mol));  // journaled as req-0
+    ASSERT_EQ(service.drain().size(), 1u);
+  }
+
+  Service restarted(options);
+  const ServeResult r = restarted.serve(make_request(second_mol));
+  EXPECT_NE(r.path, ServePath::kReplayed);
+  EXPECT_FALSE(r.from_journal);
+  const RunResult twin = direct_cold(make_request(second_mol), options.run);
+  EXPECT_EQ(r.result.energy, twin.energy);
+  ASSERT_EQ(r.result.born_sorted, twin.born_sorted);
+  EXPECT_EQ(restarted.stats().replayed, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeTest, JournalReplayRejectsASameIdRequestWithDifferentContent) {
+  // An explicit id reused for a different molecule must be recomputed, not
+  // answered with the journaled payload of the original request: the
+  // request_key stamp in the payload is validated before any replay.
+  const std::string dir = temp_dir("keycheck");
+  const Molecule first_mol = molgen::synthetic_protein(90, 67);
+  const Molecule second_mol = molgen::synthetic_protein(100, 68);
+  ServiceOptions options;
+  options.campaign_dir = dir;
+  options.delta_routing = false;
+  {
+    Service service(options);
+    (void)service.serve(make_request(first_mol, "dup"));
+  }
+
+  Service restarted(options);
+  const ServeResult r = restarted.serve(make_request(second_mol, "dup"));
+  EXPECT_NE(r.path, ServePath::kReplayed);
+  const RunResult twin = direct_cold(make_request(second_mol), options.run);
+  EXPECT_EQ(r.result.energy, twin.energy);
+  ASSERT_EQ(r.result.born_sorted, twin.born_sorted);
+  EXPECT_EQ(restarted.stats().replay_rejected, 1u);
+
+  // The SAME request under the same id still replays bit-identically.
+  Service again(options);
+  const ServeResult replay = again.serve(make_request(first_mol, "dup"));
+  EXPECT_EQ(replay.path, ServePath::kReplayed);
+  const RunResult ftwin = direct_cold(make_request(first_mol), options.run);
+  EXPECT_EQ(replay.result.energy, ftwin.energy);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeTest, ServeReturnsTheCallersOwnResultByJobId) {
+  // serve() must hand back the job it submitted — located by id in the
+  // drained batch — even when earlier submissions are pending ahead of it.
+  const Molecule early_mol = molgen::synthetic_protein(90, 71);
+  const Molecule own_mol = molgen::synthetic_protein(100, 72);
+  ServiceOptions options;
+  options.campaign_dir = "-";
+  options.delta_routing = false;
+  Service service(options);
+  service.submit(make_request(early_mol, "earlier"));
+  const ServeResult r = service.serve(make_request(own_mol, "mine"));
+  EXPECT_EQ(r.job_id, "mine");
+  const RunResult twin = direct_cold(make_request(own_mol), options.run);
+  EXPECT_EQ(r.result.energy, twin.energy);
+  EXPECT_EQ(service.queued(), 0u);  // the earlier request was served too
+  EXPECT_EQ(service.stats().served, 2u);
+}
+
+TEST(ServeTest, AccessorsAreSafeDuringAConcurrentDrain) {
+  // The public accessors read cache/stat state under the same lock the
+  // serving thread mutates it under; hammer them while a drain is running
+  // (the tsan preset makes this a real race detector).
+  ServiceOptions options;
+  options.campaign_dir = "-";
+  options.delta_routing = false;
+  Service service(options);
+  constexpr int kRequests = 6;
+  for (int i = 0; i < kRequests; ++i)
+    service.submit(make_request(molgen::synthetic_protein(80, 400 + i)));
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&service, &stop]() {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)service.cache_entries();
+      (void)service.cache_bytes();
+      (void)service.stats();
+      (void)service.queued();
+    }
+  });
+  const std::vector<ServeResult> results = service.drain();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(results.size(), static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(service.stats().served, static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(ServeTest, ServiceNeutralizesEngineLevelTraceAndCampaignRouting) {
+  // The constructor pins BOTH engine-level destinations to "-" (explicit
+  // off): per-request trace export and engine-level journaling would
+  // double-route behind the service's own fields.
+  ServiceOptions options;
+  options.campaign_dir = "-";
+  options.run.trace_out = "should_not_be_used.json";
+  options.run.campaign_dir = "should_not_be_used";
+  Service service(options);
+  EXPECT_EQ(service.options().run.trace_out, "-");
+  EXPECT_EQ(service.options().run.campaign_dir, "-");
+  EXPECT_TRUE(resolved_trace_out(service.options().run).empty());
+  EXPECT_TRUE(resolved_campaign_dir(service.options().run).empty());
+}
+
+TEST(ServeTest, PooledRankExceptionFailsTheJobNotTheProcess) {
+  // A pooled rank throwing a real exception must surface to run()'s caller
+  // (so the campaign can quarantine the job) and leave the pool — and every
+  // other tenant's queued work — alive.
+  mpisim::PersistentPool pool(2);
+  mpisim::Runtime::Config config;
+  config.ranks = 2;
+  EXPECT_THROW(pool.run(config,
+                        [](mpisim::Comm& comm) {
+                          if (comm.rank() == 1)
+                            throw std::runtime_error("bad request");
+                          // The peer parks in a collective and must be
+                          // released by the failing rank's retirement.
+                          comm.barrier();
+                        }),
+               std::runtime_error);
+
+  // The pool survives and serves the next job normally.
+  const mpisim::RunReport report =
+      pool.run(config, [](mpisim::Comm& comm) { comm.barrier(); });
+  EXPECT_FALSE(report.degraded);
+  ASSERT_EQ(report.ranks.size(), 2u);
+  EXPECT_FALSE(report.ranks[0].died);
+  EXPECT_FALSE(report.ranks[1].died);
+  EXPECT_GE(pool.jobs_served(), 2u);
 }
 
 TEST(ServeTest, PooledDistributedServingIsBitIdenticalToUnpooled) {
